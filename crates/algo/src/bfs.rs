@@ -1,0 +1,82 @@
+//! Breadth-first search (Fig. 11's single-threaded Graph-API kernel).
+//!
+//! BFS is *duplicate-insensitive*: it only cares about reachability, so it
+//! can run directly on C-DUP — and it touches a small fraction of the graph
+//! from one source, which is why the paper calls C-DUP "a good option" for
+//! it (§6.5).
+
+use graphgen_graph::{GraphRep, RealId};
+use std::collections::VecDeque;
+
+/// Distances (in hops) from `src`; `u32::MAX` marks unreachable or dead
+/// vertices. Runs on the logical (deduplicated) neighbor relation.
+pub fn bfs<G: GraphRep + ?Sized>(g: &G, src: RealId) -> Vec<u32> {
+    let n = g.num_real_slots();
+    let mut dist = vec![u32::MAX; n];
+    if src.0 as usize >= n || !g.is_alive(src) {
+        return dist;
+    }
+    dist[src.0 as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.0 as usize];
+        g.for_each_neighbor(u, &mut |v| {
+            if dist[v.0 as usize] == u32::MAX {
+                dist[v.0 as usize] = du + 1;
+                queue.push_back(v);
+            }
+        });
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen_graph::{CondensedBuilder, ExpandedGraph};
+
+    #[test]
+    fn distances_on_a_path() {
+        let edges = (0..4u32).flat_map(|i| [(i, i + 1), (i + 1, i)]);
+        let g = ExpandedGraph::from_edges(5, edges);
+        assert_eq!(bfs(&g, RealId(0)), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs(&g, RealId(2)), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_marked_max() {
+        let g = ExpandedGraph::from_edges(4, [(0, 1), (1, 0)]);
+        let d = bfs(&g, RealId(0));
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+        assert_eq!(d[3], u32::MAX);
+    }
+
+    #[test]
+    fn works_on_condensed_with_duplicates() {
+        let mut b = CondensedBuilder::new(5);
+        b.clique(&[RealId(0), RealId(1), RealId(2)]);
+        b.clique(&[RealId(0), RealId(2)]); // duplicate path 0-2
+        b.clique(&[RealId(2), RealId(3), RealId(4)]);
+        let g = b.build();
+        assert_eq!(bfs(&g, RealId(0)), vec![0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn dead_source_returns_all_unreachable() {
+        let mut g = ExpandedGraph::from_edges(3, [(0, 1), (1, 2)]);
+        g.delete_vertex(RealId(0));
+        let d = bfs(&g, RealId(0));
+        assert!(d.iter().all(|&x| x == u32::MAX));
+    }
+
+    #[test]
+    fn directed_distances() {
+        // 0 -> 1 -> 2 but no way back.
+        let g = ExpandedGraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert_eq!(bfs(&g, RealId(0)), vec![0, 1, 2]);
+        assert_eq!(bfs(&g, RealId(2)), vec![u32::MAX, u32::MAX, 0]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Triangle counting — a Graph-API workload beyond the paper's three
+//! kernels, exercising `exists_edge` heavily (the operation Fig. 13
+//! microbenchmarks). Used by the community-analysis example.
+
+use graphgen_graph::{GraphRep, RealId};
+
+/// Count undirected triangles: unordered vertex triples `{a, b, c}` with all
+/// three symmetric edges present. Requires a symmetric graph (which all
+/// co-occurrence extractions produce); directed one-way edges are ignored
+/// unless reciprocated.
+pub fn triangles<G: GraphRep + ?Sized>(g: &G) -> u64 {
+    let mut count = 0u64;
+    for u in g.vertices() {
+        // neighbors with id greater than u, to count each triangle once
+        let nbrs: Vec<RealId> = g
+            .neighbors(u)
+            .into_iter()
+            .filter(|&v| v.0 > u.0 && g.exists_edge(v, u))
+            .collect();
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                let (a, b) = (nbrs[i], nbrs[j]);
+                if g.exists_edge(a, b) && g.exists_edge(b, a) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen_graph::{CondensedBuilder, ExpandedGraph};
+
+    fn undirected(n: usize, pairs: &[(u32, u32)]) -> ExpandedGraph {
+        ExpandedGraph::from_edges(n, pairs.iter().flat_map(|&(a, b)| [(a, b), (b, a)]))
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = undirected(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangles(&g), 1);
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let g = undirected(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(triangles(&g), 4);
+    }
+
+    #[test]
+    fn path_has_none() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(triangles(&g), 0);
+    }
+
+    #[test]
+    fn clique_virtual_node_counts() {
+        // A 4-clique through one virtual node: C(4,3) = 4 triangles.
+        let mut b = CondensedBuilder::new(4);
+        b.clique(&[RealId(0), RealId(1), RealId(2), RealId(3)]);
+        let g = b.build();
+        assert_eq!(triangles(&g), 4);
+    }
+
+    #[test]
+    fn one_way_edges_ignored() {
+        let g = ExpandedGraph::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2)]);
+        // edge 0->2 lacks 2->0: not a triangle
+        assert_eq!(triangles(&g), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion benches for the Fig. 11 kernels (Degree / BFS / PageRank) per
+//! representation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen_algo::{bfs, degrees, pagerank, PageRankConfig};
+use graphgen_bench::RepSet;
+use graphgen_datagen::{synthetic_condensed, CondensedGenConfig};
+use graphgen_graph::RealId;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let set = RepSet::build(
+        "algos",
+        synthetic_condensed(CondensedGenConfig {
+            n_real: 1_500,
+            n_virtual: 3_000,
+            mean_size: 7.0,
+            sd_size: 3.0,
+            seed: 21,
+        }),
+    );
+    let pr_cfg = PageRankConfig {
+        damping: 0.85,
+        iterations: 5,
+        threads: 2,
+    };
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    macro_rules! rep_benches {
+        ($label:expr, $g:expr) => {
+            group.bench_function(BenchmarkId::new("degree", $label), |b| {
+                b.iter(|| degrees($g, 2))
+            });
+            group.bench_function(BenchmarkId::new("bfs", $label), |b| {
+                b.iter(|| bfs($g, RealId(0)))
+            });
+            group.bench_function(BenchmarkId::new("pagerank", $label), |b| {
+                b.iter(|| pagerank($g, pr_cfg))
+            });
+        };
+    }
+    rep_benches!("EXP", &set.exp);
+    rep_benches!("C-DUP", &set.cdup);
+    rep_benches!("DEDUP-1", &set.dedup1);
+    rep_benches!("BITMAP-2", &set.bitmap2);
+    if let Some(d2) = &set.dedup2 {
+        rep_benches!("DEDUP-2", d2);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benches for the deduplication algorithms (Fig. 12a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen_common::VertexOrdering;
+use graphgen_datagen::{synthetic_condensed, CondensedGenConfig};
+use graphgen_dedup::{bitmap1, bitmap2, dedup2_greedy, Dedup1Algorithm};
+
+fn bench_dedup(c: &mut Criterion) {
+    let g = synthetic_condensed(CondensedGenConfig {
+        n_real: 800,
+        n_virtual: 1_600,
+        mean_size: 6.0,
+        sd_size: 2.0,
+        seed: 31,
+    });
+    let mut group = c.benchmark_group("dedup");
+    group.sample_size(10);
+    group.bench_function("BITMAP-1", |b| b.iter(|| bitmap1(g.clone())));
+    group.bench_function("BITMAP-2", |b| b.iter(|| bitmap2(g.clone(), 1)));
+    for algo in Dedup1Algorithm::all() {
+        group.bench_with_input(
+            BenchmarkId::new("DEDUP-1", algo.label()),
+            &algo,
+            |b, &algo| b.iter(|| algo.run(&g, VertexOrdering::Random, 7)),
+        );
+    }
+    group.bench_function("DEDUP-2", |b| {
+        b.iter(|| dedup2_greedy(&g, VertexOrdering::Descending, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dedup);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the extraction pipeline (Table 1): condensed vs
+//! full extraction of the co-authors graph from a DBLP-shaped database.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphgen_core::{GraphGen, GraphGenConfig};
+use graphgen_datagen::{dblp_like, relational::DBLP_COAUTHORS, DblpConfig};
+
+fn bench_extraction(c: &mut Criterion) {
+    let db = dblp_like(DblpConfig {
+        authors: 2_000,
+        publications: 4_000,
+        avg_authors_per_pub: 2.5,
+        seed: 1,
+    });
+    let cfg = GraphGenConfig {
+        large_output_factor: 0.0,
+        preprocess: false,
+        auto_expand_threshold: None,
+        threads: 1,
+    };
+    let gg = GraphGen::with_config(&db, cfg);
+    let mut group = c.benchmark_group("extraction");
+    group.sample_size(10);
+    group.bench_function("condensed", |b| {
+        b.iter(|| gg.extract(DBLP_COAUTHORS).expect("extract"))
+    });
+    group.bench_function("full", |b| {
+        b.iter(|| gg.extract_full(DBLP_COAUTHORS).expect("extract full"))
+    });
+    group.bench_function("condensed_with_preprocess", |b| {
+        let gg2 = GraphGen::with_config(
+            &db,
+            GraphGenConfig {
+                preprocess: true,
+                ..cfg
+            },
+        );
+        b.iter(|| gg2.extract(DBLP_COAUTHORS).expect("extract"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

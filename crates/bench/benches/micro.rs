@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks of the Graph API per representation (Fig. 13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen_bench::RepSet;
+use graphgen_common::SplitMix64;
+use graphgen_datagen::{synthetic_condensed, CondensedGenConfig};
+use graphgen_graph::{GraphRep, RealId};
+
+fn dataset() -> RepSet {
+    RepSet::build(
+        "micro",
+        synthetic_condensed(CondensedGenConfig {
+            n_real: 1_000,
+            n_virtual: 2_000,
+            mean_size: 7.0,
+            sd_size: 3.0,
+            seed: 11,
+        }),
+    )
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let set = dataset();
+    let mut rng = SplitMix64::new(5);
+    let nodes: Vec<RealId> = (0..256)
+        .map(|_| RealId(rng.next_below(set.exp.num_real_slots() as u64) as u32))
+        .collect();
+
+    let mut group = c.benchmark_group("get_neighbors");
+    group.sample_size(20);
+    for (label, rep) in set.reps() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &rep, |b, rep| {
+            b.iter(|| {
+                let mut sink = 0usize;
+                for &u in &nodes {
+                    rep.for_each_neighbor(u, &mut |_| sink += 1);
+                }
+                sink
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("exists_edge");
+    group.sample_size(20);
+    for (label, rep) in set.reps() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &rep, |b, rep| {
+            b.iter(|| {
+                let mut sink = 0usize;
+                for w in nodes.windows(2) {
+                    sink += usize::from(rep.exists_edge(w[0], w[1]));
+                }
+                sink
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 10: in-memory graph sizes (nodes + stored edges) for every
+//! representation, including the VMiner baseline (which must expand first).
+
+use graphgen_bench::{row, small_datasets, RepSet};
+use graphgen_graph::GraphRep;
+use graphgen_vminer::{vminer, VMinerConfig};
+
+fn main() {
+    println!("Figure 10: stored nodes/edges per representation\n");
+    let widths = [12, 10, 12, 12, 14];
+    for (name, cdup) in small_datasets() {
+        println!("--- {name} ---");
+        row(
+            &["rep", "nodes", "edges", "total", "heap_bytes"].map(String::from),
+            &widths,
+        );
+        let set = RepSet::build(name, cdup);
+        for (label, rep) in set.reps() {
+            row(
+                &[
+                    label.to_string(),
+                    rep.stored_node_count().to_string(),
+                    rep.stored_edge_count().to_string(),
+                    (rep.stored_node_count() as u64 + rep.stored_edge_count()).to_string(),
+                    rep.heap_bytes().to_string(),
+                ],
+                &widths,
+            );
+        }
+        let (vm, bicliques) = vminer(&set.exp, VMinerConfig::default());
+        row(
+            &[
+                "VMiner".to_string(),
+                vm.stored_node_count().to_string(),
+                vm.stored_edge_count().to_string(),
+                (vm.stored_node_count() as u64 + vm.stored_edge_count()).to_string(),
+                vm.heap_bytes().to_string(),
+            ],
+            &widths,
+        );
+        println!("(VMiner bicliques mined: {bicliques})\n");
+    }
+    println!("paper shape: on IMDB/Synthetic_2 C-DUP & friends are several-fold smaller than EXP;");
+    println!("on DBLP/Synthetic_1 the gap is small and dedup can even shrink below C-DUP;");
+    println!("VMiner compresses less than native DEDUP-1 and needed the expanded input.");
+}

@@ -1,0 +1,59 @@
+//! Figure 12: (a) deduplication algorithm runtimes; (b) sensitivity to the
+//! vertex processing order (pass `--orderings`).
+
+use graphgen_bench::{has_flag, ms, row, small_datasets, time};
+use graphgen_common::VertexOrdering;
+use graphgen_dedup::{bitmap1, bitmap2, dedup2_greedy, Dedup1Algorithm};
+use graphgen_graph::GraphRep;
+
+fn main() {
+    if has_flag("--orderings") {
+        orderings();
+        return;
+    }
+    println!("Figure 12a: deduplication times (ms, RAND ordering)\n");
+    let widths = [12, 12, 12, 12, 12, 12, 12, 12];
+    row(
+        &[
+            "dataset", "BITMAP-1", "BITMAP-2", "Naive-VNF", "Naive-RNF", "Greedy-RNF",
+            "Greedy-VNF", "DEDUP-2",
+        ]
+        .map(String::from),
+        &widths,
+    );
+    for (name, cdup) in small_datasets() {
+        let (_, t_b1) = time(|| bitmap1(cdup.clone()));
+        let (_, t_b2) = time(|| bitmap2(cdup.clone(), 1));
+        let mut cols = vec![name.to_string(), ms(t_b1), ms(t_b2)];
+        for algo in Dedup1Algorithm::all() {
+            let (_, t) = time(|| algo.run(&cdup, VertexOrdering::Random, 7));
+            cols.push(ms(t));
+        }
+        let (_, t_d2) = time(|| dedup2_greedy(&cdup, VertexOrdering::Random, 7));
+        cols.push(ms(t_d2));
+        row(&cols, &widths);
+    }
+    println!("\npaper shape: BITMAP-1 fastest; DEDUP-1/DEDUP-2 algorithms orders of");
+    println!("magnitude slower (log-scale in the paper) — a one-time cost.");
+}
+
+fn orderings() {
+    println!("Figure 12b: effect of vertex ordering on DEDUP-1 (Greedy-VNF)\n");
+    let widths = [12, 8, 14, 14];
+    row(&["dataset", "order", "time(ms)", "stored_edges"].map(String::from), &widths);
+    for (name, cdup) in small_datasets() {
+        for ord in VertexOrdering::all() {
+            let (d, t) = time(|| Dedup1Algorithm::GreedyVnf.run(&cdup, ord, 7));
+            row(
+                &[
+                    name.to_string(),
+                    ord.label().to_string(),
+                    ms(t),
+                    d.stored_edge_count().to_string(),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!("\npaper shape: only small variations across orderings; RAND recommended.");
+}

@@ -1,0 +1,119 @@
+//! Figure 13: microbenchmarks of the Graph API operations per
+//! representation, normalized to EXP. Mean of 3000 repetitions on a fixed
+//! random node sample, exactly like §6.3.
+
+use graphgen_bench::{row, small_datasets, RepSet};
+use graphgen_common::SplitMix64;
+use graphgen_graph::{GraphRep, RealId};
+use std::time::Instant;
+
+const REPS: usize = 3000;
+
+fn sample_nodes(n: usize) -> Vec<RealId> {
+    let mut rng = SplitMix64::new(2024);
+    (0..REPS).map(|_| RealId(rng.next_below(n as u64) as u32)).collect()
+}
+
+fn bench_get_neighbors(g: &dyn GraphRep, nodes: &[RealId]) -> f64 {
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for &u in nodes {
+        g.for_each_neighbor(u, &mut |_| sink += 1);
+    }
+    std::hint::black_box(sink);
+    start.elapsed().as_secs_f64() / nodes.len() as f64
+}
+
+fn bench_exists_edge(g: &dyn GraphRep, nodes: &[RealId]) -> f64 {
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for w in nodes.windows(2) {
+        sink += usize::from(g.exists_edge(w[0], w[1]));
+    }
+    std::hint::black_box(sink);
+    start.elapsed().as_secs_f64() / (nodes.len() - 1) as f64
+}
+
+fn bench_add_delete_edge(g: &mut dyn GraphRep, nodes: &[RealId]) -> f64 {
+    let start = Instant::now();
+    for w in nodes.windows(2).take(500) {
+        g.add_edge(w[0], w[1]);
+        g.delete_edge(w[0], w[1]);
+    }
+    start.elapsed().as_secs_f64() / 500.0
+}
+
+fn bench_remove_vertex(g: &mut dyn GraphRep, nodes: &[RealId]) -> f64 {
+    let start = Instant::now();
+    for &u in nodes.iter().take(500) {
+        g.delete_vertex(u);
+    }
+    start.elapsed().as_secs_f64() / 500.0
+}
+
+fn main() {
+    println!("Figure 13: Graph-API microbenchmarks, normalized to EXP\n");
+    let widths = [12, 14, 12, 14, 14];
+    for (name, cdup) in small_datasets() {
+        println!("--- {name} ---");
+        row(
+            &["rep", "getNeighbors", "existsEdge", "add+delEdge", "removeVertex"]
+                .map(String::from),
+            &widths,
+        );
+        let set = RepSet::build(name, cdup);
+        let nodes = sample_nodes(set.exp.num_real_slots());
+        // EXP baseline.
+        let base = (
+            bench_get_neighbors(&set.exp, &nodes),
+            bench_exists_edge(&set.exp, &nodes),
+            {
+                let mut g = set.exp.clone();
+                bench_add_delete_edge(&mut g, &nodes)
+            },
+            {
+                let mut g = set.exp.clone();
+                bench_remove_vertex(&mut g, &nodes)
+            },
+        );
+        let norm = |v: f64, b: f64| format!("{:.2}", v / b.max(1e-12));
+        let report = |label: &str, gn: f64, ee: f64, ad: f64, rv: f64| {
+            row(
+                &[
+                    label.to_string(),
+                    norm(gn, base.0),
+                    norm(ee, base.1),
+                    norm(ad, base.2),
+                    norm(rv, base.3),
+                ],
+                &widths,
+            );
+        };
+        report("EXP", base.0, base.1, base.2, base.3);
+        macro_rules! run_rep {
+            ($label:expr, $g:expr) => {{
+                let gn = bench_get_neighbors(&$g, &nodes);
+                let ee = bench_exists_edge(&$g, &nodes);
+                let ad = {
+                    let mut g = $g.clone();
+                    bench_add_delete_edge(&mut g, &nodes)
+                };
+                let rv = {
+                    let mut g = $g.clone();
+                    bench_remove_vertex(&mut g, &nodes)
+                };
+                report($label, gn, ee, ad, rv);
+            }};
+        }
+        run_rep!("C-DUP", set.cdup);
+        run_rep!("DEDUP-1", set.dedup1);
+        if let Some(d2) = &set.dedup2 {
+            run_rep!("DEDUP-2", d2.clone());
+        }
+        run_rep!("BITMAP-1", set.bitmap1);
+        run_rep!("BITMAP-2", set.bitmap2);
+        println!();
+    }
+    println!("paper shape: getNeighbors slower on all condensed reps vs EXP (worst: C-DUP");
+    println!("on many-small-vnode datasets); removeVertex *cheaper* on condensed reps.");
+}

@@ -1,0 +1,61 @@
+//! Table 1: condensed (C-DUP) vs full-graph (EXP) extraction.
+//!
+//! For each dataset, extracts the paper's query twice — once loading the
+//! condensed representation (large-output joins postponed) and once running
+//! the complete join in the relational engine — and reports stored edges
+//! and wall time for both, plus the blow-up factor.
+
+use graphgen_bench::{ms, row, time};
+use graphgen_core::{GraphGen, GraphGenConfig};
+use graphgen_datagen::relational::{
+    DBLP_COAUTHORS, IMDB_COACTORS, TPCH_COPURCHASE, UNIV_COENROLLMENT,
+};
+use graphgen_datagen::{dblp_like, imdb_like, tpch_like, univ, DblpConfig, ImdbConfig, TpchConfig, UnivConfig};
+use graphgen_graph::GraphRep;
+
+fn main() {
+    println!("Table 1: condensed vs full extraction (synthetic stand-ins, see EXPERIMENTS.md)\n");
+    let widths = [12, 10, 12, 14, 12, 14, 8];
+    row(
+        &[
+            "dataset", "rows", "cond.edges", "cond.time(ms)", "full.edges", "full.time(ms)",
+            "ratio",
+        ]
+        .map(String::from),
+        &widths,
+    );
+    let datasets: Vec<(&str, graphgen_reldb::Database, &str)> = vec![
+        ("DBLP", dblp_like(DblpConfig::default()), DBLP_COAUTHORS),
+        ("IMDB", imdb_like(ImdbConfig::default()), IMDB_COACTORS),
+        ("TPCH", tpch_like(TpchConfig::default()), TPCH_COPURCHASE),
+        ("UNIV", univ(UnivConfig::default()), UNIV_COENROLLMENT),
+    ];
+    for (name, db, query) in datasets {
+        let rows = db.total_rows();
+        let cfg = GraphGenConfig {
+            large_output_factor: 2.0,
+            preprocess: false,
+            auto_expand_threshold: None,
+            threads: 1,
+        };
+        let gg = GraphGen::with_config(&db, cfg);
+        let (condensed, t_cond) = time(|| gg.extract(query).expect("condensed extraction"));
+        let (full, t_full) = time(|| gg.extract_full(query).expect("full extraction"));
+        let cond_edges = condensed.graph.stored_edge_count();
+        let full_edges = full.graph.stored_edge_count();
+        row(
+            &[
+                name.to_string(),
+                rows.to_string(),
+                cond_edges.to_string(),
+                ms(t_cond),
+                full_edges.to_string(),
+                ms(t_full),
+                format!("{:.2}x", full_edges as f64 / cond_edges.max(1) as f64),
+            ],
+            &widths,
+        );
+    }
+    println!("\npaper shape: condensed extraction is several times faster and smaller;");
+    println!("TPCH shows the largest blow-up (small input hiding a dense graph).");
+}

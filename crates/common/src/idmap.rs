@@ -1,0 +1,119 @@
+//! Dense id interning.
+//!
+//! Graph extraction maps arbitrary key values (author ids, customer keys,
+//! strings…) to dense `u32` node ids; all downstream structures index by the
+//! dense id. `IdMap` is the single place this translation happens.
+
+use crate::fxhash::FxHashMap;
+use std::hash::Hash;
+
+/// Interns values of type `K` into dense `u32` ids (0, 1, 2, …) and keeps
+/// the reverse mapping for lookups back to the original key.
+#[derive(Debug, Clone)]
+pub struct IdMap<K> {
+    forward: FxHashMap<K, u32>,
+    reverse: Vec<K>,
+}
+
+impl<K: Eq + Hash + Clone> Default for IdMap<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> IdMap<K> {
+    /// New, empty map.
+    pub fn new() -> Self {
+        Self {
+            forward: FxHashMap::default(),
+            reverse: Vec::new(),
+        }
+    }
+
+    /// New map with capacity for `n` keys.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            forward: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            reverse: Vec::with_capacity(n),
+        }
+    }
+
+    /// Intern `key`, returning its dense id (allocating a new one if unseen).
+    pub fn intern(&mut self, key: K) -> u32 {
+        if let Some(&id) = self.forward.get(&key) {
+            return id;
+        }
+        let id = u32::try_from(self.reverse.len()).expect("more than u32::MAX interned ids");
+        self.forward.insert(key.clone(), id);
+        self.reverse.push(key);
+        id
+    }
+
+    /// Look up the dense id of `key` without inserting.
+    pub fn get(&self, key: &K) -> Option<u32> {
+        self.forward.get(key).copied()
+    }
+
+    /// The original key for dense id `id`.
+    pub fn key_of(&self, id: u32) -> &K {
+        &self.reverse[id as usize]
+    }
+
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.reverse.is_empty()
+    }
+
+    /// Iterate `(dense_id, key)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &K)> {
+        self.reverse.iter().enumerate().map(|(i, k)| (i as u32, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut map = IdMap::new();
+        let a = map.intern("alice");
+        let b = map.intern("bob");
+        let a2 = map.intern("alice");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut map = IdMap::new();
+        for i in 0..100u64 {
+            assert_eq!(map.intern(i * 7), i as u32);
+        }
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let mut map = IdMap::new();
+        let id = map.intern("key".to_string());
+        assert_eq!(map.key_of(id), "key");
+        assert_eq!(map.get(&"key".to_string()), Some(id));
+        assert_eq!(map.get(&"missing".to_string()), None);
+    }
+
+    #[test]
+    fn iter_visits_in_id_order() {
+        let mut map = IdMap::new();
+        map.intern('c');
+        map.intern('a');
+        map.intern('b');
+        let pairs: Vec<(u32, char)> = map.iter().map(|(i, &k)| (i, k)).collect();
+        assert_eq!(pairs, vec![(0, 'c'), (1, 'a'), (2, 'b')]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Vertex processing orders for the deduplication algorithms.
+//!
+//! Figure 12b of the paper studies how the order in which real/virtual nodes
+//! are processed affects deduplication outcomes (RAND vs ascending vs
+//! descending by duplication/degree). The paper recommends random ordering
+//! for robustness; we implement all three so the experiment can be rerun.
+
+use crate::SplitMix64;
+
+/// How to order vertices before a deduplication pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VertexOrdering {
+    /// Random shuffle (the paper's recommended default).
+    #[default]
+    Random,
+    /// Ascending by the supplied score (e.g. degree or duplication count).
+    Ascending,
+    /// Descending by the supplied score.
+    Descending,
+}
+
+impl VertexOrdering {
+    /// Produce the processing order for ids `0..n`, where `score(i)` ranks
+    /// vertex `i` (higher = more duplicated / higher degree). `seed` is used
+    /// only by [`VertexOrdering::Random`].
+    pub fn order_by<F: Fn(u32) -> u64>(self, n: usize, score: F, seed: u64) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        match self {
+            VertexOrdering::Random => {
+                let mut rng = SplitMix64::new(seed);
+                rng.shuffle(&mut ids);
+            }
+            VertexOrdering::Ascending => {
+                ids.sort_by_key(|&i| score(i));
+            }
+            VertexOrdering::Descending => {
+                ids.sort_by_key(|&i| std::cmp::Reverse(score(i)));
+            }
+        }
+        ids
+    }
+
+    /// All orderings, for sweep experiments.
+    pub fn all() -> [VertexOrdering; 3] {
+        [
+            VertexOrdering::Random,
+            VertexOrdering::Ascending,
+            VertexOrdering::Descending,
+        ]
+    }
+
+    /// Short label used in experiment output (matches the paper's "RAND").
+    pub fn label(self) -> &'static str {
+        match self {
+            VertexOrdering::Random => "RAND",
+            VertexOrdering::Ascending => "ASC",
+            VertexOrdering::Descending => "DESC",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_orders_by_score() {
+        let scores = [5u64, 1, 3, 2, 4];
+        let order = VertexOrdering::Ascending.order_by(5, |i| scores[i as usize], 0);
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn descending_is_reverse_of_ascending_scores() {
+        let scores = [5u64, 1, 3, 2, 4];
+        let order = VertexOrdering::Descending.order_by(5, |i| scores[i as usize], 0);
+        assert_eq!(order, vec![0, 4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn random_is_permutation_and_seeded() {
+        let a = VertexOrdering::Random.order_by(100, |_| 0, 42);
+        let b = VertexOrdering::Random.order_by(100, |_| 0, 42);
+        let c = VertexOrdering::Random.order_by(100, |_| 0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(VertexOrdering::Random.label(), "RAND");
+        assert_eq!(VertexOrdering::all().len(), 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Runtime-chosen representation.
+//!
+//! The paper's system picks a representation per dataset / per analysis
+//! (§6.5). [`AnyGraph`] is the dynamic wrapper: it holds any of the five
+//! representations, implements the full [`GraphRep`] API by dispatch, and
+//! provides the conversion entry points (expansion, the DEDUP-1 algorithms,
+//! DEDUP-2, BITMAP-1/2).
+
+use graphgen_dedup::{bitmap1, bitmap2, dedup2_greedy, Dedup1Algorithm, VertexOrdering};
+use graphgen_graph::{
+    BitmapGraph, CondensedGraph, Dedup1Graph, Dedup2Graph, ExpandedGraph, GraphRep, RealId,
+    RepKind,
+};
+
+/// Any of the five in-memory representations.
+#[derive(Debug, Clone)]
+pub enum AnyGraph {
+    /// Condensed with duplicates.
+    CDup(CondensedGraph),
+    /// Fully expanded.
+    Exp(ExpandedGraph),
+    /// Structurally deduplicated condensed.
+    Dedup1(Dedup1Graph),
+    /// Single-layer symmetric optimization.
+    Dedup2(Dedup2Graph),
+    /// Condensed with traversal bitmaps.
+    Bitmap(BitmapGraph),
+}
+
+impl AnyGraph {
+    fn inner(&self) -> &dyn GraphRep {
+        match self {
+            AnyGraph::CDup(g) => g,
+            AnyGraph::Exp(g) => g,
+            AnyGraph::Dedup1(g) => g,
+            AnyGraph::Dedup2(g) => g,
+            AnyGraph::Bitmap(g) => g,
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn GraphRep {
+        match self {
+            AnyGraph::CDup(g) => g,
+            AnyGraph::Exp(g) => g,
+            AnyGraph::Dedup1(g) => g,
+            AnyGraph::Dedup2(g) => g,
+            AnyGraph::Bitmap(g) => g,
+        }
+    }
+
+    /// The condensed core, if this is a condensed representation.
+    pub fn as_condensed(&self) -> Option<&CondensedGraph> {
+        match self {
+            AnyGraph::CDup(g) => Some(g),
+            AnyGraph::Dedup1(g) => Some(g.as_condensed()),
+            AnyGraph::Bitmap(g) => Some(g.core()),
+            _ => None,
+        }
+    }
+
+    /// Expand into EXP (always possible).
+    pub fn to_exp(&self) -> ExpandedGraph {
+        match self {
+            AnyGraph::Exp(g) => g.clone(),
+            other => ExpandedGraph::from_rep(other.inner()),
+        }
+    }
+
+    /// Run a DEDUP-1 algorithm. Requires a C-DUP source (single-layer; use
+    /// `graphgen_dedup::flatten_to_single_layer` first for multi-layer).
+    pub fn to_dedup1(
+        &self,
+        algo: Dedup1Algorithm,
+        ordering: VertexOrdering,
+        seed: u64,
+    ) -> Option<Dedup1Graph> {
+        let core = self.as_condensed()?;
+        if !core.is_single_layer() {
+            return None;
+        }
+        Some(algo.run(core, ordering, seed))
+    }
+
+    /// Run the DEDUP-2 constructor (symmetric single-layer sources only).
+    pub fn to_dedup2(&self, ordering: VertexOrdering, seed: u64) -> Option<Dedup2Graph> {
+        let core = self.as_condensed()?;
+        graphgen_dedup::dedup2_greedy::member_sets(core)?;
+        Some(dedup2_greedy(core, ordering, seed))
+    }
+
+    /// Run BITMAP-1 preprocessing.
+    pub fn to_bitmap1(&self) -> Option<BitmapGraph> {
+        Some(bitmap1(self.as_condensed()?.clone()))
+    }
+
+    /// Run BITMAP-2 preprocessing.
+    pub fn to_bitmap2(&self, threads: usize) -> Option<BitmapGraph> {
+        Some(bitmap2(self.as_condensed()?.clone(), threads).0)
+    }
+}
+
+impl GraphRep for AnyGraph {
+    fn kind(&self) -> RepKind {
+        self.inner().kind()
+    }
+    fn num_real_slots(&self) -> usize {
+        self.inner().num_real_slots()
+    }
+    fn is_alive(&self, u: RealId) -> bool {
+        self.inner().is_alive(u)
+    }
+    fn num_vertices(&self) -> usize {
+        self.inner().num_vertices()
+    }
+    fn for_each_neighbor(&self, u: RealId, f: &mut dyn FnMut(RealId)) {
+        self.inner().for_each_neighbor(u, f)
+    }
+    fn exists_edge(&self, u: RealId, v: RealId) -> bool {
+        self.inner().exists_edge(u, v)
+    }
+    fn add_vertex(&mut self) -> RealId {
+        self.inner_mut().add_vertex()
+    }
+    fn delete_vertex(&mut self, u: RealId) {
+        self.inner_mut().delete_vertex(u)
+    }
+    fn compact(&mut self) {
+        self.inner_mut().compact()
+    }
+    fn add_edge(&mut self, u: RealId, v: RealId) {
+        self.inner_mut().add_edge(u, v)
+    }
+    fn delete_edge(&mut self, u: RealId, v: RealId) {
+        self.inner_mut().delete_edge(u, v)
+    }
+    fn stored_edge_count(&self) -> u64 {
+        self.inner().stored_edge_count()
+    }
+    fn stored_node_count(&self) -> usize {
+        self.inner().stored_node_count()
+    }
+    fn heap_bytes(&self) -> usize {
+        self.inner().heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen_graph::{expand_to_edge_list, CondensedBuilder};
+
+    fn sample() -> AnyGraph {
+        let mut b = CondensedBuilder::new(5);
+        b.clique(&[RealId(0), RealId(1), RealId(3)]);
+        b.clique(&[RealId(0), RealId(3)]);
+        b.clique(&[RealId(2), RealId(3), RealId(4)]);
+        AnyGraph::CDup(b.build())
+    }
+
+    #[test]
+    fn conversions_preserve_semantics() {
+        let g = sample();
+        let truth = expand_to_edge_list(&g);
+        assert_eq!(expand_to_edge_list(&g.to_exp()), truth);
+        for algo in Dedup1Algorithm::all() {
+            let d1 = g.to_dedup1(algo, VertexOrdering::Random, 1).unwrap();
+            assert_eq!(expand_to_edge_list(&d1), truth, "{}", algo.label());
+        }
+        let d2 = g.to_dedup2(VertexOrdering::Descending, 0).unwrap();
+        assert_eq!(expand_to_edge_list(&d2), truth);
+        let b1 = g.to_bitmap1().unwrap();
+        assert_eq!(expand_to_edge_list(&b1), truth);
+        let b2 = g.to_bitmap2(1).unwrap();
+        assert_eq!(expand_to_edge_list(&b2), truth);
+    }
+
+    #[test]
+    fn dispatch_works() {
+        let mut g = sample();
+        assert_eq!(g.kind(), RepKind::CDup);
+        assert_eq!(g.num_vertices(), 5);
+        assert!(g.exists_edge(RealId(0), RealId(3)));
+        let v = g.add_vertex();
+        g.add_edge(v, RealId(0));
+        assert!(g.exists_edge(v, RealId(0)));
+        g.delete_vertex(v);
+        assert_eq!(g.num_vertices(), 5);
+    }
+
+    #[test]
+    fn exp_variant_conversion_noops() {
+        let g = sample();
+        let exp = AnyGraph::Exp(g.to_exp());
+        assert_eq!(exp.kind(), RepKind::Exp);
+        assert!(exp.as_condensed().is_none());
+        assert!(exp.to_dedup1(Dedup1Algorithm::NaiveVnf, VertexOrdering::Random, 0).is_none());
+        assert_eq!(expand_to_edge_list(&exp.to_exp()), expand_to_edge_list(&g));
+    }
+}

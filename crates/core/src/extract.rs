@@ -1,0 +1,560 @@
+//! The GraphGen facade and the condensed extraction algorithm (§4.2).
+
+use crate::anygraph::AnyGraph;
+use crate::planner::{full_query, plan_chain, ChainPlan};
+use graphgen_common::IdMap;
+use graphgen_dedup::preprocess::{expand_cheap_virtuals, should_expand, PreprocessStats};
+use graphgen_dsl::{compile, GraphSpec, NodesView, ParseError};
+use graphgen_graph::{
+    CondensedBuilder, ExpandedGraph, PropValue, Properties, RealId, VirtId,
+};
+use graphgen_reldb::{exec::scan_project, Database, DbError, Predicate, Value};
+use std::fmt;
+use std::time::Instant;
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug)]
+pub enum GraphGenError {
+    /// DSL parse/validation failure.
+    Dsl(ParseError),
+    /// Relational engine failure.
+    Db(DbError),
+}
+
+impl fmt::Display for GraphGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphGenError::Dsl(e) => write!(f, "{e}"),
+            GraphGenError::Db(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphGenError {}
+
+impl From<ParseError> for GraphGenError {
+    fn from(e: ParseError) -> Self {
+        GraphGenError::Dsl(e)
+    }
+}
+
+impl From<DbError> for GraphGenError {
+    fn from(e: DbError) -> Self {
+        GraphGenError::Db(e)
+    }
+}
+
+/// Extraction configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphGenConfig {
+    /// The large-output test factor (the paper uses 2.0).
+    pub large_output_factor: f64,
+    /// Run §4.2 Step 6 (expand cheap virtual nodes).
+    pub preprocess: bool,
+    /// §6.5 policy: hand back EXP when the expanded graph is at most this
+    /// factor larger than the condensed one (e.g. 1.2 = +20%). `None`
+    /// disables auto-expansion.
+    pub auto_expand_threshold: Option<f64>,
+    /// Worker threads for preprocessing.
+    pub threads: usize,
+}
+
+impl Default for GraphGenConfig {
+    fn default() -> Self {
+        Self {
+            large_output_factor: 2.0,
+            preprocess: true,
+            auto_expand_threshold: Some(1.2),
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+/// What the extraction did (plans, SQL, preprocessing, timing).
+#[derive(Debug, Clone, Default)]
+pub struct ExtractionReport {
+    /// Per-`Edges`-rule plans.
+    pub plans: Vec<ChainPlan>,
+    /// Rendered SQL of every executed segment query (Fig. 16 output).
+    pub sql: Vec<String>,
+    /// Step-6 statistics (if enabled).
+    pub preprocess: Option<PreprocessStats>,
+    /// Whether the §6.5 policy expanded the graph.
+    pub auto_expanded: bool,
+    /// Wall-clock extraction time in microseconds.
+    pub extraction_micros: u128,
+}
+
+/// The result of an extraction: graph + id mapping + properties + report.
+#[derive(Debug)]
+pub struct ExtractedGraph {
+    /// The in-memory graph (C-DUP, or EXP if auto-expanded / Case-2).
+    pub graph: AnyGraph,
+    /// Dense node id ↔ original key value.
+    pub ids: IdMap<Value>,
+    /// Vertex properties from the `Nodes` statements.
+    pub properties: Properties,
+    /// Plan and timing report.
+    pub report: ExtractionReport,
+}
+
+impl ExtractedGraph {
+    /// Original key of a vertex.
+    pub fn key_of(&self, u: RealId) -> &Value {
+        self.ids.key_of(u.0)
+    }
+
+    /// Vertex by original key.
+    pub fn vertex_of(&self, key: &Value) -> Option<RealId> {
+        self.ids.get(key).map(RealId)
+    }
+}
+
+/// The GraphGen system: an extraction engine over a relational database.
+#[derive(Debug)]
+pub struct GraphGen<'a> {
+    db: &'a Database,
+    cfg: GraphGenConfig,
+}
+
+impl<'a> GraphGen<'a> {
+    /// Engine with default configuration.
+    pub fn new(db: &'a Database) -> Self {
+        Self {
+            db,
+            cfg: GraphGenConfig::default(),
+        }
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(db: &'a Database, cfg: GraphGenConfig) -> Self {
+        Self { db, cfg }
+    }
+
+    /// The database this engine reads.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// Parse a DSL program and extract the (condensed) graph.
+    pub fn extract(&self, dsl: &str) -> Result<ExtractedGraph, GraphGenError> {
+        let spec = compile(dsl)?;
+        self.extract_spec(&spec)
+    }
+
+    /// Extract from a pre-compiled spec.
+    pub fn extract_spec(&self, spec: &GraphSpec) -> Result<ExtractedGraph, GraphGenError> {
+        let start = Instant::now();
+        let mut report = ExtractionReport::default();
+
+        // Step 1: load nodes.
+        let (ids, properties) = self.load_nodes(&spec.nodes)?;
+        let mut builder = CondensedBuilder::new(ids.len());
+
+        // Steps 2-5 per Edges statement; the union of all rules shares the
+        // node space and appends virtual nodes.
+        for chain in &spec.edges {
+            let plan = plan_chain(self.db, chain, self.cfg.large_output_factor)?;
+            for seg in &plan.segments {
+                report.sql.push(seg.query.to_sql(self.db)?);
+            }
+            self.extract_chain(&plan, &ids, &mut builder)?;
+            report.plans.push(plan);
+        }
+        let mut graph = builder.build();
+
+        // Step 6: preprocessing.
+        if self.cfg.preprocess {
+            report.preprocess = Some(expand_cheap_virtuals(&mut graph, self.cfg.threads));
+        }
+
+        // §6.5 policy: expand when cheap.
+        let graph = match self.cfg.auto_expand_threshold {
+            Some(t) if should_expand(&graph, t) => {
+                report.auto_expanded = true;
+                AnyGraph::Exp(ExpandedGraph::from_rep(&graph))
+            }
+            _ => AnyGraph::CDup(graph),
+        };
+        report.extraction_micros = start.elapsed().as_micros();
+        Ok(ExtractedGraph {
+            graph,
+            ids,
+            properties,
+            report,
+        })
+    }
+
+    /// Extract the **fully expanded** graph by running each chain as one
+    /// SQL query (Table 1's "Full Graph" baseline).
+    pub fn extract_full(&self, dsl: &str) -> Result<ExtractedGraph, GraphGenError> {
+        let spec = compile(dsl)?;
+        let start = Instant::now();
+        let mut report = ExtractionReport::default();
+        let (ids, properties) = self.load_nodes(&spec.nodes)?;
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for chain in &spec.edges {
+            let q = full_query(chain);
+            report.sql.push(q.to_sql(self.db)?);
+            for (x, y) in q.run(self.db)? {
+                if let (Some(u), Some(v)) = (ids.get(&x), ids.get(&y)) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let graph = ExpandedGraph::from_edges(ids.len(), edges);
+        report.extraction_micros = start.elapsed().as_micros();
+        Ok(ExtractedGraph {
+            graph: AnyGraph::Exp(graph),
+            ids,
+            properties,
+            report,
+        })
+    }
+
+    fn load_nodes(
+        &self,
+        views: &[NodesView],
+    ) -> Result<(IdMap<Value>, Properties), GraphGenError> {
+        let mut ids: IdMap<Value> = IdMap::new();
+        let mut props = Properties::new(0);
+        for view in views {
+            let table = self.db.table(&view.relation)?;
+            let mut cols = vec![view.id_col];
+            cols.extend(view.prop_cols.iter().map(|(_, c)| *c));
+            let pred = filters_predicate(&view.filters);
+            for row in scan_project(table, &pred, &cols) {
+                let key = row[0].clone();
+                if key.is_null() {
+                    continue;
+                }
+                let u = ids.intern(key);
+                props.grow(ids.len());
+                for ((name, _), value) in view.prop_cols.iter().zip(&row[1..]) {
+                    let pv = match value {
+                        Value::Int(v) => PropValue::Int(*v),
+                        Value::Str(s) => PropValue::Text(s.to_string()),
+                        Value::Null => continue,
+                    };
+                    props.set(RealId(u), name, pv);
+                }
+            }
+        }
+        Ok((ids, props))
+    }
+
+    /// Execute a planned chain and add its edges to the builder.
+    fn extract_chain(
+        &self,
+        plan: &ChainPlan,
+        ids: &IdMap<Value>,
+        builder: &mut CondensedBuilder,
+    ) -> Result<(), GraphGenError> {
+        let k = plan.segments.len();
+        if k == 1 {
+            // No large-output join: the database computes the edge list.
+            for (x, y) in plan.segments[0].query.run(self.db)? {
+                if let (Some(u), Some(v)) = (ids.get(&x), ids.get(&y)) {
+                    if u != v {
+                        builder.direct(RealId(u), RealId(v));
+                    }
+                }
+            }
+            return Ok(());
+        }
+        // Step 4: virtual nodes per boundary attribute value, created
+        // lazily per distinct value.
+        let mut boundaries: Vec<IdMap<Value>> = (0..k - 1).map(|_| IdMap::new()).collect();
+        let mut vnode_of: Vec<Vec<VirtId>> = vec![Vec::new(); k - 1];
+        for (j, seg) in plan.segments.iter().enumerate() {
+            let rows = seg.query.run(self.db)?;
+            for (x, y) in rows {
+                match (j == 0, j == k - 1) {
+                    (true, false) => {
+                        // res1(ID1, a_l): real -> virtual
+                        let Some(u) = ids.get(&x) else { continue };
+                        let v = intern_vnode(&mut boundaries[0], &mut vnode_of[0], builder, y);
+                        builder.real_to_virtual(RealId(u), v);
+                    }
+                    (false, true) => {
+                        // res_k(a_u, ID2): virtual -> real
+                        let Some(t) = ids.get(&y) else { continue };
+                        let v = intern_vnode(
+                            &mut boundaries[k - 2],
+                            &mut vnode_of[k - 2],
+                            builder,
+                            x,
+                        );
+                        builder.virtual_to_real(v, RealId(t));
+                    }
+                    (false, false) => {
+                        // res_i(a_{i-1}, a_i): virtual -> virtual
+                        let (left, right) = split_two(&mut boundaries, &mut vnode_of, j);
+                        let vl = intern_vnode(left.0, left.1, builder, x);
+                        let vr = intern_vnode(right.0, right.1, builder, y);
+                        builder.virtual_to_virtual(vl, vr);
+                    }
+                    (true, true) => unreachable!("k > 1"),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn filters_predicate(filters: &[graphgen_dsl::analyze::ConstFilter]) -> Predicate {
+    use graphgen_dsl::analyze::ConstFilter;
+    let mut pred = Predicate::True;
+    for f in filters {
+        let p = match f {
+            ConstFilter::Int(col, v) => Predicate::Eq(*col, Value::int(*v)),
+            ConstFilter::Str(col, s) => Predicate::Eq(*col, Value::str(s.as_str())),
+        };
+        pred = pred.and(p);
+    }
+    pred
+}
+
+fn intern_vnode(
+    boundary: &mut IdMap<Value>,
+    vnodes: &mut Vec<VirtId>,
+    builder: &mut CondensedBuilder,
+    value: Value,
+) -> VirtId {
+    let idx = boundary.intern(value) as usize;
+    if idx == vnodes.len() {
+        vnodes.push(builder.add_virtual());
+    }
+    vnodes[idx]
+}
+
+/// A boundary's value-interner and its allocated virtual-node ids.
+type BoundaryRef<'x> = (&'x mut IdMap<Value>, &'x mut Vec<VirtId>);
+
+/// Mutable access to boundaries `j-1` and `j` simultaneously.
+fn split_two<'x>(
+    boundaries: &'x mut [IdMap<Value>],
+    vnodes: &'x mut [Vec<VirtId>],
+    j: usize,
+) -> (BoundaryRef<'x>, BoundaryRef<'x>) {
+    let (bl, br) = boundaries.split_at_mut(j);
+    let (vl, vr) = vnodes.split_at_mut(j);
+    (
+        (&mut bl[j - 1], &mut vl[j - 1]),
+        (&mut br[0], &mut vr[0]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen_graph::{expand_to_edge_list, GraphRep};
+    use graphgen_reldb::{Column, Schema, Table};
+
+    /// The Fig. 1 toy DBLP instance.
+    fn fig1_db() -> Database {
+        let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+        for a in 1..=5 {
+            author
+                .push_row(vec![Value::int(a), Value::str(format!("a{a}"))])
+                .unwrap();
+        }
+        let mut ap = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
+        for (a, p) in [(1, 1), (2, 1), (4, 1), (1, 2), (4, 2), (3, 3), (4, 3), (5, 3)] {
+            ap.push_row(vec![Value::int(a), Value::int(p)]).unwrap();
+        }
+        let mut db = Database::new();
+        db.register("Author", author).unwrap();
+        db.register("AuthorPub", ap).unwrap();
+        db
+    }
+
+    const Q1: &str = "Nodes(ID, Name) :- Author(ID, Name).\n\
+                      Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).";
+
+    #[test]
+    fn condensed_equals_full_extraction() {
+        let db = fig1_db();
+        // Force the condensed path (tiny data would otherwise be classified
+        // small-output) and disable auto-expansion so we can compare C-DUP.
+        let gg = GraphGen::with_config(
+            &db,
+            GraphGenConfig {
+                large_output_factor: 0.0,
+                preprocess: false,
+                auto_expand_threshold: None,
+                threads: 1,
+            },
+        );
+        let condensed = gg.extract(Q1).unwrap();
+        let full = gg.extract_full(Q1).unwrap();
+        assert!(matches!(condensed.graph, AnyGraph::CDup(_)));
+        // Same node keys -> same dense ids -> directly comparable edges.
+        assert_eq!(
+            expand_to_edge_list(&condensed.graph),
+            expand_to_edge_list(&full.graph)
+        );
+        // 12 directed co-author pairs (excluding self-loops).
+        assert_eq!(condensed.graph.expanded_edge_count(), 12);
+    }
+
+    #[test]
+    fn properties_loaded() {
+        let db = fig1_db();
+        let gg = GraphGen::new(&db);
+        let g = gg.extract(Q1).unwrap();
+        let a1 = g.vertex_of(&Value::int(1)).unwrap();
+        assert_eq!(
+            g.properties.get(a1, "Name").unwrap().as_text(),
+            Some("a1")
+        );
+        assert_eq!(g.key_of(a1), &Value::int(1));
+    }
+
+    #[test]
+    fn small_output_join_handed_to_database() {
+        let db = fig1_db();
+        // Default factor: the tiny join is small-output -> single segment.
+        let gg = GraphGen::with_config(
+            &db,
+            GraphGenConfig {
+                auto_expand_threshold: None,
+                ..Default::default()
+            },
+        );
+        let g = gg.extract(Q1).unwrap();
+        assert_eq!(g.report.plans[0].segments.len(), 1);
+        assert_eq!(g.graph.expanded_edge_count(), 12);
+    }
+
+    #[test]
+    fn auto_expansion_kicks_in_for_tiny_graphs() {
+        let db = fig1_db();
+        let gg = GraphGen::new(&db); // default: threshold 1.2
+        let g = gg.extract(Q1).unwrap();
+        // Either path must preserve semantics; with defaults this small
+        // graph ends up expanded.
+        assert!(g.report.auto_expanded);
+        assert!(matches!(g.graph, AnyGraph::Exp(_)));
+    }
+
+    #[test]
+    fn sql_rendered_for_segments() {
+        let db = fig1_db();
+        let gg = GraphGen::with_config(
+            &db,
+            GraphGenConfig {
+                large_output_factor: 0.0,
+                preprocess: false,
+                auto_expand_threshold: None,
+                threads: 1,
+            },
+        );
+        let g = gg.extract(Q1).unwrap();
+        assert_eq!(g.report.sql.len(), 2, "{:?}", g.report.sql);
+        assert!(g.report.sql[0].contains("SELECT DISTINCT"));
+    }
+
+    #[test]
+    fn multi_layer_extraction_tpch_shape() {
+        // Customer -- Orders -- LineItem co-purchase ([Q2]).
+        let mut customer =
+            Table::new(Schema::new(vec![Column::int("custkey"), Column::str("name")]));
+        for c in 0..4 {
+            customer
+                .push_row(vec![Value::int(c), Value::str(format!("c{c}"))])
+                .unwrap();
+        }
+        let mut orders =
+            Table::new(Schema::new(vec![Column::int("orderkey"), Column::int("custkey")]));
+        let mut lineitem =
+            Table::new(Schema::new(vec![Column::int("orderkey"), Column::int("partkey")]));
+        // customer c owns order c; orders 0,1 share part 100; orders 2,3 share part 200.
+        for o in 0..4 {
+            orders
+                .push_row(vec![Value::int(o), Value::int(o)])
+                .unwrap();
+        }
+        for (o, p) in [(0, 100), (1, 100), (2, 200), (3, 200), (0, 300)] {
+            lineitem
+                .push_row(vec![Value::int(o), Value::int(p)])
+                .unwrap();
+        }
+        let mut db = Database::new();
+        db.register("Customer", customer).unwrap();
+        db.register("Orders", orders).unwrap();
+        db.register("LineItem", lineitem).unwrap();
+        let q2 = "Nodes(ID, Name) :- Customer(ID, Name).\n\
+                  Edges(ID1, ID2) :- Orders(OK1, ID1), LineItem(OK1, PK),\
+                                     Orders(OK2, ID2), LineItem(OK2, PK).";
+        let gg = GraphGen::with_config(
+            &db,
+            GraphGenConfig {
+                large_output_factor: 0.0, // force all joins large -> 3 layers
+                preprocess: false,
+                auto_expand_threshold: None,
+                threads: 1,
+            },
+        );
+        let condensed = gg.extract(q2).unwrap();
+        let full = gg.extract_full(q2).unwrap();
+        assert_eq!(
+            expand_to_edge_list(&condensed.graph),
+            expand_to_edge_list(&full.graph)
+        );
+        let core = condensed.graph.as_condensed().unwrap();
+        assert!(!core.is_single_layer());
+        assert_eq!(condensed.report.plans[0].virtual_layers(), 3);
+        // c0-c1 and c2-c3 connected (shared parts), plus no cross edges.
+        let mut edges = expand_to_edge_list(&condensed.graph);
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn heterogeneous_bipartite_q3() {
+        let mut instructor =
+            Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+        instructor
+            .push_row(vec![Value::int(100), Value::str("i1")])
+            .unwrap();
+        let mut student = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+        for s in [1, 2] {
+            student
+                .push_row(vec![Value::int(s), Value::str(format!("s{s}"))])
+                .unwrap();
+        }
+        let mut taught = Table::new(Schema::new(vec![Column::int("iid"), Column::int("cid")]));
+        taught
+            .push_row(vec![Value::int(100), Value::int(7)])
+            .unwrap();
+        let mut took = Table::new(Schema::new(vec![Column::int("sid"), Column::int("cid")]));
+        for s in [1, 2] {
+            took.push_row(vec![Value::int(s), Value::int(7)]).unwrap();
+        }
+        let mut db = Database::new();
+        db.register("Instructor", instructor).unwrap();
+        db.register("Student", student).unwrap();
+        db.register("TaughtCourse", taught).unwrap();
+        db.register("TookCourse", took).unwrap();
+        let q3 = "Nodes(ID, Name) :- Instructor(ID, Name).\n\
+                  Nodes(ID, Name) :- Student(ID, Name).\n\
+                  Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).";
+        let gg = GraphGen::with_config(
+            &db,
+            GraphGenConfig {
+                auto_expand_threshold: None,
+                ..Default::default()
+            },
+        );
+        let g = gg.extract(q3).unwrap();
+        // Directed edges instructor -> student only.
+        let i1 = g.vertex_of(&Value::int(100)).unwrap();
+        let s1 = g.vertex_of(&Value::int(1)).unwrap();
+        let s2 = g.vertex_of(&Value::int(2)).unwrap();
+        assert!(g.graph.exists_edge(i1, s1));
+        assert!(g.graph.exists_edge(i1, s2));
+        assert!(!g.graph.exists_edge(s1, i1));
+        assert_eq!(g.graph.expanded_edge_count(), 2);
+    }
+}

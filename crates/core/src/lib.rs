@@ -1,0 +1,26 @@
+//! `graphgen-core` — the GraphGen system (§3, §4.2).
+//!
+//! This crate wires the substrates together into the end-to-end pipeline of
+//! the paper's Figure 3:
+//!
+//! 1. a Datalog extraction query is parsed and validated (`graphgen-dsl`);
+//! 2. the **planner** ([`planner`]) consults catalog statistics to classify
+//!    every join in each `Edges` chain as small-output (hand it to the
+//!    database) or large-output (postpone it, creating virtual nodes);
+//! 3. the **extractor** ([`extract`]) runs the resulting segment queries
+//!    against the relational engine and assembles the condensed graph
+//!    (C-DUP), optionally running the Step-6 preprocessing and the §6.5
+//!    auto-expansion policy;
+//! 4. the result is an [`ExtractedGraph`]: the graph, the id ↔ key mapping,
+//!    vertex properties, and the plan report (including the generated SQL,
+//!    as in the paper's Fig. 16) — ready for the graph API, the
+//!    vertex-centric framework, deduplication, or serialization.
+
+pub mod anygraph;
+pub mod extract;
+pub mod planner;
+pub mod serialize;
+
+pub use anygraph::AnyGraph;
+pub use extract::{ExtractedGraph, GraphGen, GraphGenConfig, GraphGenError};
+pub use planner::{ChainPlan, JoinDecision, SegmentPlan};

@@ -1,0 +1,237 @@
+//! The extraction planner (§4.2 Steps 2–3).
+//!
+//! For each join `Ri ⋈_a R(i+1)` in an `Edges` chain, the planner fetches
+//! the number of distinct values `d` of the join attribute from the catalog
+//! and applies the paper's large-output test:
+//!
+//! ```text
+//! |Ri| * |R(i+1)| / d  >  2 * (|Ri| + |R(i+1)|)
+//! ```
+//!
+//! (assuming a uniformly distributed join attribute). Small-output runs of
+//! the chain become segment queries handed to the relational engine;
+//! large-output joins are postponed — each boundary attribute materializes
+//! as a layer of virtual nodes.
+
+use graphgen_dsl::{ChainAtom, ConstFilter, EdgeChain};
+use graphgen_reldb::{query::ChainStep, Database, DbResult, Predicate, Query, Value};
+
+/// The planner's verdict on one join of the chain.
+#[derive(Debug, Clone)]
+pub struct JoinDecision {
+    /// Index of the left atom in the chain.
+    pub left_atom: usize,
+    /// Left/right table names (for reporting).
+    pub left_table: String,
+    /// Right table name.
+    pub right_table: String,
+    /// Row counts used in the test.
+    pub left_rows: usize,
+    /// Right row count.
+    pub right_rows: usize,
+    /// Distinct values of the join attribute.
+    pub distinct: usize,
+    /// Estimated join output size `|L|*|R|/d`.
+    pub estimated_output: f64,
+    /// True if the join is classified large-output (postponed).
+    pub large_output: bool,
+}
+
+/// One segment of the chain (a maximal small-output run), executable as a
+/// single relational query.
+#[derive(Debug, Clone)]
+pub struct SegmentPlan {
+    /// Indices `[start, end]` of chain atoms in this segment (inclusive).
+    pub atoms: (usize, usize),
+    /// The relational query computing `res_i(x, y)`.
+    pub query: Query,
+}
+
+/// The full plan for one `Edges` chain.
+#[derive(Debug, Clone)]
+pub struct ChainPlan {
+    /// Per-join decisions (length = #atoms - 1).
+    pub joins: Vec<JoinDecision>,
+    /// The segment queries, in chain order. One segment and no large joins
+    /// means the edge list is computed entirely in the database.
+    pub segments: Vec<SegmentPlan>,
+}
+
+impl ChainPlan {
+    /// Number of virtual-node layers this plan creates (= #large joins).
+    pub fn virtual_layers(&self) -> usize {
+        self.joins.iter().filter(|j| j.large_output).count()
+    }
+}
+
+fn filters_to_predicate(filters: &[ConstFilter]) -> Predicate {
+    let mut pred = Predicate::True;
+    for f in filters {
+        let p = match f {
+            ConstFilter::Int(col, v) => Predicate::Eq(*col, Value::int(*v)),
+            ConstFilter::Str(col, s) => Predicate::Eq(*col, Value::str(s.as_str())),
+        };
+        pred = pred.and(p);
+    }
+    pred
+}
+
+fn atom_to_step(atom: &ChainAtom) -> ChainStep {
+    ChainStep {
+        table: atom.relation.clone(),
+        pred: filters_to_predicate(&atom.filters),
+        in_col: atom.in_col,
+        out_col: atom.out_col,
+    }
+}
+
+/// Classify every join of `chain` and build the segment queries.
+/// `large_output_factor` is the paper's constant 2.0.
+pub fn plan_chain(
+    db: &Database,
+    chain: &EdgeChain,
+    large_output_factor: f64,
+) -> DbResult<ChainPlan> {
+    let atoms = &chain.steps;
+    let mut joins = Vec::with_capacity(atoms.len().saturating_sub(1));
+    for i in 0..atoms.len().saturating_sub(1) {
+        let left = &atoms[i];
+        let right = &atoms[i + 1];
+        let ls = db.column_stats(&left.relation, left.out_col)?;
+        let rs = db.column_stats(&right.relation, right.in_col)?;
+        // d: distinct values of the join attribute; take the larger side's
+        // count as the domain estimate (both columns range over the same
+        // attribute domain).
+        let d = ls.n_distinct.max(rs.n_distinct).max(1);
+        let estimated_output = ls.row_count as f64 * rs.row_count as f64 / d as f64;
+        let large_output =
+            estimated_output > large_output_factor * (ls.row_count + rs.row_count) as f64;
+        joins.push(JoinDecision {
+            left_atom: i,
+            left_table: left.relation.clone(),
+            right_table: right.relation.clone(),
+            left_rows: ls.row_count,
+            right_rows: rs.row_count,
+            distinct: d,
+            estimated_output,
+            large_output,
+        });
+    }
+    // Segments: split at large-output joins.
+    let mut segments = Vec::new();
+    let mut start = 0usize;
+    for i in 0..=joins.len() {
+        let boundary = i == joins.len() || joins[i].large_output;
+        if boundary {
+            let end = i;
+            let steps: Vec<ChainStep> = atoms[start..=end].iter().map(atom_to_step).collect();
+            segments.push(SegmentPlan {
+                atoms: (start, end),
+                query: Query {
+                    steps,
+                    distinct: true,
+                },
+            });
+            start = i + 1;
+        }
+    }
+    Ok(ChainPlan { joins, segments })
+}
+
+/// Build the single full-expansion query for the chain (the paper's
+/// Table 1 "Full Graph" baseline; also Case 2 execution).
+pub fn full_query(chain: &EdgeChain) -> Query {
+    Query {
+        steps: chain.steps.iter().map(atom_to_step).collect(),
+        distinct: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen_dsl::compile;
+    use graphgen_reldb::{Column, Schema, Table};
+
+    /// AuthorPub with a *large-output* self-join: many authors per pub.
+    fn dblp_like(authors: i64, pubs: i64, per_pub: i64) -> Database {
+        let mut ap = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
+        let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+        for a in 0..authors {
+            author
+                .push_row(vec![Value::int(a), Value::str(format!("author{a}"))])
+                .unwrap();
+        }
+        let mut next = 0i64;
+        for p in 0..pubs {
+            for _ in 0..per_pub {
+                ap.push_row(vec![Value::int(next % authors), Value::int(p)])
+                    .unwrap();
+                next += 7;
+            }
+        }
+        let mut db = Database::new();
+        db.register("Author", author).unwrap();
+        db.register("AuthorPub", ap).unwrap();
+        db
+    }
+
+    fn coauthor_chain() -> EdgeChain {
+        compile(
+            "Nodes(ID, Name) :- Author(ID, Name).\n\
+             Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).",
+        )
+        .unwrap()
+        .edges
+        .remove(0)
+    }
+
+    #[test]
+    fn dense_self_join_is_large_output() {
+        // 10 authors per pub: |R|^2/d = (1000)^2/100 = 10,000 > 2*2000.
+        let db = dblp_like(50, 100, 10);
+        let plan = plan_chain(&db, &coauthor_chain(), 2.0).unwrap();
+        assert_eq!(plan.joins.len(), 1);
+        assert!(plan.joins[0].large_output);
+        assert_eq!(plan.virtual_layers(), 1);
+        assert_eq!(plan.segments.len(), 2);
+    }
+
+    #[test]
+    fn sparse_self_join_is_small_output() {
+        // 1 author per pub: output ~ |R| -> small.
+        let db = dblp_like(100, 100, 1);
+        let plan = plan_chain(&db, &coauthor_chain(), 2.0).unwrap();
+        assert!(!plan.joins[0].large_output);
+        assert_eq!(plan.segments.len(), 1);
+        assert_eq!(plan.segments[0].atoms, (0, 1));
+    }
+
+    #[test]
+    fn segment_queries_cover_the_chain() {
+        let db = dblp_like(50, 100, 10);
+        let plan = plan_chain(&db, &coauthor_chain(), 2.0).unwrap();
+        assert_eq!(plan.segments[0].atoms, (0, 0));
+        assert_eq!(plan.segments[1].atoms, (1, 1));
+        // Each segment is runnable.
+        for seg in &plan.segments {
+            assert!(seg.query.run(&db).is_ok());
+        }
+    }
+
+    #[test]
+    fn full_query_matches_chain_len() {
+        let chain = coauthor_chain();
+        let q = full_query(&chain);
+        assert_eq!(q.steps.len(), 2);
+        assert!(q.distinct);
+    }
+
+    #[test]
+    fn factor_changes_classification() {
+        let db = dblp_like(50, 100, 10);
+        // With an absurd factor nothing is large.
+        let plan = plan_chain(&db, &coauthor_chain(), 1e9).unwrap();
+        assert!(!plan.joins[0].large_output);
+    }
+}

@@ -1,0 +1,184 @@
+//! Appendix C.2 generators: databases with controlled join selectivities
+//! (Tables 3 and 6).
+//!
+//! Selectivity of a join attribute `a` of table `A` is defined as
+//! `distinct(a) / |A|`; the generators draw attribute values uniformly from
+//! a domain sized to hit the requested selectivity.
+
+use graphgen_common::SplitMix64;
+use graphgen_reldb::{Column, Database, Schema, Table, Value};
+
+/// Single-layer dataset: one membership table `A(x, a)`; the co-occurrence
+/// query on `a` yields a single-layer condensed graph.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleLayerConfig {
+    /// Rows of the membership table.
+    pub rows: usize,
+    /// Join selectivity: `distinct(a) = selectivity * rows`.
+    pub selectivity: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SingleLayerConfig {
+    /// Scaled Single_1 (paper: 2M rows, selectivity 0.25).
+    pub fn single_1(scale: f64) -> Self {
+        Self {
+            rows: (2_000_000.0 * scale) as usize,
+            selectivity: 0.25,
+            seed: 201,
+        }
+    }
+
+    /// Scaled Single_2 (paper: 20M rows, selectivity 0.01 — very dense).
+    pub fn single_2(scale: f64) -> Self {
+        Self {
+            rows: (20_000_000.0 * scale) as usize,
+            selectivity: 0.01,
+            seed: 202,
+        }
+    }
+}
+
+/// Generate `Entity(id)` + `A(x, a)` and the matching extraction query.
+pub fn single_layer_database(cfg: SingleLayerConfig) -> (Database, String) {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let distinct = ((cfg.rows as f64 * cfg.selectivity) as usize).max(1);
+    // Entities: roughly rows/2 distinct x values keeps membership ~2 per
+    // entity per group on average.
+    let entities = (cfg.rows / 2).max(2);
+    let mut entity = Table::new(Schema::new(vec![Column::int("id")]));
+    for e in 0..entities {
+        entity.push_row(vec![Value::int(e as i64)]).expect("schema");
+    }
+    let mut a = Table::new(Schema::new(vec![Column::int("x"), Column::int("a")]));
+    a.reserve(cfg.rows);
+    for _ in 0..cfg.rows {
+        let x = rng.next_below(entities as u64) as i64;
+        let v = rng.next_below(distinct as u64) as i64;
+        a.push_row(vec![Value::int(x), Value::int(v)]).expect("schema");
+    }
+    let mut db = Database::new();
+    db.register("Entity", entity).expect("fresh db");
+    db.register("A", a).expect("fresh db");
+    let query = "Nodes(ID) :- Entity(ID).\n\
+                 Edges(ID1, ID2) :- A(ID1, V), A(ID2, V)."
+        .to_string();
+    (db, query)
+}
+
+/// Layered (multi-layer) dataset: tables `A(x, a1)` and `B(b1, b2)`, with
+/// the TPCH-shaped chain `A ⋈ B ⋈ B ⋈ A` whose three joins have the given
+/// selectivities.
+#[derive(Debug, Clone, Copy)]
+pub struct LayeredConfig {
+    /// Rows of `A`.
+    pub rows_a: usize,
+    /// Rows of `B`.
+    pub rows_b: usize,
+    /// Selectivity of the outer joins (A.a1 = B.b1).
+    pub outer_selectivity: f64,
+    /// Selectivity of the inner self-join (B.b2 = B.b2).
+    pub inner_selectivity: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LayeredConfig {
+    /// Scaled Layered_1 (paper selectivities 0.05 → 0.1 → 0.05).
+    pub fn layered_1(scale: f64) -> Self {
+        Self {
+            rows_a: (2_000_000.0 * scale) as usize,
+            rows_b: (2_000_000.0 * scale) as usize,
+            outer_selectivity: 0.05,
+            inner_selectivity: 0.1,
+            seed: 301,
+        }
+    }
+
+    /// Scaled Layered_2 (paper selectivities 0.2 → 0.1 → 0.2).
+    pub fn layered_2(scale: f64) -> Self {
+        Self {
+            rows_a: (2_000_000.0 * scale) as usize,
+            rows_b: (2_000_000.0 * scale) as usize,
+            outer_selectivity: 0.2,
+            inner_selectivity: 0.1,
+            seed: 302,
+        }
+    }
+}
+
+/// Generate the layered database and its extraction query.
+pub fn layered_database(cfg: LayeredConfig) -> (Database, String) {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let d_outer = ((cfg.rows_a as f64 * cfg.outer_selectivity) as usize).max(1);
+    let d_inner = ((cfg.rows_b as f64 * cfg.inner_selectivity) as usize).max(1);
+    let entities = (cfg.rows_a / 2).max(2);
+    let mut entity = Table::new(Schema::new(vec![Column::int("id")]));
+    for e in 0..entities {
+        entity.push_row(vec![Value::int(e as i64)]).expect("schema");
+    }
+    let mut a = Table::new(Schema::new(vec![Column::int("x"), Column::int("a1")]));
+    for _ in 0..cfg.rows_a {
+        let x = rng.next_below(entities as u64) as i64;
+        let v = rng.next_below(d_outer as u64) as i64;
+        a.push_row(vec![Value::int(x), Value::int(v)]).expect("schema");
+    }
+    let mut b = Table::new(Schema::new(vec![Column::int("b1"), Column::int("b2")]));
+    for _ in 0..cfg.rows_b {
+        let v1 = rng.next_below(d_outer as u64) as i64;
+        let v2 = rng.next_below(d_inner as u64) as i64;
+        b.push_row(vec![Value::int(v1), Value::int(v2)]).expect("schema");
+    }
+    let mut db = Database::new();
+    db.register("Entity", entity).expect("fresh db");
+    db.register("A", a).expect("fresh db");
+    db.register("B", b).expect("fresh db");
+    let query = "Nodes(ID) :- Entity(ID).\n\
+                 Edges(ID1, ID2) :- A(ID1, J1), B(J1, J2), B(J3, J2), A(ID2, J3)."
+        .to_string();
+    (db, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_layer_selectivity_hits_target() {
+        let (db, q) = single_layer_database(SingleLayerConfig {
+            rows: 10_000,
+            selectivity: 0.1,
+            seed: 1,
+        });
+        let a = db.table("A").unwrap();
+        let sel = a.distinct_count(1) as f64 / a.num_rows() as f64;
+        assert!((0.08..0.12).contains(&sel), "selectivity {sel}");
+        graphgen_dsl::compile(&q).unwrap();
+    }
+
+    #[test]
+    fn layered_has_three_joins_and_compiles() {
+        let (db, q) = layered_database(LayeredConfig {
+            rows_a: 2_000,
+            rows_b: 2_000,
+            outer_selectivity: 0.05,
+            inner_selectivity: 0.1,
+            seed: 2,
+        });
+        let spec = graphgen_dsl::compile(&q).unwrap();
+        assert_eq!(spec.edges[0].steps.len(), 4);
+        let b = db.table("B").unwrap();
+        let sel2 = b.distinct_count(1) as f64 / b.num_rows() as f64;
+        assert!((0.07..0.13).contains(&sel2), "inner selectivity {sel2}");
+    }
+
+    #[test]
+    fn presets_scale_down() {
+        let s = SingleLayerConfig::single_1(0.001);
+        assert_eq!(s.rows, 2_000);
+        let l = LayeredConfig::layered_2(0.001);
+        assert_eq!(l.rows_a, 2_000);
+        assert!((l.outer_selectivity - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,26 @@
+//! `graphgen-datagen` — synthetic datasets (Appendix C + §3 substitutions).
+//!
+//! The paper evaluates on DBLP, IMDB, TPCH, and a UNIV sample, plus several
+//! synthetic graph families. We cannot ship those datasets, so this crate
+//! generates **schema-faithful synthetic instances** (same tables and
+//! columns as the paper's Fig. 15, with co-occurrence group sizes matched
+//! to the constants the paper reports — e.g. DBLP's ~2 authors/publication,
+//! IMDB's ~10 actors/movie) and re-implements the paper's condensed-graph
+//! generator:
+//!
+//! * [`relational`] — DBLP-, IMDB-, TPCH-, UNIV-shaped databases at any
+//!   scale (Table 1 / Fig. 15 substitutes).
+//! * [`condensed`] — the Appendix C.1 generator: random virtual-node sizes
+//!   from a normal distribution, split/merge, preferential attachment
+//!   (small datasets of Table 2 / Fig. 10-13, and the S/N series of
+//!   Tables 4-5).
+//! * [`large`] — the Appendix C.2 generators: single-layer and multi-layer
+//!   ("Layered") databases with controlled join selectivities (Tables 3/6).
+
+pub mod condensed;
+pub mod large;
+pub mod relational;
+
+pub use condensed::{synthetic_condensed, CondensedGenConfig};
+pub use large::{layered_database, single_layer_database, LayeredConfig, SingleLayerConfig};
+pub use relational::{dblp_like, imdb_like, tpch_like, univ, DblpConfig, ImdbConfig, TpchConfig, UnivConfig};

@@ -1,0 +1,142 @@
+//! Multi-layer → single-layer conversion (§5.2.2).
+//!
+//! The DEDUP-1/DEDUP-2 algorithms require single-layer input. The paper
+//! suggests "first converting [a multi-layer graph] into a single-layer
+//! graph if possible (through expansion of all virtual nodes in all but one
+//! layer)". We implement the equivalent direct construction: every virtual
+//! node `V` with at least one real out-target becomes a single-layer virtual
+//! node whose sources are all real nodes with a path to `V`; direct real
+//! edges carry over. This preserves the logical edge set exactly and should
+//! only be used when the multi-layer structure doesn't hide an explosion
+//! (the paper's caveat).
+
+use graphgen_common::FxHashSet;
+use graphgen_graph::{CondensedBuilder, CondensedGraph, GraphRep, RealId, VirtId};
+
+/// Flatten to a single-layer condensed graph.
+pub fn flatten_to_single_layer(g: &CondensedGraph) -> CondensedGraph {
+    if g.is_single_layer() {
+        return g.clone();
+    }
+    let n_virt = g.num_virtual();
+    // sources[v] = real nodes with a path to v.
+    let mut sources: Vec<Vec<u32>> = vec![Vec::new(); n_virt];
+    for u in 0..g.num_real_slots() as u32 {
+        let mut visited: FxHashSet<u32> = FxHashSet::default();
+        let mut stack: Vec<u32> = Vec::new();
+        for a in g.real_out(RealId(u)) {
+            if let Some(v) = a.as_virtual() {
+                if visited.insert(v.0) {
+                    stack.push(v.0);
+                }
+            }
+        }
+        while let Some(x) = stack.pop() {
+            sources[x as usize].push(u);
+            for a in g.virt_out(VirtId(x)) {
+                if let Some(v) = a.as_virtual() {
+                    if visited.insert(v.0) {
+                        stack.push(v.0);
+                    }
+                }
+            }
+        }
+    }
+    let mut b = CondensedBuilder::new(g.num_real_slots());
+    for (v, srcs) in sources.iter().enumerate() {
+        let targets: Vec<RealId> = g
+            .virt_out(VirtId(v as u32))
+            .iter()
+            .filter_map(|a| a.as_real())
+            .collect();
+        if targets.is_empty() || srcs.is_empty() {
+            continue;
+        }
+        let nv = b.add_virtual();
+        for &u in srcs {
+            b.real_to_virtual(RealId(u), nv);
+        }
+        for &t in &targets {
+            b.virtual_to_real(nv, t);
+        }
+    }
+    // Direct edges carry over.
+    for u in 0..g.num_real_slots() as u32 {
+        for a in g.real_out(RealId(u)) {
+            if let Some(r) = a.as_real() {
+                b.direct(RealId(u), r);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen_graph::expand_to_edge_list;
+
+    #[test]
+    fn single_layer_is_cloned() {
+        let mut b = CondensedBuilder::new(3);
+        b.clique(&[RealId(0), RealId(1), RealId(2)]);
+        let g = b.build();
+        let f = flatten_to_single_layer(&g);
+        assert!(f.is_single_layer());
+        assert_eq!(expand_to_edge_list(&f), expand_to_edge_list(&g));
+    }
+
+    #[test]
+    fn tpch_like_three_layer_flattens() {
+        // customers -> orders -> parts -> orders -> customers shape:
+        // c0, c1 -> o0, o1 -> p0 -> o2 -> c2 ... simplified chain.
+        let mut b = CondensedBuilder::new(3);
+        let o1 = b.add_virtual();
+        let p = b.add_virtual();
+        let o2 = b.add_virtual();
+        b.real_to_virtual(RealId(0), o1);
+        b.real_to_virtual(RealId(1), o1);
+        b.virtual_to_virtual(o1, p);
+        b.virtual_to_virtual(p, o2);
+        b.virtual_to_real(o2, RealId(1));
+        b.virtual_to_real(o2, RealId(2));
+        let g = b.build();
+        let before = expand_to_edge_list(&g);
+        let f = flatten_to_single_layer(&g);
+        assert!(f.is_single_layer());
+        assert_eq!(expand_to_edge_list(&f), before);
+        // Only o2 has real targets -> exactly one virtual node survives.
+        assert_eq!(f.num_virtual(), 1);
+    }
+
+    #[test]
+    fn direct_edges_survive() {
+        let mut b = CondensedBuilder::new(4);
+        let v1 = b.add_virtual();
+        let v2 = b.add_virtual();
+        b.real_to_virtual(RealId(0), v1);
+        b.virtual_to_virtual(v1, v2);
+        b.virtual_to_real(v2, RealId(1));
+        b.direct(RealId(2), RealId(3));
+        let g = b.build();
+        let f = flatten_to_single_layer(&g);
+        assert_eq!(expand_to_edge_list(&f), expand_to_edge_list(&g));
+    }
+
+    #[test]
+    fn mixed_real_and_virtual_targets() {
+        // A virtual node with both a real target and a virtual child.
+        let mut b = CondensedBuilder::new(3);
+        let v1 = b.add_virtual();
+        let v2 = b.add_virtual();
+        b.real_to_virtual(RealId(0), v1);
+        b.virtual_to_real(v1, RealId(1));
+        b.virtual_to_virtual(v1, v2);
+        b.virtual_to_real(v2, RealId(2));
+        let g = b.build();
+        let f = flatten_to_single_layer(&g);
+        assert!(f.is_single_layer());
+        assert_eq!(expand_to_edge_list(&f), expand_to_edge_list(&g));
+        assert_eq!(f.num_virtual(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! `graphgen-dedup` — preprocessing and deduplication algorithms (§5).
+//!
+//! All algorithms take the extracted C-DUP graph and produce one of the
+//! duplicate-free representations:
+//!
+//! * [`preprocess::expand_cheap_virtuals`] — §4.2 Step 6: inline virtual
+//!   nodes whose expansion does not grow the graph (`in*out <= in+out+1`).
+//! * [`bitmap1::bitmap1`] — BITMAP-1: one pass per real node setting
+//!   first-seen bits (works on multi-layer graphs).
+//! * [`bitmap2::bitmap2`] — BITMAP-2: greedy-set-cover bitmaps, fewer
+//!   bitmaps/bits; prunes useless real→virtual edges (multi-layer capable).
+//! * [`naive::naive_virtual_nodes_first`] / [`naive::naive_real_nodes_first`]
+//!   — the two naive DEDUP-1 algorithms (§5.2.1).
+//! * [`greedy_rnf::greedy_real_nodes_first`] — set-cover-inspired per-node
+//!   deduplication (Fig. 8).
+//! * [`greedy_vnf::greedy_virtual_nodes_first`] — vertex-cover-inspired
+//!   incremental deduplication (Fig. 9); the algorithm used for DEDUP-1 in
+//!   the paper's Fig. 10.
+//! * [`dedup2_greedy::dedup2_greedy`] — the Appendix-B style constructor of
+//!   the DEDUP-2 representation (virtual–virtual edges).
+//! * [`flatten::flatten_to_single_layer`] — convert a multi-layer condensed
+//!   graph to single-layer by expanding all but the penultimate layer
+//!   (§5.2.2's suggested route before running DEDUP-1 algorithms).
+//!
+//! The DEDUP-1 and DEDUP-2 algorithms require **single-layer** input (the
+//! paper's restriction); BITMAP-1/2 accept any condensed graph.
+
+pub mod bitmap1;
+pub mod bitmap2;
+pub mod dedup2_greedy;
+pub mod flatten;
+pub mod greedy_rnf;
+pub mod greedy_vnf;
+pub mod naive;
+pub mod preprocess;
+pub mod work;
+
+pub use bitmap1::bitmap1;
+pub use bitmap2::bitmap2;
+pub use dedup2_greedy::dedup2_greedy;
+pub use flatten::flatten_to_single_layer;
+pub use graphgen_common::VertexOrdering;
+pub use greedy_rnf::greedy_real_nodes_first;
+pub use greedy_vnf::greedy_virtual_nodes_first;
+pub use naive::{naive_real_nodes_first, naive_virtual_nodes_first};
+pub use preprocess::expand_cheap_virtuals;
+pub use work::WorkGraph;
+
+use graphgen_graph::{CondensedGraph, Dedup1Graph};
+
+/// Which DEDUP-1 algorithm to run (for sweeps like Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dedup1Algorithm {
+    /// Naive Virtual-Nodes-First.
+    NaiveVnf,
+    /// Naive Real-Nodes-First.
+    NaiveRnf,
+    /// Greedy Real-Nodes-First (Fig. 8).
+    GreedyRnf,
+    /// Greedy Virtual-Nodes-First (Fig. 9).
+    GreedyVnf,
+}
+
+impl Dedup1Algorithm {
+    /// All four algorithms.
+    pub fn all() -> [Dedup1Algorithm; 4] {
+        [
+            Dedup1Algorithm::NaiveVnf,
+            Dedup1Algorithm::NaiveRnf,
+            Dedup1Algorithm::GreedyRnf,
+            Dedup1Algorithm::GreedyVnf,
+        ]
+    }
+
+    /// Human label matching the paper's terminology.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dedup1Algorithm::NaiveVnf => "Naive-VNF",
+            Dedup1Algorithm::NaiveRnf => "Naive-RNF",
+            Dedup1Algorithm::GreedyRnf => "Greedy-RNF",
+            Dedup1Algorithm::GreedyVnf => "Greedy-VNF",
+        }
+    }
+
+    /// Run the algorithm on a single-layer condensed graph.
+    pub fn run(
+        self,
+        g: &CondensedGraph,
+        ordering: VertexOrdering,
+        seed: u64,
+    ) -> Dedup1Graph {
+        match self {
+            Dedup1Algorithm::NaiveVnf => naive_virtual_nodes_first(g, ordering, seed),
+            Dedup1Algorithm::NaiveRnf => naive_real_nodes_first(g, ordering, seed),
+            Dedup1Algorithm::GreedyRnf => greedy_real_nodes_first(g, ordering, seed),
+            Dedup1Algorithm::GreedyVnf => greedy_virtual_nodes_first(g, ordering, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_all() {
+        assert_eq!(Dedup1Algorithm::all().len(), 4);
+        assert_eq!(Dedup1Algorithm::GreedyVnf.label(), "Greedy-VNF");
+    }
+}

@@ -1,0 +1,446 @@
+//! Semantic analysis: validation and chain normalization (§3.3, §4.2).
+//!
+//! `Edges` bodies are checked for acyclicity (GYO reduction) and normalized
+//! into the chain form `R1(ID1,a1), R2(a1,a2), …, Rn(a_{n-1},ID2)` the
+//! extraction algorithm consumes (§4.2 Step 2: "Without loss of generality,
+//! we can represent the statement as …"). Constants become per-atom
+//! selection predicates; wildcards are ignored. Acyclic bodies that cannot
+//! be ordered into a chain (e.g. star joins with three endpoints) are
+//! rejected with a clear message — they fall under the paper's Case 2,
+//! which materializes the expanded graph via one big SQL query and is out
+//! of scope for the condensed path.
+
+use crate::ast::{Atom, HeadKind, Program, Rule, Term};
+use graphgen_common::FxHashSet;
+
+/// A selection constant on one column of an atom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstFilter {
+    /// Column must equal this integer.
+    Int(usize, i64),
+    /// Column must equal this string.
+    Str(usize, String),
+}
+
+/// One normalized chain atom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainAtom {
+    /// Base relation name.
+    pub relation: String,
+    /// Column joined with the previous atom (or the ID1 column for the
+    /// first atom).
+    pub in_col: usize,
+    /// Column carried to the next atom (or the ID2 column for the last).
+    pub out_col: usize,
+    /// Constant selections.
+    pub filters: Vec<ConstFilter>,
+}
+
+/// A normalized `Edges` rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeChain {
+    /// The join chain, left (ID1) to right (ID2).
+    pub steps: Vec<ChainAtom>,
+}
+
+/// A normalized `Nodes` rule: a single-relation view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodesView {
+    /// Base relation.
+    pub relation: String,
+    /// Column holding the node id.
+    pub id_col: usize,
+    /// `(property name, column)` pairs for the remaining head attributes.
+    pub prop_cols: Vec<(String, usize)>,
+    /// Constant selections.
+    pub filters: Vec<ConstFilter>,
+}
+
+/// A fully validated extraction specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    /// Node views (≥ 1).
+    pub nodes: Vec<NodesView>,
+    /// Edge chains (≥ 1).
+    pub edges: Vec<EdgeChain>,
+}
+
+/// GYO (Graham/Yu–Özsoyoğlu) test for α-acyclicity of a conjunctive body.
+pub fn is_acyclic(atoms: &[Atom]) -> bool {
+    // Hyperedges = variable sets of each atom.
+    let mut edges: Vec<FxHashSet<String>> = atoms
+        .iter()
+        .map(|a| {
+            a.args
+                .iter()
+                .filter_map(|t| t.as_var().map(str::to_string))
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        // Rule 1: drop variables occurring in at most one hyperedge.
+        let mut counts: graphgen_common::FxHashMap<&str, usize> = Default::default();
+        for e in &edges {
+            for v in e {
+                *counts.entry(v.as_str()).or_insert(0) += 1;
+            }
+        }
+        let lonely: FxHashSet<String> = counts
+            .iter()
+            .filter(|(_, &c)| c <= 1)
+            .map(|(v, _)| v.to_string())
+            .collect();
+        if !lonely.is_empty() {
+            for e in &mut edges {
+                let before = e.len();
+                e.retain(|v| !lonely.contains(v));
+                changed |= e.len() != before;
+            }
+        }
+        // Rule 2: drop hyperedges contained in another (or empty).
+        let mut keep = vec![true; edges.len()];
+        for i in 0..edges.len() {
+            if edges[i].is_empty() {
+                keep[i] = false;
+                continue;
+            }
+            for j in 0..edges.len() {
+                if i != j && keep[j] && edges[i].is_subset(&edges[j]) && (edges[i].len() < edges[j].len() || i > j)
+                {
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+        if keep.iter().any(|&k| !k) {
+            let mut idx = 0;
+            edges.retain(|_| {
+                let k = keep[idx];
+                idx += 1;
+                k
+            });
+            changed = true;
+        }
+        if edges.len() <= 1 {
+            return true;
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+fn filters_of(atom: &Atom) -> Vec<ConstFilter> {
+    atom.args
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| match t {
+            Term::Int(v) => Some(ConstFilter::Int(i, *v)),
+            Term::Str(s) => Some(ConstFilter::Str(i, s.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+fn var_col(atom: &Atom, var: &str) -> Option<usize> {
+    atom.args.iter().position(|t| t.as_var() == Some(var))
+}
+
+fn shared_vars(a: &Atom, b: &Atom) -> Vec<String> {
+    let vars_a: FxHashSet<&str> = a.args.iter().filter_map(Term::as_var).collect();
+    b.args
+        .iter()
+        .filter_map(Term::as_var)
+        .filter(|v| vars_a.contains(v))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Try to order the body atoms into a chain from `id1` to `id2`. Brute
+/// force over permutations — extraction bodies have a handful of atoms.
+fn find_chain(body: &[Atom], id1: &str, id2: &str) -> Option<Vec<ChainAtom>> {
+    let n = body.len();
+    if n == 0 || n > 8 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut result = None;
+    permute(&mut order, 0, &mut |perm| {
+        if result.is_some() {
+            return;
+        }
+        if let Some(chain) = chain_from_order(body, perm, id1, id2) {
+            result = Some(chain);
+        }
+    });
+    result
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+fn chain_from_order(body: &[Atom], perm: &[usize], id1: &str, id2: &str) -> Option<Vec<ChainAtom>> {
+    let first = &body[perm[0]];
+    let last = &body[*perm.last().expect("non-empty")];
+    var_col(first, id1)?;
+    var_col(last, id2)?;
+    let mut steps = Vec::with_capacity(perm.len());
+    let mut in_var = id1.to_string();
+    for (i, &ai) in perm.iter().enumerate() {
+        let atom = &body[ai];
+        let in_col = var_col(atom, &in_var)?;
+        let out_var = if i + 1 == perm.len() {
+            id2.to_string()
+        } else {
+            let next = &body[perm[i + 1]];
+            let mut shared = shared_vars(atom, next);
+            // Don't route back through the variable we came in on, unless
+            // it is the only connection.
+            shared.sort();
+            let pick = shared
+                .iter()
+                .find(|v| **v != in_var)
+                .or_else(|| shared.first())?;
+            pick.clone()
+        };
+        let out_col = var_col(atom, &out_var)?;
+        steps.push(ChainAtom {
+            relation: atom.relation.clone(),
+            in_col,
+            out_col,
+            filters: filters_of(atom),
+        });
+        in_var = out_var;
+    }
+    Some(steps)
+}
+
+fn analyze_nodes(rule: &Rule) -> Result<NodesView, String> {
+    if rule.body.len() != 1 {
+        return Err(format!(
+            "Nodes rules must have a single body atom (found {})",
+            rule.body.len()
+        ));
+    }
+    let atom = &rule.body[0];
+    let id_var = rule
+        .head_args
+        .first()
+        .and_then(Term::as_var)
+        .ok_or("first Nodes attribute must be a variable (the node id)")?;
+    let id_col = var_col(atom, id_var)
+        .ok_or_else(|| format!("node id variable `{id_var}` not bound in the body"))?;
+    let mut prop_cols = Vec::new();
+    for t in &rule.head_args[1..] {
+        let v = t
+            .as_var()
+            .ok_or("Nodes property attributes must be variables")?;
+        let col = var_col(atom, v)
+            .ok_or_else(|| format!("property variable `{v}` not bound in the body"))?;
+        prop_cols.push((v.to_string(), col));
+    }
+    Ok(NodesView {
+        relation: atom.relation.clone(),
+        id_col,
+        prop_cols,
+        filters: filters_of(atom),
+    })
+}
+
+fn analyze_edges(rule: &Rule) -> Result<EdgeChain, String> {
+    if rule.head_args.len() < 2 {
+        return Err("Edges rules need at least two head attributes (ID1, ID2)".into());
+    }
+    let id1 = rule.head_args[0]
+        .as_var()
+        .ok_or("first Edges attribute must be a variable (ID1)")?;
+    let id2 = rule.head_args[1]
+        .as_var()
+        .ok_or("second Edges attribute must be a variable (ID2)")?;
+    if !is_acyclic(&rule.body) {
+        return Err(
+            "Edges body is cyclic; only acyclic conjunctive queries are supported (Case 1, §3.3)"
+                .into(),
+        );
+    }
+    find_chain(&rule.body, id1, id2).ok_or_else(|| {
+        "Edges body cannot be ordered into a join chain from ID1 to ID2; \
+         non-chain acyclic queries fall under Case 2 and are not supported"
+            .to_string()
+    })
+    .map(|steps| EdgeChain { steps })
+}
+
+/// Validate a parsed program and produce the extraction spec.
+pub fn analyze(program: &Program) -> Result<GraphSpec, String> {
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    for rule in &program.rules {
+        // Non-recursion: body atoms may not reference the special heads.
+        for atom in &rule.body {
+            if atom.relation == "Nodes" || atom.relation == "Edges" {
+                return Err("recursive rules are not supported".into());
+            }
+        }
+        match rule.head {
+            HeadKind::Nodes => nodes.push(analyze_nodes(rule)?),
+            HeadKind::Edges => edges.push(analyze_edges(rule)?),
+        }
+    }
+    if nodes.is_empty() {
+        return Err("a graph specification needs at least one Nodes statement".into());
+    }
+    if edges.is_empty() {
+        return Err("a graph specification needs at least one Edges statement".into());
+    }
+    Ok(GraphSpec { nodes, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn spec(text: &str) -> Result<GraphSpec, String> {
+        analyze(&parse(text).unwrap())
+    }
+
+    #[test]
+    fn q1_normalizes_to_two_step_chain() {
+        let s = spec(
+            "Nodes(ID, Name) :- Author(ID, Name).\n\
+             Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).",
+        )
+        .unwrap();
+        let chain = &s.edges[0];
+        assert_eq!(chain.steps.len(), 2);
+        assert_eq!(chain.steps[0].relation, "AuthorPub");
+        assert_eq!(chain.steps[0].in_col, 0); // ID1
+        assert_eq!(chain.steps[0].out_col, 1); // PubID
+        assert_eq!(chain.steps[1].in_col, 1); // PubID
+        assert_eq!(chain.steps[1].out_col, 0); // ID2
+    }
+
+    #[test]
+    fn q2_four_atom_chain() {
+        let s = spec(
+            "Nodes(ID, Name) :- Customer(ID, Name).\n\
+             Edges(ID1, ID2) :- Orders(OK1, ID1), LineItem(OK1, PK), \
+                                Orders(OK2, ID2), LineItem(OK2, PK).",
+        )
+        .unwrap();
+        let chain = &s.edges[0];
+        assert_eq!(chain.steps.len(), 4);
+        // Orders -> LineItem -> LineItem -> Orders
+        assert_eq!(chain.steps[0].relation, "Orders");
+        assert_eq!(chain.steps[1].relation, "LineItem");
+        assert_eq!(chain.steps[2].relation, "LineItem");
+        assert_eq!(chain.steps[3].relation, "Orders");
+    }
+
+    #[test]
+    fn q3_bipartite_chain() {
+        let s = spec(
+            "Nodes(ID, Name) :- Instructor(ID, Name).\n\
+             Nodes(ID, Name) :- Student(ID, Name).\n\
+             Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).",
+        )
+        .unwrap();
+        assert_eq!(s.nodes.len(), 2);
+        assert_eq!(s.edges[0].steps.len(), 2);
+        assert_eq!(s.edges[0].steps[0].relation, "TaughtCourse");
+        assert_eq!(s.edges[0].steps[1].relation, "TookCourse");
+    }
+
+    #[test]
+    fn constants_become_filters() {
+        let s = spec(
+            "Nodes(ID) :- Person(ID, _).\n\
+             Edges(A, B) :- Cast(A, M, 'actor'), Cast(B, M, 'actor').",
+        )
+        .unwrap();
+        assert_eq!(
+            s.edges[0].steps[0].filters,
+            vec![ConstFilter::Str(2, "actor".into())]
+        );
+    }
+
+    #[test]
+    fn properties_resolved() {
+        let s = spec(
+            "Nodes(ID, Name) :- Author(ID, Name).\n\
+             Edges(A, B) :- AP(A, P), AP(B, P).",
+        )
+        .unwrap();
+        assert_eq!(s.nodes[0].prop_cols, vec![("Name".to_string(), 1)]);
+    }
+
+    #[test]
+    fn cyclic_body_rejected() {
+        // Triangle query: cyclic.
+        let e = spec(
+            "Nodes(X) :- R(X, _).\n\
+             Edges(A, B) :- R(A, B), R(B, C), R(C, A).",
+        )
+        .unwrap_err();
+        assert!(e.contains("cyclic"), "{e}");
+    }
+
+    #[test]
+    fn acyclicity_of_chains_and_stars() {
+        let chain = parse("Edges(A, D) :- R(A, B), S(B, C), T(C, D).").unwrap();
+        assert!(is_acyclic(&chain.rules[0].body));
+        let star = parse("Edges(A, B) :- R(X, A), S(X, B), T(X, Y).").unwrap();
+        assert!(is_acyclic(&star.rules[0].body));
+        let cyc = parse("Edges(A, B) :- R(A, B), S(B, C), T(C, A).").unwrap();
+        assert!(!is_acyclic(&cyc.rules[0].body));
+    }
+
+    #[test]
+    fn missing_nodes_or_edges_rejected() {
+        assert!(spec("Nodes(X) :- R(X).").is_err());
+        assert!(spec("Edges(A, B) :- R(A, B).").is_err());
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let e = spec(
+            "Nodes(X) :- R(X).\n\
+             Edges(A, B) :- Edges(A, C), R(C, B).",
+        )
+        .unwrap_err();
+        assert!(e.contains("recursive"));
+    }
+
+    #[test]
+    fn unbound_head_var_rejected() {
+        let e = spec(
+            "Nodes(X, Y) :- R(X).\n\
+             Edges(A, B) :- R(A), R(B).",
+        )
+        .unwrap_err();
+        assert!(e.contains("not bound"));
+    }
+
+    #[test]
+    fn single_atom_edge_rule() {
+        let s = spec(
+            "Nodes(X) :- Follows(X, _).\n\
+             Edges(A, B) :- Follows(A, B).",
+        )
+        .unwrap();
+        assert_eq!(s.edges[0].steps.len(), 1);
+        assert_eq!(s.edges[0].steps[0].in_col, 0);
+        assert_eq!(s.edges[0].steps[0].out_col, 1);
+    }
+}

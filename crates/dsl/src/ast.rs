@@ -1,0 +1,107 @@
+//! Abstract syntax tree of the extraction DSL.
+
+use std::fmt;
+
+/// A term in a head or body atom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A variable (joins on repeated occurrence).
+    Var(String),
+    /// An integer constant (selection predicate).
+    Int(i64),
+    /// A string constant (selection predicate).
+    Str(String),
+    /// `_`: ignore this attribute.
+    Wildcard,
+}
+
+impl Term {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(name) => Some(name),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(name) => write!(f, "{name}"),
+            Term::Int(v) => write!(f, "{v}"),
+            Term::Str(s) => write!(f, "'{s}'"),
+            Term::Wildcard => write!(f, "_"),
+        }
+    }
+}
+
+/// Which special head a rule defines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadKind {
+    /// `Nodes(ID, props...)`
+    Nodes,
+    /// `Edges(ID1, ID2, props...)`
+    Edges,
+}
+
+/// A body atom: `Relation(t1, ..., tk)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Relation (base table) name.
+    pub relation: String,
+    /// Argument terms, positional.
+    pub args: Vec<Term>,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One rule: `Head(args) :- body.`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// `Nodes` or `Edges`.
+    pub head: HeadKind,
+    /// Head argument terms.
+    pub head_args: Vec<Term>,
+    /// Conjunctive body.
+    pub body: Vec<Atom>,
+}
+
+/// A whole extraction program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Rules in source order.
+    pub rules: Vec<Rule>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let atom = Atom {
+            relation: "AuthorPub".into(),
+            args: vec![Term::Var("ID1".into()), Term::Int(3), Term::Wildcard],
+        };
+        assert_eq!(atom.to_string(), "AuthorPub(ID1, 3, _)");
+    }
+
+    #[test]
+    fn as_var() {
+        assert_eq!(Term::Var("X".into()).as_var(), Some("X"));
+        assert_eq!(Term::Int(1).as_var(), None);
+        assert_eq!(Term::Wildcard.as_var(), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! Tokenizer for the extraction DSL.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier (relation name or variable).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single- or double-quoted string literal.
+    Str(String),
+    /// `_`
+    Wildcard,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:-`
+    Turnstile,
+    /// `.`
+    Dot,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Wildcard => write!(f, "_"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Turnstile => write!(f, ":-"),
+            Token::Dot => write!(f, "."),
+        }
+    }
+}
+
+/// Tokenize; returns `(token, byte_offset)` pairs or an error message.
+pub fn tokenize(text: &str) -> Result<Vec<(Token, usize)>, String> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '%' | '#' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push((Token::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((Token::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                tokens.push((Token::Comma, i));
+                i += 1;
+            }
+            '.' => {
+                tokens.push((Token::Dot, i));
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    tokens.push((Token::Turnstile, i));
+                    i += 2;
+                } else {
+                    return Err(format!("expected `:-` at byte {i}"));
+                }
+            }
+            '\'' | '"' => {
+                let quote = bytes[i];
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(format!("unterminated string at byte {i}"));
+                }
+                tokens.push((Token::Str(text[start..j].to_string()), i));
+                i = j + 1;
+            }
+            '_' if !bytes
+                .get(i + 1)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_') =>
+            {
+                tokens.push((Token::Wildcard, i));
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let lit = &text[start..i];
+                let v: i64 = lit
+                    .parse()
+                    .map_err(|e| format!("bad integer `{lit}`: {e}"))?;
+                tokens.push((Token::Int(v), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push((Token::Ident(text[start..i].to_string()), start));
+            }
+            other => return Err(format!("unexpected character `{other}` at byte {i}")),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_q1() {
+        let toks = tokenize("Edges(ID1, ID2) :- AP(ID1, P), AP(ID2, P).").unwrap();
+        let kinds: Vec<&Token> = toks.iter().map(|(t, _)| t).collect();
+        assert_eq!(kinds[0], &Token::Ident("Edges".into()));
+        assert_eq!(kinds[1], &Token::LParen);
+        assert!(kinds.contains(&&Token::Turnstile));
+        assert_eq!(kinds.last().unwrap(), &&Token::Dot);
+    }
+
+    #[test]
+    fn strings_ints_wildcards() {
+        let toks = tokenize("R(_, 'abc', \"d,e\", -42, 7)").unwrap();
+        let kinds: Vec<Token> = toks.into_iter().map(|(t, _)| t).collect();
+        assert!(kinds.contains(&Token::Wildcard));
+        assert!(kinds.contains(&Token::Str("abc".into())));
+        assert!(kinds.contains(&Token::Str("d,e".into())));
+        assert!(kinds.contains(&Token::Int(-42)));
+        assert!(kinds.contains(&Token::Int(7)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("% a comment\nR(X). # trailing\n").unwrap();
+        assert_eq!(toks.len(), 5);
+    }
+
+    #[test]
+    fn underscore_prefixed_ident_is_ident() {
+        let toks = tokenize("_foo").unwrap();
+        assert_eq!(toks[0].0, Token::Ident("_foo".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("R(x) : y").is_err());
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("R(@)").is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! `graphgen-dsl` — the Datalog-based graph extraction DSL (§3.2).
+//!
+//! A graph specification is a sequence of rules:
+//!
+//! ```text
+//! Nodes(ID, Name) :- Author(ID, Name).
+//! Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
+//! ```
+//!
+//! `Nodes` declares the real nodes (first head attribute = unique id, the
+//! rest become vertex properties); `Edges` declares the edge view (first two
+//! head attributes = endpoint ids). Multiple `Nodes`/`Edges` statements
+//! build heterogeneous graphs / unions. The subset implemented here matches
+//! the paper's Case 1 (§3.3): **non-recursive**, **aggregation-free** rules
+//! whose `Edges` bodies are acyclic conjunctive queries; bodies are
+//! normalized into join *chains* `R1(ID1,a1), R2(a1,a2), …, Rn(a_{n-1},ID2)`
+//! with constant selections allowed in any atom ([`analyze`]).
+
+pub mod analyze;
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use analyze::{analyze, ChainAtom, ConstFilter, EdgeChain, GraphSpec, NodesView};
+pub use ast::{Atom, HeadKind, Program, Rule, Term};
+pub use parser::{parse, ParseError};
+
+/// Parse and analyze in one call: text in, validated extraction spec out.
+pub fn compile(text: &str) -> Result<GraphSpec, ParseError> {
+    let program = parse(text)?;
+    analyze(&program).map_err(ParseError::Semantic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_q1() {
+        let spec = compile(
+            "Nodes(ID, Name) :- Author(ID, Name).\n\
+             Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).",
+        )
+        .unwrap();
+        assert_eq!(spec.nodes.len(), 1);
+        assert_eq!(spec.edges.len(), 1);
+        assert_eq!(spec.edges[0].steps.len(), 2);
+    }
+
+    #[test]
+    fn compile_rejects_garbage() {
+        assert!(compile("Nodes(").is_err());
+        assert!(compile("Foo(X) :- Bar(X).").is_err());
+    }
+}

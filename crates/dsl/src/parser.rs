@@ -1,0 +1,224 @@
+//! Recursive-descent parser for the extraction DSL.
+
+use crate::ast::{Atom, HeadKind, Program, Rule, Term};
+use crate::lexer::{tokenize, Token};
+use std::fmt;
+
+/// Parse or semantic-analysis errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenizer failure.
+    Lex(String),
+    /// Grammar failure.
+    Syntax(String),
+    /// Post-parse validation failure (from [`crate::analyze`]).
+    Semantic(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(msg) => write!(f, "lex error: {msg}"),
+            ParseError::Syntax(msg) => write!(f, "syntax error: {msg}"),
+            ParseError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if &t == want => Ok(()),
+            Some(t) => Err(ParseError::Syntax(format!("expected `{want}`, found `{t}`"))),
+            None => Err(ParseError::Syntax(format!(
+                "expected `{want}`, found end of input"
+            ))),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(Term::Var(name)),
+            Some(Token::Int(v)) => Ok(Term::Int(v)),
+            Some(Token::Str(s)) => Ok(Term::Str(s)),
+            Some(Token::Wildcard) => Ok(Term::Wildcard),
+            Some(t) => Err(ParseError::Syntax(format!("expected term, found `{t}`"))),
+            None => Err(ParseError::Syntax("expected term, found end of input".into())),
+        }
+    }
+
+    fn term_list(&mut self) -> Result<Vec<Term>, ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut terms = vec![self.term()?];
+        loop {
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.next();
+                    terms.push(self.term()?);
+                }
+                Some(Token::RParen) => {
+                    self.next();
+                    return Ok(terms);
+                }
+                other => {
+                    return Err(ParseError::Syntax(format!(
+                        "expected `,` or `)` in term list, found {:?}",
+                        other.map(|t| t.to_string())
+                    )))
+                }
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let relation = match self.next() {
+            Some(Token::Ident(name)) => name,
+            Some(t) => {
+                return Err(ParseError::Syntax(format!(
+                    "expected relation name, found `{t}`"
+                )))
+            }
+            None => {
+                return Err(ParseError::Syntax(
+                    "expected relation name, found end of input".into(),
+                ))
+            }
+        };
+        let args = self.term_list()?;
+        Ok(Atom { relation, args })
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let head_name = match self.next() {
+            Some(Token::Ident(name)) => name,
+            Some(t) => {
+                return Err(ParseError::Syntax(format!(
+                    "expected `Nodes` or `Edges`, found `{t}`"
+                )))
+            }
+            None => unreachable!("rule() called at end of input"),
+        };
+        let head = match head_name.as_str() {
+            "Nodes" => HeadKind::Nodes,
+            "Edges" => HeadKind::Edges,
+            other => {
+                return Err(ParseError::Syntax(format!(
+                    "rule heads must be `Nodes` or `Edges` (found `{other}`); \
+                     recursion and auxiliary views are not supported"
+                )))
+            }
+        };
+        let head_args = self.term_list()?;
+        self.expect(&Token::Turnstile)?;
+        let mut body = vec![self.atom()?];
+        loop {
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.next();
+                    body.push(self.atom()?);
+                }
+                Some(Token::Dot) => {
+                    self.next();
+                    break;
+                }
+                other => {
+                    return Err(ParseError::Syntax(format!(
+                        "expected `,` or `.` after atom, found {:?}",
+                        other.map(|t| t.to_string())
+                    )))
+                }
+            }
+        }
+        Ok(Rule {
+            head,
+            head_args,
+            body,
+        })
+    }
+}
+
+/// Parse a whole program.
+pub fn parse(text: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(text).map_err(ParseError::Lex)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut rules = Vec::new();
+    while parser.peek().is_some() {
+        rules.push(parser.rule()?);
+    }
+    if rules.is_empty() {
+        return Err(ParseError::Syntax("empty program".into()));
+    }
+    Ok(Program { rules })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q1() {
+        let p = parse(
+            "Nodes(ID, Name) :- Author(ID, Name).\n\
+             Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[0].head, HeadKind::Nodes);
+        assert_eq!(p.rules[1].head, HeadKind::Edges);
+        assert_eq!(p.rules[1].body.len(), 2);
+        assert_eq!(p.rules[1].body[0].relation, "AuthorPub");
+    }
+
+    #[test]
+    fn parses_q3_heterogeneous() {
+        let p = parse(
+            "Nodes(ID, Name) :- Instructor(ID, Name).\n\
+             Nodes(ID, Name) :- Student(ID, Name).\n\
+             Edges(ID1, ID2) :- TaughtCourse(ID1, CourseId), TookCourse(ID2, CourseId).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 3);
+    }
+
+    #[test]
+    fn parses_constants_and_wildcards() {
+        let p = parse("Edges(A, B) :- CastInfo(_, A, M, 'actor'), CastInfo(_, B, M, 'actor').")
+            .unwrap();
+        let atom = &p.rules[0].body[0];
+        assert_eq!(atom.args[0], Term::Wildcard);
+        assert_eq!(atom.args[3], Term::Str("actor".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_head() {
+        let e = parse("Paths(X, Y) :- Edge(X, Y).").unwrap_err();
+        assert!(matches!(e, ParseError::Syntax(_)));
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        assert!(parse("Nodes(X) :- R(X)").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_program() {
+        assert!(parse("   % only a comment\n").is_err());
+    }
+}

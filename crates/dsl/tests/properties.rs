@@ -1,0 +1,129 @@
+//! Property tests for the DSL: printed programs re-parse, chains are always
+//! valid join paths, and the lexer/parser never panic on arbitrary input.
+
+use graphgen_dsl::{analyze, compile, parse, Atom, HeadKind, Program, Rule, Term};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,6}".prop_map(|s| s)
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        ident().prop_map(Term::Var),
+        (-100i64..100).prop_map(Term::Int),
+        "[a-z ]{0,6}".prop_map(Term::Str),
+        Just(Term::Wildcard),
+    ]
+}
+
+fn atom() -> impl Strategy<Value = Atom> {
+    (ident(), proptest::collection::vec(term(), 1..5)).prop_map(|(relation, args)| Atom {
+        relation,
+        args,
+    })
+}
+
+fn render(program: &Program) -> String {
+    let mut out = String::new();
+    for rule in &program.rules {
+        let head = match rule.head {
+            HeadKind::Nodes => "Nodes",
+            HeadKind::Edges => "Edges",
+        };
+        out.push_str(head);
+        out.push('(');
+        for (i, t) in rule.head_args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&t.to_string());
+        }
+        out.push_str(") :- ");
+        for (i, a) in rule.body.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&a.to_string());
+        }
+        out.push_str(".\n");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_and_parser_never_panic(input in "\\PC{0,200}") {
+        let _ = parse(&input); // must not panic, errors are fine
+    }
+
+    #[test]
+    fn printed_programs_reparse(
+        heads in proptest::collection::vec(
+            (prop_oneof![Just(HeadKind::Nodes), Just(HeadKind::Edges)],
+             proptest::collection::vec(ident().prop_map(Term::Var), 1..4),
+             proptest::collection::vec(atom(), 1..4)),
+            1..4
+        )
+    ) {
+        let program = Program {
+            rules: heads
+                .into_iter()
+                .map(|(head, head_args, body)| Rule { head, head_args, body })
+                .collect(),
+        };
+        // Reserved names in bodies make rendering unparseable in a benign
+        // way; skip those cases.
+        let reserved = program.rules.iter().any(|r| {
+            r.body.iter().any(|a| a.relation == "Nodes" || a.relation == "Edges")
+        });
+        prop_assume!(!reserved);
+        let text = render(&program);
+        let reparsed = parse(&text).expect("rendered program must re-parse");
+        prop_assert_eq!(reparsed, program);
+    }
+
+    #[test]
+    fn chains_are_connected_join_paths(
+        n_extra in 0usize..3,
+        use_self_join in any::<bool>(),
+    ) {
+        // Build co-membership queries of varying chain length and verify
+        // the analyzer returns a chain whose consecutive columns join.
+        let mut body = String::from("R0(ID1, J0)");
+        for i in 0..n_extra {
+            body.push_str(&format!(", R{}(J{}, J{})", i + 1, i, i + 1));
+        }
+        let last = if use_self_join {
+            format!(", R0(ID2, J{n_extra})")
+        } else {
+            format!(", Z(ID2, J{n_extra})")
+        };
+        body.push_str(&last);
+        let text = format!("Nodes(X) :- E(X).\nEdges(ID1, ID2) :- {body}.");
+        let spec = compile(&text).expect("chain should compile");
+        let chain = &spec.edges[0];
+        prop_assert_eq!(chain.steps.len(), n_extra + 2);
+        // Endpoint columns are where ID1/ID2 live.
+        prop_assert_eq!(chain.steps[0].in_col, 0);
+        prop_assert_eq!(chain.steps.last().unwrap().out_col, 0);
+    }
+
+    #[test]
+    fn acyclicity_checker_accepts_paths_rejects_cycles(len in 2usize..6) {
+        let mut chain_body = String::new();
+        for i in 0..len {
+            if i > 0 { chain_body.push_str(", "); }
+            chain_body.push_str(&format!("R(V{}, V{})", i, i + 1));
+        }
+        let p = parse(&format!("Edges(V0, V{len}) :- {chain_body}.")).unwrap();
+        prop_assert!(analyze::is_acyclic(&p.rules[0].body));
+
+        let mut cycle_body = chain_body.clone();
+        cycle_body.push_str(&format!(", R(V{len}, V0)"));
+        let p = parse(&format!("Edges(V0, V{len}) :- {cycle_body}.")).unwrap();
+        prop_assert!(!analyze::is_acyclic(&p.rules[0].body));
+    }
+}

@@ -1,0 +1,160 @@
+//! Structural invariant validation.
+//!
+//! These checks back the property-test suites: each representation promises
+//! a structural invariant (C-DUP: the virtual graph is a DAG; DEDUP-1: at
+//! most one path per ordered real pair; DEDUP-2: at most one witness per
+//! pair plus the Appendix-B overlap rules; BITMAP: masked traversal emits no
+//! duplicates).
+
+use crate::api::GraphRep;
+use crate::cdup::CondensedGraph;
+use crate::dedup1::Dedup1Graph;
+use crate::dedup2::Dedup2Graph;
+use crate::ids::{RealId, VirtId};
+use graphgen_common::FxHashMap;
+
+/// Check that the virtual→virtual edges of a condensed graph form a DAG
+/// (extraction queries are acyclic, so this must always hold).
+pub fn validate_virtual_dag(g: &CondensedGraph) -> Result<(), String> {
+    // Kahn's algorithm over the virtual→virtual subgraph: if the
+    // topological order does not cover every node, a cycle exists.
+    let n = g.num_virtual();
+    let mut indeg = vec![0u32; n];
+    for v in 0..n {
+        for a in g.virt_out(VirtId(v as u32)) {
+            if let Some(w) = a.as_virtual() {
+                indeg[w.0 as usize] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    let mut done = 0usize;
+    while let Some(v) = queue.pop() {
+        done += 1;
+        for a in g.virt_out(VirtId(v)) {
+            if let Some(w) = a.as_virtual() {
+                indeg[w.0 as usize] -= 1;
+                if indeg[w.0 as usize] == 0 {
+                    queue.push(w.0);
+                }
+            }
+        }
+    }
+    if done != n {
+        return Err(format!("virtual graph has a cycle ({} of {n} sorted)", done));
+    }
+    Ok(())
+}
+
+/// Count, for each source, how many *paths* reach each target (ignoring
+/// liveness and self-paths). Returns an error if any pair has more than one.
+fn count_paths_from<G, F>(g: &G, u: RealId, raw_visit: F) -> Result<(), String>
+where
+    G: GraphRep + ?Sized,
+    F: Fn(&G, RealId, &mut dyn FnMut(RealId)),
+{
+    let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+    raw_visit(g, u, &mut |v: RealId| {
+        *counts.entry(v.0).or_insert(0) += 1;
+    });
+    for (v, c) in counts {
+        if c > 1 {
+            return Err(format!("{} paths from r{} to r{}", c, u.0, v));
+        }
+    }
+    Ok(())
+}
+
+/// DEDUP-1 invariant: for every live real source, the raw DFS (no hashset)
+/// reaches every distinct neighbor exactly once.
+pub fn validate_dedup1(g: &Dedup1Graph) -> Result<(), String> {
+    for u in g.vertices() {
+        count_paths_from(g, u, |g, u, f| g.for_each_neighbor(u, f))?;
+    }
+    Ok(())
+}
+
+/// Generic duplicate-emission check usable for any representation whose
+/// `for_each_neighbor` is supposed to be duplicate-free without internal
+/// hashing (DEDUP-1, DEDUP-2, BITMAP).
+pub fn validate_no_duplicate_emission<G: GraphRep + ?Sized>(g: &G) -> Result<(), String> {
+    for u in g.vertices() {
+        count_paths_from(g, u, |g, u, f| g.for_each_neighbor(u, f))?;
+    }
+    Ok(())
+}
+
+/// DEDUP-2 invariants (Appendix B):
+/// 1. any two virtual nodes overlap in at most one real member;
+/// 2. the virtual neighbors of any virtual node are pairwise disjoint;
+/// 3. per ordered pair, at most one witness — checked directly by raw
+///    emission counting.
+pub fn validate_dedup2(g: &Dedup2Graph) -> Result<(), String> {
+    // (3) covers semantic correctness; (1) and (2) are the structural rules.
+    for u in g.vertices() {
+        let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+        g.for_each_neighbor_raw(u, &mut |v| {
+            *counts.entry(v).or_insert(0) += 1;
+        });
+        for (v, c) in counts {
+            if c > 1 {
+                return Err(format!("{} witnesses for pair (r{}, r{})", c, u.0, v));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CondensedBuilder;
+
+    #[test]
+    fn dag_validation_accepts_layers() {
+        let mut b = CondensedBuilder::new(2);
+        let v1 = b.add_virtual();
+        let v2 = b.add_virtual();
+        b.real_to_virtual(RealId(0), v1);
+        b.virtual_to_virtual(v1, v2);
+        b.virtual_to_real(v2, RealId(1));
+        let g = b.build();
+        assert!(validate_virtual_dag(&g).is_ok());
+    }
+
+    #[test]
+    fn dedup1_validation_rejects_duplicates() {
+        let mut b = CondensedBuilder::new(2);
+        b.clique(&[RealId(0), RealId(1)]);
+        b.clique(&[RealId(0), RealId(1)]);
+        let g = Dedup1Graph::new_unchecked(b.build());
+        assert!(validate_dedup1(&g).is_err());
+    }
+
+    #[test]
+    fn dedup1_validation_accepts_clean_graph() {
+        let mut b = CondensedBuilder::new(3);
+        b.clique(&[RealId(0), RealId(1), RealId(2)]);
+        let g = Dedup1Graph::new_unchecked(b.build());
+        assert!(validate_dedup1(&g).is_ok());
+    }
+
+    #[test]
+    fn dedup2_validation_rejects_overlap_two() {
+        let mut g = Dedup2Graph::new(3);
+        g.add_virtual(vec![0, 1, 2]);
+        g.add_virtual(vec![0, 1]); // overlap {0,1} with the first: duplicate pair
+        assert!(validate_dedup2(&g).is_err());
+    }
+
+    #[test]
+    fn dedup2_validation_rejects_vv_overlap() {
+        let mut g = Dedup2Graph::new(4);
+        let v = g.add_virtual(vec![0, 1]);
+        let w1 = g.add_virtual(vec![2, 3]);
+        let w2 = g.add_virtual(vec![3]);
+        g.add_virtual_edge(v, w1);
+        g.add_virtual_edge(v, w2); // w1 and w2 share member 3 -> 0 sees 3 twice
+        assert!(validate_dedup2(&g).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the mutation operations of the Graph API: the logical
+//! edge set must respond to add/delete operations exactly like a reference
+//! set-of-pairs model, on every representation.
+
+use graphgen_graph::{
+    expand_to_edge_list, CondensedBuilder, CondensedGraph, ExpandedGraph, GraphRep, RealId,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddEdge(u32, u32),
+    DeleteEdge(u32, u32),
+    DeleteVertex(u32),
+    Compact,
+}
+
+fn ops(n: u32) -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0..n, 0..n).prop_map(|(a, b)| Op::AddEdge(a, b)),
+        (0..n, 0..n).prop_map(|(a, b)| Op::DeleteEdge(a, b)),
+        (0..n).prop_map(Op::DeleteVertex),
+        Just(Op::Compact),
+    ];
+    proptest::collection::vec(op, 0..24)
+}
+
+fn sets(n: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..n, 2..6),
+        0..8,
+    )
+}
+
+fn build_cdup(n: u32, cliques: &[Vec<u32>]) -> CondensedGraph {
+    let mut b = CondensedBuilder::new(n as usize);
+    for c in cliques {
+        let mut members: Vec<RealId> = c.iter().map(|&i| RealId(i)).collect();
+        members.sort();
+        members.dedup();
+        if members.len() >= 2 {
+            b.clique(&members);
+        }
+    }
+    b.build()
+}
+
+/// Reference model: a set of directed pairs + a liveness set.
+#[derive(Debug, Clone)]
+struct Model {
+    edges: BTreeSet<(u32, u32)>,
+    dead: BTreeSet<u32>,
+}
+
+impl Model {
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::AddEdge(a, b) => {
+                if a != b && !self.dead.contains(&a) && !self.dead.contains(&b) {
+                    self.edges.insert((a, b));
+                }
+            }
+            Op::DeleteEdge(a, b) => {
+                self.edges.remove(&(a, b));
+            }
+            Op::DeleteVertex(v) => {
+                self.dead.insert(v);
+            }
+            Op::Compact => {}
+        }
+    }
+
+    fn visible_edges(&self) -> Vec<(u32, u32)> {
+        self.edges
+            .iter()
+            .copied()
+            .filter(|(a, b)| !self.dead.contains(a) && !self.dead.contains(b))
+            .collect()
+    }
+}
+
+fn apply_graph<G: GraphRep>(g: &mut G, op: &Op) {
+    match *op {
+        Op::AddEdge(a, b) => {
+            // Mirror the model's liveness rule: mutating dead vertices is
+            // left unspecified by the API, so skip.
+            if g.is_alive(RealId(a)) && g.is_alive(RealId(b)) {
+                g.add_edge(RealId(a), RealId(b));
+            }
+        }
+        Op::DeleteEdge(a, b) => g.delete_edge(RealId(a), RealId(b)),
+        Op::DeleteVertex(v) => g.delete_vertex(RealId(v)),
+        Op::Compact => g.compact(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cdup_mutations_match_reference_model(
+        cliques in sets(10),
+        operations in ops(10),
+    ) {
+        let mut g = build_cdup(10, &cliques);
+        let mut model = Model {
+            edges: expand_to_edge_list(&g).into_iter().collect(),
+            dead: BTreeSet::new(),
+        };
+        for op in &operations {
+            // Deleting a logical edge in the model while the vertex is dead
+            // diverges from condensed behavior (hidden edges reappear on
+            // resurrection — which the API doesn't support); our model
+            // treats dead vertices' edges as *gone* only if deleted; the
+            // graph hides them. Align by comparing only visible edges.
+            apply_graph(&mut g, op);
+            // The model must first drop logical edges of dead vertices when
+            // a delete_edge happens "through" them; delete on hidden pairs
+            // is a no-op in both.
+            let before_dead = model.dead.clone();
+            model.apply(op);
+            // delete_edge on a hidden (dead-endpoint) pair: graph keeps the
+            // structure hidden; model removed it. Re-add for parity.
+            if let Op::DeleteEdge(a, b) = *op {
+                if before_dead.contains(&a) || before_dead.contains(&b) {
+                    // undefined corner: skip comparison by restoring nothing;
+                    // both hide the pair anyway.
+                }
+                let _ = (a, b);
+            }
+            prop_assert_eq!(expand_to_edge_list(&g), model.visible_edges());
+        }
+    }
+
+    #[test]
+    fn exp_mutations_match_reference_model(
+        cliques in sets(10),
+        operations in ops(10),
+    ) {
+        let cdup = build_cdup(10, &cliques);
+        let mut g = ExpandedGraph::from_rep(&cdup);
+        let mut model = Model {
+            edges: expand_to_edge_list(&g).into_iter().collect(),
+            dead: BTreeSet::new(),
+        };
+        for op in &operations {
+            apply_graph(&mut g, op);
+            model.apply(op);
+            prop_assert_eq!(expand_to_edge_list(&g), model.visible_edges());
+        }
+    }
+
+    #[test]
+    fn degree_equals_neighbor_count_everywhere(cliques in sets(12)) {
+        let g = build_cdup(12, &cliques);
+        for u in g.vertices() {
+            prop_assert_eq!(g.degree(u), g.neighbors(u).len());
+        }
+    }
+
+    #[test]
+    fn exists_edge_consistent_with_neighbors(cliques in sets(12)) {
+        let g = build_cdup(12, &cliques);
+        for u in g.vertices() {
+            let nbrs: BTreeSet<u32> = g.neighbors(u).iter().map(|r| r.0).collect();
+            for v in 0..12u32 {
+                prop_assert_eq!(
+                    g.exists_edge(u, RealId(v)),
+                    nbrs.contains(&v),
+                    "u={} v={}", u.0, v
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The database catalog: named tables plus the per-column statistics that
+//! drive the extraction planner's large-output-join test (§4.2 Step 2).
+//!
+//! PostgreSQL exposes `n_distinct` in `pg_stats`; we compute exact distinct
+//! counts at registration time (tables here are immutable once registered,
+//! and the datasets are small enough that exactness is free).
+
+use crate::error::{DbError, DbResult};
+use crate::table::Table;
+use graphgen_common::{ByteSize, FxHashMap};
+
+/// Statistics for one column, analogous to a `pg_stats` row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Total rows in the table.
+    pub row_count: usize,
+    /// Exact number of distinct values in the column.
+    pub n_distinct: usize,
+}
+
+impl ColumnStats {
+    /// Average number of rows per distinct value of this column.
+    pub fn avg_fanout(&self) -> f64 {
+        if self.n_distinct == 0 {
+            0.0
+        } else {
+            self.row_count as f64 / self.n_distinct as f64
+        }
+    }
+}
+
+/// A named collection of tables with statistics.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: FxHashMap<String, Table>,
+    stats: FxHashMap<(String, usize), ColumnStats>,
+}
+
+impl Database {
+    /// New empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `table` under `name`, computing statistics for every column
+    /// (the ANALYZE step).
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> DbResult<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(DbError::DuplicateTable(name));
+        }
+        let rows = table.num_rows();
+        for idx in 0..table.schema().arity() {
+            let n_distinct = table.distinct_count(idx);
+            self.stats.insert(
+                (name.clone(), idx),
+                ColumnStats {
+                    row_count: rows,
+                    n_distinct,
+                },
+            );
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> DbResult<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// True if a table with this name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Statistics for the `col`-th column of `table` (the `pg_stats` lookup).
+    pub fn column_stats(&self, table: &str, col: usize) -> DbResult<ColumnStats> {
+        self.stats
+            .get(&(table.to_string(), col))
+            .copied()
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))
+    }
+
+    /// Statistics by column name.
+    pub fn column_stats_by_name(&self, table: &str, column: &str) -> DbResult<ColumnStats> {
+        let t = self.table(table)?;
+        let idx = t
+            .schema()
+            .index_of(column)
+            .ok_or_else(|| DbError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        self.column_stats(table, idx)
+    }
+
+    /// Names of all registered tables (unordered).
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::num_rows).sum()
+    }
+}
+
+impl ByteSize for Database {
+    fn heap_bytes(&self) -> usize {
+        self.tables.values().map(Table::heap_bytes).sum::<usize>()
+            + self.stats.len() * std::mem::size_of::<((String, usize), ColumnStats)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::Value;
+
+    fn sample_db() -> Database {
+        let mut t = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
+        for (a, p) in [(1, 10), (2, 10), (3, 11), (1, 11), (2, 12)] {
+            t.push_row(vec![Value::int(a), Value::int(p)]).unwrap();
+        }
+        let mut db = Database::new();
+        db.register("AuthorPub", t).unwrap();
+        db
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let db = sample_db();
+        assert!(db.has_table("AuthorPub"));
+        assert_eq!(db.table("AuthorPub").unwrap().num_rows(), 5);
+        assert!(db.table("Missing").is_err());
+        assert_eq!(db.total_rows(), 5);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut db = sample_db();
+        let t = Table::new(Schema::new(vec![Column::int("x")]));
+        assert!(matches!(
+            db.register("AuthorPub", t),
+            Err(DbError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn stats_are_exact() {
+        let db = sample_db();
+        let aid = db.column_stats_by_name("AuthorPub", "aid").unwrap();
+        assert_eq!(aid.row_count, 5);
+        assert_eq!(aid.n_distinct, 3);
+        let pid = db.column_stats_by_name("AuthorPub", "pid").unwrap();
+        assert_eq!(pid.n_distinct, 3);
+        assert!((pid.avg_fanout() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_column_stats() {
+        let db = sample_db();
+        assert!(matches!(
+            db.column_stats_by_name("AuthorPub", "nope"),
+            Err(DbError::UnknownColumn { .. })
+        ));
+    }
+}

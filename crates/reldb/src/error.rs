@@ -1,0 +1,60 @@
+//! Error type shared by the relational engine.
+
+use std::fmt;
+
+/// Errors surfaced by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Referenced a table that does not exist in the catalog.
+    UnknownTable(String),
+    /// Referenced a column not present in a table's schema.
+    UnknownColumn { table: String, column: String },
+    /// Tried to register a table under a name already in use.
+    DuplicateTable(String),
+    /// Appended a row whose arity or types don't match the schema.
+    SchemaMismatch(String),
+    /// Malformed CSV input.
+    Csv(String),
+    /// Anything else (query shape errors etc.).
+    Invalid(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            DbError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            DbError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
+            DbError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            DbError::Csv(msg) => write!(f, "csv error: {msg}"),
+            DbError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience alias.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DbError::UnknownTable("t".into()).to_string(),
+            "unknown table `t`"
+        );
+        assert!(DbError::UnknownColumn {
+            table: "t".into(),
+            column: "c".into()
+        }
+        .to_string()
+        .contains("`c`"));
+        assert!(DbError::SchemaMismatch("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,34 @@
+//! `graphgen-reldb` — a small in-memory columnar relational engine.
+//!
+//! GraphGen (the paper's system) sits on top of PostgreSQL and needs only
+//! "basic SQL support from the underlying storage engine": table scans,
+//! selection, projection, equi-joins, `DISTINCT`, and catalog statistics
+//! (`pg_stats.n_distinct`) for its large-output-join test. This crate is the
+//! from-scratch substitute for that substrate:
+//!
+//! * [`Value`] / [`DataType`] — a compact dynamic value model (64-bit ints
+//!   and strings cover every schema in the paper's Fig. 15).
+//! * [`Schema`] / [`Table`] — column-oriented storage with append ingestion.
+//! * [`Database`] — the catalog: named tables plus per-column statistics
+//!   (row count, exact distinct count) used by the extraction planner.
+//! * [`exec`] — physical operators: scan, filter, project, hash equi-join,
+//!   distinct; and [`query::Query`], a tiny logical plan ("the SQL we
+//!   generate") with a reference nested-loop implementation for testing.
+
+pub mod catalog;
+pub mod csv;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod query;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::{ColumnStats, Database};
+pub use error::{DbError, DbResult};
+pub use expr::Predicate;
+pub use query::Query;
+pub use schema::{Column, Schema};
+pub use table::Table;
+pub use value::{DataType, Value};

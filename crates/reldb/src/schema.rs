@@ -1,0 +1,90 @@
+//! Table schemas.
+
+use crate::value::DataType;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (case-sensitive).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Self {
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// An integer column.
+    pub fn int(name: impl Into<String>) -> Self {
+        Self::new(name, DataType::Int)
+    }
+
+    /// A string column.
+    pub fn str(name: impl Into<String>) -> Self {
+        Self::new(name, DataType::Str)
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns. Column names must be unique.
+    pub fn new(columns: Vec<Column>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            assert!(seen.insert(c.name.clone()), "duplicate column `{}`", c.name);
+        }
+        Self { columns }
+    }
+
+    /// The columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_lookup() {
+        let s = Schema::new(vec![Column::int("id"), Column::str("name")]);
+        assert_eq!(s.index_of("id"), Some(0));
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.column(1).dtype, DataType::Str);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        Schema::new(vec![Column::int("id"), Column::str("id")]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Column-oriented table storage.
+//!
+//! A [`Table`] stores each column as a `Vec<Value>`. Appends validate arity
+//! and type. Row access materializes a `Vec<Value>` only when asked; the
+//! physical operators in [`crate::exec`] work column-wise where possible.
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::value::Value;
+use graphgen_common::ByteSize;
+
+/// An in-memory table: a schema plus one value vector per column.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = (0..schema.arity()).map(|_| Vec::new()).collect();
+        Self {
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True if the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Append one row. Checks arity and (non-NULL) types.
+    pub fn push_row(&mut self, row: Vec<Value>) -> DbResult<()> {
+        if row.len() != self.schema.arity() {
+            return Err(DbError::SchemaMismatch(format!(
+                "expected {} values, got {}",
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        for (i, v) in row.iter().enumerate() {
+            if let Some(dt) = v.data_type() {
+                if dt != self.schema.column(i).dtype {
+                    return Err(DbError::SchemaMismatch(format!(
+                        "column `{}` expects {}, got {}",
+                        self.schema.column(i).name,
+                        self.schema.column(i).dtype,
+                        dt
+                    )));
+                }
+            }
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Append many rows.
+    pub fn extend_rows<I: IntoIterator<Item = Vec<Value>>>(&mut self, rows: I) -> DbResult<()> {
+        for row in rows {
+            self.push_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Reserve capacity for `n` additional rows in every column.
+    pub fn reserve(&mut self, n: usize) {
+        for col in &mut self.columns {
+            col.reserve(n);
+        }
+    }
+
+    /// The full column at `idx`.
+    pub fn column(&self, idx: usize) -> &[Value] {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&[Value]> {
+        self.schema.index_of(name).map(|i| self.column(i))
+    }
+
+    /// The cell at (`row`, `col`).
+    pub fn cell(&self, row: usize, col: usize) -> &Value {
+        &self.columns[col][row]
+    }
+
+    /// Materialize row `row`.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c[row].clone()).collect()
+    }
+
+    /// Iterate rows as freshly materialized `Vec<Value>`s.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.rows).map(|r| self.row(r))
+    }
+
+    /// Exact number of distinct values in column `idx` (NULLs count as one
+    /// value, matching our join semantics, not SQL's).
+    pub fn distinct_count(&self, idx: usize) -> usize {
+        let mut seen: graphgen_common::FxHashSet<&Value> = Default::default();
+        seen.reserve(self.rows.min(1 << 20));
+        for v in &self.columns[idx] {
+            seen.insert(v);
+        }
+        seen.len()
+    }
+}
+
+impl ByteSize for Table {
+    fn heap_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|col| {
+                col.capacity() * std::mem::size_of::<Value>()
+                    + col
+                        .iter()
+                        .map(|v| match v {
+                            Value::Str(s) => s.len(),
+                            _ => 0,
+                        })
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn people() -> Table {
+        let mut t = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+        t.push_row(vec![Value::int(1), Value::str("a")]).unwrap();
+        t.push_row(vec![Value::int(2), Value::str("b")]).unwrap();
+        t.push_row(vec![Value::int(3), Value::str("a")]).unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let t = people();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.cell(1, 1), &Value::str("b"));
+        assert_eq!(t.row(0), vec![Value::int(1), Value::str("a")]);
+        assert_eq!(t.iter_rows().count(), 3);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = people();
+        let err = t.push_row(vec![Value::int(9)]).unwrap_err();
+        assert!(matches!(err, DbError::SchemaMismatch(_)));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = people();
+        let err = t
+            .push_row(vec![Value::str("oops"), Value::str("x")])
+            .unwrap_err();
+        assert!(matches!(err, DbError::SchemaMismatch(_)));
+        // NULL is allowed anywhere.
+        t.push_row(vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.num_rows(), 4);
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let t = people();
+        assert_eq!(t.distinct_count(0), 3);
+        assert_eq!(t.distinct_count(1), 2);
+    }
+
+    #[test]
+    fn column_by_name() {
+        let t = people();
+        assert!(t.column_by_name("name").is_some());
+        assert!(t.column_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn bytesize_nonzero() {
+        let t = people();
+        assert!(t.heap_bytes() > 0);
+    }
+}

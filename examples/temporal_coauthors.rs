@@ -1,0 +1,98 @@
+//! Temporal graph analytics (§1): extract *multiple* co-author graphs over
+//! different time windows using constant selections in the DSL, and compare
+//! them — the "juxtapose graphs constructed over different time periods"
+//! use case from the paper's introduction.
+//!
+//! Run with: `cargo run --release --example temporal_coauthors`
+
+use graphgen::algo;
+use graphgen::common::SplitMix64;
+use graphgen::core::{GraphGen, GraphGenConfig};
+use graphgen::graph::GraphRep;
+use graphgen::reldb::{Column, Database, Schema, Table, Value};
+
+/// Build a DBLP-like database where AuthorPub carries the publication year.
+fn build_db() -> Database {
+    let mut rng = SplitMix64::new(99);
+    let authors = 400usize;
+    let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+    for a in 0..authors {
+        author
+            .push_row(vec![Value::int(a as i64), Value::str(format!("author_{a}"))])
+            .unwrap();
+    }
+    let mut ap = Table::new(Schema::new(vec![
+        Column::int("aid"),
+        Column::int("pid"),
+        Column::int("year"),
+    ]));
+    for p in 0..1200i64 {
+        let year = 2000 + rng.next_below(20) as i64;
+        let k = 2 + rng.next_below(3) as i64;
+        let mut members = Vec::new();
+        while (members.len() as i64) < k {
+            // Authors drift over time: later years favor higher ids.
+            let base = ((year - 2000) as f64 / 20.0 * authors as f64 * 0.5) as u64;
+            let a = (base + rng.next_below(authors as u64 / 2)) % authors as u64;
+            if !members.contains(&(a as i64)) {
+                members.push(a as i64);
+            }
+        }
+        for a in members {
+            ap.push_row(vec![Value::int(a), Value::int(p), Value::int(year)])
+                .unwrap();
+        }
+    }
+    let mut db = Database::new();
+    db.register("Author", author).unwrap();
+    db.register("AuthorPub", ap).unwrap();
+    db
+}
+
+fn main() {
+    let db = build_db();
+    let gg = GraphGen::with_config(
+        &db,
+        GraphGenConfig {
+            auto_expand_threshold: None,
+            ..Default::default()
+        },
+    );
+    println!("era          vertices  edges  components  avg_degree");
+    for era_start in [2000i64, 2005, 2010, 2015] {
+        // One graph per 5-year window; the DSL's constant terms become
+        // selection predicates pushed into the extraction queries. Years
+        // are enumerated explicitly (the chain DSL supports equality
+        // constants); a union of Edges rules covers the window.
+        let mut rules = String::from("Nodes(ID, Name) :- Author(ID, Name).\n");
+        for year in era_start..era_start + 5 {
+            rules.push_str(&format!(
+                "Edges(A, B) :- AuthorPub(A, P, {year}), AuthorPub(B, P, {year}).\n"
+            ));
+        }
+        let g = gg.extract(&rules).expect("extraction");
+        let labels = algo::connected_components(&g.graph, 2);
+        let mut comps: std::collections::HashSet<u32> = Default::default();
+        let mut active = 0usize;
+        let mut degree_sum = 0usize;
+        for u in g.graph.vertices() {
+            let d = g.graph.degree(u);
+            if d > 0 {
+                active += 1;
+                degree_sum += d;
+                comps.insert(labels[u.0 as usize]);
+            }
+        }
+        println!(
+            "{}-{}    {:>6}  {:>5}  {:>10}  {:>9.2}",
+            era_start,
+            era_start + 4,
+            active,
+            g.graph.expanded_edge_count(),
+            comps.len(),
+            degree_sum as f64 / active.max(1) as f64
+        );
+    }
+    println!("\nthe collaboration network drifts across eras: different author cohorts");
+    println!("dominate each window (compare component counts and densities).");
+}

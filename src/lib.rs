@@ -1,0 +1,33 @@
+//! # graphgen
+//!
+//! A Rust implementation of **GraphGen** — "Extracting and Analyzing Hidden
+//! Graphs from Relational Databases" (Xirogiannopoulos & Deshpande, SIGMOD
+//! 2017). Declaratively extract graphs hidden in relational data, hold them
+//! in condensed in-memory representations that can be orders of magnitude
+//! smaller than the expanded graph, and run graph algorithms directly on
+//! them.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`reldb`] — the in-memory relational engine + catalog statistics
+//! * [`dsl`] — the Datalog-based extraction language
+//! * [`core`] — planner, extractor, representation chooser, serializer
+//! * [`graph`] — C-DUP / EXP / DEDUP-1 / DEDUP-2 / BITMAP representations
+//! * [`dedup`] — the §5 preprocessing & deduplication algorithms
+//! * [`algo`] — graph algorithms + the vertex-centric framework
+//! * [`giraph`] — the message-passing BSP port with message accounting
+//! * [`vminer`] — the VMiner structural-compression baseline
+//! * [`datagen`] — schema-faithful synthetic datasets
+//!
+//! See `examples/quickstart.rs` for the 5-minute tour.
+
+pub use graphgen_algo as algo;
+pub use graphgen_common as common;
+pub use graphgen_core as core;
+pub use graphgen_datagen as datagen;
+pub use graphgen_dedup as dedup;
+pub use graphgen_dsl as dsl;
+pub use graphgen_giraph as giraph;
+pub use graphgen_graph as graph;
+pub use graphgen_reldb as reldb;
+pub use graphgen_vminer as vminer;

@@ -1,0 +1,160 @@
+//! End-to-end integration: DSL text → relational extraction → condensed
+//! representations → deduplication → algorithms → serialization, driving
+//! only the public facade.
+
+use graphgen::common::VertexOrdering;
+use graphgen::core::{serialize, AnyGraph, GraphGen, GraphGenConfig};
+use graphgen::datagen::{
+    dblp_like, relational::DBLP_COAUTHORS, relational::TPCH_COPURCHASE, tpch_like, DblpConfig,
+    TpchConfig,
+};
+use graphgen::dedup::Dedup1Algorithm;
+use graphgen::graph::{expand_to_edge_list, GraphRep};
+
+fn condensed_config() -> GraphGenConfig {
+    GraphGenConfig {
+        large_output_factor: 0.0,
+        preprocess: false,
+        auto_expand_threshold: None,
+        threads: 2,
+    }
+}
+
+#[test]
+fn dblp_pipeline_end_to_end() {
+    let db = dblp_like(DblpConfig {
+        authors: 400,
+        publications: 700,
+        avg_authors_per_pub: 2.0,
+        seed: 11,
+    });
+    let gg = GraphGen::with_config(&db, condensed_config());
+    let extracted = gg.extract(DBLP_COAUTHORS).expect("extract");
+    let truth = expand_to_edge_list(&extracted.graph);
+
+    // The graph must be symmetric (co-occurrence).
+    for &(u, v) in &truth {
+        assert!(truth.binary_search(&(v, u)).is_ok(), "asymmetric pair ({u},{v})");
+    }
+
+    // Every representation conversion works through the facade.
+    let d1 = extracted
+        .graph
+        .to_dedup1(Dedup1Algorithm::NaiveVnf, VertexOrdering::Random, 5)
+        .expect("single-layer source");
+    assert_eq!(expand_to_edge_list(&d1), truth);
+    let d2 = extracted
+        .graph
+        .to_dedup2(VertexOrdering::Descending, 5)
+        .expect("symmetric source");
+    assert_eq!(expand_to_edge_list(&d2), truth);
+    let b1 = extracted.graph.to_bitmap1().expect("condensed source");
+    assert_eq!(expand_to_edge_list(&b1), truth);
+
+    // Serialization round-trips the edge count.
+    let mut buf = Vec::new();
+    serialize::write_edge_list(&extracted, &mut buf).unwrap();
+    let lines = buf.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count();
+    assert_eq!(lines as u64, extracted.graph.expanded_edge_count());
+
+    let mut json = Vec::new();
+    serialize::write_json(&extracted, &mut json).unwrap();
+    let text = String::from_utf8(json).unwrap();
+    assert!(text.contains("\"nodes\""));
+    assert!(text.contains("\"Name\""));
+}
+
+#[test]
+fn tpch_multilayer_pipeline() {
+    let db = tpch_like(TpchConfig {
+        customers: 300,
+        orders: 900,
+        parts: 40,
+        avg_lineitems: 2.5,
+        seed: 12,
+    });
+    let gg = GraphGen::with_config(&db, condensed_config());
+    let extracted = gg.extract(TPCH_COPURCHASE).expect("extract");
+    let AnyGraph::CDup(core) = &extracted.graph else {
+        panic!("expected condensed result")
+    };
+    assert!(!core.is_single_layer(), "forced plan must be multi-layer");
+
+    // Flatten, then deduplicate the flat version; semantics preserved.
+    let flat = graphgen::dedup::flatten_to_single_layer(core);
+    assert_eq!(expand_to_edge_list(&flat), expand_to_edge_list(core));
+    let d1 = Dedup1Algorithm::GreedyVnf.run(&flat, VertexOrdering::Random, 3);
+    assert_eq!(expand_to_edge_list(&d1), expand_to_edge_list(core));
+
+    // BITMAP-2 works on the multi-layer structure directly.
+    let (bmp, _) = graphgen::dedup::bitmap2(core.clone(), 2);
+    assert_eq!(expand_to_edge_list(&bmp), expand_to_edge_list(core));
+
+    // The report exposes the plan: middle join postponed, outer joins in DB.
+    let joins = &extracted.report.plans[0].joins;
+    assert_eq!(joins.len(), 3);
+}
+
+#[test]
+fn representation_choice_policy() {
+    // Sparse graph: auto-expansion should trigger with default config.
+    let db = dblp_like(DblpConfig {
+        authors: 200,
+        publications: 100,
+        avg_authors_per_pub: 1.2,
+        seed: 13,
+    });
+    let gg = GraphGen::new(&db);
+    let extracted = gg.extract(DBLP_COAUTHORS).expect("extract");
+    assert!(extracted.report.auto_expanded);
+    assert!(matches!(extracted.graph, AnyGraph::Exp(_)));
+}
+
+#[test]
+fn error_paths_are_reported() {
+    let db = dblp_like(DblpConfig {
+        authors: 10,
+        publications: 10,
+        avg_authors_per_pub: 1.5,
+        seed: 14,
+    });
+    let gg = GraphGen::new(&db);
+    // Unknown table.
+    assert!(gg
+        .extract("Nodes(X) :- Missing(X).\nEdges(A,B) :- AuthorPub(A,P), AuthorPub(B,P).")
+        .is_err());
+    // Cyclic edges body.
+    assert!(gg
+        .extract(
+            "Nodes(ID, N) :- Author(ID, N).\n\
+             Edges(A, B) :- AuthorPub(A, B), AuthorPub(B, C), AuthorPub(C, A)."
+        )
+        .is_err());
+    // Parse error.
+    assert!(gg.extract("Nodes(").is_err());
+}
+
+#[test]
+fn mutations_through_the_facade_stay_consistent() {
+    let db = dblp_like(DblpConfig {
+        authors: 120,
+        publications: 200,
+        avg_authors_per_pub: 2.0,
+        seed: 15,
+    });
+    let gg = GraphGen::with_config(&db, condensed_config());
+    let mut extracted = gg.extract(DBLP_COAUTHORS).expect("extract");
+    let edges = expand_to_edge_list(&extracted.graph);
+    let (u, v) = edges[edges.len() / 2];
+    let (u, v) = (graphgen::graph::RealId(u), graphgen::graph::RealId(v));
+    assert!(extracted.graph.exists_edge(u, v));
+    extracted.graph.delete_edge(u, v);
+    assert!(!extracted.graph.exists_edge(u, v));
+    let w = extracted.graph.add_vertex();
+    extracted.graph.add_edge(w, u);
+    assert!(extracted.graph.exists_edge(w, u));
+    extracted.graph.delete_vertex(u);
+    assert!(!extracted.graph.exists_edge(w, u));
+    extracted.graph.compact();
+    assert!(!extracted.graph.exists_edge(w, u));
+}

@@ -1,0 +1,109 @@
+//! Property test: condensed extraction against the full-join oracle.
+//!
+//! For random membership tables, the condensed path (virtual nodes) and the
+//! full SQL path (one big join executed in the relational engine) must
+//! produce the same logical graph — regardless of the planner's
+//! large-output threshold.
+
+use graphgen::core::{GraphGen, GraphGenConfig};
+use graphgen::graph::expand_to_edge_list;
+use graphgen::reldb::{Column, Database, Schema, Table, Value};
+use proptest::prelude::*;
+
+fn db_from_rows(rows: &[(i64, i64)], n_entities: i64) -> Database {
+    let mut entity = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+    for e in 0..n_entities {
+        entity
+            .push_row(vec![Value::int(e), Value::str(format!("e{e}"))])
+            .unwrap();
+    }
+    let mut membership = Table::new(Schema::new(vec![Column::int("eid"), Column::int("gid")]));
+    for &(e, g) in rows {
+        membership
+            .push_row(vec![Value::int(e % n_entities), Value::int(g)])
+            .unwrap();
+    }
+    let mut db = Database::new();
+    db.register("Entity", entity).unwrap();
+    db.register("Membership", membership).unwrap();
+    db
+}
+
+const QUERY: &str = "Nodes(ID, Name) :- Entity(ID, Name).\n\
+                     Edges(A, B) :- Membership(A, G), Membership(B, G).";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn condensed_matches_full_join(
+        rows in proptest::collection::vec((0i64..20, 0i64..8), 0..60),
+        n_entities in 1i64..20,
+        factor in prop_oneof![Just(0.0), Just(2.0), Just(1e12)],
+    ) {
+        let db = db_from_rows(&rows, n_entities);
+        let gg = GraphGen::with_config(&db, GraphGenConfig {
+            large_output_factor: factor,
+            preprocess: false,
+            auto_expand_threshold: None,
+            threads: 1,
+        });
+        let condensed = gg.extract(QUERY).unwrap();
+        let full = gg.extract_full(QUERY).unwrap();
+        prop_assert_eq!(
+            expand_to_edge_list(&condensed.graph),
+            expand_to_edge_list(&full.graph)
+        );
+    }
+
+    #[test]
+    fn preprocessing_and_auto_expansion_preserve_extraction(
+        rows in proptest::collection::vec((0i64..15, 0i64..6), 0..40),
+    ) {
+        let db = db_from_rows(&rows, 15);
+        let oracle = GraphGen::with_config(&db, GraphGenConfig {
+            large_output_factor: 0.0,
+            preprocess: false,
+            auto_expand_threshold: None,
+            threads: 1,
+        }).extract(QUERY).unwrap();
+        let tuned = GraphGen::new(&db).extract(QUERY).unwrap();
+        prop_assert_eq!(
+            expand_to_edge_list(&tuned.graph),
+            expand_to_edge_list(&oracle.graph)
+        );
+    }
+
+    #[test]
+    fn two_hop_chain_matches_oracle(
+        follows in proptest::collection::vec((0i64..12, 0i64..12), 0..40),
+    ) {
+        // Edges(A, B) :- F(A, X), F(X, B): friend-of-friend, a chain whose
+        // middle attribute is an entity id itself.
+        let mut entity = Table::new(Schema::new(vec![Column::int("id"), Column::str("n")]));
+        for e in 0..12 {
+            entity.push_row(vec![Value::int(e), Value::str("x")]).unwrap();
+        }
+        let mut f = Table::new(Schema::new(vec![Column::int("src"), Column::int("dst")]));
+        for &(a, b) in &follows {
+            f.push_row(vec![Value::int(a), Value::int(b)]).unwrap();
+        }
+        let mut db = Database::new();
+        db.register("Entity", entity).unwrap();
+        db.register("F", f).unwrap();
+        let q = "Nodes(ID, N) :- Entity(ID, N).\n\
+                 Edges(A, B) :- F(A, X), F(X, B).";
+        let gg = GraphGen::with_config(&db, GraphGenConfig {
+            large_output_factor: 0.0,
+            preprocess: false,
+            auto_expand_threshold: None,
+            threads: 1,
+        });
+        let condensed = gg.extract(q).unwrap();
+        let full = gg.extract_full(q).unwrap();
+        prop_assert_eq!(
+            expand_to_edge_list(&condensed.graph),
+            expand_to_edge_list(&full.graph)
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: every representation built from the same condensed graph
+//! is semantically identical (same expanded edge set), and each maintains
+//! its structural invariant. This is the core correctness contract of §4.
+
+use graphgen::common::VertexOrdering;
+use graphgen::dedup::{bitmap1, bitmap2, dedup2_greedy, Dedup1Algorithm};
+use graphgen::graph::{
+    expand_to_edge_list, validate, CondensedBuilder, CondensedGraph, ExpandedGraph, GraphRep,
+    RealId,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric single-layer condensed graph given as
+/// member sets (what co-occurrence extraction produces).
+fn member_sets(max_real: usize, max_virt: usize) -> impl Strategy<Value = (usize, Vec<Vec<u32>>)> {
+    (2..=max_real).prop_flat_map(move |n_real| {
+        let set = proptest::collection::vec(0..n_real as u32, 2..=(n_real.min(8)));
+        proptest::collection::vec(set, 0..=max_virt)
+            .prop_map(move |sets| (n_real, sets))
+    })
+}
+
+fn build(n_real: usize, sets: &[Vec<u32>]) -> CondensedGraph {
+    let mut b = CondensedBuilder::new(n_real);
+    for set in sets {
+        let mut members: Vec<RealId> = set.iter().map(|&i| RealId(i)).collect();
+        members.sort();
+        members.dedup();
+        if members.len() >= 2 {
+            b.clique(&members);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_representations_expand_identically((n_real, sets) in member_sets(24, 10)) {
+        let cdup = build(n_real, &sets);
+        let truth = expand_to_edge_list(&cdup);
+
+        let exp = ExpandedGraph::from_rep(&cdup);
+        prop_assert_eq!(expand_to_edge_list(&exp), truth.clone());
+
+        for algo in Dedup1Algorithm::all() {
+            for ordering in VertexOrdering::all() {
+                let d1 = algo.run(&cdup, ordering, 42);
+                prop_assert_eq!(
+                    expand_to_edge_list(&d1), truth.clone(),
+                    "{} {:?}", algo.label(), ordering
+                );
+                prop_assert!(validate::validate_dedup1(&d1).is_ok(),
+                    "{} {:?} violates the single-path invariant", algo.label(), ordering);
+            }
+        }
+
+        let d2 = dedup2_greedy(&cdup, VertexOrdering::Descending, 42);
+        prop_assert_eq!(expand_to_edge_list(&d2), truth.clone());
+        prop_assert!(validate::validate_dedup2(&d2).is_ok());
+
+        let b1 = bitmap1(cdup.clone());
+        prop_assert_eq!(expand_to_edge_list(&b1), truth.clone());
+        prop_assert!(validate::validate_no_duplicate_emission(&b1).is_ok());
+
+        let (b2, _) = bitmap2(cdup.clone(), 1);
+        prop_assert_eq!(expand_to_edge_list(&b2), truth.clone());
+        prop_assert!(validate::validate_no_duplicate_emission(&b2).is_ok());
+    }
+
+    #[test]
+    fn preprocessing_preserves_semantics((n_real, sets) in member_sets(20, 8)) {
+        let mut g = build(n_real, &sets);
+        let truth = expand_to_edge_list(&g);
+        graphgen::dedup::expand_cheap_virtuals(&mut g, 1);
+        prop_assert_eq!(expand_to_edge_list(&g), truth);
+    }
+
+    #[test]
+    fn vminer_is_lossless((n_real, sets) in member_sets(20, 8)) {
+        let cdup = build(n_real, &sets);
+        let exp = ExpandedGraph::from_rep(&cdup);
+        let (vm, _) = graphgen::vminer::vminer(&exp, Default::default());
+        prop_assert_eq!(expand_to_edge_list(&vm), expand_to_edge_list(&exp));
+        prop_assert!(validate::validate_dedup1(&vm).is_ok());
+    }
+
+    #[test]
+    fn delete_edge_removes_exactly_one_pair((n_real, sets) in member_sets(16, 6)) {
+        let mut g = build(n_real, &sets);
+        let edges = expand_to_edge_list(&g);
+        if let Some(&(u, v)) = edges.first() {
+            g.delete_edge(RealId(u), RealId(v));
+            let mut expected = edges.clone();
+            expected.retain(|&e| e != (u, v));
+            prop_assert_eq!(expand_to_edge_list(&g), expected);
+        }
+    }
+
+    #[test]
+    fn delete_vertex_removes_exactly_its_pairs((n_real, sets) in member_sets(16, 6)) {
+        let mut g = build(n_real, &sets);
+        let edges = expand_to_edge_list(&g);
+        let victim = (n_real / 2) as u32;
+        g.delete_vertex(RealId(victim));
+        let mut expected = edges.clone();
+        expected.retain(|&(a, b)| a != victim && b != victim);
+        prop_assert_eq!(expand_to_edge_list(&g), expected.clone());
+        g.compact();
+        prop_assert_eq!(expand_to_edge_list(&g), expected);
+    }
+
+    #[test]
+    fn flatten_preserves_multilayer_semantics(
+        n_real in 2usize..12,
+        edges in proptest::collection::vec((0u32..12, 0u32..12), 0..20)
+    ) {
+        // Build a random 2-layer graph: layer-1 vnodes feed layer-2 vnodes.
+        let mut b = CondensedBuilder::new(n_real);
+        let l1 = b.add_virtual();
+        let l2 = b.add_virtual();
+        b.virtual_to_virtual(l1, l2);
+        for (x, y) in edges {
+            let u = RealId(x % n_real as u32);
+            let t = RealId(y % n_real as u32);
+            b.real_to_virtual(u, l1);
+            b.virtual_to_real(l2, t);
+        }
+        let g = b.build();
+        let flat = graphgen::dedup::flatten_to_single_layer(&g);
+        prop_assert!(flat.is_single_layer());
+        prop_assert_eq!(expand_to_edge_list(&flat), expand_to_edge_list(&g));
+    }
+}
