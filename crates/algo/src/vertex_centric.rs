@@ -74,9 +74,9 @@ where
         let chunk = n.div_ceil(threads);
         let cur_ref = &cur;
         let all_halted_ref = &all_halted;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (ci, slot) in next.chunks_mut(chunk).enumerate() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let base = ci * chunk;
                     let mut local_all_halted = true;
                     for (j, s) in slot.iter_mut().enumerate() {
@@ -93,8 +93,7 @@ where
                     }
                 });
             }
-        })
-        .expect("vertex-centric worker panicked");
+        });
         std::mem::swap(&mut cur, &mut next);
         if all_halted.load(std::sync::atomic::Ordering::Relaxed) {
             return (cur, step + 1);

@@ -6,7 +6,7 @@
 //! the graph, so the system inlines the node (this removes most degenerate
 //! 1- and 2-member virtual nodes extraction produces). The paper implements
 //! a multi-threaded version; here the *decision* phase runs in parallel
-//! (crossbeam scoped threads) and the structural edits are applied serially,
+//! (std scoped threads) and the structural edits are applied serially,
 //! which avoids the paper's "non-trivial concurrency issues" while keeping
 //! the scan parallel.
 
@@ -58,17 +58,16 @@ pub fn expand_cheap_virtuals(g: &mut CondensedGraph, threads: usize) -> Preproce
     } else {
         let mut decisions = vec![false; n_virt];
         let chunk = n_virt.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (i, slot) in decisions.chunks_mut(chunk).enumerate() {
                 let decide = &decide;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (j, d) in slot.iter_mut().enumerate() {
                         *d = decide(i * chunk + j);
                     }
                 });
             }
-        })
-        .expect("preprocessing scan panicked");
+        });
         decisions
     };
 

@@ -1,5 +1,8 @@
 //! Property tests for the DSL: printed programs re-parse, chains are always
 //! valid join paths, and the lexer/parser never panic on arbitrary input.
+// Requires the external `proptest` crate (see Cargo.toml); compiled only
+// when the `proptest-tests` feature is enabled.
+#![cfg(feature = "proptest-tests")]
 
 use graphgen_dsl::{analyze, compile, parse, Atom, HeadKind, Program, Rule, Term};
 use proptest::prelude::*;

@@ -1,6 +1,9 @@
 //! Property tests for the mutation operations of the Graph API: the logical
 //! edge set must respond to add/delete operations exactly like a reference
 //! set-of-pairs model, on every representation.
+// Requires the external `proptest` crate (see Cargo.toml); compiled only
+// when the `proptest-tests` feature is enabled.
+#![cfg(feature = "proptest-tests")]
 
 use graphgen_graph::{
     expand_to_edge_list, CondensedBuilder, CondensedGraph, ExpandedGraph, GraphRep, RealId,

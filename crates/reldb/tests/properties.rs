@@ -1,6 +1,9 @@
 //! Property tests for the relational engine: hash join vs the nested-loop
 //! oracle, DISTINCT semantics, chain-query correctness against a brute-force
 //! evaluator, and CSV round-trips.
+// Requires the external `proptest` crate (see Cargo.toml); compiled only
+// when the `proptest-tests` feature is enabled.
+#![cfg(feature = "proptest-tests")]
 
 use graphgen_reldb::exec::{distinct_rows, hash_join, nested_loop_join, scan_project};
 use graphgen_reldb::query::{ChainStep, Query};

@@ -4,6 +4,9 @@
 //! full SQL path (one big join executed in the relational engine) must
 //! produce the same logical graph — regardless of the planner's
 //! large-output threshold.
+// Requires the external `proptest` crate (see Cargo.toml); compiled only
+// when the `proptest-tests` feature is enabled.
+#![cfg(feature = "proptest-tests")]
 
 use graphgen::core::{GraphGen, GraphGenConfig};
 use graphgen::graph::expand_to_edge_list;

@@ -1,6 +1,9 @@
 //! Property tests: every representation built from the same condensed graph
 //! is semantically identical (same expanded edge set), and each maintains
 //! its structural invariant. This is the core correctness contract of §4.
+// Requires the external `proptest` crate (see Cargo.toml); compiled only
+// when the `proptest-tests` feature is enabled.
+#![cfg(feature = "proptest-tests")]
 
 use graphgen::common::VertexOrdering;
 use graphgen::dedup::{bitmap1, bitmap2, dedup2_greedy, Dedup1Algorithm};
