@@ -48,7 +48,16 @@ mod tests {
     fn two_components() {
         let g = ExpandedGraph::from_edges(
             6,
-            [(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3), (4, 5), (5, 4)],
+            [
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (3, 4),
+                (4, 3),
+                (4, 5),
+                (5, 4),
+            ],
         );
         let labels = connected_components(&g, 2);
         assert_eq!(labels, vec![0, 0, 0, 3, 3, 3]);

@@ -85,10 +85,7 @@ pub fn pagerank<G: GraphRep + Sync>(g: &G, cfg: PageRankConfig) -> Vec<f64> {
     // dangling ranks; with uniform init and uniform redistribution the
     // dangling share converges — we precompute it iteratively on the
     // aggregate (cheap: O(iterations)).
-    let n_dangling = g
-        .vertices()
-        .filter(|&u| degs[u.0 as usize] == 0)
-        .count() as f64;
+    let n_dangling = g.vertices().filter(|&u| degs[u.0 as usize] == 0).count() as f64;
     let n = n_live as f64;
     let mut dangling_per_iter = Vec::with_capacity(cfg.iterations);
     // Aggregate model: dangling nodes hold rank mass m_t; each iteration

@@ -9,7 +9,9 @@ use std::time::Duration;
 fn bfs_sources(n: usize) -> Vec<RealId> {
     // The paper uses a fixed set of 50 random sources.
     let mut rng = graphgen_common::SplitMix64::new(999);
-    (0..50).map(|_| RealId(rng.next_below(n as u64) as u32)).collect()
+    (0..50)
+        .map(|_| RealId(rng.next_below(n as u64) as u32))
+        .collect()
 }
 
 fn run_kernels<G: GraphRep + Sync>(g: &G, sources: &[RealId]) -> (Duration, Duration, Duration) {
@@ -40,11 +42,16 @@ fn main() {
             continue;
         }
         println!("--- {name} ---");
-        row(&["rep", "degree", "bfs(x50)", "pagerank"].map(String::from), &widths);
+        row(
+            &["rep", "degree", "bfs(x50)", "pagerank"].map(String::from),
+            &widths,
+        );
         let set = RepSet::build(name, cdup);
         let sources = bfs_sources(set.exp.num_real_slots());
         let (base_d, base_b, base_p) = run_kernels(&set.exp, &sources);
-        let norm = |t: Duration, b: Duration| format!("{:.2}", t.as_secs_f64() / b.as_secs_f64().max(1e-9));
+        let norm = |t: Duration, b: Duration| {
+            format!("{:.2}", t.as_secs_f64() / b.as_secs_f64().max(1e-9))
+        };
         for (label, timings) in [
             ("EXP", (base_d, base_b, base_p)),
             ("C-DUP", run_kernels(&set.cdup, &sources)),
@@ -77,5 +84,7 @@ fn main() {
         println!();
     }
     println!("paper shape: EXP = 1.0 baseline; C-DUP pays the on-the-fly hashset cost");
-    println!("(largest on many-small-virtual-node datasets); DEDUP-1/BITMAP-2 close most of the gap.");
+    println!(
+        "(largest on many-small-virtual-node datasets); DEDUP-1/BITMAP-2 close most of the gap."
+    );
 }

@@ -15,8 +15,14 @@ fn main() {
     let widths = [12, 12, 12, 12, 12, 12, 12, 12];
     row(
         &[
-            "dataset", "BITMAP-1", "BITMAP-2", "Naive-VNF", "Naive-RNF", "Greedy-RNF",
-            "Greedy-VNF", "DEDUP-2",
+            "dataset",
+            "BITMAP-1",
+            "BITMAP-2",
+            "Naive-VNF",
+            "Naive-RNF",
+            "Greedy-RNF",
+            "Greedy-VNF",
+            "DEDUP-2",
         ]
         .map(String::from),
         &widths,
@@ -40,7 +46,10 @@ fn main() {
 fn orderings() {
     println!("Figure 12b: effect of vertex ordering on DEDUP-1 (Greedy-VNF)\n");
     let widths = [12, 8, 14, 14];
-    row(&["dataset", "order", "time(ms)", "stored_edges"].map(String::from), &widths);
+    row(
+        &["dataset", "order", "time(ms)", "stored_edges"].map(String::from),
+        &widths,
+    );
     for (name, cdup) in small_datasets() {
         for ord in VertexOrdering::all() {
             let (d, t) = time(|| Dedup1Algorithm::GreedyVnf.run(&cdup, ord, 7));

@@ -11,7 +11,9 @@ const REPS: usize = 3000;
 
 fn sample_nodes(n: usize) -> Vec<RealId> {
     let mut rng = SplitMix64::new(2024);
-    (0..REPS).map(|_| RealId(rng.next_below(n as u64) as u32)).collect()
+    (0..REPS)
+        .map(|_| RealId(rng.next_below(n as u64) as u32))
+        .collect()
 }
 
 fn bench_get_neighbors(g: &dyn GraphRep, nodes: &[RealId]) -> f64 {
@@ -57,8 +59,14 @@ fn main() {
     for (name, cdup) in small_datasets() {
         println!("--- {name} ---");
         row(
-            &["rep", "getNeighbors", "existsEdge", "add+delEdge", "removeVertex"]
-                .map(String::from),
+            &[
+                "rep",
+                "getNeighbors",
+                "existsEdge",
+                "add+delEdge",
+                "removeVertex",
+            ]
+            .map(String::from),
             &widths,
         );
         let set = RepSet::build(name, cdup);

@@ -8,7 +8,14 @@ fn main() {
     println!("Table 2: small datasets (scaled stand-ins)\n");
     let widths = [12, 12, 12, 10, 12];
     row(
-        &["dataset", "real_nodes", "virt_nodes", "avg_size", "exp_edges"].map(String::from),
+        &[
+            "dataset",
+            "real_nodes",
+            "virt_nodes",
+            "avg_size",
+            "exp_edges",
+        ]
+        .map(String::from),
         &widths,
     );
     for (name, g) in small_datasets() {

@@ -15,7 +15,10 @@ use graphgen_datagen::{
 use graphgen_graph::{ExpandedGraph, GraphRep, RealId};
 
 fn scale() -> f64 {
-    std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.01)
+    std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01)
 }
 
 fn kernels<G: GraphRep + Sync>(g: &G) -> (String, String, String) {
@@ -40,8 +43,16 @@ fn main() {
     println!("Table 3: large datasets (scale factor {s}; SCALE env to change)\n");
     let widths = [12, 8, 12, 12, 12, 14, 14];
     row(
-        &["dataset", "rep", "degree(ms)", "pr(ms)", "bfs(ms)", "mem(bytes)", "dedup(ms)"]
-            .map(String::from),
+        &[
+            "dataset",
+            "rep",
+            "degree(ms)",
+            "pr(ms)",
+            "bfs(ms)",
+            "mem(bytes)",
+            "dedup(ms)",
+        ]
+        .map(String::from),
         &widths,
     );
     let datasets: Vec<(&str, graphgen_reldb::Database, String)> = vec![

@@ -2,18 +2,26 @@
 //! datasets (`selectivity = distinct(a) / |A|`).
 
 use graphgen_bench::{extract_cdup, row};
-use graphgen_datagen::{
-    layered_database, single_layer_database, LayeredConfig, SingleLayerConfig,
-};
+use graphgen_datagen::{layered_database, single_layer_database, LayeredConfig, SingleLayerConfig};
 use graphgen_graph::GraphRep;
 
 fn main() {
-    let s: f64 = std::env::var("SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.01);
+    let s: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01);
     println!("Table 6: generated dataset selectivities (scale {s})\n");
     let widths = [12, 12, 12, 22, 12, 12];
     row(
-        &["dataset", "rows", "entities", "selectivities", "cdup_nodes", "cdup_edges"]
-            .map(String::from),
+        &[
+            "dataset",
+            "rows",
+            "entities",
+            "selectivities",
+            "cdup_nodes",
+            "cdup_edges",
+        ]
+        .map(String::from),
         &widths,
     );
     for (name, cfg) in [

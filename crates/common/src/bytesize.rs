@@ -57,8 +57,7 @@ impl<T: ByteSize> ByteSize for Option<T> {
 
 impl<T: ByteSize> ByteSize for Box<[T]> {
     fn heap_bytes(&self) -> usize {
-        self.len() * std::mem::size_of::<T>()
-            + self.iter().map(ByteSize::heap_bytes).sum::<usize>()
+        self.len() * std::mem::size_of::<T>() + self.iter().map(ByteSize::heap_bytes).sum::<usize>()
     }
 }
 

@@ -56,7 +56,8 @@ pub fn single_layer_database(cfg: SingleLayerConfig) -> (Database, String) {
     for _ in 0..cfg.rows {
         let x = rng.next_below(entities as u64) as i64;
         let v = rng.next_below(distinct as u64) as i64;
-        a.push_row(vec![Value::int(x), Value::int(v)]).expect("schema");
+        a.push_row(vec![Value::int(x), Value::int(v)])
+            .expect("schema");
     }
     let mut db = Database::new();
     db.register("Entity", entity).expect("fresh db");
@@ -122,13 +123,15 @@ pub fn layered_database(cfg: LayeredConfig) -> (Database, String) {
     for _ in 0..cfg.rows_a {
         let x = rng.next_below(entities as u64) as i64;
         let v = rng.next_below(d_outer as u64) as i64;
-        a.push_row(vec![Value::int(x), Value::int(v)]).expect("schema");
+        a.push_row(vec![Value::int(x), Value::int(v)])
+            .expect("schema");
     }
     let mut b = Table::new(Schema::new(vec![Column::int("b1"), Column::int("b2")]));
     for _ in 0..cfg.rows_b {
         let v1 = rng.next_below(d_outer as u64) as i64;
         let v2 = rng.next_below(d_inner as u64) as i64;
-        b.push_row(vec![Value::int(v1), Value::int(v2)]).expect("schema");
+        b.push_row(vec![Value::int(v1), Value::int(v2)])
+            .expect("schema");
     }
     let mut db = Database::new();
     db.register("Entity", entity).expect("fresh db");

@@ -23,4 +23,6 @@ pub mod relational;
 
 pub use condensed::{synthetic_condensed, CondensedGenConfig};
 pub use large::{layered_database, single_layer_database, LayeredConfig, SingleLayerConfig};
-pub use relational::{dblp_like, imdb_like, tpch_like, univ, DblpConfig, ImdbConfig, TpchConfig, UnivConfig};
+pub use relational::{
+    dblp_like, imdb_like, tpch_like, univ, DblpConfig, ImdbConfig, TpchConfig, UnivConfig,
+};

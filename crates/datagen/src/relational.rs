@@ -75,7 +75,10 @@ pub fn dblp_like(cfg: DblpConfig) -> Database {
     author.reserve(cfg.authors);
     for a in 0..cfg.authors {
         author
-            .push_row(vec![Value::int(a as i64), Value::str(format!("author_{a}"))])
+            .push_row(vec![
+                Value::int(a as i64),
+                Value::str(format!("author_{a}")),
+            ])
             .expect("schema");
     }
     let zipf = Zipf::new(cfg.authors, 0.8);
@@ -137,8 +140,10 @@ pub fn imdb_like(cfg: ImdbConfig) -> Database {
             .expect("schema");
     }
     let zipf = Zipf::new(cfg.actors, 0.9);
-    let mut cast =
-        Table::new(Schema::new(vec![Column::int("person_id"), Column::int("movie_id")]));
+    let mut cast = Table::new(Schema::new(vec![
+        Column::int("person_id"),
+        Column::int("movie_id"),
+    ]));
     for m in 0..cfg.movies {
         let k = group_size(&mut rng, cfg.avg_cast).min(cfg.actors);
         let mut members = Vec::with_capacity(k);
@@ -195,15 +200,19 @@ impl Default for TpchConfig {
 /// hiding an extremely dense co-purchase graph.
 pub fn tpch_like(cfg: TpchConfig) -> Database {
     let mut rng = SplitMix64::new(cfg.seed);
-    let mut customer =
-        Table::new(Schema::new(vec![Column::int("custkey"), Column::str("name")]));
+    let mut customer = Table::new(Schema::new(vec![
+        Column::int("custkey"),
+        Column::str("name"),
+    ]));
     for c in 0..cfg.customers {
         customer
             .push_row(vec![Value::int(c as i64), Value::str(format!("cust_{c}"))])
             .expect("schema");
     }
-    let mut orders =
-        Table::new(Schema::new(vec![Column::int("orderkey"), Column::int("custkey")]));
+    let mut orders = Table::new(Schema::new(vec![
+        Column::int("orderkey"),
+        Column::int("custkey"),
+    ]));
     for o in 0..cfg.orders {
         let c = rng.next_below(cfg.customers as u64) as i64;
         orders
@@ -211,8 +220,10 @@ pub fn tpch_like(cfg: TpchConfig) -> Database {
             .expect("schema");
     }
     let zipf = Zipf::new(cfg.parts, 0.7);
-    let mut lineitem =
-        Table::new(Schema::new(vec![Column::int("orderkey"), Column::int("partkey")]));
+    let mut lineitem = Table::new(Schema::new(vec![
+        Column::int("orderkey"),
+        Column::int("partkey"),
+    ]));
     for o in 0..cfg.orders {
         let k = group_size(&mut rng, cfg.avg_lineitems).min(cfg.parts);
         for _ in 0..k {
@@ -267,11 +278,13 @@ pub fn univ(cfg: UnivConfig) -> Database {
     let mut student = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
     for s in 0..cfg.students {
         student
-            .push_row(vec![Value::int(s as i64), Value::str(format!("student_{s}"))])
+            .push_row(vec![
+                Value::int(s as i64),
+                Value::str(format!("student_{s}")),
+            ])
             .expect("schema");
     }
-    let mut instructor =
-        Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+    let mut instructor = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
     for i in 0..cfg.instructors {
         // Instructor ids live above the student range so heterogeneous
         // graphs don't collide.

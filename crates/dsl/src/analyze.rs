@@ -106,7 +106,10 @@ pub fn is_acyclic(atoms: &[Atom]) -> bool {
                 continue;
             }
             for j in 0..edges.len() {
-                if i != j && keep[j] && edges[i].is_subset(&edges[j]) && (edges[i].len() < edges[j].len() || i > j)
+                if i != j
+                    && keep[j]
+                    && edges[i].is_subset(&edges[j])
+                    && (edges[i].len() < edges[j].len() || i > j)
                 {
                     keep[i] = false;
                     break;
@@ -273,12 +276,13 @@ fn analyze_edges(rule: &Rule) -> Result<EdgeChain, String> {
                 .into(),
         );
     }
-    find_chain(&rule.body, id1, id2).ok_or_else(|| {
-        "Edges body cannot be ordered into a join chain from ID1 to ID2; \
+    find_chain(&rule.body, id1, id2)
+        .ok_or_else(|| {
+            "Edges body cannot be ordered into a join chain from ID1 to ID2; \
          non-chain acyclic queries fall under Case 2 and are not supported"
-            .to_string()
-    })
-    .map(|steps| EdgeChain { steps })
+                .to_string()
+        })
+        .map(|steps| EdgeChain { steps })
 }
 
 /// Validate a parsed program and produce the extraction spec.

@@ -114,9 +114,7 @@ pub fn tokenize(text: &str) -> Result<Vec<(Token, usize)>, String> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push((Token::Ident(text[start..i].to_string()), start));

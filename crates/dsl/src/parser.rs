@@ -46,7 +46,9 @@ impl Parser {
     fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
         match self.next() {
             Some(t) if &t == want => Ok(()),
-            Some(t) => Err(ParseError::Syntax(format!("expected `{want}`, found `{t}`"))),
+            Some(t) => Err(ParseError::Syntax(format!(
+                "expected `{want}`, found `{t}`"
+            ))),
             None => Err(ParseError::Syntax(format!(
                 "expected `{want}`, found end of input"
             ))),
@@ -60,7 +62,9 @@ impl Parser {
             Some(Token::Str(s)) => Ok(Term::Str(s)),
             Some(Token::Wildcard) => Ok(Term::Wildcard),
             Some(t) => Err(ParseError::Syntax(format!("expected term, found `{t}`"))),
-            None => Err(ParseError::Syntax("expected term, found end of input".into())),
+            None => Err(ParseError::Syntax(
+                "expected term, found end of input".into(),
+            )),
         }
     }
 

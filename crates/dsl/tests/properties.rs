@@ -21,10 +21,8 @@ fn term() -> impl Strategy<Value = Term> {
 }
 
 fn atom() -> impl Strategy<Value = Atom> {
-    (ident(), proptest::collection::vec(term(), 1..5)).prop_map(|(relation, args)| Atom {
-        relation,
-        args,
-    })
+    (ident(), proptest::collection::vec(term(), 1..5))
+        .prop_map(|(relation, args)| Atom { relation, args })
 }
 
 fn render(program: &Program) -> String {

@@ -137,12 +137,7 @@ pub fn degree(rep: GiraphRep<'_>) -> (Vec<u32>, RunStats) {
 /// What a virtual node replies to a degree request from `u`. Single-layer
 /// fast path; multi-layer recursion forwards through virtual children
 /// (counting messages).
-fn virtual_degree_reply(
-    rep: &GiraphRep<'_>,
-    v: VirtId,
-    u: RealId,
-    stats: &mut RunStats,
-) -> u32 {
+fn virtual_degree_reply(rep: &GiraphRep<'_>, v: VirtId, u: RealId, stats: &mut RunStats) -> u32 {
     // For correctness on DEDUP-1 (structurally unique) and BITMAP (mask),
     // count targets visible to source u. C-DUP would over-count — its
     // degree needs the hashset path, which Giraph can't do cheaply; the
@@ -256,9 +251,7 @@ pub fn pagerank(rep: GiraphRep<'_>, iterations: usize, damping: f64) -> (Vec<f64
                     let mail = std::mem::take(&mut vmail[vi as usize]);
                     let total: f64 = mail.iter().map(|(_, c)| c).sum();
                     let by_source: Option<FxHashMap<u32, f64>> = match rep {
-                        GiraphRep::Bitmap(_) => {
-                            Some(mail.iter().copied().collect())
-                        }
+                        GiraphRep::Bitmap(_) => Some(mail.iter().copied().collect()),
                         _ => None,
                     };
                     let contributed: FxHashMap<u32, f64> = mail.iter().copied().collect();
@@ -303,9 +296,7 @@ pub fn pagerank(rep: GiraphRep<'_>, iterations: usize, damping: f64) -> (Vec<f64
         let dangling_share = damping * dangling_mass / n_live;
         let mut next_dangling = 0.0;
         for u in g.vertices() {
-            let r = (1.0 - damping) / n_live
-                + damping * incoming[u.0 as usize]
-                + dangling_share;
+            let r = (1.0 - damping) / n_live + damping * incoming[u.0 as usize] + dangling_share;
             rank[u.0 as usize] = r;
             if degs[u.0 as usize] == 0 {
                 next_dangling += r;

@@ -437,11 +437,7 @@ mod tests {
     fn duplication_is_invisible_to_neighbors() {
         // a1 and a4 share two pubs: exactly one logical edge.
         let g = fig1();
-        let count = g
-            .neighbors(RealId(0))
-            .iter()
-            .filter(|r| r.0 == 3)
-            .count();
+        let count = g.neighbors(RealId(0)).iter().filter(|r| r.0 == 3).count();
         assert_eq!(count, 1);
     }
 
@@ -546,7 +542,7 @@ mod tests {
         let mut g = fig1();
         let index = g.real_in_index();
         g.expand_virtual(VirtId(1), &index[1]); // p2 = {a1, a4}
-        // logical graph unchanged
+                                                // logical graph unchanged
         assert!(g.exists_edge(RealId(0), RealId(3)));
         assert!(g.exists_edge(RealId(3), RealId(0)));
         assert!(g.virt_out(VirtId(1)).is_empty());

@@ -297,7 +297,10 @@ impl GraphRep for Dedup2Graph {
             ls.capacity() * std::mem::size_of::<Vec<u32>>()
                 + ls.iter().map(|l| l.capacity() * 4).sum::<usize>()
         };
-        lists(&self.memberships) + lists(&self.members) + lists(&self.vv) + lists(&self.direct)
+        lists(&self.memberships)
+            + lists(&self.members)
+            + lists(&self.vv)
+            + lists(&self.direct)
             + self.alive.capacity()
     }
 }
@@ -324,11 +327,19 @@ mod tests {
         let g = fig6c();
         // a (=3) is connected to b,c through W2 and u1,u2,u3 through W2—W1,
         // but NOT to d,e,f (W3 is not adjacent to W2).
-        let mut n = g.neighbors(RealId(3)).iter().map(|r| r.0).collect::<Vec<_>>();
+        let mut n = g
+            .neighbors(RealId(3))
+            .iter()
+            .map(|r| r.0)
+            .collect::<Vec<_>>();
         n.sort_unstable();
         assert_eq!(n, vec![0, 1, 2, 4, 5]);
         // u1 (=0) reaches everyone: u2,u3 via W1; a,b,c via W1—W2; d,e,f via W1—W3.
-        let mut n0 = g.neighbors(RealId(0)).iter().map(|r| r.0).collect::<Vec<_>>();
+        let mut n0 = g
+            .neighbors(RealId(0))
+            .iter()
+            .map(|r| r.0)
+            .collect::<Vec<_>>();
         n0.sort_unstable();
         assert_eq!(n0, vec![1, 2, 3, 4, 5, 6, 7, 8]);
     }
@@ -373,7 +384,10 @@ mod tests {
         g.delete_edge(RealId(3), RealId(0));
         assert!(!g.exists_edge(RealId(3), RealId(0)));
         for other in [1u32, 2, 4, 5] {
-            assert!(g.exists_edge(RealId(3), RealId(other)), "lost edge to {other}");
+            assert!(
+                g.exists_edge(RealId(3), RealId(other)),
+                "lost edge to {other}"
+            );
         }
         // b and c keep their connections to u1.
         assert!(g.exists_edge(RealId(4), RealId(0)));

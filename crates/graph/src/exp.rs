@@ -257,7 +257,10 @@ mod tests {
     fn from_rep_roundtrip() {
         let g = triangle();
         let g2 = ExpandedGraph::from_rep(&g);
-        assert_eq!(crate::expand_to_edge_list(&g), crate::expand_to_edge_list(&g2));
+        assert_eq!(
+            crate::expand_to_edge_list(&g),
+            crate::expand_to_edge_list(&g2)
+        );
     }
 
     #[test]

@@ -120,7 +120,11 @@ mod tests {
     fn reals_sort_before_virtuals() {
         // Sorted adjacency lists put all real targets first — existsEdge
         // binary-searches the real prefix.
-        let mut v = [Adj::virt(VirtId(0)), Adj::real(RealId(999)), Adj::real(RealId(1))];
+        let mut v = [
+            Adj::virt(VirtId(0)),
+            Adj::real(RealId(999)),
+            Adj::real(RealId(1)),
+        ];
         v.sort();
         assert_eq!(v[0], Adj::real(RealId(1)));
         assert_eq!(v[1], Adj::real(RealId(999)));

@@ -41,7 +41,10 @@ pub fn validate_virtual_dag(g: &CondensedGraph) -> Result<(), String> {
         }
     }
     if done != n {
-        return Err(format!("virtual graph has a cycle ({} of {n} sorted)", done));
+        return Err(format!(
+            "virtual graph has a cycle ({} of {n} sorted)",
+            done
+        ));
     }
     Ok(())
 }

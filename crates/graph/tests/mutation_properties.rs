@@ -30,10 +30,7 @@ fn ops(n: u32) -> impl Strategy<Value = Vec<Op>> {
 }
 
 fn sets(n: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..n, 2..6),
-        0..8,
-    )
+    proptest::collection::vec(proptest::collection::vec(0..n, 2..6), 0..8)
 }
 
 fn build_cdup(n: u32, cliques: &[Vec<u32>]) -> CondensedGraph {

@@ -55,6 +55,8 @@ mod tests {
         }
         .to_string()
         .contains("`c`"));
-        assert!(DbError::SchemaMismatch("x".into()).to_string().contains("x"));
+        assert!(DbError::SchemaMismatch("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

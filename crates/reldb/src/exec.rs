@@ -143,7 +143,12 @@ mod tests {
         assert_eq!(out.len(), 4);
         assert_eq!(
             out[0],
-            vec![Value::int(1), Value::int(100), Value::int(100), Value::int(7)]
+            vec![
+                Value::int(1),
+                Value::int(100),
+                Value::int(100),
+                Value::int(7)
+            ]
         );
     }
 

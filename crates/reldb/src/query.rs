@@ -149,14 +149,8 @@ impl Query {
 fn render_pred(pred: &Predicate, alias: char, table: &crate::table::Table, out: &mut Vec<String>) {
     match pred {
         Predicate::True => {}
-        Predicate::Eq(c, v) => out.push(format!(
-            "{alias}.{}={v}",
-            table.schema().column(*c).name
-        )),
-        Predicate::Ne(c, v) => out.push(format!(
-            "{alias}.{}<>{v}",
-            table.schema().column(*c).name
-        )),
+        Predicate::Eq(c, v) => out.push(format!("{alias}.{}={v}", table.schema().column(*c).name)),
+        Predicate::Ne(c, v) => out.push(format!("{alias}.{}<>{v}", table.schema().column(*c).name)),
         Predicate::Lt(c, v) => out.push(format!("{alias}.{}<{v}", table.schema().column(*c).name)),
         Predicate::Le(c, v) => out.push(format!("{alias}.{}<={v}", table.schema().column(*c).name)),
         Predicate::Gt(c, v) => out.push(format!("{alias}.{}>{v}", table.schema().column(*c).name)),
@@ -179,7 +173,16 @@ mod tests {
     /// p1: {a1,a2,a4}, p2: {a1,a4}, p3: {a3,a4,a5}... keep it small:
     fn fig1_db() -> Database {
         let mut t = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
-        let rows = [(1, 1), (2, 1), (4, 1), (1, 2), (4, 2), (3, 3), (4, 3), (5, 3)];
+        let rows = [
+            (1, 1),
+            (2, 1),
+            (4, 1),
+            (1, 2),
+            (4, 2),
+            (3, 3),
+            (4, 3),
+            (5, 3),
+        ];
         for (a, p) in rows {
             t.push_row(vec![Value::int(a), Value::int(p)]).unwrap();
         }
