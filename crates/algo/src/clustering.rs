@@ -104,8 +104,8 @@ mod tests {
         b.clique(&[RealId(0), RealId(1), RealId(2), RealId(3)]);
         let g = b.build();
         let c = clustering_coefficients(&g, 1);
-        for i in 0..4 {
-            assert!((c[i] - 1.0).abs() < 1e-12, "vertex {i}: {}", c[i]);
+        for (i, &ci) in c.iter().enumerate().take(4) {
+            assert!((ci - 1.0).abs() < 1e-12, "vertex {i}: {ci}");
         }
         assert_eq!(c[4], 0.0);
     }

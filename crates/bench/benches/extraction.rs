@@ -12,12 +12,12 @@ fn bench_extraction(c: &mut Criterion) {
         avg_authors_per_pub: 2.5,
         seed: 1,
     });
-    let cfg = GraphGenConfig {
-        large_output_factor: 0.0,
-        preprocess: false,
-        auto_expand_threshold: None,
-        threads: 1,
-    };
+    let cfg = GraphGenConfig::builder()
+        .large_output_factor(0.0)
+        .preprocess(false)
+        .auto_expand_threshold(None)
+        .threads(1)
+        .build();
     let gg = GraphGen::with_config(&db, cfg);
     let mut group = c.benchmark_group("extraction");
     group.sample_size(10);
@@ -30,10 +30,7 @@ fn bench_extraction(c: &mut Criterion) {
     group.bench_function("condensed_with_preprocess", |b| {
         let gg2 = GraphGen::with_config(
             &db,
-            GraphGenConfig {
-                preprocess: true,
-                ..cfg
-            },
+            cfg.to_builder().preprocess(true).build(),
         );
         b.iter(|| gg2.extract(DBLP_COAUTHORS).expect("extract"))
     });

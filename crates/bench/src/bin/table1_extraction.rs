@@ -10,7 +10,9 @@ use graphgen_core::{GraphGen, GraphGenConfig};
 use graphgen_datagen::relational::{
     DBLP_COAUTHORS, IMDB_COACTORS, TPCH_COPURCHASE, UNIV_COENROLLMENT,
 };
-use graphgen_datagen::{dblp_like, imdb_like, tpch_like, univ, DblpConfig, ImdbConfig, TpchConfig, UnivConfig};
+use graphgen_datagen::{
+    dblp_like, imdb_like, tpch_like, univ, DblpConfig, ImdbConfig, TpchConfig, UnivConfig,
+};
 use graphgen_graph::GraphRep;
 
 fn main() {
@@ -18,7 +20,12 @@ fn main() {
     let widths = [12, 10, 12, 14, 12, 14, 8];
     row(
         &[
-            "dataset", "rows", "cond.edges", "cond.time(ms)", "full.edges", "full.time(ms)",
+            "dataset",
+            "rows",
+            "cond.edges",
+            "cond.time(ms)",
+            "full.edges",
+            "full.time(ms)",
             "ratio",
         ]
         .map(String::from),
@@ -32,17 +39,17 @@ fn main() {
     ];
     for (name, db, query) in datasets {
         let rows = db.total_rows();
-        let cfg = GraphGenConfig {
-            large_output_factor: 2.0,
-            preprocess: false,
-            auto_expand_threshold: None,
-            threads: 1,
-        };
+        let cfg = GraphGenConfig::builder()
+            .large_output_factor(2.0)
+            .preprocess(false)
+            .auto_expand_threshold(None)
+            .threads(1)
+            .build();
         let gg = GraphGen::with_config(&db, cfg);
         let (condensed, t_cond) = time(|| gg.extract(query).expect("condensed extraction"));
         let (full, t_full) = time(|| gg.extract_full(query).expect("full extraction"));
-        let cond_edges = condensed.graph.stored_edge_count();
-        let full_edges = full.graph.stored_edge_count();
+        let cond_edges = condensed.graph().stored_edge_count();
+        let full_edges = full.graph().stored_edge_count();
         row(
             &[
                 name.to_string(),

@@ -11,7 +11,7 @@ use graphgen_core::{AnyGraph, GraphGen, GraphGenConfig};
 use graphgen_datagen::{
     dblp_like, imdb_like, synthetic_condensed, CondensedGenConfig, DblpConfig, ImdbConfig,
 };
-use graphgen_dedup::{bitmap1, bitmap2, dedup2_greedy, Dedup1Algorithm};
+use graphgen_dedup::{bitmap1, bitmap2, try_dedup2_greedy, Dedup1Algorithm};
 use graphgen_graph::{
     BitmapGraph, CondensedGraph, Dedup1Graph, Dedup2Graph, ExpandedGraph, GraphRep,
 };
@@ -32,8 +32,20 @@ pub fn ms(d: Duration) -> String {
 /// The four small datasets of §6.1, as condensed graphs.
 pub fn small_datasets() -> Vec<(&'static str, CondensedGraph)> {
     vec![
-        ("DBLP", extract_cdup(&dblp_like(DblpConfig::default()), graphgen_datagen::relational::DBLP_COAUTHORS)),
-        ("IMDB", extract_cdup(&imdb_like(ImdbConfig::default()), graphgen_datagen::relational::IMDB_COACTORS)),
+        (
+            "DBLP",
+            extract_cdup(
+                &dblp_like(DblpConfig::default()),
+                graphgen_datagen::relational::DBLP_COAUTHORS,
+            ),
+        ),
+        (
+            "IMDB",
+            extract_cdup(
+                &imdb_like(ImdbConfig::default()),
+                graphgen_datagen::relational::IMDB_COACTORS,
+            ),
+        ),
         (
             "Synthetic_1",
             synthetic_condensed(CondensedGenConfig {
@@ -61,14 +73,15 @@ pub fn small_datasets() -> Vec<(&'static str, CondensedGraph)> {
 pub fn extract_cdup(db: &graphgen_reldb::Database, query: &str) -> CondensedGraph {
     let gg = GraphGen::with_config(
         db,
-        GraphGenConfig {
-            large_output_factor: 0.0, // force virtual nodes
-            preprocess: false,
-            auto_expand_threshold: None,
-            threads: 1,
-        },
+        // large_output_factor 0.0 forces virtual nodes.
+        GraphGenConfig::builder()
+            .large_output_factor(0.0)
+            .preprocess(false)
+            .auto_expand_threshold(None)
+            .threads(1)
+            .build(),
     );
-    match gg.extract(query).expect("extraction failed").graph {
+    match gg.extract(query).expect("extraction failed").into_parts().0 {
         AnyGraph::CDup(g) => g,
         _ => unreachable!("auto-expansion disabled"),
     }
@@ -97,8 +110,7 @@ impl RepSet {
     pub fn build(name: &str, cdup: CondensedGraph) -> Self {
         let exp = ExpandedGraph::from_rep(&cdup);
         let dedup1 = Dedup1Algorithm::GreedyVnf.run(&cdup, VertexOrdering::Random, 7);
-        let dedup2 = graphgen_dedup::dedup2_greedy::member_sets(&cdup)
-            .map(|_| dedup2_greedy(&cdup, VertexOrdering::Descending, 7));
+        let dedup2 = try_dedup2_greedy(&cdup, VertexOrdering::Descending, 7).ok();
         let b1 = bitmap1(cdup.clone());
         let (b2, _) = bitmap2(cdup.clone(), 1);
         Self {

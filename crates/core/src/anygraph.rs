@@ -2,14 +2,13 @@
 //!
 //! The paper's system picks a representation per dataset / per analysis
 //! (§6.5). [`AnyGraph`] is the dynamic wrapper: it holds any of the five
-//! representations, implements the full [`GraphRep`] API by dispatch, and
-//! provides the conversion entry points (expansion, the DEDUP-1 algorithms,
-//! DEDUP-2, BITMAP-1/2).
+//! representations and implements the full [`GraphRep`] API by dispatch.
+//! Moving **between** representations is the job of
+//! [`crate::GraphHandle::convert`] — the typed, single entry point that
+//! replaced the old scatter of `Option`-returning `to_*` methods here.
 
-use graphgen_dedup::{bitmap1, bitmap2, dedup2_greedy, Dedup1Algorithm, VertexOrdering};
 use graphgen_graph::{
-    BitmapGraph, CondensedGraph, Dedup1Graph, Dedup2Graph, ExpandedGraph, GraphRep, RealId,
-    RepKind,
+    BitmapGraph, CondensedGraph, Dedup1Graph, Dedup2Graph, ExpandedGraph, GraphRep, RealId, RepKind,
 };
 
 /// Any of the five in-memory representations.
@@ -48,7 +47,8 @@ impl AnyGraph {
         }
     }
 
-    /// The condensed core, if this is a condensed representation.
+    /// The condensed core, if this representation retains one (C-DUP,
+    /// DEDUP-1, and BITMAP do; EXP and DEDUP-2 do not).
     pub fn as_condensed(&self) -> Option<&CondensedGraph> {
         match self {
             AnyGraph::CDup(g) => Some(g),
@@ -57,45 +57,35 @@ impl AnyGraph {
             _ => None,
         }
     }
+}
 
-    /// Expand into EXP (always possible).
-    pub fn to_exp(&self) -> ExpandedGraph {
-        match self {
-            AnyGraph::Exp(g) => g.clone(),
-            other => ExpandedGraph::from_rep(other.inner()),
-        }
+impl From<CondensedGraph> for AnyGraph {
+    fn from(g: CondensedGraph) -> Self {
+        AnyGraph::CDup(g)
     }
+}
 
-    /// Run a DEDUP-1 algorithm. Requires a C-DUP source (single-layer; use
-    /// `graphgen_dedup::flatten_to_single_layer` first for multi-layer).
-    pub fn to_dedup1(
-        &self,
-        algo: Dedup1Algorithm,
-        ordering: VertexOrdering,
-        seed: u64,
-    ) -> Option<Dedup1Graph> {
-        let core = self.as_condensed()?;
-        if !core.is_single_layer() {
-            return None;
-        }
-        Some(algo.run(core, ordering, seed))
+impl From<ExpandedGraph> for AnyGraph {
+    fn from(g: ExpandedGraph) -> Self {
+        AnyGraph::Exp(g)
     }
+}
 
-    /// Run the DEDUP-2 constructor (symmetric single-layer sources only).
-    pub fn to_dedup2(&self, ordering: VertexOrdering, seed: u64) -> Option<Dedup2Graph> {
-        let core = self.as_condensed()?;
-        graphgen_dedup::dedup2_greedy::member_sets(core)?;
-        Some(dedup2_greedy(core, ordering, seed))
+impl From<Dedup1Graph> for AnyGraph {
+    fn from(g: Dedup1Graph) -> Self {
+        AnyGraph::Dedup1(g)
     }
+}
 
-    /// Run BITMAP-1 preprocessing.
-    pub fn to_bitmap1(&self) -> Option<BitmapGraph> {
-        Some(bitmap1(self.as_condensed()?.clone()))
+impl From<Dedup2Graph> for AnyGraph {
+    fn from(g: Dedup2Graph) -> Self {
+        AnyGraph::Dedup2(g)
     }
+}
 
-    /// Run BITMAP-2 preprocessing.
-    pub fn to_bitmap2(&self, threads: usize) -> Option<BitmapGraph> {
-        Some(bitmap2(self.as_condensed()?.clone(), threads).0)
+impl From<BitmapGraph> for AnyGraph {
+    fn from(g: BitmapGraph) -> Self {
+        AnyGraph::Bitmap(g)
     }
 }
 
@@ -147,7 +137,7 @@ impl GraphRep for AnyGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphgen_graph::{expand_to_edge_list, CondensedBuilder};
+    use graphgen_graph::CondensedBuilder;
 
     fn sample() -> AnyGraph {
         let mut b = CondensedBuilder::new(5);
@@ -155,23 +145,6 @@ mod tests {
         b.clique(&[RealId(0), RealId(3)]);
         b.clique(&[RealId(2), RealId(3), RealId(4)]);
         AnyGraph::CDup(b.build())
-    }
-
-    #[test]
-    fn conversions_preserve_semantics() {
-        let g = sample();
-        let truth = expand_to_edge_list(&g);
-        assert_eq!(expand_to_edge_list(&g.to_exp()), truth);
-        for algo in Dedup1Algorithm::all() {
-            let d1 = g.to_dedup1(algo, VertexOrdering::Random, 1).unwrap();
-            assert_eq!(expand_to_edge_list(&d1), truth, "{}", algo.label());
-        }
-        let d2 = g.to_dedup2(VertexOrdering::Descending, 0).unwrap();
-        assert_eq!(expand_to_edge_list(&d2), truth);
-        let b1 = g.to_bitmap1().unwrap();
-        assert_eq!(expand_to_edge_list(&b1), truth);
-        let b2 = g.to_bitmap2(1).unwrap();
-        assert_eq!(expand_to_edge_list(&b2), truth);
     }
 
     #[test]
@@ -188,12 +161,24 @@ mod tests {
     }
 
     #[test]
-    fn exp_variant_conversion_noops() {
+    fn condensed_core_visibility() {
         let g = sample();
-        let exp = AnyGraph::Exp(g.to_exp());
+        assert!(g.as_condensed().is_some());
+        let exp = AnyGraph::Exp(ExpandedGraph::from_rep(&g));
         assert_eq!(exp.kind(), RepKind::Exp);
         assert!(exp.as_condensed().is_none());
-        assert!(exp.to_dedup1(Dedup1Algorithm::NaiveVnf, VertexOrdering::Random, 0).is_none());
-        assert_eq!(expand_to_edge_list(&exp.to_exp()), expand_to_edge_list(&g));
+    }
+
+    #[test]
+    fn from_impls_wrap_the_right_variant() {
+        let core = match sample() {
+            AnyGraph::CDup(g) => g,
+            _ => unreachable!(),
+        };
+        assert_eq!(AnyGraph::from(core.clone()).kind(), RepKind::CDup);
+        assert_eq!(
+            AnyGraph::from(ExpandedGraph::from_rep(&core)).kind(),
+            RepKind::Exp
+        );
     }
 }

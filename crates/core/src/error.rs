@@ -1,0 +1,194 @@
+//! The unified error surface of the graphgen facade.
+//!
+//! Every fallible public operation — parsing the DSL, running the relational
+//! engine, converting between representations — reports through one
+//! [`Error`] type, with [`Error::kind`] as the stable, match-friendly
+//! classifier and `From` impls from each substrate error so `?` composes
+//! across layers.
+
+use graphgen_dedup::DedupError;
+use graphgen_dsl::ParseError;
+use graphgen_graph::RepKind;
+use graphgen_reldb::DbError;
+use std::fmt;
+
+/// Why a representation conversion is impossible (§3.4's transparent
+/// conversion surface, [`crate::GraphHandle::convert`]).
+///
+/// The paper's DEDUP-1/DEDUP-2 constructions only apply to restricted
+/// shapes of the condensed graph (§5); instead of a silent `None`, every
+/// infeasible request explains exactly which restriction failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvertError {
+    /// The target needs a **single-layer** condensed source, but this graph
+    /// has two or more virtual layers. Flatten first
+    /// (`ConvertOptions::flatten`, or `graphgen_dedup::flatten_to_single_layer`).
+    MultiLayer,
+    /// DEDUP-2 needs a **symmetric** source: every virtual node's source
+    /// set must equal its target set (the shape co-occurrence extraction
+    /// produces). This graph has an asymmetric virtual node.
+    Asymmetric,
+    /// The target needs a condensed core (C-DUP, DEDUP-1, or BITMAP
+    /// source), but this representation does not retain one.
+    NotCondensed {
+        /// The representation the conversion started from.
+        from: RepKind,
+    },
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::MultiLayer => write!(
+                f,
+                "conversion requires a single-layer condensed source, but the graph \
+                 has multiple virtual layers (enable ConvertOptions::flatten or run \
+                 flatten_to_single_layer first)"
+            ),
+            ConvertError::Asymmetric => write!(
+                f,
+                "DEDUP-2 requires a symmetric single-layer source (every virtual \
+                 node's sources must equal its targets)"
+            ),
+            ConvertError::NotCondensed { from } => write!(
+                f,
+                "conversion requires a condensed core, but the {from} representation \
+                 does not retain one"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+impl From<DedupError> for ConvertError {
+    fn from(e: DedupError) -> Self {
+        match e {
+            DedupError::MultiLayer => ConvertError::MultiLayer,
+            DedupError::Asymmetric => ConvertError::Asymmetric,
+        }
+    }
+}
+
+/// Stable classification of an [`Error`], independent of payload details.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// DSL parse or semantic-validation failure.
+    Dsl,
+    /// Relational engine failure (unknown table/column, arity mismatch, …).
+    Db,
+    /// Infeasible representation conversion.
+    Convert,
+}
+
+/// The single error type of the facade: everything the pipeline can raise.
+#[derive(Debug)]
+pub enum Error {
+    /// DSL parse/validation failure.
+    Dsl(ParseError),
+    /// Relational engine failure.
+    Db(DbError),
+    /// Infeasible representation conversion.
+    Convert(ConvertError),
+}
+
+impl Error {
+    /// The stable classification of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Dsl(_) => ErrorKind::Dsl,
+            Error::Db(_) => ErrorKind::Db,
+            Error::Convert(_) => ErrorKind::Convert,
+        }
+    }
+
+    /// The conversion failure reason, if this is a conversion error.
+    pub fn as_convert(&self) -> Option<ConvertError> {
+        match self {
+            Error::Convert(e) => Some(*e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Dsl(e) => write!(f, "{e}"),
+            Error::Db(e) => write!(f, "{e}"),
+            Error::Convert(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Dsl(e) => Some(e),
+            Error::Db(e) => Some(e),
+            Error::Convert(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Dsl(e)
+    }
+}
+
+impl From<DbError> for Error {
+    fn from(e: DbError) -> Self {
+        Error::Db(e)
+    }
+}
+
+impl From<ConvertError> for Error {
+    fn from(e: ConvertError) -> Self {
+        Error::Convert(e)
+    }
+}
+
+impl From<DedupError> for Error {
+    fn from(e: DedupError) -> Self {
+        Error::Convert(e.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        let e: Error = ConvertError::MultiLayer.into();
+        assert_eq!(e.kind(), ErrorKind::Convert);
+        assert_eq!(e.as_convert(), Some(ConvertError::MultiLayer));
+        let e: Error = DbError::UnknownTable("x".into()).into();
+        assert_eq!(e.kind(), ErrorKind::Db);
+        assert_eq!(e.as_convert(), None);
+    }
+
+    #[test]
+    fn dedup_errors_map_to_convert_reasons() {
+        assert_eq!(
+            ConvertError::from(DedupError::MultiLayer),
+            ConvertError::MultiLayer
+        );
+        assert_eq!(
+            ConvertError::from(DedupError::Asymmetric),
+            ConvertError::Asymmetric
+        );
+    }
+
+    #[test]
+    fn display_explains_the_restriction() {
+        assert!(ConvertError::MultiLayer
+            .to_string()
+            .contains("single-layer"));
+        assert!(ConvertError::Asymmetric.to_string().contains("symmetric"));
+        assert!(ConvertError::NotCondensed { from: RepKind::Exp }
+            .to_string()
+            .contains("EXP"));
+    }
+}

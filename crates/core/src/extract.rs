@@ -1,62 +1,29 @@
 //! The GraphGen facade and the condensed extraction algorithm (§4.2).
 
 use crate::anygraph::AnyGraph;
+use crate::error::Error;
+use crate::handle::GraphHandle;
 use crate::planner::{full_query, plan_chain, ChainPlan};
 use graphgen_common::IdMap;
 use graphgen_dedup::preprocess::{expand_cheap_virtuals, should_expand, PreprocessStats};
-use graphgen_dsl::{compile, GraphSpec, NodesView, ParseError};
-use graphgen_graph::{
-    CondensedBuilder, ExpandedGraph, PropValue, Properties, RealId, VirtId,
-};
-use graphgen_reldb::{exec::scan_project, Database, DbError, Predicate, Value};
-use std::fmt;
+use graphgen_dsl::{compile, GraphSpec, NodesView};
+use graphgen_graph::{CondensedBuilder, ExpandedGraph, PropValue, Properties, RealId, VirtId};
+use graphgen_reldb::{exec::scan_project, Database, Predicate, Value};
 use std::time::Instant;
 
-/// Errors from the end-to-end pipeline.
-#[derive(Debug)]
-pub enum GraphGenError {
-    /// DSL parse/validation failure.
-    Dsl(ParseError),
-    /// Relational engine failure.
-    Db(DbError),
-}
-
-impl fmt::Display for GraphGenError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            GraphGenError::Dsl(e) => write!(f, "{e}"),
-            GraphGenError::Db(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for GraphGenError {}
-
-impl From<ParseError> for GraphGenError {
-    fn from(e: ParseError) -> Self {
-        GraphGenError::Dsl(e)
-    }
-}
-
-impl From<DbError> for GraphGenError {
-    fn from(e: DbError) -> Self {
-        GraphGenError::Db(e)
-    }
-}
-
-/// Extraction configuration.
+/// Extraction configuration. Construct via [`GraphGenConfig::builder`]:
+///
+/// ```
+/// use graphgen_core::GraphGenConfig;
+/// let cfg = GraphGenConfig::builder().preprocess(false).threads(2).build();
+/// assert!(!cfg.preprocess());
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct GraphGenConfig {
-    /// The large-output test factor (the paper uses 2.0).
-    pub large_output_factor: f64,
-    /// Run §4.2 Step 6 (expand cheap virtual nodes).
-    pub preprocess: bool,
-    /// §6.5 policy: hand back EXP when the expanded graph is at most this
-    /// factor larger than the condensed one (e.g. 1.2 = +20%). `None`
-    /// disables auto-expansion.
-    pub auto_expand_threshold: Option<f64>,
-    /// Worker threads for preprocessing.
-    pub threads: usize,
+    large_output_factor: f64,
+    preprocess: bool,
+    auto_expand_threshold: Option<f64>,
+    threads: usize,
 }
 
 impl Default for GraphGenConfig {
@@ -67,6 +34,81 @@ impl Default for GraphGenConfig {
             auto_expand_threshold: Some(1.2),
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         }
+    }
+}
+
+impl GraphGenConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> GraphGenConfigBuilder {
+        GraphGenConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// Re-open this configuration as a builder, to vary one knob without
+    /// re-listing the others.
+    pub fn to_builder(self) -> GraphGenConfigBuilder {
+        GraphGenConfigBuilder { cfg: self }
+    }
+
+    /// The large-output test factor (the paper uses 2.0).
+    pub fn large_output_factor(&self) -> f64 {
+        self.large_output_factor
+    }
+
+    /// Whether §4.2 Step 6 (expand cheap virtual nodes) runs.
+    pub fn preprocess(&self) -> bool {
+        self.preprocess
+    }
+
+    /// The §6.5 auto-expansion threshold; `None` disables auto-expansion.
+    pub fn auto_expand_threshold(&self) -> Option<f64> {
+        self.auto_expand_threshold
+    }
+
+    /// Worker threads for preprocessing.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Builder for [`GraphGenConfig`]; every knob starts at its default.
+#[derive(Debug, Clone)]
+pub struct GraphGenConfigBuilder {
+    cfg: GraphGenConfig,
+}
+
+impl GraphGenConfigBuilder {
+    /// The large-output test factor (the paper uses 2.0). `0.0` classifies
+    /// every join as large-output, forcing the condensed path.
+    pub fn large_output_factor(mut self, factor: f64) -> Self {
+        self.cfg.large_output_factor = factor;
+        self
+    }
+
+    /// Run §4.2 Step 6 (expand cheap virtual nodes).
+    pub fn preprocess(mut self, on: bool) -> Self {
+        self.cfg.preprocess = on;
+        self
+    }
+
+    /// §6.5 policy: hand back EXP when the expanded graph is at most this
+    /// factor larger than the condensed one (e.g. 1.2 = +20%). Pass `None`
+    /// to disable auto-expansion and always keep the condensed result.
+    pub fn auto_expand_threshold(mut self, threshold: impl Into<Option<f64>>) -> Self {
+        self.cfg.auto_expand_threshold = threshold.into();
+        self
+    }
+
+    /// Worker threads for preprocessing.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> GraphGenConfig {
+        self.cfg
     }
 }
 
@@ -83,31 +125,6 @@ pub struct ExtractionReport {
     pub auto_expanded: bool,
     /// Wall-clock extraction time in microseconds.
     pub extraction_micros: u128,
-}
-
-/// The result of an extraction: graph + id mapping + properties + report.
-#[derive(Debug)]
-pub struct ExtractedGraph {
-    /// The in-memory graph (C-DUP, or EXP if auto-expanded / Case-2).
-    pub graph: AnyGraph,
-    /// Dense node id ↔ original key value.
-    pub ids: IdMap<Value>,
-    /// Vertex properties from the `Nodes` statements.
-    pub properties: Properties,
-    /// Plan and timing report.
-    pub report: ExtractionReport,
-}
-
-impl ExtractedGraph {
-    /// Original key of a vertex.
-    pub fn key_of(&self, u: RealId) -> &Value {
-        self.ids.key_of(u.0)
-    }
-
-    /// Vertex by original key.
-    pub fn vertex_of(&self, key: &Value) -> Option<RealId> {
-        self.ids.get(key).map(RealId)
-    }
 }
 
 /// The GraphGen system: an extraction engine over a relational database.
@@ -137,13 +154,13 @@ impl<'a> GraphGen<'a> {
     }
 
     /// Parse a DSL program and extract the (condensed) graph.
-    pub fn extract(&self, dsl: &str) -> Result<ExtractedGraph, GraphGenError> {
+    pub fn extract(&self, dsl: &str) -> Result<GraphHandle, Error> {
         let spec = compile(dsl)?;
         self.extract_spec(&spec)
     }
 
     /// Extract from a pre-compiled spec.
-    pub fn extract_spec(&self, spec: &GraphSpec) -> Result<ExtractedGraph, GraphGenError> {
+    pub fn extract_spec(&self, spec: &GraphSpec) -> Result<GraphHandle, Error> {
         let start = Instant::now();
         let mut report = ExtractionReport::default();
 
@@ -177,17 +194,12 @@ impl<'a> GraphGen<'a> {
             _ => AnyGraph::CDup(graph),
         };
         report.extraction_micros = start.elapsed().as_micros();
-        Ok(ExtractedGraph {
-            graph,
-            ids,
-            properties,
-            report,
-        })
+        Ok(GraphHandle::from_parts(graph, ids, properties, report))
     }
 
     /// Extract the **fully expanded** graph by running each chain as one
     /// SQL query (Table 1's "Full Graph" baseline).
-    pub fn extract_full(&self, dsl: &str) -> Result<ExtractedGraph, GraphGenError> {
+    pub fn extract_full(&self, dsl: &str) -> Result<GraphHandle, Error> {
         let spec = compile(dsl)?;
         let start = Instant::now();
         let mut report = ExtractionReport::default();
@@ -204,18 +216,15 @@ impl<'a> GraphGen<'a> {
         }
         let graph = ExpandedGraph::from_edges(ids.len(), edges);
         report.extraction_micros = start.elapsed().as_micros();
-        Ok(ExtractedGraph {
-            graph: AnyGraph::Exp(graph),
+        Ok(GraphHandle::from_parts(
+            AnyGraph::Exp(graph),
             ids,
             properties,
             report,
-        })
+        ))
     }
 
-    fn load_nodes(
-        &self,
-        views: &[NodesView],
-    ) -> Result<(IdMap<Value>, Properties), GraphGenError> {
+    fn load_nodes(&self, views: &[NodesView]) -> Result<(IdMap<Value>, Properties), Error> {
         let mut ids: IdMap<Value> = IdMap::new();
         let mut props = Properties::new(0);
         for view in views {
@@ -249,7 +258,7 @@ impl<'a> GraphGen<'a> {
         plan: &ChainPlan,
         ids: &IdMap<Value>,
         builder: &mut CondensedBuilder,
-    ) -> Result<(), GraphGenError> {
+    ) -> Result<(), Error> {
         let k = plan.segments.len();
         if k == 1 {
             // No large-output join: the database computes the edge list.
@@ -279,12 +288,8 @@ impl<'a> GraphGen<'a> {
                     (false, true) => {
                         // res_k(a_u, ID2): virtual -> real
                         let Some(t) = ids.get(&y) else { continue };
-                        let v = intern_vnode(
-                            &mut boundaries[k - 2],
-                            &mut vnode_of[k - 2],
-                            builder,
-                            x,
-                        );
+                        let v =
+                            intern_vnode(&mut boundaries[k - 2], &mut vnode_of[k - 2], builder, x);
                         builder.virtual_to_real(v, RealId(t));
                     }
                     (false, false) => {
@@ -339,10 +344,7 @@ fn split_two<'x>(
 ) -> (BoundaryRef<'x>, BoundaryRef<'x>) {
     let (bl, br) = boundaries.split_at_mut(j);
     let (vl, vr) = vnodes.split_at_mut(j);
-    (
-        (&mut bl[j - 1], &mut vl[j - 1]),
-        (&mut br[0], &mut vr[0]),
-    )
+    ((&mut bl[j - 1], &mut vl[j - 1]), (&mut br[0], &mut vr[0]))
 }
 
 #[cfg(test)]
@@ -360,7 +362,16 @@ mod tests {
                 .unwrap();
         }
         let mut ap = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
-        for (a, p) in [(1, 1), (2, 1), (4, 1), (1, 2), (4, 2), (3, 3), (4, 3), (5, 3)] {
+        for (a, p) in [
+            (1, 1),
+            (2, 1),
+            (4, 1),
+            (1, 2),
+            (4, 2),
+            (3, 3),
+            (4, 3),
+            (5, 3),
+        ] {
             ap.push_row(vec![Value::int(a), Value::int(p)]).unwrap();
         }
         let mut db = Database::new();
@@ -379,23 +390,20 @@ mod tests {
         // small-output) and disable auto-expansion so we can compare C-DUP.
         let gg = GraphGen::with_config(
             &db,
-            GraphGenConfig {
-                large_output_factor: 0.0,
-                preprocess: false,
-                auto_expand_threshold: None,
-                threads: 1,
-            },
+            GraphGenConfig::builder()
+                .large_output_factor(0.0)
+                .preprocess(false)
+                .auto_expand_threshold(None)
+                .threads(1)
+                .build(),
         );
         let condensed = gg.extract(Q1).unwrap();
         let full = gg.extract_full(Q1).unwrap();
-        assert!(matches!(condensed.graph, AnyGraph::CDup(_)));
+        assert!(matches!(condensed.graph(), AnyGraph::CDup(_)));
         // Same node keys -> same dense ids -> directly comparable edges.
-        assert_eq!(
-            expand_to_edge_list(&condensed.graph),
-            expand_to_edge_list(&full.graph)
-        );
+        assert_eq!(expand_to_edge_list(&condensed), expand_to_edge_list(&full));
         // 12 directed co-author pairs (excluding self-loops).
-        assert_eq!(condensed.graph.expanded_edge_count(), 12);
+        assert_eq!(condensed.graph().expanded_edge_count(), 12);
     }
 
     #[test]
@@ -405,7 +413,7 @@ mod tests {
         let g = gg.extract(Q1).unwrap();
         let a1 = g.vertex_of(&Value::int(1)).unwrap();
         assert_eq!(
-            g.properties.get(a1, "Name").unwrap().as_text(),
+            g.properties().get(a1, "Name").unwrap().as_text(),
             Some("a1")
         );
         assert_eq!(g.key_of(a1), &Value::int(1));
@@ -417,14 +425,13 @@ mod tests {
         // Default factor: the tiny join is small-output -> single segment.
         let gg = GraphGen::with_config(
             &db,
-            GraphGenConfig {
-                auto_expand_threshold: None,
-                ..Default::default()
-            },
+            GraphGenConfig::builder()
+                .auto_expand_threshold(None)
+                .build(),
         );
         let g = gg.extract(Q1).unwrap();
-        assert_eq!(g.report.plans[0].segments.len(), 1);
-        assert_eq!(g.graph.expanded_edge_count(), 12);
+        assert_eq!(g.report().plans[0].segments.len(), 1);
+        assert_eq!(g.graph().expanded_edge_count(), 12);
     }
 
     #[test]
@@ -434,8 +441,8 @@ mod tests {
         let g = gg.extract(Q1).unwrap();
         // Either path must preserve semantics; with defaults this small
         // graph ends up expanded.
-        assert!(g.report.auto_expanded);
-        assert!(matches!(g.graph, AnyGraph::Exp(_)));
+        assert!(g.report().auto_expanded);
+        assert!(matches!(g.graph(), AnyGraph::Exp(_)));
     }
 
     #[test]
@@ -443,37 +450,41 @@ mod tests {
         let db = fig1_db();
         let gg = GraphGen::with_config(
             &db,
-            GraphGenConfig {
-                large_output_factor: 0.0,
-                preprocess: false,
-                auto_expand_threshold: None,
-                threads: 1,
-            },
+            GraphGenConfig::builder()
+                .large_output_factor(0.0)
+                .preprocess(false)
+                .auto_expand_threshold(None)
+                .threads(1)
+                .build(),
         );
         let g = gg.extract(Q1).unwrap();
-        assert_eq!(g.report.sql.len(), 2, "{:?}", g.report.sql);
-        assert!(g.report.sql[0].contains("SELECT DISTINCT"));
+        assert_eq!(g.report().sql.len(), 2, "{:?}", g.report().sql);
+        assert!(g.report().sql[0].contains("SELECT DISTINCT"));
     }
 
     #[test]
     fn multi_layer_extraction_tpch_shape() {
         // Customer -- Orders -- LineItem co-purchase ([Q2]).
-        let mut customer =
-            Table::new(Schema::new(vec![Column::int("custkey"), Column::str("name")]));
+        let mut customer = Table::new(Schema::new(vec![
+            Column::int("custkey"),
+            Column::str("name"),
+        ]));
         for c in 0..4 {
             customer
                 .push_row(vec![Value::int(c), Value::str(format!("c{c}"))])
                 .unwrap();
         }
-        let mut orders =
-            Table::new(Schema::new(vec![Column::int("orderkey"), Column::int("custkey")]));
-        let mut lineitem =
-            Table::new(Schema::new(vec![Column::int("orderkey"), Column::int("partkey")]));
+        let mut orders = Table::new(Schema::new(vec![
+            Column::int("orderkey"),
+            Column::int("custkey"),
+        ]));
+        let mut lineitem = Table::new(Schema::new(vec![
+            Column::int("orderkey"),
+            Column::int("partkey"),
+        ]));
         // customer c owns order c; orders 0,1 share part 100; orders 2,3 share part 200.
         for o in 0..4 {
-            orders
-                .push_row(vec![Value::int(o), Value::int(o)])
-                .unwrap();
+            orders.push_row(vec![Value::int(o), Value::int(o)]).unwrap();
         }
         for (o, p) in [(0, 100), (1, 100), (2, 200), (3, 200), (0, 300)] {
             lineitem
@@ -489,32 +500,29 @@ mod tests {
                                      Orders(OK2, ID2), LineItem(OK2, PK).";
         let gg = GraphGen::with_config(
             &db,
-            GraphGenConfig {
-                large_output_factor: 0.0, // force all joins large -> 3 layers
-                preprocess: false,
-                auto_expand_threshold: None,
-                threads: 1,
-            },
+            // large_output_factor 0.0 forces all joins large -> 3 layers.
+            GraphGenConfig::builder()
+                .large_output_factor(0.0)
+                .preprocess(false)
+                .auto_expand_threshold(None)
+                .threads(1)
+                .build(),
         );
         let condensed = gg.extract(q2).unwrap();
         let full = gg.extract_full(q2).unwrap();
-        assert_eq!(
-            expand_to_edge_list(&condensed.graph),
-            expand_to_edge_list(&full.graph)
-        );
-        let core = condensed.graph.as_condensed().unwrap();
+        assert_eq!(expand_to_edge_list(&condensed), expand_to_edge_list(&full));
+        let core = condensed.graph().as_condensed().unwrap();
         assert!(!core.is_single_layer());
-        assert_eq!(condensed.report.plans[0].virtual_layers(), 3);
+        assert_eq!(condensed.report().plans[0].virtual_layers(), 3);
         // c0-c1 and c2-c3 connected (shared parts), plus no cross edges.
-        let mut edges = expand_to_edge_list(&condensed.graph);
+        let mut edges = expand_to_edge_list(&condensed);
         edges.sort_unstable();
         assert_eq!(edges, vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
     }
 
     #[test]
     fn heterogeneous_bipartite_q3() {
-        let mut instructor =
-            Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+        let mut instructor = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
         instructor
             .push_row(vec![Value::int(100), Value::str("i1")])
             .unwrap();
@@ -542,19 +550,18 @@ mod tests {
                   Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).";
         let gg = GraphGen::with_config(
             &db,
-            GraphGenConfig {
-                auto_expand_threshold: None,
-                ..Default::default()
-            },
+            GraphGenConfig::builder()
+                .auto_expand_threshold(None)
+                .build(),
         );
         let g = gg.extract(q3).unwrap();
         // Directed edges instructor -> student only.
         let i1 = g.vertex_of(&Value::int(100)).unwrap();
         let s1 = g.vertex_of(&Value::int(1)).unwrap();
         let s2 = g.vertex_of(&Value::int(2)).unwrap();
-        assert!(g.graph.exists_edge(i1, s1));
-        assert!(g.graph.exists_edge(i1, s2));
-        assert!(!g.graph.exists_edge(s1, i1));
-        assert_eq!(g.graph.expanded_edge_count(), 2);
+        assert!(g.graph().exists_edge(i1, s1));
+        assert!(g.graph().exists_edge(i1, s2));
+        assert!(!g.graph().exists_edge(s1, i1));
+        assert_eq!(g.graph().expanded_edge_count(), 2);
     }
 }

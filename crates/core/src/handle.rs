@@ -1,0 +1,595 @@
+//! The first-class graph handle: the paper's representation-independent
+//! analyst surface (§3.4, §6.5).
+//!
+//! A [`GraphHandle`] owns everything an extraction produced — the graph in
+//! whatever representation it currently has, the dense-id ↔ original-key
+//! mapping, the vertex properties, and the plan report — and is the **only**
+//! way to move between representations:
+//!
+//! * [`GraphHandle::convert`] — explicit conversion to any [`RepKind`],
+//!   with a typed [`ConvertError`] explaining *why* an infeasible request
+//!   fails instead of a silent `None`;
+//! * [`GraphHandle::advise`] — the paper's §6.5 representation chooser as
+//!   a pure function of the graph's shape and an [`AdvisorPolicy`];
+//! * [`GraphHandle::convert_to_advised`] — chooser + conversion in one
+//!   step, the "system picks for you" default path.
+//!
+//! Key-space accessors ([`GraphHandle::neighbors_by_key`],
+//! [`GraphHandle::degree_by_key`], [`GraphHandle::vertex_property`]) let
+//! callers stay entirely in their own key domain and never touch raw
+//! [`RealId`]s.
+
+use crate::anygraph::AnyGraph;
+use crate::error::ConvertError;
+use crate::extract::ExtractionReport;
+use graphgen_common::{IdMap, VertexOrdering};
+use graphgen_dedup::{
+    bitmap1, bitmap2, flatten_to_single_layer, preprocess::should_expand, try_dedup2_greedy,
+    Dedup1Algorithm,
+};
+use graphgen_graph::{
+    CondensedGraph, ExpandedGraph, GraphRep, PropValue, Properties, RealId, RepKind,
+};
+use graphgen_reldb::Value;
+
+/// Which BITMAP preprocessing pass builds the bitmap representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BitmapAlgorithm {
+    /// BITMAP-1: one pass per real node setting first-seen bits.
+    Bitmap1,
+    /// BITMAP-2: greedy-set-cover bitmaps, fewer bitmaps/bits (the paper's
+    /// preferred variant).
+    #[default]
+    Bitmap2,
+}
+
+/// Knobs for [`GraphHandle::convert`]. The defaults reproduce the paper's
+/// Fig. 10 configuration (Greedy-VNF for DEDUP-1, BITMAP-2 for BITMAP).
+#[derive(Debug, Clone, Copy)]
+pub struct ConvertOptions {
+    /// DEDUP-1 algorithm (Fig. 12a sweeps all four).
+    pub algorithm: Dedup1Algorithm,
+    /// Vertex processing order for the dedup constructors.
+    pub ordering: VertexOrdering,
+    /// Seed for the `Random` ordering's tie-breaking.
+    pub seed: u64,
+    /// Worker threads for BITMAP-2 preprocessing.
+    pub threads: usize,
+    /// Which BITMAP preprocessing pass to run.
+    pub bitmap: BitmapAlgorithm,
+    /// Automatically flatten multi-layer sources before DEDUP-1/DEDUP-2
+    /// (§5.2.2's suggested route). When `false` (the default), a
+    /// multi-layer source reports [`ConvertError::MultiLayer`].
+    pub flatten: bool,
+}
+
+impl Default for ConvertOptions {
+    fn default() -> Self {
+        Self {
+            algorithm: Dedup1Algorithm::GreedyVnf,
+            ordering: VertexOrdering::Descending,
+            seed: 0,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            bitmap: BitmapAlgorithm::Bitmap2,
+            flatten: false,
+        }
+    }
+}
+
+/// Policy for the §6.5 representation chooser ([`GraphHandle::advise`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AdvisorPolicy {
+    /// Hand back EXP when the expanded graph is at most this factor larger
+    /// than the condensed one (the paper uses 1.2 = +20%): small graphs are
+    /// not worth the condensed machinery.
+    pub expand_threshold: f64,
+    /// Permit the structural dedup representations (DEDUP-1/2). Disable for
+    /// extraction-latency-critical paths: BITMAP preprocessing is cheaper
+    /// than the dedup constructions (Fig. 11's trade-off).
+    pub allow_dedup: bool,
+}
+
+impl Default for AdvisorPolicy {
+    fn default() -> Self {
+        Self {
+            expand_threshold: 1.2,
+            allow_dedup: true,
+        }
+    }
+}
+
+/// An extracted graph plus everything needed to use it: id ↔ key mapping,
+/// vertex properties, and the plan report. See the module docs for the
+/// conversion/advisor surface.
+#[derive(Debug, Clone)]
+pub struct GraphHandle {
+    graph: AnyGraph,
+    ids: IdMap<Value>,
+    properties: Properties,
+    report: ExtractionReport,
+}
+
+impl GraphHandle {
+    /// Assemble a handle from parts (the extractor's exit point; also handy
+    /// for synthetic graphs in tests and benchmarks).
+    pub fn from_parts(
+        graph: AnyGraph,
+        ids: IdMap<Value>,
+        properties: Properties,
+        report: ExtractionReport,
+    ) -> Self {
+        Self {
+            graph,
+            ids,
+            properties,
+            report,
+        }
+    }
+
+    /// The graph, in whatever representation the handle currently holds.
+    /// `GraphHandle` also implements [`GraphRep`] directly, so most callers
+    /// never need this.
+    pub fn graph(&self) -> &AnyGraph {
+        &self.graph
+    }
+
+    /// Mutable access for the 7-operation mutation API.
+    pub fn graph_mut(&mut self) -> &mut AnyGraph {
+        &mut self.graph
+    }
+
+    /// The dense node id ↔ original key mapping.
+    pub fn ids(&self) -> &IdMap<Value> {
+        &self.ids
+    }
+
+    /// Vertex properties from the `Nodes` statements.
+    pub fn properties(&self) -> &Properties {
+        &self.properties
+    }
+
+    /// Plan and timing report of the extraction that produced this handle.
+    pub fn report(&self) -> &ExtractionReport {
+        &self.report
+    }
+
+    /// Which representation the handle currently holds.
+    pub fn kind(&self) -> RepKind {
+        self.graph.kind()
+    }
+
+    /// Decompose into `(graph, ids, properties, report)`.
+    pub fn into_parts(self) -> (AnyGraph, IdMap<Value>, Properties, ExtractionReport) {
+        (self.graph, self.ids, self.properties, self.report)
+    }
+
+    // ---- key-space accessors -------------------------------------------
+
+    /// Original key of a vertex.
+    pub fn key_of(&self, u: RealId) -> &Value {
+        self.ids.key_of(u.0)
+    }
+
+    /// Vertex by original key.
+    pub fn vertex_of(&self, key: &Value) -> Option<RealId> {
+        self.ids.get(key).map(RealId)
+    }
+
+    /// Out-neighbors of the vertex with this key, as keys. `None` if the
+    /// key names no vertex.
+    pub fn neighbors_by_key(&self, key: &Value) -> Option<Vec<&Value>> {
+        let u = self.vertex_of(key)?;
+        let mut out = Vec::new();
+        self.graph
+            .for_each_neighbor(u, &mut |v| out.push(self.ids.key_of(v.0)));
+        Some(out)
+    }
+
+    /// Out-degree of the vertex with this key. `None` if the key names no
+    /// vertex.
+    pub fn degree_by_key(&self, key: &Value) -> Option<usize> {
+        Some(self.graph.degree(self.vertex_of(key)?))
+    }
+
+    /// A property of the vertex with this key. `None` if the key names no
+    /// vertex or the property is unset.
+    pub fn vertex_property(&self, key: &Value, name: &str) -> Option<&PropValue> {
+        self.properties.get(self.vertex_of(key)?, name)
+    }
+
+    // ---- conversion and the §6.5 advisor -------------------------------
+
+    /// The condensed core the conversions work from, or the typed reason
+    /// there is none.
+    fn condensed_core(&self) -> Result<&CondensedGraph, ConvertError> {
+        self.graph.as_condensed().ok_or(ConvertError::NotCondensed {
+            from: self.graph.kind(),
+        })
+    }
+
+    /// A single-layer condensed core: borrowed when already single-layer,
+    /// flattened (owned) when `opts.flatten` allows, an error otherwise.
+    fn single_layer_core(
+        &self,
+        opts: &ConvertOptions,
+    ) -> Result<std::borrow::Cow<'_, CondensedGraph>, ConvertError> {
+        let core = self.condensed_core()?;
+        if core.is_single_layer() {
+            Ok(std::borrow::Cow::Borrowed(core))
+        } else if opts.flatten {
+            Ok(std::borrow::Cow::Owned(flatten_to_single_layer(core)))
+        } else {
+            Err(ConvertError::MultiLayer)
+        }
+    }
+
+    /// Convert to the requested representation. Every feasible conversion
+    /// goes through here; infeasible ones explain themselves:
+    ///
+    /// | target | requirement | failure |
+    /// |---|---|---|
+    /// | `Exp` | none | — |
+    /// | `CDup` | condensed core | [`ConvertError::NotCondensed`] |
+    /// | `Bitmap` | condensed core | [`ConvertError::NotCondensed`] |
+    /// | `Dedup1` | + single layer | [`ConvertError::MultiLayer`] |
+    /// | `Dedup2` | + symmetric | [`ConvertError::Asymmetric`] |
+    ///
+    /// Converting to the representation the handle already holds clones it.
+    /// The id mapping, properties, and report carry over unchanged.
+    pub fn convert(
+        &self,
+        target: RepKind,
+        opts: &ConvertOptions,
+    ) -> Result<GraphHandle, ConvertError> {
+        // Same-representation requests clone as-is. This matters beyond
+        // speed: DEDUP-2 retains no condensed core, so re-*constructing*
+        // DEDUP-2 from a DEDUP-2 handle would be infeasible even though
+        // holding it clearly is.
+        if target == self.graph.kind() {
+            return Ok(self.clone());
+        }
+        let graph = match target {
+            RepKind::Exp => AnyGraph::Exp(ExpandedGraph::from_rep(&self.graph)),
+            RepKind::CDup => AnyGraph::CDup(self.condensed_core()?.clone()),
+            RepKind::Dedup1 => {
+                let core = self.single_layer_core(opts)?;
+                AnyGraph::Dedup1(opts.algorithm.try_run(&core, opts.ordering, opts.seed)?)
+            }
+            RepKind::Dedup2 => {
+                let core = self.single_layer_core(opts)?;
+                AnyGraph::Dedup2(try_dedup2_greedy(&core, opts.ordering, opts.seed)?)
+            }
+            RepKind::Bitmap => {
+                let core = self.condensed_core()?.clone();
+                AnyGraph::Bitmap(match opts.bitmap {
+                    BitmapAlgorithm::Bitmap1 => bitmap1(core),
+                    BitmapAlgorithm::Bitmap2 => bitmap2(core, opts.threads).0,
+                })
+            }
+        };
+        Ok(GraphHandle {
+            graph,
+            ids: self.ids.clone(),
+            properties: self.properties.clone(),
+            report: self.report.clone(),
+        })
+    }
+
+    /// The §6.5 chooser: which representation this graph should be held in
+    /// under `policy`. The advice is always feasible for
+    /// [`GraphHandle::convert`] (given default [`ConvertOptions`]).
+    ///
+    /// * no condensed core (already EXP, or DEDUP-2): keep what we have —
+    ///   both are duplicate-free;
+    /// * expansion within `policy.expand_threshold`: EXP — small graphs
+    ///   don't repay the condensed machinery;
+    /// * symmetric single-layer (the co-occurrence shape): DEDUP-2, the
+    ///   smallest duplicate-free representation (Fig. 10);
+    /// * other single-layer: DEDUP-1;
+    /// * multi-layer: BITMAP — the only duplicate-free representation that
+    ///   handles layered condensed graphs directly.
+    pub fn advise(&self, policy: &AdvisorPolicy) -> RepKind {
+        let Some(core) = self.graph.as_condensed() else {
+            return self.graph.kind();
+        };
+        if should_expand(core, policy.expand_threshold) {
+            return RepKind::Exp;
+        }
+        if policy.allow_dedup && core.is_single_layer() {
+            return match graphgen_dedup::check_symmetric(core) {
+                Ok(()) => RepKind::Dedup2,
+                Err(_) => RepKind::Dedup1,
+            };
+        }
+        RepKind::Bitmap
+    }
+
+    /// Chooser + conversion in one step: convert to whatever
+    /// [`GraphHandle::advise`] picks. This is the transparent "the system
+    /// decides" path of §6.5.
+    pub fn convert_to_advised(
+        &self,
+        policy: &AdvisorPolicy,
+        opts: &ConvertOptions,
+    ) -> Result<GraphHandle, ConvertError> {
+        self.convert(self.advise(policy), opts)
+    }
+}
+
+/// The handle is itself a graph: the 7-operation API dispatches to the
+/// representation it currently holds, so algorithms take `&GraphHandle`
+/// directly.
+impl GraphRep for GraphHandle {
+    fn kind(&self) -> RepKind {
+        self.graph.kind()
+    }
+    fn num_real_slots(&self) -> usize {
+        self.graph.num_real_slots()
+    }
+    fn is_alive(&self, u: RealId) -> bool {
+        self.graph.is_alive(u)
+    }
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+    fn for_each_neighbor(&self, u: RealId, f: &mut dyn FnMut(RealId)) {
+        self.graph.for_each_neighbor(u, f)
+    }
+    fn exists_edge(&self, u: RealId, v: RealId) -> bool {
+        self.graph.exists_edge(u, v)
+    }
+    fn add_vertex(&mut self) -> RealId {
+        self.graph.add_vertex()
+    }
+    fn delete_vertex(&mut self, u: RealId) {
+        self.graph.delete_vertex(u)
+    }
+    fn compact(&mut self) {
+        self.graph.compact()
+    }
+    fn add_edge(&mut self, u: RealId, v: RealId) {
+        self.graph.add_edge(u, v)
+    }
+    fn delete_edge(&mut self, u: RealId, v: RealId) {
+        self.graph.delete_edge(u, v)
+    }
+    fn stored_edge_count(&self) -> u64 {
+        self.graph.stored_edge_count()
+    }
+    fn stored_node_count(&self) -> usize {
+        self.graph.stored_node_count()
+    }
+    fn heap_bytes(&self) -> usize {
+        self.graph.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen_graph::{expand_to_edge_list, CondensedBuilder};
+
+    fn handle_of(graph: AnyGraph) -> GraphHandle {
+        let n = graph.num_real_slots();
+        let mut ids = IdMap::new();
+        for i in 0..n {
+            ids.intern(Value::int(i as i64 * 10));
+        }
+        let mut properties = Properties::new(n);
+        for i in 0..n {
+            properties.set(RealId(i as u32), "Name", PropValue::Text(format!("n{i}")));
+        }
+        GraphHandle::from_parts(graph, ids, properties, ExtractionReport::default())
+    }
+
+    fn symmetric_handle() -> GraphHandle {
+        let mut b = CondensedBuilder::new(5);
+        b.clique(&[RealId(0), RealId(1), RealId(3)]);
+        b.clique(&[RealId(2), RealId(3), RealId(4)]);
+        handle_of(AnyGraph::CDup(b.build()))
+    }
+
+    fn multilayer_handle() -> GraphHandle {
+        let mut b = CondensedBuilder::new(4);
+        let l1 = b.add_virtual();
+        let l2 = b.add_virtual();
+        b.virtual_to_virtual(l1, l2);
+        for u in 0..3u32 {
+            b.real_to_virtual(RealId(u), l1);
+            b.virtual_to_real(l2, RealId(u + 1));
+        }
+        handle_of(AnyGraph::CDup(b.build()))
+    }
+
+    fn asymmetric_handle() -> GraphHandle {
+        let mut b = CondensedBuilder::new(3);
+        let v = b.add_virtual();
+        b.real_to_virtual(RealId(0), v);
+        b.virtual_to_real(v, RealId(1));
+        handle_of(AnyGraph::CDup(b.build()))
+    }
+
+    /// Only *direct* real→real edges, and directed ones: `member_sets`'
+    /// virtual-node scan is vacuous here, so the direct-edge symmetry check
+    /// must be what refuses DEDUP-2.
+    fn asymmetric_direct_handle() -> GraphHandle {
+        let mut b = CondensedBuilder::new(3);
+        b.direct(RealId(0), RealId(1));
+        b.direct(RealId(2), RealId(1));
+        handle_of(AnyGraph::CDup(b.build()))
+    }
+
+    #[test]
+    fn directed_direct_edges_refuse_dedup2() {
+        let h = asymmetric_direct_handle();
+        let opts = ConvertOptions::default();
+        // Regression: this used to return Ok with a corrupted edge set
+        // (dropped (2,1), fabricated (1,0)).
+        assert_eq!(
+            h.convert(RepKind::Dedup2, &opts).unwrap_err(),
+            ConvertError::Asymmetric
+        );
+        // The advisor must route such graphs to DEDUP-1 instead.
+        let strict = AdvisorPolicy {
+            expand_threshold: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(h.advise(&strict), RepKind::Dedup1);
+        let d1 = h.convert_to_advised(&strict, &opts).unwrap();
+        assert_eq!(expand_to_edge_list(&d1), expand_to_edge_list(&h));
+    }
+
+    #[test]
+    fn every_feasible_conversion_preserves_semantics() {
+        let h = symmetric_handle();
+        let truth = expand_to_edge_list(&h);
+        let opts = ConvertOptions::default();
+        for target in RepKind::all() {
+            let converted = h.convert(target, &opts).unwrap();
+            assert_eq!(converted.kind(), target);
+            assert_eq!(expand_to_edge_list(&converted), truth, "{target}");
+            // Ids and properties carry over.
+            assert_eq!(converted.key_of(RealId(3)), &Value::int(30));
+            assert_eq!(
+                converted.vertex_property(&Value::int(30), "Name"),
+                Some(&PropValue::Text("n3".into()))
+            );
+        }
+    }
+
+    #[test]
+    fn multilayer_source_reports_multilayer_for_dedup() {
+        let h = multilayer_handle();
+        let opts = ConvertOptions::default();
+        assert_eq!(
+            h.convert(RepKind::Dedup1, &opts).unwrap_err(),
+            ConvertError::MultiLayer
+        );
+        assert_eq!(
+            h.convert(RepKind::Dedup2, &opts).unwrap_err(),
+            ConvertError::MultiLayer
+        );
+        // BITMAP handles multi-layer graphs directly.
+        let bmp = h.convert(RepKind::Bitmap, &opts).unwrap();
+        assert_eq!(expand_to_edge_list(&bmp), expand_to_edge_list(&h));
+    }
+
+    #[test]
+    fn flatten_option_unlocks_multilayer_dedup1() {
+        let h = multilayer_handle();
+        let opts = ConvertOptions {
+            flatten: true,
+            ..Default::default()
+        };
+        let d1 = h.convert(RepKind::Dedup1, &opts).unwrap();
+        assert_eq!(expand_to_edge_list(&d1), expand_to_edge_list(&h));
+    }
+
+    #[test]
+    fn asymmetric_source_reports_asymmetric_for_dedup2() {
+        let h = asymmetric_handle();
+        let opts = ConvertOptions::default();
+        assert_eq!(
+            h.convert(RepKind::Dedup2, &opts).unwrap_err(),
+            ConvertError::Asymmetric
+        );
+        // DEDUP-1 does not need symmetry.
+        assert!(h.convert(RepKind::Dedup1, &opts).is_ok());
+    }
+
+    #[test]
+    fn exp_source_reports_not_condensed() {
+        let h = symmetric_handle();
+        let opts = ConvertOptions::default();
+        let exp = h.convert(RepKind::Exp, &opts).unwrap();
+        for target in [
+            RepKind::CDup,
+            RepKind::Dedup1,
+            RepKind::Dedup2,
+            RepKind::Bitmap,
+        ] {
+            assert_eq!(
+                exp.convert(target, &opts).unwrap_err(),
+                ConvertError::NotCondensed { from: RepKind::Exp },
+                "{target}"
+            );
+        }
+        // EXP -> EXP still fine.
+        assert!(exp.convert(RepKind::Exp, &opts).is_ok());
+    }
+
+    #[test]
+    fn advise_is_always_feasible_and_shape_aware() {
+        let opts = ConvertOptions::default();
+        let policy = AdvisorPolicy::default();
+        // Tiny symmetric graph: expansion is cheap.
+        let h = symmetric_handle();
+        assert_eq!(h.advise(&policy), RepKind::Exp);
+        // Forbid expansion: symmetric single-layer -> DEDUP-2.
+        let strict = AdvisorPolicy {
+            expand_threshold: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(h.advise(&strict), RepKind::Dedup2);
+        assert_eq!(
+            h.advise(&AdvisorPolicy {
+                allow_dedup: false,
+                ..strict
+            }),
+            RepKind::Bitmap
+        );
+        // Asymmetric single-layer -> DEDUP-1.
+        assert_eq!(asymmetric_handle().advise(&strict), RepKind::Dedup1);
+        // Multi-layer -> BITMAP.
+        assert_eq!(multilayer_handle().advise(&strict), RepKind::Bitmap);
+        // convert_to_advised succeeds for every shape.
+        for h in [symmetric_handle(), asymmetric_handle(), multilayer_handle()] {
+            for policy in [policy, strict] {
+                let advised = h.convert_to_advised(&policy, &opts).unwrap();
+                assert_eq!(advised.kind(), h.advise(&policy));
+                assert_eq!(expand_to_edge_list(&advised), expand_to_edge_list(&h));
+            }
+        }
+    }
+
+    #[test]
+    fn same_kind_conversion_stays_feasible_without_a_core() {
+        let opts = ConvertOptions::default();
+        let strict = AdvisorPolicy {
+            expand_threshold: 0.0,
+            ..Default::default()
+        };
+        // DEDUP-2 retains no condensed core, yet advise/convert on a
+        // DEDUP-2 handle must keep the "advice is always feasible"
+        // contract (regression: used to fail with NotCondensed).
+        let d2 = symmetric_handle().convert(RepKind::Dedup2, &opts).unwrap();
+        assert_eq!(d2.advise(&strict), RepKind::Dedup2);
+        let again = d2.convert_to_advised(&strict, &opts).unwrap();
+        assert_eq!(again.kind(), RepKind::Dedup2);
+        assert_eq!(expand_to_edge_list(&again), expand_to_edge_list(&d2));
+    }
+
+    #[test]
+    fn key_space_accessors_never_expose_real_ids() {
+        let h = symmetric_handle();
+        let mut nbrs = h.neighbors_by_key(&Value::int(30)).unwrap();
+        nbrs.sort();
+        assert_eq!(
+            nbrs,
+            vec![
+                &Value::int(0),
+                &Value::int(10),
+                &Value::int(20),
+                &Value::int(40)
+            ]
+        );
+        assert_eq!(h.degree_by_key(&Value::int(30)), Some(4));
+        assert_eq!(h.degree_by_key(&Value::int(999)), None);
+        assert!(h.neighbors_by_key(&Value::int(999)).is_none());
+        assert_eq!(
+            h.vertex_property(&Value::int(0), "Name"),
+            Some(&PropValue::Text("n0".into()))
+        );
+        assert_eq!(h.vertex_property(&Value::int(0), "Missing"), None);
+    }
+}

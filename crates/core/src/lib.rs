@@ -11,16 +11,23 @@
 //!    against the relational engine and assembles the condensed graph
 //!    (C-DUP), optionally running the Step-6 preprocessing and the §6.5
 //!    auto-expansion policy;
-//! 4. the result is an [`ExtractedGraph`]: the graph, the id ↔ key mapping,
-//!    vertex properties, and the plan report (including the generated SQL,
-//!    as in the paper's Fig. 16) — ready for the graph API, the
-//!    vertex-centric framework, deduplication, or serialization.
+//! 4. the result is a [`GraphHandle`]: the graph, the id ↔ key mapping,
+//!    vertex properties, and the plan report — plus the typed conversion
+//!    surface ([`GraphHandle::convert`]) and the §6.5 representation
+//!    advisor ([`GraphHandle::advise`]), so analysts never deal with the
+//!    representation underneath unless they want to.
+//!
+//! Everything fallible reports through the unified [`Error`] type.
 
 pub mod anygraph;
+pub mod error;
 pub mod extract;
+pub mod handle;
 pub mod planner;
 pub mod serialize;
 
 pub use anygraph::AnyGraph;
-pub use extract::{ExtractedGraph, GraphGen, GraphGenConfig, GraphGenError};
+pub use error::{ConvertError, Error, ErrorKind};
+pub use extract::{ExtractionReport, GraphGen, GraphGenConfig, GraphGenConfigBuilder};
+pub use handle::{AdvisorPolicy, BitmapAlgorithm, ConvertOptions, GraphHandle};
 pub use planner::{ChainPlan, JoinDecision, SegmentPlan};

@@ -5,18 +5,18 @@
 //! plus a JSON document with nodes, properties, and edges for tools that
 //! want both.
 
-use crate::extract::ExtractedGraph;
+use crate::handle::GraphHandle;
 use graphgen_graph::{GraphRep, PropValue};
 use graphgen_reldb::Value;
 use std::io::{self, Write};
 
 /// Write the expanded edge list: one `src<TAB>dst` pair per line, using the
 /// original node keys.
-pub fn write_edge_list<W: Write>(g: &ExtractedGraph, out: &mut W) -> io::Result<()> {
-    for u in g.graph.vertices() {
+pub fn write_edge_list<W: Write>(g: &GraphHandle, out: &mut W) -> io::Result<()> {
+    for u in g.vertices() {
         let uk = g.key_of(u);
         let mut result = Ok(());
-        g.graph.for_each_neighbor(u, &mut |v| {
+        g.for_each_neighbor(u, &mut |v| {
             if result.is_ok() {
                 result = writeln!(out, "{}\t{}", plain(uk), plain(g.key_of(v)));
             }
@@ -29,19 +29,19 @@ pub fn write_edge_list<W: Write>(g: &ExtractedGraph, out: &mut W) -> io::Result<
 /// Write a JSON document: `{"nodes": [...], "edges": [[src, dst], ...]}`.
 /// Hand-rolled emitter (the structure is fixed and tiny) with proper string
 /// escaping.
-pub fn write_json<W: Write>(g: &ExtractedGraph, out: &mut W) -> io::Result<()> {
+pub fn write_json<W: Write>(g: &GraphHandle, out: &mut W) -> io::Result<()> {
     write!(out, "{{\"nodes\":[")?;
     let mut first = true;
-    for u in g.graph.vertices() {
+    for u in g.vertices() {
         if !first {
             write!(out, ",")?;
         }
         first = false;
         write!(out, "{{\"id\":{}", json_value(g.key_of(u)))?;
-        let mut names: Vec<&str> = g.properties.names().collect();
+        let mut names: Vec<&str> = g.properties().names().collect();
         names.sort_unstable();
         for name in names {
-            if let Some(p) = g.properties.get(u, name) {
+            if let Some(p) = g.properties().get(u, name) {
                 write!(out, ",{}:{}", json_str(name), json_prop(p))?;
             }
         }
@@ -49,9 +49,9 @@ pub fn write_json<W: Write>(g: &ExtractedGraph, out: &mut W) -> io::Result<()> {
     }
     write!(out, "],\"edges\":[")?;
     let mut first = true;
-    for u in g.graph.vertices() {
+    for u in g.vertices() {
         let mut result = Ok(());
-        g.graph.for_each_neighbor(u, &mut |v| {
+        g.for_each_neighbor(u, &mut |v| {
             if result.is_err() {
                 return;
             }
@@ -113,11 +113,10 @@ fn json_prop(p: &PropValue) -> String {
 
 /// Expanded degree sequence keyed by original node key — a convenient
 /// summary for quick inspection in examples/tests.
-pub fn degree_summary(g: &ExtractedGraph) -> Vec<(Value, usize)> {
+pub fn degree_summary(g: &GraphHandle) -> Vec<(Value, usize)> {
     let mut out: Vec<(Value, usize)> = g
-        .graph
         .vertices()
-        .map(|u| (g.key_of(u).clone(), g.graph.degree(u)))
+        .map(|u| (g.key_of(u).clone(), g.degree(u)))
         .collect();
     out.sort();
     out
@@ -132,28 +131,23 @@ mod tests {
     fn tiny() -> Database {
         let mut person = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
         for (i, n) in [(1, "ann \"a\""), (2, "bob")] {
-            person
-                .push_row(vec![Value::int(i), Value::str(n)])
-                .unwrap();
+            person.push_row(vec![Value::int(i), Value::str(n)]).unwrap();
         }
         let mut knows = Table::new(Schema::new(vec![Column::int("a"), Column::int("b")]));
-        knows
-            .push_row(vec![Value::int(1), Value::int(2)])
-            .unwrap();
+        knows.push_row(vec![Value::int(1), Value::int(2)]).unwrap();
         let mut db = Database::new();
         db.register("Person", person).unwrap();
         db.register("Knows", knows).unwrap();
         db
     }
 
-    fn extract() -> ExtractedGraph {
+    fn extract() -> GraphHandle {
         let db = tiny();
         let gg = GraphGen::with_config(
             &db,
-            GraphGenConfig {
-                auto_expand_threshold: None,
-                ..Default::default()
-            },
+            GraphGenConfig::builder()
+                .auto_expand_threshold(None)
+                .build(),
         );
         gg.extract(
             "Nodes(ID, Name) :- Person(ID, Name).\n\

@@ -141,7 +141,9 @@ pub fn synthetic_condensed(cfg: CondensedGenConfig) -> CondensedGraph {
         let mut members: Vec<u32> = vec![anchor];
         degree[anchor as usize] += 1;
         let window = (size * 8).max(16).min(cfg.n_real);
-        let base = (anchor as usize).saturating_sub(window / 2).min(cfg.n_real - window);
+        let base = (anchor as usize)
+            .saturating_sub(window / 2)
+            .min(cfg.n_real - window);
         let mut attempts = 0;
         while members.len() < size.min(cfg.n_real) && attempts < size * 40 {
             attempts += 1;
@@ -211,7 +213,7 @@ mod tests {
             seed: 3,
         });
         assert!(g.is_single_layer());
-        assert!(graphgen_dedup::dedup2_greedy::member_sets(&g).is_some());
+        assert!(graphgen_dedup::dedup2_greedy::member_sets(&g).is_ok());
     }
 
     #[test]

@@ -17,41 +17,83 @@
 //! virtual nodes).
 
 use crate::work::intersect_sorted;
+use crate::DedupError;
 use graphgen_common::VertexOrdering;
 use graphgen_graph::{CondensedGraph, Dedup2Graph, GraphRep, RealId, VirtId};
 
-/// Extract symmetric member sets from a condensed graph. Returns `None` if
-/// the graph is not symmetric single-layer.
-pub fn member_sets(g: &CondensedGraph) -> Option<Vec<Vec<u32>>> {
+/// Extract symmetric member sets from a condensed graph, reporting *why*
+/// the shape is unsuitable otherwise. Symmetry covers **both** edge kinds:
+/// every virtual node's sources must equal its targets, and every direct
+/// real→real edge must have its reverse (DEDUP-2 stores both undirected).
+pub fn member_sets(g: &CondensedGraph) -> Result<Vec<Vec<u32>>, DedupError> {
+    check_symmetric(g)?;
+    let mut sets = Vec::with_capacity(g.num_virtual());
+    for v in 0..g.num_virtual() {
+        sets.push(
+            g.virt_out(VirtId(v as u32))
+                .iter()
+                .filter_map(|a| a.as_real().map(|r| r.0))
+                .collect(),
+        );
+    }
+    Ok(sets)
+}
+
+/// Validate the DEDUP-2 shape restriction without materializing the member
+/// sets — the cheap feasibility probe the §6.5 advisor uses.
+pub fn check_symmetric(g: &CondensedGraph) -> Result<(), DedupError> {
     if !g.is_single_layer() {
-        return None;
+        return Err(DedupError::MultiLayer);
     }
     let in_index = g.real_in_index();
-    let mut sets = Vec::with_capacity(g.num_virtual());
     for (v, sources) in in_index.iter().enumerate() {
-        let targets: Vec<u32> = g
-            .virt_out(VirtId(v as u32))
-            .iter()
-            .filter_map(|a| a.as_real().map(|r| r.0))
-            .collect();
-        if &targets != sources {
-            return None; // not symmetric
+        let out = g.virt_out(VirtId(v as u32));
+        if out.len() != sources.len()
+            || !out
+                .iter()
+                .zip(sources)
+                .all(|(a, &s)| a.as_real().map(|r| r.0) == Some(s))
+        {
+            return Err(DedupError::Asymmetric);
         }
-        sets.push(targets);
     }
-    Some(sets)
+    // Direct real→real edges must be symmetric too.
+    let mut direct: Vec<(u32, u32)> = Vec::new();
+    for u in 0..g.num_real_slots() as u32 {
+        for a in g.real_out(RealId(u)) {
+            if let Some(r) = a.as_real() {
+                direct.push((u, r.0));
+            }
+        }
+    }
+    direct.sort_unstable();
+    if direct
+        .iter()
+        .any(|&(u, v)| direct.binary_search(&(v, u)).is_err())
+    {
+        return Err(DedupError::Asymmetric);
+    }
+    Ok(())
 }
 
 /// Run the DEDUP-2 greedy constructor. Panics if the input is not symmetric
-/// single-layer (use [`member_sets`] to check first). Direct real→real
-/// edges in the input must also be symmetric; each such pair becomes an
-/// undirected direct edge.
-pub fn dedup2_greedy(
+/// single-layer; [`try_dedup2_greedy`] is the non-panicking form. Direct
+/// real→real edges in the input must also be symmetric; each such pair
+/// becomes an undirected direct edge.
+pub fn dedup2_greedy(g: &CondensedGraph, ordering: VertexOrdering, seed: u64) -> Dedup2Graph {
+    try_dedup2_greedy(g, ordering, seed)
+        .expect("dedup2_greedy requires a symmetric single-layer graph")
+}
+
+/// Run the DEDUP-2 greedy constructor, reporting the shape restriction that
+/// failed ([`DedupError::MultiLayer`] / [`DedupError::Asymmetric`]) instead
+/// of panicking.
+pub fn try_dedup2_greedy(
     g: &CondensedGraph,
     ordering: VertexOrdering,
     seed: u64,
-) -> Dedup2Graph {
-    let sets = member_sets(g).expect("dedup2_greedy requires a symmetric single-layer graph");
+) -> Result<Dedup2Graph, DedupError> {
+    let sets = member_sets(g)?;
     let mut out = Dedup2Graph::new(g.num_real_slots());
 
     // Process order: the paper sorts by size (we default to descending so
@@ -80,7 +122,7 @@ pub fn dedup2_greedy(
         }
     }
     debug_assert!(graphgen_graph::validate::validate_dedup2(&out).is_ok());
-    out
+    Ok(out)
 }
 
 /// Insert one member set into the partial DEDUP-2 graph, maintaining the
@@ -110,9 +152,7 @@ fn insert_set(g: &mut Dedup2Graph, mut remaining: Vec<u32>) {
                 continue;
             }
             let overlap = intersect_sorted(g.members(hv), &remaining);
-            if overlap.len() >= 2
-                && best.as_ref().is_none_or(|(_, o)| overlap.len() > o.len())
-            {
+            if overlap.len() >= 2 && best.as_ref().is_none_or(|(_, o)| overlap.len() > o.len()) {
                 best = Some((hv, overlap));
             }
         }
@@ -235,9 +275,7 @@ fn link_pieces(g: &mut Dedup2Graph, a: u32, b: u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphgen_graph::{
-        expand_to_edge_list, validate::validate_dedup2, CondensedBuilder,
-    };
+    use graphgen_graph::{expand_to_edge_list, validate::validate_dedup2, CondensedBuilder};
 
     fn build(cliques: &[&[u32]], n: usize) -> CondensedGraph {
         let mut b = CondensedBuilder::new(n);
@@ -260,7 +298,11 @@ mod tests {
         // DEDUP-2 should use virtual-virtual edges to avoid the direct-edge
         // blowup DEDUP-1 suffers here (Fig. 6b needs 32 directed edges; the
         // DEDUP-2 encoding stays near C-DUP's footprint).
-        assert!(d2.stored_edge_count() <= 14, "got {}", d2.stored_edge_count());
+        assert!(
+            d2.stored_edge_count() <= 14,
+            "got {}",
+            d2.stored_edge_count()
+        );
     }
 
     #[test]
@@ -270,7 +312,8 @@ mod tests {
         b.real_to_virtual(RealId(0), v);
         b.virtual_to_real(v, RealId(1));
         let g = b.build();
-        assert!(member_sets(&g).is_none());
+        assert_eq!(member_sets(&g), Err(DedupError::Asymmetric));
+        assert!(try_dedup2_greedy(&g, VertexOrdering::Descending, 0).is_err());
         let sym = build(&[&[0, 1]], 2);
         assert_eq!(member_sets(&sym).unwrap(), vec![vec![0, 1]]);
     }
@@ -278,7 +321,12 @@ mod tests {
     #[test]
     fn heavy_overlap_chain() {
         let g = build(
-            &[&[0, 1, 2, 3, 4], &[2, 3, 4, 5, 6], &[4, 5, 6, 7, 8], &[0, 4, 8]],
+            &[
+                &[0, 1, 2, 3, 4],
+                &[2, 3, 4, 5, 6],
+                &[4, 5, 6, 7, 8],
+                &[0, 4, 8],
+            ],
             9,
         );
         let before = expand_to_edge_list(&g);

@@ -37,7 +37,7 @@ pub mod work;
 
 pub use bitmap1::bitmap1;
 pub use bitmap2::bitmap2;
-pub use dedup2_greedy::dedup2_greedy;
+pub use dedup2_greedy::{check_symmetric, dedup2_greedy, try_dedup2_greedy};
 pub use flatten::flatten_to_single_layer;
 pub use graphgen_common::VertexOrdering;
 pub use greedy_rnf::greedy_real_nodes_first;
@@ -47,6 +47,39 @@ pub use preprocess::expand_cheap_virtuals;
 pub use work::WorkGraph;
 
 use graphgen_graph::{CondensedGraph, Dedup1Graph};
+
+/// Why a deduplication constructor cannot run on a given condensed graph
+/// (the paper's §5 shape restrictions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DedupError {
+    /// DEDUP-1/DEDUP-2 need a single-layer source; this graph has two or
+    /// more virtual layers (run [`flatten_to_single_layer`] first).
+    MultiLayer,
+    /// DEDUP-2 needs a symmetric source: every virtual node's source set
+    /// must equal its target set.
+    Asymmetric,
+}
+
+impl std::fmt::Display for DedupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DedupError::MultiLayer => {
+                write!(
+                    f,
+                    "source graph is multi-layer; flatten to a single layer first"
+                )
+            }
+            DedupError::Asymmetric => {
+                write!(
+                    f,
+                    "source graph is not symmetric (sources != targets at a virtual node)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DedupError {}
 
 /// Which DEDUP-1 algorithm to run (for sweeps like Fig. 12).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,13 +115,23 @@ impl Dedup1Algorithm {
         }
     }
 
-    /// Run the algorithm on a single-layer condensed graph.
-    pub fn run(
+    /// Run the algorithm, reporting [`DedupError::MultiLayer`] for sources
+    /// that violate the single-layer restriction instead of producing an
+    /// incorrect graph.
+    pub fn try_run(
         self,
         g: &CondensedGraph,
         ordering: VertexOrdering,
         seed: u64,
-    ) -> Dedup1Graph {
+    ) -> Result<Dedup1Graph, DedupError> {
+        if !g.is_single_layer() {
+            return Err(DedupError::MultiLayer);
+        }
+        Ok(self.run(g, ordering, seed))
+    }
+
+    /// Run the algorithm on a single-layer condensed graph.
+    pub fn run(self, g: &CondensedGraph, ordering: VertexOrdering, seed: u64) -> Dedup1Graph {
         match self {
             Dedup1Algorithm::NaiveVnf => naive_virtual_nodes_first(g, ordering, seed),
             Dedup1Algorithm::NaiveRnf => naive_real_nodes_first(g, ordering, seed),

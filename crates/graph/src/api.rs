@@ -12,6 +12,7 @@
 //! vertex itself.
 
 use crate::ids::RealId;
+use std::fmt;
 
 /// Which representation a graph value is (for reporting and dispatch).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,6 +30,17 @@ pub enum RepKind {
 }
 
 impl RepKind {
+    /// All five representations, in the paper's Fig. 10 order.
+    pub fn all() -> [RepKind; 5] {
+        [
+            RepKind::CDup,
+            RepKind::Exp,
+            RepKind::Dedup1,
+            RepKind::Dedup2,
+            RepKind::Bitmap,
+        ]
+    }
+
     /// The paper's name for the representation.
     pub fn label(self) -> &'static str {
         match self {
@@ -38,6 +50,31 @@ impl RepKind {
             RepKind::Dedup2 => "DEDUP-2",
             RepKind::Bitmap => "BITMAP",
         }
+    }
+
+    /// Parse a representation name, round-tripping [`RepKind::label`].
+    /// Lenient about case and `-`/`_` separators (`"C-DUP"`, `"cdup"`, and
+    /// `"dedup_1"` all parse), so CLI-style callers can take user input.
+    pub fn from_label(s: &str) -> Option<RepKind> {
+        let normalized: String = s
+            .chars()
+            .filter(|c| !matches!(c, '-' | '_'))
+            .map(|c| c.to_ascii_uppercase())
+            .collect();
+        match normalized.as_str() {
+            "CDUP" => Some(RepKind::CDup),
+            "EXP" => Some(RepKind::Exp),
+            "DEDUP1" => Some(RepKind::Dedup1),
+            "DEDUP2" => Some(RepKind::Dedup2),
+            "BITMAP" => Some(RepKind::Bitmap),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -59,7 +96,11 @@ pub trait GraphRep {
 
     /// Iterate over the live real nodes (the paper's `getVertices`).
     fn vertices(&self) -> Box<dyn Iterator<Item = RealId> + '_> {
-        Box::new((0..self.num_real_slots() as u32).map(RealId).filter(move |&u| self.is_alive(u)))
+        Box::new(
+            (0..self.num_real_slots() as u32)
+                .map(RealId)
+                .filter(move |&u| self.is_alive(u)),
+        )
     }
 
     /// Visit every distinct live out-neighbor of `u` exactly once
@@ -134,5 +175,24 @@ mod tests {
         assert_eq!(RepKind::Dedup1.label(), "DEDUP-1");
         assert_eq!(RepKind::Dedup2.label(), "DEDUP-2");
         assert_eq!(RepKind::Bitmap.label(), "BITMAP");
+    }
+
+    #[test]
+    fn repkind_display_matches_label() {
+        for kind in RepKind::all() {
+            assert_eq!(kind.to_string(), kind.label());
+        }
+    }
+
+    #[test]
+    fn repkind_labels_round_trip() {
+        for kind in RepKind::all() {
+            assert_eq!(RepKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(RepKind::from_label("cdup"), Some(RepKind::CDup));
+        assert_eq!(RepKind::from_label("dedup_1"), Some(RepKind::Dedup1));
+        assert_eq!(RepKind::from_label("Bitmap"), Some(RepKind::Bitmap));
+        assert_eq!(RepKind::from_label("nope"), None);
+        assert_eq!(RepKind::from_label(""), None);
     }
 }

@@ -1,16 +1,14 @@
 //! Co-author analysis on a DBLP-shaped database (the paper's motivating
 //! workload): extract the co-author graph condensed, compare representation
-//! sizes, deduplicate, and find communities via connected components plus
-//! the most collaborative authors.
+//! sizes through the typed conversion API, and find communities via
+//! connected components plus the most collaborative authors.
 //!
 //! Run with: `cargo run --release --example coauthors`
 
 use graphgen::algo;
-use graphgen::common::VertexOrdering;
-use graphgen::core::{AnyGraph, GraphGen, GraphGenConfig};
+use graphgen::core::{ConvertOptions, GraphGen, GraphGenConfig};
 use graphgen::datagen::{dblp_like, relational::DBLP_COAUTHORS, DblpConfig};
-use graphgen::dedup::Dedup1Algorithm;
-use graphgen::graph::{ExpandedGraph, GraphRep};
+use graphgen::graph::{GraphRep, RepKind};
 
 fn main() {
     let db = dblp_like(DblpConfig {
@@ -19,56 +17,74 @@ fn main() {
         avg_authors_per_pub: 2.2,
         seed: 7,
     });
-    println!("database: {} rows across {} tables", db.total_rows(), db.table_names().count());
+    println!(
+        "database: {} rows across {} tables",
+        db.total_rows(),
+        db.table_names().count()
+    );
 
     // Keep the condensed representation (no auto-expansion) so we can
     // compare the paper's trade-offs.
     let gg = GraphGen::with_config(
         &db,
-        GraphGenConfig {
-            auto_expand_threshold: None,
-            large_output_factor: 0.0,
-            preprocess: false,
-            threads: 2,
-        },
+        GraphGenConfig::builder()
+            .auto_expand_threshold(None)
+            .large_output_factor(0.0)
+            .preprocess(false)
+            .threads(2)
+            .build(),
     );
-    let extracted = gg.extract(DBLP_COAUTHORS).expect("extraction");
-    let AnyGraph::CDup(cdup) = &extracted.graph else {
-        unreachable!("auto-expansion disabled")
-    };
-    let decision = &extracted.report.plans[0].joins[0];
+    let cdup = gg.extract(DBLP_COAUTHORS).expect("extraction");
+    let decision = &cdup.report().plans[0].joins[0];
     println!(
         "self-join estimated output {:.0} rows over {} distinct pubs -> large-output: {}",
         decision.estimated_output, decision.distinct, decision.large_output
     );
 
-    // Representation comparison (Fig. 10 in miniature).
-    let exp = ExpandedGraph::from_rep(cdup);
-    let dedup1 = Dedup1Algorithm::GreedyVnf.run(cdup, VertexOrdering::Random, 1);
-    println!("\n{:>10} {:>12} {:>12}", "rep", "stored edges", "heap bytes");
-    println!("{:>10} {:>12} {:>12}", "C-DUP", cdup.stored_edge_count(), cdup.heap_bytes());
-    println!("{:>10} {:>12} {:>12}", "EXP", exp.stored_edge_count(), exp.heap_bytes());
-    println!("{:>10} {:>12} {:>12}", "DEDUP-1", dedup1.stored_edge_count(), dedup1.heap_bytes());
+    // Representation comparison (Fig. 10 in miniature): one convert() call
+    // per representation, straight off the handle.
+    let opts = ConvertOptions::default();
+    println!(
+        "\n{:>10} {:>12} {:>12}",
+        "rep", "stored edges", "heap bytes"
+    );
+    for target in [RepKind::CDup, RepKind::Exp, RepKind::Dedup1] {
+        let rep = cdup.convert(target, &opts).expect("feasible here");
+        println!(
+            "{:>10} {:>12} {:>12}",
+            target.label(),
+            rep.stored_edge_count(),
+            rep.heap_bytes()
+        );
+    }
 
     // Communities via connected components (duplicate-insensitive: runs on
-    // the raw condensed graph).
-    let labels = algo::connected_components(cdup, 4);
+    // the raw condensed handle).
+    let labels = algo::connected_components(&cdup, 4);
     let mut sizes: std::collections::HashMap<u32, usize> = Default::default();
     for u in cdup.vertices() {
         *sizes.entry(labels[u.0 as usize]).or_insert(0) += 1;
     }
     let mut sizes: Vec<(usize, u32)> = sizes.into_iter().map(|(l, s)| (s, l)).collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
-    println!("\n{} connected components; largest: {:?}", sizes.len(), &sizes[..sizes.len().min(5)]);
+    println!(
+        "\n{} connected components; largest: {:?}",
+        sizes.len(),
+        &sizes[..sizes.len().min(5)]
+    );
 
-    // Most collaborative authors by degree.
+    // Most collaborative authors by degree, on the deduplicated handle.
+    let dedup1 = cdup.convert(RepKind::Dedup1, &opts).expect("single-layer");
     let degs = algo::degrees(&dedup1, 4);
-    let mut by_degree: Vec<(u32, u32)> = dedup1.vertices().map(|u| (degs[u.0 as usize], u.0)).collect();
+    let mut by_degree: Vec<(u32, u32)> = dedup1
+        .vertices()
+        .map(|u| (degs[u.0 as usize], u.0))
+        .collect();
     by_degree.sort_unstable_by(|a, b| b.cmp(a));
     println!("\ntop collaborators:");
     for &(d, u) in by_degree.iter().take(5) {
-        let name = extracted
-            .properties
+        let name = dedup1
+            .properties()
             .get(graphgen::graph::RealId(u), "Name")
             .and_then(|p| p.as_text().map(str::to_string))
             .unwrap_or_default();

@@ -5,14 +5,14 @@
 //! key–foreign-key joins to the relational engine and postpones the
 //! large-output ones, producing the multi-layered condensed representation
 //! of the paper's Fig. 5a. This example shows the plan, the layer
-//! structure, and why expanding would be catastrophic.
+//! structure, the typed conversion errors multi-layer shapes produce, and
+//! why expanding would be catastrophic.
 //!
 //! Run with: `cargo run --release --example customer_copurchase`
 
-use graphgen::core::{AnyGraph, GraphGen, GraphGenConfig};
+use graphgen::core::{AnyGraph, ConvertOptions, GraphGen, GraphGenConfig};
 use graphgen::datagen::{relational::TPCH_COPURCHASE, tpch_like, TpchConfig};
-use graphgen::dedup;
-use graphgen::graph::GraphRep;
+use graphgen::graph::{GraphRep, RepKind};
 
 fn main() {
     let db = tpch_like(TpchConfig {
@@ -24,15 +24,14 @@ fn main() {
     });
     let gg = GraphGen::with_config(
         &db,
-        GraphGenConfig {
-            auto_expand_threshold: None,
-            ..Default::default()
-        },
+        GraphGenConfig::builder()
+            .auto_expand_threshold(None)
+            .build(),
     );
-    let extracted = gg.extract(TPCH_COPURCHASE).expect("extraction");
+    let handle = gg.extract(TPCH_COPURCHASE).expect("extraction");
 
     println!("plan:");
-    for (i, join) in extracted.report.plans[0].joins.iter().enumerate() {
+    for (i, join) in handle.report().plans[0].joins.iter().enumerate() {
         println!(
             "  join {}: {} ⋈ {} — |L|={}, |R|={}, d={}, est. output {:.0} -> {}",
             i,
@@ -42,50 +41,66 @@ fn main() {
             join.right_rows,
             join.distinct,
             join.estimated_output,
-            if join.large_output { "POSTPONED (virtual nodes)" } else { "database" }
+            if join.large_output {
+                "POSTPONED (virtual nodes)"
+            } else {
+                "database"
+            }
         );
     }
-    for sql in &extracted.report.sql {
+    for sql in &handle.report().sql {
         println!("  SQL: {sql}");
     }
 
-    match &extracted.graph {
-        AnyGraph::CDup(g) => {
-            println!(
-                "\ncondensed: {} real + {} virtual nodes, {} stored edges, {} layers",
-                g.num_vertices(),
-                g.num_virtual(),
-                g.stored_edge_count(),
-                g.layer_count()
-            );
-            let expanded = g.expanded_edge_count();
-            println!(
-                "expanded would be {} edges — {:.1}x the condensed size",
-                expanded,
-                expanded as f64 / g.stored_edge_count() as f64
-            );
-            if !g.is_single_layer() {
-                let flat = dedup::flatten_to_single_layer(g);
-                println!(
-                    "flattened to single layer: {} virtual nodes, {} stored edges",
-                    flat.num_virtual(),
-                    flat.stored_edge_count()
-                );
-            }
-            // BITMAP-2 works directly on the multi-layer structure.
-            let (bmp, stats) = dedup::bitmap2(g.clone(), 4);
-            println!(
-                "BITMAP-2: {} bitmaps installed, {} useless edges pruned, {} stored edges",
-                bmp.bitmap_count(),
-                stats.pruned_edges,
-                bmp.stored_edge_count()
-            );
-            // Top co-purchasers.
-            let degs = graphgen::algo::degrees(&bmp, 4);
-            let max = degs.iter().max().copied().unwrap_or(0);
-            println!("max distinct co-purchasers for one customer: {max}");
-        }
-        AnyGraph::Exp(_) => println!("graph was auto-expanded (tiny input)"),
-        _ => unreachable!(),
+    let AnyGraph::CDup(g) = handle.graph() else {
+        println!("graph was auto-expanded (tiny input)");
+        return;
+    };
+    println!(
+        "\ncondensed: {} real + {} virtual nodes, {} stored edges, {} layers",
+        g.num_vertices(),
+        g.num_virtual(),
+        g.stored_edge_count(),
+        g.layer_count()
+    );
+    let expanded = g.expanded_edge_count();
+    println!(
+        "expanded would be {} edges — {:.1}x the condensed size",
+        expanded,
+        expanded as f64 / g.stored_edge_count() as f64
+    );
+
+    // Multi-layer shapes can't run the DEDUP constructions directly — the
+    // typed error says exactly why — but ConvertOptions::flatten unlocks
+    // them, and BITMAP handles layered graphs natively.
+    let opts = ConvertOptions::default();
+    if !g.is_single_layer() {
+        let err = handle.convert(RepKind::Dedup1, &opts).unwrap_err();
+        println!("\nDEDUP-1 directly: {err}");
+        let flat = handle
+            .convert(
+                RepKind::Dedup1,
+                &ConvertOptions {
+                    flatten: true,
+                    ..opts
+                },
+            )
+            .expect("flattened conversion");
+        println!(
+            "DEDUP-1 after flattening: {} stored edges",
+            flat.stored_edge_count()
+        );
     }
+    let bmp = handle
+        .convert(RepKind::Bitmap, &opts)
+        .expect("condensed source");
+    println!(
+        "BITMAP-2: {} stored edges ({} bytes)",
+        bmp.stored_edge_count(),
+        bmp.heap_bytes()
+    );
+    // Top co-purchasers.
+    let degs = graphgen::algo::degrees(&bmp, 4);
+    let max = degs.iter().max().copied().unwrap_or(0);
+    println!("max distinct co-purchasers for one customer: {max}");
 }

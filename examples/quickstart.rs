@@ -3,18 +3,35 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use graphgen::core::{serialize, GraphGen};
+use graphgen::core::{serialize, AdvisorPolicy, ConvertOptions, GraphGen};
 use graphgen::graph::GraphRep;
 use graphgen::reldb::{Column, Database, Schema, Table, Value};
 
 fn main() {
     // 1. A relational database: authors and an author↔publication table.
     let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
-    for (id, name) in [(1, "Ada"), (2, "Barbara"), (3, "Grace"), (4, "Hedy"), (5, "Mary")] {
-        author.push_row(vec![Value::int(id), Value::str(name)]).unwrap();
+    for (id, name) in [
+        (1, "Ada"),
+        (2, "Barbara"),
+        (3, "Grace"),
+        (4, "Hedy"),
+        (5, "Mary"),
+    ] {
+        author
+            .push_row(vec![Value::int(id), Value::str(name)])
+            .unwrap();
     }
     let mut author_pub = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
-    for (aid, pid) in [(1, 1), (2, 1), (4, 1), (1, 2), (4, 2), (3, 3), (4, 3), (5, 3)] {
+    for (aid, pid) in [
+        (1, 1),
+        (2, 1),
+        (4, 1),
+        (1, 2),
+        (4, 2),
+        (3, 3),
+        (4, 3),
+        (5, 3),
+    ] {
         author_pub
             .push_row(vec![Value::int(aid), Value::int(pid)])
             .unwrap();
@@ -29,51 +46,62 @@ fn main() {
         Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).
     ";
 
-    // 3. Extract. GraphGen decides per join whether to postpone it into a
-    //    condensed representation or hand it to the relational engine.
+    // 3. Extract. The result is a GraphHandle: the graph in whatever
+    //    representation GraphGen chose, plus ids, properties, and the plan
+    //    report. The handle itself implements the Graph API.
     let gg = GraphGen::new(&db);
     let graph = gg.extract(query).expect("extraction");
     println!(
-        "extracted {} vertices, {} logical edges ({} stored), representation: {:?}",
-        graph.graph.num_vertices(),
-        graph.graph.expanded_edge_count(),
-        graph.graph.stored_edge_count(),
-        graph.graph.kind(),
+        "extracted {} vertices, {} logical edges ({} stored), representation: {}",
+        graph.num_vertices(),
+        graph.expanded_edge_count(),
+        graph.stored_edge_count(),
+        graph.kind(),
     );
-    for sql in &graph.report.sql {
+    for sql in &graph.report().sql {
         println!("generated SQL: {sql}");
     }
 
-    // 4. Use the representation-independent Graph API.
-    for u in graph.graph.vertices() {
+    // 4. Stay in your own key space: neighbors and properties by key.
+    for u in graph.vertices() {
+        let key = graph.key_of(u).clone();
         let name = graph
-            .properties
-            .get(u, "Name")
+            .vertex_property(&key, "Name")
             .and_then(|p| p.as_text().map(str::to_string))
             .unwrap_or_default();
         let coauthors: Vec<String> = graph
-            .graph
-            .neighbors(u)
+            .neighbors_by_key(&key)
+            .unwrap_or_default()
             .iter()
-            .map(|&v| graph.key_of(v).to_string())
+            .map(|k| k.to_string())
             .collect();
-        println!("{name:>8} ({}) -> {coauthors:?}", graph.key_of(u));
+        println!("{name:>8} ({key}) -> {coauthors:?}");
     }
 
-    // 5. Run PageRank through the multithreaded vertex-centric framework.
-    let ranks = graphgen::algo::pagerank(&graph.graph, Default::default());
-    let mut ranked: Vec<(f64, &str)> = graph
-        .graph
+    // 5. Ask the §6.5 advisor which representation fits, and convert. The
+    //    conversion is typed: an infeasible request explains itself instead
+    //    of handing back None.
+    let advised = graph.advise(&AdvisorPolicy::default());
+    let converted = graph
+        .convert_to_advised(&AdvisorPolicy::default(), &ConvertOptions::default())
+        .expect("advised conversions are always feasible");
+    println!(
+        "\nadvisor says {advised}; handle now holds {}",
+        converted.kind()
+    );
+
+    // 6. Run PageRank through the multithreaded vertex-centric framework —
+    //    algorithms take the handle directly, whatever it holds.
+    let ranks = graphgen::algo::pagerank(&converted, Default::default());
+    let mut ranked: Vec<(f64, String)> = converted
         .vertices()
         .map(|u| {
-            (
-                ranks[u.0 as usize],
-                graph
-                    .properties
-                    .get(u, "Name")
-                    .and_then(|p| p.as_text())
-                    .unwrap_or(""),
-            )
+            let name = converted
+                .properties()
+                .get(u, "Name")
+                .and_then(|p| p.as_text().map(str::to_string))
+                .unwrap_or_default();
+            (ranks[u.0 as usize], name)
         })
         .collect();
     ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
@@ -82,8 +110,8 @@ fn main() {
         println!("  {name:>8}: {r:.4}");
     }
 
-    // 6. Serialize for external tools (NetworkX-style edge list).
+    // 7. Serialize for external tools (NetworkX-style edge list).
     let mut out = Vec::new();
-    serialize::write_edge_list(&graph, &mut out).unwrap();
+    serialize::write_edge_list(&converted, &mut out).unwrap();
     println!("\nedge list:\n{}", String::from_utf8(out).unwrap());
 }

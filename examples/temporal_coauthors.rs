@@ -18,7 +18,10 @@ fn build_db() -> Database {
     let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
     for a in 0..authors {
         author
-            .push_row(vec![Value::int(a as i64), Value::str(format!("author_{a}"))])
+            .push_row(vec![
+                Value::int(a as i64),
+                Value::str(format!("author_{a}")),
+            ])
             .unwrap();
     }
     let mut ap = Table::new(Schema::new(vec![
@@ -53,10 +56,9 @@ fn main() {
     let db = build_db();
     let gg = GraphGen::with_config(
         &db,
-        GraphGenConfig {
-            auto_expand_threshold: None,
-            ..Default::default()
-        },
+        GraphGenConfig::builder()
+            .auto_expand_threshold(None)
+            .build(),
     );
     println!("era          vertices  edges  components  avg_degree");
     for era_start in [2000i64, 2005, 2010, 2015] {
@@ -71,12 +73,12 @@ fn main() {
             ));
         }
         let g = gg.extract(&rules).expect("extraction");
-        let labels = algo::connected_components(&g.graph, 2);
+        let labels = algo::connected_components(&g, 2);
         let mut comps: std::collections::HashSet<u32> = Default::default();
         let mut active = 0usize;
         let mut degree_sum = 0usize;
-        for u in g.graph.vertices() {
-            let d = g.graph.degree(u);
+        for u in g.vertices() {
+            let d = g.degree(u);
             if d > 0 {
                 active += 1;
                 degree_sum += d;
@@ -88,7 +90,7 @@ fn main() {
             era_start,
             era_start + 4,
             active,
-            g.graph.expanded_edge_count(),
+            g.expanded_edge_count(),
             comps.len(),
             degree_sum as f64 / active.max(1) as f64
         );

@@ -18,28 +18,26 @@ fn main() {
     });
     let gg = GraphGen::with_config(
         &db,
-        GraphGenConfig {
-            auto_expand_threshold: None,
-            ..Default::default()
-        },
+        GraphGenConfig::builder()
+            .auto_expand_threshold(None)
+            .build(),
     );
     let g = gg.extract(UNIV_BIPARTITE).expect("extraction");
     println!(
         "bipartite graph: {} vertices ({} instructors + students), {} directed edges",
-        g.graph.num_vertices(),
-        g.graph.num_vertices(),
-        g.graph.expanded_edge_count()
+        g.num_vertices(),
+        g.num_vertices(),
+        g.expanded_edge_count()
     );
 
     // The graph is directed: instructors have out-edges, students only
     // in-edges.
     let mut teaching_loads: Vec<(usize, String)> = g
-        .graph
         .vertices()
         .filter_map(|u| {
-            let name = g.properties.get(u, "Name")?.as_text()?.to_string();
+            let name = g.properties().get(u, "Name")?.as_text()?.to_string();
             if name.starts_with("instructor") {
-                Some((g.graph.degree(u), name))
+                Some((g.degree(u), name))
             } else {
                 None
             }
@@ -53,15 +51,14 @@ fn main() {
 
     // Students never have out-edges in this graph.
     let student_out: usize = g
-        .graph
         .vertices()
         .filter(|&u| {
-            g.properties
+            g.properties()
                 .get(u, "Name")
                 .and_then(|p| p.as_text())
                 .is_some_and(|n| n.starts_with("student"))
         })
-        .map(|u| g.graph.degree(u))
+        .map(|u| g.degree(u))
         .sum();
     assert_eq!(student_out, 0, "students must have no out-edges");
     println!("\nstudents have no out-edges, as expected for [Q3]'s directed semantics");
@@ -69,16 +66,15 @@ fn main() {
     // BFS from the busiest instructor: everything reachable is 1 hop away.
     if let Some((_, name)) = teaching_loads.first() {
         let instructor = g
-            .graph
             .vertices()
             .find(|&u| {
-                g.properties
+                g.properties()
                     .get(u, "Name")
                     .and_then(|p| p.as_text())
                     .is_some_and(|n| n == name.as_str())
             })
             .expect("instructor exists");
-        let dist = graphgen::algo::bfs(&g.graph, instructor);
+        let dist = graphgen::algo::bfs(&g, instructor);
         let reached = dist.iter().filter(|&&d| d != u32::MAX).count();
         println!("BFS from {name}: {} vertices reachable", reached - 1);
     }

@@ -7,11 +7,28 @@
 //! smaller than the expanded graph, and run graph algorithms directly on
 //! them.
 //!
+//! The analyst surface is the [`core::GraphHandle`]: [`core::GraphGen`]
+//! extracts one from a Datalog specification, and from there
+//!
+//! * the handle **is** a graph — it implements [`graph::GraphRep`], the
+//!   paper's 7-operation representation-independent API, so every
+//!   algorithm in [`algo`] takes it directly;
+//! * [`core::GraphHandle::convert`] moves between the five representations
+//!   (C-DUP / EXP / DEDUP-1 / DEDUP-2 / BITMAP) through one typed entry
+//!   point, with [`core::ConvertError`] explaining any infeasible request;
+//! * [`core::GraphHandle::advise`] is the paper's §6.5 chooser, and
+//!   [`core::GraphHandle::convert_to_advised`] the "system decides" path;
+//! * key-space accessors ([`core::GraphHandle::neighbors_by_key`],
+//!   [`core::GraphHandle::vertex_property`], …) keep callers entirely in
+//!   their own key domain;
+//! * everything fallible reports through the unified [`Error`] type with a
+//!   stable [`core::ErrorKind`] classifier.
+//!
 //! This facade crate re-exports the workspace:
 //!
 //! * [`reldb`] — the in-memory relational engine + catalog statistics
 //! * [`dsl`] — the Datalog-based extraction language
-//! * [`core`] — planner, extractor, representation chooser, serializer
+//! * [`core`] — planner, extractor, `GraphHandle`, advisor, serializer
 //! * [`graph`] — C-DUP / EXP / DEDUP-1 / DEDUP-2 / BITMAP representations
 //! * [`dedup`] — the §5 preprocessing & deduplication algorithms
 //! * [`algo`] — graph algorithms + the vertex-centric framework
@@ -31,3 +48,11 @@ pub use graphgen_giraph as giraph;
 pub use graphgen_graph as graph;
 pub use graphgen_reldb as reldb;
 pub use graphgen_vminer as vminer;
+
+/// The unified error type of the pipeline (re-exported from
+/// [`core::error`]): DSL, database, and conversion failures behind one
+/// `kind()`-classified enum.
+pub use graphgen_core::{ConvertError, Error, ErrorKind};
+
+/// The first-class graph handle (re-exported from [`core::handle`]).
+pub use graphgen_core::{AdvisorPolicy, ConvertOptions, GraphHandle};

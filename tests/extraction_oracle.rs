@@ -45,17 +45,12 @@ proptest! {
         factor in prop_oneof![Just(0.0), Just(2.0), Just(1e12)],
     ) {
         let db = db_from_rows(&rows, n_entities);
-        let gg = GraphGen::with_config(&db, GraphGenConfig {
-            large_output_factor: factor,
-            preprocess: false,
-            auto_expand_threshold: None,
-            threads: 1,
-        });
+        let gg = GraphGen::with_config(&db, GraphGenConfig::builder().large_output_factor(factor).preprocess(false).auto_expand_threshold(None).threads(1).build());
         let condensed = gg.extract(QUERY).unwrap();
         let full = gg.extract_full(QUERY).unwrap();
         prop_assert_eq!(
-            expand_to_edge_list(&condensed.graph),
-            expand_to_edge_list(&full.graph)
+            expand_to_edge_list(&condensed),
+            expand_to_edge_list(&full)
         );
     }
 
@@ -64,16 +59,11 @@ proptest! {
         rows in proptest::collection::vec((0i64..15, 0i64..6), 0..40),
     ) {
         let db = db_from_rows(&rows, 15);
-        let oracle = GraphGen::with_config(&db, GraphGenConfig {
-            large_output_factor: 0.0,
-            preprocess: false,
-            auto_expand_threshold: None,
-            threads: 1,
-        }).extract(QUERY).unwrap();
+        let oracle = GraphGen::with_config(&db, GraphGenConfig::builder().large_output_factor(0.0).preprocess(false).auto_expand_threshold(None).threads(1).build()).extract(QUERY).unwrap();
         let tuned = GraphGen::new(&db).extract(QUERY).unwrap();
         prop_assert_eq!(
-            expand_to_edge_list(&tuned.graph),
-            expand_to_edge_list(&oracle.graph)
+            expand_to_edge_list(&tuned),
+            expand_to_edge_list(&oracle)
         );
     }
 
@@ -96,17 +86,12 @@ proptest! {
         db.register("F", f).unwrap();
         let q = "Nodes(ID, N) :- Entity(ID, N).\n\
                  Edges(A, B) :- F(A, X), F(X, B).";
-        let gg = GraphGen::with_config(&db, GraphGenConfig {
-            large_output_factor: 0.0,
-            preprocess: false,
-            auto_expand_threshold: None,
-            threads: 1,
-        });
+        let gg = GraphGen::with_config(&db, GraphGenConfig::builder().large_output_factor(0.0).preprocess(false).auto_expand_threshold(None).threads(1).build());
         let condensed = gg.extract(q).unwrap();
         let full = gg.extract_full(q).unwrap();
         prop_assert_eq!(
-            expand_to_edge_list(&condensed.graph),
-            expand_to_edge_list(&full.graph)
+            expand_to_edge_list(&condensed),
+            expand_to_edge_list(&full)
         );
     }
 }

@@ -18,8 +18,7 @@ use proptest::prelude::*;
 fn member_sets(max_real: usize, max_virt: usize) -> impl Strategy<Value = (usize, Vec<Vec<u32>>)> {
     (2..=max_real).prop_flat_map(move |n_real| {
         let set = proptest::collection::vec(0..n_real as u32, 2..=(n_real.min(8)));
-        proptest::collection::vec(set, 0..=max_virt)
-            .prop_map(move |sets| (n_real, sets))
+        proptest::collection::vec(set, 0..=max_virt).prop_map(move |sets| (n_real, sets))
     })
 }
 
