@@ -1,0 +1,87 @@
+//! Extraction thread scaling on the Appendix C.2 workloads
+//! (`datagen::large`): wall time, speedup, bytes allocated, and peak live
+//! bytes at 1/2/4/8 threads.
+//!
+//! The parallel pipeline promises byte-identical graphs at every thread
+//! count (verified here against the 1-thread run) and no peak-memory
+//! regression from going parallel.
+//!
+//! Usage: `scaling_extraction [--scale=F] [--quick]`
+//!   --scale=F   fraction of the paper's row counts to generate (default 0.01)
+//!   --quick     alias for --scale=0.002 (CI smoke run)
+
+use graphgen_bench::alloc::human_bytes;
+use graphgen_bench::{measure_thread_scaling, ms, row, speedup};
+use graphgen_core::{GraphGen, GraphGenConfig};
+use graphgen_datagen::large::{
+    layered_database, single_layer_database, LayeredConfig, SingleLayerConfig,
+};
+use graphgen_graph::expand_to_edge_list;
+
+fn arg_scale() -> f64 {
+    let mut scale = 0.01;
+    for a in std::env::args() {
+        if a == "--quick" {
+            scale = 0.002;
+        } else if let Some(v) = a.strip_prefix("--scale=") {
+            scale = v.parse().expect("--scale=F expects a float");
+        }
+    }
+    scale
+}
+
+fn main() {
+    let scale = arg_scale();
+    println!("Extraction thread scaling (datagen::large at scale {scale})\n");
+    let workloads: Vec<(&str, graphgen_reldb::Database, String)> = {
+        let (db1, q1) = single_layer_database(SingleLayerConfig::single_1(scale));
+        let (db2, q2) = layered_database(LayeredConfig::layered_1(scale));
+        vec![("Single_1", db1, q1), ("Layered_1", db2, q2)]
+    };
+    let widths = [10, 9, 12, 10, 12, 12, 10];
+    row(
+        &[
+            "dataset", "threads", "time(ms)", "speedup", "alloc", "peak", "graph",
+        ]
+        .map(String::from),
+        &widths,
+    );
+    for (name, db, query) in &workloads {
+        let runs = measure_thread_scaling(&[1, 2, 4, 8], |threads| {
+            let cfg = GraphGenConfig::builder()
+                .large_output_factor(2.0)
+                .preprocess(true)
+                .auto_expand_threshold(None)
+                .threads(threads)
+                .build();
+            GraphGen::with_config(db, cfg)
+                .extract(query)
+                .expect("extraction")
+        });
+        let base = &runs[0];
+        let truth = expand_to_edge_list(&base.output);
+        let (base_time, base_peak) = (base.time, base.alloc.peak);
+        for r in &runs {
+            let identical = expand_to_edge_list(&r.output) == truth;
+            row(
+                &[
+                    name.to_string(),
+                    r.threads.to_string(),
+                    ms(r.time),
+                    speedup(base_time, r.time),
+                    human_bytes(r.alloc.total),
+                    format!(
+                        "{}{}",
+                        human_bytes(r.alloc.peak),
+                        if r.alloc.peak > base_peak { " (!)" } else { "" }
+                    ),
+                    if identical { "identical" } else { "DIVERGED" }.to_string(),
+                ],
+                &widths,
+            );
+            assert!(identical, "{name}: graph diverged at {} threads", r.threads);
+        }
+    }
+    println!("\n'peak' flags (!) any thread count whose live high-water mark exceeds the");
+    println!("1-thread run; 'graph' verifies byte-identical edge lists per thread count.");
+}

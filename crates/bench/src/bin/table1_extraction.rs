@@ -2,10 +2,13 @@
 //!
 //! For each dataset, extracts the paper's query twice — once loading the
 //! condensed representation (large-output joins postponed) and once running
-//! the complete join in the relational engine — and reports stored edges
-//! and wall time for both, plus the blow-up factor.
+//! the complete join in the relational engine — and reports stored edges,
+//! wall time, and bytes allocated for both, plus the blow-up factor.
+//! A second table re-runs the condensed extraction at 1/2/4/8 threads and
+//! reports the speedup and peak live bytes per thread count.
 
-use graphgen_bench::{ms, row, time};
+use graphgen_bench::alloc::{human_bytes, measure};
+use graphgen_bench::{measure_thread_scaling, ms, row, speedup, time};
 use graphgen_core::{GraphGen, GraphGenConfig};
 use graphgen_datagen::relational::{
     DBLP_COAUTHORS, IMDB_COACTORS, TPCH_COPURCHASE, UNIV_COENROLLMENT,
@@ -17,15 +20,17 @@ use graphgen_graph::GraphRep;
 
 fn main() {
     println!("Table 1: condensed vs full extraction (synthetic stand-ins, see EXPERIMENTS.md)\n");
-    let widths = [12, 10, 12, 14, 12, 14, 8];
+    let widths = [12, 10, 12, 14, 11, 12, 14, 11, 8];
     row(
         &[
             "dataset",
             "rows",
             "cond.edges",
             "cond.time(ms)",
+            "cond.alloc",
             "full.edges",
             "full.time(ms)",
+            "full.alloc",
             "ratio",
         ]
         .map(String::from),
@@ -37,31 +42,67 @@ fn main() {
         ("TPCH", tpch_like(TpchConfig::default()), TPCH_COPURCHASE),
         ("UNIV", univ(UnivConfig::default()), UNIV_COENROLLMENT),
     ];
-    for (name, db, query) in datasets {
-        let rows = db.total_rows();
+    for (name, db, query) in &datasets {
         let cfg = GraphGenConfig::builder()
             .large_output_factor(2.0)
             .preprocess(false)
             .auto_expand_threshold(None)
             .threads(1)
             .build();
-        let gg = GraphGen::with_config(&db, cfg);
-        let (condensed, t_cond) = time(|| gg.extract(query).expect("condensed extraction"));
-        let (full, t_full) = time(|| gg.extract_full(query).expect("full extraction"));
+        let gg = GraphGen::with_config(db, cfg);
+        let ((condensed, t_cond), a_cond) =
+            measure(|| time(|| gg.extract(query).expect("condensed extraction")));
+        let ((full, t_full), a_full) =
+            measure(|| time(|| gg.extract_full(query).expect("full extraction")));
         let cond_edges = condensed.graph().stored_edge_count();
         let full_edges = full.graph().stored_edge_count();
         row(
             &[
                 name.to_string(),
-                rows.to_string(),
+                db.total_rows().to_string(),
                 cond_edges.to_string(),
                 ms(t_cond),
+                human_bytes(a_cond.total),
                 full_edges.to_string(),
                 ms(t_full),
+                human_bytes(a_full.total),
                 format!("{:.2}x", full_edges as f64 / cond_edges.max(1) as f64),
             ],
             &widths,
         );
+    }
+
+    println!("\nCondensed extraction thread scaling (same datasets, forced condensed path):\n");
+    let twidths = [12, 9, 14, 10, 12];
+    row(
+        &["dataset", "threads", "time(ms)", "speedup", "peak.alloc"].map(String::from),
+        &twidths,
+    );
+    for (name, db, query) in &datasets {
+        let runs = measure_thread_scaling(&[1, 2, 4, 8], |threads| {
+            let cfg = GraphGenConfig::builder()
+                .large_output_factor(0.0)
+                .preprocess(true)
+                .auto_expand_threshold(None)
+                .threads(threads)
+                .build();
+            GraphGen::with_config(db, cfg)
+                .extract(query)
+                .expect("extraction");
+        });
+        let base = runs[0].time;
+        for r in &runs {
+            row(
+                &[
+                    name.to_string(),
+                    r.threads.to_string(),
+                    ms(r.time),
+                    speedup(base, r.time),
+                    human_bytes(r.alloc.peak),
+                ],
+                &twidths,
+            );
+        }
     }
     println!("\npaper shape: condensed extraction is several times faster and smaller;");
     println!("TPCH shows the largest blow-up (small input hiding a dense graph).");

@@ -6,6 +6,14 @@
 //! datasets — see EXPERIMENTS.md for the mapping) and the representation
 //! builders shared by all of them.
 
+pub mod alloc;
+
+/// Every binary linking this crate accounts allocations through
+/// [`alloc::CountingAlloc`] so benches can report bytes allocated and peak
+/// resident bytes per measured region.
+#[global_allocator]
+static GLOBAL: alloc::CountingAlloc = alloc::CountingAlloc;
+
 use graphgen_common::VertexOrdering;
 use graphgen_core::{AnyGraph, GraphGen, GraphGenConfig};
 use graphgen_datagen::{
@@ -27,6 +35,44 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 /// Milliseconds with 3 decimals.
 pub fn ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Speedup of `t` relative to `base`, formatted as `N.NNx`.
+pub fn speedup(base: Duration, t: Duration) -> String {
+    format!("{:.2}x", base.as_secs_f64() / t.as_secs_f64().max(1e-9))
+}
+
+/// One measurement of [`measure_thread_scaling`].
+pub struct ThreadScalingRow<T> {
+    /// Thread count this row ran with.
+    pub threads: usize,
+    /// Wall time of the run.
+    pub time: Duration,
+    /// Bytes allocated / peak live during the run.
+    pub alloc: alloc::AllocStats,
+    /// Whatever the measured closure returned.
+    pub output: T,
+}
+
+/// Run `f` once per thread count, measuring wall time and allocation, so
+/// every bench bin shares one measurement protocol. Speedup of row `i` is
+/// `rows[0].time` over `rows[i].time` (see [`speedup`]).
+pub fn measure_thread_scaling<T>(
+    counts: &[usize],
+    mut f: impl FnMut(usize) -> T,
+) -> Vec<ThreadScalingRow<T>> {
+    counts
+        .iter()
+        .map(|&threads| {
+            let ((output, time), alloc) = alloc::measure(|| time(|| f(threads)));
+            ThreadScalingRow {
+                threads,
+                time,
+                alloc,
+                output,
+            }
+        })
+        .collect()
 }
 
 /// The four small datasets of §6.1, as condensed graphs.

@@ -4,13 +4,15 @@
 //! small, hot building blocks used everywhere else — a fast non-cryptographic
 //! hasher (a re-implementation of the FxHash algorithm used by rustc, since
 //! `rustc-hash` is not part of our allowed dependency set), a compact bitmap,
-//! dense id interning, heap-size accounting, and deterministic RNG helpers.
+//! dense id interning, heap-size accounting, deterministic RNG helpers, and
+//! the morsel/partition scoped-thread helpers behind every parallel operator.
 
 pub mod bitmap;
 pub mod bytesize;
 pub mod fxhash;
 pub mod idmap;
 pub mod ordering;
+pub mod parallel;
 
 pub use bitmap::Bitmap;
 pub use bytesize::ByteSize;

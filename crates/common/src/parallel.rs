@@ -1,0 +1,184 @@
+//! Morsel-driven parallelism helpers (std scoped threads, no external deps).
+//!
+//! The extraction hot paths — table scans, hash-join build and probe,
+//! DISTINCT, the dedup preprocessing scan — all follow the same two shapes:
+//!
+//! * **morsels**: split `0..n` into contiguous ranges, process each range on
+//!   its own scoped thread, and merge the per-morsel outputs *in morsel
+//!   order*, so the merged result is byte-identical to a serial run;
+//! * **partitions**: run one thread per hash partition, each producing the
+//!   output for the keys it owns.
+//!
+//! Centralizing the pattern keeps every parallel operator deterministic and
+//! keeps thread management out of the operator code itself.
+
+use std::ops::Range;
+
+/// Below this many items a parallel fan-out costs more in thread spawns than
+/// it saves; [`effective_threads`] degrades to serial under it.
+pub const MIN_PARALLEL_ITEMS: usize = 1024;
+
+/// Hard ceiling on worker threads, so an absurd request (e.g. a typo'd
+/// `GRAPHGEN_THREADS`) cannot exhaust OS thread limits and abort in
+/// `scope.spawn`.
+pub const MAX_THREADS: usize = 256;
+
+/// Clamp a requested thread count for a workload of `items` units: serial
+/// for tiny inputs, at least [`MIN_PARALLEL_ITEMS`] of work per thread,
+/// never more than [`MAX_THREADS`], never zero.
+pub fn effective_threads(threads: usize, items: usize) -> usize {
+    if items < MIN_PARALLEL_ITEMS {
+        1
+    } else {
+        threads
+            .min(items / MIN_PARALLEL_ITEMS)
+            .clamp(1, MAX_THREADS)
+    }
+}
+
+/// Split `0..n` into at most `parts` contiguous near-equal ranges (the last
+/// may be shorter). Always returns at least one range, so callers can rely
+/// on `morsels(0, p)` yielding the single empty range `0..0`.
+pub fn morsels(n: usize, parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return std::iter::once(0..0).collect();
+    }
+    let chunk = n.div_ceil(parts.clamp(1, n));
+    (0..n)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(n))
+        .collect()
+}
+
+/// Map `f` over the morsels of `0..n` on scoped threads, returning the
+/// per-morsel outputs in morsel order. With `threads <= 1` this is a single
+/// serial call; the output sequence is identical either way, which is what
+/// lets parallel operators promise byte-identical results.
+pub fn map_morsels<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    if threads <= 1 || n == 0 {
+        return vec![f(0..n)];
+    }
+    let ranges = morsels(n, threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || f(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("morsel worker panicked"))
+            .collect()
+    })
+}
+
+/// Morsel-parallel scatter of `0..n` into hash partitions: maps each item
+/// `i` through `f(i) -> (partition, payload)` and returns per-morsel bucket
+/// sets `out[morsel][partition]`. Iterating morsels in order within one
+/// partition yields payloads in ascending item order — the invariant the
+/// deterministic partitioned operators (join build, DISTINCT) rely on, so
+/// it lives here rather than being re-derived at each call site.
+pub fn scatter_partitions<T, F>(n: usize, parts: usize, f: F) -> Vec<Vec<Vec<T>>>
+where
+    T: Send,
+    F: Fn(usize) -> (usize, T) + Sync,
+{
+    map_morsels(n, parts, |range| {
+        let mut local: Vec<Vec<T>> = (0..parts).map(|_| Vec::new()).collect();
+        for i in range {
+            let (p, payload) = f(i);
+            local[p].push(payload);
+        }
+        local
+    })
+}
+
+/// Run `f(p)` for every partition `p in 0..parts` on scoped threads,
+/// returning the outputs in partition order. `parts <= 1` runs serially.
+pub fn map_partitions<T, F>(parts: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if parts <= 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..parts).map(|p| scope.spawn(move || f(p))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_range_in_order() {
+        for n in [0usize, 1, 7, 1000, 1025] {
+            for parts in [1usize, 2, 3, 8, 2000] {
+                let ms = morsels(n, parts);
+                let mut next = 0;
+                for m in &ms {
+                    assert_eq!(m.start, next);
+                    next = m.end;
+                }
+                assert_eq!(next, n);
+                assert!(ms.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn map_morsels_matches_serial() {
+        let n = 10_000usize;
+        let serial: usize = (0..n).sum();
+        for threads in [1, 2, 8] {
+            let parts = map_morsels(n, threads, |r| r.sum::<usize>());
+            assert_eq!(parts.into_iter().sum::<usize>(), serial);
+        }
+    }
+
+    #[test]
+    fn map_morsels_preserves_order() {
+        let out = map_morsels(5000, 4, |r| r.collect::<Vec<_>>()).concat();
+        assert_eq!(out, (0..5000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_partitions_in_order() {
+        assert_eq!(map_partitions(4, |p| p * 10), vec![0, 10, 20, 30]);
+        assert_eq!(map_partitions(0, |p| p), vec![0]);
+    }
+
+    #[test]
+    fn scatter_partitions_preserves_item_order_per_partition() {
+        let n = 5000usize;
+        let parts = 4;
+        let buckets = scatter_partitions(n, parts, |i| (i % parts, i));
+        for p in 0..parts {
+            let items: Vec<usize> = buckets.iter().flat_map(|m| m[p].iter().copied()).collect();
+            assert!(items.windows(2).all(|w| w[0] < w[1]), "partition {p}");
+            assert_eq!(items, (0..n).filter(|i| i % parts == p).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(8, 10), 1);
+        assert_eq!(effective_threads(8, 100_000), 8);
+        assert_eq!(effective_threads(0, 100_000), 1);
+        // At least MIN_PARALLEL_ITEMS of work per thread...
+        assert_eq!(effective_threads(1 << 20, 2048), 2);
+        // ...and never more than MAX_THREADS, however huge the input.
+        assert_eq!(effective_threads(1 << 20, 1 << 30), MAX_THREADS);
+    }
+}

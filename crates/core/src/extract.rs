@@ -32,9 +32,20 @@ impl Default for GraphGenConfig {
             large_output_factor: 2.0,
             preprocess: true,
             auto_expand_threshold: Some(1.2),
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            threads: default_threads(),
         }
     }
+}
+
+/// Default worker-thread count: the `GRAPHGEN_THREADS` environment variable
+/// when set to a positive integer (CI uses this to exercise the parallel
+/// path), otherwise the machine's available parallelism.
+fn default_threads() -> usize {
+    std::env::var("GRAPHGEN_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
 }
 
 impl GraphGenConfig {
@@ -66,7 +77,10 @@ impl GraphGenConfig {
         self.auto_expand_threshold
     }
 
-    /// Worker threads for preprocessing.
+    /// Worker threads for the whole extraction pipeline: every segment
+    /// query's scans, hash joins, and DISTINCTs, plus Step-6 preprocessing.
+    /// Results are byte-identical for any value. Defaults to
+    /// `GRAPHGEN_THREADS` (if set) or the available parallelism.
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -92,17 +106,18 @@ impl GraphGenConfigBuilder {
         self
     }
 
+    /// Worker threads for the whole extraction pipeline (scans, joins,
+    /// DISTINCT, preprocessing). `1` disables parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads.max(1);
+        self
+    }
+
     /// §6.5 policy: hand back EXP when the expanded graph is at most this
     /// factor larger than the condensed one (e.g. 1.2 = +20%). Pass `None`
     /// to disable auto-expansion and always keep the condensed result.
     pub fn auto_expand_threshold(mut self, threshold: impl Into<Option<f64>>) -> Self {
         self.cfg.auto_expand_threshold = threshold.into();
-        self
-    }
-
-    /// Worker threads for preprocessing.
-    pub fn threads(mut self, threads: usize) -> Self {
-        self.cfg.threads = threads;
         self
     }
 
@@ -208,7 +223,7 @@ impl<'a> GraphGen<'a> {
         for chain in &spec.edges {
             let q = full_query(chain);
             report.sql.push(q.to_sql(self.db)?);
-            for (x, y) in q.run(self.db)? {
+            for (x, y) in q.run_threaded(self.db, self.cfg.threads)? {
                 if let (Some(u), Some(v)) = (ids.get(&x), ids.get(&y)) {
                     edges.push((u, v));
                 }
@@ -232,7 +247,7 @@ impl<'a> GraphGen<'a> {
             let mut cols = vec![view.id_col];
             cols.extend(view.prop_cols.iter().map(|(_, c)| *c));
             let pred = filters_predicate(&view.filters);
-            for row in scan_project(table, &pred, &cols) {
+            for row in scan_project(table, &pred, &cols, self.cfg.threads).iter() {
                 let key = row[0].clone();
                 if key.is_null() {
                     continue;
@@ -262,7 +277,10 @@ impl<'a> GraphGen<'a> {
         let k = plan.segments.len();
         if k == 1 {
             // No large-output join: the database computes the edge list.
-            for (x, y) in plan.segments[0].query.run(self.db)? {
+            for (x, y) in plan.segments[0]
+                .query
+                .run_threaded(self.db, self.cfg.threads)?
+            {
                 if let (Some(u), Some(v)) = (ids.get(&x), ids.get(&y)) {
                     if u != v {
                         builder.direct(RealId(u), RealId(v));
@@ -276,7 +294,7 @@ impl<'a> GraphGen<'a> {
         let mut boundaries: Vec<IdMap<Value>> = (0..k - 1).map(|_| IdMap::new()).collect();
         let mut vnode_of: Vec<Vec<VirtId>> = vec![Vec::new(); k - 1];
         for (j, seg) in plan.segments.iter().enumerate() {
-            let rows = seg.query.run(self.db)?;
+            let rows = seg.query.run_threaded(self.db, self.cfg.threads)?;
             for (x, y) in rows {
                 match (j == 0, j == k - 1) {
                     (true, false) => {
@@ -404,6 +422,29 @@ mod tests {
         assert_eq!(expand_to_edge_list(&condensed), expand_to_edge_list(&full));
         // 12 directed co-author pairs (excluding self-loops).
         assert_eq!(condensed.graph().expanded_edge_count(), 12);
+    }
+
+    #[test]
+    fn threads_knob_clamps_to_one() {
+        let cfg = GraphGenConfig::builder().threads(0).build();
+        assert_eq!(cfg.threads(), 1);
+        assert!(GraphGenConfig::default().threads() >= 1);
+    }
+
+    #[test]
+    fn threaded_extraction_matches_serial() {
+        let db = fig1_db();
+        let base = GraphGenConfig::builder()
+            .large_output_factor(0.0)
+            .preprocess(false)
+            .auto_expand_threshold(None);
+        let serial = GraphGen::with_config(&db, base.clone().threads(1).build())
+            .extract(Q1)
+            .unwrap();
+        let parallel = GraphGen::with_config(&db, base.threads(8).build())
+            .extract(Q1)
+            .unwrap();
+        assert_eq!(expand_to_edge_list(&serial), expand_to_edge_list(&parallel));
     }
 
     #[test]

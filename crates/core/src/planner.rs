@@ -213,9 +213,11 @@ mod tests {
         let plan = plan_chain(&db, &coauthor_chain(), 2.0).unwrap();
         assert_eq!(plan.segments[0].atoms, (0, 0));
         assert_eq!(plan.segments[1].atoms, (1, 1));
-        // Each segment is runnable.
+        // Each segment is runnable, and the threaded path returns the same
+        // pairs in the same order.
         for seg in &plan.segments {
-            assert!(seg.query.run(&db).is_ok());
+            let serial = seg.query.run(&db).expect("segment runs");
+            assert_eq!(seg.query.run_threaded(&db, 4).expect("threaded"), serial);
         }
     }
 

@@ -10,6 +10,7 @@
 //! which avoids the paper's "non-trivial concurrency issues" while keeping
 //! the scan parallel.
 
+use graphgen_common::parallel::{effective_threads, map_morsels};
 use graphgen_graph::{CondensedGraph, GraphRep, VirtId};
 
 /// Statistics of a preprocessing run.
@@ -53,23 +54,10 @@ pub fn expand_cheap_virtuals(g: &mut CondensedGraph, threads: usize) -> Preproce
         inn * out <= inn + out + 1
     };
 
-    let decisions: Vec<bool> = if threads <= 1 || n_virt < 1024 {
-        (0..n_virt).map(decide).collect()
-    } else {
-        let mut decisions = vec![false; n_virt];
-        let chunk = n_virt.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (i, slot) in decisions.chunks_mut(chunk).enumerate() {
-                let decide = &decide;
-                scope.spawn(move || {
-                    for (j, d) in slot.iter_mut().enumerate() {
-                        *d = decide(i * chunk + j);
-                    }
-                });
-            }
-        });
-        decisions
-    };
+    let decisions: Vec<bool> = map_morsels(n_virt, effective_threads(threads, n_virt), |range| {
+        range.map(&decide).collect::<Vec<_>>()
+    })
+    .concat();
 
     let mut expanded = 0;
     for (v, &doit) in decisions.iter().enumerate() {

@@ -3,85 +3,261 @@
 //! The extraction layer composes three operators: filtered scans with
 //! projection, hash equi-joins, and duplicate elimination. A nested-loop
 //! join is provided as the test oracle.
+//!
+//! # Operator contract
+//!
+//! Every operator consumes and produces [`RowSet`]s — flat value arenas with
+//! index-addressed rows — instead of `Vec<Vec<Value>>`, so no operator
+//! allocates per row and none deep-clones values it does not emit:
+//!
+//! * [`scan_project`] evaluates the predicate against the table columns in
+//!   place and clones only the projected columns of passing rows;
+//! * [`hash_join`] / [`hash_join_project`] build a pointer-based index
+//!   (`&Value` keys, row indices as payload) on the **smaller** input and
+//!   emit only the requested output columns;
+//! * [`distinct_rows`] keeps a hash-of-row index into its own output, so
+//!   each surviving row is stored exactly once.
+//!
+//! # Parallelism and determinism
+//!
+//! Each operator takes a `threads` knob (plumbed from
+//! `GraphGenConfig::threads()` through every segment query). Scans and join
+//! probes are morsel-parallel, join builds and DISTINCT are hash-partitioned
+//! (`std::thread::scope`, no external deps). Per-thread partial results are
+//! merged in morsel/partition order, so **for any `threads` value the output
+//! is byte-identical to the serial run**: scans preserve table order, joins
+//! preserve left-outer/right-inner order, DISTINCT preserves first
+//! occurrence. Inputs below `graphgen_common::parallel::MIN_PARALLEL_ITEMS`
+//! run serially regardless of `threads`.
 
 use crate::expr::Predicate;
+use crate::rowset::{hash_row, hash_value, RowSet};
 use crate::table::Table;
 use crate::value::Value;
-use graphgen_common::{FxHashMap, FxHashSet};
+use graphgen_common::parallel::{
+    effective_threads, map_morsels, map_partitions, scatter_partitions,
+};
+use graphgen_common::FxHashMap;
 
-/// Scan `table`, keep rows satisfying `pred`, and project the columns in
-/// `cols` (by index, in output order).
-pub fn scan_project(table: &Table, pred: &Predicate, cols: &[usize]) -> Vec<Vec<Value>> {
-    let mut out = Vec::new();
-    let mut row_buf: Vec<Value> = Vec::with_capacity(table.schema().arity());
-    for r in 0..table.num_rows() {
-        row_buf.clear();
-        for c in 0..table.schema().arity() {
-            row_buf.push(table.cell(r, c).clone());
-        }
-        if pred.eval(&row_buf) {
-            out.push(cols.iter().map(|&c| row_buf[c].clone()).collect());
-        }
+/// Row indices are carried as `u32` inside the operators to halve the
+/// footprint of join/distinct bookkeeping.
+const MAX_ROWS: usize = u32::MAX as usize;
+
+/// Merge per-thread partial outputs in morsel order.
+fn merge(arity: usize, parts: Vec<RowSet>) -> RowSet {
+    let mut parts = parts.into_iter();
+    let mut out = parts.next().unwrap_or_else(|| RowSet::new(arity));
+    for p in parts {
+        out.append(p);
     }
     out
+}
+
+/// Scan `table`, keep rows satisfying `pred`, and project the columns in
+/// `cols` (by index, in output order). The predicate is evaluated against
+/// the table's columns directly; only the projected columns of passing rows
+/// are cloned. Morsel-parallel over `threads`, output in table row order.
+pub fn scan_project(table: &Table, pred: &Predicate, cols: &[usize], threads: usize) -> RowSet {
+    let n = table.num_rows();
+    let t = effective_threads(threads, n);
+    let parts = map_morsels(n, t, |range| {
+        let mut out = RowSet::new(cols.len());
+        for r in range {
+            if pred.eval_at(table, r) {
+                out.push_row(cols.iter().map(|&c| table.cell(r, c).clone()));
+            }
+        }
+        out
+    });
+    merge(cols.len(), parts)
+}
+
+/// A hash-partitioned join index over one side's key column: partition `p`
+/// owns the keys with `hash_value(key) % parts == p`. Per-key row-index
+/// lists are ascending because every partition scans the build side in row
+/// order.
+type JoinIndex<'a> = Vec<FxHashMap<&'a Value, Vec<u32>>>;
+
+fn build_index(build: &RowSet, key: usize, parts: usize) -> JoinIndex<'_> {
+    assert!(build.num_rows() <= MAX_ROWS, "row set too large");
+    if parts <= 1 {
+        let mut index: FxHashMap<&Value, Vec<u32>> = FxHashMap::default();
+        for (i, row) in build.iter().enumerate() {
+            let k = &row[key];
+            if !k.is_null() {
+                index.entry(k).or_default().push(i as u32);
+            }
+        }
+        return vec![index];
+    }
+    // Hash every key exactly once, scattering row indices into per-morsel
+    // partition buckets; each partition thread then touches only its own
+    // rows, and scatter order keeps per-key index lists ascending.
+    let buckets = scatter_partitions(build.num_rows(), parts, |r| {
+        let h = hash_value(&build.row(r)[key]);
+        ((h as usize) % parts, r as u32)
+    });
+    map_partitions(parts, |p| {
+        let mut index: FxHashMap<&Value, Vec<u32>> = FxHashMap::default();
+        for morsel in &buckets {
+            for &i in &morsel[p] {
+                let k = &build.row(i as usize)[key];
+                if !k.is_null() {
+                    index.entry(k).or_default().push(i);
+                }
+            }
+        }
+        index
+    })
+}
+
+fn index_lookup<'a, 'b>(index: &'b JoinIndex<'a>, key: &Value) -> Option<&'b [u32]> {
+    let part = if index.len() > 1 {
+        (hash_value(key) as usize) % index.len()
+    } else {
+        0
+    };
+    index[part].get(key).map(Vec::as_slice)
 }
 
 /// Hash equi-join: join `left` and `right` row sets on
 /// `left[lkey] == right[rkey]`, emitting `left ++ right` rows.
 ///
-/// Rows with NULL join keys never match (SQL semantics).
+/// Rows with NULL join keys never match (SQL semantics). Output order is the
+/// nested-loop order (left rows outer, matching right rows in row order)
+/// regardless of `threads` or which side the hash table is built on.
 pub fn hash_join(
-    left: &[Vec<Value>],
+    left: &RowSet,
     lkey: usize,
-    right: &[Vec<Value>],
+    right: &RowSet,
     rkey: usize,
-) -> Vec<Vec<Value>> {
-    // Build on the smaller side for memory, but keep output order stable by
-    // always probing with `left` outer; build on `right`.
-    let mut index: FxHashMap<&Value, Vec<usize>> = FxHashMap::default();
-    for (i, row) in right.iter().enumerate() {
-        let key = &row[rkey];
-        if !key.is_null() {
-            index.entry(key).or_default().push(i);
-        }
-    }
-    let mut out = Vec::new();
-    for lrow in left {
-        let key = &lrow[lkey];
-        if key.is_null() {
-            continue;
-        }
-        if let Some(matches) = index.get(key) {
-            for &ri in matches {
-                let mut row = Vec::with_capacity(lrow.len() + right[ri].len());
-                row.extend_from_slice(lrow);
-                row.extend_from_slice(&right[ri]);
-                out.push(row);
+    threads: usize,
+) -> RowSet {
+    let cols: Vec<usize> = (0..left.arity() + right.arity()).collect();
+    hash_join_project(left, lkey, right, rkey, &cols, threads)
+}
+
+/// [`hash_join`] fused with a projection: `cols` indexes into the virtual
+/// concatenated row `left ++ right`, and only those columns are ever
+/// materialized. This is what chain queries use to avoid paying for join
+/// columns they immediately discard.
+///
+/// The hash table is built on the smaller input (ties build on `right`);
+/// when the build side is `left`, matches are collected as index pairs and
+/// sorted back into left-outer order, so the output is identical either way.
+pub fn hash_join_project(
+    left: &RowSet,
+    lkey: usize,
+    right: &RowSet,
+    rkey: usize,
+    cols: &[usize],
+    threads: usize,
+) -> RowSet {
+    let t = effective_threads(threads, left.num_rows().max(right.num_rows()));
+    if right.num_rows() <= left.num_rows() {
+        // Build on `right`, probe with `left` outer: morsel concatenation
+        // already yields left-outer order. The partition count is sized by
+        // the *build* side so a tiny build stays serial under a big probe.
+        let index = build_index(right, rkey, effective_threads(threads, right.num_rows()));
+        let parts = map_morsels(left.num_rows(), t, |range| {
+            let mut out = RowSet::new(cols.len());
+            for l in range {
+                let lrow = left.row(l);
+                let k = &lrow[lkey];
+                if k.is_null() {
+                    continue;
+                }
+                if let Some(matches) = index_lookup(&index, k) {
+                    for &r in matches {
+                        push_joined(&mut out, lrow, right.row(r as usize), cols);
+                    }
+                }
             }
-        }
+            out
+        });
+        merge(cols.len(), parts)
+    } else {
+        // `left` is strictly smaller: build on it, probe with `right`, then
+        // reorder the matched index pairs into left-outer order.
+        assert!(right.num_rows() <= MAX_ROWS, "row set too large");
+        let index = build_index(left, lkey, effective_threads(threads, left.num_rows()));
+        let pairs: Vec<(u32, u32)> = map_morsels(right.num_rows(), t, |range| {
+            let mut local = Vec::new();
+            for r in range {
+                let k = &right.row(r)[rkey];
+                if k.is_null() {
+                    continue;
+                }
+                if let Some(matches) = index_lookup(&index, k) {
+                    local.extend(matches.iter().map(|&l| (l, r as u32)));
+                }
+            }
+            local
+        })
+        .concat();
+        // Restore (left, right) lexicographic order == nested-loop emission
+        // order. The concatenated pairs are already sorted by `r` with
+        // ascending `r` per `l`, so a *stable* counting sort on `l` alone
+        // finishes the job in O(m + |left|) instead of O(m log m).
+        let pairs = counting_sort_by_left(pairs, left.num_rows());
+        let parts = map_morsels(
+            pairs.len(),
+            effective_threads(threads, pairs.len()),
+            |range| {
+                let mut out = RowSet::with_row_capacity(cols.len(), range.len());
+                for &(l, r) in &pairs[range] {
+                    push_joined(&mut out, left.row(l as usize), right.row(r as usize), cols);
+                }
+                out
+            },
+        );
+        merge(cols.len(), parts)
     }
-    out
+}
+
+/// Stable counting sort of match pairs by their left row index. Input pairs
+/// arrive sorted by the right index (probe morsel order), so stability
+/// yields full `(l, r)` lexicographic order — the nested-loop emission
+/// order — in two linear passes.
+fn counting_sort_by_left(pairs: Vec<(u32, u32)>, left_rows: usize) -> Vec<(u32, u32)> {
+    let mut offsets = vec![0usize; left_rows + 1];
+    for &(l, _) in &pairs {
+        offsets[l as usize + 1] += 1;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut sorted = vec![(0u32, 0u32); pairs.len()];
+    for &(l, r) in &pairs {
+        let slot = &mut offsets[l as usize];
+        sorted[*slot] = (l, r);
+        *slot += 1;
+    }
+    sorted
+}
+
+fn push_joined(out: &mut RowSet, lrow: &[Value], rrow: &[Value], cols: &[usize]) {
+    out.push_row(cols.iter().map(|&c| {
+        if c < lrow.len() {
+            lrow[c].clone()
+        } else {
+            rrow[c - lrow.len()].clone()
+        }
+    }));
 }
 
 /// Reference nested-loop join with identical semantics to [`hash_join`];
-/// used as the correctness oracle in tests.
-pub fn nested_loop_join(
-    left: &[Vec<Value>],
-    lkey: usize,
-    right: &[Vec<Value>],
-    rkey: usize,
-) -> Vec<Vec<Value>> {
-    let mut out = Vec::new();
-    for lrow in left {
+/// used as the correctness oracle in tests. Serial by construction.
+pub fn nested_loop_join(left: &RowSet, lkey: usize, right: &RowSet, rkey: usize) -> RowSet {
+    let mut out = RowSet::new(left.arity() + right.arity());
+    let cols: Vec<usize> = (0..left.arity() + right.arity()).collect();
+    for lrow in left.iter() {
         if lrow[lkey].is_null() {
             continue;
         }
-        for rrow in right {
+        for rrow in right.iter() {
             if !rrow[rkey].is_null() && lrow[lkey] == rrow[rkey] {
-                let mut row = Vec::with_capacity(lrow.len() + rrow.len());
-                row.extend_from_slice(lrow);
-                row.extend_from_slice(rrow);
-                out.push(row);
+                push_joined(&mut out, lrow, rrow, &cols);
             }
         }
     }
@@ -89,22 +265,84 @@ pub fn nested_loop_join(
 }
 
 /// Remove duplicate rows, preserving first-occurrence order (`DISTINCT`).
-pub fn distinct_rows(rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
-    let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
-    let mut out = Vec::with_capacity(rows.len().min(1 << 16));
-    for row in rows {
-        if seen.insert(row.clone()) {
-            out.push(row);
+///
+/// Rows are deduplicated through a hash-of-row index into the output arena,
+/// so every surviving row exists exactly once (the input arena is consumed
+/// and freed) — no key copies, halving the former peak memory. With
+/// `threads > 1` the scan is hash-partitioned: duplicates always land in the
+/// same partition, each partition keeps its first occurrences, and the kept
+/// row indices are merged back into input order.
+pub fn distinct_rows(rows: RowSet, threads: usize) -> RowSet {
+    let n = rows.num_rows();
+    assert!(n <= MAX_ROWS, "row set too large");
+    let t = effective_threads(threads, n);
+    if t <= 1 {
+        return distinct_serial(rows);
+    }
+    // Phase 1: hash each row once, scattering row indices into per-morsel
+    // partition buckets (duplicates share a hash, hence a partition;
+    // scatter order keeps buckets ascending).
+    let buckets = scatter_partitions(n, t, |r| {
+        let h = hash_row(rows.row(r));
+        ((h as usize) % t, (r as u32, h))
+    });
+    // Phase 2: each partition keeps the first occurrence of the rows it
+    // owns, touching only its own buckets; kept lists are ascending and
+    // pairwise disjoint.
+    let kept: Vec<Vec<u32>> = map_partitions(t, |p| {
+        let mut seen: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let mut kept = Vec::new();
+        for morsel in &buckets {
+            for &(r, h) in &morsel[p] {
+                let candidates = seen.entry(h).or_default();
+                if candidates
+                    .iter()
+                    .all(|&c| rows.row(c as usize) != rows.row(r as usize))
+                {
+                    candidates.push(r);
+                    kept.push(r);
+                }
+            }
+        }
+        kept
+    });
+    let mut kept = kept.concat();
+    kept.sort_unstable();
+    // Phase 3: materialize the survivors, morsel-parallel, in input order.
+    let parts = map_morsels(
+        kept.len(),
+        effective_threads(threads, kept.len()),
+        |range| {
+            let mut out = RowSet::with_row_capacity(rows.arity(), range.len());
+            for &r in &kept[range] {
+                out.push_row_from(rows.row(r as usize));
+            }
+            out
+        },
+    );
+    merge(rows.arity(), parts)
+}
+
+fn distinct_serial(rows: RowSet) -> RowSet {
+    let mut seen: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    let mut out = RowSet::new(rows.arity());
+    for row in rows.iter() {
+        let candidates = seen.entry(hash_row(row)).or_default();
+        if candidates.iter().all(|&c| out.row(c as usize) != row) {
+            candidates.push(out.num_rows() as u32);
+            out.push_row_from(row);
         }
     }
     out
 }
 
 /// Project a row set to the given column indices.
-pub fn project(rows: &[Vec<Value>], cols: &[usize]) -> Vec<Vec<Value>> {
-    rows.iter()
-        .map(|row| cols.iter().map(|&c| row[c].clone()).collect())
-        .collect()
+pub fn project(rows: &RowSet, cols: &[usize]) -> RowSet {
+    let mut out = RowSet::with_row_capacity(cols.len(), rows.num_rows());
+    for row in rows.iter() {
+        out.push_row(cols.iter().map(|&c| row[c].clone()));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -120,30 +358,35 @@ mod tests {
         t
     }
 
-    fn rows(pairs: &[(i64, i64)]) -> Vec<Vec<Value>> {
-        pairs
-            .iter()
-            .map(|&(a, b)| vec![Value::int(a), Value::int(b)])
-            .collect()
+    fn rows(pairs: &[(i64, i64)]) -> RowSet {
+        RowSet::from_rows(
+            2,
+            pairs
+                .iter()
+                .map(|&(a, b)| vec![Value::int(a), Value::int(b)]),
+        )
     }
 
     #[test]
     fn scan_project_filters_and_projects() {
         let t = table(&[(1, 10), (2, 20), (3, 30)]);
-        let out = scan_project(&t, &Predicate::Gt(0, Value::int(1)), &[1]);
-        assert_eq!(out, vec![vec![Value::int(20)], vec![Value::int(30)]]);
+        let out = scan_project(&t, &Predicate::Gt(0, Value::int(1)), &[1], 1);
+        assert_eq!(
+            out.to_vecs(),
+            vec![vec![Value::int(20)], vec![Value::int(30)]]
+        );
     }
 
     #[test]
     fn hash_join_basic() {
         let l = rows(&[(1, 100), (2, 200), (3, 100)]);
         let r = rows(&[(100, 7), (100, 8), (300, 9)]);
-        let out = hash_join(&l, 1, &r, 0);
+        let out = hash_join(&l, 1, &r, 0, 1);
         // rows with b=100 match both r-rows with key 100
-        assert_eq!(out.len(), 4);
+        assert_eq!(out.num_rows(), 4);
         assert_eq!(
-            out[0],
-            vec![
+            out.row(0),
+            &[
                 Value::int(1),
                 Value::int(100),
                 Value::int(100),
@@ -153,29 +396,51 @@ mod tests {
     }
 
     #[test]
-    fn hash_join_matches_nested_loop() {
+    fn hash_join_matches_nested_loop_in_order() {
         let l = rows(&[(1, 1), (2, 2), (3, 1), (4, 4), (5, 2)]);
         let r = rows(&[(1, 10), (2, 20), (1, 11), (9, 90)]);
-        let mut h = hash_join(&l, 1, &r, 0);
-        let mut n = nested_loop_join(&l, 1, &r, 0);
-        h.sort();
-        n.sort();
-        assert_eq!(h, n);
+        // Exact order equality, not set equality: the operator promises
+        // nested-loop emission order for every thread count and build side.
+        let n = nested_loop_join(&l, 1, &r, 0);
+        for threads in [1, 2, 8] {
+            assert_eq!(hash_join(&l, 1, &r, 0, threads), n);
+        }
+    }
+
+    #[test]
+    fn hash_join_builds_on_smaller_side_transparently() {
+        // Asymmetric inputs in both directions: output must be identical.
+        let small = rows(&[(1, 0), (2, 0), (7, 0)]);
+        let big = rows(&(0..50).map(|i| (i % 5, i)).collect::<Vec<_>>());
+        let small_left = hash_join(&small, 0, &big, 0, 1);
+        assert_eq!(small_left, nested_loop_join(&small, 0, &big, 0));
+        let big_left = hash_join(&big, 0, &small, 0, 1);
+        assert_eq!(big_left, nested_loop_join(&big, 0, &small, 0));
+    }
+
+    #[test]
+    fn hash_join_project_fuses_projection() {
+        let l = rows(&[(1, 100), (3, 100)]);
+        let r = rows(&[(100, 7)]);
+        let out = hash_join_project(&l, 1, &r, 0, &[0, 3], 1);
+        assert_eq!(out.to_vecs(), rows(&[(1, 7), (3, 7)]).to_vecs());
     }
 
     #[test]
     fn nulls_never_join() {
-        let l = vec![vec![Value::int(1), Value::Null]];
-        let r = vec![vec![Value::Null, Value::int(2)]];
-        assert!(hash_join(&l, 1, &r, 0).is_empty());
+        let l = RowSet::from_rows(2, vec![vec![Value::int(1), Value::Null]]);
+        let r = RowSet::from_rows(2, vec![vec![Value::Null, Value::int(2)]]);
+        assert!(hash_join(&l, 1, &r, 0, 1).is_empty());
         assert!(nested_loop_join(&l, 1, &r, 0).is_empty());
     }
 
     #[test]
     fn distinct_preserves_order() {
         let input = rows(&[(1, 1), (2, 2), (1, 1), (3, 3), (2, 2)]);
-        let out = distinct_rows(input);
-        assert_eq!(out, rows(&[(1, 1), (2, 2), (3, 3)]));
+        let expected = rows(&[(1, 1), (2, 2), (3, 3)]);
+        for threads in [1, 2, 8] {
+            assert_eq!(distinct_rows(input.clone(), threads), expected);
+        }
     }
 
     #[test]
@@ -183,5 +448,16 @@ mod tests {
         let input = rows(&[(1, 2)]);
         let out = project(&input, &[1, 0]);
         assert_eq!(out, rows(&[(2, 1)]));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = RowSet::new(2);
+        let r = rows(&[(1, 1)]);
+        assert!(hash_join(&e, 0, &r, 0, 4).is_empty());
+        assert!(hash_join(&r, 0, &e, 0, 4).is_empty());
+        assert!(distinct_rows(RowSet::new(2), 4).is_empty());
+        let t = table(&[]);
+        assert!(scan_project(&t, &Predicate::True, &[0], 4).is_empty());
     }
 }

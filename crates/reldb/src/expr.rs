@@ -44,6 +44,35 @@ impl Predicate {
         }
     }
 
+    /// Evaluate against row `row` of `table` directly, without materializing
+    /// the row. Semantics are identical to [`Predicate::eval`]; this is the
+    /// scan hot path (`scan_project` only clones the projected columns of
+    /// rows that pass).
+    pub fn eval_at(&self, table: &crate::table::Table, row: usize) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Eq(col, v) => table.cell(row, *col) == v,
+            Predicate::Ne(col, v) => table.cell(row, *col) != v,
+            Predicate::Lt(col, v) => {
+                let c = table.cell(row, *col);
+                !c.is_null() && c < v
+            }
+            Predicate::Le(col, v) => {
+                let c = table.cell(row, *col);
+                !c.is_null() && c <= v
+            }
+            Predicate::Gt(col, v) => {
+                let c = table.cell(row, *col);
+                !c.is_null() && c > v
+            }
+            Predicate::Ge(col, v) => {
+                let c = table.cell(row, *col);
+                !c.is_null() && c >= v
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.eval_at(table, row)),
+        }
+    }
+
     /// Conjoin two predicates, flattening nested `And`s and dropping `True`s.
     pub fn and(self, other: Predicate) -> Predicate {
         match (self, other) {
@@ -95,6 +124,31 @@ mod tests {
         assert!(!Predicate::Gt(0, Value::int(5)).eval(&row()));
         // NULL never satisfies ordered comparisons.
         assert!(!Predicate::Lt(2, Value::int(100)).eval(&row()));
+    }
+
+    #[test]
+    fn eval_at_matches_eval() {
+        use crate::schema::{Column, Schema};
+        use crate::table::Table;
+        let mut t = Table::new(Schema::new(vec![Column::int("a"), Column::str("s")]));
+        t.push_row(vec![Value::int(5), Value::str("x")]).unwrap();
+        t.push_row(vec![Value::Null, Value::Null]).unwrap();
+        let preds = [
+            Predicate::True,
+            Predicate::Eq(0, Value::int(5)),
+            Predicate::Ne(1, Value::str("y")),
+            Predicate::Lt(0, Value::int(6)),
+            Predicate::Le(0, Value::int(5)),
+            Predicate::Gt(0, Value::int(4)),
+            Predicate::Ge(0, Value::int(6)),
+            Predicate::Eq(1, Value::Null),
+            Predicate::Eq(0, Value::int(5)).and(Predicate::Ne(1, Value::str("y"))),
+        ];
+        for p in &preds {
+            for r in 0..t.num_rows() {
+                assert_eq!(p.eval_at(&t, r), p.eval(&t.row(r)), "{p:?} row {r}");
+            }
+        }
     }
 
     #[test]

@@ -11,9 +11,17 @@
 //! * [`Schema`] / [`Table`] — column-oriented storage with append ingestion.
 //! * [`Database`] — the catalog: named tables plus per-column statistics
 //!   (row count, exact distinct count) used by the extraction planner.
+//! * [`RowSet`] — the flat value arena every operator consumes and
+//!   produces: one allocation per batch, rows addressed by index, no
+//!   per-row `Vec`s.
 //! * [`exec`] — physical operators: scan, filter, project, hash equi-join,
 //!   distinct; and [`query::Query`], a tiny logical plan ("the SQL we
 //!   generate") with a reference nested-loop implementation for testing.
+//!
+//! Every operator takes a `threads` knob (morsel-parallel scans and join
+//! probes, hash-partitioned join builds and DISTINCT — std scoped threads)
+//! and produces byte-identical output for any thread count; see [`exec`]
+//! for the operator contract and ordering guarantee.
 
 pub mod catalog;
 pub mod csv;
@@ -21,6 +29,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod query;
+pub mod rowset;
 pub mod schema;
 pub mod table;
 pub mod value;
@@ -29,6 +38,7 @@ pub use catalog::{ColumnStats, Database};
 pub use error::{DbError, DbResult};
 pub use expr::Predicate;
 pub use query::Query;
+pub use rowset::RowSet;
 pub use schema::{Column, Schema};
 pub use table::Table;
 pub use value::{DataType, Value};

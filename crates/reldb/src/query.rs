@@ -14,7 +14,7 @@
 
 use crate::catalog::Database;
 use crate::error::{DbError, DbResult};
-use crate::exec::{distinct_rows, hash_join, scan_project};
+use crate::exec::{distinct_rows, hash_join_project, scan_project};
 use crate::expr::Predicate;
 use crate::value::Value;
 
@@ -58,47 +58,45 @@ impl Query {
         }
     }
 
-    /// Execute against `db`, returning `(X, Y)` pairs.
+    /// Execute against `db` serially, returning `(X, Y)` pairs. Shorthand
+    /// for [`Query::run_threaded`] with one thread.
     pub fn run(&self, db: &Database) -> DbResult<Vec<(Value, Value)>> {
+        self.run_threaded(db, 1)
+    }
+
+    /// Execute against `db` with `threads` worker threads, returning
+    /// `(X, Y)` pairs. This is the single `threads` knob of the extraction
+    /// pipeline: every scan, join build/probe, and DISTINCT of the chain
+    /// fans out over it, and the result is byte-identical for any value
+    /// (see [`crate::exec`] for the ordering guarantee).
+    pub fn run_threaded(&self, db: &Database, threads: usize) -> DbResult<Vec<(Value, Value)>> {
         if self.steps.is_empty() {
             return Err(DbError::Invalid("empty chain query".into()));
         }
         let first = &self.steps[0];
         let t0 = db.table(&first.table)?;
         // rows carry (X, current-join-value)
-        let mut rows = scan_project(t0, &first.pred, &[first.in_col, first.out_col]);
+        let mut rows = scan_project(t0, &first.pred, &[first.in_col, first.out_col], threads);
         for step in &self.steps[1..] {
             let t = db.table(&step.table)?;
-            let right = scan_project(t, &step.pred, &[step.in_col, step.out_col]);
-            let joined = hash_join(&rows, 1, &right, 0);
-            // keep (X, new-carry); columns of joined rows: [X, carry, in, out]
-            rows = joined
-                .into_iter()
-                .map(|mut r| {
-                    let out = r.swap_remove(3);
-                    r.truncate(1);
-                    r.push(out);
-                    r
-                })
-                .collect();
+            let right = scan_project(t, &step.pred, &[step.in_col, step.out_col], threads);
+            // Joined virtual row is [X, carry, in, out]; the fused
+            // projection keeps (X, new-carry) without materializing the
+            // join columns at all.
+            rows = hash_join_project(&rows, 1, &right, 0, &[0, 3], threads);
             // Intermediate DISTINCT keeps the frontier bounded by
             // |domain(X)| * |domain(carry)|; extraction only needs set
             // semantics so this is safe and usually a large win.
             if self.distinct {
-                rows = distinct_rows(rows);
+                rows = distinct_rows(rows, threads);
             }
         }
-        if self.distinct {
-            rows = distinct_rows(rows);
+        // Multi-step chains were already deduplicated by the loop's last
+        // iteration; only single-table queries still need the final pass.
+        if self.distinct && self.steps.len() == 1 {
+            rows = distinct_rows(rows, threads);
         }
-        Ok(rows
-            .into_iter()
-            .map(|mut r| {
-                let y = r.pop().expect("pair row");
-                let x = r.pop().expect("pair row");
-                (x, y)
-            })
-            .collect())
+        Ok(rows.into_pairs())
     }
 
     /// Render the equivalent SQL text (for display / logging, mirroring the
@@ -227,6 +225,33 @@ mod tests {
         expected.sort();
         expected.dedup();
         assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn threaded_run_matches_serial_exactly() {
+        let db = fig1_db();
+        let q = Query {
+            steps: vec![
+                ChainStep {
+                    table: "AuthorPub".into(),
+                    pred: Predicate::True,
+                    in_col: 0,
+                    out_col: 1,
+                },
+                ChainStep {
+                    table: "AuthorPub".into(),
+                    pred: Predicate::True,
+                    in_col: 1,
+                    out_col: 0,
+                },
+            ],
+            distinct: true,
+        };
+        let serial = q.run(&db).unwrap();
+        for threads in [2, 8] {
+            // Same pairs in the same order, not just the same set.
+            assert_eq!(q.run_threaded(&db, threads).unwrap(), serial);
+        }
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Compact, arena-backed row storage for operator pipelines.
+//!
+//! A [`RowSet`] is the unit every physical operator in [`crate::exec`]
+//! consumes and produces. It stores fixed-arity rows in one flat `Vec<Value>`
+//! arena and addresses them by index (`row r` is
+//! `&values[r * arity .. (r + 1) * arity]`), replacing the former
+//! `Vec<Vec<Value>>` outputs: one allocation per *batch* instead of one per
+//! *row*, no per-row `Vec` headers, and per-thread partial results merge with
+//! a single `Vec::append`. `Value` copies are cheap (ints are `Copy`,
+//! strings bump an `Arc` refcount), so the arena never deep-copies string
+//! payloads.
+
+use crate::value::Value;
+use graphgen_common::{ByteSize, FxHasher};
+use std::hash::{Hash, Hasher};
+
+/// A batch of fixed-arity rows in one flat value arena.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RowSet {
+    arity: usize,
+    rows: usize,
+    values: Vec<Value>,
+}
+
+impl RowSet {
+    /// An empty row set of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            rows: 0,
+            values: Vec::new(),
+        }
+    }
+
+    /// An empty row set with arena capacity reserved for `rows` rows.
+    pub fn with_row_capacity(arity: usize, rows: usize) -> Self {
+        Self {
+            arity,
+            rows: 0,
+            values: Vec::with_capacity(arity * rows),
+        }
+    }
+
+    /// Build from materialized rows (tests, CSV ingestion). Panics if any
+    /// row's length differs from `arity`.
+    pub fn from_rows<I>(arity: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let mut out = Self::new(arity);
+        for row in rows {
+            assert_eq!(row.len(), arity, "row arity mismatch");
+            out.rows += 1;
+            out.values.extend(row);
+        }
+        out
+    }
+
+    /// Number of values per row.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row `r` as a value slice.
+    pub fn row(&self, r: usize) -> &[Value] {
+        &self.values[r * self.arity..r * self.arity + self.arity]
+    }
+
+    /// Iterate rows as value slices, in row order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        (0..self.rows).map(move |r| self.row(r))
+    }
+
+    /// Append one row given as an iterator of owned values.
+    ///
+    /// # Panics
+    /// If the iterator does not yield exactly `arity` values — a misaligned
+    /// arena would silently corrupt every later row, so this is a hard
+    /// check (one integer compare per row).
+    pub fn push_row<I: IntoIterator<Item = Value>>(&mut self, row: I) {
+        let before = self.values.len();
+        self.values.extend(row);
+        assert_eq!(self.values.len() - before, self.arity, "row arity");
+        self.rows += 1;
+    }
+
+    /// Append one row by cloning a value slice (cheap: ints copy, strings
+    /// bump an `Arc`).
+    ///
+    /// # Panics
+    /// If `row.len() != arity` (see [`RowSet::push_row`]).
+    pub fn push_row_from(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.arity, "row arity");
+        self.values.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Append every row of `other` (used to merge per-thread partial
+    /// outputs in morsel order). Panics on arity mismatch.
+    pub fn append(&mut self, mut other: RowSet) {
+        assert_eq!(self.arity, other.arity, "row set arity mismatch");
+        self.values.append(&mut other.values);
+        self.rows += other.rows;
+    }
+
+    /// Materialize every row as an owned `Vec<Value>` (tests / debugging).
+    pub fn to_vecs(&self) -> Vec<Vec<Value>> {
+        self.iter().map(<[Value]>::to_vec).collect()
+    }
+
+    /// Consume an arity-2 row set into `(x, y)` pairs without cloning.
+    ///
+    /// # Panics
+    /// If the arity is not 2.
+    pub fn into_pairs(self) -> Vec<(Value, Value)> {
+        assert_eq!(self.arity, 2, "into_pairs requires arity 2");
+        let mut out = Vec::with_capacity(self.rows);
+        let mut it = self.values.into_iter();
+        while let (Some(x), Some(y)) = (it.next(), it.next()) {
+            out.push((x, y));
+        }
+        out
+    }
+}
+
+/// 64-bit FxHash of a row (all values in order); the row identity used by
+/// DISTINCT and the join partitioner.
+pub fn hash_row(row: &[Value]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in row {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// 64-bit FxHash of a single value (join keys).
+pub fn hash_value(v: &Value) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+impl ByteSize for RowSet {
+    fn heap_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<Value>()
+            + self.values.iter().map(ByteSize::heap_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(rows: &[(i64, i64)]) -> RowSet {
+        RowSet::from_rows(
+            2,
+            rows.iter()
+                .map(|&(a, b)| vec![Value::int(a), Value::int(b)]),
+        )
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut rs = RowSet::new(2);
+        rs.push_row([Value::int(1), Value::str("a")]);
+        rs.push_row_from(&[Value::int(2), Value::str("b")]);
+        assert_eq!(rs.num_rows(), 2);
+        assert_eq!(rs.arity(), 2);
+        assert_eq!(rs.row(1), &[Value::int(2), Value::str("b")]);
+        assert_eq!(rs.iter().count(), 2);
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn append_merges_in_order() {
+        let mut a = pairs(&[(1, 1), (2, 2)]);
+        let b = pairs(&[(3, 3)]);
+        a.append(b);
+        assert_eq!(a.to_vecs(), pairs(&[(1, 1), (2, 2), (3, 3)]).to_vecs());
+    }
+
+    #[test]
+    fn into_pairs_round_trip() {
+        let rs = pairs(&[(1, 10), (2, 20)]);
+        assert_eq!(
+            rs.into_pairs(),
+            vec![
+                (Value::int(1), Value::int(10)),
+                (Value::int(2), Value::int(20))
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_arity_rows_are_representable() {
+        let mut rs = RowSet::new(0);
+        rs.push_row([]);
+        rs.push_row([]);
+        assert_eq!(rs.num_rows(), 2);
+        assert_eq!(rs.row(1), &[] as &[Value]);
+    }
+
+    #[test]
+    fn row_hash_distinguishes_rows() {
+        let rs = pairs(&[(1, 2), (2, 1), (1, 2)]);
+        assert_eq!(hash_row(rs.row(0)), hash_row(rs.row(2)));
+        assert_ne!(hash_row(rs.row(0)), hash_row(rs.row(1)));
+        assert_ne!(hash_value(&Value::int(1)), hash_value(&Value::int(2)));
+    }
+
+    #[test]
+    fn bytesize_counts_arena() {
+        let rs = pairs(&[(1, 2)]);
+        assert!(rs.heap_bytes() >= 2 * std::mem::size_of::<Value>());
+    }
+}

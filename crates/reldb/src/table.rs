@@ -129,13 +129,7 @@ impl ByteSize for Table {
             .iter()
             .map(|col| {
                 col.capacity() * std::mem::size_of::<Value>()
-                    + col
-                        .iter()
-                        .map(|v| match v {
-                            Value::Str(s) => s.len(),
-                            _ => 0,
-                        })
-                        .sum::<usize>()
+                    + col.iter().map(ByteSize::heap_bytes).sum::<usize>()
             })
             .sum()
     }

@@ -90,6 +90,15 @@ impl fmt::Display for Value {
     }
 }
 
+impl graphgen_common::ByteSize for Value {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Value::Str(s) => s.len(),
+            _ => 0,
+        }
+    }
+}
+
 impl From<i64> for Value {
     fn from(v: i64) -> Self {
         Value::Int(v)

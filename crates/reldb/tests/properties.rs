@@ -7,18 +7,20 @@
 
 use graphgen_reldb::exec::{distinct_rows, hash_join, nested_loop_join, scan_project};
 use graphgen_reldb::query::{ChainStep, Query};
-use graphgen_reldb::{csv, Column, Database, Predicate, Schema, Table, Value};
+use graphgen_reldb::{csv, Column, Database, Predicate, RowSet, Schema, Table, Value};
 use proptest::prelude::*;
 
 fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
     proptest::collection::vec((0i64..12, 0i64..12), 0..40)
 }
 
-fn to_rows(pairs: &[(i64, i64)]) -> Vec<Vec<Value>> {
-    pairs
-        .iter()
-        .map(|&(a, b)| vec![Value::int(a), Value::int(b)])
-        .collect()
+fn to_rows(pairs: &[(i64, i64)]) -> RowSet {
+    RowSet::from_rows(
+        2,
+        pairs
+            .iter()
+            .map(|&(a, b)| vec![Value::int(a), Value::int(b)]),
+    )
 }
 
 fn table_of(pairs: &[(i64, i64)]) -> Table {
@@ -37,24 +39,27 @@ proptest! {
         let lrows = to_rows(&l);
         let rrows = to_rows(&r);
         for (lk, rk) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
-            let mut h = hash_join(&lrows, lk, &rrows, rk);
-            let mut n = nested_loop_join(&lrows, lk, &rrows, rk);
-            h.sort();
-            n.sort();
-            prop_assert_eq!(h, n, "keys ({},{})", lk, rk);
+            let n = nested_loop_join(&lrows, lk, &rrows, rk);
+            for threads in [1usize, 2, 8] {
+                let h = hash_join(&lrows, lk, &rrows, rk, threads);
+                prop_assert_eq!(&h, &n, "keys ({},{}) at {} threads", lk, rk, threads);
+            }
         }
     }
 
     #[test]
     fn distinct_is_idempotent_and_set_like(pairs in rows_strategy()) {
         let rows = to_rows(&pairs);
-        let once = distinct_rows(rows.clone());
-        let twice = distinct_rows(once.clone());
+        let once = distinct_rows(rows.clone(), 1);
+        let twice = distinct_rows(once.clone(), 1);
         prop_assert_eq!(&once, &twice);
+        for threads in [2usize, 8] {
+            prop_assert_eq!(&distinct_rows(rows.clone(), threads), &once);
+        }
         // Same set as a HashSet of the input.
-        let set: std::collections::HashSet<Vec<Value>> = rows.into_iter().collect();
-        prop_assert_eq!(once.len(), set.len());
-        for row in &once {
+        let set: std::collections::HashSet<Vec<Value>> = rows.to_vecs().into_iter().collect();
+        prop_assert_eq!(once.num_rows(), set.len());
+        for row in once.iter() {
             prop_assert!(set.contains(row));
         }
     }
@@ -62,11 +67,17 @@ proptest! {
     #[test]
     fn scan_project_respects_predicate(pairs in rows_strategy(), bound in 0i64..12) {
         let t = table_of(&pairs);
-        let out = scan_project(&t, &Predicate::Lt(0, Value::int(bound)), &[0]);
+        let out = scan_project(&t, &Predicate::Lt(0, Value::int(bound)), &[0], 1);
         let expected = pairs.iter().filter(|&&(a, _)| a < bound).count();
-        prop_assert_eq!(out.len(), expected);
-        for row in out {
+        prop_assert_eq!(out.num_rows(), expected);
+        for row in out.iter() {
             prop_assert!(row[0].as_int().unwrap() < bound);
+        }
+        for threads in [2usize, 8] {
+            prop_assert_eq!(
+                &scan_project(&t, &Predicate::Lt(0, Value::int(bound)), &[0], threads),
+                &out
+            );
         }
     }
 
