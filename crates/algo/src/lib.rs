@@ -5,7 +5,7 @@
 //! C-DUP, EXP, DEDUP-1, DEDUP-2, and BITMAP — the core claim of the paper's
 //! in-memory layer. Two execution styles are provided, mirroring the paper:
 //!
-//! * direct Graph-API algorithms ([`bfs`], [`triangles`]) — random access,
+//! * direct Graph-API algorithms ([`mod@bfs`], [`mod@triangles`]) — random access,
 //!   single threaded;
 //! * the multithreaded **vertex-centric** framework ([`vertex_centric`])
 //!   used for Degree and PageRank in the evaluation, with chunked

@@ -1,0 +1,174 @@
+//! Incremental maintenance vs. from-scratch re-extraction on the Appendix
+//! C.2 single-layer workload (`datagen::large`).
+//!
+//! Two sweeps demonstrate the delta-maintenance contract:
+//!
+//! 1. **Delta sweep** (fixed database): patch cost must grow with the
+//!    delta size, and stay far below a full re-extraction for small
+//!    deltas.
+//! 2. **Scale sweep** (fixed delta): patch cost must stay roughly flat as
+//!    the database grows, while re-extraction cost grows with it —
+//!    patch cost scales with the *delta*, not the *database*.
+//!
+//! Every patched graph is verified byte-identical (canonical key-space
+//! serialization) to a from-scratch extraction on the mutated database
+//! unless `--quick` skips the check.
+//!
+//! Usage: `incremental_extraction [--scale=F] [--quick]`
+//!   --scale=F   fraction of the paper's row counts (default 0.005)
+//!   --quick     scale 0.001 and skip the byte-identity verification
+
+use graphgen_bench::{has_flag, ms, row, speedup, time};
+use graphgen_core::{GraphGen, GraphGenConfig, GraphHandle};
+use graphgen_datagen::large::{single_layer_database, SingleLayerConfig};
+use graphgen_datagen::mutations::{random_mutation, MutationConfig};
+use graphgen_reldb::Database;
+use std::time::Duration;
+
+fn arg_scale() -> f64 {
+    let mut scale = 0.005;
+    for a in std::env::args() {
+        if a == "--quick" {
+            scale = 0.001;
+        } else if let Some(v) = a.strip_prefix("--scale=") {
+            scale = v.parse().expect("--scale=F expects a float");
+        }
+    }
+    scale
+}
+
+fn cfg(incremental: bool) -> GraphGenConfig {
+    GraphGenConfig::builder()
+        .large_output_factor(0.0) // pin the condensed path / segmentation
+        .preprocess(false)
+        .auto_expand_threshold(None)
+        .incremental(incremental)
+        .build()
+}
+
+fn build(scale: f64) -> (Database, String, GraphHandle) {
+    let (db, query) = single_layer_database(SingleLayerConfig::single_1(scale));
+    let handle = GraphGen::with_config(&db, cfg(true))
+        .extract(&query)
+        .expect("incremental extraction");
+    (db, query, handle)
+}
+
+/// Mutate, patch, and re-extract once; returns (patch time, re-extract
+/// time, rows changed).
+fn round(
+    db: &mut Database,
+    query: &str,
+    handle: &mut GraphHandle,
+    delta_rows: usize,
+    seed: u64,
+    verify: bool,
+) -> (Duration, Duration, usize) {
+    let deltas = random_mutation(
+        db,
+        "A",
+        MutationConfig {
+            inserts: delta_rows / 2,
+            deletes: delta_rows / 2,
+            seed,
+        },
+    )
+    .expect("mutation");
+    let changed: usize = deltas.iter().map(graphgen_reldb::Delta::len).sum();
+    let (_, patch_time) = time(|| {
+        for d in &deltas {
+            handle.apply_delta(d).expect("apply_delta");
+        }
+    });
+    let (fresh, extract_time) = time(|| {
+        GraphGen::with_config(db, cfg(false))
+            .extract(query)
+            .expect("re-extraction")
+    });
+    if verify {
+        assert_eq!(
+            handle.canonical_bytes(),
+            fresh.canonical_bytes(),
+            "patched graph diverged from re-extraction"
+        );
+    }
+    (patch_time, extract_time, changed)
+}
+
+fn main() {
+    let scale = arg_scale();
+    let verify = !has_flag("--quick");
+    let (mut db, query, mut handle) = build(scale);
+    let base_rows = db.table("A").expect("table A").num_rows();
+    println!(
+        "Incremental extraction vs full re-extract (Single_1 at scale {scale}, {base_rows} rows)\n"
+    );
+
+    println!("Delta sweep (fixed database, growing delta):");
+    let widths = [12, 12, 14, 16, 10];
+    row(
+        &[
+            "delta_rows",
+            "patch(ms)",
+            "reextract(ms)",
+            "patch_speedup",
+            "verified",
+        ]
+        .map(String::from),
+        &widths,
+    );
+    for (i, delta_rows) in [16usize, 256, 4096].into_iter().enumerate() {
+        let (patch, extract, changed) = round(
+            &mut db,
+            &query,
+            &mut handle,
+            delta_rows,
+            100 + i as u64,
+            verify,
+        );
+        row(
+            &[
+                changed.to_string(),
+                ms(patch),
+                ms(extract),
+                speedup(extract, patch),
+                if verify { "identical" } else { "skipped" }.to_string(),
+            ],
+            &widths,
+        );
+    }
+
+    println!("\nScale sweep (database grows, delta fixed at 256 rows):");
+    let widths = [12, 12, 12, 14, 16, 10];
+    row(
+        &[
+            "db_rows",
+            "delta_rows",
+            "patch(ms)",
+            "reextract(ms)",
+            "patch_speedup",
+            "verified",
+        ]
+        .map(String::from),
+        &widths,
+    );
+    for (i, factor) in [1.0f64, 2.0, 4.0].into_iter().enumerate() {
+        let (mut db, query, mut handle) = build(scale * factor);
+        let rows = db.table("A").expect("table A").num_rows();
+        let (patch, extract, changed) =
+            round(&mut db, &query, &mut handle, 256, 200 + i as u64, verify);
+        row(
+            &[
+                rows.to_string(),
+                changed.to_string(),
+                ms(patch),
+                ms(extract),
+                speedup(extract, patch),
+                if verify { "identical" } else { "skipped" }.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\npatch_speedup = re-extraction time over patch time; patch cost should track");
+    println!("the delta column, not the db_rows column.");
+}

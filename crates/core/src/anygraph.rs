@@ -114,6 +114,9 @@ impl GraphRep for AnyGraph {
     fn delete_vertex(&mut self, u: RealId) {
         self.inner_mut().delete_vertex(u)
     }
+    fn revive_vertex(&mut self, u: RealId) {
+        self.inner_mut().revive_vertex(u)
+    }
     fn compact(&mut self) {
         self.inner_mut().compact()
     }

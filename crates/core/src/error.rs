@@ -70,6 +70,36 @@ impl From<DedupError> for ConvertError {
     }
 }
 
+/// Why an incremental patch ([`crate::GraphHandle::apply_delta`]) failed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatchError {
+    /// The handle was not extracted with `GraphGenConfig::incremental`, so
+    /// no maintenance state exists to propagate deltas through.
+    NotIncremental,
+    /// The delta contradicts the maintained state (e.g. it deletes rows the
+    /// base table never held, or the handle's representation was swapped
+    /// behind the state's back). The handle should be considered stale:
+    /// re-extract instead of applying further deltas.
+    Inconsistent(String),
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::NotIncremental => write!(
+                f,
+                "handle has no incremental state; extract with \
+                 GraphGenConfig::builder().incremental(true) to enable apply_delta"
+            ),
+            PatchError::Inconsistent(msg) => {
+                write!(f, "delta is inconsistent with the maintained state: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
 /// Stable classification of an [`Error`], independent of payload details.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorKind {
@@ -79,6 +109,8 @@ pub enum ErrorKind {
     Db,
     /// Infeasible representation conversion.
     Convert,
+    /// Incremental delta application failure.
+    Patch,
 }
 
 /// The single error type of the facade: everything the pipeline can raise.
@@ -90,6 +122,8 @@ pub enum Error {
     Db(DbError),
     /// Infeasible representation conversion.
     Convert(ConvertError),
+    /// Incremental delta application failure.
+    Patch(PatchError),
 }
 
 impl Error {
@@ -99,6 +133,7 @@ impl Error {
             Error::Dsl(_) => ErrorKind::Dsl,
             Error::Db(_) => ErrorKind::Db,
             Error::Convert(_) => ErrorKind::Convert,
+            Error::Patch(_) => ErrorKind::Patch,
         }
     }
 
@@ -106,6 +141,14 @@ impl Error {
     pub fn as_convert(&self) -> Option<ConvertError> {
         match self {
             Error::Convert(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// The patch failure reason, if this is a patch error.
+    pub fn as_patch(&self) -> Option<&PatchError> {
+        match self {
+            Error::Patch(e) => Some(e),
             _ => None,
         }
     }
@@ -117,6 +160,7 @@ impl fmt::Display for Error {
             Error::Dsl(e) => write!(f, "{e}"),
             Error::Db(e) => write!(f, "{e}"),
             Error::Convert(e) => write!(f, "{e}"),
+            Error::Patch(e) => write!(f, "{e}"),
         }
     }
 }
@@ -127,7 +171,14 @@ impl std::error::Error for Error {
             Error::Dsl(e) => Some(e),
             Error::Db(e) => Some(e),
             Error::Convert(e) => Some(e),
+            Error::Patch(e) => Some(e),
         }
+    }
+}
+
+impl From<PatchError> for Error {
+    fn from(e: PatchError) -> Self {
+        Error::Patch(e)
     }
 }
 
@@ -166,6 +217,17 @@ mod tests {
         assert_eq!(e.as_convert(), Some(ConvertError::MultiLayer));
         let e: Error = DbError::UnknownTable("x".into()).into();
         assert_eq!(e.kind(), ErrorKind::Db);
+        assert_eq!(e.as_convert(), None);
+    }
+
+    #[test]
+    fn patch_errors_classify_and_display() {
+        let e: Error = PatchError::NotIncremental.into();
+        assert_eq!(e.kind(), ErrorKind::Patch);
+        assert_eq!(e.as_patch(), Some(&PatchError::NotIncremental));
+        assert!(e.to_string().contains("incremental"));
+        let e: Error = PatchError::Inconsistent("x".into()).into();
+        assert!(e.to_string().contains("inconsistent"));
         assert_eq!(e.as_convert(), None);
     }
 

@@ -3,12 +3,13 @@
 use crate::anygraph::AnyGraph;
 use crate::error::Error;
 use crate::handle::GraphHandle;
-use crate::planner::{full_query, plan_chain, ChainPlan};
+use crate::incremental::{self, IncrementalState};
+use crate::planner::{filters_to_predicate, full_query, plan_chain, ChainPlan};
 use graphgen_common::IdMap;
 use graphgen_dedup::preprocess::{expand_cheap_virtuals, should_expand, PreprocessStats};
 use graphgen_dsl::{compile, GraphSpec, NodesView};
 use graphgen_graph::{CondensedBuilder, ExpandedGraph, PropValue, Properties, RealId, VirtId};
-use graphgen_reldb::{exec::scan_project, Database, Predicate, Value};
+use graphgen_reldb::{exec::scan_project, Database, Delta, DeltaOp, Value};
 use std::time::Instant;
 
 /// Extraction configuration. Construct via [`GraphGenConfig::builder`]:
@@ -24,6 +25,7 @@ pub struct GraphGenConfig {
     preprocess: bool,
     auto_expand_threshold: Option<f64>,
     threads: usize,
+    incremental: bool,
 }
 
 impl Default for GraphGenConfig {
@@ -33,6 +35,7 @@ impl Default for GraphGenConfig {
             preprocess: true,
             auto_expand_threshold: Some(1.2),
             threads: default_threads(),
+            incremental: false,
         }
     }
 }
@@ -84,6 +87,12 @@ impl GraphGenConfig {
     pub fn threads(&self) -> usize {
         self.threads
     }
+
+    /// Whether extraction builds the delta-maintenance state so the handle
+    /// supports [`GraphHandle::apply_delta`]. See [`crate::incremental`].
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
 }
 
 /// Builder for [`GraphGenConfig`]; every knob starts at its default.
@@ -118,6 +127,17 @@ impl GraphGenConfigBuilder {
     /// to disable auto-expansion and always keep the condensed result.
     pub fn auto_expand_threshold(mut self, threshold: impl Into<Option<f64>>) -> Self {
         self.cfg.auto_expand_threshold = threshold.into();
+        self
+    }
+
+    /// Build the delta-maintenance state during extraction, enabling
+    /// [`GraphHandle::apply_delta`]. Incremental extraction always hands
+    /// back the raw condensed graph (C-DUP) — Step-6 preprocessing and the
+    /// §6.5 auto-expansion are skipped, since both rewrite the structure
+    /// the maintenance state mirrors; convert the handle afterwards if a
+    /// different representation is wanted (patching survives conversions).
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.cfg.incremental = on;
         self
     }
 
@@ -176,6 +196,9 @@ impl<'a> GraphGen<'a> {
 
     /// Extract from a pre-compiled spec.
     pub fn extract_spec(&self, spec: &GraphSpec) -> Result<GraphHandle, Error> {
+        if self.cfg.incremental {
+            return self.extract_spec_incremental(spec);
+        }
         let start = Instant::now();
         let mut report = ExtractionReport::default();
 
@@ -212,6 +235,47 @@ impl<'a> GraphGen<'a> {
         Ok(GraphHandle::from_parts(graph, ids, properties, report))
     }
 
+    /// Incremental extraction: build the delta-maintenance state and reach
+    /// the current database state by replaying every referenced base table
+    /// through the delta engine itself — one code path for the initial
+    /// extraction and for live maintenance, so the oracle tests exercise
+    /// exactly what [`GraphHandle::apply_delta`] runs later.
+    fn extract_spec_incremental(&self, spec: &GraphSpec) -> Result<GraphHandle, Error> {
+        let start = Instant::now();
+        let mut report = ExtractionReport::default();
+        let mut plans = Vec::with_capacity(spec.edges.len());
+        for chain in &spec.edges {
+            let plan = plan_chain(self.db, chain, self.cfg.large_output_factor)?;
+            for seg in &plan.segments {
+                report.sql.push(seg.query.to_sql(self.db)?);
+            }
+            plans.push(plan);
+        }
+        let mut state = IncrementalState::new(spec, &plans, self.cfg.threads());
+        let mut graph = AnyGraph::CDup(CondensedBuilder::new(0).build());
+        let mut ids: IdMap<Value> = IdMap::new();
+        let mut properties = Properties::new(0);
+        for table in state.referenced_tables() {
+            let t = self.db.table(&table)?;
+            let mut delta = Delta::new(table);
+            for row in t.iter_rows() {
+                delta.push(row, DeltaOp::Insert);
+            }
+            incremental::apply_delta_state(
+                &mut state,
+                &mut graph,
+                &mut ids,
+                &mut properties,
+                &delta,
+            )?;
+        }
+        report.plans = plans;
+        report.extraction_micros = start.elapsed().as_micros();
+        Ok(GraphHandle::from_parts_incremental(
+            graph, ids, properties, report, state,
+        ))
+    }
+
     /// Extract the **fully expanded** graph by running each chain as one
     /// SQL query (Table 1's "Full Graph" baseline).
     pub fn extract_full(&self, dsl: &str) -> Result<GraphHandle, Error> {
@@ -246,7 +310,7 @@ impl<'a> GraphGen<'a> {
             let table = self.db.table(&view.relation)?;
             let mut cols = vec![view.id_col];
             cols.extend(view.prop_cols.iter().map(|(_, c)| *c));
-            let pred = filters_predicate(&view.filters);
+            let pred = filters_to_predicate(&view.filters);
             for row in scan_project(table, &pred, &cols, self.cfg.threads).iter() {
                 let key = row[0].clone();
                 if key.is_null() {
@@ -323,19 +387,6 @@ impl<'a> GraphGen<'a> {
         }
         Ok(())
     }
-}
-
-fn filters_predicate(filters: &[graphgen_dsl::analyze::ConstFilter]) -> Predicate {
-    use graphgen_dsl::analyze::ConstFilter;
-    let mut pred = Predicate::True;
-    for f in filters {
-        let p = match f {
-            ConstFilter::Int(col, v) => Predicate::Eq(*col, Value::int(*v)),
-            ConstFilter::Str(col, s) => Predicate::Eq(*col, Value::str(s.as_str())),
-        };
-        pred = pred.and(p);
-    }
-    pred
 }
 
 fn intern_vnode(

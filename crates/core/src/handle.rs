@@ -20,8 +20,9 @@
 //! [`RealId`]s.
 
 use crate::anygraph::AnyGraph;
-use crate::error::ConvertError;
+use crate::error::{ConvertError, Error, PatchError};
 use crate::extract::ExtractionReport;
+use crate::incremental::{self, GraphPatch, IncrementalState};
 use graphgen_common::{IdMap, VertexOrdering};
 use graphgen_dedup::{
     bitmap1, bitmap2, flatten_to_single_layer, preprocess::should_expand, try_dedup2_greedy,
@@ -30,7 +31,7 @@ use graphgen_dedup::{
 use graphgen_graph::{
     CondensedGraph, ExpandedGraph, GraphRep, PropValue, Properties, RealId, RepKind,
 };
-use graphgen_reldb::Value;
+use graphgen_reldb::{Delta, Value};
 
 /// Which BITMAP preprocessing pass builds the bitmap representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -107,6 +108,7 @@ pub struct GraphHandle {
     ids: IdMap<Value>,
     properties: Properties,
     report: ExtractionReport,
+    incremental: Option<Box<IncrementalState>>,
 }
 
 impl GraphHandle {
@@ -123,6 +125,25 @@ impl GraphHandle {
             ids,
             properties,
             report,
+            incremental: None,
+        }
+    }
+
+    /// Assemble a handle that carries the delta-maintenance state (the
+    /// incremental extractor's exit point).
+    pub(crate) fn from_parts_incremental(
+        graph: AnyGraph,
+        ids: IdMap<Value>,
+        properties: Properties,
+        report: ExtractionReport,
+        state: IncrementalState,
+    ) -> Self {
+        Self {
+            graph,
+            ids,
+            properties,
+            report,
+            incremental: Some(Box::new(state)),
         }
     }
 
@@ -158,9 +179,58 @@ impl GraphHandle {
         self.graph.kind()
     }
 
-    /// Decompose into `(graph, ids, properties, report)`.
+    /// Decompose into `(graph, ids, properties, report)`. Any incremental
+    /// maintenance state is dropped — a decomposed handle can no longer
+    /// apply deltas.
     pub fn into_parts(self) -> (AnyGraph, IdMap<Value>, Properties, ExtractionReport) {
         (self.graph, self.ids, self.properties, self.report)
+    }
+
+    // ---- incremental maintenance ---------------------------------------
+
+    /// True if this handle carries delta-maintenance state (extracted with
+    /// `GraphGenConfig::incremental`), i.e. [`GraphHandle::apply_delta`]
+    /// will work. Conversions preserve the state.
+    pub fn is_incremental(&self) -> bool {
+        self.incremental.is_some()
+    }
+
+    /// Patch the graph in place for one base-table [`Delta`] produced by
+    /// the `reldb` mutation API, with work proportional to the delta — see
+    /// [`crate::incremental`] for the propagation rules. Apply deltas in
+    /// the order the database applied them.
+    ///
+    /// After any sequence of deltas the handle's canonical serialization
+    /// ([`GraphHandle::canonical_bytes`]) is byte-identical to a
+    /// from-scratch extraction on the mutated database.
+    ///
+    /// # Errors
+    ///
+    /// [`PatchError::NotIncremental`] if the handle has no maintenance
+    /// state; [`PatchError::Inconsistent`] if the delta contradicts the
+    /// maintained state (the handle should then be re-extracted — its
+    /// contents are no longer trustworthy).
+    pub fn apply_delta(&mut self, delta: &Delta) -> Result<GraphPatch, Error> {
+        let Some(state) = self.incremental.as_deref_mut() else {
+            return Err(PatchError::NotIncremental.into());
+        };
+        incremental::apply_delta_state(
+            state,
+            &mut self.graph,
+            &mut self.ids,
+            &mut self.properties,
+            delta,
+        )
+    }
+
+    /// A canonical, key-space byte serialization of the logical graph
+    /// (sorted node keys with their properties, then sorted edge key
+    /// pairs). Two handles over the same logical graph serialize to the
+    /// same bytes regardless of representation, thread count, or whether
+    /// they were patched or re-extracted — the equality the incremental
+    /// oracle tests assert.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        crate::serialize::canonical_bytes(self)
     }
 
     // ---- key-space accessors -------------------------------------------
@@ -213,14 +283,7 @@ impl GraphHandle {
         &self,
         opts: &ConvertOptions,
     ) -> Result<std::borrow::Cow<'_, CondensedGraph>, ConvertError> {
-        let core = self.condensed_core()?;
-        if core.is_single_layer() {
-            Ok(std::borrow::Cow::Borrowed(core))
-        } else if opts.flatten {
-            Ok(std::borrow::Cow::Owned(flatten_to_single_layer(core)))
-        } else {
-            Err(ConvertError::MultiLayer)
-        }
+        single_layer_of(self.condensed_core()?, opts)
     }
 
     /// Convert to the requested representation. Every feasible conversion
@@ -248,6 +311,9 @@ impl GraphHandle {
         if target == self.graph.kind() {
             return Ok(self.clone());
         }
+        if self.incremental.is_some() {
+            return self.convert_incremental(target, opts);
+        }
         let graph = match target {
             RepKind::Exp => AnyGraph::Exp(ExpandedGraph::from_rep(&self.graph)),
             RepKind::CDup => AnyGraph::CDup(self.condensed_core()?.clone()),
@@ -272,6 +338,68 @@ impl GraphHandle {
             ids: self.ids.clone(),
             properties: self.properties.clone(),
             report: self.report.clone(),
+            incremental: None,
+        })
+    }
+
+    /// Conversion for handles carrying delta-maintenance state. The state's
+    /// pristine condensed structure (the handle's own graph while it is
+    /// C-DUP, its shadow afterwards) is the conversion source, so an
+    /// incremental handle never loses its condensed core — even EXP and
+    /// DEDUP-2 handles can convert onward. Representations are built from a
+    /// *compacted* copy so deleted slots enter them without stale
+    /// adjacency (a later key revival re-adds edges through the patch
+    /// engine).
+    fn convert_incremental(
+        &self,
+        target: RepKind,
+        opts: &ConvertOptions,
+    ) -> Result<GraphHandle, ConvertError> {
+        let state = self.incremental.as_deref().expect("checked by caller");
+        let pristine: CondensedGraph = match (&self.graph, state.shadow_graph()) {
+            (AnyGraph::CDup(g), _) => g.clone(),
+            (_, Some(shadow)) => shadow.clone(),
+            // Reachable only if graph_mut() swapped the representation
+            // behind the maintenance state's back: the pristine core is
+            // gone, so report it like any other core-less source.
+            (_, None) => {
+                return Err(ConvertError::NotCondensed {
+                    from: self.graph.kind(),
+                })
+            }
+        };
+        let mut new_state = state.clone();
+        let graph = if target == RepKind::CDup {
+            new_state.drop_shadow();
+            AnyGraph::CDup(pristine)
+        } else {
+            let mut core = pristine.clone();
+            core.compact();
+            let g = match target {
+                RepKind::CDup => unreachable!("handled above"),
+                RepKind::Exp => AnyGraph::Exp(ExpandedGraph::from_rep(&core)),
+                RepKind::Dedup1 => {
+                    let single = single_layer_of(&core, opts)?;
+                    AnyGraph::Dedup1(opts.algorithm.try_run(&single, opts.ordering, opts.seed)?)
+                }
+                RepKind::Dedup2 => {
+                    let single = single_layer_of(&core, opts)?;
+                    AnyGraph::Dedup2(try_dedup2_greedy(&single, opts.ordering, opts.seed)?)
+                }
+                RepKind::Bitmap => AnyGraph::Bitmap(match opts.bitmap {
+                    BitmapAlgorithm::Bitmap1 => bitmap1(core),
+                    BitmapAlgorithm::Bitmap2 => bitmap2(core, opts.threads).0,
+                }),
+            };
+            new_state.set_shadow(pristine);
+            g
+        };
+        Ok(GraphHandle {
+            graph,
+            ids: self.ids.clone(),
+            properties: self.properties.clone(),
+            report: self.report.clone(),
+            incremental: Some(Box::new(new_state)),
         })
     }
 
@@ -289,7 +417,14 @@ impl GraphHandle {
     /// * multi-layer: BITMAP — the only duplicate-free representation that
     ///   handles layered condensed graphs directly.
     pub fn advise(&self, policy: &AdvisorPolicy) -> RepKind {
-        let Some(core) = self.graph.as_condensed() else {
+        // Incremental handles keep a pristine condensed shadow after
+        // converting away from C-DUP; the chooser consults it so the
+        // advice stays shape-aware (and convert can always realize it).
+        let shadow = self
+            .incremental
+            .as_deref()
+            .and_then(IncrementalState::shadow_graph);
+        let Some(core) = self.graph.as_condensed().or(shadow) else {
             return self.graph.kind();
         };
         if should_expand(core, policy.expand_threshold) {
@@ -313,6 +448,22 @@ impl GraphHandle {
         opts: &ConvertOptions,
     ) -> Result<GraphHandle, ConvertError> {
         self.convert(self.advise(policy), opts)
+    }
+}
+
+/// A single-layer view of `core`: borrowed when already single-layer,
+/// flattened (owned) when `opts.flatten` allows, [`ConvertError::MultiLayer`]
+/// otherwise.
+fn single_layer_of<'a>(
+    core: &'a CondensedGraph,
+    opts: &ConvertOptions,
+) -> Result<std::borrow::Cow<'a, CondensedGraph>, ConvertError> {
+    if core.is_single_layer() {
+        Ok(std::borrow::Cow::Borrowed(core))
+    } else if opts.flatten {
+        Ok(std::borrow::Cow::Owned(flatten_to_single_layer(core)))
+    } else {
+        Err(ConvertError::MultiLayer)
     }
 }
 
@@ -343,6 +494,9 @@ impl GraphRep for GraphHandle {
     }
     fn delete_vertex(&mut self, u: RealId) {
         self.graph.delete_vertex(u)
+    }
+    fn revive_vertex(&mut self, u: RealId) {
+        self.graph.revive_vertex(u)
     }
     fn compact(&mut self) {
         self.graph.compact()

@@ -1,0 +1,1509 @@
+//! Incremental extraction: maintain the hidden graph under base-table
+//! updates instead of re-running the segment queries from scratch.
+//!
+//! The paper's GraphGen treats the database as read-only; the ROADMAP flags
+//! from-scratch re-extraction as the next scaling ceiling for serving live
+//! traffic. This module applies FO+MOD-style delta processing (Berkholz et
+//! al., PAPERS.md) to the extraction plan: a [`Delta`] produced by the
+//! `reldb` mutation API is pushed through every segment query with work
+//! proportional to the delta, and the condensed graph is patched in place.
+//!
+//! # How a delta propagates
+//!
+//! Extraction compiles each `Edges` chain into segment queries
+//! `res_j(x, y) :- S_1(x, a_1), …, S_m(a_{m-1}, y)` (see
+//! [`crate::planner`]). For each segment the [`IncrementalState`] maintains:
+//!
+//! * per **atom**: the filtered, projected `(in, out)` pairs of the base
+//!   table as a multiset, hash-indexed by both columns (the state the
+//!   delta-join rules probe);
+//! * per **segment**: the bag multiplicity (`support`) of every output
+//!   pair, which makes `DISTINCT` incremental — a pair enters the graph
+//!   when its support rises from zero and leaves when it returns to zero
+//!   (the same hash-of-row identity the `DISTINCT` operator uses);
+//! * per **boundary** between segments: the virtual-node interning map
+//!   (join-attribute value → [`VirtId`]).
+//!
+//! A delta against table `T` touches only the atoms scanning `T`. For each
+//! changed atom, the signed delta rows are joined with the *unchanged*
+//! sides — the prefix atoms at their post-update state, the suffix atoms at
+//! their pre-update state (the classic telescoping sum), each probe walking
+//! the atom hash indexes, morsel-parallel over the delta rows via
+//! `graphgen_common::parallel` — so the work is `O(|Δ| × join fan-out)`,
+//! never `O(|database|)`.
+//!
+//! # How the graph is patched
+//!
+//! Support transitions become condensed-graph operations: segment-0 pairs
+//! are `real → virtual` membership edges, middle-segment pairs are
+//! `virtual → virtual` edges, last-segment pairs are `virtual → real`
+//! edges, and single-segment chains contribute direct `real → real` edges
+//! (reference-counted across chains). `Nodes`-view deltas add, remove, or
+//! revive real vertices and re-derive their properties.
+//!
+//! Two application paths exist:
+//!
+//! * **mirror** — the handle still holds the C-DUP graph extraction built:
+//!   operations apply directly to it (a patch costs a handful of sorted
+//!   adjacency-list edits);
+//! * **generic** — the handle was converted to EXP / DEDUP-1 / DEDUP-2 /
+//!   BITMAP: the state keeps a pristine condensed *shadow*, applies the
+//!   structural operation there, derives the resulting **logical** edge
+//!   diff (re-probing only the affected virtual node's reach), and replays
+//!   it through the representation's own 7-operation mutation API.
+//!
+//! Correctness contract: after any sequence of deltas, the patched handle's
+//! canonical serialization ([`crate::serialize::canonical_bytes`]) is
+//! byte-identical to a from-scratch extraction on the mutated database —
+//! enforced by `tests/incremental_oracle.rs` at 1/2/8 threads.
+
+use crate::anygraph::AnyGraph;
+use crate::error::{Error, PatchError};
+use crate::planner::{filters_to_predicate, ChainPlan};
+use graphgen_common::parallel::{effective_threads, map_morsels};
+use graphgen_common::{FxHashMap, FxHashSet, IdMap};
+use graphgen_dsl::GraphSpec;
+use graphgen_graph::{CondensedGraph, GraphRep, PropValue, Properties, RealId, VirtId};
+use graphgen_reldb::{Delta, DeltaOp, Predicate, Value};
+
+/// A per-value multiplicity index: `key → (other column value → count)`.
+type Bag = FxHashMap<Value, FxHashMap<Value, i64>>;
+
+/// What [`crate::GraphHandle::apply_delta`] did, for reporting and
+/// benchmarking. All counters are in units of applied operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphPatch {
+    /// Fresh real vertices added for never-before-seen node keys.
+    pub nodes_added: usize,
+    /// Previously deleted vertices brought back by a re-appearing key.
+    pub nodes_revived: usize,
+    /// Vertices logically removed because their key left every node view.
+    pub nodes_removed: usize,
+    /// Virtual nodes created for new join-attribute values.
+    pub virtuals_added: usize,
+    /// Stored (condensed-level) edges inserted.
+    pub stored_edges_added: usize,
+    /// Stored (condensed-level) edges removed.
+    pub stored_edges_removed: usize,
+    /// Logical edge insertions replayed through a converted
+    /// representation's mutation API (generic path only).
+    pub logical_edges_added: usize,
+    /// Logical edge removals replayed through a converted representation's
+    /// mutation API (generic path only).
+    pub logical_edges_removed: usize,
+}
+
+impl GraphPatch {
+    /// True if the delta changed nothing in the graph.
+    pub fn is_empty(&self) -> bool {
+        *self == GraphPatch::default()
+    }
+
+    /// Accumulate another patch's counters into this one (handy when
+    /// applying a sequence of deltas and reporting totals).
+    pub fn merge(&mut self, other: &GraphPatch) {
+        self.nodes_added += other.nodes_added;
+        self.nodes_revived += other.nodes_revived;
+        self.nodes_removed += other.nodes_removed;
+        self.virtuals_added += other.virtuals_added;
+        self.stored_edges_added += other.stored_edges_added;
+        self.stored_edges_removed += other.stored_edges_removed;
+        self.logical_edges_added += other.logical_edges_added;
+        self.logical_edges_removed += other.logical_edges_removed;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// State
+// ---------------------------------------------------------------------------
+
+/// One `Nodes` view with its filter pre-compiled to a [`Predicate`].
+#[derive(Debug, Clone)]
+struct ViewState {
+    relation: String,
+    id_col: usize,
+    /// `(property name, column)` pairs from the view head.
+    prop_cols: Vec<(String, usize)>,
+    pred: Predicate,
+}
+
+/// A node key's standing across all `Nodes` views: how many base rows
+/// currently yield it, and the property values each of those rows derived
+/// (kept so properties can be re-derived after a partial delete).
+#[derive(Debug, Clone, Default)]
+struct NodeEntry {
+    support: i64,
+    /// `(view index, derived properties)` in arrival order.
+    prop_rows: Vec<(usize, Vec<(String, PropValue)>)>,
+}
+
+/// One atom of a segment query: the filtered base table projected to its
+/// `(in, out)` join columns, as a multiset indexed both ways.
+#[derive(Debug, Clone)]
+struct AtomState {
+    table: String,
+    pred: Predicate,
+    in_col: usize,
+    out_col: usize,
+    /// `in value → (out value → multiplicity)`.
+    by_in: Bag,
+    /// `out value → (in value → multiplicity)`.
+    by_out: Bag,
+}
+
+/// The maintained output of one segment query.
+#[derive(Debug, Clone)]
+struct SegmentState {
+    atoms: Vec<AtomState>,
+    /// Bag multiplicity of each output pair (the incremental `DISTINCT`).
+    support: FxHashMap<(Value, Value), i64>,
+    /// Distinct output indexed by left endpoint.
+    by_left: FxHashMap<Value, FxHashSet<Value>>,
+    /// Distinct output indexed by right endpoint.
+    by_right: FxHashMap<Value, FxHashSet<Value>>,
+}
+
+/// The maintained state of one `Edges` chain.
+#[derive(Debug, Clone)]
+struct ChainState {
+    segments: Vec<SegmentState>,
+    /// Per boundary between segments: join-attribute value → dense index.
+    boundaries: Vec<IdMap<Value>>,
+    /// Per boundary: dense index → allocated virtual node.
+    boundary_virts: Vec<Vec<VirtId>>,
+}
+
+/// The condensed shadow kept once a handle leaves C-DUP: the pristine
+/// structure extraction maintains, plus reverse indexes so logical edge
+/// diffs can be derived by re-probing only the affected virtual nodes.
+#[derive(Debug, Clone)]
+struct ShadowCore {
+    g: CondensedGraph,
+    /// Per virtual node: real sources with an edge to it.
+    virt_in_reals: Vec<FxHashSet<u32>>,
+    /// Per virtual node: virtual sources with an edge to it.
+    virt_in_virts: Vec<FxHashSet<u32>>,
+    /// Per real target: virtual nodes with an edge to it.
+    real_in_virts: FxHashMap<u32, FxHashSet<u32>>,
+    /// Per real target: real sources with a *direct* edge to it.
+    real_in_reals: FxHashMap<u32, FxHashSet<u32>>,
+}
+
+/// Everything needed to maintain an extracted graph under base-table
+/// deltas. Owned by the [`crate::GraphHandle`] when extraction ran with
+/// [`crate::GraphGenConfig`]'s `incremental(true)`; survives
+/// representation conversions.
+#[derive(Debug, Clone)]
+pub struct IncrementalState {
+    threads: usize,
+    views: Vec<ViewState>,
+    chains: Vec<ChainState>,
+    node_entries: FxHashMap<Value, NodeEntry>,
+    /// Cross-chain reference counts of direct real→real pairs.
+    direct_support: FxHashMap<(Value, Value), i64>,
+    shadow: Option<ShadowCore>,
+}
+
+impl IncrementalState {
+    /// Build the (empty) maintenance state for a compiled spec and its
+    /// plans. The caller then replays every base table as an insert-only
+    /// delta to reach the current database state (one code path for initial
+    /// extraction and live maintenance).
+    pub(crate) fn new(spec: &GraphSpec, plans: &[ChainPlan], threads: usize) -> Self {
+        let views = spec
+            .nodes
+            .iter()
+            .map(|v| ViewState {
+                relation: v.relation.clone(),
+                id_col: v.id_col,
+                prop_cols: v.prop_cols.clone(),
+                pred: filters_to_predicate(&v.filters),
+            })
+            .collect();
+        let chains = plans
+            .iter()
+            .map(|plan| {
+                let segments: Vec<SegmentState> = plan
+                    .segments
+                    .iter()
+                    .map(|seg| SegmentState {
+                        atoms: seg
+                            .query
+                            .steps
+                            .iter()
+                            .map(|step| AtomState {
+                                table: step.table.clone(),
+                                pred: step.pred.clone(),
+                                in_col: step.in_col,
+                                out_col: step.out_col,
+                                by_in: Bag::default(),
+                                by_out: Bag::default(),
+                            })
+                            .collect(),
+                        support: FxHashMap::default(),
+                        by_left: FxHashMap::default(),
+                        by_right: FxHashMap::default(),
+                    })
+                    .collect();
+                let boundaries = segments.len().saturating_sub(1);
+                ChainState {
+                    segments,
+                    boundaries: (0..boundaries).map(|_| IdMap::new()).collect(),
+                    boundary_virts: vec![Vec::new(); boundaries],
+                }
+            })
+            .collect();
+        Self {
+            threads,
+            views,
+            chains,
+            node_entries: FxHashMap::default(),
+            direct_support: FxHashMap::default(),
+            shadow: None,
+        }
+    }
+
+    /// Every base table the spec reads, in deterministic first-reference
+    /// order (node views first, then chain atoms).
+    pub(crate) fn referenced_tables(&self) -> Vec<String> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        let names = self.views.iter().map(|v| v.relation.as_str()).chain(
+            self.chains
+                .iter()
+                .flat_map(|c| c.segments.iter())
+                .flat_map(|s| s.atoms.iter())
+                .map(|a| a.table.as_str()),
+        );
+        for name in names {
+            if seen.insert(name.to_string()) {
+                out.push(name.to_string());
+            }
+        }
+        out
+    }
+
+    /// The worker-thread count delta probes fan out over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The pristine condensed structure the state maintains, when the
+    /// handle no longer holds it itself (i.e. after a conversion away from
+    /// C-DUP).
+    pub(crate) fn shadow_graph(&self) -> Option<&CondensedGraph> {
+        self.shadow.as_ref().map(|s| &s.g)
+    }
+
+    /// Install a shadow copy of the pristine condensed graph (called by
+    /// `GraphHandle::convert` when leaving C-DUP).
+    pub(crate) fn set_shadow(&mut self, core: CondensedGraph) {
+        self.shadow = Some(ShadowCore::from_graph(core));
+    }
+
+    /// Drop the shadow (called when converting back to C-DUP, which then
+    /// holds the pristine structure itself).
+    pub(crate) fn drop_shadow(&mut self) {
+        self.shadow = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shadow core
+// ---------------------------------------------------------------------------
+
+impl ShadowCore {
+    fn from_graph(g: CondensedGraph) -> Self {
+        let nv = g.num_virtual();
+        let mut virt_in_reals = vec![FxHashSet::default(); nv];
+        let mut virt_in_virts = vec![FxHashSet::default(); nv];
+        let mut real_in_virts: FxHashMap<u32, FxHashSet<u32>> = FxHashMap::default();
+        let mut real_in_reals: FxHashMap<u32, FxHashSet<u32>> = FxHashMap::default();
+        for u in 0..g.num_real_slots() as u32 {
+            for a in g.real_out(RealId(u)) {
+                if let Some(v) = a.as_virtual() {
+                    virt_in_reals[v.0 as usize].insert(u);
+                } else if let Some(r) = a.as_real() {
+                    real_in_reals.entry(r.0).or_default().insert(u);
+                }
+            }
+        }
+        for v in 0..nv as u32 {
+            for a in g.virt_out(VirtId(v)) {
+                if let Some(w) = a.as_virtual() {
+                    virt_in_virts[w.0 as usize].insert(v);
+                } else if let Some(r) = a.as_real() {
+                    real_in_virts.entry(r.0).or_default().insert(v);
+                }
+            }
+        }
+        Self {
+            g,
+            virt_in_reals,
+            virt_in_virts,
+            real_in_virts,
+            real_in_reals,
+        }
+    }
+
+    /// Alive real nodes reachable *from* `v`, sorted.
+    fn fwd_reach(&self, v: VirtId) -> Vec<u32> {
+        let mut out = FxHashSet::default();
+        self.g.virtual_reach(v, &mut out);
+        let mut out: Vec<u32> = out.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Alive real nodes that reach `v` (reverse traversal over the
+    /// maintained in-indexes), sorted.
+    fn rev_reach(&self, v: VirtId) -> Vec<u32> {
+        let mut sources = FxHashSet::default();
+        let mut visited = FxHashSet::default();
+        let mut stack = vec![v.0];
+        visited.insert(v.0);
+        while let Some(x) = stack.pop() {
+            for &s in &self.virt_in_reals[x as usize] {
+                if self.g.is_alive(RealId(s)) {
+                    sources.insert(s);
+                }
+            }
+            for &w in &self.virt_in_virts[x as usize] {
+                if visited.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        let mut sources: Vec<u32> = sources.into_iter().collect();
+        sources.sort_unstable();
+        sources
+    }
+
+    /// Alive real nodes with a logical edge *into* `u`, sorted.
+    fn in_neighbors_of_real(&self, u: RealId) -> Vec<u32> {
+        let mut sources = FxHashSet::default();
+        if let Some(direct) = self.real_in_reals.get(&u.0) {
+            for &s in direct {
+                if self.g.is_alive(RealId(s)) {
+                    sources.insert(s);
+                }
+            }
+        }
+        if let Some(virts) = self.real_in_virts.get(&u.0) {
+            for &v in virts {
+                for s in self.rev_reach(VirtId(v)) {
+                    sources.insert(s);
+                }
+            }
+        }
+        sources.remove(&u.0);
+        let mut sources: Vec<u32> = sources.into_iter().collect();
+        sources.sort_unstable();
+        sources
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Patch target: mirror (C-DUP in place) or generic (shadow + logical replay)
+// ---------------------------------------------------------------------------
+
+enum Target<'a> {
+    /// The handle still holds the pristine C-DUP graph: patch it directly.
+    Mirror(&'a mut CondensedGraph),
+    /// The handle holds a converted representation: patch the shadow and
+    /// replay the logical diff through the representation's mutation API.
+    Generic {
+        shadow: &'a mut ShadowCore,
+        rep: &'a mut AnyGraph,
+    },
+}
+
+impl Target<'_> {
+    fn add_real_slot(&mut self, patch: &mut GraphPatch) -> RealId {
+        patch.nodes_added += 1;
+        match self {
+            Target::Mirror(g) => g.add_vertex(),
+            Target::Generic { shadow, rep } => {
+                let a = shadow.g.add_vertex();
+                let b = rep.add_vertex();
+                debug_assert_eq!(a, b, "shadow and representation slots diverged");
+                a
+            }
+        }
+    }
+
+    fn revive(&mut self, u: RealId, patch: &mut GraphPatch) {
+        patch.nodes_revived += 1;
+        match self {
+            Target::Mirror(g) => g.revive_vertex(u),
+            Target::Generic { shadow, rep } => {
+                shadow.g.revive_vertex(u);
+                rep.revive_vertex(u);
+                // The representation's slot was purged at kill time (or was
+                // compacted empty at conversion); re-add the node's current
+                // logical edges from the shadow.
+                let mut outs: Vec<u32> = Vec::new();
+                shadow.g.for_each_neighbor(u, &mut |t| outs.push(t.0));
+                outs.sort_unstable();
+                for t in outs {
+                    rep.add_edge(u, RealId(t));
+                    patch.logical_edges_added += 1;
+                }
+                for s in shadow.in_neighbors_of_real(u) {
+                    rep.add_edge(RealId(s), u);
+                    patch.logical_edges_added += 1;
+                }
+            }
+        }
+    }
+
+    fn kill(&mut self, u: RealId, patch: &mut GraphPatch) {
+        patch.nodes_removed += 1;
+        match self {
+            Target::Mirror(g) => g.delete_vertex(u),
+            Target::Generic { shadow, rep } => {
+                // Physically purge the node's logical edges from the
+                // representation first, so a later revival starts from a
+                // clean slot instead of resurrecting stale adjacency.
+                let mut outs: Vec<u32> = Vec::new();
+                shadow.g.for_each_neighbor(u, &mut |t| outs.push(t.0));
+                outs.sort_unstable();
+                for t in outs {
+                    rep.delete_edge(u, RealId(t));
+                    patch.logical_edges_removed += 1;
+                }
+                for s in shadow.in_neighbors_of_real(u) {
+                    rep.delete_edge(RealId(s), u);
+                    patch.logical_edges_removed += 1;
+                }
+                rep.delete_vertex(u);
+                shadow.g.delete_vertex(u);
+            }
+        }
+    }
+
+    fn add_virtual_node(&mut self, patch: &mut GraphPatch) -> VirtId {
+        patch.virtuals_added += 1;
+        match self {
+            Target::Mirror(g) => g.add_virtual_node(),
+            Target::Generic { shadow, .. } => {
+                let v = shadow.g.add_virtual_node();
+                shadow.virt_in_reals.push(FxHashSet::default());
+                shadow.virt_in_virts.push(FxHashSet::default());
+                v
+            }
+        }
+    }
+
+    fn add_membership(&mut self, u: RealId, v: VirtId, patch: &mut GraphPatch) {
+        patch.stored_edges_added += 1;
+        match self {
+            Target::Mirror(g) => g.insert_real_to_virtual(u, v),
+            Target::Generic { shadow, rep } => {
+                if shadow.g.is_alive(u) {
+                    for t in shadow.fwd_reach(v) {
+                        if t != u.0 && !shadow.g.exists_edge(u, RealId(t)) {
+                            rep.add_edge(u, RealId(t));
+                            patch.logical_edges_added += 1;
+                        }
+                    }
+                }
+                shadow.g.insert_real_to_virtual(u, v);
+                shadow.virt_in_reals[v.0 as usize].insert(u.0);
+            }
+        }
+    }
+
+    fn remove_membership(&mut self, u: RealId, v: VirtId, patch: &mut GraphPatch) {
+        patch.stored_edges_removed += 1;
+        match self {
+            Target::Mirror(g) => g.detach_real_from_virtual(u, v),
+            Target::Generic { shadow, rep } => {
+                let candidates = shadow.fwd_reach(v);
+                shadow.g.detach_real_from_virtual(u, v);
+                shadow.virt_in_reals[v.0 as usize].remove(&u.0);
+                if shadow.g.is_alive(u) {
+                    for t in candidates {
+                        if t != u.0 && !shadow.g.exists_edge(u, RealId(t)) {
+                            rep.delete_edge(u, RealId(t));
+                            patch.logical_edges_removed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn add_virt_to_real(&mut self, v: VirtId, t: RealId, patch: &mut GraphPatch) {
+        patch.stored_edges_added += 1;
+        match self {
+            Target::Mirror(g) => g.insert_virtual_to_real(v, t),
+            Target::Generic { shadow, rep } => {
+                if shadow.g.is_alive(t) {
+                    for s in shadow.rev_reach(v) {
+                        if s != t.0 && !shadow.g.exists_edge(RealId(s), t) {
+                            rep.add_edge(RealId(s), t);
+                            patch.logical_edges_added += 1;
+                        }
+                    }
+                }
+                shadow.g.insert_virtual_to_real(v, t);
+                shadow.real_in_virts.entry(t.0).or_default().insert(v.0);
+            }
+        }
+    }
+
+    fn remove_virt_to_real(&mut self, v: VirtId, t: RealId, patch: &mut GraphPatch) {
+        patch.stored_edges_removed += 1;
+        match self {
+            Target::Mirror(g) => g.remove_virtual_to_real(v, t),
+            Target::Generic { shadow, rep } => {
+                shadow.g.remove_virtual_to_real(v, t);
+                if let Some(set) = shadow.real_in_virts.get_mut(&t.0) {
+                    set.remove(&v.0);
+                }
+                if shadow.g.is_alive(t) {
+                    for s in shadow.rev_reach(v) {
+                        if s != t.0 && !shadow.g.exists_edge(RealId(s), t) {
+                            rep.delete_edge(RealId(s), t);
+                            patch.logical_edges_removed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn add_vv(&mut self, v: VirtId, w: VirtId, patch: &mut GraphPatch) {
+        patch.stored_edges_added += 1;
+        match self {
+            Target::Mirror(g) => g.insert_virtual_to_virtual(v, w),
+            Target::Generic { shadow, rep } => {
+                let sources = shadow.rev_reach(v);
+                let targets = shadow.fwd_reach(w);
+                let mut adds = Vec::new();
+                for &s in &sources {
+                    for &t in &targets {
+                        if s != t && !shadow.g.exists_edge(RealId(s), RealId(t)) {
+                            adds.push((s, t));
+                        }
+                    }
+                }
+                shadow.g.insert_virtual_to_virtual(v, w);
+                shadow.virt_in_virts[w.0 as usize].insert(v.0);
+                for (s, t) in adds {
+                    rep.add_edge(RealId(s), RealId(t));
+                    patch.logical_edges_added += 1;
+                }
+            }
+        }
+    }
+
+    fn remove_vv(&mut self, v: VirtId, w: VirtId, patch: &mut GraphPatch) {
+        patch.stored_edges_removed += 1;
+        match self {
+            Target::Mirror(g) => g.remove_virtual_to_virtual(v, w),
+            Target::Generic { shadow, rep } => {
+                let sources = shadow.rev_reach(v);
+                let targets = shadow.fwd_reach(w);
+                shadow.g.remove_virtual_to_virtual(v, w);
+                shadow.virt_in_virts[w.0 as usize].remove(&v.0);
+                for &s in &sources {
+                    for &t in &targets {
+                        if s != t && !shadow.g.exists_edge(RealId(s), RealId(t)) {
+                            rep.delete_edge(RealId(s), RealId(t));
+                            patch.logical_edges_removed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn add_direct(&mut self, u: RealId, t: RealId, patch: &mut GraphPatch) {
+        patch.stored_edges_added += 1;
+        match self {
+            Target::Mirror(g) => g.insert_direct(u, t),
+            Target::Generic { shadow, rep } => {
+                if shadow.g.is_alive(u) && shadow.g.is_alive(t) && !shadow.g.exists_edge(u, t) {
+                    rep.add_edge(u, t);
+                    patch.logical_edges_added += 1;
+                }
+                shadow.g.insert_direct(u, t);
+                shadow.real_in_reals.entry(t.0).or_default().insert(u.0);
+            }
+        }
+    }
+
+    fn remove_direct(&mut self, u: RealId, t: RealId, patch: &mut GraphPatch) {
+        patch.stored_edges_removed += 1;
+        match self {
+            Target::Mirror(g) => g.remove_direct(u, t),
+            Target::Generic { shadow, rep } => {
+                shadow.g.remove_direct(u, t);
+                if let Some(set) = shadow.real_in_reals.get_mut(&t.0) {
+                    set.remove(&u.0);
+                }
+                if shadow.g.is_alive(u) && shadow.g.is_alive(t) && !shadow.g.exists_edge(u, t) {
+                    rep.delete_edge(u, t);
+                    patch.logical_edges_removed += 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta-join propagation through one segment
+// ---------------------------------------------------------------------------
+
+/// Walk left from atom `j`: the bag of segment-left endpoints `X` reachable
+/// from join value `v` through atoms `j-1 … 0` (each crossing probes one
+/// hash index — the "re-probe only the changed side" rule). NULL join
+/// values never cross a join, matching the hash-join operator.
+fn expand_left(atoms: &[AtomState], j: usize, v: &Value) -> FxHashMap<Value, i64> {
+    let mut frontier: FxHashMap<Value, i64> = FxHashMap::default();
+    frontier.insert(v.clone(), 1);
+    for i in (0..j).rev() {
+        let mut next: FxHashMap<Value, i64> = FxHashMap::default();
+        for (val, m) in &frontier {
+            if val.is_null() {
+                continue;
+            }
+            if let Some(ins) = atoms[i].by_out.get(val) {
+                for (in_v, mi) in ins {
+                    *next.entry(in_v.clone()).or_insert(0) += m * mi;
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
+}
+
+/// Walk right from atom `j`: the bag of segment-right endpoints `Y`
+/// reachable from join value `v` through atoms `j+1 … m-1`.
+fn expand_right(atoms: &[AtomState], j: usize, v: &Value) -> FxHashMap<Value, i64> {
+    let mut frontier: FxHashMap<Value, i64> = FxHashMap::default();
+    frontier.insert(v.clone(), 1);
+    for atom in atoms.iter().skip(j + 1) {
+        let mut next: FxHashMap<Value, i64> = FxHashMap::default();
+        for (val, m) in &frontier {
+            if val.is_null() {
+                continue;
+            }
+            if let Some(outs) = atom.by_in.get(val) {
+                for (out_v, mo) in outs {
+                    *next.entry(out_v.clone()).or_insert(0) += m * mo;
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
+}
+
+/// Add `mult` to `bag[key][val]`, erroring if a multiplicity would go
+/// negative (a delta that deletes rows the table never held).
+fn bump(bag: &mut Bag, key: &Value, val: &Value, mult: i64) -> Result<(), Error> {
+    let inner = bag.entry(key.clone()).or_default();
+    let slot = inner.entry(val.clone()).or_insert(0);
+    *slot += mult;
+    if *slot < 0 {
+        return Err(PatchError::Inconsistent(format!(
+            "delta drives multiplicity of ({key}, {val}) negative"
+        ))
+        .into());
+    }
+    if *slot == 0 {
+        inner.remove(val);
+        if inner.is_empty() {
+            bag.remove(key);
+        }
+    }
+    Ok(())
+}
+
+impl SegmentState {
+    /// Propagate a table delta through this segment: telescoping delta
+    /// joins per changed atom (prefix atoms at their new state, suffix
+    /// atoms at their old state), morsel-parallel over the delta rows, then
+    /// support-count transitions for the incremental DISTINCT.
+    ///
+    /// Returns the output pairs that (dis)appeared, each sorted for
+    /// deterministic downstream interning at every thread count.
+    #[allow(clippy::type_complexity)]
+    fn transitions(
+        &mut self,
+        delta: &Delta,
+        threads: usize,
+    ) -> Result<(Vec<(Value, Value)>, Vec<(Value, Value)>), Error> {
+        let mut sdelta: FxHashMap<(Value, Value), i64> = FxHashMap::default();
+        for j in 0..self.atoms.len() {
+            if self.atoms[j].table != delta.table() {
+                continue;
+            }
+            // Project the delta rows through the atom's predicate.
+            let mut dj: FxHashMap<(Value, Value), i64> = FxHashMap::default();
+            for row in delta.rows() {
+                if !self.atoms[j].pred.eval(&row.values) {
+                    continue;
+                }
+                let key = (
+                    row.values[self.atoms[j].in_col].clone(),
+                    row.values[self.atoms[j].out_col].clone(),
+                );
+                *dj.entry(key).or_insert(0) += row.op.sign();
+            }
+            dj.retain(|_, m| *m != 0);
+            if dj.is_empty() {
+                continue;
+            }
+            let entries: Vec<((Value, Value), i64)> = dj.into_iter().collect();
+            // Delta join: expand every changed row against the unchanged
+            // sides. Atoms before `j` were already advanced to their new
+            // state by earlier loop iterations; atoms after `j` are still
+            // old — the exact telescoping decomposition of the delta.
+            let atoms = &self.atoms;
+            let t = effective_threads(threads, entries.len());
+            let parts = map_morsels(entries.len(), t, |range| {
+                let mut local: FxHashMap<(Value, Value), i64> = FxHashMap::default();
+                for ((in_v, out_v), mult) in &entries[range] {
+                    let lefts = expand_left(atoms, j, in_v);
+                    if lefts.is_empty() {
+                        continue;
+                    }
+                    let rights = expand_right(atoms, j, out_v);
+                    for (x, ml) in &lefts {
+                        for (y, mr) in &rights {
+                            *local.entry((x.clone(), y.clone())).or_insert(0) += mult * ml * mr;
+                        }
+                    }
+                }
+                local
+            });
+            for part in parts {
+                for (k, v) in part {
+                    *sdelta.entry(k).or_insert(0) += v;
+                }
+            }
+            // Advance atom j to its post-delta state.
+            let atom = &mut self.atoms[j];
+            for ((in_v, out_v), mult) in &entries {
+                bump(&mut atom.by_in, in_v, out_v, *mult)?;
+                bump(&mut atom.by_out, out_v, in_v, *mult)?;
+            }
+        }
+        sdelta.retain(|_, d| *d != 0);
+        // Support transitions, in sorted pair order so virtual-node
+        // interning is identical for every thread count.
+        let mut changes: Vec<((Value, Value), i64)> = sdelta.into_iter().collect();
+        changes.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for (pair, d) in changes {
+            let old = self.support.get(&pair).copied().unwrap_or(0);
+            let new = old + d;
+            if new < 0 {
+                return Err(PatchError::Inconsistent(format!(
+                    "delta drives support of output pair ({}, {}) negative",
+                    pair.0, pair.1
+                ))
+                .into());
+            }
+            if new == 0 {
+                self.support.remove(&pair);
+            } else {
+                self.support.insert(pair.clone(), new);
+            }
+            if old == 0 && new > 0 {
+                self.by_left
+                    .entry(pair.0.clone())
+                    .or_default()
+                    .insert(pair.1.clone());
+                self.by_right
+                    .entry(pair.1.clone())
+                    .or_default()
+                    .insert(pair.0.clone());
+                added.push(pair);
+            } else if old > 0 && new == 0 {
+                if let Some(set) = self.by_left.get_mut(&pair.0) {
+                    set.remove(&pair.1);
+                    if set.is_empty() {
+                        self.by_left.remove(&pair.0);
+                    }
+                }
+                if let Some(set) = self.by_right.get_mut(&pair.1) {
+                    set.remove(&pair.0);
+                    if set.is_empty() {
+                        self.by_right.remove(&pair.1);
+                    }
+                }
+                removed.push(pair);
+            }
+        }
+        Ok((added, removed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Materialization: segment transitions -> graph operations
+// ---------------------------------------------------------------------------
+
+/// Intern a boundary value, allocating its virtual node on first sight.
+fn ensure_virt(
+    boundaries: &mut [IdMap<Value>],
+    boundary_virts: &mut [Vec<VirtId>],
+    b: usize,
+    value: &Value,
+    target: &mut Target<'_>,
+    patch: &mut GraphPatch,
+) -> VirtId {
+    let idx = boundaries[b].intern(value.clone()) as usize;
+    if idx == boundary_virts[b].len() {
+        let v = target.add_virtual_node(patch);
+        boundary_virts[b].push(v);
+    }
+    boundary_virts[b][idx]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn materialize_segment(
+    chain: &mut ChainState,
+    j: usize,
+    added: &[(Value, Value)],
+    removed: &[(Value, Value)],
+    direct_support: &mut FxHashMap<(Value, Value), i64>,
+    ids: &IdMap<Value>,
+    target: &mut Target<'_>,
+    patch: &mut GraphPatch,
+) -> Result<(), Error> {
+    let k = chain.segments.len();
+    let ChainState {
+        boundaries,
+        boundary_virts,
+        ..
+    } = chain;
+    if k == 1 {
+        // Single-segment chain: the database-computed edge list. Direct
+        // edges are reference-counted across chains, since several Edges
+        // rules may yield the same pair.
+        for (x, y) in added {
+            let pair = (x.clone(), y.clone());
+            let s = direct_support.entry(pair).or_insert(0);
+            *s += 1;
+            if *s == 1 && x != y {
+                if let (Some(u), Some(v)) = (ids.get(x), ids.get(y)) {
+                    target.add_direct(RealId(u), RealId(v), patch);
+                }
+            }
+        }
+        for (x, y) in removed {
+            let pair = (x.clone(), y.clone());
+            let s = direct_support.entry(pair.clone()).or_insert(0);
+            *s -= 1;
+            if *s < 0 {
+                return Err(PatchError::Inconsistent(format!(
+                    "direct-edge support of ({x}, {y}) went negative"
+                ))
+                .into());
+            }
+            if *s == 0 {
+                direct_support.remove(&pair);
+                if x != y {
+                    if let (Some(u), Some(v)) = (ids.get(x), ids.get(y)) {
+                        target.remove_direct(RealId(u), RealId(v), patch);
+                    }
+                }
+            }
+        }
+        return Ok(());
+    }
+    // Multi-segment chain: boundary attributes materialize as virtual
+    // nodes. Membership edges are kept for *every interned* key, alive or
+    // not, so a node whose key later reappears revives with its adjacency
+    // intact; keys that never were nodes contribute no edges until a node
+    // add materializes them from the segment indexes.
+    for (l, r) in added {
+        match (j == 0, j == k - 1) {
+            (true, false) => {
+                let v = ensure_virt(boundaries, boundary_virts, 0, r, target, patch);
+                if let Some(u) = ids.get(l) {
+                    target.add_membership(RealId(u), v, patch);
+                }
+            }
+            (false, true) => {
+                let v = ensure_virt(boundaries, boundary_virts, k - 2, l, target, patch);
+                if let Some(t) = ids.get(r) {
+                    target.add_virt_to_real(v, RealId(t), patch);
+                }
+            }
+            (false, false) => {
+                let vl = ensure_virt(boundaries, boundary_virts, j - 1, l, target, patch);
+                let vr = ensure_virt(boundaries, boundary_virts, j, r, target, patch);
+                target.add_vv(vl, vr, patch);
+            }
+            (true, true) => unreachable!("k > 1"),
+        }
+    }
+    for (l, r) in removed {
+        match (j == 0, j == k - 1) {
+            (true, false) => {
+                let v = ensure_virt(boundaries, boundary_virts, 0, r, target, patch);
+                if let Some(u) = ids.get(l) {
+                    target.remove_membership(RealId(u), v, patch);
+                }
+            }
+            (false, true) => {
+                let v = ensure_virt(boundaries, boundary_virts, k - 2, l, target, patch);
+                if let Some(t) = ids.get(r) {
+                    target.remove_virt_to_real(v, RealId(t), patch);
+                }
+            }
+            (false, false) => {
+                let vl = ensure_virt(boundaries, boundary_virts, j - 1, l, target, patch);
+                let vr = ensure_virt(boundaries, boundary_virts, j, r, target, patch);
+                target.remove_vv(vl, vr, patch);
+            }
+            (true, true) => unreachable!("k > 1"),
+        }
+    }
+    Ok(())
+}
+
+/// Materialize every edge a brand-new real node participates in, looked up
+/// from the maintained segment indexes (cost proportional to the node's
+/// own memberships, not the graph).
+fn materialize_node_edges(
+    chains: &mut [ChainState],
+    key: &Value,
+    id: RealId,
+    direct_support: &FxHashMap<(Value, Value), i64>,
+    ids: &IdMap<Value>,
+    target: &mut Target<'_>,
+    patch: &mut GraphPatch,
+) {
+    for chain in chains.iter_mut() {
+        let k = chain.segments.len();
+        if k == 1 {
+            let seg = &chain.segments[0];
+            if let Some(ys) = seg.by_left.get(key) {
+                let mut ys: Vec<&Value> = ys.iter().collect();
+                ys.sort();
+                for y in ys {
+                    if y != key
+                        && direct_support
+                            .get(&(key.clone(), y.clone()))
+                            .copied()
+                            .unwrap_or(0)
+                            > 0
+                    {
+                        if let Some(v) = ids.get(y) {
+                            target.add_direct(id, RealId(v), patch);
+                        }
+                    }
+                }
+            }
+            if let Some(xs) = seg.by_right.get(key) {
+                let mut xs: Vec<&Value> = xs.iter().collect();
+                xs.sort();
+                for x in xs {
+                    if x != key
+                        && direct_support
+                            .get(&(x.clone(), key.clone()))
+                            .copied()
+                            .unwrap_or(0)
+                            > 0
+                    {
+                        if let Some(u) = ids.get(x) {
+                            target.add_direct(RealId(u), id, patch);
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        let ChainState {
+            segments,
+            boundaries,
+            boundary_virts,
+        } = chain;
+        if let Some(avals) = segments[0].by_left.get(key) {
+            let mut avals: Vec<&Value> = avals.iter().collect();
+            avals.sort();
+            for a in avals {
+                let v = ensure_virt(boundaries, boundary_virts, 0, a, target, patch);
+                target.add_membership(id, v, patch);
+            }
+        }
+        if let Some(avals) = segments[k - 1].by_right.get(key) {
+            let mut avals: Vec<&Value> = avals.iter().collect();
+            avals.sort();
+            for a in avals {
+                let v = ensure_virt(boundaries, boundary_virts, k - 2, a, target, patch);
+                target.add_virt_to_real(v, id, patch);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The top-level delta application
+// ---------------------------------------------------------------------------
+
+/// Derive the property values a node-view row yields (NULLs set nothing,
+/// matching the extractor).
+fn derive_props(view: &ViewState, row: &[Value]) -> Vec<(String, PropValue)> {
+    let mut out = Vec::with_capacity(view.prop_cols.len());
+    for (name, col) in &view.prop_cols {
+        let pv = match &row[*col] {
+            Value::Int(v) => PropValue::Int(*v),
+            Value::Str(s) => PropValue::Text(s.to_string()),
+            Value::Null => continue,
+        };
+        out.push((name.clone(), pv));
+    }
+    out
+}
+
+/// Apply one table delta to the maintained state and the graph. This is
+/// the engine behind [`crate::GraphHandle::apply_delta`]; initial
+/// extraction replays whole tables through the same path.
+pub(crate) fn apply_delta_state(
+    state: &mut IncrementalState,
+    graph: &mut AnyGraph,
+    ids: &mut IdMap<Value>,
+    props: &mut Properties,
+    delta: &Delta,
+) -> Result<GraphPatch, Error> {
+    let IncrementalState {
+        threads,
+        views,
+        chains,
+        node_entries,
+        direct_support,
+        shadow,
+    } = state;
+    let threads = *threads;
+    let mut patch = GraphPatch::default();
+    let mut target = match shadow.as_mut() {
+        Some(s) => Target::Generic {
+            shadow: s,
+            rep: graph,
+        },
+        None => match graph {
+            AnyGraph::CDup(g) => Target::Mirror(g),
+            other => {
+                return Err(PatchError::Inconsistent(format!(
+                    "incremental state lost its shadow while the handle holds {} \
+                     (graph_mut was used to swap representations?)",
+                    other.kind()
+                ))
+                .into())
+            }
+        },
+    };
+
+    // Phase 1: push the delta through every segment of every chain and
+    // patch the edge structure.
+    for chain in chains.iter_mut() {
+        let k = chain.segments.len();
+        for j in 0..k {
+            let (added, removed) = chain.segments[j].transitions(delta, threads)?;
+            if added.is_empty() && removed.is_empty() {
+                continue;
+            }
+            materialize_segment(
+                chain,
+                j,
+                &added,
+                &removed,
+                direct_support,
+                ids,
+                &mut target,
+                &mut patch,
+            )?;
+        }
+    }
+
+    // Phase 2: node views — update per-key support and property rows.
+    let mut touched: Vec<Value> = Vec::new();
+    let mut prior: FxHashMap<Value, i64> = FxHashMap::default();
+    for (vi, view) in views.iter().enumerate() {
+        if view.relation != delta.table() {
+            continue;
+        }
+        for row in delta.rows() {
+            if !view.pred.eval(&row.values) {
+                continue;
+            }
+            let key = row.values[view.id_col].clone();
+            if key.is_null() {
+                continue;
+            }
+            let entry = node_entries.entry(key.clone()).or_default();
+            if !prior.contains_key(&key) {
+                prior.insert(key.clone(), entry.support);
+                touched.push(key.clone());
+            }
+            let derived = derive_props(view, &row.values);
+            match row.op {
+                DeltaOp::Insert => {
+                    entry.support += 1;
+                    entry.prop_rows.push((vi, derived));
+                }
+                DeltaOp::Delete => {
+                    let pos = entry
+                        .prop_rows
+                        .iter()
+                        .position(|(v, p)| *v == vi && *p == derived)
+                        .ok_or_else(|| {
+                            PatchError::Inconsistent(format!(
+                                "delta deletes node row for key {key} that was never inserted"
+                            ))
+                        })?;
+                    entry.prop_rows.remove(pos);
+                    entry.support -= 1;
+                }
+            }
+        }
+    }
+
+    // Phase 3: materialize node transitions and re-derive properties.
+    for key in touched {
+        let before = prior[&key];
+        let now = node_entries.get(&key).map_or(0, |e| e.support);
+        if before == 0 && now > 0 {
+            let existed = ids.get(&key).is_some();
+            let id = ids.intern(key.clone());
+            if existed {
+                target.revive(RealId(id), &mut patch);
+            } else {
+                let slot = target.add_real_slot(&mut patch);
+                debug_assert_eq!(slot.0, id, "id map and graph slots diverged");
+                props.grow(ids.len());
+                materialize_node_edges(
+                    chains,
+                    &key,
+                    RealId(id),
+                    direct_support,
+                    ids,
+                    &mut target,
+                    &mut patch,
+                );
+            }
+        } else if before > 0 && now == 0 {
+            let id = ids.get(&key).expect("supported key is interned");
+            target.kill(RealId(id), &mut patch);
+        }
+        if now > 0 {
+            let id = ids.get(&key).expect("supported key is interned");
+            props.grow(ids.len());
+            props.clear_vertex(RealId(id));
+            let entry = &node_entries[&key];
+            let mut rows: Vec<&(usize, Vec<(String, PropValue)>)> =
+                entry.prop_rows.iter().collect();
+            rows.sort_by_key(|(vi, _)| *vi);
+            for (_, propvals) in rows {
+                for (name, v) in propvals {
+                    props.set(RealId(id), name, v.clone());
+                }
+            }
+        } else {
+            node_entries.remove(&key);
+        }
+    }
+    Ok(patch)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::extract::{GraphGen, GraphGenConfig};
+    use crate::handle::{ConvertOptions, GraphHandle};
+    use graphgen_graph::{GraphRep, RepKind};
+    use graphgen_reldb::{Column, Database, Delta, DeltaOp, Schema, Table, Value};
+
+    /// The Fig. 1 toy DBLP instance.
+    fn fig1_db() -> Database {
+        let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+        for a in 1..=5 {
+            author
+                .push_row(vec![Value::int(a), Value::str(format!("a{a}"))])
+                .unwrap();
+        }
+        let mut ap = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
+        for (a, p) in [
+            (1, 1),
+            (2, 1),
+            (4, 1),
+            (1, 2),
+            (4, 2),
+            (3, 3),
+            (4, 3),
+            (5, 3),
+        ] {
+            ap.push_row(vec![Value::int(a), Value::int(p)]).unwrap();
+        }
+        let mut db = Database::new();
+        db.register("Author", author).unwrap();
+        db.register("AuthorPub", ap).unwrap();
+        db
+    }
+
+    const Q1: &str = "Nodes(ID, Name) :- Author(ID, Name).\n\
+                      Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).";
+
+    fn cfg(incremental: bool, threads: usize) -> GraphGenConfig {
+        GraphGenConfig::builder()
+            .large_output_factor(0.0)
+            .preprocess(false)
+            .auto_expand_threshold(None)
+            .threads(threads)
+            .incremental(incremental)
+            .build()
+    }
+
+    fn extract(db: &Database, incremental: bool) -> GraphHandle {
+        GraphGen::with_config(db, cfg(incremental, 1))
+            .extract(Q1)
+            .unwrap()
+    }
+
+    fn assert_matches_reextraction(db: &Database, patched: &GraphHandle) {
+        let fresh = extract(db, false);
+        assert_eq!(
+            String::from_utf8(patched.canonical_bytes()).unwrap(),
+            String::from_utf8(fresh.canonical_bytes()).unwrap()
+        );
+    }
+
+    #[test]
+    fn incremental_extraction_matches_plain() {
+        let db = fig1_db();
+        let g = extract(&db, true);
+        assert!(g.is_incremental());
+        assert_matches_reextraction(&db, &g);
+    }
+
+    #[test]
+    fn empty_delta_is_noop() {
+        let mut db = fig1_db();
+        let mut g = extract(&db, true);
+        let before = g.canonical_bytes();
+        // Deleting a never-inserted row mutates nothing and logs nothing.
+        let delta = db
+            .delete_rows("AuthorPub", &[vec![Value::int(42), Value::int(42)]])
+            .unwrap();
+        assert!(delta.is_empty());
+        let patch = g.apply_delta(&delta).unwrap();
+        assert!(patch.is_empty());
+        assert_eq!(g.canonical_bytes(), before);
+    }
+
+    #[test]
+    fn membership_inserts_patch_in_place() {
+        let mut db = fig1_db();
+        let mut g = extract(&db, true);
+        // a2 joins publication 3: new co-author edges with a3, a4, a5.
+        let delta = db
+            .insert_rows("AuthorPub", vec![vec![Value::int(2), Value::int(3)]])
+            .unwrap();
+        let patch = g.apply_delta(&delta).unwrap();
+        assert!(!patch.is_empty());
+        assert!(g.neighbors_by_key(&Value::int(2)).unwrap().len() >= 4);
+        assert_matches_reextraction(&db, &g);
+    }
+
+    #[test]
+    fn membership_deletes_patch_in_place() {
+        let mut db = fig1_db();
+        let mut g = extract(&db, true);
+        // a4 leaves publication 1; it still shares publication 2 with a1.
+        let delta = db
+            .delete_rows("AuthorPub", &[vec![Value::int(4), Value::int(1)]])
+            .unwrap();
+        g.apply_delta(&delta).unwrap();
+        assert_matches_reextraction(&db, &g);
+    }
+
+    #[test]
+    fn insert_and_delete_same_row_in_one_batch_cancel() {
+        let mut db = fig1_db();
+        let mut g = extract(&db, true);
+        let before = g.canonical_bytes();
+        let ins = db
+            .insert_rows("AuthorPub", vec![vec![Value::int(2), Value::int(3)]])
+            .unwrap();
+        let del = db
+            .delete_rows("AuthorPub", &[vec![Value::int(2), Value::int(3)]])
+            .unwrap();
+        let batch = ins.then(del).unwrap();
+        assert_eq!(batch.len(), 2);
+        g.apply_delta(&batch).unwrap();
+        assert_eq!(g.canonical_bytes(), before);
+        assert_matches_reextraction(&db, &g);
+    }
+
+    #[test]
+    fn node_views_add_remove_revive() {
+        let mut db = fig1_db();
+        let mut g = extract(&db, true);
+        // Remove author 4 (the hub): its edges disappear.
+        let delta = db
+            .delete_rows("Author", &[vec![Value::int(4), Value::str("a4")]])
+            .unwrap();
+        let patch = g.apply_delta(&delta).unwrap();
+        assert_eq!(patch.nodes_removed, 1);
+        assert!(
+            g.vertex_of(&Value::int(4)).is_none()
+                || !g.is_alive(g.vertex_of(&Value::int(4)).unwrap())
+        );
+        assert_matches_reextraction(&db, &g);
+        // Revive author 4 under a new name: edges come back, property updates.
+        let delta = db
+            .insert_rows("Author", vec![vec![Value::int(4), Value::str("renamed")]])
+            .unwrap();
+        let patch = g.apply_delta(&delta).unwrap();
+        assert_eq!(patch.nodes_revived, 1);
+        assert_eq!(
+            g.vertex_property(&Value::int(4), "Name")
+                .and_then(|p| p.as_text()),
+            Some("renamed")
+        );
+        assert_matches_reextraction(&db, &g);
+        // A brand-new author with a membership inserted before the node:
+        let d1 = db
+            .insert_rows("AuthorPub", vec![vec![Value::int(9), Value::int(1)]])
+            .unwrap();
+        g.apply_delta(&d1).unwrap();
+        assert_matches_reextraction(&db, &g);
+        let d2 = db
+            .insert_rows("Author", vec![vec![Value::int(9), Value::str("a9")]])
+            .unwrap();
+        let patch = g.apply_delta(&d2).unwrap();
+        assert_eq!(patch.nodes_added, 1);
+        assert!(g
+            .neighbors_by_key(&Value::int(9))
+            .unwrap()
+            .contains(&&Value::int(1)));
+        assert_matches_reextraction(&db, &g);
+    }
+
+    #[test]
+    fn apply_delta_without_state_errors() {
+        let db = fig1_db();
+        let mut g = extract(&db, false);
+        let delta = Delta::new("AuthorPub");
+        let err = g.apply_delta(&delta).unwrap_err();
+        assert!(matches!(
+            err.as_patch(),
+            Some(crate::error::PatchError::NotIncremental)
+        ));
+    }
+
+    #[test]
+    fn inconsistent_delta_reports() {
+        let db = fig1_db();
+        let mut g = extract(&db, true);
+        // A hand-built delta deleting a row the table never held.
+        let mut delta = Delta::new("AuthorPub");
+        delta.push(vec![Value::int(42), Value::int(42)], DeltaOp::Delete);
+        let err = g.apply_delta(&delta).unwrap_err();
+        assert!(matches!(
+            err.as_patch(),
+            Some(crate::error::PatchError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn patches_survive_conversion() {
+        let mut db = fig1_db();
+        let opts = ConvertOptions::default();
+        for target in [
+            RepKind::Exp,
+            RepKind::Dedup1,
+            RepKind::Dedup2,
+            RepKind::Bitmap,
+        ] {
+            let mut g = extract(&db, true).convert(target, &opts).unwrap();
+            assert!(g.is_incremental());
+            let delta = db
+                .insert_rows("AuthorPub", vec![vec![Value::int(2), Value::int(3)]])
+                .unwrap();
+            let patch = g.apply_delta(&delta).unwrap();
+            assert!(patch.logical_edges_added > 0, "{target}");
+            assert_matches_reextraction(&db, &g);
+            // Undo for the next representation.
+            let delta = db
+                .delete_rows("AuthorPub", &[vec![Value::int(2), Value::int(3)]])
+                .unwrap();
+            g.apply_delta(&delta).unwrap();
+            assert_matches_reextraction(&db, &g);
+            // An incremental handle never loses its condensed core: even
+            // EXP/DEDUP-2 handles convert onward.
+            let back = g.convert(RepKind::CDup, &opts).unwrap();
+            assert_eq!(back.canonical_bytes(), g.canonical_bytes());
+        }
+    }
+
+    #[test]
+    fn advise_consults_the_shadow_core() {
+        use crate::handle::AdvisorPolicy;
+        let db = fig1_db();
+        let exp = extract(&db, true)
+            .convert(RepKind::Exp, &ConvertOptions::default())
+            .unwrap();
+        // A plain EXP handle has no condensed core, so the chooser can only
+        // keep EXP; an incremental EXP handle still knows the shape through
+        // its shadow and advises like the C-DUP original.
+        let strict = AdvisorPolicy {
+            expand_threshold: 0.0,
+            ..Default::default()
+        };
+        let advised = exp.advise(&strict);
+        assert_ne!(advised, RepKind::Exp, "shadow-aware advice expected");
+        let converted = exp
+            .convert_to_advised(&strict, &ConvertOptions::default())
+            .unwrap();
+        assert_eq!(converted.kind(), advised);
+        assert_eq!(converted.canonical_bytes(), exp.canonical_bytes());
+    }
+
+    #[test]
+    fn thread_counts_are_byte_identical() {
+        let mut db = fig1_db();
+        let mut handles: Vec<GraphHandle> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                GraphGen::with_config(&db, cfg(true, t))
+                    .extract(Q1)
+                    .unwrap()
+            })
+            .collect();
+        let delta = db
+            .insert_rows(
+                "AuthorPub",
+                vec![
+                    vec![Value::int(2), Value::int(3)],
+                    vec![Value::int(5), Value::int(1)],
+                ],
+            )
+            .unwrap();
+        let bytes: Vec<Vec<u8>> = handles
+            .iter_mut()
+            .map(|g| {
+                g.apply_delta(&delta).unwrap();
+                g.canonical_bytes()
+            })
+            .collect();
+        assert_eq!(bytes[0], bytes[1]);
+        assert_eq!(bytes[0], bytes[2]);
+        assert_matches_reextraction(&db, &handles[0]);
+    }
+}

@@ -18,16 +18,25 @@
 //!    representation underneath unless they want to.
 //!
 //! Everything fallible reports through the unified [`Error`] type.
+//!
+//! When extraction runs with `GraphGenConfig::incremental`, the handle
+//! additionally carries the [`incremental`] maintenance state, and
+//! [`GraphHandle::apply_delta`] patches the graph under base-table
+//! mutations with work proportional to the delta.
+
+#![warn(missing_docs)]
 
 pub mod anygraph;
 pub mod error;
 pub mod extract;
 pub mod handle;
+pub mod incremental;
 pub mod planner;
 pub mod serialize;
 
 pub use anygraph::AnyGraph;
-pub use error::{ConvertError, Error, ErrorKind};
+pub use error::{ConvertError, Error, ErrorKind, PatchError};
 pub use extract::{ExtractionReport, GraphGen, GraphGenConfig, GraphGenConfigBuilder};
 pub use handle::{AdvisorPolicy, BitmapAlgorithm, ConvertOptions, GraphHandle};
+pub use incremental::{GraphPatch, IncrementalState};
 pub use planner::{ChainPlan, JoinDecision, SegmentPlan};

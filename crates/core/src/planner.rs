@@ -64,7 +64,10 @@ impl ChainPlan {
     }
 }
 
-fn filters_to_predicate(filters: &[ConstFilter]) -> Predicate {
+/// Compile a DSL atom's constant selections into one engine predicate
+/// (shared by the planner, the extractor's node views, and the incremental
+/// maintenance state, so filter semantics can never diverge between them).
+pub(crate) fn filters_to_predicate(filters: &[ConstFilter]) -> Predicate {
     let mut pred = Predicate::True;
     for f in filters {
         let p = match f {

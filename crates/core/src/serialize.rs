@@ -111,6 +111,63 @@ fn json_prop(p: &PropValue) -> String {
     }
 }
 
+/// A canonical, key-space byte serialization of a handle's logical graph:
+/// a `nodes` section (sorted by key, each with its properties sorted by
+/// name) followed by an `edges` section (expanded logical edges as sorted
+/// key pairs). The output depends only on the logical graph — not on the
+/// representation, dense-id assignment, virtual-node numbering, or thread
+/// count — so it is the equality the incremental-maintenance oracle
+/// asserts: patched handle bytes == from-scratch re-extraction bytes.
+pub fn canonical_bytes(g: &GraphHandle) -> Vec<u8> {
+    let mut nodes: Vec<(&Value, graphgen_graph::RealId)> =
+        g.vertices().map(|u| (g.key_of(u), u)).collect();
+    nodes.sort_by(|a, b| a.0.cmp(b.0));
+    let mut names: Vec<&str> = g.properties().names().collect();
+    names.sort_unstable();
+    let mut out = Vec::new();
+    out.extend_from_slice(b"nodes\n");
+    for (key, u) in &nodes {
+        out.extend_from_slice(canon_value(key).as_bytes());
+        for name in &names {
+            if let Some(p) = g.properties().get(*u, name) {
+                out.extend_from_slice(format!("\t{name}={}", canon_prop(p)).as_bytes());
+            }
+        }
+        out.push(b'\n');
+    }
+    out.extend_from_slice(b"edges\n");
+    let mut edges: Vec<(&Value, &Value)> = Vec::new();
+    for u in g.vertices() {
+        let uk = g.key_of(u);
+        g.for_each_neighbor(u, &mut |v| edges.push((uk, g.key_of(v))));
+    }
+    edges.sort();
+    edges.dedup();
+    for (a, b) in edges {
+        out.extend_from_slice(format!("{}\t{}\n", canon_value(a), canon_value(b)).as_bytes());
+    }
+    out
+}
+
+/// Unambiguous key rendering: string keys are escaped (`{:?}`) so keys
+/// containing tabs/newlines cannot collide with the separators or with
+/// differently-structured lines.
+fn canon_value(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => format!("{s:?}"),
+    }
+}
+
+fn canon_prop(p: &PropValue) -> String {
+    match p {
+        PropValue::Int(v) => v.to_string(),
+        PropValue::Float(v) => format!("{v}"),
+        PropValue::Text(s) => format!("{s:?}"),
+    }
+}
+
 /// Expanded degree sequence keyed by original node key — a convenient
 /// summary for quick inspection in examples/tests.
 pub fn degree_summary(g: &GraphHandle) -> Vec<(Value, usize)> {

@@ -16,13 +16,17 @@
 //!   Tables 4-5).
 //! * [`large`] — the Appendix C.2 generators: single-layer and multi-layer
 //!   ("Layered") databases with controlled join selectivities (Tables 3/6).
+//! * [`mutations`] — seeded random insert/delete batches against any of
+//!   the above, for the incremental-extraction oracle and benchmarks.
 
 pub mod condensed;
 pub mod large;
+pub mod mutations;
 pub mod relational;
 
 pub use condensed::{synthetic_condensed, CondensedGenConfig};
 pub use large::{layered_database, single_layer_database, LayeredConfig, SingleLayerConfig};
+pub use mutations::{random_mutation, MutationConfig};
 pub use relational::{
     dblp_like, imdb_like, tpch_like, univ, DblpConfig, ImdbConfig, TpchConfig, UnivConfig,
 };

@@ -1,0 +1,141 @@
+//! Seeded random mutation batches for the incremental-extraction oracle
+//! and benchmarks.
+//!
+//! A [`MutationConfig`] describes one batch against one table: how many
+//! existing rows to delete (sampled uniformly from the current table) and
+//! how many fresh rows to insert (integer columns drawn from the observed
+//! value range, slightly widened so genuinely new join values appear; NULLs
+//! and strings are re-used from existing rows). Batches are deterministic
+//! for a given seed and database state, so the oracle can replay identical
+//! update streams at different thread counts.
+
+use graphgen_common::SplitMix64;
+use graphgen_reldb::{DataType, Database, DbResult, Delta, Value};
+
+/// One random mutation batch against a single table.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationConfig {
+    /// Rows to insert.
+    pub inserts: usize,
+    /// Existing rows to delete (clamped to the current table size).
+    pub deletes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Apply a random mutation batch to `table`, returning the deltas in the
+/// order they were applied (deletes first, then inserts — so a batch can
+/// shrink and regrow a table without transiently exceeding its size).
+pub fn random_mutation(
+    db: &mut Database,
+    table: &str,
+    cfg: MutationConfig,
+) -> DbResult<Vec<Delta>> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    // Sample rows to delete and observe per-column value ranges.
+    let (del_rows, ranges, arity, sample) = {
+        let t = db.table(table)?;
+        let n = t.num_rows();
+        let deletes = cfg.deletes.min(n);
+        let mut del_rows = Vec::with_capacity(deletes);
+        for _ in 0..deletes {
+            del_rows.push(t.row(rng.next_below(n.max(1) as u64) as usize));
+        }
+        let arity = t.schema().arity();
+        let mut ranges = Vec::with_capacity(arity);
+        for c in 0..arity {
+            let ints: Vec<i64> = t.column(c).iter().filter_map(Value::as_int).collect();
+            let lo = ints.iter().copied().min().unwrap_or(0);
+            let hi = ints.iter().copied().max().unwrap_or(0);
+            ranges.push((lo, hi));
+        }
+        let sample: Vec<Vec<Value>> = (0..n.min(64)).map(|r| t.row(r)).collect();
+        (del_rows, ranges, arity, sample)
+    };
+    let mut deltas = Vec::new();
+    let del = db.delete_rows(table, &del_rows)?;
+    if !del.is_empty() {
+        deltas.push(del);
+    }
+    // Fresh rows: integers drawn from a range widened by ~12% past the
+    // observed maximum, so inserts hit both existing and brand-new join
+    // values; non-integer columns copy from a sampled existing row.
+    let mut ins_rows = Vec::with_capacity(cfg.inserts);
+    let schema = db.table(table)?.schema().clone();
+    for _ in 0..cfg.inserts {
+        let mut row = Vec::with_capacity(arity);
+        for (c, col) in schema.columns().iter().enumerate().take(arity) {
+            match col.dtype {
+                DataType::Int => {
+                    let (lo, hi) = ranges[c];
+                    let span = (hi - lo).unsigned_abs() + (hi - lo).unsigned_abs() / 8 + 8;
+                    row.push(Value::int(lo + rng.next_below(span) as i64));
+                }
+                DataType::Str => {
+                    let v = sample
+                        .get(rng.next_below(sample.len().max(1) as u64) as usize)
+                        .map(|r| r[c].clone())
+                        .unwrap_or(Value::Null);
+                    row.push(v);
+                }
+            }
+        }
+        ins_rows.push(row);
+    }
+    if !ins_rows.is_empty() {
+        deltas.push(db.insert_rows(table, ins_rows)?);
+    }
+    Ok(deltas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::large::{single_layer_database, SingleLayerConfig};
+
+    #[test]
+    fn batches_are_deterministic_and_sized() {
+        let mk = || {
+            single_layer_database(SingleLayerConfig {
+                rows: 2_000,
+                selectivity: 0.2,
+                seed: 11,
+            })
+            .0
+        };
+        let cfg = MutationConfig {
+            inserts: 50,
+            deletes: 30,
+            seed: 99,
+        };
+        let mut db1 = mk();
+        let mut db2 = mk();
+        let d1 = random_mutation(&mut db1, "A", cfg).unwrap();
+        let d2 = random_mutation(&mut db2, "A", cfg).unwrap();
+        assert_eq!(d1, d2, "same seed, same database -> same deltas");
+        let total: usize = d1.iter().map(Delta::len).sum();
+        assert!(total >= 50, "at least the inserts are logged, got {total}");
+        assert_eq!(db1.table("A").unwrap().num_rows(), 2_000 + 50 - 30);
+    }
+
+    #[test]
+    fn deletes_clamp_to_table_size() {
+        let (mut db, _) = single_layer_database(SingleLayerConfig {
+            rows: 10,
+            selectivity: 0.5,
+            seed: 3,
+        });
+        let deltas = random_mutation(
+            &mut db,
+            "A",
+            MutationConfig {
+                inserts: 0,
+                deletes: 1_000,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert!(db.table("A").unwrap().num_rows() <= 10);
+        assert!(!deltas.is_empty());
+    }
+}

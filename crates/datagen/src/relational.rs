@@ -103,7 +103,7 @@ pub fn dblp_like(cfg: DblpConfig) -> Database {
     db
 }
 
-/// The co-authors extraction query for [`dblp_like`] databases ([Q1]).
+/// The co-authors extraction query for [`dblp_like`] databases (\[Q1\]).
 pub const DBLP_COAUTHORS: &str = "Nodes(ID, Name) :- Author(ID, Name).\n\
      Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).";
 
@@ -240,7 +240,7 @@ pub fn tpch_like(cfg: TpchConfig) -> Database {
     db
 }
 
-/// The co-purchase extraction query for [`tpch_like`] databases ([Q2]).
+/// The co-purchase extraction query for [`tpch_like`] databases (\[Q2\]).
 pub const TPCH_COPURCHASE: &str = "Nodes(ID, Name) :- Customer(ID, Name).\n\
      Edges(ID1, ID2) :- Orders(OK1, ID1), LineItem(OK1, PK), \
                         Orders(OK2, ID2), LineItem(OK2, PK).";
@@ -329,7 +329,7 @@ pub fn univ(cfg: UnivConfig) -> Database {
 pub const UNIV_COENROLLMENT: &str = "Nodes(ID, Name) :- Student(ID, Name).\n\
      Edges(ID1, ID2) :- TookCourse(ID1, C), TookCourse(ID2, C).";
 
-/// Instructor→student bipartite query ([Q3]).
+/// Instructor→student bipartite query (\[Q3\]).
 pub const UNIV_BIPARTITE: &str = "Nodes(ID, Name) :- Instructor(ID, Name).\n\
      Nodes(ID, Name) :- Student(ID, Name).\n\
      Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).";

@@ -14,7 +14,7 @@
 //! the paper's Case 1 (§3.3): **non-recursive**, **aggregation-free** rules
 //! whose `Edges` bodies are acyclic conjunctive queries; bodies are
 //! normalized into join *chains* `R1(ID1,a1), R2(a1,a2), …, Rn(a_{n-1},ID2)`
-//! with constant selections allowed in any atom ([`analyze`]).
+//! with constant selections allowed in any atom ([`mod@analyze`]).
 
 pub mod analyze;
 pub mod ast;

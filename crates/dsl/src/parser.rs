@@ -11,7 +11,7 @@ pub enum ParseError {
     Lex(String),
     /// Grammar failure.
     Syntax(String),
-    /// Post-parse validation failure (from [`crate::analyze`]).
+    /// Post-parse validation failure (from [`mod@crate::analyze`]).
     Semantic(String),
 }
 

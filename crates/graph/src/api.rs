@@ -133,6 +133,13 @@ pub trait GraphRep {
     /// reclaimed by [`GraphRep::compact`]).
     fn delete_vertex(&mut self, u: RealId);
 
+    /// Undo a lazy [`GraphRep::delete_vertex`]: mark the slot live again.
+    /// Whatever adjacency the slot still physically holds becomes visible
+    /// again — the incremental maintenance layer relies on this to
+    /// re-materialize a node whose key reappears in the base tables without
+    /// rebuilding its edges. No-op if `u` is already alive.
+    fn revive_vertex(&mut self, u: RealId);
+
     /// Physically reclaim storage for lazily deleted vertices. Ids are
     /// stable (slots are cleared, not reindexed), matching the paper's
     /// batched rebuild.

@@ -153,6 +153,10 @@ impl GraphRep for BitmapGraph {
         self.core.delete_vertex(u);
     }
 
+    fn revive_vertex(&mut self, u: RealId) {
+        self.core.revive_vertex(u);
+    }
+
     fn compact(&mut self) {
         // Compaction removes dead real targets from virt_out lists, which
         // shifts bitmap positions: rebuild each affected bitmap.

@@ -180,6 +180,66 @@ impl CondensedGraph {
         }
     }
 
+    // ---- incremental patch surface --------------------------------------
+    //
+    // The in-place counterparts of the `CondensedBuilder` edge methods.
+    // Unlike the 7-operation logical API above, these mutate the *stored*
+    // structure directly (no path-existence checks, no compensation), which
+    // is what delta maintenance needs: it mirrors the structure a fresh
+    // extraction would have built.
+
+    /// Append a fresh, unconnected virtual node (the patch-time counterpart
+    /// of `CondensedBuilder::add_virtual`).
+    pub fn add_virtual_node(&mut self) -> VirtId {
+        self.virt_out.push(Vec::new());
+        VirtId(self.virt_out.len() as u32 - 1)
+    }
+
+    /// Insert the membership edge `u → v`, keeping the list sorted. No-op
+    /// if present.
+    pub fn insert_real_to_virtual(&mut self, u: RealId, v: VirtId) {
+        let list = &mut self.real_out[u.0 as usize];
+        if let Err(pos) = list.binary_search(&Adj::virt(v)) {
+            list.insert(pos, Adj::virt(v));
+        }
+    }
+
+    /// Insert the edge `v → u` from a virtual node to a real target, keeping
+    /// the list sorted. No-op if present.
+    pub fn insert_virtual_to_real(&mut self, v: VirtId, u: RealId) {
+        let list = &mut self.virt_out[v.0 as usize];
+        if let Err(pos) = list.binary_search(&Adj::real(u)) {
+            list.insert(pos, Adj::real(u));
+        }
+    }
+
+    /// Insert the virtual–virtual edge `v → w` (multi-layer chains), keeping
+    /// the list sorted. No-op if present.
+    pub fn insert_virtual_to_virtual(&mut self, v: VirtId, w: VirtId) {
+        let list = &mut self.virt_out[v.0 as usize];
+        if let Err(pos) = list.binary_search(&Adj::virt(w)) {
+            list.insert(pos, Adj::virt(w));
+        }
+    }
+
+    /// Remove the virtual–virtual edge `v → w`. No-op if absent.
+    pub fn remove_virtual_to_virtual(&mut self, v: VirtId, w: VirtId) {
+        let list = &mut self.virt_out[v.0 as usize];
+        if let Ok(pos) = list.binary_search(&Adj::virt(w)) {
+            list.remove(pos);
+        }
+    }
+
+    /// Remove a direct `u → v` edge **only** (no path compensation — the
+    /// raw counterpart of [`CondensedGraph::insert_direct`], as opposed to
+    /// the logical `delete_edge`). No-op if absent.
+    pub fn remove_direct(&mut self, u: RealId, v: RealId) {
+        let list = &mut self.real_out[u.0 as usize];
+        if let Ok(pos) = list.binary_search(&Adj::real(v)) {
+            list.remove(pos);
+        }
+    }
+
     /// Expand virtual node `v` in place: connect every in-neighbor to every
     /// out-target directly and empty the virtual node (§4.2 Step 6). Only
     /// valid when all of `v`'s in-edges come from real nodes and all
@@ -306,6 +366,12 @@ impl GraphRep for CondensedGraph {
     fn delete_vertex(&mut self, u: RealId) {
         if std::mem::replace(&mut self.alive[u.0 as usize], false) {
             self.n_alive -= 1;
+        }
+    }
+
+    fn revive_vertex(&mut self, u: RealId) {
+        if !std::mem::replace(&mut self.alive[u.0 as usize], true) {
+            self.n_alive += 1;
         }
     }
 
@@ -546,6 +612,48 @@ mod tests {
         assert!(g.exists_edge(RealId(0), RealId(3)));
         assert!(g.exists_edge(RealId(3), RealId(0)));
         assert!(g.virt_out(VirtId(1)).is_empty());
+    }
+
+    #[test]
+    fn revive_restores_hidden_adjacency() {
+        let mut g = fig1();
+        g.delete_vertex(RealId(3));
+        assert!(!g.exists_edge(RealId(0), RealId(3)));
+        assert_eq!(g.num_vertices(), 4);
+        g.revive_vertex(RealId(3));
+        assert_eq!(g.num_vertices(), 5);
+        assert!(g.exists_edge(RealId(0), RealId(3)));
+        // Reviving a live vertex is a no-op.
+        g.revive_vertex(RealId(3));
+        assert_eq!(g.num_vertices(), 5);
+    }
+
+    #[test]
+    fn patch_surface_mirrors_builder() {
+        // Build fig1 once via the builder and once via in-place patches;
+        // the structures must match edge-for-edge.
+        let reference = fig1();
+        let mut g = CondensedBuilder::new(5).build();
+        for group in [vec![0u32, 1, 3], vec![0, 3], vec![2, 3, 4]] {
+            let v = g.add_virtual_node();
+            for &m in &group {
+                g.insert_real_to_virtual(RealId(m), v);
+                g.insert_virtual_to_real(v, RealId(m));
+            }
+        }
+        for u in 0..5u32 {
+            assert_eq!(g.real_out(RealId(u)), reference.real_out(RealId(u)));
+        }
+        for v in 0..3u32 {
+            assert_eq!(g.virt_out(VirtId(v)), reference.virt_out(VirtId(v)));
+        }
+        // Raw removals undo raw insertions (no compensation edges appear).
+        g.insert_direct(RealId(0), RealId(2));
+        g.remove_direct(RealId(0), RealId(2));
+        g.insert_virtual_to_virtual(VirtId(0), VirtId(1));
+        g.remove_virtual_to_virtual(VirtId(0), VirtId(1));
+        assert_eq!(g.real_out(RealId(0)), reference.real_out(RealId(0)));
+        assert_eq!(g.virt_out(VirtId(0)), reference.virt_out(VirtId(0)));
     }
 
     #[test]

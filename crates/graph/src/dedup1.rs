@@ -99,6 +99,10 @@ impl GraphRep for Dedup1Graph {
         self.inner.delete_vertex(u)
     }
 
+    fn revive_vertex(&mut self, u: RealId) {
+        self.inner.revive_vertex(u)
+    }
+
     fn compact(&mut self) {
         self.inner.compact()
     }

@@ -143,6 +143,12 @@ impl GraphRep for ExpandedGraph {
         }
     }
 
+    fn revive_vertex(&mut self, u: RealId) {
+        if !std::mem::replace(&mut self.alive[u.0 as usize], true) {
+            self.n_alive += 1;
+        }
+    }
+
     fn compact(&mut self) {
         let alive = &self.alive;
         for (i, list) in self.out.iter_mut().enumerate() {

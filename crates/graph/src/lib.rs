@@ -16,10 +16,13 @@
 //! | BITMAP | [`bitmap_rep`] | per-(source, virtual node) bitmaps mask edges |
 //!
 //! All of them implement [`GraphRep`], the Rust rendering of the paper's
-//! 7-operation Java graph API, with lazy vertex deletion. Logical edges are
-//! **directed** and never include self-loops (co-occurrence extraction
-//! produces trivial self-paths `u → V → u`; all representations and the
-//! equivalence tests uniformly exclude them).
+//! 7-operation Java graph API, with lazy vertex deletion (plus
+//! `revive_vertex`, the undo incremental maintenance uses when a node key
+//! reappears). Logical edges are **directed** and never include self-loops
+//! (co-occurrence extraction produces trivial self-paths `u → V → u`; all
+//! representations and the equivalence tests uniformly exclude them).
+
+#![warn(missing_docs)]
 
 pub mod api;
 pub mod bitmap_rep;

@@ -96,6 +96,26 @@ impl Properties {
         self.columns.get(name)?.get(u.0 as usize)?.as_ref()
     }
 
+    /// Remove the value of `name` for vertex `u`, if any.
+    pub fn unset(&mut self, u: RealId, name: &str) {
+        if let Some(col) = self.columns.get_mut(name) {
+            if let Some(slot) = col.get_mut(u.0 as usize) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Remove every property value of vertex `u` (used when incremental
+    /// maintenance re-derives a node's properties from the surviving base
+    /// rows).
+    pub fn clear_vertex(&mut self, u: RealId) {
+        for col in self.columns.values_mut() {
+            if let Some(slot) = col.get_mut(u.0 as usize) {
+                *slot = None;
+            }
+        }
+    }
+
     /// Property names present.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.columns.keys().map(String::as_str)
@@ -131,6 +151,22 @@ mod tests {
     fn float_widening() {
         assert_eq!(PropValue::Int(2).as_float(), Some(2.0));
         assert_eq!(PropValue::Text("x".into()).as_float(), None);
+    }
+
+    #[test]
+    fn unset_and_clear() {
+        let mut p = Properties::new(2);
+        p.set(RealId(0), "a", PropValue::Int(1));
+        p.set(RealId(0), "b", PropValue::Int(2));
+        p.set(RealId(1), "a", PropValue::Int(3));
+        p.unset(RealId(0), "a");
+        assert!(p.get(RealId(0), "a").is_none());
+        assert!(p.get(RealId(0), "b").is_some());
+        p.clear_vertex(RealId(0));
+        assert!(p.get(RealId(0), "b").is_none());
+        assert_eq!(p.get(RealId(1), "a").unwrap().as_int(), Some(3));
+        // Unset of a missing column / out-of-range vertex is a no-op.
+        p.unset(RealId(0), "missing");
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //! drive the extraction planner's large-output-join test (§4.2 Step 2).
 //!
 //! PostgreSQL exposes `n_distinct` in `pg_stats`; we compute exact distinct
-//! counts at registration time (tables here are immutable once registered,
-//! and the datasets are small enough that exactness is free).
+//! counts at registration time and recompute them after every mutation
+//! batch ([`Database::insert_rows`] / [`Database::delete_rows`] — the
+//! ANALYZE-after-write discipline), so the planner always sees exact
+//! statistics. Mutations are logged as typed [`Delta`]s for incremental
+//! graph maintenance.
 
+use crate::delta::{Delta, DeltaOp};
 use crate::error::{DbError, DbResult};
+use crate::rowset::hash_cells;
 use crate::table::Table;
+use crate::value::Value;
 use graphgen_common::{ByteSize, FxHashMap};
 
 /// Statistics for one column, analogous to a `pg_stats` row.
@@ -62,6 +68,106 @@ impl Database {
         }
         self.tables.insert(name, table);
         Ok(())
+    }
+
+    /// Append `rows` to table `name`, returning the [`Delta`] log of the
+    /// mutation. Every row is validated against the schema **before** any is
+    /// applied, so a failed call leaves the table untouched. Column
+    /// statistics are recomputed afterwards.
+    pub fn insert_rows(&mut self, name: &str, rows: Vec<Vec<Value>>) -> DbResult<Delta> {
+        let table = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))?;
+        for row in &rows {
+            table.schema().check_row(row)?;
+        }
+        let mut delta = Delta::new(name);
+        table.reserve(rows.len());
+        for row in rows {
+            table.push_row(row.clone()).expect("row pre-validated");
+            delta.push(row, DeltaOp::Insert);
+        }
+        self.recompute_stats(name);
+        Ok(delta)
+    }
+
+    /// Delete one occurrence of each of `rows` from table `name` (bag
+    /// semantics: a row requested twice removes two occurrences), preserving
+    /// the order of surviving rows. Requested rows that are not present are
+    /// ignored — the returned [`Delta`] only logs rows actually removed, so
+    /// deleting a never-inserted row yields an empty delta. Column
+    /// statistics are recomputed afterwards.
+    ///
+    /// The scan probes a hash of each table row computed cell-wise (no row
+    /// materialization) and stops as soon as every requested occurrence has
+    /// been found.
+    pub fn delete_rows(&mut self, name: &str, rows: &[Vec<Value>]) -> DbResult<Delta> {
+        let table = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))?;
+        for row in rows {
+            table.schema().check_row(row)?;
+        }
+        // Group requested rows by hash, keeping a remaining count per
+        // distinct row (bag semantics).
+        let mut by_hash: FxHashMap<u64, Vec<(&[Value], u32)>> = FxHashMap::default();
+        let mut remaining = 0u32;
+        for row in rows {
+            let candidates = by_hash.entry(hash_cells(row.iter())).or_default();
+            match candidates
+                .iter_mut()
+                .find(|(want, _)| *want == row.as_slice())
+            {
+                Some((_, count)) => *count += 1,
+                None => candidates.push((row.as_slice(), 1)),
+            }
+            remaining += 1;
+        }
+        let mut delta = Delta::new(name);
+        let mut remove = vec![false; table.num_rows()];
+        let arity = table.schema().arity();
+        for (r, slot) in remove.iter_mut().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            let h = hash_cells((0..arity).map(|c| table.cell(r, c)));
+            let Some(candidates) = by_hash.get_mut(&h) else {
+                continue;
+            };
+            for (want, count) in candidates.iter_mut() {
+                if *count > 0 && (0..arity).all(|c| table.cell(r, c) == &want[c]) {
+                    *count -= 1;
+                    remaining -= 1;
+                    *slot = true;
+                    delta.push(table.row(r), DeltaOp::Delete);
+                    break;
+                }
+            }
+        }
+        if !delta.is_empty() {
+            table.remove_marked(&remove);
+            self.recompute_stats(name);
+        }
+        Ok(delta)
+    }
+
+    /// Recompute exact per-column statistics for `name` (the ANALYZE step
+    /// after a mutation batch).
+    fn recompute_stats(&mut self, name: &str) {
+        let table = &self.tables[name];
+        let rows = table.num_rows();
+        for idx in 0..table.schema().arity() {
+            let n_distinct = table.distinct_count(idx);
+            self.stats.insert(
+                (name.to_string(), idx),
+                ColumnStats {
+                    row_count: rows,
+                    n_distinct,
+                },
+            );
+        }
     }
 
     /// Look up a table by name.
@@ -168,5 +274,106 @@ mod tests {
             db.column_stats_by_name("AuthorPub", "nope"),
             Err(DbError::UnknownColumn { .. })
         ));
+    }
+
+    #[test]
+    fn insert_rows_logs_and_refreshes_stats() {
+        let mut db = sample_db();
+        let delta = db
+            .insert_rows(
+                "AuthorPub",
+                vec![
+                    vec![Value::int(7), Value::int(10)],
+                    vec![Value::int(8), Value::int(13)],
+                ],
+            )
+            .unwrap();
+        assert_eq!(delta.len(), 2);
+        assert!(delta.rows().iter().all(|r| r.op == DeltaOp::Insert));
+        assert_eq!(db.table("AuthorPub").unwrap().num_rows(), 7);
+        let aid = db.column_stats_by_name("AuthorPub", "aid").unwrap();
+        assert_eq!(aid.row_count, 7);
+        assert_eq!(aid.n_distinct, 5); // 1,2,3 + 7,8
+    }
+
+    #[test]
+    fn insert_rows_is_atomic_on_bad_row() {
+        let mut db = sample_db();
+        let err = db
+            .insert_rows(
+                "AuthorPub",
+                vec![
+                    vec![Value::int(7), Value::int(10)],
+                    vec![Value::str("oops"), Value::int(10)],
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::SchemaMismatch(_)));
+        // Nothing was applied.
+        assert_eq!(db.table("AuthorPub").unwrap().num_rows(), 5);
+    }
+
+    #[test]
+    fn delete_rows_removes_first_occurrence_and_skips_absent() {
+        let mut db = sample_db();
+        let delta = db
+            .delete_rows(
+                "AuthorPub",
+                &[
+                    vec![Value::int(1), Value::int(10)],
+                    vec![Value::int(99), Value::int(99)], // never inserted
+                ],
+            )
+            .unwrap();
+        // Only the present row is logged; the absent one is a no-op.
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta.rows()[0].op, DeltaOp::Delete);
+        assert_eq!(db.table("AuthorPub").unwrap().num_rows(), 4);
+        let aid = db.column_stats_by_name("AuthorPub", "aid").unwrap();
+        assert_eq!(aid.row_count, 4);
+        // Deleting a fully absent batch yields an empty delta.
+        let noop = db
+            .delete_rows("AuthorPub", &[vec![Value::int(99), Value::int(99)]])
+            .unwrap();
+        assert!(noop.is_empty());
+    }
+
+    #[test]
+    fn delete_rows_bag_semantics() {
+        let mut db = Database::new();
+        let mut t = Table::new(Schema::new(vec![Column::int("x")]));
+        for v in [5, 5, 5] {
+            t.push_row(vec![Value::int(v)]).unwrap();
+        }
+        db.register("T", t).unwrap();
+        // Requesting the same row twice removes exactly two occurrences.
+        let delta = db
+            .delete_rows("T", &[vec![Value::int(5)], vec![Value::int(5)]])
+            .unwrap();
+        assert_eq!(delta.len(), 2);
+        assert_eq!(db.table("T").unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn delete_rows_validates_schema() {
+        let mut db = sample_db();
+        // Wrong arity is a typed error, matching insert_rows, not a silent
+        // no-op.
+        let err = db
+            .delete_rows("AuthorPub", &[vec![Value::int(1)]])
+            .unwrap_err();
+        assert!(matches!(err, DbError::SchemaMismatch(_)));
+        let err = db
+            .delete_rows("AuthorPub", &[vec![Value::str("x"), Value::int(10)]])
+            .unwrap_err();
+        assert!(matches!(err, DbError::SchemaMismatch(_)));
+        assert_eq!(db.table("AuthorPub").unwrap().num_rows(), 5);
+    }
+
+    #[test]
+    fn mutations_on_unknown_table_error() {
+        let mut db = sample_db();
+        assert!(db.insert_rows("Nope", vec![]).is_err());
+        assert!(db.delete_rows("Nope", &[]).is_err());
     }
 }

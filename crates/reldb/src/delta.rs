@@ -1,0 +1,156 @@
+//! Typed mutation logs for incremental graph maintenance.
+//!
+//! The paper's GraphGen re-runs its segment queries from scratch whenever
+//! the base tables change. The mutation API on [`crate::Database`]
+//! ([`Database::insert_rows`], [`Database::delete_rows`]) instead records
+//! every change as a [`Delta`] — an ordered log of signed rows against one
+//! table — which `graphgen-core`'s incremental module propagates through
+//! the extraction plan with work proportional to the delta (FO+MOD-style
+//! delta processing, Berkholz et al.).
+//!
+//! A [`Delta`] only ever describes mutations that **actually happened**:
+//! `delete_rows` silently drops requested rows that were not present, so a
+//! delete of a never-inserted row yields an empty delta and downstream
+//! `apply_delta` is a no-op.
+//!
+//! [`Database::insert_rows`]: crate::Database::insert_rows
+//! [`Database::delete_rows`]: crate::Database::delete_rows
+
+use crate::error::{DbError, DbResult};
+use crate::value::Value;
+
+/// Whether a [`DeltaRow`] entered or left the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaOp {
+    /// The row was appended to the table.
+    Insert,
+    /// One occurrence of the row was removed from the table.
+    Delete,
+}
+
+impl DeltaOp {
+    /// The row-multiplicity sign of this operation: `+1` for inserts,
+    /// `-1` for deletes (the form the delta-join rules consume).
+    pub fn sign(self) -> i64 {
+        match self {
+            DeltaOp::Insert => 1,
+            DeltaOp::Delete => -1,
+        }
+    }
+}
+
+/// One logged mutation: a full row plus the operation applied to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRow {
+    /// The row values, in schema column order.
+    pub values: Vec<Value>,
+    /// Insert or delete.
+    pub op: DeltaOp,
+}
+
+/// An ordered mutation log against a single table.
+///
+/// Produced by [`crate::Database::insert_rows`] and
+/// [`crate::Database::delete_rows`]; several same-table deltas can be
+/// combined with [`Delta::then`] so that e.g. an insert and a delete of the
+/// same row travel as one batch (they cancel during propagation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    table: String,
+    rows: Vec<DeltaRow>,
+}
+
+impl Delta {
+    /// A new, empty delta against `table`.
+    pub fn new(table: impl Into<String>) -> Self {
+        Self {
+            table: table.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table this delta mutates.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The logged rows, in the order the mutations were applied.
+    pub fn rows(&self) -> &[DeltaRow] {
+        &self.rows
+    }
+
+    /// Number of logged mutations.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if nothing was mutated (e.g. every requested delete was absent).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a logged mutation. The `Database` mutation API is the normal
+    /// producer; hand-built deltas are also accepted by the incremental
+    /// maintenance layer, but they must accurately describe mutations that
+    /// were applied to the database — a delta claiming to delete a row that
+    /// was never present makes `apply_delta` report an inconsistency.
+    pub fn push(&mut self, values: Vec<Value>, op: DeltaOp) {
+        self.rows.push(DeltaRow { values, op });
+    }
+
+    /// Concatenate another delta **against the same table** onto this one,
+    /// preserving mutation order. Errors with [`DbError::Invalid`] on a
+    /// table mismatch.
+    pub fn then(mut self, other: Delta) -> DbResult<Delta> {
+        if self.table != other.table {
+            return Err(DbError::Invalid(format!(
+                "cannot combine deltas for `{}` and `{}`",
+                self.table, other.table
+            )));
+        }
+        self.rows.extend(other.rows);
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: i64) -> Vec<Value> {
+        vec![Value::int(v)]
+    }
+
+    #[test]
+    fn signs() {
+        assert_eq!(DeltaOp::Insert.sign(), 1);
+        assert_eq!(DeltaOp::Delete.sign(), -1);
+    }
+
+    #[test]
+    fn then_concatenates_same_table() {
+        let mut a = Delta::new("T");
+        a.push(row(1), DeltaOp::Insert);
+        let mut b = Delta::new("T");
+        b.push(row(1), DeltaOp::Delete);
+        let c = a.then(b).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.rows()[0].op, DeltaOp::Insert);
+        assert_eq!(c.rows()[1].op, DeltaOp::Delete);
+    }
+
+    #[test]
+    fn then_rejects_table_mismatch() {
+        let a = Delta::new("T");
+        let b = Delta::new("U");
+        assert!(matches!(a.then(b), Err(DbError::Invalid(_))));
+    }
+
+    #[test]
+    fn empty_delta_reports_empty() {
+        let d = Delta::new("T");
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.table(), "T");
+    }
+}

@@ -8,7 +8,12 @@ pub enum DbError {
     /// Referenced a table that does not exist in the catalog.
     UnknownTable(String),
     /// Referenced a column not present in a table's schema.
-    UnknownColumn { table: String, column: String },
+    UnknownColumn {
+        /// The table whose schema was consulted.
+        table: String,
+        /// The missing column name.
+        column: String,
+    },
     /// Tried to register a table under a name already in use.
     DuplicateTable(String),
     /// Appended a row whose arity or types don't match the schema.

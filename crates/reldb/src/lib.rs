@@ -22,9 +22,17 @@
 //! probes, hash-partitioned join builds and DISTINCT — std scoped threads)
 //! and produces byte-identical output for any thread count; see [`exec`]
 //! for the operator contract and ordering guarantee.
+//!
+//! Tables are mutable after registration: [`Database::insert_rows`] and
+//! [`Database::delete_rows`] apply a batch, recompute the statistics, and
+//! return a typed [`Delta`] log that `graphgen-core`'s incremental module
+//! consumes to maintain extracted graphs without re-running queries.
+
+#![warn(missing_docs)]
 
 pub mod catalog;
 pub mod csv;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -35,6 +43,7 @@ pub mod table;
 pub mod value;
 
 pub use catalog::{ColumnStats, Database};
+pub use delta::{Delta, DeltaOp, DeltaRow};
 pub use error::{DbError, DbResult};
 pub use expr::Predicate;
 pub use query::Query;

@@ -133,14 +133,21 @@ impl RowSet {
     }
 }
 
-/// 64-bit FxHash of a row (all values in order); the row identity used by
-/// DISTINCT and the join partitioner.
-pub fn hash_row(row: &[Value]) -> u64 {
+/// 64-bit FxHash of a row given cell by cell — the single definition of
+/// row identity, shared by DISTINCT, the join partitioner, and the
+/// catalog's delete scan (which hashes table cells without materializing
+/// rows).
+pub fn hash_cells<'a>(cells: impl Iterator<Item = &'a Value>) -> u64 {
     let mut h = FxHasher::default();
-    for v in row {
+    for v in cells {
         v.hash(&mut h);
     }
     h.finish()
+}
+
+/// 64-bit FxHash of a materialized row (all values in order).
+pub fn hash_row(row: &[Value]) -> u64 {
+    hash_cells(row.iter())
 }
 
 /// 64-bit FxHash of a single value (join keys).

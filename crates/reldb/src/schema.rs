@@ -1,6 +1,7 @@
 //! Table schemas.
 
-use crate::value::DataType;
+use crate::error::{DbError, DbResult};
+use crate::value::{DataType, Value};
 
 /// A named, typed column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +66,29 @@ impl Schema {
     /// Column at `idx`.
     pub fn column(&self, idx: usize) -> &Column {
         &self.columns[idx]
+    }
+
+    /// Validate a row against this schema: the arity must match and every
+    /// non-NULL value must have its column's type (NULL fits anywhere).
+    pub fn check_row(&self, row: &[Value]) -> DbResult<()> {
+        if row.len() != self.arity() {
+            return Err(DbError::SchemaMismatch(format!(
+                "expected {} values, got {}",
+                self.arity(),
+                row.len()
+            )));
+        }
+        for (i, v) in row.iter().enumerate() {
+            if let Some(dt) = v.data_type() {
+                if dt != self.columns[i].dtype {
+                    return Err(DbError::SchemaMismatch(format!(
+                        "column `{}` expects {}, got {}",
+                        self.columns[i].name, self.columns[i].dtype, dt
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -4,7 +4,7 @@
 //! and type. Row access materializes a `Vec<Value>` only when asked; the
 //! physical operators in [`crate::exec`] work column-wise where possible.
 
-use crate::error::{DbError, DbResult};
+use crate::error::DbResult;
 use crate::schema::Schema;
 use crate::value::Value;
 use graphgen_common::ByteSize;
@@ -45,25 +45,7 @@ impl Table {
 
     /// Append one row. Checks arity and (non-NULL) types.
     pub fn push_row(&mut self, row: Vec<Value>) -> DbResult<()> {
-        if row.len() != self.schema.arity() {
-            return Err(DbError::SchemaMismatch(format!(
-                "expected {} values, got {}",
-                self.schema.arity(),
-                row.len()
-            )));
-        }
-        for (i, v) in row.iter().enumerate() {
-            if let Some(dt) = v.data_type() {
-                if dt != self.schema.column(i).dtype {
-                    return Err(DbError::SchemaMismatch(format!(
-                        "column `{}` expects {}, got {}",
-                        self.schema.column(i).name,
-                        self.schema.column(i).dtype,
-                        dt
-                    )));
-                }
-            }
-        }
+        self.schema.check_row(&row)?;
         for (col, v) in self.columns.iter_mut().zip(row) {
             col.push(v);
         }
@@ -111,6 +93,22 @@ impl Table {
         (0..self.rows).map(|r| self.row(r))
     }
 
+    /// Remove the rows whose indices are flagged in `remove` (length must
+    /// equal [`Table::num_rows`]), preserving the relative order of the
+    /// survivors. One `retain` pass per column.
+    pub fn remove_marked(&mut self, remove: &[bool]) {
+        assert_eq!(remove.len(), self.rows, "mask length mismatch");
+        for col in &mut self.columns {
+            let mut idx = 0;
+            col.retain(|_| {
+                let keep = !remove[idx];
+                idx += 1;
+                keep
+            });
+        }
+        self.rows -= remove.iter().filter(|&&r| r).count();
+    }
+
     /// Exact number of distinct values in column `idx` (NULLs count as one
     /// value, matching our join semantics, not SQL's).
     pub fn distinct_count(&self, idx: usize) -> usize {
@@ -138,6 +136,7 @@ impl ByteSize for Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::DbError;
     use crate::schema::Column;
 
     fn people() -> Table {
@@ -188,6 +187,15 @@ mod tests {
         let t = people();
         assert!(t.column_by_name("name").is_some());
         assert!(t.column_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn remove_marked_preserves_order() {
+        let mut t = people();
+        t.remove_marked(&[false, true, false]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(0), vec![Value::int(1), Value::str("a")]);
+        assert_eq!(t.row(1), vec![Value::int(3), Value::str("a")]);
     }
 
     #[test]

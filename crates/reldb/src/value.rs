@@ -2,7 +2,7 @@
 //!
 //! Every schema in the paper (DBLP, IMDB, TPCH, UNIV — Fig. 15) consists of
 //! integer keys and string attributes, so the value model is deliberately
-//! small: `Int` (i64), `Str` (Arc<str>, cheap to clone across join outputs),
+//! small: `Int` (i64), `Str` (`Arc<str>`, cheap to clone across join outputs),
 //! and `Null`.
 
 use std::fmt;

@@ -1,5 +1,5 @@
 //! `graphgen-vminer` — the VMiner baseline ("Virtual Node Miner", Buehrer &
-//! Chellapilla, WSDM'08 — reference [11] of the GraphGen paper).
+//! Chellapilla, WSDM'08 — reference \[11\] of the GraphGen paper).
 //!
 //! VMiner is the structural-compression comparator in the paper's Fig. 10:
 //! it takes an **already expanded** graph (the key disadvantage the paper

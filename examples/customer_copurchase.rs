@@ -1,4 +1,4 @@
-//! Multi-layer extraction: the TPCH co-purchase graph ([Q2]).
+//! Multi-layer extraction: the TPCH co-purchase graph (\[Q2\]).
 //!
 //! Connecting customers who bought the same part needs a 4-atom chain
 //! (`Orders ⋈ LineItem ⋈ LineItem ⋈ Orders`). The planner hands the

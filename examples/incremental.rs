@@ -1,0 +1,99 @@
+//! Incremental extraction: keep a hidden graph in sync with base-table
+//! mutations instead of re-extracting from scratch.
+//!
+//! Run with: `cargo run --example incremental`
+
+use graphgen::core::{GraphGen, GraphGenConfig};
+use graphgen::graph::GraphRep;
+use graphgen::reldb::{Column, Database, Schema, Table, Value};
+
+fn main() {
+    // Authors and an author↔publication membership table.
+    let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+    for (id, name) in [(1, "Ada"), (2, "Barbara"), (3, "Grace"), (4, "Hedy")] {
+        author
+            .push_row(vec![Value::int(id), Value::str(name)])
+            .unwrap();
+    }
+    let mut ap = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
+    for (a, p) in [(1, 1), (2, 1), (3, 2), (4, 2)] {
+        ap.push_row(vec![Value::int(a), Value::int(p)]).unwrap();
+    }
+    let mut db = Database::new();
+    db.register("Author", author).unwrap();
+    db.register("AuthorPub", ap).unwrap();
+
+    // Extract with the incremental knob: the handle carries the
+    // delta-maintenance state (and always holds the raw condensed graph).
+    let cfg = GraphGenConfig::builder()
+        .large_output_factor(0.0) // force the condensed path on this toy data
+        .incremental(true)
+        .build();
+    let query = "Nodes(ID, Name) :- Author(ID, Name).\n\
+                 Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).";
+    let mut graph = GraphGen::with_config(&db, cfg).extract(query).unwrap();
+    println!(
+        "initial: {} vertices, {} logical edges",
+        graph.num_vertices(),
+        graph.expanded_edge_count()
+    );
+
+    // Mutate the database: every mutation returns a typed Delta log.
+    // Ada joins publication 2, and a new author appears on publication 1.
+    let d1 = db
+        .insert_rows(
+            "AuthorPub",
+            vec![
+                vec![Value::int(1), Value::int(2)],
+                vec![Value::int(9), Value::int(1)],
+            ],
+        )
+        .unwrap();
+    let d2 = db
+        .insert_rows("Author", vec![vec![Value::int(9), Value::str("Mary")]])
+        .unwrap();
+    // Barbara retires from publication 1.
+    let d3 = db
+        .delete_rows("AuthorPub", &[vec![Value::int(2), Value::int(1)]])
+        .unwrap();
+
+    // Patch the graph in place — work proportional to the delta, not the
+    // database. The patch reports what changed.
+    for delta in [&d1, &d2, &d3] {
+        let patch = graph.apply_delta(delta).unwrap();
+        println!(
+            "applied {:>2}-row delta to {:<9} -> +{} nodes, +{}/-{} stored edges",
+            delta.len(),
+            delta.table(),
+            patch.nodes_added,
+            patch.stored_edges_added,
+            patch.stored_edges_removed,
+        );
+    }
+    println!(
+        "patched: {} vertices, {} logical edges",
+        graph.num_vertices(),
+        graph.expanded_edge_count()
+    );
+
+    // The contract: the patched graph is byte-identical (canonically
+    // serialized) to a from-scratch extraction on the mutated database.
+    let fresh = GraphGen::with_config(&db, cfg).extract(query).unwrap();
+    assert_eq!(graph.canonical_bytes(), fresh.canonical_bytes());
+    println!("patched graph is byte-identical to a fresh extraction");
+
+    // Ada's co-authors now include Grace and Hedy (via publication 2).
+    let mut names: Vec<String> = graph
+        .neighbors_by_key(&Value::int(1))
+        .unwrap()
+        .iter()
+        .map(|k| {
+            graph
+                .vertex_property(k, "Name")
+                .and_then(|p| p.as_text().map(str::to_string))
+                .unwrap_or_default()
+        })
+        .collect();
+    names.sort();
+    println!("Ada's co-authors: {names:?}");
+}

@@ -1,14 +1,19 @@
 //! Quickstart: extract a hidden co-author graph from relational tables and
-//! run an algorithm on it — the paper's Fig. 1 flow in ~40 lines.
+//! run an algorithm on it — the paper's Fig. 1 flow.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! The region between the `[readme-quickstart:*]` markers is embedded
+//! verbatim in the README's quickstart section; `tests/readme_sync.rs`
+//! fails if the two ever diverge.
 
 use graphgen::core::{serialize, AdvisorPolicy, ConvertOptions, GraphGen};
 use graphgen::graph::GraphRep;
 use graphgen::reldb::{Column, Database, Schema, Table, Value};
 
-fn main() {
-    // 1. A relational database: authors and an author↔publication table.
+/// An in-memory database: authors and an author↔publication table
+/// (the Fig. 1 toy DBLP instance).
+fn sample_db() -> Database {
     let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
     for (id, name) in [
         (1, "Ada"),
@@ -39,6 +44,13 @@ fn main() {
     let mut db = Database::new();
     db.register("Author", author).unwrap();
     db.register("AuthorPub", author_pub).unwrap();
+    db
+}
+
+fn main() {
+    // [readme-quickstart:begin]
+    // 1. A relational database (in-memory engine; authors ↔ publications).
+    let db = sample_db();
 
     // 2. Declare the hidden graph in the Datalog DSL ([Q1] from the paper).
     let query = "
@@ -48,70 +60,43 @@ fn main() {
 
     // 3. Extract. The result is a GraphHandle: the graph in whatever
     //    representation GraphGen chose, plus ids, properties, and the plan
-    //    report. The handle itself implements the Graph API.
+    //    report. The handle itself implements the 7-operation graph API.
     let gg = GraphGen::new(&db);
     let graph = gg.extract(query).expect("extraction");
     println!(
-        "extracted {} vertices, {} logical edges ({} stored), representation: {}",
+        "extracted {} vertices, {} logical edges as {}",
         graph.num_vertices(),
         graph.expanded_edge_count(),
-        graph.stored_edge_count(),
         graph.kind(),
     );
+
+    // 4. Stay in your own key space — no raw internal ids needed.
+    let coauthors = graph.neighbors_by_key(&Value::int(4)).unwrap();
+    let name = graph.vertex_property(&Value::int(4), "Name").unwrap();
+    println!("{name:?} -> {coauthors:?}");
+
+    // 5. Convert between representations through one typed entry point; an
+    //    infeasible request explains why instead of handing back None.
+    let opts = ConvertOptions::default();
+    let best = graph
+        .convert_to_advised(&AdvisorPolicy::default(), &opts)
+        .expect("advised conversions are always feasible");
+    println!("advisor picked {}", best.kind());
+
+    // 6. Algorithms take the handle directly, whatever it holds.
+    let ranks = graphgen::algo::pagerank(&best, Default::default());
+    println!(
+        "max pagerank {:.4}",
+        ranks.iter().cloned().fold(0.0, f64::max)
+    );
+    // [readme-quickstart:end]
+
     for sql in &graph.report().sql {
         println!("generated SQL: {sql}");
     }
 
-    // 4. Stay in your own key space: neighbors and properties by key.
-    for u in graph.vertices() {
-        let key = graph.key_of(u).clone();
-        let name = graph
-            .vertex_property(&key, "Name")
-            .and_then(|p| p.as_text().map(str::to_string))
-            .unwrap_or_default();
-        let coauthors: Vec<String> = graph
-            .neighbors_by_key(&key)
-            .unwrap_or_default()
-            .iter()
-            .map(|k| k.to_string())
-            .collect();
-        println!("{name:>8} ({key}) -> {coauthors:?}");
-    }
-
-    // 5. Ask the §6.5 advisor which representation fits, and convert. The
-    //    conversion is typed: an infeasible request explains itself instead
-    //    of handing back None.
-    let advised = graph.advise(&AdvisorPolicy::default());
-    let converted = graph
-        .convert_to_advised(&AdvisorPolicy::default(), &ConvertOptions::default())
-        .expect("advised conversions are always feasible");
-    println!(
-        "\nadvisor says {advised}; handle now holds {}",
-        converted.kind()
-    );
-
-    // 6. Run PageRank through the multithreaded vertex-centric framework —
-    //    algorithms take the handle directly, whatever it holds.
-    let ranks = graphgen::algo::pagerank(&converted, Default::default());
-    let mut ranked: Vec<(f64, String)> = converted
-        .vertices()
-        .map(|u| {
-            let name = converted
-                .properties()
-                .get(u, "Name")
-                .and_then(|p| p.as_text().map(str::to_string))
-                .unwrap_or_default();
-            (ranks[u.0 as usize], name)
-        })
-        .collect();
-    ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
-    println!("\nPageRank:");
-    for (r, name) in ranked {
-        println!("  {name:>8}: {r:.4}");
-    }
-
-    // 7. Serialize for external tools (NetworkX-style edge list).
+    // Serialize for external tools (NetworkX-style edge list).
     let mut out = Vec::new();
-    serialize::write_edge_list(&converted, &mut out).unwrap();
+    serialize::write_edge_list(&best, &mut out).unwrap();
     println!("\nedge list:\n{}", String::from_utf8(out).unwrap());
 }

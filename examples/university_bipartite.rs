@@ -1,4 +1,4 @@
-//! Heterogeneous bipartite extraction ([Q3]): instructors → students who
+//! Heterogeneous bipartite extraction (\[Q3\]): instructors → students who
 //! took their courses, with two `Nodes` statements of different entity
 //! types (the paper's Fig. 5b).
 //!

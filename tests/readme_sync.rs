@@ -1,0 +1,76 @@
+//! README ↔ quickstart lockstep: the README's quickstart code block must
+//! be the verbatim (dedented) `[readme-quickstart:*]` region of
+//! `examples/quickstart.rs`. Editing one without the other fails here.
+
+use std::path::Path;
+
+fn repo_file(rel: &str) -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"))
+}
+
+/// The marked region of the example, with the common 4-space indentation
+/// of `fn main`'s body stripped.
+fn example_snippet() -> String {
+    let src = repo_file("examples/quickstart.rs");
+    let begin = src
+        .find("// [readme-quickstart:begin]\n")
+        .expect("begin marker in examples/quickstart.rs");
+    let after_begin = begin + "// [readme-quickstart:begin]\n".len();
+    let end = src
+        .find("    // [readme-quickstart:end]")
+        .expect("end marker in examples/quickstart.rs");
+    let region = &src[after_begin..end];
+    region
+        .lines()
+        .map(|l| l.strip_prefix("    ").unwrap_or(l))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The fenced ```rust block right after the `<!-- quickstart:verbatim -->`
+/// marker in the README.
+fn readme_snippet() -> String {
+    let readme = repo_file("README.md");
+    let marker = readme
+        .find("<!-- quickstart:verbatim -->")
+        .expect("quickstart:verbatim marker in README.md");
+    let rest = &readme[marker..];
+    let open = rest.find("```rust\n").expect("```rust fence after marker");
+    let body = &rest[open + "```rust\n".len()..];
+    let close = body.find("\n```").expect("closing fence");
+    body[..close].to_string()
+}
+
+#[test]
+fn readme_quickstart_matches_example() {
+    let example = example_snippet();
+    let readme = readme_snippet();
+    assert_eq!(
+        readme.trim_end(),
+        example.trim_end(),
+        "README quickstart block and examples/quickstart.rs have diverged; \
+         update both (the README embeds the marked region verbatim)"
+    );
+}
+
+#[test]
+fn readme_documents_the_threads_knob() {
+    let readme = repo_file("README.md");
+    assert!(
+        readme.contains("GRAPHGEN_THREADS"),
+        "README must document the GRAPHGEN_THREADS environment variable"
+    );
+}
+
+#[test]
+fn readme_links_the_docs() {
+    let readme = repo_file("README.md");
+    for doc in ["docs/ARCHITECTURE.md", "docs/DSL.md", "docs/GLOSSARY.md"] {
+        assert!(readme.contains(doc), "README must link {doc}");
+        assert!(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join(doc).exists(),
+            "{doc} missing"
+        );
+    }
+}
