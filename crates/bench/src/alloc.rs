@@ -6,13 +6,23 @@
 //! in `lib.rs`) lets every bench binary report *bytes allocated* and *peak
 //! resident bytes* per measured region — the numbers the extraction pipeline
 //! claims to improve — without any external profiler.
+//!
+//! On top of the global counters, every allocation is attributed to the
+//! **operator region** the allocating thread is in
+//! (`graphgen_common::region`: scan / join build / join probe / DISTINCT,
+//! set by the `reldb` physical operators), so [`region_stats`] breaks the
+//! total down per operator and the next allocation hotspot is a line in a
+//! table instead of a guess.
 
+use graphgen_common::region::{self, Region, ALL_REGIONS, REGION_COUNT};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static TOTAL: AtomicUsize = AtomicUsize::new(0);
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static REGION_BYTES: [AtomicUsize; REGION_COUNT] = [const { AtomicUsize::new(0) }; REGION_COUNT];
+static REGION_ALLOCS: [AtomicUsize; REGION_COUNT] = [const { AtomicUsize::new(0) }; REGION_COUNT];
 
 /// System-allocator wrapper that counts total / live / peak bytes.
 pub struct CountingAlloc;
@@ -47,6 +57,9 @@ fn record_alloc(size: usize) {
     TOTAL.fetch_add(size, Ordering::Relaxed);
     let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
     PEAK.fetch_max(live, Ordering::Relaxed);
+    let r = region::current() as usize;
+    REGION_BYTES[r].fetch_add(size, Ordering::Relaxed);
+    REGION_ALLOCS[r].fetch_add(1, Ordering::Relaxed);
 }
 
 /// Counter snapshot (or, from [`measure`], deltas for one region).
@@ -97,6 +110,51 @@ pub fn measure<T>(f: impl FnOnce() -> T) -> (T, AllocStats) {
     )
 }
 
+/// Allocation totals of one operator region.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionStats {
+    /// Which region the numbers belong to.
+    pub region: Region,
+    /// Bytes allocated while a thread was in the region (cumulative).
+    pub bytes: usize,
+    /// Number of allocations in the region.
+    pub allocs: usize,
+}
+
+/// Per-region allocation totals, in `ALL_REGIONS` order. Regions are
+/// labeled by the `reldb` operators (scan / build / probe / distinct);
+/// `general` is everything else.
+pub fn region_stats() -> Vec<RegionStats> {
+    ALL_REGIONS
+        .iter()
+        .map(|&region| RegionStats {
+            region,
+            bytes: REGION_BYTES[region as usize].load(Ordering::Relaxed),
+            allocs: REGION_ALLOCS[region as usize].load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// Run `f` and report the per-region allocation deltas during the call
+/// (alongside the return value). Concurrent measurement from other threads
+/// is attributed like everything else — bench binaries measure one region
+/// at a time.
+pub fn measure_regions<T>(f: impl FnOnce() -> T) -> (T, Vec<RegionStats>) {
+    let before = region_stats();
+    let out = f();
+    let after = region_stats();
+    let deltas = before
+        .into_iter()
+        .zip(after)
+        .map(|(b, a)| RegionStats {
+            region: a.region,
+            bytes: a.bytes - b.bytes,
+            allocs: a.allocs - b.allocs,
+        })
+        .collect();
+    (out, deltas)
+}
+
 /// Human-readable byte count (binary units, one decimal).
 pub fn human_bytes(bytes: usize) -> String {
     const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
@@ -130,5 +188,33 @@ mod tests {
         assert_eq!(human_bytes(512), "512B");
         assert_eq!(human_bytes(2048), "2.0KiB");
         assert_eq!(human_bytes(3 << 20), "3.0MiB");
+    }
+
+    #[test]
+    fn regions_attribute_operator_allocations() {
+        let (_, deltas) = measure_regions(|| {
+            let _g = region::enter(Region::Probe);
+            std::hint::black_box(vec![0u8; 1 << 16])
+        });
+        let probe = deltas.iter().find(|d| d.region == Region::Probe).unwrap();
+        assert!(probe.bytes >= 1 << 16, "probe bytes {}", probe.bytes);
+        assert!(probe.allocs >= 1);
+    }
+
+    #[test]
+    fn real_operators_label_their_regions() {
+        use graphgen_reldb::{exec, RowSet, Value};
+        let rows = RowSet::from_rows(
+            2,
+            (0..4000i64).map(|i| vec![Value::int(i % 97), Value::int(i)]),
+        );
+        let (_, deltas) = measure_regions(|| {
+            let joined = exec::hash_join(&rows, 0, &rows, 0, 2);
+            exec::distinct_rows(joined, 2)
+        });
+        let by_region = |r: Region| deltas.iter().find(|d| d.region == r).unwrap().bytes;
+        assert!(by_region(Region::Build) > 0, "build not attributed");
+        assert!(by_region(Region::Probe) > 0, "probe not attributed");
+        assert!(by_region(Region::Distinct) > 0, "distinct not attributed");
     }
 }

@@ -1,0 +1,335 @@
+//! A tiny binary codec: length-prefixed, little-endian primitives.
+//!
+//! The persistence layer (graph snapshots, the write-ahead delta log)
+//! serializes every structure through these helpers so the on-disk format
+//! has exactly one set of conventions:
+//!
+//! * all integers are **little-endian** and fixed-width;
+//! * variable-length data (strings, lists, nested sections) is
+//!   **length-prefixed** with a `u64` count;
+//! * decoding is bounds-checked everywhere and reports a typed
+//!   [`CodecError`] with the byte offset of the failure — corrupt or
+//!   truncated input can never panic or over-read.
+
+use std::fmt;
+
+/// A decoding failure: what went wrong and where in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a read of `want` bytes at offset `at`.
+    UnexpectedEof {
+        /// Byte offset of the attempted read.
+        at: usize,
+        /// Bytes the read needed.
+        want: usize,
+    },
+    /// The bytes at offset `at` are structurally invalid (bad tag, bad
+    /// magic, non-UTF-8 string, implausible length, …).
+    Invalid {
+        /// Byte offset of the failure.
+        at: usize,
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl CodecError {
+    /// Shorthand for an [`CodecError::Invalid`] at `at`.
+    pub fn invalid(at: usize, what: impl Into<String>) -> Self {
+        CodecError::Invalid {
+            at,
+            what: what.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { at, want } => {
+                write!(
+                    f,
+                    "unexpected end of input at byte {at} (needed {want} more)"
+                )
+            }
+            CodecError::Invalid { at, what } => write!(f, "invalid data at byte {at}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Append a `u8`.
+#[inline]
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a little-endian `u32`.
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `i64`.
+#[inline]
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its IEEE-754 bit pattern (little-endian).
+#[inline]
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Append a `usize` as a `u64` (the format is 64-bit regardless of host).
+#[inline]
+pub fn put_len(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append a length-prefixed byte slice.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_len(out, b.len());
+    out.extend_from_slice(b);
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over an input byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// True if every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                at: self.pos,
+                want: n - self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length (`u64`) and convert it to `usize`, rejecting lengths
+    /// that could not possibly fit in the remaining input (each encoded
+    /// element needs at least one byte), so corrupt lengths fail fast
+    /// instead of triggering huge allocations.
+    pub fn len(&mut self) -> Result<usize, CodecError> {
+        let at = self.pos;
+        let v = self.u64()?;
+        let v = usize::try_from(v).map_err(|_| CodecError::invalid(at, "length overflows"))?;
+        if v > self.remaining() {
+            return Err(CodecError::invalid(
+                at,
+                format!("length {v} exceeds remaining input {}", self.remaining()),
+            ));
+        }
+        Ok(v)
+    }
+
+    /// Read a `u64` scalar (an index, version, or count that does **not**
+    /// describe upcoming input) as `usize`. Unlike [`Reader::len`], no
+    /// remaining-input plausibility bound applies — a column index or
+    /// thread count may legitimately exceed the bytes left to read.
+    pub fn scalar(&mut self) -> Result<usize, CodecError> {
+        let at = self.pos;
+        usize::try_from(self.u64()?).map_err(|_| CodecError::invalid(at, "scalar overflows usize"))
+    }
+
+    /// Read a length that counts multi-byte elements of at least
+    /// `min_elem_bytes` each (tighter plausibility bound than [`Reader::len`]).
+    pub fn len_of(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let at = self.pos;
+        let v = self.len()?;
+        if min_elem_bytes > 1 && v > self.remaining() / min_elem_bytes {
+            return Err(CodecError::invalid(
+                at,
+                format!("element count {v} exceeds remaining input"),
+            ));
+        }
+        Ok(v)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        let n = self.len()?;
+        let at = self.pos;
+        std::str::from_utf8(self.take(n)?).map_err(|_| CodecError::invalid(at, "non-UTF-8 string"))
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.len()?;
+        self.take(n)
+    }
+
+    /// Consume and verify a fixed magic prefix.
+    pub fn expect_magic(&mut self, magic: &[u8]) -> Result<(), CodecError> {
+        let at = self.pos;
+        let got = self.take(magic.len())?;
+        if got != magic {
+            return Err(CodecError::invalid(
+                at,
+                format!("bad magic {got:02x?}, expected {magic:02x?}"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Error if any input remains (trailing garbage detection).
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::invalid(
+                self.pos,
+                format!("{} trailing bytes", self.remaining()),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i64(&mut buf, -42);
+        put_f64(&mut buf, 1.5);
+        put_str(&mut buf, "héllo");
+        put_bytes(&mut buf, &[1, 2, 3]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), 1.5);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn eof_reports_offset() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u8().unwrap(), 1);
+        let err = r.u32().unwrap_err();
+        assert!(
+            matches!(err, CodecError::UnexpectedEof { at: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut buf = Vec::new();
+        put_len(&mut buf, 1 << 40);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.len(), Err(CodecError::Invalid { .. })));
+        // len_of with a element width bound
+        let mut buf = Vec::new();
+        put_len(&mut buf, 10);
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut r = Reader::new(&buf);
+        assert!(r.len_of(4).is_err());
+    }
+
+    #[test]
+    fn magic_and_trailing() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MAGI");
+        put_u8(&mut buf, 1);
+        let mut r = Reader::new(&buf);
+        assert!(r.expect_magic(b"MAGI").is_ok());
+        assert!(r.expect_end().is_err());
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(r.expect_end().is_ok());
+        let mut r2 = Reader::new(&buf);
+        assert!(r2.expect_magic(b"NOPE").is_err());
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut buf = Vec::new();
+        put_len(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.str(), Err(CodecError::Invalid { .. })));
+    }
+}

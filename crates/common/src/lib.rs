@@ -9,13 +9,16 @@
 
 pub mod bitmap;
 pub mod bytesize;
+pub mod codec;
 pub mod fxhash;
 pub mod idmap;
 pub mod ordering;
 pub mod parallel;
+pub mod region;
 
 pub use bitmap::Bitmap;
 pub use bytesize::ByteSize;
+pub use codec::{CodecError, Reader};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use idmap::IdMap;
 pub use ordering::VertexOrdering;

@@ -63,11 +63,20 @@ where
         return vec![f(0..n)];
     }
     let ranges = morsels(n, threads);
+    // Worker threads inherit the caller's allocation-region label so the
+    // counting allocator attributes their allocations to the operator that
+    // fanned out (thread-locals do not propagate on their own).
+    let region = crate::region::current();
     std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|r| scope.spawn(move || f(r)))
+            .map(|r| {
+                scope.spawn(move || {
+                    let _region = crate::region::enter(region);
+                    f(r)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -107,9 +116,18 @@ where
     if parts <= 1 {
         return vec![f(0)];
     }
+    // See map_morsels: workers inherit the caller's region label.
+    let region = crate::region::current();
     std::thread::scope(|scope| {
         let f = &f;
-        let handles: Vec<_> = (0..parts).map(|p| scope.spawn(move || f(p))).collect();
+        let handles: Vec<_> = (0..parts)
+            .map(|p| {
+                scope.spawn(move || {
+                    let _region = crate::region::enter(region);
+                    f(p)
+                })
+            })
+            .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("partition worker panicked"))

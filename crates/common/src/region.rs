@@ -1,0 +1,148 @@
+//! Per-operator allocation-region labels.
+//!
+//! The counting allocator in `graphgen-bench` attributes every allocation
+//! to the region the allocating thread is currently in, so bench binaries
+//! can report *which operator* (scan / join build / join probe / DISTINCT)
+//! allocated how much — the breakdown that makes the next allocation
+//! hotspot attributable instead of a single opaque total.
+//!
+//! The label lives in a `const`-initialized thread-local `Cell`, so reading
+//! it never allocates — a hard requirement, since the global allocator
+//! itself reads it on every allocation. Operators set it with a scoped
+//! [`enter`] guard; worker threads spawned inside a parallel operator set
+//! it again inside their closures (thread-locals do not inherit).
+
+use std::cell::Cell;
+
+/// The regions an allocation can be attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Region {
+    /// Anything outside a labeled operator.
+    General = 0,
+    /// Filtered scan + projection (`scan_project`).
+    Scan = 1,
+    /// Hash-join index build.
+    Build = 2,
+    /// Hash-join probe + output emission.
+    Probe = 3,
+    /// Duplicate elimination (`distinct_rows`).
+    Distinct = 4,
+}
+
+/// Number of distinct [`Region`] values (array-sizing constant for
+/// per-region counters).
+pub const REGION_COUNT: usize = 5;
+
+/// All regions, in tag order.
+pub const ALL_REGIONS: [Region; REGION_COUNT] = [
+    Region::General,
+    Region::Scan,
+    Region::Build,
+    Region::Probe,
+    Region::Distinct,
+];
+
+impl Region {
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::General => "general",
+            Region::Scan => "scan",
+            Region::Build => "build",
+            Region::Probe => "probe",
+            Region::Distinct => "distinct",
+        }
+    }
+
+    fn from_u8(v: u8) -> Region {
+        match v {
+            1 => Region::Scan,
+            2 => Region::Build,
+            3 => Region::Probe,
+            4 => Region::Distinct,
+            _ => Region::General,
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<u8> = const { Cell::new(0) };
+}
+
+/// The region the current thread is in. Never allocates; returns
+/// [`Region::General`] during thread teardown (after TLS destruction).
+#[inline]
+pub fn current() -> Region {
+    CURRENT
+        .try_with(|c| Region::from_u8(c.get()))
+        .unwrap_or(Region::General)
+}
+
+/// Enter `region` on this thread until the returned guard drops (the
+/// previous region is restored — regions nest).
+pub fn enter(region: Region) -> RegionGuard {
+    let prev = CURRENT
+        .try_with(|c| c.replace(region as u8))
+        .unwrap_or(Region::General as u8);
+    RegionGuard { prev }
+}
+
+/// Restores the previous region on drop. See [`enter`].
+#[must_use = "dropping the guard immediately exits the region"]
+pub struct RegionGuard {
+    prev: u8,
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let _ = CURRENT.try_with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_general() {
+        assert_eq!(current(), Region::General);
+    }
+
+    #[test]
+    fn enter_nests_and_restores() {
+        assert_eq!(current(), Region::General);
+        {
+            let _a = enter(Region::Scan);
+            assert_eq!(current(), Region::Scan);
+            {
+                let _b = enter(Region::Probe);
+                assert_eq!(current(), Region::Probe);
+            }
+            assert_eq!(current(), Region::Scan);
+        }
+        assert_eq!(current(), Region::General);
+    }
+
+    #[test]
+    fn regions_are_per_thread() {
+        let _outer = enter(Region::Distinct);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert_eq!(current(), Region::General);
+                let _g = enter(Region::Build);
+                assert_eq!(current(), Region::Build);
+            });
+        });
+        assert_eq!(current(), Region::Distinct);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<&str> = ALL_REGIONS.iter().map(|r| r.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["general", "scan", "build", "probe", "distinct"]
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //! classifier and `From` impls from each substrate error so `?` composes
 //! across layers.
 
+use graphgen_common::CodecError;
 use graphgen_dedup::DedupError;
 use graphgen_dsl::ParseError;
 use graphgen_graph::RepKind;
@@ -111,6 +112,8 @@ pub enum ErrorKind {
     Convert,
     /// Incremental delta application failure.
     Patch,
+    /// Corrupt or incompatible binary snapshot input.
+    Snapshot,
 }
 
 /// The single error type of the facade: everything the pipeline can raise.
@@ -124,6 +127,9 @@ pub enum Error {
     Convert(ConvertError),
     /// Incremental delta application failure.
     Patch(PatchError),
+    /// Corrupt or incompatible binary snapshot input
+    /// (`GraphHandle::from_snapshot_bytes`).
+    Snapshot(CodecError),
 }
 
 impl Error {
@@ -134,6 +140,7 @@ impl Error {
             Error::Db(_) => ErrorKind::Db,
             Error::Convert(_) => ErrorKind::Convert,
             Error::Patch(_) => ErrorKind::Patch,
+            Error::Snapshot(_) => ErrorKind::Snapshot,
         }
     }
 
@@ -161,6 +168,7 @@ impl fmt::Display for Error {
             Error::Db(e) => write!(f, "{e}"),
             Error::Convert(e) => write!(f, "{e}"),
             Error::Patch(e) => write!(f, "{e}"),
+            Error::Snapshot(e) => write!(f, "snapshot: {e}"),
         }
     }
 }
@@ -172,6 +180,7 @@ impl std::error::Error for Error {
             Error::Db(e) => Some(e),
             Error::Convert(e) => Some(e),
             Error::Patch(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
         }
     }
 }
@@ -203,6 +212,12 @@ impl From<ConvertError> for Error {
 impl From<DedupError> for Error {
     fn from(e: DedupError) -> Self {
         Error::Convert(e.into())
+    }
+}
+
+impl From<CodecError> for Error {
+    fn from(e: CodecError) -> Self {
+        Error::Snapshot(e)
     }
 }
 

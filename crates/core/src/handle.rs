@@ -31,7 +31,7 @@ use graphgen_dedup::{
 use graphgen_graph::{
     CondensedGraph, ExpandedGraph, GraphRep, PropValue, Properties, RealId, RepKind,
 };
-use graphgen_reldb::{Delta, Value};
+use graphgen_reldb::{Delta, DeltaBatch, Value};
 
 /// Which BITMAP preprocessing pass builds the bitmap representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -147,6 +147,29 @@ impl GraphHandle {
         }
     }
 
+    /// Assemble a handle from decoded snapshot sections (the binary
+    /// snapshot decoder's exit point; the report is not persisted).
+    pub(crate) fn from_snapshot_parts(
+        graph: AnyGraph,
+        ids: IdMap<Value>,
+        properties: Properties,
+        state: Option<IncrementalState>,
+    ) -> Self {
+        Self {
+            graph,
+            ids,
+            properties,
+            report: ExtractionReport::default(),
+            incremental: state.map(Box::new),
+        }
+    }
+
+    /// The delta-maintenance state, if this handle carries one (snapshot
+    /// codec access).
+    pub(crate) fn incremental_state(&self) -> Option<&IncrementalState> {
+        self.incremental.as_deref()
+    }
+
     /// The graph, in whatever representation the handle currently holds.
     /// `GraphHandle` also implements [`GraphRep`] directly, so most callers
     /// never need this.
@@ -195,6 +218,21 @@ impl GraphHandle {
         self.incremental.is_some()
     }
 
+    /// The base tables this handle's extraction spec reads (node views
+    /// first, then chain atoms, deduplicated), or empty for
+    /// non-incremental handles. A [`Delta`] against any other table is
+    /// guaranteed to leave the handle untouched — the serving layer uses
+    /// this to skip graphs a mutation batch cannot affect. Note the
+    /// converse does not hold: a delta against a referenced table must be
+    /// applied (it advances the maintenance state) even when it changes no
+    /// visible edge.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        self.incremental
+            .as_deref()
+            .map(IncrementalState::referenced_tables)
+            .unwrap_or_default()
+    }
+
     /// Patch the graph in place for one base-table [`Delta`] produced by
     /// the `reldb` mutation API, with work proportional to the delta — see
     /// [`crate::incremental`] for the propagation rules. Apply deltas in
@@ -223,6 +261,24 @@ impl GraphHandle {
         )
     }
 
+    /// Apply a multi-table [`DeltaBatch`] in one round-trip: every delta in
+    /// batch order, with the per-delta [`GraphPatch`] counters merged. The
+    /// serving layer's unit of application — one batch is one published
+    /// version and one write-ahead-log record.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GraphHandle::apply_delta`]. A failure mid-batch
+    /// leaves the handle partially patched and untrustworthy (re-extract),
+    /// exactly like a failed single delta.
+    pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<GraphPatch, Error> {
+        let mut total = GraphPatch::default();
+        for delta in batch.deltas() {
+            total.merge(&self.apply_delta(delta)?);
+        }
+        Ok(total)
+    }
+
     /// A canonical, key-space byte serialization of the logical graph
     /// (sorted node keys with their properties, then sorted edge key
     /// pairs). Two handles over the same logical graph serialize to the
@@ -231,6 +287,28 @@ impl GraphHandle {
     /// oracle tests assert.
     pub fn canonical_bytes(&self) -> Vec<u8> {
         crate::serialize::canonical_bytes(self)
+    }
+
+    /// Encode this handle as a self-contained binary snapshot: the graph in
+    /// its current representation, the id ↔ key mapping, the properties,
+    /// and (for incremental handles) the complete delta-maintenance state.
+    /// See [`crate::serialize`] for the format. The extraction report is
+    /// diagnostics and is not included.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        crate::serialize::encode_snapshot(self)
+    }
+
+    /// Decode a snapshot produced by [`GraphHandle::to_snapshot_bytes`].
+    /// The recovered handle is structurally verbatim: same representation,
+    /// same canonical bytes, and — for incremental handles — `apply_delta`
+    /// continues exactly where the encoded handle stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorKind::Snapshot`] on bad magic, truncation, trailing
+    /// bytes, or structural corruption.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<GraphHandle, Error> {
+        crate::serialize::decode_snapshot(bytes)
     }
 
     // ---- key-space accessors -------------------------------------------

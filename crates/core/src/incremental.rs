@@ -264,7 +264,8 @@ impl IncrementalState {
     }
 
     /// Every base table the spec reads, in deterministic first-reference
-    /// order (node views first, then chain atoms).
+    /// order (node views first, then chain atoms). Exposed to callers via
+    /// `GraphHandle::referenced_tables`.
     pub(crate) fn referenced_tables(&self) -> Vec<String> {
         let mut seen = FxHashSet::default();
         let mut out = Vec::new();
@@ -1220,6 +1221,349 @@ pub(crate) fn apply_delta_state(
         }
     }
     Ok(patch)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codec
+// ---------------------------------------------------------------------------
+//
+// The serving layer persists incremental handles so a recovered process can
+// keep applying deltas exactly where the crashed one stopped. The whole
+// maintenance state — atom multisets, segment supports, boundary interning,
+// node entries, the condensed shadow — is encoded verbatim with the
+// workspace codec conventions; the redundant reverse indexes (`by_out`,
+// `by_left`, `by_right`, the shadow's in-indexes) are rebuilt on decode
+// instead of stored.
+
+use graphgen_common::codec::{self, CodecError, Reader};
+use graphgen_graph::snapshot as graph_snapshot;
+
+fn put_value_counts(out: &mut Vec<u8>, map: &FxHashMap<Value, i64>) {
+    let mut keys: Vec<&Value> = map.keys().collect();
+    keys.sort();
+    codec::put_len(out, keys.len());
+    for k in keys {
+        k.encode_into(out);
+        codec::put_i64(out, map[k]);
+    }
+}
+
+fn read_value_counts(r: &mut Reader<'_>) -> Result<FxHashMap<Value, i64>, CodecError> {
+    let n = r.len()?;
+    let mut map = FxHashMap::default();
+    for _ in 0..n {
+        let k = Value::decode(r)?;
+        let v = r.i64()?;
+        map.insert(k, v);
+    }
+    Ok(map)
+}
+
+fn put_bag(out: &mut Vec<u8>, bag: &Bag) {
+    let mut keys: Vec<&Value> = bag.keys().collect();
+    keys.sort();
+    codec::put_len(out, keys.len());
+    for k in keys {
+        k.encode_into(out);
+        put_value_counts(out, &bag[k]);
+    }
+}
+
+fn read_bag(r: &mut Reader<'_>) -> Result<Bag, CodecError> {
+    let n = r.len()?;
+    let mut bag = Bag::default();
+    for _ in 0..n {
+        let k = Value::decode(r)?;
+        bag.insert(k, read_value_counts(r)?);
+    }
+    Ok(bag)
+}
+
+fn put_pair_counts(out: &mut Vec<u8>, map: &FxHashMap<(Value, Value), i64>) {
+    let mut keys: Vec<&(Value, Value)> = map.keys().collect();
+    keys.sort();
+    codec::put_len(out, keys.len());
+    for k in keys {
+        k.0.encode_into(out);
+        k.1.encode_into(out);
+        codec::put_i64(out, map[k]);
+    }
+}
+
+fn read_pair_counts(r: &mut Reader<'_>) -> Result<FxHashMap<(Value, Value), i64>, CodecError> {
+    let n = r.len()?;
+    let mut map = FxHashMap::default();
+    for _ in 0..n {
+        let a = Value::decode(r)?;
+        let b = Value::decode(r)?;
+        let v = r.i64()?;
+        map.insert((a, b), v);
+    }
+    Ok(map)
+}
+
+fn put_idmap(out: &mut Vec<u8>, ids: &IdMap<Value>) {
+    codec::put_len(out, ids.len());
+    for (_, key) in ids.iter() {
+        key.encode_into(out);
+    }
+}
+
+fn read_idmap(r: &mut Reader<'_>) -> Result<IdMap<Value>, CodecError> {
+    let n = r.len()?;
+    let mut ids = IdMap::with_capacity(n);
+    for i in 0..n {
+        let at = r.pos();
+        let key = Value::decode(r)?;
+        if ids.intern(key) != i as u32 {
+            return Err(CodecError::invalid(at, "duplicate key in id map"));
+        }
+    }
+    Ok(ids)
+}
+
+/// Encode an `IdMap<Value>` (keys in dense-id order). Shared with the
+/// handle snapshot in [`crate::serialize`].
+pub(crate) fn encode_idmap(ids: &IdMap<Value>, out: &mut Vec<u8>) {
+    put_idmap(out, ids);
+}
+
+/// Decode an `IdMap<Value>` (inverse of [`encode_idmap`]).
+pub(crate) fn decode_idmap(r: &mut Reader<'_>) -> Result<IdMap<Value>, CodecError> {
+    read_idmap(r)
+}
+
+impl AtomState {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_str(out, &self.table);
+        self.pred.encode_into(out);
+        codec::put_len(out, self.in_col);
+        codec::put_len(out, self.out_col);
+        put_bag(out, &self.by_in);
+        // `by_out` is the transpose of `by_in`: rebuilt on decode.
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let table = r.str()?.to_string();
+        let pred = Predicate::decode(r)?;
+        let in_col = r.scalar()?;
+        let out_col = r.scalar()?;
+        let by_in = read_bag(r)?;
+        let mut by_out = Bag::default();
+        for (in_v, outs) in &by_in {
+            for (out_v, m) in outs {
+                *by_out
+                    .entry(out_v.clone())
+                    .or_default()
+                    .entry(in_v.clone())
+                    .or_insert(0) += m;
+            }
+        }
+        Ok(Self {
+            table,
+            pred,
+            in_col,
+            out_col,
+            by_in,
+            by_out,
+        })
+    }
+}
+
+impl SegmentState {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_len(out, self.atoms.len());
+        for atom in &self.atoms {
+            atom.encode_into(out);
+        }
+        put_pair_counts(out, &self.support);
+        // `by_left` / `by_right` index the support keys: rebuilt on decode.
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.len()?;
+        let mut atoms = Vec::with_capacity(n);
+        for _ in 0..n {
+            atoms.push(AtomState::decode(r)?);
+        }
+        let support = read_pair_counts(r)?;
+        let mut by_left: FxHashMap<Value, FxHashSet<Value>> = FxHashMap::default();
+        let mut by_right: FxHashMap<Value, FxHashSet<Value>> = FxHashMap::default();
+        for (x, y) in support.keys() {
+            by_left.entry(x.clone()).or_default().insert(y.clone());
+            by_right.entry(y.clone()).or_default().insert(x.clone());
+        }
+        Ok(Self {
+            atoms,
+            support,
+            by_left,
+            by_right,
+        })
+    }
+}
+
+impl IncrementalState {
+    /// Encode the whole maintenance state (see the module-level codec
+    /// notes). Deterministic: hash-map content is emitted in sorted order.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_len(out, self.threads);
+        codec::put_len(out, self.views.len());
+        for view in &self.views {
+            codec::put_str(out, &view.relation);
+            codec::put_len(out, view.id_col);
+            codec::put_len(out, view.prop_cols.len());
+            for (name, col) in &view.prop_cols {
+                codec::put_str(out, name);
+                codec::put_len(out, *col);
+            }
+            view.pred.encode_into(out);
+        }
+        codec::put_len(out, self.chains.len());
+        for chain in &self.chains {
+            codec::put_len(out, chain.segments.len());
+            for seg in &chain.segments {
+                seg.encode_into(out);
+            }
+            codec::put_len(out, chain.boundaries.len());
+            for (boundary, virts) in chain.boundaries.iter().zip(&chain.boundary_virts) {
+                put_idmap(out, boundary);
+                codec::put_len(out, virts.len());
+                for v in virts {
+                    codec::put_u32(out, v.0);
+                }
+            }
+        }
+        let mut node_keys: Vec<&Value> = self.node_entries.keys().collect();
+        node_keys.sort();
+        codec::put_len(out, node_keys.len());
+        for key in node_keys {
+            let entry = &self.node_entries[key];
+            key.encode_into(out);
+            codec::put_i64(out, entry.support);
+            codec::put_len(out, entry.prop_rows.len());
+            for (view_idx, props) in &entry.prop_rows {
+                codec::put_len(out, *view_idx);
+                codec::put_len(out, props.len());
+                for (name, value) in props {
+                    codec::put_str(out, name);
+                    graph_snapshot::encode_prop_value(value, out);
+                }
+            }
+        }
+        put_pair_counts(out, &self.direct_support);
+        match &self.shadow {
+            None => codec::put_u8(out, 0),
+            Some(shadow) => {
+                codec::put_u8(out, 1);
+                graph_snapshot::encode_condensed(&shadow.g, out);
+            }
+        }
+    }
+
+    /// Decode a maintenance state (inverse of
+    /// [`IncrementalState::encode_into`]); reverse indexes are rebuilt.
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        // `threads` is a plain scalar, not a length — `Reader::len`'s
+        // fits-in-remaining-input plausibility check would spuriously
+        // reject a small state encoded on a many-core machine.
+        let threads = r.scalar()?.max(1);
+        let n_views = r.len()?;
+        let mut views = Vec::with_capacity(n_views);
+        for _ in 0..n_views {
+            let relation = r.str()?.to_string();
+            let id_col = r.scalar()?;
+            let n_props = r.len()?;
+            let mut prop_cols = Vec::with_capacity(n_props);
+            for _ in 0..n_props {
+                let name = r.str()?.to_string();
+                let col = r.scalar()?;
+                prop_cols.push((name, col));
+            }
+            let pred = Predicate::decode(r)?;
+            views.push(ViewState {
+                relation,
+                id_col,
+                prop_cols,
+                pred,
+            });
+        }
+        let n_chains = r.len()?;
+        let mut chains = Vec::with_capacity(n_chains);
+        for _ in 0..n_chains {
+            let n_segs = r.len()?;
+            let mut segments = Vec::with_capacity(n_segs);
+            for _ in 0..n_segs {
+                segments.push(SegmentState::decode(r)?);
+            }
+            let n_bounds = r.len()?;
+            let at = r.pos();
+            if n_bounds != n_segs.saturating_sub(1) {
+                return Err(CodecError::invalid(at, "boundary count mismatch"));
+            }
+            let mut boundaries = Vec::with_capacity(n_bounds);
+            let mut boundary_virts = Vec::with_capacity(n_bounds);
+            for _ in 0..n_bounds {
+                let boundary = read_idmap(r)?;
+                let n_virts = r.len_of(4)?;
+                let at = r.pos();
+                if n_virts != boundary.len() {
+                    return Err(CodecError::invalid(at, "boundary virtual count mismatch"));
+                }
+                let mut virts = Vec::with_capacity(n_virts);
+                for _ in 0..n_virts {
+                    virts.push(VirtId(r.u32()?));
+                }
+                boundaries.push(boundary);
+                boundary_virts.push(virts);
+            }
+            chains.push(ChainState {
+                segments,
+                boundaries,
+                boundary_virts,
+            });
+        }
+        let n_nodes = r.len()?;
+        let mut node_entries = FxHashMap::default();
+        for _ in 0..n_nodes {
+            let key = Value::decode(r)?;
+            let support = r.i64()?;
+            let n_rows = r.len()?;
+            let mut prop_rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                let at = r.pos();
+                let view_idx = r.scalar()?;
+                if view_idx >= views.len() {
+                    return Err(CodecError::invalid(
+                        at,
+                        "node entry references unknown view",
+                    ));
+                }
+                let n_props = r.len()?;
+                let mut props = Vec::with_capacity(n_props);
+                for _ in 0..n_props {
+                    let name = r.str()?.to_string();
+                    props.push((name, graph_snapshot::decode_prop_value(r)?));
+                }
+                prop_rows.push((view_idx, props));
+            }
+            node_entries.insert(key, NodeEntry { support, prop_rows });
+        }
+        let direct_support = read_pair_counts(r)?;
+        let at = r.pos();
+        let shadow = match r.u8()? {
+            0 => None,
+            1 => Some(ShadowCore::from_graph(graph_snapshot::decode_condensed(r)?)),
+            tag => return Err(CodecError::invalid(at, format!("bad shadow tag {tag}"))),
+        };
+        Ok(Self {
+            threads,
+            views,
+            chains,
+            node_entries,
+            direct_support,
+            shadow,
+        })
+    }
 }
 
 #[cfg(test)]

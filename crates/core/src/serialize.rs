@@ -4,8 +4,40 @@
 //! specialized graph processing framework" (NetworkX-style edge lists),
 //! plus a JSON document with nodes, properties, and edges for tools that
 //! want both.
+//!
+//! # Binary snapshots
+//!
+//! [`encode_snapshot`] / [`decode_snapshot`] are the third format: a
+//! **verbatim binary image of a whole [`GraphHandle`]** — whichever of the
+//! five representations it holds, the id ↔ key mapping, the vertex
+//! properties, and (for incremental handles) the complete delta-maintenance
+//! state including the condensed shadow. The serving layer
+//! (`graphgen-serve`) persists and recovers graphs through it.
+//!
+//! Layout (all integers little-endian, variable data length-prefixed — see
+//! `graphgen_common::codec`):
+//!
+//! ```text
+//! magic  8 bytes  b"GGSNAP1\0"   (embeds the format version)
+//! rep    u8       0=C-DUP 1=EXP 2=DEDUP-1 3=DEDUP-2 4=BITMAP
+//! graph  …        representation payload (graphgen_graph::snapshot)
+//! ids    …        node keys in dense-id order
+//! props  …        property columns (sorted by name)
+//! incr   u8 + …   0 = plain handle; 1 = incremental maintenance state
+//! ```
+//!
+//! The extraction [`report`](crate::ExtractionReport) is diagnostics, not
+//! state, and is **not** persisted: a decoded handle carries a default
+//! report. Everything observable through the graph API — canonical bytes,
+//! conversions, and (for incremental handles) `apply_delta` behavior — is
+//! restored exactly.
 
+use crate::anygraph::AnyGraph;
+use crate::error::Error;
 use crate::handle::GraphHandle;
+use crate::incremental::{self, IncrementalState};
+use graphgen_common::codec::{self, CodecError, Reader};
+use graphgen_graph::snapshot as graph_snapshot;
 use graphgen_graph::{GraphRep, PropValue};
 use graphgen_reldb::Value;
 use std::io::{self, Write};
@@ -109,6 +141,107 @@ fn json_prop(p: &PropValue) -> String {
         PropValue::Float(v) => format!("{v}"),
         PropValue::Text(s) => json_str(s),
     }
+}
+
+/// Magic prefix of the binary handle snapshot format; the trailing digit is
+/// the format version.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GGSNAP1\0";
+
+/// Encode a whole [`GraphHandle`] as a self-contained binary snapshot (see
+/// the module docs for the layout). Deterministic: equal handles produce
+/// equal bytes.
+pub fn encode_snapshot(g: &GraphHandle) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    match g.graph() {
+        AnyGraph::CDup(inner) => {
+            codec::put_u8(&mut out, 0);
+            graph_snapshot::encode_condensed(inner, &mut out);
+        }
+        AnyGraph::Exp(inner) => {
+            codec::put_u8(&mut out, 1);
+            graph_snapshot::encode_expanded(inner, &mut out);
+        }
+        AnyGraph::Dedup1(inner) => {
+            codec::put_u8(&mut out, 2);
+            graph_snapshot::encode_dedup1(inner, &mut out);
+        }
+        AnyGraph::Dedup2(inner) => {
+            codec::put_u8(&mut out, 3);
+            graph_snapshot::encode_dedup2(inner, &mut out);
+        }
+        AnyGraph::Bitmap(inner) => {
+            codec::put_u8(&mut out, 4);
+            graph_snapshot::encode_bitmap(inner, &mut out);
+        }
+    }
+    incremental::encode_idmap(g.ids(), &mut out);
+    graph_snapshot::encode_properties(g.properties(), &mut out);
+    match g.incremental_state() {
+        None => codec::put_u8(&mut out, 0),
+        Some(state) => {
+            codec::put_u8(&mut out, 1);
+            state.encode_into(&mut out);
+        }
+    }
+    out
+}
+
+/// Decode a binary snapshot produced by [`encode_snapshot`]. Rejects bad
+/// magic, truncation, trailing bytes, and structurally inconsistent
+/// sections with [`crate::ErrorKind::Snapshot`].
+pub fn decode_snapshot(bytes: &[u8]) -> Result<GraphHandle, Error> {
+    let mut r = Reader::new(bytes);
+    r.expect_magic(&SNAPSHOT_MAGIC)?;
+    let at = r.pos();
+    let graph = match r.u8()? {
+        0 => AnyGraph::CDup(graph_snapshot::decode_condensed(&mut r)?),
+        1 => AnyGraph::Exp(graph_snapshot::decode_expanded(&mut r)?),
+        2 => AnyGraph::Dedup1(graph_snapshot::decode_dedup1(&mut r)?),
+        3 => AnyGraph::Dedup2(graph_snapshot::decode_dedup2(&mut r)?),
+        4 => AnyGraph::Bitmap(graph_snapshot::decode_bitmap(&mut r)?),
+        tag => return Err(CodecError::invalid(at, format!("bad representation tag {tag}")).into()),
+    };
+    let ids = incremental::decode_idmap(&mut r)?;
+    let at = r.pos();
+    // Cross-section consistency: each section is individually validated,
+    // but a corrupt snapshot could still pair a graph of N slots with a
+    // shorter id map (or property store), which would panic later in
+    // `key_of`/`canonical_bytes` instead of failing recovery cleanly.
+    if ids.len() != graph.num_real_slots() {
+        return Err(CodecError::invalid(
+            at,
+            format!(
+                "id map covers {} keys but the graph has {} real slots",
+                ids.len(),
+                graph.num_real_slots()
+            ),
+        )
+        .into());
+    }
+    let properties = graph_snapshot::decode_properties(&mut r)?;
+    let at = r.pos();
+    if properties.len() > ids.len() {
+        return Err(CodecError::invalid(
+            at,
+            format!(
+                "property store covers {} slots but only {} ids exist",
+                properties.len(),
+                ids.len()
+            ),
+        )
+        .into());
+    }
+    let at = r.pos();
+    let state = match r.u8()? {
+        0 => None,
+        1 => Some(IncrementalState::decode(&mut r)?),
+        tag => return Err(CodecError::invalid(at, format!("bad incremental tag {tag}")).into()),
+    };
+    r.expect_end()?;
+    Ok(GraphHandle::from_snapshot_parts(
+        graph, ids, properties, state,
+    ))
 }
 
 /// A canonical, key-space byte serialization of a handle's logical graph:
@@ -237,5 +370,132 @@ mod tests {
         let g = extract();
         let d = degree_summary(&g);
         assert_eq!(d, vec![(Value::int(1), 1), (Value::int(2), 0)]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_every_representation() {
+        use crate::handle::ConvertOptions;
+        use graphgen_graph::RepKind;
+        let g = extract();
+        let opts = ConvertOptions::default();
+        for target in RepKind::all() {
+            let Ok(h) = g.convert(target, &opts) else {
+                continue; // representations infeasible for this shape
+            };
+            let bytes = encode_snapshot(&h);
+            let back = decode_snapshot(&bytes).unwrap();
+            assert_eq!(back.kind(), h.kind(), "{target}");
+            assert_eq!(back.canonical_bytes(), h.canonical_bytes(), "{target}");
+            // Deterministic bytes.
+            assert_eq!(encode_snapshot(&back), bytes, "{target}");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_incremental_state() {
+        let mut db = tiny();
+        let gg = GraphGen::with_config(
+            &db,
+            GraphGenConfig::builder()
+                .auto_expand_threshold(None)
+                .incremental(true)
+                .threads(1)
+                .build(),
+        );
+        let mut original = gg
+            .extract(
+                "Nodes(ID, Name) :- Person(ID, Name).\n\
+                 Edges(A, B) :- Knows(A, B).",
+            )
+            .unwrap();
+        let mut restored = decode_snapshot(&encode_snapshot(&original)).unwrap();
+        assert!(restored.is_incremental());
+        assert_eq!(restored.canonical_bytes(), original.canonical_bytes());
+        // Both handles must evolve identically under further deltas.
+        let delta = db
+            .insert_rows(
+                "Knows",
+                vec![
+                    vec![Value::int(2), Value::int(1)],
+                    vec![Value::int(1), Value::int(2)],
+                ],
+            )
+            .unwrap();
+        original.apply_delta(&delta).unwrap();
+        restored.apply_delta(&delta).unwrap();
+        assert_eq!(restored.canonical_bytes(), original.canonical_bytes());
+        // A brand-new node key exercises the node-entry state.
+        let delta = db
+            .insert_rows("Person", vec![vec![Value::int(3), Value::str("carol")]])
+            .unwrap();
+        original.apply_delta(&delta).unwrap();
+        restored.apply_delta(&delta).unwrap();
+        assert_eq!(restored.canonical_bytes(), original.canonical_bytes());
+    }
+
+    /// An incremental handle converted away from C-DUP carries a condensed
+    /// shadow; the snapshot must restore it so the generic patch path
+    /// keeps working after decode.
+    #[test]
+    fn snapshot_roundtrip_restores_the_shadow() {
+        use crate::handle::ConvertOptions;
+        use graphgen_graph::RepKind;
+        let mut db = tiny();
+        let gg = GraphGen::with_config(
+            &db,
+            GraphGenConfig::builder()
+                .auto_expand_threshold(None)
+                .incremental(true)
+                .threads(1)
+                .build(),
+        );
+        let extracted = gg
+            .extract(
+                "Nodes(ID, Name) :- Person(ID, Name).\n\
+                 Edges(A, B) :- Knows(A, B).",
+            )
+            .unwrap();
+        let mut original = extracted
+            .convert(RepKind::Bitmap, &ConvertOptions::default())
+            .unwrap();
+        let mut restored = decode_snapshot(&encode_snapshot(&original)).unwrap();
+        assert_eq!(restored.kind(), RepKind::Bitmap);
+        assert!(restored.is_incremental());
+        let delta = db
+            .insert_rows("Knows", vec![vec![Value::int(2), Value::int(1)]])
+            .unwrap();
+        original.apply_delta(&delta).unwrap();
+        restored.apply_delta(&delta).unwrap();
+        assert_eq!(restored.canonical_bytes(), original.canonical_bytes());
+        // The shadow also keeps onward conversions feasible after decode.
+        let back = restored
+            .convert(RepKind::CDup, &ConvertOptions::default())
+            .unwrap();
+        assert_eq!(back.canonical_bytes(), restored.canonical_bytes());
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        use crate::error::ErrorKind;
+        let g = extract();
+        let bytes = encode_snapshot(&g);
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            decode_snapshot(&bad).unwrap_err().kind(),
+            ErrorKind::Snapshot
+        );
+        // Truncation anywhere must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            decode_snapshot(&long).unwrap_err().kind(),
+            ErrorKind::Snapshot
+        );
     }
 }

@@ -19,10 +19,10 @@ use graphgen_common::{Bitmap, FxHashMap};
 /// A condensed graph plus traversal bitmaps.
 #[derive(Debug, Clone)]
 pub struct BitmapGraph {
-    core: CondensedGraph,
+    pub(crate) core: CondensedGraph,
     /// For each virtual node: source real id → bitmap over the positions of
     /// `virt_out[v]`. Absent bitmap = follow all out-edges.
-    bitmaps: Vec<FxHashMap<u32, Bitmap>>,
+    pub(crate) bitmaps: Vec<FxHashMap<u32, Bitmap>>,
 }
 
 impl BitmapGraph {

@@ -24,7 +24,7 @@ pub struct CondensedGraph {
     pub(crate) virt_out: Vec<Vec<Adj>>,
     /// Liveness of real nodes (lazy deletion).
     pub(crate) alive: Vec<bool>,
-    n_alive: usize,
+    pub(crate) n_alive: usize,
 }
 
 impl CondensedGraph {

@@ -12,10 +12,10 @@ use crate::ids::RealId;
 /// Fully expanded directed graph with lazy vertex deletion.
 #[derive(Debug, Clone, Default)]
 pub struct ExpandedGraph {
-    out: Vec<Vec<u32>>, // sorted
-    inc: Vec<Vec<u32>>, // sorted (in-edges; the paper stores both lists)
-    alive: Vec<bool>,
-    n_alive: usize,
+    pub(crate) out: Vec<Vec<u32>>, // sorted
+    pub(crate) inc: Vec<Vec<u32>>, // sorted (in-edges; the paper stores both lists)
+    pub(crate) alive: Vec<bool>,
+    pub(crate) n_alive: usize,
 }
 
 impl ExpandedGraph {

@@ -48,8 +48,8 @@ impl PropValue {
 /// Column-wise property storage for `n` vertices.
 #[derive(Debug, Clone, Default)]
 pub struct Properties {
-    n: usize,
-    columns: FxHashMap<String, Vec<Option<PropValue>>>,
+    pub(crate) n: usize,
+    pub(crate) columns: FxHashMap<String, Vec<Option<PropValue>>>,
 }
 
 impl Properties {

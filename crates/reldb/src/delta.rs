@@ -18,6 +18,7 @@
 
 use crate::error::{DbError, DbResult};
 use crate::value::Value;
+use graphgen_common::codec::{self, CodecError, Reader};
 
 /// Whether a [`DeltaRow`] entered or left the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -111,6 +112,139 @@ impl Delta {
         self.rows.extend(other.rows);
         Ok(self)
     }
+
+    /// Append the binary encoding of this delta: table name, row count,
+    /// then per row an op tag (`0` insert, `1` delete) and the
+    /// length-prefixed values. This is the write-ahead-log record payload
+    /// format of the serving layer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_str(out, &self.table);
+        codec::put_len(out, self.rows.len());
+        for row in &self.rows {
+            codec::put_u8(out, matches!(row.op, DeltaOp::Delete) as u8);
+            codec::put_len(out, row.values.len());
+            for v in &row.values {
+                v.encode_into(out);
+            }
+        }
+    }
+
+    /// Decode one delta (inverse of [`Delta::encode_into`]).
+    pub fn decode(r: &mut Reader<'_>) -> Result<Delta, CodecError> {
+        let table = r.str()?.to_string();
+        let n = r.len()?;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = r.pos();
+            let op = match r.u8()? {
+                0 => DeltaOp::Insert,
+                1 => DeltaOp::Delete,
+                tag => return Err(CodecError::invalid(at, format!("bad delta op tag {tag}"))),
+            };
+            let arity = r.len()?;
+            let mut values = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                values.push(Value::decode(r)?);
+            }
+            rows.push(DeltaRow { values, op });
+        }
+        Ok(Delta { table, rows })
+    }
+}
+
+/// An ordered batch of mutations spanning **several tables**, travelling as
+/// one unit: one `apply_batch` round-trip on the graph side (see
+/// `graphgen-core`) and one write-ahead-log record on the persistence
+/// side, amortizing per-delta patch and fsync overhead (the ROADMAP
+/// follow-on to single-table [`Delta`]s).
+///
+/// Deltas are kept in application order; pushing a delta for the table the
+/// batch currently ends with folds it into that trailing delta, so a
+/// ping-ponging producer still yields a compact batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaBatch {
+    deltas: Vec<Delta>,
+}
+
+impl DeltaBatch {
+    /// A new, empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a delta, preserving order. Consecutive deltas against the
+    /// same table are merged (order within the table is preserved); empty
+    /// deltas are dropped.
+    pub fn push(&mut self, delta: Delta) {
+        if delta.is_empty() {
+            return;
+        }
+        if let Some(last) = self.deltas.last_mut() {
+            if last.table == delta.table {
+                last.rows.extend(delta.rows);
+                return;
+            }
+        }
+        self.deltas.push(delta);
+    }
+
+    /// The deltas in application order.
+    pub fn deltas(&self) -> &[Delta] {
+        &self.deltas
+    }
+
+    /// Total logged mutations across every delta.
+    pub fn len(&self) -> usize {
+        self.deltas.iter().map(Delta::len).sum()
+    }
+
+    /// True if no delta carries any mutation.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Append the binary encoding: delta count, then each delta.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_len(out, self.deltas.len());
+        for d in &self.deltas {
+            d.encode_into(out);
+        }
+    }
+
+    /// Encode into a fresh buffer (the WAL record payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode one batch (inverse of [`DeltaBatch::encode_into`]).
+    pub fn decode(r: &mut Reader<'_>) -> Result<DeltaBatch, CodecError> {
+        let n = r.len()?;
+        let mut deltas = Vec::with_capacity(n);
+        for _ in 0..n {
+            deltas.push(Delta::decode(r)?);
+        }
+        Ok(DeltaBatch { deltas })
+    }
+}
+
+impl From<Delta> for DeltaBatch {
+    fn from(delta: Delta) -> Self {
+        let mut b = DeltaBatch::new();
+        b.push(delta);
+        b
+    }
+}
+
+impl FromIterator<Delta> for DeltaBatch {
+    fn from_iter<I: IntoIterator<Item = Delta>>(iter: I) -> Self {
+        let mut b = DeltaBatch::new();
+        for d in iter {
+            b.push(d);
+        }
+        b
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +286,62 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.len(), 0);
         assert_eq!(d.table(), "T");
+    }
+
+    #[test]
+    fn delta_codec_roundtrip() {
+        let mut d = Delta::new("T");
+        d.push(
+            vec![Value::int(1), Value::str("a"), Value::Null],
+            DeltaOp::Insert,
+        );
+        d.push(
+            vec![Value::int(-9), Value::str(""), Value::int(0)],
+            DeltaOp::Delete,
+        );
+        let mut buf = Vec::new();
+        d.encode_into(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back = Delta::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn delta_decode_rejects_bad_tag() {
+        let mut buf = Vec::new();
+        codec::put_str(&mut buf, "T");
+        codec::put_len(&mut buf, 1);
+        codec::put_u8(&mut buf, 9); // bad op tag
+        let mut r = Reader::new(&buf);
+        assert!(Delta::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn batch_merges_trailing_same_table() {
+        let mut a = Delta::new("T");
+        a.push(row(1), DeltaOp::Insert);
+        let mut b = Delta::new("T");
+        b.push(row(2), DeltaOp::Delete);
+        let mut c = Delta::new("U");
+        c.push(row(3), DeltaOp::Insert);
+        let batch: DeltaBatch = [a, b, c, Delta::new("T")].into_iter().collect();
+        // T+T merged, empty T dropped.
+        assert_eq!(batch.deltas().len(), 2);
+        assert_eq!(batch.deltas()[0].len(), 2);
+        assert_eq!(batch.len(), 3);
+        let bytes = batch.encode();
+        let mut r = Reader::new(&bytes);
+        let back = DeltaBatch::decode(&mut r).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn batch_from_single_delta() {
+        let mut d = Delta::new("T");
+        d.push(row(5), DeltaOp::Insert);
+        let batch = DeltaBatch::from(d.clone());
+        assert_eq!(batch.deltas(), &[d]);
+        assert!(DeltaBatch::from(Delta::new("T")).is_empty());
     }
 }

@@ -43,7 +43,7 @@ pub mod table;
 pub mod value;
 
 pub use catalog::{ColumnStats, Database};
-pub use delta::{Delta, DeltaOp, DeltaRow};
+pub use delta::{Delta, DeltaBatch, DeltaOp, DeltaRow};
 pub use error::{DbError, DbResult};
 pub use expr::Predicate;
 pub use query::Query;

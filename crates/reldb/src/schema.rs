@@ -2,6 +2,7 @@
 
 use crate::error::{DbError, DbResult};
 use crate::value::{DataType, Value};
+use graphgen_common::codec::{self, CodecError, Reader};
 
 /// A named, typed column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +67,40 @@ impl Schema {
     /// Column at `idx`.
     pub fn column(&self, idx: usize) -> &Column {
         &self.columns[idx]
+    }
+
+    /// Append the binary encoding of this schema (column count, then each
+    /// column's name and type tag). Part of the service database snapshot.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_len(out, self.columns.len());
+        for c in &self.columns {
+            codec::put_str(out, &c.name);
+            codec::put_u8(out, matches!(c.dtype, DataType::Str) as u8);
+        }
+    }
+
+    /// Decode one schema (inverse of [`Schema::encode_into`]).
+    pub fn decode(r: &mut Reader<'_>) -> Result<Schema, CodecError> {
+        let n = r.len()?;
+        let mut columns = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            let at = r.pos();
+            let name = r.str()?.to_string();
+            if !seen.insert(name.clone()) {
+                return Err(CodecError::invalid(
+                    at,
+                    format!("duplicate column `{name}`"),
+                ));
+            }
+            let dtype = match r.u8()? {
+                0 => DataType::Int,
+                1 => DataType::Str,
+                tag => return Err(CodecError::invalid(at, format!("bad dtype tag {tag}"))),
+            };
+            columns.push(Column { name, dtype });
+        }
+        Ok(Schema { columns })
     }
 
     /// Validate a row against this schema: the arity must match and every

@@ -7,6 +7,7 @@
 use crate::error::DbResult;
 use crate::schema::Schema;
 use crate::value::Value;
+use graphgen_common::codec::{self, CodecError, Reader};
 use graphgen_common::ByteSize;
 
 /// An in-memory table: a schema plus one value vector per column.
@@ -107,6 +108,53 @@ impl Table {
             });
         }
         self.rows -= remove.iter().filter(|&&r| r).count();
+    }
+
+    /// Append the binary encoding of this table: schema, row count, then
+    /// the columns in declaration order (column-major, each cell a tagged
+    /// [`Value`]). Part of the service database snapshot.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.schema.encode_into(out);
+        codec::put_len(out, self.rows);
+        for col in &self.columns {
+            for v in col {
+                v.encode_into(out);
+            }
+        }
+    }
+
+    /// Decode one table (inverse of [`Table::encode_into`]). Cell types are
+    /// re-validated against the decoded schema.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Table, CodecError> {
+        let schema = Schema::decode(r)?;
+        let rows = r.len()?;
+        let mut columns = Vec::with_capacity(schema.arity());
+        for idx in 0..schema.arity() {
+            let mut col = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let at = r.pos();
+                let v = Value::decode(r)?;
+                if let Some(dt) = v.data_type() {
+                    if dt != schema.column(idx).dtype {
+                        return Err(CodecError::invalid(
+                            at,
+                            format!(
+                                "column `{}` expects {}",
+                                schema.column(idx).name,
+                                schema.column(idx).dtype
+                            ),
+                        ));
+                    }
+                }
+                col.push(v);
+            }
+            columns.push(col);
+        }
+        Ok(Table {
+            schema,
+            columns,
+            rows,
+        })
     }
 
     /// Exact number of distinct values in column `idx` (NULLs count as one

@@ -5,6 +5,7 @@
 //! small: `Int` (i64), `Str` (`Arc<str>`, cheap to clone across join outputs),
 //! and `Null`.
 
+use graphgen_common::codec::{self, CodecError, Reader};
 use std::fmt;
 use std::sync::Arc;
 
@@ -77,6 +78,35 @@ impl Value {
     /// True for [`Value::Null`].
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
+    }
+
+    /// Append the binary encoding of this value (tag byte, then the
+    /// payload; strings are length-prefixed UTF-8). Part of the snapshot /
+    /// WAL format — see `graphgen_common::codec` for the conventions.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => codec::put_u8(out, 0),
+            Value::Int(v) => {
+                codec::put_u8(out, 1);
+                codec::put_i64(out, *v);
+            }
+            Value::Str(s) => {
+                codec::put_u8(out, 2);
+                codec::put_str(out, s);
+            }
+        }
+    }
+
+    /// Decode one value from the reader (inverse of
+    /// [`Value::encode_into`]).
+    pub fn decode(r: &mut Reader<'_>) -> Result<Value, CodecError> {
+        let at = r.pos();
+        Ok(match r.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(r.i64()?),
+            2 => Value::str(r.str()?),
+            tag => return Err(CodecError::invalid(at, format!("bad value tag {tag}"))),
+        })
     }
 }
 

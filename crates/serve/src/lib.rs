@@ -1,0 +1,68 @@
+//! `graphgen-serve` — the serving layer: snapshot-isolated concurrent
+//! graph serving with binary persistence and crash recovery.
+//!
+//! The paper's GraphGen lives *inside* a live application: graphs are
+//! extracted once and then queried continuously while the base tables keep
+//! changing. This crate turns the single-owner, in-memory
+//! `graphgen_core::GraphHandle` into something a server can run:
+//!
+//! * [`GraphService`] — a **versioned multi-graph registry**. Many reader
+//!   threads take [`GraphService::snapshot`] and work on an immutable,
+//!   version-pinned [`GraphSnapshot`] while a single writer applies
+//!   [`DeltaBatch`]es and atomically publishes the next version — a
+//!   reader's view is always byte-identical to *some* committed version,
+//!   never a torn mid-patch state (snapshot isolation; enforced by the
+//!   crate's soak tests at 1/2/8 reader threads);
+//! * **persistence** — per-graph binary snapshots
+//!   (`GraphHandle::to_snapshot_bytes`, magic-headed, length-prefixed
+//!   little-endian) plus per-graph write-ahead delta logs with checksummed
+//!   records, torn-tail truncation, and size-triggered log compaction.
+//!   [`GraphService::open`] recovers the exact pre-crash committed state
+//!   from any abrupt-drop layout, including mid-compaction ones;
+//! * a **TCP front end** — the `graphgen-serve` binary: std
+//!   `TcpListener`, thread per connection, newline-delimited text protocol
+//!   (`EXTRACT` / `NEIGHBORS` / `DEGREE` / `APPLY` / `STATS` /
+//!   `COMPACT` / `PING` / `SHUTDOWN`, see [`protocol`]).
+//!
+//! No dependencies beyond the workspace and `std`.
+//!
+//! ```no_run
+//! use graphgen_serve::{GraphService, ServiceConfig, TableMutation};
+//! use graphgen_reldb::{Database, Value};
+//!
+//! # fn demo(db: Database) -> graphgen_serve::ServeResult<()> {
+//! let service = GraphService::create("./graphs", db, ServiceConfig::default())?;
+//! service.extract(
+//!     "coauthors",
+//!     "Nodes(ID, Name) :- Author(ID, Name). \
+//!      Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P).",
+//! )?;
+//! // Readers: pin a version, no locks held afterwards.
+//! let snap = service.snapshot("coauthors")?;
+//! let _ = snap.handle().neighbors_by_key(&Value::int(4));
+//! // The writer: mutate + publish version 2; `snap` is unaffected.
+//! service.apply(&[TableMutation::new(
+//!     "AuthorPub",
+//!     vec![vec![Value::int(2), Value::int(3)]],
+//!     vec![],
+//! )])?;
+//! # Ok(()) }
+//! ```
+//!
+//! [`DeltaBatch`]: graphgen_reldb::DeltaBatch
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod testutil;
+pub mod wal;
+
+pub use error::{ServeError, ServeResult};
+pub use server::{spawn, ServerHandle};
+pub use service::{
+    ApplyOutcome, GraphService, GraphSnapshot, GraphStats, ServiceConfig, TableMutation,
+};
+pub use wal::Wal;

@@ -1,0 +1,209 @@
+//! `graphgen-serve` — serve extracted graphs over TCP.
+//!
+//! ```text
+//! graphgen-serve [--port N] [--dir PATH] [--no-fsync] [--demo] [--smoke]
+//! ```
+//!
+//! * `--port N` — listen on 127.0.0.1:N (default 7411; 0 = ephemeral)
+//! * `--dir PATH` — persistent service directory: recovered with
+//!   `GraphService::open` when it already holds a service, created fresh
+//!   otherwise
+//! * `--no-fsync` — skip fsync on WAL appends / snapshot writes
+//! * `--demo` — seed the paper's Fig. 1 DBLP toy tables (Author,
+//!   AuthorPub) so `EXTRACT` works out of the box; implied when the
+//!   service is fresh and purely in-memory
+//! * `--smoke` — self-test: start an ephemeral server, drive one
+//!   EXTRACT/NEIGHBORS/APPLY/STATS round-trip through the real TCP
+//!   protocol, shut down cleanly, and exit non-zero on any mismatch (used
+//!   by CI)
+//!
+//! The protocol is newline-delimited text — see `graphgen_serve::protocol`
+//! — so `nc 127.0.0.1 7411` is a usable client.
+
+use graphgen_reldb::Database;
+use graphgen_serve::{spawn, GraphService, ServiceConfig};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// The demo dataset: the paper's Fig. 1 DBLP toy instance (shared with the
+/// crate's tests via `testutil`).
+use graphgen_serve::testutil::fig1_db as demo_db;
+
+struct Args {
+    port: u16,
+    dir: Option<String>,
+    fsync: bool,
+    demo: bool,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        port: 7411,
+        dir: None,
+        fsync: true,
+        demo: false,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--port" => {
+                let v = it.next().ok_or("--port needs a value")?;
+                args.port = v.parse().map_err(|_| format!("bad port `{v}`"))?;
+            }
+            "--dir" => args.dir = Some(it.next().ok_or("--dir needs a value")?),
+            "--no-fsync" => args.fsync = false,
+            "--demo" => args.demo = true,
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: graphgen-serve [--port N] [--dir PATH] [--no-fsync] [--demo] [--smoke]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_service(args: &Args) -> Result<GraphService, String> {
+    let cfg = ServiceConfig {
+        fsync: args.fsync,
+        ..ServiceConfig::default()
+    };
+    match &args.dir {
+        Some(dir) => {
+            if std::path::Path::new(dir).join("db.snap").exists() {
+                if args.demo {
+                    eprintln!("note: --demo ignored, recovering existing service from {dir}");
+                }
+                GraphService::open_with(dir, cfg).map_err(|e| format!("open {dir}: {e}"))
+            } else {
+                GraphService::create(dir, demo_or_empty(args.demo), cfg)
+                    .map_err(|e| format!("create {dir}: {e}"))
+            }
+        }
+        None => Ok(GraphService::in_memory(demo_or_empty(true))),
+    }
+}
+
+fn demo_or_empty(demo: bool) -> Database {
+    if demo {
+        demo_db()
+    } else {
+        Database::new()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.smoke {
+        return match smoke() {
+            Ok(()) => {
+                println!("SMOKE PASS");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("SMOKE FAIL: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let service = match build_service(&args) {
+        Ok(s) => Arc::new(s),
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(("127.0.0.1", args.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bind 127.0.0.1:{}: {e}", args.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    match spawn(service, listener) {
+        Ok(handle) => {
+            println!("graphgen-serve listening on {}", handle.addr());
+            handle.wait();
+            println!("graphgen-serve stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("spawn: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// --smoke: the CI round-trip
+// ---------------------------------------------------------------------------
+
+fn smoke() -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let tmp = graphgen_serve::testutil::TempDir::new("smoke");
+    let cfg = ServiceConfig::default();
+    let service =
+        Arc::new(GraphService::create(tmp.path(), demo_db(), cfg).map_err(|e| e.to_string())?);
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let handle = spawn(service, listener).map_err(|e| e.to_string())?;
+    let addr = handle.addr();
+
+    let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut send = |line: &str| -> Result<String, String> {
+        writeln!(writer, "{line}").map_err(|e| e.to_string())?;
+        let mut response = String::new();
+        reader.read_line(&mut response).map_err(|e| e.to_string())?;
+        let response = response.trim_end().to_string();
+        println!("> {line}\n< {response}");
+        Ok(response)
+    };
+    let expect = |got: String, prefix: &str| -> Result<(), String> {
+        if got.starts_with(prefix) {
+            Ok(())
+        } else {
+            Err(format!("expected `{prefix}…`, got `{got}`"))
+        }
+    };
+
+    expect(send("PING")?, "OK pong")?;
+    expect(
+        send(
+            "EXTRACT coauthors Nodes(ID, Name) :- Author(ID, Name). \
+             Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).",
+        )?,
+        "OK version=1 vertices=5",
+    )?;
+    expect(send("NEIGHBORS coauthors 4")?, "OK version=1 n=4")?;
+    expect(send("APPLY AuthorPub +2,3")?, "OK rows=1 coauthors@2")?;
+    // The new co-authorship (a2 joined publication 3) is immediately served.
+    expect(send("NEIGHBORS coauthors 2")?, "OK version=2 n=4")?;
+    expect(send("DEGREE coauthors 2")?, "OK version=2 degree=4")?;
+    expect(send("STATS coauthors")?, "OK coauthors version=2")?;
+    expect(send("SHUTDOWN")?, "OK bye")?;
+    handle.wait();
+
+    // The abrupt-drop recovery contract, through the same directory.
+    let recovered = GraphService::open(tmp.path()).map_err(|e| e.to_string())?;
+    let snap = recovered.snapshot("coauthors").map_err(|e| e.to_string())?;
+    if snap.version() != 2 {
+        return Err(format!("recovered version {} != 2", snap.version()));
+    }
+    println!("recovery: coauthors@{} served after reopen", snap.version());
+    Ok(())
+}

@@ -1,0 +1,460 @@
+//! The newline-delimited text protocol of `graphgen-serve`.
+//!
+//! One request per line, one response line per request:
+//!
+//! ```text
+//! EXTRACT <name> <dsl…>      extract + register a graph (DSL on the same line)
+//! NEIGHBORS <name> <key>     out-neighbor keys of a vertex
+//! DEGREE <name> <key>        out-degree of a vertex
+//! APPLY <table> <±row …>     mutate a table: +1,2 inserts row (1,2); -1,2 deletes it
+//! STATS [<name>]             per-graph version/vertices/edges (all graphs if no name)
+//! COMPACT <name>             fold the graph's WAL into a fresh snapshot
+//! PING                       liveness probe
+//! SHUTDOWN                   stop the server (responds, then closes)
+//! ```
+//!
+//! Responses start with `OK` (payload follows on the same line) or `ERR
+//! <message>`. Row cells are comma-separated values: `NULL`, an integer,
+//! a double-quoted string (`"ann"`, `\"`/`\\` escapes; commas inside
+//! quotes are cell content), or a bare string without
+//! commas/quotes/spaces. Keys use the same value syntax. `APPLY` rows are
+//! whitespace-separated, so string cells there cannot contain spaces — a
+//! deliberate limitation of the line protocol (use the
+//! [`crate::GraphService`] API directly for arbitrary strings).
+
+use crate::error::{ServeError, ServeResult};
+use crate::service::{GraphService, TableMutation};
+use graphgen_reldb::Value;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `EXTRACT <name> <dsl…>`
+    Extract {
+        /// Graph name to register.
+        name: String,
+        /// The DSL program (rest of the line).
+        dsl: String,
+    },
+    /// `NEIGHBORS <name> <key>`
+    Neighbors {
+        /// Graph name.
+        name: String,
+        /// Vertex key.
+        key: Value,
+    },
+    /// `DEGREE <name> <key>`
+    Degree {
+        /// Graph name.
+        name: String,
+        /// Vertex key.
+        key: Value,
+    },
+    /// `APPLY <table> <±row …>`
+    Apply {
+        /// Target table.
+        table: String,
+        /// Rows to insert.
+        inserts: Vec<Vec<Value>>,
+        /// Rows to delete.
+        deletes: Vec<Vec<Value>>,
+    },
+    /// `STATS [<name>]`
+    Stats {
+        /// Restrict to one graph.
+        name: Option<String>,
+    },
+    /// `COMPACT <name>`
+    Compact {
+        /// Graph name.
+        name: String,
+    },
+    /// `PING`
+    Ping,
+    /// `SHUTDOWN`
+    Shutdown,
+}
+
+fn protocol_err(msg: impl Into<String>) -> ServeError {
+    ServeError::Protocol(msg.into())
+}
+
+/// Render one value in protocol syntax (inverse of [`parse_value`]).
+pub fn format_value(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+    }
+}
+
+/// Parse one value: `NULL`, an integer, a double-quoted string, or a bare
+/// token (taken as a string).
+pub fn parse_value(tok: &str) -> ServeResult<Value> {
+    if tok == "NULL" {
+        return Ok(Value::Null);
+    }
+    if let Ok(i) = tok.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Some(rest) = tok.strip_prefix('"') {
+        let Some(body) = rest.strip_suffix('"') else {
+            return Err(protocol_err(format!("unterminated string `{tok}`")));
+        };
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    other => {
+                        return Err(protocol_err(format!(
+                            "bad escape `\\{}` in `{tok}`",
+                            other.map(String::from).unwrap_or_default()
+                        )))
+                    }
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(Value::str(out));
+    }
+    Ok(Value::str(tok))
+}
+
+/// Split a row token into cells on commas, treating commas inside a
+/// double-quoted cell as content (the splitter honours `\"`/`\\` escapes
+/// so a quoted cell ends at its real closing quote) — a value rendered by
+/// [`format_value`] always parses back.
+fn parse_row(tok: &str) -> ServeResult<Vec<Value>> {
+    let mut cells: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = tok.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(c);
+            }
+            '\\' if in_quotes => {
+                current.push(c);
+                if let Some(escaped) = chars.next() {
+                    current.push(escaped);
+                }
+            }
+            ',' if !in_quotes => cells.push(std::mem::take(&mut current)),
+            c => current.push(c),
+        }
+    }
+    cells.push(current);
+    cells.iter().map(|cell| parse_value(cell)).collect()
+}
+
+/// Parse one request line. Empty lines and `#` comments yield `None`.
+pub fn parse_command(line: &str) -> ServeResult<Option<Command>> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    let one_arg = |what: &str| -> ServeResult<&str> {
+        if rest.is_empty() || rest.contains(char::is_whitespace) {
+            Err(protocol_err(format!("{verb} takes exactly one {what}")))
+        } else {
+            Ok(rest)
+        }
+    };
+    let name_and_key = || -> ServeResult<(String, Value)> {
+        let (name, key) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| protocol_err(format!("{verb} <name> <key>")))?;
+        Ok((name.to_string(), parse_value(key.trim())?))
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "EXTRACT" => {
+            let (name, dsl) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| protocol_err("EXTRACT <name> <dsl>"))?;
+            Ok(Some(Command::Extract {
+                name: name.to_string(),
+                dsl: dsl.trim().to_string(),
+            }))
+        }
+        "NEIGHBORS" => {
+            let (name, key) = name_and_key()?;
+            Ok(Some(Command::Neighbors { name, key }))
+        }
+        "DEGREE" => {
+            let (name, key) = name_and_key()?;
+            Ok(Some(Command::Degree { name, key }))
+        }
+        "APPLY" => {
+            let (table, ops) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| protocol_err("APPLY <table> <±row …>"))?;
+            let mut inserts = Vec::new();
+            let mut deletes = Vec::new();
+            for op in ops.split_whitespace() {
+                if let Some(row) = op.strip_prefix('+') {
+                    inserts.push(parse_row(row)?);
+                } else if let Some(row) = op.strip_prefix('-') {
+                    deletes.push(parse_row(row)?);
+                } else {
+                    return Err(protocol_err(format!("row `{op}` must start with + or -")));
+                }
+            }
+            if inserts.is_empty() && deletes.is_empty() {
+                return Err(protocol_err("APPLY needs at least one ±row"));
+            }
+            Ok(Some(Command::Apply {
+                table: table.to_string(),
+                inserts,
+                deletes,
+            }))
+        }
+        "STATS" => Ok(Some(Command::Stats {
+            name: if rest.is_empty() {
+                None
+            } else {
+                Some(one_arg("graph name")?.to_string())
+            },
+        })),
+        "COMPACT" => Ok(Some(Command::Compact {
+            name: one_arg("graph name")?.to_string(),
+        })),
+        "PING" => Ok(Some(Command::Ping)),
+        "SHUTDOWN" => Ok(Some(Command::Shutdown)),
+        other => Err(protocol_err(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Execute one command against a service and render the response line
+/// (without the trailing newline). `Shutdown` responds `OK bye`; the
+/// server loop is responsible for actually stopping.
+pub fn execute(service: &GraphService, cmd: &Command) -> String {
+    match run(service, cmd) {
+        Ok(payload) if payload.is_empty() => "OK".to_string(),
+        Ok(payload) => format!("OK {payload}"),
+        Err(e) => format!("ERR {e}").replace('\n', " "),
+    }
+}
+
+fn run(service: &GraphService, cmd: &Command) -> ServeResult<String> {
+    use graphgen_graph::GraphRep;
+    match cmd {
+        Command::Extract { name, dsl } => {
+            let snap = service.extract(name, dsl)?;
+            Ok(format!(
+                "version={} vertices={} edges={}",
+                snap.version(),
+                snap.handle().num_vertices(),
+                snap.handle().expanded_edge_count()
+            ))
+        }
+        Command::Neighbors { name, key } => {
+            let snap = service.snapshot(name)?;
+            let mut neighbors = snap
+                .handle()
+                .neighbors_by_key(key)
+                .ok_or_else(|| protocol_err(format!("unknown key {}", format_value(key))))?;
+            neighbors.sort();
+            let rendered: Vec<String> = neighbors.into_iter().map(format_value).collect();
+            Ok(format!(
+                "version={} n={} {}",
+                snap.version(),
+                rendered.len(),
+                rendered.join(" ")
+            )
+            .trim_end()
+            .to_string())
+        }
+        Command::Degree { name, key } => {
+            let snap = service.snapshot(name)?;
+            let degree = snap
+                .handle()
+                .degree_by_key(key)
+                .ok_or_else(|| protocol_err(format!("unknown key {}", format_value(key))))?;
+            Ok(format!("version={} degree={degree}", snap.version()))
+        }
+        Command::Apply {
+            table,
+            inserts,
+            deletes,
+        } => {
+            let outcome = service.apply(&[TableMutation::new(
+                table.clone(),
+                inserts.clone(),
+                deletes.clone(),
+            )])?;
+            let graphs: Vec<String> = outcome
+                .graphs
+                .iter()
+                .map(|(name, version, _)| format!("{name}@{version}"))
+                .collect();
+            Ok(format!("rows={} {}", outcome.rows, graphs.join(" "))
+                .trim_end()
+                .to_string())
+        }
+        Command::Stats { name } => {
+            let (stats, db_rows) = service.stats();
+            let render = |s: &crate::service::GraphStats| {
+                format!(
+                    "{} version={} vertices={} edges={} rep={} wal_bytes={}",
+                    s.name, s.version, s.vertices, s.edges, s.rep, s.wal_bytes
+                )
+            };
+            match name {
+                Some(name) => {
+                    let s = stats
+                        .iter()
+                        .find(|s| &s.name == name)
+                        .ok_or_else(|| ServeError::UnknownGraph(name.clone()))?;
+                    Ok(render(s))
+                }
+                None => {
+                    let mut parts = vec![format!("graphs={} db_rows={db_rows}", stats.len())];
+                    parts.extend(stats.iter().map(|s| format!("| {}", render(s))));
+                    Ok(parts.join(" "))
+                }
+            }
+        }
+        Command::Compact { name } => {
+            service.compact(name)?;
+            Ok(String::new())
+        }
+        Command::Ping => Ok("pong".to_string()),
+        Command::Shutdown => Ok("bye".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::int(-42),
+            Value::str("plain"),
+            Value::str("with \"quotes\" and \\slash"),
+            Value::str("спасибо"),
+        ] {
+            assert_eq!(parse_value(&format_value(&v)).unwrap(), v);
+        }
+        // Bare tokens parse as strings; integers as ints.
+        assert_eq!(parse_value("7").unwrap(), Value::int(7));
+        assert_eq!(parse_value("abc").unwrap(), Value::str("abc"));
+        assert!(parse_value("\"unterminated").is_err());
+        assert!(parse_value("\"bad\\escape\"").is_err());
+    }
+
+    #[test]
+    fn command_parsing() {
+        assert_eq!(parse_command("").unwrap(), None);
+        assert_eq!(parse_command("# comment").unwrap(), None);
+        assert_eq!(parse_command("PING").unwrap(), Some(Command::Ping));
+        assert_eq!(parse_command("shutdown").unwrap(), Some(Command::Shutdown));
+        let cmd = parse_command("EXTRACT g Nodes(ID) :- T(ID).")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Extract {
+                name: "g".into(),
+                dsl: "Nodes(ID) :- T(ID).".into()
+            }
+        );
+        // Rows are whitespace-separated, so string cells must not contain
+        // spaces; commas inside quoted cells are content, not separators.
+        let cmd = parse_command("APPLY T +1,2 -3,\"x,y\"").unwrap().unwrap();
+        assert_eq!(
+            cmd,
+            Command::Apply {
+                table: "T".into(),
+                inserts: vec![vec![Value::int(1), Value::int(2)]],
+                deletes: vec![vec![Value::int(3), Value::str("x,y")]],
+            }
+        );
+        // A value the protocol itself renders always parses back as a row
+        // cell (escaped quotes, backslashes, commas).
+        let tricky = Value::str("a,\"b\\c\",d");
+        let cmd = parse_command(&format!("APPLY T +7,{}", format_value(&tricky)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Apply {
+                table: "T".into(),
+                inserts: vec![vec![Value::int(7), tricky]],
+                deletes: vec![],
+            }
+        );
+        assert_eq!(
+            parse_command("NEIGHBORS g 4").unwrap().unwrap(),
+            Command::Neighbors {
+                name: "g".into(),
+                key: Value::int(4)
+            }
+        );
+        assert_eq!(
+            parse_command("STATS g").unwrap().unwrap(),
+            Command::Stats {
+                name: Some("g".into())
+            }
+        );
+        for bad in [
+            "EXTRACT g",
+            "APPLY T",
+            "APPLY T 1,2",
+            "NOPE",
+            "DEGREE g",
+            "STATS a b",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn execute_against_service() {
+        use crate::service::tests::{fig1_db, Q1};
+        let service = GraphService::in_memory(fig1_db());
+        let run = |line: &str| execute(&service, &parse_command(line).unwrap().unwrap());
+        assert_eq!(run("PING"), "OK pong");
+        let resp = run(&format!("EXTRACT g {Q1}"));
+        assert!(resp.starts_with("OK version=1 vertices=5"), "{resp}");
+        let resp = run("NEIGHBORS g 4");
+        assert!(resp.starts_with("OK version=1 n=4"), "{resp}");
+        assert_eq!(run("DEGREE g 4"), "OK version=1 degree=4");
+        let resp = run("APPLY AuthorPub +2,3");
+        assert!(resp.starts_with("OK rows=1 g@2"), "{resp}");
+        let resp = run("NEIGHBORS g 2");
+        assert!(resp.starts_with("OK version=2 n=4"), "{resp}");
+        let resp = run("STATS g");
+        assert!(resp.contains("version=2"), "{resp}");
+        let resp = run("STATS");
+        assert!(resp.contains("graphs=1"), "{resp}");
+        // Errors come back as ERR lines, not broken connections.
+        assert!(run("NEIGHBORS nope 1").starts_with("ERR unknown graph"));
+        assert!(run("NEIGHBORS g 999").starts_with("ERR"));
+        assert!(run("STATS nope").starts_with("ERR"));
+    }
+}

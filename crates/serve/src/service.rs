@@ -1,0 +1,1029 @@
+//! The versioned multi-graph registry: snapshot-isolated serving with
+//! binary persistence and crash recovery.
+//!
+//! # Concurrency model
+//!
+//! A [`GraphService`] owns a relational [`Database`] plus any number of
+//! named, incrementally maintained graphs. Each graph is published as an
+//! immutable [`GraphSnapshot`] behind an `Arc`:
+//!
+//! * **readers** call [`GraphService::snapshot`], which clones the current
+//!   `Arc` under a briefly held read lock. From then on the reader works
+//!   on a *pinned version* — no lock held, no interference from writers,
+//!   and the view is byte-identical ([`GraphHandle::canonical_bytes`]) to
+//!   a committed version for as long as the `Arc` lives;
+//! * **the writer** (one at a time, serialized by the service's writer
+//!   lock) mutates the database, pushes the resulting [`DeltaBatch`]
+//!   through a *private clone* of each graph's handle, and atomically
+//!   publishes the patched clone as the next version. A reader therefore
+//!   never observes a torn mid-patch state: every observable snapshot
+//!   **is** some committed version.
+//!
+//! # Persistence
+//!
+//! With a directory attached ([`GraphService::create`] /
+//! [`GraphService::open`]), every committed state is recoverable:
+//!
+//! ```text
+//! dir/
+//!   db.snap            magic GGSVDB1\0 | u64 version | Database
+//!   db.wal             records: u64 version | DeltaBatch     (see wal.rs)
+//!   <name>.graph.snap  magic GGSVGR1\0 | u64 version | dsl | GraphHandle snapshot
+//!   <name>.graph.wal   records: u64 version | DeltaBatch
+//! ```
+//!
+//! Snapshot files carry a whole-file fxhash64 trailer ([`crate::wal::seal`])
+//! and WAL records carry per-record checksums, so recovery surfaces
+//! corruption as [`ServeError::Corrupt`] instead of decoding flipped bytes.
+//!
+//! A batch is appended to the write-ahead logs **before** its version is
+//! published, so an acknowledged version is always recoverable. When a
+//! graph's WAL grows past [`ServiceConfig::compact_threshold`], it is
+//! folded into a fresh snapshot (atomic tmp+rename) and the log is
+//! truncated; [`GraphService::open`] replays only WAL records *newer* than
+//! the snapshot version, so every mid-compaction crash layout (old
+//! snapshot + full log, new snapshot + not-yet-truncated log, leftover
+//! `.tmp`) recovers to the exact pre-crash state.
+
+use crate::error::{ServeError, ServeResult};
+use crate::wal::{seal, unseal, write_file_atomic, Wal};
+use graphgen_common::codec::{self, Reader};
+use graphgen_common::FxHashMap;
+use graphgen_core::{GraphGen, GraphGenConfig, GraphHandle, GraphPatch};
+use graphgen_reldb::{Database, DeltaBatch, Value};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Magic prefix of `db.snap` (trailing digit = format version).
+pub const DB_SNAP_MAGIC: [u8; 8] = *b"GGSVDB1\0";
+/// Magic prefix of `<name>.graph.snap`.
+pub const GRAPH_SNAP_MAGIC: [u8; 8] = *b"GGSVGR1\0";
+
+/// Service knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Fold a WAL into a fresh snapshot once it exceeds this many bytes.
+    pub compact_threshold: u64,
+    /// Fsync WAL appends and snapshot writes (durability on return). Turn
+    /// off for throughput experiments where the OS page cache is enough.
+    pub fsync: bool,
+    /// Worker threads for extraction and delta probes (`0` = the
+    /// `GraphGenConfig` default: `GRAPHGEN_THREADS` or the available
+    /// parallelism).
+    pub threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            compact_threshold: 1 << 20,
+            fsync: true,
+            threads: 0,
+        }
+    }
+}
+
+/// One published, immutable version of a named graph. Readers hold it via
+/// `Arc`; everything on it is lock-free from then on.
+#[derive(Debug)]
+pub struct GraphSnapshot {
+    name: String,
+    version: u64,
+    handle: GraphHandle,
+}
+
+impl GraphSnapshot {
+    /// The graph's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The committed version this snapshot pins (1 = initial extraction;
+    /// +1 per applied batch).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The graph itself (read-only: the snapshot is shared).
+    pub fn handle(&self) -> &GraphHandle {
+        &self.handle
+    }
+
+    /// Canonical key-space serialization of this version (the equality the
+    /// isolation tests assert).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        self.handle.canonical_bytes()
+    }
+}
+
+/// What one [`GraphService::apply`] call did.
+#[derive(Debug, Clone, Default)]
+pub struct ApplyOutcome {
+    /// Mutations actually applied to the database (absent delete requests
+    /// are dropped by the mutation API and count for nothing).
+    pub rows: usize,
+    /// Per affected graph: the newly published version and the merged
+    /// patch counters.
+    pub graphs: Vec<(String, u64, GraphPatch)>,
+}
+
+/// Per-graph health numbers (the `STATS` protocol surface).
+#[derive(Debug, Clone)]
+pub struct GraphStats {
+    /// Registry name.
+    pub name: String,
+    /// Currently published version.
+    pub version: u64,
+    /// Live vertices.
+    pub vertices: usize,
+    /// Logical (expanded, deduplicated) directed edges.
+    pub edges: u64,
+    /// Representation label of the served handle.
+    pub rep: String,
+    /// Bytes in the graph's write-ahead log (0 when not persisted).
+    pub wal_bytes: u64,
+}
+
+/// One table's worth of mutations for [`GraphService::apply`].
+#[derive(Debug, Clone, Default)]
+pub struct TableMutation {
+    /// Target table.
+    pub table: String,
+    /// Rows to append.
+    pub inserts: Vec<Vec<Value>>,
+    /// Rows to delete (bag semantics; absent rows are no-ops).
+    pub deletes: Vec<Vec<Value>>,
+}
+
+impl TableMutation {
+    /// Mutation against `table` with the given inserts and deletes.
+    pub fn new(
+        table: impl Into<String>,
+        inserts: Vec<Vec<Value>>,
+        deletes: Vec<Vec<Value>>,
+    ) -> Self {
+        Self {
+            table: table.into(),
+            inserts,
+            deletes,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+/// Writer-side state of one registered graph.
+#[derive(Debug)]
+struct GraphState {
+    dsl: String,
+    /// The writer's view of the current version (same handle the published
+    /// snapshot holds; cloned-on-write when a batch arrives).
+    current: Arc<GraphSnapshot>,
+    wal: Option<Wal>,
+}
+
+/// Everything the single writer touches, behind one lock.
+#[derive(Debug)]
+struct Inner {
+    db: Database,
+    db_version: u64,
+    db_wal: Option<Wal>,
+    graphs: FxHashMap<String, GraphState>,
+    dir: Option<PathBuf>,
+    cfg: ServiceConfig,
+    /// Set when a write failed *after* the database was already mutated:
+    /// the in-memory state may be ahead of the logs, so further writer
+    /// operations would compound the divergence silently. Reads keep
+    /// working; recovery is reopening from the directory.
+    wedged: bool,
+}
+
+/// The serving registry. See the module docs for the concurrency and
+/// persistence model.
+#[derive(Debug)]
+pub struct GraphService {
+    inner: Mutex<Inner>,
+    /// Reader-side map: name → currently published snapshot. Writers swap
+    /// entries under a short write lock after committing.
+    published: RwLock<FxHashMap<String, Arc<GraphSnapshot>>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+impl GraphService {
+    // -- construction -----------------------------------------------------
+
+    /// A purely in-memory service (no persistence) over `db`.
+    pub fn in_memory(db: Database) -> Self {
+        Self::assemble(db, None, ServiceConfig::default())
+    }
+
+    /// Create a **fresh** persistent service in `dir` (created if needed;
+    /// must not already hold a service — use [`GraphService::open`] for
+    /// that). The database snapshot is written immediately.
+    pub fn create(dir: impl AsRef<Path>, db: Database, cfg: ServiceConfig) -> ServeResult<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        if dir.join("db.snap").exists() {
+            return Err(ServeError::corrupt(
+                dir.join("db.snap").display().to_string(),
+                "already exists; use GraphService::open to recover it",
+            ));
+        }
+        let service = Self::assemble(db, Some(dir.to_path_buf()), cfg);
+        {
+            let mut inner = service.inner.lock().unwrap();
+            write_db_snapshot(&mut inner)?;
+            let (wal, _) = Wal::open(dir.join("db.wal"))?;
+            inner.db_wal = Some(wal);
+        }
+        Ok(service)
+    }
+
+    /// Recover a persistent service from `dir`: load every snapshot, replay
+    /// every WAL record newer than its snapshot, and serve the exact
+    /// pre-crash committed state.
+    pub fn open(dir: impl AsRef<Path>) -> ServeResult<Self> {
+        Self::open_with(dir, ServiceConfig::default())
+    }
+
+    /// [`GraphService::open`] with explicit knobs.
+    pub fn open_with(dir: impl AsRef<Path>, cfg: ServiceConfig) -> ServeResult<Self> {
+        let dir = dir.as_ref();
+        // -- database ------------------------------------------------------
+        let db_snap_path = dir.join("db.snap");
+        let bytes = std::fs::read(&db_snap_path)?;
+        let content = unseal(&bytes).ok_or_else(|| {
+            ServeError::corrupt(
+                db_snap_path.display().to_string(),
+                "integrity checksum mismatch",
+            )
+        })?;
+        let mut r = Reader::new(content);
+        let parse = |r: &mut Reader<'_>| -> Result<(u64, Database), graphgen_common::CodecError> {
+            r.expect_magic(&DB_SNAP_MAGIC)?;
+            let version = r.u64()?;
+            let db = Database::decode(r)?;
+            r.expect_end()?;
+            Ok((version, db))
+        };
+        let (snap_version, mut db) = parse(&mut r)
+            .map_err(|e| ServeError::corrupt(db_snap_path.display().to_string(), e))?;
+        let (db_wal, db_records) = Wal::open(dir.join("db.wal"))?;
+        let mut db_version = snap_version;
+        for record in db_records {
+            let (version, batch) = decode_wal_record(&record)
+                .map_err(|e| ServeError::corrupt(db_wal.path().display().to_string(), e))?;
+            if version <= db_version {
+                continue; // already folded into the snapshot (mid-compaction crash)
+            }
+            replay_batch_on_db(&mut db, &batch)?;
+            db_version = version;
+        }
+        let service = Self::assemble(db, Some(dir.to_path_buf()), cfg);
+        {
+            let mut inner = service.inner.lock().unwrap();
+            inner.db_version = db_version;
+            inner.db_wal = Some(db_wal);
+            // -- graphs ----------------------------------------------------
+            let mut stems: Vec<(String, PathBuf)> = Vec::new();
+            for entry in std::fs::read_dir(dir)? {
+                let path = entry?.path();
+                let Some(file) = path.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                if let Some(stem) = file.strip_suffix(".graph.snap") {
+                    stems.push((stem.to_string(), path.clone()));
+                }
+            }
+            stems.sort();
+            for (name, snap_path) in stems {
+                let state = recover_graph(&name, &snap_path, dir)?;
+                inner.graphs.insert(name, state);
+            }
+            let mut published = service.published.write().unwrap();
+            for (name, state) in &inner.graphs {
+                published.insert(name.clone(), Arc::clone(&state.current));
+            }
+        }
+        Ok(service)
+    }
+
+    fn assemble(db: Database, dir: Option<PathBuf>, cfg: ServiceConfig) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                db,
+                db_version: 0,
+                db_wal: None,
+                graphs: FxHashMap::default(),
+                dir,
+                cfg,
+                wedged: false,
+            }),
+            published: RwLock::new(FxHashMap::default()),
+        }
+    }
+
+    fn extraction_config(cfg: &ServiceConfig) -> GraphGenConfig {
+        let mut b = GraphGenConfig::builder().incremental(true);
+        if cfg.threads > 0 {
+            b = b.threads(cfg.threads);
+        }
+        b.build()
+    }
+
+    // -- registry ---------------------------------------------------------
+
+    /// Extract a new named graph from the current database state with the
+    /// given DSL program, register it at version 1, persist its snapshot
+    /// (when the service is persistent), and publish it.
+    pub fn extract(&self, name: &str, dsl: &str) -> ServeResult<Arc<GraphSnapshot>> {
+        if !valid_name(name) {
+            return Err(ServeError::BadName(name.to_string()));
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if inner.wedged {
+            return Err(ServeError::Wedged);
+        }
+        if inner.graphs.contains_key(name) {
+            return Err(ServeError::DuplicateGraph(name.to_string()));
+        }
+        let handle =
+            GraphGen::with_config(&inner.db, Self::extraction_config(&inner.cfg)).extract(dsl)?;
+        let snapshot = Arc::new(GraphSnapshot {
+            name: name.to_string(),
+            version: 1,
+            handle,
+        });
+        let mut state = GraphState {
+            dsl: dsl.to_string(),
+            current: Arc::clone(&snapshot),
+            wal: None,
+        };
+        if let Some(dir) = inner.dir.clone() {
+            write_graph_snapshot(&dir, &state.dsl, &snapshot, inner.cfg.fsync)?;
+            let (mut wal, stale) = Wal::open(graph_wal_path(&dir, name))?;
+            // A prior incarnation of this graph name may have left records
+            // behind (e.g. a crash between drop_graph's two unlinks). The
+            // just-written version-1 snapshot fully covers the new graph,
+            // so anything in the log is stale and must not be replayed.
+            if !stale.is_empty() {
+                wal.reset()?;
+            }
+            state.wal = Some(wal);
+        }
+        inner.graphs.insert(name.to_string(), state);
+        self.published
+            .write()
+            .unwrap()
+            .insert(name.to_string(), Arc::clone(&snapshot));
+        Ok(snapshot)
+    }
+
+    /// Unregister a graph and delete its persistence files. Readers holding
+    /// snapshots keep their pinned versions.
+    pub fn drop_graph(&self, name: &str) -> ServeResult<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let state = inner
+            .graphs
+            .remove(name)
+            .ok_or_else(|| ServeError::UnknownGraph(name.to_string()))?;
+        drop(state.wal); // close before unlinking (Windows-friendliness)
+        if let Some(dir) = &inner.dir {
+            let _ = std::fs::remove_file(graph_snap_path(dir, name));
+            let _ = std::fs::remove_file(graph_wal_path(dir, name));
+        }
+        self.published.write().unwrap().remove(name);
+        Ok(())
+    }
+
+    /// The currently published version of `name`. This is the reader entry
+    /// point: the returned snapshot is immutable and pinned — concurrent
+    /// writers publish *new* versions, they never touch this one.
+    pub fn snapshot(&self, name: &str) -> ServeResult<Arc<GraphSnapshot>> {
+        self.published
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownGraph(name.to_string()))
+    }
+
+    /// Registered graph names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.published.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Per-graph health numbers, sorted by name, plus the database row
+    /// count as the second return.
+    ///
+    /// The edge count is a full logical-graph expansion; it is computed on
+    /// version-pinned snapshot `Arc`s *after* the writer lock is released,
+    /// so a `STATS` request never stalls the write path for the duration
+    /// of a traversal.
+    pub fn stats(&self) -> (Vec<GraphStats>, usize) {
+        use graphgen_core::AnyGraph;
+        use graphgen_graph::GraphRep;
+        let (entries, db_rows) = {
+            let inner = self.inner.lock().unwrap();
+            let mut names: Vec<&String> = inner.graphs.keys().collect();
+            names.sort();
+            let entries: Vec<(String, Arc<GraphSnapshot>, u64)> = names
+                .into_iter()
+                .map(|name| {
+                    let state = &inner.graphs[name.as_str()];
+                    (
+                        name.clone(),
+                        Arc::clone(&state.current),
+                        state.wal.as_ref().map_or(0, Wal::bytes),
+                    )
+                })
+                .collect();
+            (entries, inner.db.total_rows())
+        };
+        let out = entries
+            .into_iter()
+            .map(|(name, snapshot, wal_bytes)| {
+                let h = snapshot.handle();
+                let rep = match h.graph() {
+                    AnyGraph::CDup(_) => "C-DUP",
+                    AnyGraph::Exp(_) => "EXP",
+                    AnyGraph::Dedup1(_) => "DEDUP-1",
+                    AnyGraph::Dedup2(_) => "DEDUP-2",
+                    AnyGraph::Bitmap(_) => "BITMAP",
+                };
+                GraphStats {
+                    name,
+                    version: snapshot.version(),
+                    vertices: h.num_vertices(),
+                    edges: h.expanded_edge_count(),
+                    rep: rep.to_string(),
+                    wal_bytes,
+                }
+            })
+            .collect();
+        (out, db_rows)
+    }
+
+    // -- the write path ---------------------------------------------------
+
+    /// Apply a batch of table mutations: mutate the database, log the
+    /// resulting [`DeltaBatch`] to every write-ahead log, patch a private
+    /// clone of every registered graph, and atomically publish the next
+    /// version of each. Readers pinned to older versions are unaffected.
+    ///
+    /// Validation errors (unknown table, schema mismatch) are detected
+    /// **before** anything is mutated, so a rejected call is a true no-op.
+    /// A failure *after* mutation begins (an io error on a WAL, an
+    /// inconsistent hand-built state) wedges the writer — see
+    /// [`ServeError::Wedged`] — because the in-memory state can no longer
+    /// be proven consistent with the logs; graphs that committed their WAL
+    /// record before the failure are still published.
+    pub fn apply(&self, mutations: &[TableMutation]) -> ServeResult<ApplyOutcome> {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        if inner.wedged {
+            return Err(ServeError::Wedged);
+        }
+        // 0. Pre-validate every mutation against the catalog so the whole
+        //    call either passes validation or mutates nothing.
+        for m in mutations {
+            let table = inner.db.table(&m.table)?;
+            for row in m.inserts.iter().chain(m.deletes.iter()) {
+                table.schema().check_row(row)?;
+            }
+        }
+        let mut batch = DeltaBatch::new();
+        for m in mutations {
+            let step = (|| -> ServeResult<()> {
+                if !m.inserts.is_empty() {
+                    batch.push(inner.db.insert_rows(&m.table, m.inserts.clone())?);
+                }
+                if !m.deletes.is_empty() {
+                    batch.push(inner.db.delete_rows(&m.table, &m.deletes)?);
+                }
+                Ok(())
+            })();
+            if let Err(e) = step {
+                // Unreachable given the pre-validation, but if it ever
+                // fires with earlier mutations already applied, the db has
+                // diverged from the (unwritten) log: wedge.
+                inner.wedged = !batch.is_empty();
+                return Err(e);
+            }
+        }
+        let mut outcome = ApplyOutcome {
+            rows: batch.len(),
+            graphs: Vec::new(),
+        };
+        if batch.is_empty() {
+            return Ok(outcome);
+        }
+        let fsync = inner.cfg.fsync;
+        let threshold = inner.cfg.compact_threshold;
+
+        // 1. WAL the batch for the database first (redo rule: log before
+        //    the version it produces is observable anywhere).
+        inner.db_version += 1;
+        let db_version = inner.db_version;
+        if let Some(wal) = inner.db_wal.as_mut() {
+            if let Err(e) = wal.append(&encode_wal_record(db_version, &batch), fsync) {
+                // The db is mutated but the log does not carry the batch:
+                // a restart would recover the pre-batch state while this
+                // process serves the post-batch one. Refuse further writes.
+                inner.wedged = true;
+                return Err(e.into());
+            }
+        }
+
+        // 2. Patch a private clone of every affected graph, WAL, then
+        //    publish. A graph is affected iff the batch touches a table
+        //    its spec reads — such a batch must always be applied and
+        //    versioned (even when it changes no visible edge, it advances
+        //    the maintenance state the next delta builds on); a graph
+        //    whose tables are untouched is skipped wholesale and keeps its
+        //    version.
+        let mut names: Vec<String> = inner.graphs.keys().cloned().collect();
+        names.sort();
+        let mut newly_published: Vec<(String, Arc<GraphSnapshot>)> = Vec::new();
+        // On a mid-loop failure (io error, inconsistent delta) the graphs
+        // patched *before* the failure have committed — their WAL records
+        // are durable and `state.current` advanced — so they must still be
+        // published; otherwise `stats()`/recovery and `snapshot()` would
+        // disagree about the current version. The failing graph and every
+        // graph after it in the order are now one batch behind the
+        // database, so the writer is wedged and the error is returned
+        // after the publication step below.
+        let mut apply_err: Option<ServeError> = None;
+        for name in names {
+            let state = inner.graphs.get_mut(&name).expect("listed name");
+            let tables = state.current.handle().referenced_tables();
+            let affected = batch
+                .deltas()
+                .iter()
+                .any(|d| tables.iter().any(|t| t == d.table()));
+            if !affected {
+                continue;
+            }
+            let step = (|| -> ServeResult<()> {
+                let mut handle = state.current.handle().clone();
+                let patch = handle.apply_batch(&batch)?;
+                let version = state.current.version() + 1;
+                if let Some(wal) = state.wal.as_mut() {
+                    wal.append(&encode_wal_record(version, &batch), fsync)?;
+                }
+                let snapshot = Arc::new(GraphSnapshot {
+                    name: name.clone(),
+                    version,
+                    handle,
+                });
+                state.current = Arc::clone(&snapshot);
+                outcome.graphs.push((name.clone(), version, patch));
+                newly_published.push((name.clone(), snapshot));
+                // 3. Compaction: fold an oversized WAL into a fresh
+                //    snapshot.
+                let oversized = state.wal.as_ref().is_some_and(|w| w.bytes() > threshold);
+                if oversized {
+                    let dir = inner.dir.clone().expect("wal implies dir");
+                    compact_graph(&dir, state, fsync)?;
+                }
+                Ok(())
+            })();
+            if let Err(e) = step {
+                inner.wedged = true;
+                apply_err = Some(e);
+                break;
+            }
+        }
+
+        // 4. Database compaction mirrors the graph rule. Errors here must
+        //    not skip the publication step (the versions above already
+        //    committed), so they route through `apply_err` too.
+        if apply_err.is_none() {
+            let db_oversized = inner.db_wal.as_ref().is_some_and(|w| w.bytes() > threshold);
+            if db_oversized {
+                let step = write_db_snapshot(inner).and_then(|()| {
+                    inner
+                        .db_wal
+                        .as_mut()
+                        .expect("checked")
+                        .reset()
+                        .map_err(Into::into)
+                });
+                if let Err(e) = step {
+                    inner.wedged = true;
+                    apply_err = Some(e);
+                }
+            }
+        }
+
+        // 5. Atomic publication: one short write lock swaps every changed
+        //    graph to its next version.
+        if !newly_published.is_empty() {
+            let mut published = self.published.write().unwrap();
+            for (name, snapshot) in newly_published {
+                published.insert(name, snapshot);
+            }
+        }
+        match apply_err {
+            Some(e) => Err(e),
+            None => Ok(outcome),
+        }
+    }
+
+    /// Fold `name`'s WAL into a fresh snapshot now (the automatic
+    /// threshold does this lazily).
+    pub fn compact(&self, name: &str) -> ServeResult<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        if inner.wedged {
+            return Err(ServeError::Wedged);
+        }
+        let Some(dir) = inner.dir.clone() else {
+            return Ok(()); // in-memory service: nothing to fold
+        };
+        let state = inner
+            .graphs
+            .get_mut(name)
+            .ok_or_else(|| ServeError::UnknownGraph(name.to_string()))?;
+        compact_graph(&dir, state, inner.cfg.fsync)
+    }
+
+    /// The persistence directory, if the service is persistent.
+    pub fn dir(&self) -> Option<PathBuf> {
+        self.inner.lock().unwrap().dir.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence helpers
+// ---------------------------------------------------------------------------
+
+fn graph_snap_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.graph.snap"))
+}
+
+fn graph_wal_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.graph.wal"))
+}
+
+fn encode_wal_record(version: u64, batch: &DeltaBatch) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_u64(&mut out, version);
+    batch.encode_into(&mut out);
+    out
+}
+
+fn decode_wal_record(record: &[u8]) -> Result<(u64, DeltaBatch), graphgen_common::CodecError> {
+    let mut r = Reader::new(record);
+    let version = r.u64()?;
+    let batch = DeltaBatch::decode(&mut r)?;
+    r.expect_end()?;
+    Ok((version, batch))
+}
+
+/// Re-apply a recovered batch to the database (replay path: the mutations
+/// were already validated when first applied, and deletes name exact rows
+/// the table held, so the regenerated deltas match the logged ones).
+fn replay_batch_on_db(db: &mut Database, batch: &DeltaBatch) -> ServeResult<()> {
+    use graphgen_reldb::DeltaOp;
+    for delta in batch.deltas() {
+        // Preserve intra-delta order: group maximal runs of same-op rows.
+        let mut run_op: Option<DeltaOp> = None;
+        let mut run: Vec<Vec<Value>> = Vec::new();
+        let flush = |db: &mut Database,
+                     op: Option<DeltaOp>,
+                     run: &mut Vec<Vec<Value>>|
+         -> ServeResult<()> {
+            match op {
+                Some(DeltaOp::Insert) => {
+                    db.insert_rows(delta.table(), std::mem::take(run))?;
+                }
+                Some(DeltaOp::Delete) => {
+                    db.delete_rows(delta.table(), &std::mem::take(run))?;
+                }
+                None => {}
+            }
+            Ok(())
+        };
+        for row in delta.rows() {
+            if run_op != Some(row.op) {
+                flush(db, run_op, &mut run)?;
+                run_op = Some(row.op);
+            }
+            run.push(row.values.clone());
+        }
+        flush(db, run_op, &mut run)?;
+    }
+    Ok(())
+}
+
+fn write_db_snapshot(inner: &mut Inner) -> ServeResult<()> {
+    let Some(dir) = inner.dir.clone() else {
+        return Ok(());
+    };
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&DB_SNAP_MAGIC);
+    codec::put_u64(&mut bytes, inner.db_version);
+    inner.db.encode_into(&mut bytes);
+    seal(&mut bytes);
+    write_file_atomic(&dir.join("db.snap"), &bytes, inner.cfg.fsync)?;
+    Ok(())
+}
+
+fn write_graph_snapshot(
+    dir: &Path,
+    dsl: &str,
+    snapshot: &GraphSnapshot,
+    fsync: bool,
+) -> ServeResult<()> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&GRAPH_SNAP_MAGIC);
+    codec::put_u64(&mut bytes, snapshot.version());
+    codec::put_str(&mut bytes, dsl);
+    codec::put_bytes(&mut bytes, &snapshot.handle().to_snapshot_bytes());
+    seal(&mut bytes);
+    write_file_atomic(&graph_snap_path(dir, snapshot.name()), &bytes, fsync)?;
+    Ok(())
+}
+
+fn compact_graph(dir: &Path, state: &mut GraphState, fsync: bool) -> ServeResult<()> {
+    write_graph_snapshot(dir, &state.dsl, &state.current, fsync)?;
+    if let Some(wal) = state.wal.as_mut() {
+        wal.reset()?;
+    }
+    Ok(())
+}
+
+fn recover_graph(name: &str, snap_path: &Path, dir: &Path) -> ServeResult<GraphState> {
+    let bytes = std::fs::read(snap_path)?;
+    let file = snap_path.display().to_string();
+    let content =
+        unseal(&bytes).ok_or_else(|| ServeError::corrupt(&file, "integrity checksum mismatch"))?;
+    let mut r = Reader::new(content);
+    let parse =
+        |r: &mut Reader<'_>| -> Result<(u64, String, Vec<u8>), graphgen_common::CodecError> {
+            r.expect_magic(&GRAPH_SNAP_MAGIC)?;
+            let version = r.u64()?;
+            let dsl = r.str()?.to_string();
+            let handle_bytes = r.bytes()?.to_vec();
+            r.expect_end()?;
+            Ok((version, dsl, handle_bytes))
+        };
+    let (snap_version, dsl, handle_bytes) =
+        parse(&mut r).map_err(|e| ServeError::corrupt(&file, e))?;
+    let mut handle = GraphHandle::from_snapshot_bytes(&handle_bytes)?;
+    let (wal, records) = Wal::open(graph_wal_path(dir, name))?;
+    let mut version = snap_version;
+    for record in records {
+        let (record_version, batch) = decode_wal_record(&record)
+            .map_err(|e| ServeError::corrupt(wal.path().display().to_string(), e))?;
+        if record_version <= snap_version {
+            continue; // folded into the snapshot before the crash
+        }
+        handle.apply_batch(&batch)?;
+        version = record_version;
+    }
+    Ok(GraphState {
+        dsl,
+        current: Arc::new(GraphSnapshot {
+            name: name.to_string(),
+            version,
+            handle,
+        }),
+        wal: Some(wal),
+    })
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    pub(crate) use crate::testutil::fig1_db;
+    use crate::testutil::TempDir;
+
+    pub(crate) const Q1: &str = "Nodes(ID, Name) :- Author(ID, Name). \
+                                 Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).";
+
+    #[test]
+    fn extract_publish_read() {
+        let service = GraphService::in_memory(fig1_db());
+        let snap = service.extract("coauthors", Q1).unwrap();
+        assert_eq!(snap.version(), 1);
+        assert_eq!(snap.name(), "coauthors");
+        let read = service.snapshot("coauthors").unwrap();
+        assert!(Arc::ptr_eq(&snap, &read));
+        assert_eq!(service.names(), vec!["coauthors".to_string()]);
+        assert!(service.snapshot("nope").is_err());
+        assert!(matches!(
+            service.extract("coauthors", Q1),
+            Err(ServeError::DuplicateGraph(_))
+        ));
+        assert!(matches!(
+            service.extract("bad name", Q1),
+            Err(ServeError::BadName(_))
+        ));
+    }
+
+    #[test]
+    fn apply_publishes_new_version_and_pins_old_readers() {
+        let service = GraphService::in_memory(fig1_db());
+        let v1 = service.extract("g", Q1).unwrap();
+        let before = v1.canonical_bytes();
+        let outcome = service
+            .apply(&[TableMutation::new(
+                "AuthorPub",
+                vec![vec![Value::int(2), Value::int(3)]],
+                vec![],
+            )])
+            .unwrap();
+        assert_eq!(outcome.rows, 1);
+        assert_eq!(outcome.graphs.len(), 1);
+        assert_eq!(outcome.graphs[0].1, 2);
+        let v2 = service.snapshot("g").unwrap();
+        assert_eq!(v2.version(), 2);
+        assert_ne!(v2.canonical_bytes(), before);
+        // The pinned v1 snapshot is untouched.
+        assert_eq!(v1.canonical_bytes(), before);
+        assert_eq!(v1.version(), 1);
+    }
+
+    #[test]
+    fn noop_apply_keeps_the_version() {
+        let service = GraphService::in_memory(fig1_db());
+        service.extract("g", Q1).unwrap();
+        // Deleting a never-present row mutates nothing anywhere.
+        let outcome = service
+            .apply(&[TableMutation::new(
+                "AuthorPub",
+                vec![],
+                vec![vec![Value::int(77), Value::int(77)]],
+            )])
+            .unwrap();
+        assert_eq!(outcome.rows, 0);
+        assert!(outcome.graphs.is_empty());
+        assert_eq!(service.snapshot("g").unwrap().version(), 1);
+    }
+
+    #[test]
+    fn apply_fans_out_to_every_registered_graph() {
+        let service = GraphService::in_memory(fig1_db());
+        service.extract("a", Q1).unwrap();
+        // Graph b only reads the Author table (name-collision edges:
+        // vacuous here, but a valid spec).
+        service
+            .extract(
+                "b",
+                "Nodes(ID, Name) :- Author(ID, Name). \
+                 Edges(A, B) :- Author(A, N), Author(B, N).",
+            )
+            .unwrap();
+        let outcome = service
+            .apply(&[TableMutation::new(
+                "Author",
+                vec![vec![Value::int(9), Value::str("a9")]],
+                vec![],
+            )])
+            .unwrap();
+        // Both graphs see the new author node.
+        assert_eq!(outcome.graphs.len(), 2);
+        assert_eq!(service.snapshot("a").unwrap().version(), 2);
+        assert_eq!(service.snapshot("b").unwrap().version(), 2);
+        // A mutation only one graph cares about bumps only that graph.
+        let outcome = service
+            .apply(&[TableMutation::new(
+                "AuthorPub",
+                vec![vec![Value::int(9), Value::int(1)]],
+                vec![],
+            )])
+            .unwrap();
+        assert_eq!(outcome.graphs.len(), 1);
+        assert_eq!(outcome.graphs[0].0, "a");
+        assert_eq!(service.snapshot("b").unwrap().version(), 2);
+    }
+
+    #[test]
+    fn stats_and_drop() {
+        let service = GraphService::in_memory(fig1_db());
+        service.extract("g", Q1).unwrap();
+        let (stats, rows) = service.stats();
+        assert_eq!(rows, 13);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "g");
+        assert_eq!(stats[0].version, 1);
+        assert_eq!(stats[0].vertices, 5);
+        assert_eq!(stats[0].rep, "C-DUP");
+        assert!(stats[0].edges > 0);
+        service.drop_graph("g").unwrap();
+        assert!(service.names().is_empty());
+        assert!(matches!(
+            service.drop_graph("g"),
+            Err(ServeError::UnknownGraph(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_mutations_are_rejected_before_anything_mutates() {
+        let service = GraphService::in_memory(fig1_db());
+        service.extract("g", Q1).unwrap();
+        let rows_before = service.stats().1;
+        // A batch whose *second* mutation is invalid must leave the first
+        // unapplied too (pre-validation covers the whole call).
+        let err = service
+            .apply(&[
+                TableMutation::new(
+                    "Author",
+                    vec![vec![Value::int(8), Value::str("a8")]],
+                    vec![],
+                ),
+                TableMutation::new("Nope", vec![vec![Value::int(1)]], vec![]),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Graph(_)));
+        // Schema mismatches are caught the same way.
+        let err = service
+            .apply(&[
+                TableMutation::new(
+                    "Author",
+                    vec![vec![Value::int(8), Value::str("a8")]],
+                    vec![],
+                ),
+                TableMutation::new(
+                    "AuthorPub",
+                    vec![vec![Value::str("oops"), Value::int(1)]],
+                    vec![],
+                ),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Graph(_)));
+        assert_eq!(
+            service.stats().1,
+            rows_before,
+            "db mutated by rejected call"
+        );
+        assert_eq!(service.snapshot("g").unwrap().version(), 1);
+        // The writer is NOT wedged: validation failures are clean no-ops.
+        let outcome = service
+            .apply(&[TableMutation::new(
+                "Author",
+                vec![vec![Value::int(8), Value::str("a8")]],
+                vec![],
+            )])
+            .unwrap();
+        assert_eq!(outcome.graphs.len(), 1);
+    }
+
+    #[test]
+    fn persistent_roundtrip_snapshot_plus_wal() {
+        let dir = TempDir::new("svc-roundtrip");
+        let expected;
+        {
+            let service =
+                GraphService::create(dir.path(), fig1_db(), ServiceConfig::default()).unwrap();
+            service.extract("g", Q1).unwrap();
+            service
+                .apply(&[TableMutation::new(
+                    "AuthorPub",
+                    vec![vec![Value::int(2), Value::int(3)]],
+                    vec![vec![Value::int(1), Value::int(1)]],
+                )])
+                .unwrap();
+            expected = service.snapshot("g").unwrap().canonical_bytes();
+            // Dropped without any explicit shutdown: everything needed for
+            // recovery is already on disk.
+        }
+        let recovered = GraphService::open(dir.path()).unwrap();
+        let snap = recovered.snapshot("g").unwrap();
+        assert_eq!(snap.version(), 2);
+        assert_eq!(snap.canonical_bytes(), expected);
+        // The recovered service keeps serving writes: a1 joins publication
+        // 3, gaining brand-new co-author edges.
+        recovered
+            .apply(&[TableMutation::new(
+                "AuthorPub",
+                vec![vec![Value::int(1), Value::int(3)]],
+                vec![],
+            )])
+            .unwrap();
+        assert_eq!(recovered.snapshot("g").unwrap().version(), 3);
+    }
+
+    #[test]
+    fn create_refuses_existing_service_dir() {
+        let dir = TempDir::new("svc-create-twice");
+        let _first = GraphService::create(dir.path(), fig1_db(), ServiceConfig::default()).unwrap();
+        assert!(matches!(
+            GraphService::create(dir.path(), fig1_db(), ServiceConfig::default()),
+            Err(ServeError::Corrupt { .. })
+        ));
+    }
+}

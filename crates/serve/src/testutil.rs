@@ -1,0 +1,70 @@
+//! Test support: a std-only temporary directory and the shared demo
+//! database fixture.
+//!
+//! Public so the crate's integration tests (and the `--demo`/`--smoke`
+//! modes of the `graphgen-serve` binary) can share it; not part of the
+//! serving API.
+
+use graphgen_reldb::{Column, Database, Schema, Table, Value};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The paper's Fig. 1 DBLP toy instance: five authors, three publications,
+/// eight `AuthorPub` memberships — the single source for the demo server,
+/// the smoke test, and the unit tests.
+pub fn fig1_db() -> Database {
+    let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+    for a in 1..=5 {
+        author
+            .push_row(vec![Value::int(a), Value::str(format!("a{a}"))])
+            .expect("fixture row");
+    }
+    let mut ap = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
+    for (a, p) in [
+        (1, 1),
+        (2, 1),
+        (4, 1),
+        (1, 2),
+        (4, 2),
+        (3, 3),
+        (4, 3),
+        (5, 3),
+    ] {
+        ap.push_row(vec![Value::int(a), Value::int(p)])
+            .expect("fixture row");
+    }
+    let mut db = Database::new();
+    db.register("Author", author).expect("fixture table");
+    db.register("AuthorPub", ap).expect("fixture table");
+    db
+}
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `tempdir/graphgen-<label>-<pid>-<n>`.
+    pub fn new(label: &str) -> Self {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("graphgen-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        Self { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

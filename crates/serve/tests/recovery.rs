@@ -1,0 +1,297 @@
+//! Kill-and-recover: a service dropped abruptly (no shutdown call exists —
+//! every committed version is already durable) must reopen to the exact
+//! pre-crash canonical bytes for every registered graph, from every crash
+//! layout: snapshot + non-empty WAL, WAL-only-compacted graphs, stale WAL
+//! records after a snapshot rename (mid-compaction), leftover `.tmp`
+//! files, and torn WAL tails.
+
+use graphgen_common::SplitMix64;
+use graphgen_reldb::{Column, Database, Schema, Table, Value};
+use graphgen_serve::testutil::TempDir;
+use graphgen_serve::{GraphService, ServiceConfig, TableMutation};
+use std::collections::HashMap;
+
+const Q_COAUTHORS: &str = "Nodes(ID, Name) :- Author(ID, Name). \
+                           Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).";
+const Q_NODES_ONLY: &str = "Nodes(ID, Name) :- Author(ID, Name). \
+                            Edges(A, B) :- Author(A, N), Author(B, N).";
+
+fn seed_db() -> Database {
+    let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+    for a in 1..=12 {
+        author
+            .push_row(vec![Value::int(a), Value::str(format!("a{a}"))])
+            .unwrap();
+    }
+    let mut ap = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
+    for (a, p) in [
+        (1, 1),
+        (2, 1),
+        (4, 1),
+        (1, 2),
+        (4, 2),
+        (3, 3),
+        (4, 3),
+        (5, 3),
+    ] {
+        ap.push_row(vec![Value::int(a), Value::int(p)]).unwrap();
+    }
+    let mut db = Database::new();
+    db.register("Author", author).unwrap();
+    db.register("AuthorPub", ap).unwrap();
+    db
+}
+
+fn churn(service: &GraphService, seed: u64, batches: usize) {
+    let mut rng = SplitMix64::new(seed);
+    let mut applied = 0;
+    while applied < batches {
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        for _ in 0..rng.next_below(3) + 1 {
+            let row = vec![
+                Value::int(rng.next_below(12) as i64 + 1),
+                Value::int(rng.next_below(6) as i64 + 1),
+            ];
+            if rng.next_below(4) == 0 {
+                deletes.push(row);
+            } else {
+                inserts.push(row);
+            }
+        }
+        let outcome = service
+            .apply(&[
+                TableMutation::new("AuthorPub", inserts, deletes),
+                // Occasionally churn the node table too.
+                if rng.next_below(5) == 0 {
+                    TableMutation::new(
+                        "Author",
+                        vec![vec![
+                            Value::int(rng.next_below(20) as i64 + 1),
+                            Value::str(format!("r{applied}")),
+                        ]],
+                        vec![],
+                    )
+                } else {
+                    TableMutation::new("Author", vec![], vec![])
+                },
+            ])
+            .unwrap();
+        if !outcome.graphs.is_empty() {
+            applied += 1;
+        }
+    }
+}
+
+/// Canonical bytes + version per graph.
+fn fingerprint(service: &GraphService) -> HashMap<String, (u64, Vec<u8>)> {
+    service
+        .names()
+        .into_iter()
+        .map(|name| {
+            let snap = service.snapshot(&name).unwrap();
+            (name, (snap.version(), snap.canonical_bytes()))
+        })
+        .collect()
+}
+
+fn assert_recovered(dir: &TempDir, expected: &HashMap<String, (u64, Vec<u8>)>) {
+    let recovered = GraphService::open(dir.path()).unwrap();
+    let got = fingerprint(&recovered);
+    assert_eq!(
+        got.keys().collect::<std::collections::BTreeSet<_>>(),
+        expected.keys().collect::<std::collections::BTreeSet<_>>(),
+        "graph registry diverged"
+    );
+    for (name, (version, bytes)) in expected {
+        let (got_version, got_bytes) = &got[name];
+        assert_eq!(got_version, version, "{name}: version diverged");
+        assert_eq!(got_bytes, bytes, "{name}: canonical bytes diverged");
+    }
+}
+
+/// Abrupt drop with snapshot + non-empty WAL on two graphs (one of which
+/// ignores most of the churn).
+#[test]
+fn recover_snapshot_plus_wal() {
+    let dir = TempDir::new("rec-basic");
+    let expected;
+    {
+        let service = GraphService::create(
+            dir.path(),
+            seed_db(),
+            ServiceConfig {
+                compact_threshold: u64::MAX, // never compact: WAL carries everything
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        service.extract("roster", Q_NODES_ONLY).unwrap();
+        churn(&service, 7, 12);
+        expected = fingerprint(&service);
+        // WAL must be non-empty for the scenario to be the one claimed.
+        let (stats, _) = service.stats();
+        assert!(stats.iter().any(|s| s.wal_bytes > 0));
+    }
+    assert_recovered(&dir, &expected);
+}
+
+/// Aggressive compaction: every batch folds the WAL into a fresh snapshot,
+/// so recovery is snapshot-only (plus whatever tail remains).
+#[test]
+fn recover_with_aggressive_compaction() {
+    let dir = TempDir::new("rec-compact");
+    let expected;
+    {
+        let service = GraphService::create(
+            dir.path(),
+            seed_db(),
+            ServiceConfig {
+                compact_threshold: 1, // every publish triggers compaction
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        churn(&service, 21, 10);
+        expected = fingerprint(&service);
+    }
+    assert_recovered(&dir, &expected);
+}
+
+/// Mid-compaction crash, layout A: the new snapshot was renamed into place
+/// but the WAL was not yet truncated — recovery must skip the WAL records
+/// the snapshot already contains.
+#[test]
+fn recover_mid_compaction_stale_wal() {
+    let dir = TempDir::new("rec-midcompact");
+    let expected;
+    {
+        let service = GraphService::create(
+            dir.path(),
+            seed_db(),
+            ServiceConfig {
+                compact_threshold: u64::MAX,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        churn(&service, 33, 8);
+        // Simulate: keep the pre-compaction WAL, compact (snapshot moves to
+        // the newest version + WAL truncates), then restore the stale WAL —
+        // exactly the layout of a crash between rename and truncate.
+        let wal_path = dir.path().join("coauthors.graph.wal");
+        let stale_wal = std::fs::read(&wal_path).unwrap();
+        assert!(!stale_wal.is_empty());
+        service.compact("coauthors").unwrap();
+        expected = fingerprint(&service);
+        drop(service);
+        std::fs::write(&wal_path, &stale_wal).unwrap();
+    }
+    assert_recovered(&dir, &expected);
+}
+
+/// Mid-compaction crash, layout B: the crash hit before the rename — a
+/// leftover `.tmp` next to the old snapshot and the full WAL. The `.tmp`
+/// must be ignored and the WAL replayed.
+#[test]
+fn recover_mid_compaction_leftover_tmp() {
+    let dir = TempDir::new("rec-tmp");
+    let expected;
+    {
+        let service = GraphService::create(
+            dir.path(),
+            seed_db(),
+            ServiceConfig {
+                compact_threshold: u64::MAX,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        churn(&service, 55, 6);
+        expected = fingerprint(&service);
+        // A half-written snapshot the rename never happened for.
+        std::fs::write(dir.path().join("coauthors.graph.tmp"), b"half-written").unwrap();
+    }
+    assert_recovered(&dir, &expected);
+}
+
+/// A WAL whose tail record was torn mid-write: the torn record was never
+/// acknowledged, so recovery lands exactly on the last durable version.
+#[test]
+fn recover_torn_wal_tail() {
+    let dir = TempDir::new("rec-torn");
+    let expected;
+    {
+        let service = GraphService::create(
+            dir.path(),
+            seed_db(),
+            ServiceConfig {
+                compact_threshold: u64::MAX,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        churn(&service, 77, 6);
+        expected = fingerprint(&service);
+        drop(service);
+        // Append garbage that looks like the start of a record.
+        let wal_path = dir.path().join("coauthors.graph.wal");
+        let mut raw = std::fs::read(&wal_path).unwrap();
+        raw.extend_from_slice(&[0x40, 0, 0, 0, 1, 2, 3]);
+        std::fs::write(&wal_path, &raw).unwrap();
+    }
+    assert_recovered(&dir, &expected);
+}
+
+/// A corrupted snapshot file must fail recovery with a clean `Corrupt`
+/// error (whole-file checksum), never decode flipped bytes.
+#[test]
+fn corrupted_snapshot_is_rejected() {
+    let dir = TempDir::new("rec-corrupt-snap");
+    {
+        let service =
+            GraphService::create(dir.path(), seed_db(), ServiceConfig::default()).unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        churn(&service, 11, 3);
+    }
+    let snap_path = dir.path().join("coauthors.graph.snap");
+    let mut raw = std::fs::read(&snap_path).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0xFF;
+    std::fs::write(&snap_path, &raw).unwrap();
+    let err = GraphService::open(dir.path()).unwrap_err();
+    assert!(
+        matches!(err, graphgen_serve::ServeError::Corrupt { .. }),
+        "{err}"
+    );
+}
+
+/// The recovered incremental state must keep *working*: post-recovery
+/// mutations yield the same graph a never-crashed service reaches.
+#[test]
+fn recovered_service_continues_identically() {
+    let dir = TempDir::new("rec-continue");
+    {
+        let service =
+            GraphService::create(dir.path(), seed_db(), ServiceConfig::default()).unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        churn(&service, 99, 5);
+    }
+    let recovered = GraphService::open(dir.path()).unwrap();
+    // A parallel, never-persisted service fed the identical full stream.
+    let reference = GraphService::in_memory(seed_db());
+    reference.extract("coauthors", Q_COAUTHORS).unwrap();
+    churn(&reference, 99, 5);
+    churn(&recovered, 123, 5);
+    churn(&reference, 123, 5);
+    assert_eq!(
+        recovered.snapshot("coauthors").unwrap().canonical_bytes(),
+        reference.snapshot("coauthors").unwrap().canonical_bytes(),
+        "recovered service diverged from the uninterrupted reference"
+    );
+}

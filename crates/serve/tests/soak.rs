@@ -1,0 +1,198 @@
+//! Snapshot-isolation soak test: reader threads race a writer through a
+//! long stream of delta publishes and assert that **every** observed
+//! snapshot is byte-identical (`canonical_bytes`) to a committed version —
+//! never a torn mid-patch state — at 1, 2, and 8 reader threads.
+//!
+//! Protocol: the writer records `(version, canonical bytes)` for each
+//! version right after publishing it (the writer lock serializes
+//! publishes, so the post-`apply` snapshot *is* the just-committed
+//! version). A reader that observes a version the writer has not recorded
+//! yet spins briefly — the record always arrives — and then asserts the
+//! bytes match. Readers also assert versions never go backwards.
+
+use graphgen_common::SplitMix64;
+use graphgen_reldb::{Column, Database, Schema, Table, Value};
+use graphgen_serve::{GraphService, TableMutation};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+const Q: &str = "Nodes(ID, Name) :- Author(ID, Name). \
+                 Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).";
+
+const AUTHORS: i64 = 25;
+const PUBS: i64 = 12;
+
+fn seed_db(rng: &mut SplitMix64) -> Database {
+    let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+    for a in 1..=AUTHORS {
+        author
+            .push_row(vec![Value::int(a), Value::str(format!("a{a}"))])
+            .unwrap();
+    }
+    let mut ap = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
+    for _ in 0..60 {
+        ap.push_row(vec![
+            Value::int(rng.next_below(AUTHORS as u64) as i64 + 1),
+            Value::int(rng.next_below(PUBS as u64) as i64 + 1),
+        ])
+        .unwrap();
+    }
+    let mut db = Database::new();
+    db.register("Author", author).unwrap();
+    db.register("AuthorPub", ap).unwrap();
+    db
+}
+
+fn random_mutation(rng: &mut SplitMix64) -> TableMutation {
+    let mut inserts = Vec::new();
+    let mut deletes = Vec::new();
+    for _ in 0..rng.next_below(3) + 1 {
+        let r = vec![
+            Value::int(rng.next_below(AUTHORS as u64) as i64 + 1),
+            Value::int(rng.next_below(PUBS as u64) as i64 + 1),
+        ];
+        if rng.next_below(3) == 0 {
+            deletes.push(r);
+        } else {
+            inserts.push(r);
+        }
+    }
+    TableMutation::new("AuthorPub", inserts, deletes)
+}
+
+/// Run the soak with `readers` reader threads; returns (publishes, reads).
+fn soak(readers: usize, seed: u64, target_publishes: u64) -> (u64, u64) {
+    let mut rng = SplitMix64::new(seed);
+    let service = Arc::new(GraphService::in_memory(seed_db(&mut rng)));
+    service.extract("g", Q).unwrap();
+
+    // version -> canonical bytes of every committed version.
+    let committed: Arc<Mutex<HashMap<u64, Vec<u8>>>> = Arc::new(Mutex::new(HashMap::new()));
+    {
+        let v1 = service.snapshot("g").unwrap();
+        committed
+            .lock()
+            .unwrap()
+            .insert(v1.version(), v1.canonical_bytes());
+    }
+    let done = Arc::new(AtomicBool::new(false));
+    let total_reads = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..readers {
+            let service = Arc::clone(&service);
+            let committed = Arc::clone(&committed);
+            let done = Arc::clone(&done);
+            handles.push(s.spawn(move || {
+                let mut reads = 0u64;
+                let mut last_version = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = service.snapshot("g").unwrap();
+                    assert!(
+                        snap.version() >= last_version,
+                        "version went backwards: {} after {last_version}",
+                        snap.version()
+                    );
+                    last_version = snap.version();
+                    let bytes = snap.canonical_bytes();
+                    // The writer records right after publish; spin until
+                    // this version's bytes are available.
+                    let expected = loop {
+                        if let Some(b) = committed.lock().unwrap().get(&snap.version()) {
+                            break b.clone();
+                        }
+                        std::thread::yield_now();
+                    };
+                    assert_eq!(
+                        bytes,
+                        expected,
+                        "observed snapshot at version {} is not the committed state",
+                        snap.version()
+                    );
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+
+        // The single writer.
+        let mut publishes = 0u64;
+        let mut attempts = 0u64;
+        while publishes < target_publishes {
+            attempts += 1;
+            assert!(
+                attempts < target_publishes * 50,
+                "mutation stream failed to publish enough versions"
+            );
+            let outcome = service.apply(&[random_mutation(&mut rng)]).unwrap();
+            if outcome.graphs.is_empty() {
+                continue;
+            }
+            publishes += 1;
+            let snap = service.snapshot("g").unwrap();
+            committed
+                .lock()
+                .unwrap()
+                .insert(snap.version(), snap.canonical_bytes());
+        }
+        done.store(true, Ordering::Relaxed);
+        let reads: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        (publishes, reads)
+    });
+    total_reads
+}
+
+#[test]
+fn soak_one_reader() {
+    let (publishes, reads) = soak(1, 0xA11CE, 55);
+    assert!(publishes >= 55);
+    assert!(reads > 0, "reader never completed a read");
+}
+
+#[test]
+fn soak_two_readers() {
+    let (publishes, reads) = soak(2, 0xB0B, 55);
+    assert!(publishes >= 55);
+    assert!(reads > 0);
+}
+
+#[test]
+fn soak_eight_readers() {
+    let (publishes, reads) = soak(8, 0xCAFE, 55);
+    assert!(publishes >= 55, "need >= 50 publishes under 8 readers");
+    assert!(reads > 0);
+}
+
+/// The writer's correctness backstop: after the soak stream, the served
+/// graph equals a from-scratch extraction on the mutated database.
+#[test]
+fn soak_final_state_matches_reextraction() {
+    let mut rng = SplitMix64::new(0xF00D);
+    let db_seed = SplitMix64::new(0xF00D); // same stream for the shadow db
+    let service = GraphService::in_memory(seed_db(&mut rng));
+    let mut shadow_rng = db_seed;
+    let mut shadow_db = seed_db(&mut shadow_rng);
+    service.extract("g", Q).unwrap();
+    for _ in 0..40 {
+        let m = random_mutation(&mut rng);
+        let shadow_m = random_mutation(&mut shadow_rng);
+        assert_eq!(m.table, shadow_m.table);
+        service.apply(&[m]).unwrap();
+        if !shadow_m.inserts.is_empty() {
+            shadow_db
+                .insert_rows(&shadow_m.table, shadow_m.inserts.clone())
+                .unwrap();
+        }
+        if !shadow_m.deletes.is_empty() {
+            shadow_db
+                .delete_rows(&shadow_m.table, &shadow_m.deletes)
+                .unwrap();
+        }
+    }
+    let served = service.snapshot("g").unwrap().canonical_bytes();
+    let fresh = graphgen_core::GraphGen::new(&shadow_db)
+        .extract(Q)
+        .unwrap()
+        .canonical_bytes();
+    assert_eq!(served, fresh, "served state diverged from re-extraction");
+}

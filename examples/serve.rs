@@ -1,0 +1,112 @@
+//! The serving layer: snapshot-isolated concurrent serving with binary
+//! persistence and crash recovery.
+//!
+//! Run with: `cargo run --example serve`
+
+use graphgen::graph::GraphRep;
+use graphgen::reldb::{Column, Database, Schema, Table, Value};
+use graphgen::serve::{GraphService, ServiceConfig, TableMutation};
+use std::sync::Arc;
+
+fn sample_db() -> Database {
+    let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+    for (id, name) in [(1, "Ada"), (2, "Barbara"), (3, "Grace"), (4, "Hedy")] {
+        author
+            .push_row(vec![Value::int(id), Value::str(name)])
+            .unwrap();
+    }
+    let mut ap = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
+    for (a, p) in [(1, 1), (2, 1), (3, 2), (4, 2), (1, 2)] {
+        ap.push_row(vec![Value::int(a), Value::int(p)]).unwrap();
+    }
+    let mut db = Database::new();
+    db.register("Author", author).unwrap();
+    db.register("AuthorPub", ap).unwrap();
+    db
+}
+
+const QUERY: &str = "Nodes(ID, Name) :- Author(ID, Name). \
+                     Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).";
+
+fn main() {
+    // A persistent service: every committed version is durable (snapshot +
+    // write-ahead delta log) and recoverable after a crash.
+    let dir = std::env::temp_dir().join(format!("graphgen-serve-example-{}", std::process::id()));
+    let service = Arc::new(
+        GraphService::create(&dir, sample_db(), ServiceConfig::default()).expect("create service"),
+    );
+
+    // Register a graph: extracted incrementally, persisted, published at
+    // version 1.
+    let v1 = service.extract("coauthors", QUERY).expect("extract");
+    println!(
+        "extracted `{}` at version {}: {} vertices",
+        v1.name(),
+        v1.version(),
+        v1.handle().num_vertices()
+    );
+
+    // Readers pin a version with an Arc snapshot: no locks held afterwards,
+    // and concurrent writers can never tear this view.
+    let pinned = service.snapshot("coauthors").expect("snapshot");
+    let ada_before = pinned
+        .handle()
+        .neighbors_by_key(&Value::int(1))
+        .unwrap()
+        .len();
+
+    // The writer applies a mutation batch: one DeltaBatch, one WAL record,
+    // one atomically published version per affected graph.
+    let outcome = service
+        .apply(&[TableMutation::new(
+            "AuthorPub",
+            vec![vec![Value::int(2), Value::int(2)]], // Barbara joins pub 2
+            vec![],
+        )])
+        .expect("apply");
+    for (name, version, patch) in &outcome.graphs {
+        println!(
+            "published `{name}` version {version} (+{} stored edges)",
+            patch.stored_edges_added
+        );
+    }
+
+    // The pinned reader still sees version 1; a fresh snapshot sees v2.
+    let fresh = service.snapshot("coauthors").expect("snapshot");
+    println!(
+        "pinned reader: version {} (Ada degree {}), fresh reader: version {} (Ada degree {})",
+        pinned.version(),
+        ada_before,
+        fresh.version(),
+        fresh.handle().degree_by_key(&Value::int(1)).unwrap()
+    );
+
+    // Crash recovery: drop the service abruptly (no shutdown call exists —
+    // durability happened at apply time) and reopen the directory.
+    let expected = fresh.canonical_bytes();
+    drop(fresh);
+    drop(pinned);
+    drop(service);
+    let recovered = GraphService::open(&dir).expect("recover");
+    let snap = recovered.snapshot("coauthors").expect("snapshot");
+    assert_eq!(snap.canonical_bytes(), expected);
+    println!(
+        "recovered `coauthors` at version {} — byte-identical to the pre-crash state",
+        snap.version()
+    );
+
+    // The recovered service keeps serving reads and writes.
+    recovered
+        .apply(&[TableMutation::new(
+            "Author",
+            vec![vec![Value::int(9), Value::str("Mary")]],
+            vec![],
+        )])
+        .expect("apply after recovery");
+    println!(
+        "post-recovery apply published version {}",
+        recovered.snapshot("coauthors").unwrap().version()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -35,8 +35,12 @@
 //! * [`giraph`] — the message-passing BSP port with message accounting
 //! * [`vminer`] — the VMiner structural-compression baseline
 //! * [`datagen`] — schema-faithful synthetic datasets
+//! * [`serve`] — the serving layer: a versioned multi-graph registry with
+//!   snapshot-isolated concurrent reads, write-ahead-logged persistence,
+//!   crash recovery, and the `graphgen-serve` TCP front end
 //!
-//! See `examples/quickstart.rs` for the 5-minute tour.
+//! See `examples/quickstart.rs` for the 5-minute tour and
+//! `examples/serve.rs` for the serving layer.
 
 pub use graphgen_algo as algo;
 pub use graphgen_common as common;
@@ -47,6 +51,7 @@ pub use graphgen_dsl as dsl;
 pub use graphgen_giraph as giraph;
 pub use graphgen_graph as graph;
 pub use graphgen_reldb as reldb;
+pub use graphgen_serve as serve;
 pub use graphgen_vminer as vminer;
 
 /// The unified error type of the pipeline (re-exported from
