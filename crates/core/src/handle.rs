@@ -311,6 +311,17 @@ impl GraphHandle {
         crate::serialize::decode_snapshot(bytes)
     }
 
+    /// Override the worker-thread count delta probes fan out over (no-op
+    /// on non-incremental handles). Results are byte-identical for any
+    /// value. A snapshot records the count it was encoded with, which may
+    /// not fit the machine decoding it — callers recovering a handle apply
+    /// their own configuration through this.
+    pub fn set_threads(&mut self, threads: usize) {
+        if let Some(state) = self.incremental.as_deref_mut() {
+            state.set_threads(threads);
+        }
+    }
+
     // ---- key-space accessors -------------------------------------------
 
     /// Original key of a vertex.

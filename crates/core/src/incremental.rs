@@ -289,6 +289,14 @@ impl IncrementalState {
         self.threads
     }
 
+    /// Override the worker-thread count delta probes fan out over. Results
+    /// are byte-identical for any value (clamped to ≥ 1); snapshots record
+    /// the count they were encoded with, so a handle recovered on a
+    /// different machine applies its own configuration through this.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
     /// The pristine condensed structure the state maintains, when the
     /// handle no longer holds it itself (i.e. after a conversion away from
     /// C-DUP).

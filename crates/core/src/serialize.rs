@@ -433,6 +433,39 @@ mod tests {
         assert_eq!(restored.canonical_bytes(), original.canonical_bytes());
     }
 
+    /// A snapshot records the thread count it was encoded with, which may
+    /// not fit the machine decoding it; `set_threads` lets the recovering
+    /// side impose its own configuration (and changes no bytes).
+    #[test]
+    fn snapshot_thread_count_can_be_overridden() {
+        let mut db = tiny();
+        let gg = GraphGen::with_config(
+            &db,
+            GraphGenConfig::builder()
+                .auto_expand_threshold(None)
+                .incremental(true)
+                .threads(2)
+                .build(),
+        );
+        let original = gg
+            .extract(
+                "Nodes(ID, Name) :- Person(ID, Name).\n\
+                 Edges(A, B) :- Knows(A, B).",
+            )
+            .unwrap();
+        let mut restored = decode_snapshot(&encode_snapshot(&original)).unwrap();
+        assert_eq!(restored.incremental_state().unwrap().threads(), 2);
+        restored.set_threads(0); // clamps to 1
+        assert_eq!(restored.incremental_state().unwrap().threads(), 1);
+        let delta = db
+            .insert_rows("Knows", vec![vec![Value::int(2), Value::int(1)]])
+            .unwrap();
+        restored.apply_delta(&delta).unwrap();
+        let mut reference = original;
+        reference.apply_delta(&delta).unwrap();
+        assert_eq!(restored.canonical_bytes(), reference.canonical_bytes());
+    }
+
     /// An incremental handle converted away from C-DUP carries a condensed
     /// shadow; the snapshot must restore it so the generic patch path
     /// keeps working after decode.

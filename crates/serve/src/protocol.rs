@@ -15,8 +15,8 @@
 //!
 //! Responses start with `OK` (payload follows on the same line) or `ERR
 //! <message>`. Row cells are comma-separated values: `NULL`, an integer,
-//! a double-quoted string (`"ann"`, `\"`/`\\` escapes; commas inside
-//! quotes are cell content), or a bare string without
+//! a double-quoted string (`"ann"`, `\"`/`\\`/`\n`/`\r` escapes; commas
+//! inside quotes are cell content), or a bare string without
 //! commas/quotes/spaces. Keys use the same value syntax. `APPLY` rows are
 //! whitespace-separated, so string cells there cannot contain spaces — a
 //! deliberate limitation of the line protocol (use the
@@ -91,6 +91,10 @@ pub fn format_value(v: &Value) -> String {
                 match c {
                     '"' => out.push_str("\\\""),
                     '\\' => out.push_str("\\\\"),
+                    // Literal line breaks would tear the one-line-per-
+                    // response framing.
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
                     c => out.push(c),
                 }
             }
@@ -120,6 +124,8 @@ pub fn parse_value(tok: &str) -> ServeResult<Value> {
                 match chars.next() {
                     Some('"') => out.push('"'),
                     Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
                     other => {
                         return Err(protocol_err(format!(
                             "bad escape `\\{}` in `{tok}`",
@@ -253,8 +259,15 @@ pub fn execute(service: &GraphService, cmd: &Command) -> String {
     match run(service, cmd) {
         Ok(payload) if payload.is_empty() => "OK".to_string(),
         Ok(payload) => format!("OK {payload}"),
-        Err(e) => format!("ERR {e}").replace('\n', " "),
+        Err(e) => sanitize_line(&format!("ERR {e}")),
     }
+}
+
+/// Flatten any line break a raw client token may have smuggled into an
+/// error message — a response must stay one line (CR included: CRLF-framed
+/// clients terminate on it).
+pub(crate) fn sanitize_line(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
 }
 
 fn run(service: &GraphService, cmd: &Command) -> ServeResult<String> {
@@ -357,14 +370,30 @@ mod tests {
             Value::str("plain"),
             Value::str("with \"quotes\" and \\slash"),
             Value::str("спасибо"),
+            Value::str("line\nbreak\rcarriage"),
         ] {
-            assert_eq!(parse_value(&format_value(&v)).unwrap(), v);
+            let rendered = format_value(&v);
+            // A rendered value must never tear the one-line framing.
+            assert!(
+                !rendered.contains('\n') && !rendered.contains('\r'),
+                "{rendered:?}"
+            );
+            assert_eq!(parse_value(&rendered).unwrap(), v);
         }
         // Bare tokens parse as strings; integers as ints.
         assert_eq!(parse_value("7").unwrap(), Value::int(7));
         assert_eq!(parse_value("abc").unwrap(), Value::str("abc"));
         assert!(parse_value("\"unterminated").is_err());
         assert!(parse_value("\"bad\\escape\"").is_err());
+    }
+
+    #[test]
+    fn error_messages_never_break_framing() {
+        // A raw CR mid-token survives BufRead::lines and ends up echoed
+        // inside the error message; the rendered line must stay one line.
+        let err = parse_value("\"a\rb").unwrap_err();
+        let line = sanitize_line(&format!("ERR {err}"));
+        assert!(!line.contains('\n') && !line.contains('\r'), "{line:?}");
     }
 
     #[test]

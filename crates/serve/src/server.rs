@@ -9,7 +9,7 @@
 use crate::protocol::{execute, parse_command, Command};
 use crate::service::GraphService;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -50,7 +50,16 @@ impl ServerHandle {
 
 fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
     if !stop.swap(true, Ordering::SeqCst) {
-        // Unblock the accept() call with a throwaway connection.
+        // Unblock the accept() call with a throwaway connection. A
+        // wildcard bind address (0.0.0.0 / ::) is not itself connectable
+        // on every platform — poke the listener via loopback instead.
+        let mut addr = addr;
+        if addr.ip().is_unspecified() {
+            addr.set_ip(match addr {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
         let _ = TcpStream::connect(addr);
     }
 }
@@ -113,7 +122,7 @@ fn handle_connection(
                 }
                 response
             }
-            Err(e) => format!("ERR {e}").replace('\n', " "),
+            Err(e) => crate::protocol::sanitize_line(&format!("ERR {e}")),
         };
         if writeln!(writer, "{response}")
             .and_then(|()| writer.flush())

@@ -28,8 +28,9 @@
 //! dir/
 //!   db.snap            magic GGSVDB1\0 | u64 version | Database
 //!   db.wal             records: u64 version | DeltaBatch     (see wal.rs)
-//!   <name>.graph.snap  magic GGSVGR1\0 | u64 version | dsl | GraphHandle snapshot
-//!   <name>.graph.wal   records: u64 version | DeltaBatch
+//!   <name>.graph.snap  magic GGSVGR2\0 | u64 version | u64 db_version
+//!                      | dsl | GraphHandle snapshot
+//!   <name>.graph.wal   records: u64 version | u64 db_version | DeltaBatch
 //! ```
 //!
 //! Snapshot files carry a whole-file fxhash64 trailer ([`crate::wal::seal`])
@@ -44,6 +45,19 @@
 //! the snapshot version, so every mid-compaction crash layout (old
 //! snapshot + full log, new snapshot + not-yet-truncated log, leftover
 //! `.tmp`) recovers to the exact pre-crash state.
+//!
+//! The database WAL and the per-graph WALs are separate files, appended in
+//! sequence, so a crash can land *between* the two appends of one batch.
+//! The `db_version` stamp on every graph snapshot and graph WAL record is
+//! the cross-log correlation that makes this window safe: recovery knows
+//! exactly which database version each recovered graph is consistent with,
+//! and replays any later db-WAL batches the graph's own log is missing
+//! (skipping batches that touch none of its tables, exactly as the live
+//! write path would). So that db log truncation can never strand a graph,
+//! db compaction first folds every graph whose durable stamp lags the
+//! current database version; a graph stamp *older than `db.snap`* is
+//! therefore impossible in any crash layout and recovery rejects it as
+//! [`ServeError::Corrupt`] instead of serving a silently diverged graph.
 
 use crate::error::{ServeError, ServeResult};
 use crate::wal::{seal, unseal, write_file_atomic, Wal};
@@ -56,8 +70,9 @@ use std::sync::{Arc, Mutex, RwLock};
 
 /// Magic prefix of `db.snap` (trailing digit = format version).
 pub const DB_SNAP_MAGIC: [u8; 8] = *b"GGSVDB1\0";
-/// Magic prefix of `<name>.graph.snap`.
-pub const GRAPH_SNAP_MAGIC: [u8; 8] = *b"GGSVGR1\0";
+/// Magic prefix of `<name>.graph.snap` (format 2 added the `db_version`
+/// stamp; format-1 files fail `expect_magic` cleanly).
+pub const GRAPH_SNAP_MAGIC: [u8; 8] = *b"GGSVGR2\0";
 
 /// Service knobs.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +104,7 @@ impl Default for ServiceConfig {
 pub struct GraphSnapshot {
     name: String,
     version: u64,
+    db_version: u64,
     handle: GraphHandle,
 }
 
@@ -102,6 +118,14 @@ impl GraphSnapshot {
     /// +1 per applied batch).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The database version this snapshot was built against. The snapshot
+    /// is also consistent with every later database version whose batches
+    /// left its referenced tables untouched (such batches do not produce a
+    /// new graph version).
+    pub fn db_version(&self) -> u64 {
+        self.db_version
     }
 
     /// The graph itself (read-only: the snapshot is shared).
@@ -182,6 +206,12 @@ struct GraphState {
     /// snapshot holds; cloned-on-write when a batch arrives).
     current: Arc<GraphSnapshot>,
     wal: Option<Wal>,
+    /// Highest database version the graph's *durable* state (the snapshot
+    /// file's stamp or its last WAL record) is known consistent with. Lags
+    /// `current.db_version()` while batches skip this graph; db compaction
+    /// uses it to fold the graph before discarding db-WAL records its
+    /// files have never seen.
+    durable_db_version: u64,
 }
 
 /// Everything the single writer touches, behind one lock.
@@ -241,8 +271,33 @@ impl GraphService {
         let service = Self::assemble(db, Some(dir.to_path_buf()), cfg);
         {
             let mut inner = service.inner.lock().unwrap();
+            // The directory may hold debris from a previous incarnation
+            // (e.g. the operator deleted a corrupt db.snap to start over):
+            // graph files extracted from a database this service never
+            // saw, WAL records, half-written `.tmp` siblings. All of it
+            // must be gone *before* the fresh db.snap is written — a later
+            // `open` would otherwise recover those graphs as live, or
+            // (for the reset-but-not-deleted db.wal) replay mutations over
+            // the new database and mask its own records behind recycled
+            // version numbers. A crash mid-cleanup leaves no db.snap,
+            // which `open` refuses, so `create` simply runs again.
+            for entry in std::fs::read_dir(dir)? {
+                let path = entry?.path();
+                let Some(file) = path.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                if file.ends_with(".graph.snap")
+                    || file.ends_with(".graph.wal")
+                    || file.ends_with(".tmp")
+                {
+                    std::fs::remove_file(&path)?;
+                }
+            }
+            let (mut wal, stale) = Wal::open(dir.join("db.wal"))?;
+            if !stale.is_empty() {
+                wal.reset()?;
+            }
             write_db_snapshot(&mut inner)?;
-            let (wal, _) = Wal::open(dir.join("db.wal"))?;
             inner.db_wal = Some(wal);
         }
         Ok(service)
@@ -279,6 +334,10 @@ impl GraphService {
             .map_err(|e| ServeError::corrupt(db_snap_path.display().to_string(), e))?;
         let (db_wal, db_records) = Wal::open(dir.join("db.wal"))?;
         let mut db_version = snap_version;
+        // The replayed tail is kept for the per-graph pass below: a graph
+        // whose log is missing the final batch of a crashed `apply` (the
+        // two logs are appended non-atomically) is caught up from it.
+        let mut db_tail: Vec<(u64, DeltaBatch)> = Vec::new();
         for record in db_records {
             let (version, batch) = decode_wal_record(&record)
                 .map_err(|e| ServeError::corrupt(db_wal.path().display().to_string(), e))?;
@@ -287,6 +346,7 @@ impl GraphService {
             }
             replay_batch_on_db(&mut db, &batch)?;
             db_version = version;
+            db_tail.push((version, batch));
         }
         let service = Self::assemble(db, Some(dir.to_path_buf()), cfg);
         {
@@ -305,8 +365,20 @@ impl GraphService {
                 }
             }
             stems.sort();
+            // Snapshots record the thread count they were extracted with;
+            // this service's own knob (resolved the same way extraction
+            // resolves it) wins for every recovered handle.
+            let threads = Self::extraction_config(&cfg).threads();
             for (name, snap_path) in stems {
-                let state = recover_graph(&name, &snap_path, dir)?;
+                let state = recover_graph(
+                    &name,
+                    &snap_path,
+                    dir,
+                    snap_version,
+                    &db_tail,
+                    threads,
+                    cfg.fsync,
+                )?;
                 inner.graphs.insert(name, state);
             }
             let mut published = service.published.write().unwrap();
@@ -361,23 +433,36 @@ impl GraphService {
         let snapshot = Arc::new(GraphSnapshot {
             name: name.to_string(),
             version: 1,
+            db_version: inner.db_version,
             handle,
         });
         let mut state = GraphState {
             dsl: dsl.to_string(),
             current: Arc::clone(&snapshot),
             wal: None,
+            durable_db_version: inner.db_version,
         };
         if let Some(dir) = inner.dir.clone() {
-            write_graph_snapshot(&dir, &state.dsl, &snapshot, inner.cfg.fsync)?;
-            let (mut wal, stale) = Wal::open(graph_wal_path(&dir, name))?;
             // A prior incarnation of this graph name may have left records
-            // behind (e.g. a crash between drop_graph's two unlinks). The
-            // just-written version-1 snapshot fully covers the new graph,
-            // so anything in the log is stale and must not be replayed.
+            // behind (e.g. a crash between drop_graph's two unlinks).
+            // Empty the log *before* writing the version-1 snapshot: in
+            // this order a crash window leaves either an empty WAL and no
+            // snapshot (recovery registers graphs by their .graph.snap
+            // file, so the leftover is inert) or the fully consistent
+            // pair. Snapshot first would open a window where the fresh
+            // snapshot sits beside old-incarnation records that recovery
+            // would replay onto it.
+            let (mut wal, stale) = Wal::open(graph_wal_path(&dir, name))?;
             if !stale.is_empty() {
                 wal.reset()?;
             }
+            write_graph_snapshot(
+                &dir,
+                &state.dsl,
+                &snapshot,
+                inner.db_version,
+                inner.cfg.fsync,
+            )?;
             state.wal = Some(wal);
         }
         inner.graphs.insert(name.to_string(), state);
@@ -563,16 +648,14 @@ impl GraphService {
         // disagree about the current version. The failing graph and every
         // graph after it in the order are now one batch behind the
         // database, so the writer is wedged and the error is returned
-        // after the publication step below.
+        // after the publication step below; reopening the directory heals
+        // the lag (recovery replays the batch from the db WAL into every
+        // graph whose own log is missing it).
         let mut apply_err: Option<ServeError> = None;
         for name in names {
             let state = inner.graphs.get_mut(&name).expect("listed name");
             let tables = state.current.handle().referenced_tables();
-            let affected = batch
-                .deltas()
-                .iter()
-                .any(|d| tables.iter().any(|t| t == d.table()));
-            if !affected {
+            if !batch_affects(&batch, &tables) {
                 continue;
             }
             let step = (|| -> ServeResult<()> {
@@ -580,11 +663,13 @@ impl GraphService {
                 let patch = handle.apply_batch(&batch)?;
                 let version = state.current.version() + 1;
                 if let Some(wal) = state.wal.as_mut() {
-                    wal.append(&encode_wal_record(version, &batch), fsync)?;
+                    wal.append(&encode_graph_wal_record(version, db_version, &batch), fsync)?;
+                    state.durable_db_version = db_version;
                 }
                 let snapshot = Arc::new(GraphSnapshot {
                     name: name.clone(),
                     version,
+                    db_version,
                     handle,
                 });
                 state.current = Arc::clone(&snapshot);
@@ -595,7 +680,7 @@ impl GraphService {
                 let oversized = state.wal.as_ref().is_some_and(|w| w.bytes() > threshold);
                 if oversized {
                     let dir = inner.dir.clone().expect("wal implies dir");
-                    compact_graph(&dir, state, fsync)?;
+                    compact_graph(&dir, state, db_version, fsync)?;
                 }
                 Ok(())
             })();
@@ -612,14 +697,26 @@ impl GraphService {
         if apply_err.is_none() {
             let db_oversized = inner.db_wal.as_ref().is_some_and(|w| w.bytes() > threshold);
             if db_oversized {
-                let step = write_db_snapshot(inner).and_then(|()| {
-                    inner
-                        .db_wal
-                        .as_mut()
-                        .expect("checked")
-                        .reset()
-                        .map_err(Into::into)
-                });
+                let step = (|| -> ServeResult<()> {
+                    // Truncating db.wal discards batches a quiescent
+                    // graph's files have never recorded (its tables were
+                    // untouched, so no record advanced its stamp). Fold
+                    // every such graph first, stamped with the current
+                    // database version, so recovery never meets a graph
+                    // whose missing db batches were compacted away.
+                    let dir = inner.dir.clone().expect("db wal implies dir");
+                    let mut names: Vec<String> = inner.graphs.keys().cloned().collect();
+                    names.sort();
+                    for name in names {
+                        let state = inner.graphs.get_mut(&name).expect("listed name");
+                        if state.wal.is_some() && state.durable_db_version < db_version {
+                            compact_graph(&dir, state, db_version, fsync)?;
+                        }
+                    }
+                    write_db_snapshot(inner)?;
+                    inner.db_wal.as_mut().expect("checked").reset()?;
+                    Ok(())
+                })();
                 if let Err(e) = step {
                     inner.wedged = true;
                     apply_err = Some(e);
@@ -652,11 +749,16 @@ impl GraphService {
         let Some(dir) = inner.dir.clone() else {
             return Ok(()); // in-memory service: nothing to fold
         };
+        // A non-wedged service's graphs are all consistent with the
+        // current database version (every affected batch was applied), so
+        // the fold can stamp them with it.
+        let db_version = inner.db_version;
+        let fsync = inner.cfg.fsync;
         let state = inner
             .graphs
             .get_mut(name)
             .ok_or_else(|| ServeError::UnknownGraph(name.to_string()))?;
-        compact_graph(&dir, state, inner.cfg.fsync)
+        compact_graph(&dir, state, db_version, fsync)
     }
 
     /// The persistence directory, if the service is persistent.
@@ -668,6 +770,16 @@ impl GraphService {
 // ---------------------------------------------------------------------------
 // Persistence helpers
 // ---------------------------------------------------------------------------
+
+/// Does `batch` touch any of the given referenced tables? The live write
+/// path and the recovery catch-up must agree on this predicate exactly —
+/// it decides which batches version a graph.
+fn batch_affects(batch: &DeltaBatch, tables: &[String]) -> bool {
+    batch
+        .deltas()
+        .iter()
+        .any(|d| tables.iter().any(|t| t == d.table()))
+}
 
 fn graph_snap_path(dir: &Path, name: &str) -> PathBuf {
     dir.join(format!("{name}.graph.snap"))
@@ -690,6 +802,28 @@ fn decode_wal_record(record: &[u8]) -> Result<(u64, DeltaBatch), graphgen_common
     let batch = DeltaBatch::decode(&mut r)?;
     r.expect_end()?;
     Ok((version, batch))
+}
+
+/// Graph WAL records additionally carry the database version the batch
+/// was committed as — the cross-log stamp recovery uses to correlate a
+/// graph's log with `db.wal` (the two are appended non-atomically).
+fn encode_graph_wal_record(version: u64, db_version: u64, batch: &DeltaBatch) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_u64(&mut out, version);
+    codec::put_u64(&mut out, db_version);
+    batch.encode_into(&mut out);
+    out
+}
+
+fn decode_graph_wal_record(
+    record: &[u8],
+) -> Result<(u64, u64, DeltaBatch), graphgen_common::CodecError> {
+    let mut r = Reader::new(record);
+    let version = r.u64()?;
+    let db_version = r.u64()?;
+    let batch = DeltaBatch::decode(&mut r)?;
+    r.expect_end()?;
+    Ok((version, db_version, batch))
 }
 
 /// Re-apply a recovered batch to the database (replay path: the mutations
@@ -741,15 +875,21 @@ fn write_db_snapshot(inner: &mut Inner) -> ServeResult<()> {
     Ok(())
 }
 
+/// `db_version` is passed explicitly (not read off the snapshot) because a
+/// compaction may stamp a graph as consistent with a database version
+/// *newer* than the one it was published at — every batch in between left
+/// its tables untouched.
 fn write_graph_snapshot(
     dir: &Path,
     dsl: &str,
     snapshot: &GraphSnapshot,
+    db_version: u64,
     fsync: bool,
 ) -> ServeResult<()> {
     let mut bytes = Vec::new();
     bytes.extend_from_slice(&GRAPH_SNAP_MAGIC);
     codec::put_u64(&mut bytes, snapshot.version());
+    codec::put_u64(&mut bytes, db_version);
     codec::put_str(&mut bytes, dsl);
     codec::put_bytes(&mut bytes, &snapshot.handle().to_snapshot_bytes());
     seal(&mut bytes);
@@ -757,51 +897,141 @@ fn write_graph_snapshot(
     Ok(())
 }
 
-fn compact_graph(dir: &Path, state: &mut GraphState, fsync: bool) -> ServeResult<()> {
-    write_graph_snapshot(dir, &state.dsl, &state.current, fsync)?;
+fn compact_graph(
+    dir: &Path,
+    state: &mut GraphState,
+    db_version: u64,
+    fsync: bool,
+) -> ServeResult<()> {
+    write_graph_snapshot(dir, &state.dsl, &state.current, db_version, fsync)?;
     if let Some(wal) = state.wal.as_mut() {
         wal.reset()?;
     }
+    state.durable_db_version = db_version;
     Ok(())
 }
 
-fn recover_graph(name: &str, snap_path: &Path, dir: &Path) -> ServeResult<GraphState> {
+/// Recover one graph: load its snapshot, replay its WAL, then reconcile
+/// with the database log — the graph WAL and `db.wal` are appended
+/// non-atomically, so a crash between the two appends of a batch leaves
+/// the batch in the database log only. `db_tail` holds the db-WAL batches
+/// newer than `db.snap` (in commit order); any of them newer than the
+/// graph's own db-version stamp is replayed here (and logged, so the
+/// catch-up is itself durable), exactly as the live write path would have:
+/// batches touching none of the graph's tables advance the stamp without
+/// creating a version.
+fn recover_graph(
+    name: &str,
+    snap_path: &Path,
+    dir: &Path,
+    db_snap_version: u64,
+    db_tail: &[(u64, DeltaBatch)],
+    threads: usize,
+    fsync: bool,
+) -> ServeResult<GraphState> {
     let bytes = std::fs::read(snap_path)?;
     let file = snap_path.display().to_string();
     let content =
         unseal(&bytes).ok_or_else(|| ServeError::corrupt(&file, "integrity checksum mismatch"))?;
     let mut r = Reader::new(content);
     let parse =
-        |r: &mut Reader<'_>| -> Result<(u64, String, Vec<u8>), graphgen_common::CodecError> {
+        |r: &mut Reader<'_>| -> Result<(u64, u64, String, Vec<u8>), graphgen_common::CodecError> {
             r.expect_magic(&GRAPH_SNAP_MAGIC)?;
             let version = r.u64()?;
+            let db_version = r.u64()?;
             let dsl = r.str()?.to_string();
             let handle_bytes = r.bytes()?.to_vec();
             r.expect_end()?;
-            Ok((version, dsl, handle_bytes))
+            Ok((version, db_version, dsl, handle_bytes))
         };
-    let (snap_version, dsl, handle_bytes) =
+    let (snap_version, snap_db_version, dsl, handle_bytes) =
         parse(&mut r).map_err(|e| ServeError::corrupt(&file, e))?;
     let mut handle = GraphHandle::from_snapshot_bytes(&handle_bytes)?;
-    let (wal, records) = Wal::open(graph_wal_path(dir, name))?;
+    handle.set_threads(threads);
+    let (mut wal, records) = Wal::open(graph_wal_path(dir, name))?;
+    let wal_file = wal.path().display().to_string();
     let mut version = snap_version;
+    let mut db_version = snap_db_version;
     for record in records {
-        let (record_version, batch) = decode_wal_record(&record)
-            .map_err(|e| ServeError::corrupt(wal.path().display().to_string(), e))?;
+        let (record_version, record_db_version, batch) =
+            decode_graph_wal_record(&record).map_err(|e| ServeError::corrupt(&wal_file, e))?;
         if record_version <= snap_version {
             continue; // folded into the snapshot before the crash
         }
+        if record_db_version <= db_version {
+            // A record past the snapshot must carry a newer db stamp
+            // (stamps grow strictly across a graph's commits): this one is
+            // debris from a previous incarnation of the name.
+            return Err(ServeError::corrupt(
+                &wal_file,
+                format!(
+                    "record v{record_version} has database stamp \
+                     {record_db_version} <= {db_version}: stale log"
+                ),
+            ));
+        }
         handle.apply_batch(&batch)?;
         version = record_version;
+        db_version = record_db_version;
+    }
+    let db_recovered = db_tail.last().map_or(db_snap_version, |(v, _)| *v);
+    if db_version > db_recovered {
+        // The db WAL is appended before the graph WAL, so with durability
+        // on a graph can never be ahead of its database. Finding one means
+        // foreign files (a previous incarnation's graph surviving next to
+        // a recreated database) or fsync-off reordering — either way its
+        // batches do not correspond to this database's history.
+        return Err(ServeError::corrupt(
+            &file,
+            format!(
+                "graph is ahead of its database (stamped database version \
+                 {db_version}, recovered database at {db_recovered}): the graph \
+                 belongs to another incarnation; re-extract it"
+            ),
+        ));
+    }
+    if db_version < db_snap_version {
+        // The batches between this graph's stamp and db.snap were folded
+        // away, so the graph can no longer be caught up from the logs. No
+        // crash layout produces this (db compaction folds lagging graphs
+        // before truncating db.wal) — refuse rather than silently serve a
+        // graph behind its database.
+        return Err(ServeError::corrupt(
+            &file,
+            format!(
+                "graph is consistent with database version {db_version} but db.snap \
+                 is at {db_snap_version} and the batches between were compacted \
+                 away; re-extract the graph"
+            ),
+        ));
+    }
+    let mut durable_db_version = db_version;
+    let tables = handle.referenced_tables();
+    for (batch_db_version, batch) in db_tail {
+        if *batch_db_version <= db_version {
+            continue; // already in the graph's own snapshot or log
+        }
+        if batch_affects(batch, &tables) {
+            handle.apply_batch(batch)?;
+            version += 1;
+            wal.append(
+                &encode_graph_wal_record(version, *batch_db_version, batch),
+                fsync,
+            )?;
+            durable_db_version = *batch_db_version;
+        }
+        db_version = *batch_db_version;
     }
     Ok(GraphState {
         dsl,
         current: Arc::new(GraphSnapshot {
             name: name.to_string(),
             version,
+            db_version,
             handle,
         }),
         wal: Some(wal),
+        durable_db_version,
     })
 }
 

@@ -248,6 +248,260 @@ fn recover_torn_wal_tail() {
     assert_recovered(&dir, &expected);
 }
 
+/// Crash between the two WAL appends of one batch: the db WAL carries the
+/// batch, the graph WAL does not (they are separate files, appended in
+/// sequence). Recovery must catch the lagging graph up from the db WAL —
+/// not serve a graph one batch behind its database — and the caught-up
+/// maintenance state must keep evolving identically to an uninterrupted
+/// service.
+#[test]
+fn recover_graph_wal_lagging_db_wal() {
+    let dir = TempDir::new("rec-lag");
+    let wal_path = dir.path().join("coauthors.graph.wal");
+    let final_batch = [TableMutation::new(
+        "AuthorPub",
+        vec![
+            vec![Value::int(2), Value::int(2)],
+            vec![Value::int(4), Value::int(5)],
+        ],
+        vec![],
+    )];
+    let expected;
+    let pre_len;
+    {
+        let service = GraphService::create(
+            dir.path(),
+            seed_db(),
+            ServiceConfig {
+                compact_threshold: u64::MAX,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        service.extract("roster", Q_NODES_ONLY).unwrap();
+        churn(&service, 13, 6);
+        pre_len = std::fs::metadata(&wal_path).unwrap().len() as usize;
+        // One more committed batch; its graph-WAL record is then erased to
+        // reproduce a crash after the db-WAL append, before the graph's.
+        let outcome = service.apply(&final_batch).unwrap();
+        assert_eq!(outcome.graphs.len(), 1);
+        expected = fingerprint(&service);
+    }
+    let raw = std::fs::read(&wal_path).unwrap();
+    assert!(raw.len() > pre_len, "the batch must have appended a record");
+    std::fs::write(&wal_path, &raw[..pre_len]).unwrap();
+    assert_recovered(&dir, &expected);
+    // assert_recovered's open() already re-appended the missing record, so
+    // this second recovery starts from healed logs.
+    let recovered = GraphService::open(dir.path()).unwrap();
+    let reference = GraphService::in_memory(seed_db());
+    reference.extract("coauthors", Q_COAUTHORS).unwrap();
+    reference.extract("roster", Q_NODES_ONLY).unwrap();
+    churn(&reference, 13, 6);
+    reference.apply(&final_batch).unwrap();
+    churn(&recovered, 17, 3);
+    churn(&reference, 17, 3);
+    assert_eq!(
+        recovered.snapshot("coauthors").unwrap().canonical_bytes(),
+        reference.snapshot("coauthors").unwrap().canonical_bytes(),
+        "caught-up graph diverged from the uninterrupted reference"
+    );
+}
+
+/// A graph whose tables the workload never touches gains no WAL records,
+/// yet aggressive db compaction truncates `db.wal` constantly. The
+/// compaction rule (fold every graph whose durable stamp lags before
+/// truncating the db log) must keep such a graph recoverable.
+#[test]
+fn recover_quiescent_graph_across_db_compaction() {
+    let dir = TempDir::new("rec-db-compact");
+    let expected;
+    {
+        let service = GraphService::create(
+            dir.path(),
+            seed_db(),
+            ServiceConfig {
+                compact_threshold: 1, // every batch folds the oversized WALs
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        service.extract("roster", Q_NODES_ONLY).unwrap();
+        // AuthorPub-only churn: roster (Author-only) stays at version 1
+        // throughout while db.wal is truncated after every batch.
+        for pid in 1..=5 {
+            service
+                .apply(&[TableMutation::new(
+                    "AuthorPub",
+                    vec![vec![Value::int(pid), Value::int(6)]],
+                    vec![],
+                )])
+                .unwrap();
+        }
+        assert_eq!(service.snapshot("roster").unwrap().version(), 1);
+        expected = fingerprint(&service);
+    }
+    assert_recovered(&dir, &expected);
+}
+
+/// The layout the db-version stamps exist to rule out: a graph consistent
+/// with a database version *older than `db.snap`*, with the batches in
+/// between compacted away. No crash produces it; if it is found on disk
+/// anyway, recovery must refuse rather than silently serve a diverged
+/// graph.
+#[test]
+fn graph_stranded_behind_db_snapshot_is_rejected() {
+    let dir = TempDir::new("rec-stranded");
+    let snap_path = dir.path().join("roster.graph.snap");
+    {
+        let service = GraphService::create(
+            dir.path(),
+            seed_db(),
+            ServiceConfig {
+                compact_threshold: 1,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        service.extract("roster", Q_NODES_ONLY).unwrap();
+        let stale_snap = std::fs::read(&snap_path).unwrap();
+        // Author batches advance roster while truncating db.wal each time.
+        for a in 0..3i64 {
+            service
+                .apply(&[TableMutation::new(
+                    "Author",
+                    vec![vec![Value::int(50 + a), Value::str(format!("n{a}"))]],
+                    vec![],
+                )])
+                .unwrap();
+        }
+        drop(service);
+        // Hand-roll the impossible state: roster's files claim database
+        // version 0 while db.snap is at 3 and db.wal is empty.
+        std::fs::write(&snap_path, &stale_snap).unwrap();
+        std::fs::write(dir.path().join("roster.graph.wal"), b"").unwrap();
+    }
+    let err = GraphService::open(dir.path()).unwrap_err();
+    assert!(
+        matches!(err, graphgen_serve::ServeError::Corrupt { .. }),
+        "{err}"
+    );
+}
+
+/// `drop_graph` unlinks the snapshot first, then the WAL; a crash between
+/// the two leaves a WAL-only graph on disk. Recovery must not register it,
+/// and a re-extraction under the same name must not resurrect its records
+/// (extract empties the leftover log *before* writing the fresh snapshot,
+/// so no crash point leaves the two inconsistent).
+#[test]
+fn reextract_after_partial_drop_crash_ignores_stale_wal() {
+    let dir = TempDir::new("rec-redrop");
+    {
+        let service = GraphService::create(
+            dir.path(),
+            seed_db(),
+            ServiceConfig {
+                compact_threshold: u64::MAX,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        churn(&service, 41, 5);
+    }
+    std::fs::remove_file(dir.path().join("coauthors.graph.snap")).unwrap();
+    let reopened = GraphService::open(dir.path()).unwrap();
+    assert!(
+        reopened.names().is_empty(),
+        "snapshot-less graph must not be registered"
+    );
+    reopened.extract("coauthors", Q_COAUTHORS).unwrap();
+    churn(&reopened, 43, 3);
+    let expected = fingerprint(&reopened);
+    drop(reopened);
+    assert_recovered(&dir, &expected);
+}
+
+/// `create` over a directory holding a leftover db.wal (the operator
+/// deleted a bad db.snap to start over) must empty the old incarnation's
+/// log: replaying its records over the fresh database would resurrect
+/// mutations the new service never saw and mask the new records behind
+/// their recycled version numbers.
+#[test]
+fn create_resets_stale_db_wal() {
+    let dir = TempDir::new("rec-stale-dbwal");
+    {
+        let service =
+            GraphService::create(dir.path(), seed_db(), ServiceConfig::default()).unwrap();
+        for pid in 1..=3 {
+            service
+                .apply(&[TableMutation::new(
+                    "AuthorPub",
+                    vec![vec![Value::int(pid), Value::int(6)]],
+                    vec![],
+                )])
+                .unwrap();
+        }
+    }
+    assert!(std::fs::metadata(dir.path().join("db.wal")).unwrap().len() > 0);
+    std::fs::remove_file(dir.path().join("db.snap")).unwrap();
+    let expected;
+    let rows_expected;
+    {
+        let service =
+            GraphService::create(dir.path(), seed_db(), ServiceConfig::default()).unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        service
+            .apply(&[TableMutation::new(
+                "AuthorPub",
+                vec![vec![Value::int(2), Value::int(2)]],
+                vec![],
+            )])
+            .unwrap();
+        expected = fingerprint(&service);
+        rows_expected = service.stats().1;
+    }
+    let recovered = GraphService::open(dir.path()).unwrap();
+    assert_eq!(recovered.stats().1, rows_expected, "db rows diverged");
+    assert_recovered(&dir, &expected);
+}
+
+/// `create` over a directory holding a previous incarnation's graph files
+/// (same start-over scenario as above, but with graphs registered) must
+/// delete them: they were extracted from a database this service never
+/// saw, and a later `open` would otherwise serve them as live.
+#[test]
+fn create_clears_previous_incarnation_graph_files() {
+    let dir = TempDir::new("rec-stale-graphs");
+    {
+        let service =
+            GraphService::create(dir.path(), seed_db(), ServiceConfig::default()).unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        churn(&service, 3, 3);
+    }
+    std::fs::remove_file(dir.path().join("db.snap")).unwrap();
+    {
+        let service =
+            GraphService::create(dir.path(), seed_db(), ServiceConfig::default()).unwrap();
+        assert!(!dir.path().join("coauthors.graph.snap").exists());
+        assert!(!dir.path().join("coauthors.graph.wal").exists());
+        service
+            .apply(&[TableMutation::new(
+                "Author",
+                vec![vec![Value::int(30), Value::str("x")]],
+                vec![],
+            )])
+            .unwrap();
+    }
+    let recovered = GraphService::open(dir.path()).unwrap();
+    assert!(
+        recovered.names().is_empty(),
+        "previous incarnation's graph resurrected"
+    );
+}
+
 /// A corrupted snapshot file must fail recovery with a clean `Corrupt`
 /// error (whole-file checksum), never decode flipped bytes.
 #[test]
