@@ -253,8 +253,10 @@ impl<'a> GraphGen<'a> {
         }
         let mut state = IncrementalState::new(spec, &plans, self.cfg.threads());
         let mut graph = AnyGraph::CDup(CondensedBuilder::new(0).build());
-        let mut ids: IdMap<Value> = IdMap::new();
-        let mut properties = Properties::new(0);
+        // The engine takes `Arc`ed stores (shared with reader clones on the
+        // live path); here they are freshly owned, so `make_mut` is free.
+        let mut ids = std::sync::Arc::new(IdMap::<Value>::new());
+        let mut properties = std::sync::Arc::new(Properties::new(0));
         for table in state.referenced_tables() {
             let t = self.db.table(&table)?;
             let mut delta = Delta::new(table);

@@ -32,6 +32,7 @@ use graphgen_graph::{
     CondensedGraph, ExpandedGraph, GraphRep, PropValue, Properties, RealId, RepKind,
 };
 use graphgen_reldb::{Delta, DeltaBatch, Value};
+use std::sync::Arc;
 
 /// Which BITMAP preprocessing pass builds the bitmap representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -102,13 +103,25 @@ impl Default for AdvisorPolicy {
 /// An extracted graph plus everything needed to use it: id ↔ key mapping,
 /// vertex properties, and the plan report. See the module docs for the
 /// conversion/advisor surface.
+///
+/// # Structural sharing
+///
+/// The id ↔ key mapping and the property store live behind `Arc`s, and a
+/// condensed graph's adjacency is `Arc`-chunked (`graphgen_graph::chunk`),
+/// so **cloning a handle is cheap** — `O(#chunks)` pointer bumps plus a
+/// liveness-bit copy, never a traversal of the data. Mutations go
+/// copy-on-write: patching one handle copies only the adjacency chunks the
+/// delta lands in (and the id map / properties only if a node view
+/// changed), leaving every other clone byte-identical to what it was. The
+/// serving layer's delta-bound publish is built on exactly this contract;
+/// [`GraphHandle::reader_clone`] is its publication primitive.
 #[derive(Debug, Clone)]
 pub struct GraphHandle {
     graph: AnyGraph,
-    ids: IdMap<Value>,
-    properties: Properties,
+    ids: Arc<IdMap<Value>>,
+    properties: Arc<Properties>,
     report: ExtractionReport,
-    incremental: Option<Box<IncrementalState>>,
+    incremental: Option<Arc<IncrementalState>>,
 }
 
 impl GraphHandle {
@@ -122,19 +135,20 @@ impl GraphHandle {
     ) -> Self {
         Self {
             graph,
-            ids,
-            properties,
+            ids: Arc::new(ids),
+            properties: Arc::new(properties),
             report,
             incremental: None,
         }
     }
 
     /// Assemble a handle that carries the delta-maintenance state (the
-    /// incremental extractor's exit point).
+    /// incremental extractor's exit point). Takes the `Arc`ed stores the
+    /// replay engine worked on directly — no unwrap/re-wrap round-trip.
     pub(crate) fn from_parts_incremental(
         graph: AnyGraph,
-        ids: IdMap<Value>,
-        properties: Properties,
+        ids: Arc<IdMap<Value>>,
+        properties: Arc<Properties>,
         report: ExtractionReport,
         state: IncrementalState,
     ) -> Self {
@@ -143,7 +157,7 @@ impl GraphHandle {
             ids,
             properties,
             report,
-            incremental: Some(Box::new(state)),
+            incremental: Some(Arc::new(state)),
         }
     }
 
@@ -157,10 +171,30 @@ impl GraphHandle {
     ) -> Self {
         Self {
             graph,
-            ids,
-            properties,
+            ids: Arc::new(ids),
+            properties: Arc::new(properties),
             report: ExtractionReport::default(),
-            incremental: state.map(Box::new),
+            incremental: state.map(Arc::new),
+        }
+    }
+
+    /// A structurally shared clone for serving **readers**: the graph's
+    /// adjacency chunks, the id map, and the property store are `Arc`-shared
+    /// with this handle (`O(#chunks)` pointer bumps), and the
+    /// delta-maintenance state is *not* carried over. The clone therefore
+    /// cannot [`GraphHandle::apply_delta`] — it is an immutable-by-intent
+    /// serving view — and the writer that keeps patching this handle in
+    /// place never pays a maintenance-state copy for having published it.
+    /// Later patches copy-on-write only what they touch; the clone stays
+    /// byte-identical ([`GraphHandle::canonical_bytes`]) to the moment it
+    /// was taken.
+    pub fn reader_clone(&self) -> GraphHandle {
+        GraphHandle {
+            graph: self.graph.clone(),
+            ids: Arc::clone(&self.ids),
+            properties: Arc::clone(&self.properties),
+            report: self.report.clone(),
+            incremental: None,
         }
     }
 
@@ -204,9 +238,14 @@ impl GraphHandle {
 
     /// Decompose into `(graph, ids, properties, report)`. Any incremental
     /// maintenance state is dropped — a decomposed handle can no longer
-    /// apply deltas.
+    /// apply deltas. Sections shared with other clones are copied out.
     pub fn into_parts(self) -> (AnyGraph, IdMap<Value>, Properties, ExtractionReport) {
-        (self.graph, self.ids, self.properties, self.report)
+        (
+            self.graph,
+            Arc::try_unwrap(self.ids).unwrap_or_else(|shared| (*shared).clone()),
+            Arc::try_unwrap(self.properties).unwrap_or_else(|shared| (*shared).clone()),
+            self.report,
+        )
     }
 
     // ---- incremental maintenance ---------------------------------------
@@ -249,11 +288,14 @@ impl GraphHandle {
     /// maintained state (the handle should then be re-extracted — its
     /// contents are no longer trustworthy).
     pub fn apply_delta(&mut self, delta: &Delta) -> Result<GraphPatch, Error> {
-        let Some(state) = self.incremental.as_deref_mut() else {
+        let Some(state) = self.incremental.as_mut() else {
             return Err(PatchError::NotIncremental.into());
         };
+        // `make_mut` is free while the writer is the state's only owner
+        // (reader clones never carry it); a fully shared clone pays one
+        // state copy on its first patch and is sole owner afterwards.
         incremental::apply_delta_state(
-            state,
+            Arc::make_mut(state),
             &mut self.graph,
             &mut self.ids,
             &mut self.properties,
@@ -317,8 +359,10 @@ impl GraphHandle {
     /// not fit the machine decoding it — callers recovering a handle apply
     /// their own configuration through this.
     pub fn set_threads(&mut self, threads: usize) {
-        if let Some(state) = self.incremental.as_deref_mut() {
-            state.set_threads(threads);
+        if let Some(state) = self.incremental.as_mut() {
+            if state.threads() != threads.max(1) {
+                Arc::make_mut(state).set_threads(threads);
+            }
         }
     }
 
@@ -488,7 +532,7 @@ impl GraphHandle {
             ids: self.ids.clone(),
             properties: self.properties.clone(),
             report: self.report.clone(),
-            incremental: Some(Box::new(new_state)),
+            incremental: Some(Arc::new(new_state)),
         })
     }
 

@@ -802,11 +802,19 @@ impl SegmentState {
                     *sdelta.entry(k).or_insert(0) += v;
                 }
             }
-            // Advance atom j to its post-delta state.
-            let atom = &mut self.atoms[j];
-            for ((in_v, out_v), mult) in &entries {
-                bump(&mut atom.by_in, in_v, out_v, *mult)?;
-                bump(&mut atom.by_out, out_v, in_v, *mult)?;
+            // Advance atom j to its post-delta state. A single-atom
+            // segment's bags are never probed — the delta join only walks
+            // the bags of *other* atoms in the same segment, and the
+            // segment-level `by_left`/`by_right` indexes (not the atom
+            // bags) serve node materialization — so the graph-sized,
+            // cache-cold maps need not be maintained at all (they simply
+            // stay empty, on the initial replay and live path alike).
+            if self.atoms.len() > 1 {
+                let atom = &mut self.atoms[j];
+                for ((in_v, out_v), mult) in &entries {
+                    bump(&mut atom.by_in, in_v, out_v, *mult)?;
+                    bump(&mut atom.by_out, out_v, in_v, *mult)?;
+                }
             }
         }
         sdelta.retain(|_, d| *d != 0);
@@ -817,19 +825,33 @@ impl SegmentState {
         let mut added = Vec::new();
         let mut removed = Vec::new();
         for (pair, d) in changes {
-            let old = self.support.get(&pair).copied().unwrap_or(0);
-            let new = old + d;
+            // One entry-API probe of the (graph-sized, usually cold)
+            // support map per changed pair: the common no-transition case
+            // (old > 0, new > 0) touches it exactly once and clones no key.
+            let (old, new) = match self.support.entry(pair.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let old = *e.get();
+                    let new = old + d;
+                    if new == 0 {
+                        e.remove();
+                    } else {
+                        *e.get_mut() = new;
+                    }
+                    (old, new)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    if d > 0 {
+                        e.insert(d);
+                    }
+                    (0, d)
+                }
+            };
             if new < 0 {
                 return Err(PatchError::Inconsistent(format!(
                     "delta drives support of output pair ({}, {}) negative",
                     pair.0, pair.1
                 ))
                 .into());
-            }
-            if new == 0 {
-                self.support.remove(&pair);
-            } else {
-                self.support.insert(pair.clone(), new);
             }
             if old == 0 && new > 0 {
                 self.by_left
@@ -1084,11 +1106,17 @@ fn derive_props(view: &ViewState, row: &[Value]) -> Vec<(String, PropValue)> {
 /// Apply one table delta to the maintained state and the graph. This is
 /// the engine behind [`crate::GraphHandle::apply_delta`]; initial
 /// extraction replays whole tables through the same path.
+///
+/// `ids` and `props` arrive behind `Arc`s (the handle shares them with
+/// published reader clones): the engine reads them freely and
+/// [`std::sync::Arc::make_mut`]s only at actual mutation points, so a
+/// delta that touches no node view never pays an id-map or property copy
+/// no matter how many snapshots share them.
 pub(crate) fn apply_delta_state(
     state: &mut IncrementalState,
     graph: &mut AnyGraph,
-    ids: &mut IdMap<Value>,
-    props: &mut Properties,
+    ids: &mut std::sync::Arc<IdMap<Value>>,
+    props: &mut std::sync::Arc<Properties>,
     delta: &Delta,
 ) -> Result<GraphPatch, Error> {
     let IncrementalState {
@@ -1184,19 +1212,21 @@ pub(crate) fn apply_delta_state(
         }
     }
 
-    // Phase 3: materialize node transitions and re-derive properties.
+    // Phase 3: materialize node transitions and re-derive properties. Only
+    // this phase writes the (possibly shared) id map and property store —
+    // `Arc::make_mut` unshares each at most once per delta, and only when
+    // a node view actually changed.
     for key in touched {
         let before = prior[&key];
         let now = node_entries.get(&key).map_or(0, |e| e.support);
         if before == 0 && now > 0 {
-            let existed = ids.get(&key).is_some();
-            let id = ids.intern(key.clone());
-            if existed {
+            if let Some(id) = ids.get(&key) {
                 target.revive(RealId(id), &mut patch);
             } else {
+                let id = std::sync::Arc::make_mut(ids).intern(key.clone());
                 let slot = target.add_real_slot(&mut patch);
                 debug_assert_eq!(slot.0, id, "id map and graph slots diverged");
-                props.grow(ids.len());
+                std::sync::Arc::make_mut(props).grow(ids.len());
                 materialize_node_edges(
                     chains,
                     &key,
@@ -1213,15 +1243,16 @@ pub(crate) fn apply_delta_state(
         }
         if now > 0 {
             let id = ids.get(&key).expect("supported key is interned");
-            props.grow(ids.len());
-            props.clear_vertex(RealId(id));
+            let p = std::sync::Arc::make_mut(props);
+            p.grow(ids.len());
+            p.clear_vertex(RealId(id));
             let entry = &node_entries[&key];
             let mut rows: Vec<&(usize, Vec<(String, PropValue)>)> =
                 entry.prop_rows.iter().collect();
             rows.sort_by_key(|(vi, _)| *vi);
             for (_, propvals) in rows {
                 for (name, v) in propvals {
-                    props.set(RealId(id), name, v.clone());
+                    p.set(RealId(id), name, v.clone());
                 }
             }
         } else {
@@ -1413,7 +1444,9 @@ impl SegmentState {
 impl IncrementalState {
     /// Encode the whole maintenance state (see the module-level codec
     /// notes). Deterministic: hash-map content is emitted in sorted order.
-    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+    /// The shadow's adjacency chunks intern into `enc` — chunks shared
+    /// with the handle's own graph are written once per snapshot.
+    pub(crate) fn encode_into(&self, enc: &mut graph_snapshot::ChunkEncoder, out: &mut Vec<u8>) {
         codec::put_len(out, self.threads);
         codec::put_len(out, self.views.len());
         for view in &self.views {
@@ -1463,14 +1496,17 @@ impl IncrementalState {
             None => codec::put_u8(out, 0),
             Some(shadow) => {
                 codec::put_u8(out, 1);
-                graph_snapshot::encode_condensed(&shadow.g, out);
+                graph_snapshot::encode_condensed(&shadow.g, enc, out);
             }
         }
     }
 
     /// Decode a maintenance state (inverse of
     /// [`IncrementalState::encode_into`]); reverse indexes are rebuilt.
-    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+    pub(crate) fn decode(
+        r: &mut Reader<'_>,
+        dec: &graph_snapshot::ChunkDecoder,
+    ) -> Result<Self, CodecError> {
         // `threads` is a plain scalar, not a length — `Reader::len`'s
         // fits-in-remaining-input plausibility check would spuriously
         // reject a small state encoded on a many-core machine.
@@ -1560,7 +1596,9 @@ impl IncrementalState {
         let at = r.pos();
         let shadow = match r.u8()? {
             0 => None,
-            1 => Some(ShadowCore::from_graph(graph_snapshot::decode_condensed(r)?)),
+            1 => Some(ShadowCore::from_graph(graph_snapshot::decode_condensed(
+                r, dec,
+            )?)),
             tag => return Err(CodecError::invalid(at, format!("bad shadow tag {tag}"))),
         };
         Ok(Self {

@@ -18,13 +18,22 @@
 //! `graphgen_common::codec`):
 //!
 //! ```text
-//! magic  8 bytes  b"GGSNAP1\0"   (embeds the format version)
+//! magic  8 bytes  b"GGSNAP2\0"   (embeds the format version)
+//! chunks …        adjacency chunk table (graphgen_graph::snapshot):
+//!                 chunk capacity, count, then each distinct chunk once —
+//!                 chunks shared between sections (or byte-identical) are
+//!                 deduplicated and rebuilt shared on decode
 //! rep    u8       0=C-DUP 1=EXP 2=DEDUP-1 3=DEDUP-2 4=BITMAP
-//! graph  …        representation payload (graphgen_graph::snapshot)
+//! graph  …        representation payload (condensed adjacency stored as
+//!                 chunk references into the table)
 //! ids    …        node keys in dense-id order
 //! props  …        property columns (sorted by name)
 //! incr   u8 + …   0 = plain handle; 1 = incremental maintenance state
+//!                 (the condensed shadow also references the chunk table)
 //! ```
+//!
+//! Format 1 (`GGSNAP1\0`, flat adjacency lists) is **not** readable; its
+//! files fail with a clean magic-mismatch error.
 //!
 //! The extraction [`report`](crate::ExtractionReport) is diagnostics, not
 //! state, and is **not** persisted: a decoded handle carries a default
@@ -144,62 +153,72 @@ fn json_prop(p: &PropValue) -> String {
 }
 
 /// Magic prefix of the binary handle snapshot format; the trailing digit is
-/// the format version.
-pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GGSNAP1\0";
+/// the format version (2 = chunked, deduplicated adjacency — format-1
+/// files fail with a clean magic mismatch).
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GGSNAP2\0";
 
 /// Encode a whole [`GraphHandle`] as a self-contained binary snapshot (see
 /// the module docs for the layout). Deterministic: equal handles produce
 /// equal bytes.
 pub fn encode_snapshot(g: &GraphHandle) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    // Chunk-bearing sections encode into a body buffer while interning
+    // their chunks; the deduplicated chunk table is then emitted *before*
+    // the body, so decode can resolve references in one pass.
+    let mut enc = graph_snapshot::ChunkEncoder::new();
+    let mut body = Vec::new();
     match g.graph() {
         AnyGraph::CDup(inner) => {
-            codec::put_u8(&mut out, 0);
-            graph_snapshot::encode_condensed(inner, &mut out);
+            codec::put_u8(&mut body, 0);
+            graph_snapshot::encode_condensed(inner, &mut enc, &mut body);
         }
         AnyGraph::Exp(inner) => {
-            codec::put_u8(&mut out, 1);
-            graph_snapshot::encode_expanded(inner, &mut out);
+            codec::put_u8(&mut body, 1);
+            graph_snapshot::encode_expanded(inner, &mut body);
         }
         AnyGraph::Dedup1(inner) => {
-            codec::put_u8(&mut out, 2);
-            graph_snapshot::encode_dedup1(inner, &mut out);
+            codec::put_u8(&mut body, 2);
+            graph_snapshot::encode_dedup1(inner, &mut enc, &mut body);
         }
         AnyGraph::Dedup2(inner) => {
-            codec::put_u8(&mut out, 3);
-            graph_snapshot::encode_dedup2(inner, &mut out);
+            codec::put_u8(&mut body, 3);
+            graph_snapshot::encode_dedup2(inner, &mut body);
         }
         AnyGraph::Bitmap(inner) => {
-            codec::put_u8(&mut out, 4);
-            graph_snapshot::encode_bitmap(inner, &mut out);
+            codec::put_u8(&mut body, 4);
+            graph_snapshot::encode_bitmap(inner, &mut enc, &mut body);
         }
     }
-    incremental::encode_idmap(g.ids(), &mut out);
-    graph_snapshot::encode_properties(g.properties(), &mut out);
+    incremental::encode_idmap(g.ids(), &mut body);
+    graph_snapshot::encode_properties(g.properties(), &mut body);
     match g.incremental_state() {
-        None => codec::put_u8(&mut out, 0),
+        None => codec::put_u8(&mut body, 0),
         Some(state) => {
-            codec::put_u8(&mut out, 1);
-            state.encode_into(&mut out);
+            codec::put_u8(&mut body, 1);
+            state.encode_into(&mut enc, &mut body);
         }
     }
+    let mut out = Vec::with_capacity(body.len() + 64);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    enc.finish_into(&mut out);
+    out.extend_from_slice(&body);
     out
 }
 
 /// Decode a binary snapshot produced by [`encode_snapshot`]. Rejects bad
-/// magic, truncation, trailing bytes, and structurally inconsistent
-/// sections with [`crate::ErrorKind::Snapshot`].
+/// magic (including the retired `GGSNAP1` format), truncation, trailing
+/// bytes, and structurally inconsistent sections with
+/// [`crate::ErrorKind::Snapshot`].
 pub fn decode_snapshot(bytes: &[u8]) -> Result<GraphHandle, Error> {
     let mut r = Reader::new(bytes);
     r.expect_magic(&SNAPSHOT_MAGIC)?;
+    let dec = graph_snapshot::ChunkDecoder::decode(&mut r)?;
     let at = r.pos();
     let graph = match r.u8()? {
-        0 => AnyGraph::CDup(graph_snapshot::decode_condensed(&mut r)?),
+        0 => AnyGraph::CDup(graph_snapshot::decode_condensed(&mut r, &dec)?),
         1 => AnyGraph::Exp(graph_snapshot::decode_expanded(&mut r)?),
-        2 => AnyGraph::Dedup1(graph_snapshot::decode_dedup1(&mut r)?),
+        2 => AnyGraph::Dedup1(graph_snapshot::decode_dedup1(&mut r, &dec)?),
         3 => AnyGraph::Dedup2(graph_snapshot::decode_dedup2(&mut r)?),
-        4 => AnyGraph::Bitmap(graph_snapshot::decode_bitmap(&mut r)?),
+        4 => AnyGraph::Bitmap(graph_snapshot::decode_bitmap(&mut r, &dec)?),
         tag => return Err(CodecError::invalid(at, format!("bad representation tag {tag}")).into()),
     };
     let ids = incremental::decode_idmap(&mut r)?;
@@ -235,7 +254,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<GraphHandle, Error> {
     let at = r.pos();
     let state = match r.u8()? {
         0 => None,
-        1 => Some(IncrementalState::decode(&mut r)?),
+        1 => Some(IncrementalState::decode(&mut r, &dec)?),
         tag => return Err(CodecError::invalid(at, format!("bad incremental tag {tag}")).into()),
     };
     r.expect_end()?;
@@ -505,6 +524,108 @@ mod tests {
             .convert(RepKind::CDup, &ConvertOptions::default())
             .unwrap();
         assert_eq!(back.canonical_bytes(), restored.canonical_bytes());
+    }
+
+    /// Format-1 snapshots (`GGSNAP1\0`, flat adjacency) must fail with a
+    /// clean magic mismatch, not a misparse.
+    #[test]
+    fn snapshot_rejects_old_magic() {
+        use crate::error::ErrorKind;
+        let g = extract();
+        let mut bytes = encode_snapshot(&g);
+        assert_eq!(&bytes[..8], b"GGSNAP2\0");
+        bytes[..8].copy_from_slice(b"GGSNAP1\0");
+        let err = decode_snapshot(&bytes).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Snapshot);
+        assert!(
+            err.to_string().contains("bad magic"),
+            "expected a magic mismatch, got: {err}"
+        );
+    }
+
+    /// Identical adjacency chunks inside one snapshot are written once and
+    /// decode back onto the **same** `Arc` (structural sharing survives the
+    /// disk round-trip).
+    #[test]
+    fn snapshot_chunks_are_deduplicated_and_rebuilt_shared() {
+        use graphgen_common::IdMap;
+        use graphgen_graph::{CondensedBuilder, Properties, RealId, CHUNK_LEN};
+        // Two full real chunks with identical lists (every node points at
+        // the one virtual node).
+        let n = CHUNK_LEN * 2;
+        let mut b = CondensedBuilder::new(n);
+        let v = b.add_virtual();
+        for u in 0..n as u32 {
+            b.real_to_virtual(RealId(u), v);
+        }
+        let mut ids = IdMap::new();
+        for i in 0..n {
+            ids.intern(graphgen_reldb::Value::int(i as i64));
+        }
+        let h = GraphHandle::from_parts(
+            crate::AnyGraph::CDup(b.build()),
+            ids,
+            Properties::new(n),
+            Default::default(),
+        );
+        let bytes = encode_snapshot(&h);
+        // Header: magic(8) | u64 chunk capacity | u64 chunk count — the two
+        // identical real chunks collapse with each other (the virtual
+        // store's single big list stays distinct): 2 table entries, not 3.
+        let n_chunks = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        assert_eq!(n_chunks, 2, "identical chunks not deduplicated on disk");
+        let back = decode_snapshot(&bytes).unwrap();
+        let core = back.graph().as_condensed().unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(
+                &core.real_out_chunks().chunks()[0],
+                &core.real_out_chunks().chunks()[1]
+            ),
+            "deduplicated chunks not rebuilt shared"
+        );
+        assert_eq!(back.canonical_bytes(), h.canonical_bytes());
+    }
+
+    /// An incremental handle converted away from C-DUP stores the pristine
+    /// condensed structure twice — once inside the representation (the
+    /// BITMAP core) and once as the maintenance shadow. Their chunks are
+    /// byte-identical, so the snapshot must carry them once.
+    #[test]
+    fn snapshot_dedups_core_against_shadow() {
+        use crate::handle::ConvertOptions;
+        use graphgen_graph::RepKind;
+        let db = tiny();
+        let gg = GraphGen::with_config(
+            &db,
+            GraphGenConfig::builder()
+                .auto_expand_threshold(None)
+                .incremental(true)
+                .threads(1)
+                .build(),
+        );
+        let cdup = gg
+            .extract(
+                "Nodes(ID, Name) :- Person(ID, Name).\n\
+                 Edges(A, B) :- Knows(A, B).",
+            )
+            .unwrap();
+        let bmp = cdup
+            .convert(RepKind::Bitmap, &ConvertOptions::default())
+            .unwrap();
+        let bytes = encode_snapshot(&bmp);
+        let n_chunks = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        // The C-DUP original stores the structure once; the converted
+        // handle stores it twice (core + shadow) yet must reference the
+        // same deduplicated table entries.
+        let cdup_chunks = u64::from_le_bytes(encode_snapshot(&cdup)[16..24].try_into().unwrap());
+        assert_eq!(
+            n_chunks, cdup_chunks,
+            "shadow chunks duplicated instead of shared with the core"
+        );
+        // And the trip is still lossless.
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back.canonical_bytes(), bmp.canonical_bytes());
+        assert!(back.is_incremental());
     }
 
     #[test]

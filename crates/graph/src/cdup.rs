@@ -12,16 +12,22 @@
 //! exactly the execution penalty the paper attributes to C-DUP.
 
 use crate::api::{GraphRep, RepKind};
+use crate::chunk::ChunkedAdj;
 use crate::ids::{Adj, RealId, VirtId};
 use graphgen_common::FxHashSet;
 
 /// The condensed duplicated graph.
+///
+/// Adjacency is held in [`ChunkedAdj`] stores: cloning a condensed graph is
+/// `O(#chunks)` pointer bumps, and the patch surface below copies only the
+/// chunks a mutation lands in (see `crate::chunk` for the structural
+/// sharing contract the serving layer builds on).
 #[derive(Debug, Clone)]
 pub struct CondensedGraph {
     /// Out-edges of each real node (sorted: real targets first).
-    pub(crate) real_out: Vec<Vec<Adj>>,
+    pub(crate) real_out: ChunkedAdj,
     /// Out-edges of each virtual node (sorted: real targets first).
-    pub(crate) virt_out: Vec<Vec<Adj>>,
+    pub(crate) virt_out: ChunkedAdj,
     /// Liveness of real nodes (lazy deletion).
     pub(crate) alive: Vec<bool>,
     pub(crate) n_alive: usize,
@@ -33,10 +39,26 @@ impl CondensedGraph {
     pub(crate) fn from_parts(real_out: Vec<Vec<Adj>>, virt_out: Vec<Vec<Adj>>) -> Self {
         let n = real_out.len();
         Self {
-            real_out,
-            virt_out,
+            real_out: ChunkedAdj::from_lists(real_out),
+            virt_out: ChunkedAdj::from_lists(virt_out),
             alive: vec![true; n],
             n_alive: n,
+        }
+    }
+
+    /// Assemble from decoded chunked stores (the snapshot codec's exit
+    /// point; shape and liveness lengths already validated).
+    pub(crate) fn from_chunked(
+        real_out: ChunkedAdj,
+        virt_out: ChunkedAdj,
+        alive: Vec<bool>,
+    ) -> Self {
+        let n_alive = alive.iter().filter(|&&a| a).count();
+        Self {
+            real_out,
+            virt_out,
+            alive,
+            n_alive,
         }
     }
 
@@ -45,14 +67,25 @@ impl CondensedGraph {
         self.virt_out.len()
     }
 
+    /// The chunked real-node adjacency store (structural-sharing
+    /// diagnostics and the snapshot codec).
+    pub fn real_out_chunks(&self) -> &ChunkedAdj {
+        &self.real_out
+    }
+
+    /// The chunked virtual-node adjacency store.
+    pub fn virt_out_chunks(&self) -> &ChunkedAdj {
+        &self.virt_out
+    }
+
     /// Out-adjacency of a virtual node.
     pub fn virt_out(&self, v: VirtId) -> &[Adj] {
-        &self.virt_out[v.0 as usize]
+        self.virt_out.list(v.0 as usize)
     }
 
     /// Out-adjacency of a real node (virtual targets and direct edges).
     pub fn real_out(&self, u: RealId) -> &[Adj] {
-        &self.real_out[u.0 as usize]
+        self.real_out.list(u.0 as usize)
     }
 
     /// True if there are no virtual→virtual edges (single-layer graph).
@@ -76,7 +109,7 @@ impl CondensedGraph {
                 return depth[v];
             }
             let mut best = 1;
-            for a in &g.virt_out[v] {
+            for a in g.virt_out.list(v) {
                 if let Some(w) = a.as_virtual() {
                     best = best.max(1 + dfs(g, w.0 as usize, depth));
                 }
@@ -120,7 +153,7 @@ impl CondensedGraph {
         let mut stack = vec![v.0];
         visited.insert(v.0);
         while let Some(x) = stack.pop() {
-            for a in &self.virt_out[x as usize] {
+            for a in self.virt_out.list(x as usize) {
                 if let Some(r) = a.as_real() {
                     if self.alive[r.0 as usize] {
                         out.insert(r.0);
@@ -140,7 +173,7 @@ impl CondensedGraph {
         let mut stack = vec![v.0];
         visited.insert(v.0);
         while let Some(x) = stack.pop() {
-            let list = &self.virt_out[x as usize];
+            let list = self.virt_out.list(x as usize);
             if contains_real(list, target) {
                 return true;
             }
@@ -157,27 +190,18 @@ impl CondensedGraph {
 
     /// Detach `u` from virtual node `v` (removes the `u → v` edge only).
     pub fn detach_real_from_virtual(&mut self, u: RealId, v: VirtId) {
-        let list = &mut self.real_out[u.0 as usize];
-        if let Ok(pos) = list.binary_search(&Adj::virt(v)) {
-            list.remove(pos);
-        }
+        self.real_out.remove_sorted(u.0 as usize, Adj::virt(v));
     }
 
     /// Remove the `v → u` edge from a virtual node to a real target.
     pub fn remove_virtual_to_real(&mut self, v: VirtId, u: RealId) {
-        let list = &mut self.virt_out[v.0 as usize];
-        if let Ok(pos) = list.binary_search(&Adj::real(u)) {
-            list.remove(pos);
-        }
+        self.virt_out.remove_sorted(v.0 as usize, Adj::real(u));
     }
 
     /// Insert a direct `u → v` edge, keeping the list sorted. No-op if the
     /// direct edge is already present.
     pub fn insert_direct(&mut self, u: RealId, v: RealId) {
-        let list = &mut self.real_out[u.0 as usize];
-        if let Err(pos) = list.binary_search(&Adj::real(v)) {
-            list.insert(pos, Adj::real(v));
-        }
+        self.real_out.insert_sorted(u.0 as usize, Adj::real(v));
     }
 
     // ---- incremental patch surface --------------------------------------
@@ -191,53 +215,38 @@ impl CondensedGraph {
     /// Append a fresh, unconnected virtual node (the patch-time counterpart
     /// of `CondensedBuilder::add_virtual`).
     pub fn add_virtual_node(&mut self) -> VirtId {
-        self.virt_out.push(Vec::new());
+        self.virt_out.push(&[]);
         VirtId(self.virt_out.len() as u32 - 1)
     }
 
     /// Insert the membership edge `u → v`, keeping the list sorted. No-op
     /// if present.
     pub fn insert_real_to_virtual(&mut self, u: RealId, v: VirtId) {
-        let list = &mut self.real_out[u.0 as usize];
-        if let Err(pos) = list.binary_search(&Adj::virt(v)) {
-            list.insert(pos, Adj::virt(v));
-        }
+        self.real_out.insert_sorted(u.0 as usize, Adj::virt(v));
     }
 
     /// Insert the edge `v → u` from a virtual node to a real target, keeping
     /// the list sorted. No-op if present.
     pub fn insert_virtual_to_real(&mut self, v: VirtId, u: RealId) {
-        let list = &mut self.virt_out[v.0 as usize];
-        if let Err(pos) = list.binary_search(&Adj::real(u)) {
-            list.insert(pos, Adj::real(u));
-        }
+        self.virt_out.insert_sorted(v.0 as usize, Adj::real(u));
     }
 
     /// Insert the virtual–virtual edge `v → w` (multi-layer chains), keeping
     /// the list sorted. No-op if present.
     pub fn insert_virtual_to_virtual(&mut self, v: VirtId, w: VirtId) {
-        let list = &mut self.virt_out[v.0 as usize];
-        if let Err(pos) = list.binary_search(&Adj::virt(w)) {
-            list.insert(pos, Adj::virt(w));
-        }
+        self.virt_out.insert_sorted(v.0 as usize, Adj::virt(w));
     }
 
     /// Remove the virtual–virtual edge `v → w`. No-op if absent.
     pub fn remove_virtual_to_virtual(&mut self, v: VirtId, w: VirtId) {
-        let list = &mut self.virt_out[v.0 as usize];
-        if let Ok(pos) = list.binary_search(&Adj::virt(w)) {
-            list.remove(pos);
-        }
+        self.virt_out.remove_sorted(v.0 as usize, Adj::virt(w));
     }
 
     /// Remove a direct `u → v` edge **only** (no path compensation — the
     /// raw counterpart of [`CondensedGraph::insert_direct`], as opposed to
     /// the logical `delete_edge`). No-op if absent.
     pub fn remove_direct(&mut self, u: RealId, v: RealId) {
-        let list = &mut self.real_out[u.0 as usize];
-        if let Ok(pos) = list.binary_search(&Adj::real(v)) {
-            list.remove(pos);
-        }
+        self.real_out.remove_sorted(u.0 as usize, Adj::real(v));
     }
 
     /// Expand virtual node `v` in place: connect every in-neighbor to every
@@ -246,13 +255,15 @@ impl CondensedGraph {
     /// out-edges go to real nodes; `in_reals` is the list of real sources
     /// (callers keep a reverse index).
     pub fn expand_virtual(&mut self, v: VirtId, in_reals: &[u32]) {
-        let targets: Vec<RealId> = self.virt_out[v.0 as usize]
+        let targets: Vec<RealId> = self
+            .virt_out
+            .list(v.0 as usize)
             .iter()
             .filter_map(|a| a.as_real())
             .collect();
         debug_assert_eq!(
             targets.len(),
-            self.virt_out[v.0 as usize].len(),
+            self.virt_out.list(v.0 as usize).len(),
             "expand_virtual on a node with virtual out-edges"
         );
         for &u in in_reals {
@@ -263,7 +274,7 @@ impl CondensedGraph {
                 }
             }
         }
-        self.virt_out[v.0 as usize].clear();
+        self.virt_out.clear(v.0 as usize);
     }
 
     /// Remove virtual nodes with no out-edges or no in-edges (cleanup after
@@ -317,7 +328,7 @@ impl GraphRep for CondensedGraph {
         let mut seen: FxHashSet<u32> = FxHashSet::default();
         let mut visited_virts: FxHashSet<u32> = FxHashSet::default();
         let mut stack: Vec<u32> = Vec::new();
-        for a in &self.real_out[u.0 as usize] {
+        for a in self.real_out.list(u.0 as usize) {
             if let Some(r) = a.as_real() {
                 if r != u && self.alive[r.0 as usize] && seen.insert(r.0) {
                     f(r);
@@ -329,7 +340,7 @@ impl GraphRep for CondensedGraph {
             }
         }
         while let Some(x) = stack.pop() {
-            for a in &self.virt_out[x as usize] {
+            for a in self.virt_out.list(x as usize) {
                 if let Some(r) = a.as_real() {
                     if r != u && self.alive[r.0 as usize] && seen.insert(r.0) {
                         f(r);
@@ -347,17 +358,18 @@ impl GraphRep for CondensedGraph {
         if u == v || !self.alive[u.0 as usize] || !self.alive[v.0 as usize] {
             return false;
         }
-        if contains_real(&self.real_out[u.0 as usize], v) {
+        if contains_real(self.real_out.list(u.0 as usize), v) {
             return true;
         }
-        self.real_out[u.0 as usize]
+        self.real_out
+            .list(u.0 as usize)
             .iter()
             .filter_map(|a| a.as_virtual())
             .any(|w| self.virtual_reaches(w, v))
     }
 
     fn add_vertex(&mut self) -> RealId {
-        self.real_out.push(Vec::new());
+        self.real_out.push(&[]);
         self.alive.push(true);
         self.n_alive += 1;
         RealId(self.real_out.len() as u32 - 1)
@@ -377,19 +389,14 @@ impl GraphRep for CondensedGraph {
 
     fn compact(&mut self) {
         // Physically remove dead nodes: their own out-lists and their
-        // occurrences as targets.
+        // occurrences as targets. A whole-graph rewrite: every chunk is
+        // unshared (compaction runs on pristine conversion copies, not the
+        // delta path).
         let alive = &self.alive;
-        for (i, list) in self.real_out.iter_mut().enumerate() {
-            if !alive[i] {
-                list.clear();
-                list.shrink_to_fit();
-            } else {
-                list.retain(|a| a.as_real().is_none_or(|r| alive[r.0 as usize]));
-            }
-        }
-        for list in self.virt_out.iter_mut() {
-            list.retain(|a| a.as_real().is_none_or(|r| alive[r.0 as usize]));
-        }
+        self.real_out
+            .retain(|slot, a| alive[slot] && a.as_real().is_none_or(|r| alive[r.0 as usize]));
+        self.virt_out
+            .retain(|_, a| a.as_real().is_none_or(|r| alive[r.0 as usize]));
     }
 
     fn add_edge(&mut self, u: RealId, v: RealId) {
@@ -400,14 +407,13 @@ impl GraphRep for CondensedGraph {
 
     fn delete_edge(&mut self, u: RealId, v: RealId) {
         // Remove a direct edge if present.
-        let list = &mut self.real_out[u.0 as usize];
-        if let Ok(pos) = list.binary_search(&Adj::real(v)) {
-            list.remove(pos);
-        }
+        self.real_out.remove_sorted(u.0 as usize, Adj::real(v));
         // Detach u from every virtual child whose reach includes v, then
         // compensate with direct edges to the other reachable targets —
         // the "non-trivial modifications" §4.3 warns about.
-        let offending: Vec<VirtId> = self.real_out[u.0 as usize]
+        let offending: Vec<VirtId> = self
+            .real_out
+            .list(u.0 as usize)
             .iter()
             .filter_map(|a| a.as_virtual())
             .filter(|&w| self.virtual_reaches(w, v))
@@ -449,14 +455,7 @@ impl GraphRep for CondensedGraph {
     }
 
     fn heap_bytes(&self) -> usize {
-        let adj = |lists: &Vec<Vec<Adj>>| -> usize {
-            lists.capacity() * std::mem::size_of::<Vec<Adj>>()
-                + lists
-                    .iter()
-                    .map(|l| l.capacity() * std::mem::size_of::<Adj>())
-                    .sum::<usize>()
-        };
-        adj(&self.real_out) + adj(&self.virt_out) + self.alive.capacity()
+        self.real_out.heap_bytes() + self.virt_out.heap_bytes() + self.alive.capacity()
     }
 }
 

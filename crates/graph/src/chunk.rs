@@ -1,0 +1,386 @@
+//! Chunked, structurally shared adjacency storage.
+//!
+//! The serving layer publishes an immutable snapshot of every graph
+//! version; with plain `Vec<Vec<Adj>>` adjacency, producing a version means
+//! deep-cloning every list — publish cost tracks *graph* size, not *delta*
+//! size. [`ChunkedAdj`] fixes that representation-side cost: adjacency
+//! lists are grouped into fixed-size [`AdjChunk`] blocks of
+//! [`CHUNK_LEN`] lists each, and the blocks are held behind [`Arc`]s.
+//!
+//! * **Clone** is `O(#chunks)` pointer bumps — all list payloads are
+//!   shared between the clone and the original.
+//! * **Mutation** goes through the sorted-edit surface
+//!   ([`ChunkedAdj::insert_sorted`] / [`ChunkedAdj::remove_sorted`] / …),
+//!   which [`Arc::make_mut`]s the covering chunk: the first write after a
+//!   clone copies that one chunk and leaves every other chunk shared. A
+//!   delta that lands in `k` chunks therefore costs `O(k × chunk bytes)`
+//!   copies, never `O(graph)`.
+//! * Readers holding an older clone are **immune** to later writes: their
+//!   `Arc`s keep pointing at the pre-write chunks (the copy-on-write
+//!   discipline the sharing-oracle suite in `graphgen-serve` asserts
+//!   byte-for-byte).
+//!
+//! A chunk stores its lists **flat** — one concatenated [`Adj`] buffer plus
+//! per-slot end offsets — so the copy-on-first-write is two allocations and
+//! a straight `memcpy` (not a pointer chase through per-list allocations),
+//! and iteration over a chunk's lists is sequential in memory.
+//!
+//! The snapshot codec (`crate::snapshot`) understands chunks natively and
+//! deduplicates identical ones on disk.
+
+use crate::ids::Adj;
+use std::sync::Arc;
+
+/// Adjacency lists per [`AdjChunk`]. 16 lists keeps the copy-on-first-write
+/// unit small (a delta touching k nodes copies ≤ 16k lists) while a
+/// 160k-node graph still needs only ~10k pointer bumps per clone — tens of
+/// microseconds against the multi-millisecond deep clone this replaces.
+pub const CHUNK_LEN: usize = 16;
+const CHUNK_SHIFT: u32 = CHUNK_LEN.trailing_zeros();
+const CHUNK_MASK: usize = CHUNK_LEN - 1;
+
+/// One fixed-size block of adjacency lists (at most [`CHUNK_LEN`]; only the
+/// trailing chunk of a [`ChunkedAdj`] may hold fewer). List `i` occupies
+/// `data[ends[i-1]..ends[i]]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdjChunk {
+    data: Vec<Adj>,
+    ends: Vec<u32>,
+}
+
+impl AdjChunk {
+    /// Number of lists stored.
+    pub fn n_lists(&self) -> usize {
+        self.ends.len()
+    }
+
+    #[inline]
+    fn start(&self, slot: usize) -> usize {
+        if slot == 0 {
+            0
+        } else {
+            self.ends[slot - 1] as usize
+        }
+    }
+
+    /// The list in `slot`.
+    #[inline]
+    pub fn list(&self, slot: usize) -> &[Adj] {
+        &self.data[self.start(slot)..self.ends[slot] as usize]
+    }
+
+    /// Iterate the chunk's lists in slot order.
+    pub fn lists(&self) -> impl Iterator<Item = &[Adj]> {
+        (0..self.ends.len()).map(|s| self.list(s))
+    }
+
+    /// Append a list as the next slot.
+    pub(crate) fn push_list(&mut self, list: &[Adj]) {
+        debug_assert!(self.ends.len() < CHUNK_LEN);
+        self.data.extend_from_slice(list);
+        self.ends.push(self.data.len() as u32);
+    }
+
+    /// Insert `a` into the sorted list in `slot`; false if already present.
+    fn insert_sorted(&mut self, slot: usize, a: Adj) -> bool {
+        let s = self.start(slot);
+        let e = self.ends[slot] as usize;
+        match self.data[s..e].binary_search(&a) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.data.insert(s + pos, a);
+                for end in &mut self.ends[slot..] {
+                    *end += 1;
+                }
+                true
+            }
+        }
+    }
+
+    /// Remove `a` from the sorted list in `slot`; false if absent.
+    fn remove_sorted(&mut self, slot: usize, a: Adj) -> bool {
+        let s = self.start(slot);
+        let e = self.ends[slot] as usize;
+        match self.data[s..e].binary_search(&a) {
+            Ok(pos) => {
+                self.data.remove(s + pos);
+                for end in &mut self.ends[slot..] {
+                    *end -= 1;
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Empty the list in `slot`.
+    fn clear_list(&mut self, slot: usize) {
+        let s = self.start(slot);
+        let e = self.ends[slot] as usize;
+        self.data.drain(s..e);
+        let removed = (e - s) as u32;
+        for end in &mut self.ends[slot..] {
+            *end -= removed;
+        }
+    }
+
+    /// Keep only entries `f(slot, adj)` approves, compacting in place.
+    fn retain(&mut self, base_slot: usize, mut f: impl FnMut(usize, Adj) -> bool) {
+        let mut write = 0usize;
+        let mut read = 0usize;
+        for slot in 0..self.ends.len() {
+            let end = self.ends[slot] as usize;
+            while read < end {
+                let a = self.data[read];
+                if f(base_slot + slot, a) {
+                    self.data[write] = a;
+                    write += 1;
+                }
+                read += 1;
+            }
+            self.ends[slot] = write as u32;
+        }
+        self.data.truncate(write);
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<Adj>()
+            + self.ends.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// A growable sequence of adjacency lists stored as `Arc`-shared chunks.
+/// See the module docs for the sharing/copy-on-write contract.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkedAdj {
+    chunks: Vec<Arc<AdjChunk>>,
+    len: usize,
+}
+
+impl ChunkedAdj {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take ownership of flat lists, grouping them into chunks.
+    pub fn from_lists(lists: Vec<Vec<Adj>>) -> Self {
+        let len = lists.len();
+        let mut chunks = Vec::with_capacity(len.div_ceil(CHUNK_LEN));
+        for group in lists.chunks(CHUNK_LEN) {
+            let mut chunk = AdjChunk::default();
+            for list in group {
+                chunk.push_list(list);
+            }
+            chunks.push(Arc::new(chunk));
+        }
+        Self { chunks, len }
+    }
+
+    /// Rebuild from decoded chunks (the snapshot codec's inverse). The
+    /// caller guarantees the shape invariant: every chunk but the last
+    /// holds exactly [`CHUNK_LEN`] lists, and the lengths sum to `len`.
+    pub(crate) fn from_chunks(chunks: Vec<Arc<AdjChunk>>, len: usize) -> Self {
+        debug_assert_eq!(
+            chunks.iter().map(|c| c.n_lists()).sum::<usize>(),
+            len,
+            "chunk shape does not cover len"
+        );
+        Self { chunks, len }
+    }
+
+    /// Number of lists.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no lists are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing chunks (snapshot codec and sharing tests).
+    pub fn chunks(&self) -> &[Arc<AdjChunk>] {
+        &self.chunks
+    }
+
+    /// Read the list at `index`.
+    #[inline]
+    pub fn list(&self, index: usize) -> &[Adj] {
+        self.chunks[index >> CHUNK_SHIFT].list(index & CHUNK_MASK)
+    }
+
+    /// Insert `a` into the sorted list at `index` (no-op if present),
+    /// copying the covering chunk first if it is shared. Returns whether
+    /// the entry was inserted.
+    #[inline]
+    pub fn insert_sorted(&mut self, index: usize, a: Adj) -> bool {
+        Arc::make_mut(&mut self.chunks[index >> CHUNK_SHIFT]).insert_sorted(index & CHUNK_MASK, a)
+    }
+
+    /// Remove `a` from the sorted list at `index` (no-op if absent),
+    /// copying the covering chunk first if it is shared. Returns whether
+    /// the entry was removed.
+    #[inline]
+    pub fn remove_sorted(&mut self, index: usize, a: Adj) -> bool {
+        Arc::make_mut(&mut self.chunks[index >> CHUNK_SHIFT]).remove_sorted(index & CHUNK_MASK, a)
+    }
+
+    /// Empty the list at `index` (copy-on-write like the edits above).
+    pub fn clear(&mut self, index: usize) {
+        Arc::make_mut(&mut self.chunks[index >> CHUNK_SHIFT]).clear_list(index & CHUNK_MASK);
+    }
+
+    /// Append a fresh list, growing the trailing chunk (or opening a new
+    /// one when it is full).
+    pub fn push(&mut self, list: &[Adj]) {
+        if self.len & CHUNK_MASK == 0 {
+            self.chunks.push(Arc::new(AdjChunk::default()));
+        }
+        Arc::make_mut(self.chunks.last_mut().expect("chunk pushed above")).push_list(list);
+        self.len += 1;
+    }
+
+    /// Iterate all lists in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Adj]> {
+        self.chunks.iter().flat_map(|c| c.lists())
+    }
+
+    /// Keep only entries `f(slot, adj)` approves. Unshares **every** chunk
+    /// — meant for whole-graph rewrites (`compact`), not the delta path.
+    pub fn retain(&mut self, mut f: impl FnMut(usize, Adj) -> bool) {
+        for (ci, chunk) in self.chunks.iter_mut().enumerate() {
+            Arc::make_mut(chunk).retain(ci << CHUNK_SHIFT, &mut f);
+        }
+    }
+
+    /// Number of chunks currently shared with `other` (both stores point at
+    /// the same `Arc`). Test/diagnostic surface for the CoW contract.
+    pub fn shared_chunks_with(&self, other: &ChunkedAdj) -> usize {
+        self.chunks
+            .iter()
+            .zip(other.chunks.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Heap bytes reachable from this store. Shared chunks are counted in
+    /// full (each clone reports the whole structure, as `heap_bytes` always
+    /// has).
+    pub fn heap_bytes(&self) -> usize {
+        self.chunks.capacity() * std::mem::size_of::<Arc<AdjChunk>>()
+            + self.chunks.iter().map(|c| c.heap_bytes()).sum::<usize>()
+    }
+}
+
+impl PartialEq for ChunkedAdj {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+impl Eq for ChunkedAdj {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RealId;
+
+    fn adj(i: u32) -> Adj {
+        Adj::real(RealId(i))
+    }
+
+    #[test]
+    fn push_and_index_across_chunk_boundaries() {
+        let mut c = ChunkedAdj::new();
+        for i in 0..(CHUNK_LEN as u32 * 2 + 5) {
+            c.push(&[adj(i)]);
+        }
+        assert_eq!(c.len(), CHUNK_LEN * 2 + 5);
+        assert_eq!(c.chunks().len(), 3);
+        for i in 0..c.len() {
+            assert_eq!(c.list(i), &[adj(i as u32)]);
+        }
+        assert_eq!(c.iter().count(), c.len());
+    }
+
+    #[test]
+    fn sorted_edits_keep_lists_sorted_and_report_change() {
+        let mut c = ChunkedAdj::from_lists(vec![Vec::new(); CHUNK_LEN + 3]);
+        let i = CHUNK_LEN + 1;
+        assert!(c.insert_sorted(i, adj(5)));
+        assert!(c.insert_sorted(i, adj(1)));
+        assert!(c.insert_sorted(i, adj(9)));
+        assert!(!c.insert_sorted(i, adj(5)), "duplicate insert must no-op");
+        assert_eq!(c.list(i), &[adj(1), adj(5), adj(9)]);
+        // Neighbor slots in the same chunk are unaffected.
+        assert!(c.list(i - 1).is_empty());
+        assert!(c.list(i + 1).is_empty());
+        assert!(c.remove_sorted(i, adj(5)));
+        assert!(!c.remove_sorted(i, adj(5)), "absent remove must no-op");
+        assert_eq!(c.list(i), &[adj(1), adj(9)]);
+        c.clear(i);
+        assert!(c.list(i).is_empty());
+    }
+
+    #[test]
+    fn clone_shares_every_chunk_and_writes_unshare_one() {
+        let lists: Vec<Vec<Adj>> = (0..CHUNK_LEN as u32 * 3).map(|i| vec![adj(i)]).collect();
+        let mut a = ChunkedAdj::from_lists(lists);
+        let b = a.clone();
+        assert_eq!(a.shared_chunks_with(&b), 3);
+        a.insert_sorted(CHUNK_LEN + 1, adj(999));
+        // Only the middle chunk was copied.
+        assert_eq!(a.shared_chunks_with(&b), 2);
+        // The clone is immune to the write.
+        assert_eq!(b.list(CHUNK_LEN + 1), &[adj(CHUNK_LEN as u32 + 1)]);
+        assert_eq!(
+            a.list(CHUNK_LEN + 1),
+            &[adj(CHUNK_LEN as u32 + 1), adj(999)]
+        );
+        // Untouched slots of the copied chunk carried over.
+        assert_eq!(a.list(CHUNK_LEN + 2), b.list(CHUNK_LEN + 2));
+    }
+
+    #[test]
+    fn push_after_clone_does_not_disturb_the_clone() {
+        let mut a = ChunkedAdj::from_lists(vec![vec![adj(1)]; 10]);
+        let b = a.clone();
+        a.push(&[adj(7)]);
+        assert_eq!(a.len(), 11);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.iter().count(), 10);
+        assert_eq!(a.list(10), &[adj(7)]);
+    }
+
+    #[test]
+    fn from_lists_equals_pushed() {
+        let lists: Vec<Vec<Adj>> = (0..150u32).map(|i| vec![adj(i), adj(i + 1)]).collect();
+        let a = ChunkedAdj::from_lists(lists.clone());
+        let mut b = ChunkedAdj::new();
+        for l in &lists {
+            b.push(l);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn retain_filters_by_slot_and_unshares() {
+        let lists: Vec<Vec<Adj>> = (0..(CHUNK_LEN as u32 * 2))
+            .map(|i| vec![adj(1), adj(i + 10)])
+            .collect();
+        let mut a = ChunkedAdj::from_lists(lists);
+        let b = a.clone();
+        // Drop adj(1) everywhere and empty even slots entirely.
+        a.retain(|slot, x| slot % 2 == 1 && x != adj(1));
+        assert_eq!(a.shared_chunks_with(&b), 0);
+        for i in 0..a.len() {
+            if i % 2 == 1 {
+                assert_eq!(a.list(i), &[adj(i as u32 + 10)]);
+            } else {
+                assert!(a.list(i).is_empty());
+            }
+            // The clone is untouched.
+            assert_eq!(b.list(i), &[adj(1), adj(i as u32 + 10)]);
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub mod api;
 pub mod bitmap_rep;
 pub mod builder;
 pub mod cdup;
+pub mod chunk;
 pub mod dedup1;
 pub mod dedup2;
 pub mod exp;
@@ -40,6 +41,7 @@ pub use api::{GraphRep, RepKind};
 pub use bitmap_rep::BitmapGraph;
 pub use builder::CondensedBuilder;
 pub use cdup::CondensedGraph;
+pub use chunk::{AdjChunk, ChunkedAdj, CHUNK_LEN};
 pub use dedup1::Dedup1Graph;
 pub use dedup2::Dedup2Graph;
 pub use exp::ExpandedGraph;

@@ -43,10 +43,14 @@ impl ColumnStats {
 
 /// Maintained statistics state of one table: a value → occurrence-count
 /// map per column (the exact-`n_distinct` index the planner reads through
-/// [`ColumnStats`]).
+/// [`ColumnStats`]), plus a whole-row hash → occurrence-count map that
+/// lets [`Database::delete_rows`] reject absent rows without scanning
+/// (hash collisions only make the map over-report, so it is advisory —
+/// presence is always confirmed cell-wise by the scan).
 #[derive(Debug, Clone, Default)]
 struct TableCounts {
     columns: Vec<FxHashMap<Value, u64>>,
+    row_hashes: FxHashMap<u64, u64>,
 }
 
 impl TableCounts {
@@ -58,7 +62,16 @@ impl TableCounts {
                 *col.entry(v.clone()).or_insert(0) += 1;
             }
         }
-        Self { columns }
+        let arity = table.schema().arity();
+        let mut row_hashes = FxHashMap::default();
+        for r in 0..table.num_rows() {
+            let h = hash_cells((0..arity).map(|c| table.cell(r, c)));
+            *row_hashes.entry(h).or_insert(0) += 1;
+        }
+        Self {
+            columns,
+            row_hashes,
+        }
     }
 
     /// Bump counts for one inserted row.
@@ -66,6 +79,7 @@ impl TableCounts {
         for (col, v) in self.columns.iter_mut().zip(row) {
             *col.entry(v.clone()).or_insert(0) += 1;
         }
+        *self.row_hashes.entry(hash_cells(row.iter())).or_insert(0) += 1;
     }
 
     /// Decrement counts for one deleted row, dropping exhausted values.
@@ -78,6 +92,18 @@ impl TableCounts {
                 }
             }
         }
+        let h = hash_cells(row.iter());
+        if let Some(n) = self.row_hashes.get_mut(&h) {
+            *n -= 1;
+            if *n == 0 {
+                self.row_hashes.remove(&h);
+            }
+        }
+    }
+
+    /// Rows currently sharing this whole-row hash (0 = definitely absent).
+    fn rows_with_hash(&self, h: u64) -> u64 {
+        self.row_hashes.get(&h).copied().unwrap_or(0)
     }
 
     fn n_distinct(&self, idx: usize) -> usize {
@@ -145,10 +171,15 @@ impl Database {
     /// deleting a never-inserted row yields an empty delta. Column
     /// statistics are recomputed afterwards.
     ///
-    /// The scan probes a hash of each table row computed cell-wise (no row
-    /// materialization) and stops as soon as every requested occurrence has
-    /// been found. Statistics are decremented per removed row, so the
-    /// statistics cost tracks the delta, not the table.
+    /// Requested rows are first checked against the maintained whole-row
+    /// hash index: a batch of absent rows (common under random churn) is a
+    /// true `O(batch)` no-op with **no scan at all**. When present rows
+    /// remain, the scan probes a hash of each table row computed cell-wise
+    /// (no row materialization) and stops as soon as every *satisfiable*
+    /// occurrence has been found (the hash index bounds how many can
+    /// match, so over-requested counts don't force a full pass).
+    /// Statistics are decremented per removed row, so the statistics cost
+    /// tracks the delta.
     pub fn delete_rows(&mut self, name: &str, rows: &[Vec<Value>]) -> DbResult<Delta> {
         let table = self
             .tables
@@ -157,12 +188,18 @@ impl Database {
         for row in rows {
             table.schema().check_row(row)?;
         }
+        let counts = self.counts.get(name).expect("registered table has counts");
         // Group requested rows by hash, keeping a remaining count per
-        // distinct row (bag semantics).
+        // distinct row (bag semantics). Hashes the table provably holds no
+        // row for are dropped up front; for the rest, the table can match
+        // at most `rows_with_hash` occurrences, whatever was requested.
         let mut by_hash: FxHashMap<u64, Vec<(&[Value], u32)>> = FxHashMap::default();
-        let mut remaining = 0u32;
         for row in rows {
-            let candidates = by_hash.entry(hash_cells(row.iter())).or_default();
+            let h = hash_cells(row.iter());
+            if counts.rows_with_hash(h) == 0 {
+                continue;
+            }
+            let candidates = by_hash.entry(h).or_default();
             match candidates
                 .iter_mut()
                 .find(|(want, _)| *want == row.as_slice())
@@ -170,9 +207,16 @@ impl Database {
                 Some((_, count)) => *count += 1,
                 None => candidates.push((row.as_slice(), 1)),
             }
-            remaining += 1;
+        }
+        let mut remaining = 0u64;
+        for (h, candidates) in &by_hash {
+            let requested: u64 = candidates.iter().map(|(_, c)| u64::from(*c)).sum();
+            remaining += requested.min(counts.rows_with_hash(*h));
         }
         let mut delta = Delta::new(name);
+        if remaining == 0 {
+            return Ok(delta);
+        }
         let mut remove = vec![false; table.num_rows()];
         let arity = table.schema().arity();
         for (r, slot) in remove.iter_mut().enumerate() {

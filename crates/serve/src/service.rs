@@ -14,10 +14,20 @@
 //!   a committed version for as long as the `Arc` lives;
 //! * **the writer** (one at a time, serialized by the service's writer
 //!   lock) mutates the database, pushes the resulting [`DeltaBatch`]
-//!   through a *private clone* of each graph's handle, and atomically
-//!   publishes the patched clone as the next version. A reader therefore
-//!   never observes a torn mid-patch state: every observable snapshot
-//!   **is** some committed version.
+//!   through each graph's private *working handle*, and atomically
+//!   publishes a structurally shared [`GraphHandle::reader_clone`] of it
+//!   as the next version. A reader therefore never observes a torn
+//!   mid-patch state: every observable snapshot **is** some committed
+//!   version.
+//!
+//! **Publish cost is delta-bound.** The working handle's adjacency is
+//! `Arc`-chunked (`graphgen_graph::chunk`) and its id map / properties are
+//! `Arc`-shared, so a `reader_clone` is `O(#chunks)` pointer bumps; the
+//! patch itself copies-on-write only the chunks the delta lands in, and
+//! the (graph-sized) delta-maintenance state is owned by the writer alone
+//! and never copied. Pinned older versions keep pointing at the pre-patch
+//! chunks — they are **immune** to later writes, byte-for-byte (asserted
+//! by `tests/sharing_oracle.rs`).
 //!
 //! # Persistence
 //!
@@ -28,10 +38,15 @@
 //! dir/
 //!   db.snap            magic GGSVDB1\0 | u64 version | Database
 //!   db.wal             records: u64 version | DeltaBatch     (see wal.rs)
-//!   <name>.graph.snap  magic GGSVGR2\0 | u64 version | u64 db_version
-//!                      | dsl | GraphHandle snapshot
+//!   <name>.graph.snap  magic GGSVGR3\0 | u64 version | u64 db_version
+//!                      | dsl | GraphHandle snapshot (GGSNAP2, chunked)
 //!   <name>.graph.wal   records: u64 version | u64 db_version | DeltaBatch
 //! ```
+//!
+//! Graph snapshots are written from the **working** handle (it owns the
+//! delta-maintenance state recovery needs; published reader clones do
+//! not). Format 2 (`GGSVGR2\0`, which framed flat-adjacency `GGSNAP1`
+//! handle bytes) is rejected with a clean magic mismatch.
 //!
 //! Snapshot files carry a whole-file fxhash64 trailer ([`crate::wal::seal`])
 //! and WAL records carry per-record checksums, so recovery surfaces
@@ -70,9 +85,10 @@ use std::sync::{Arc, Mutex, RwLock};
 
 /// Magic prefix of `db.snap` (trailing digit = format version).
 pub const DB_SNAP_MAGIC: [u8; 8] = *b"GGSVDB1\0";
-/// Magic prefix of `<name>.graph.snap` (format 2 added the `db_version`
-/// stamp; format-1 files fail `expect_magic` cleanly).
-pub const GRAPH_SNAP_MAGIC: [u8; 8] = *b"GGSVGR2\0";
+/// Magic prefix of `<name>.graph.snap` (format 3 switched the embedded
+/// handle snapshot to the chunked `GGSNAP2` layout; format-1/2 files fail
+/// `expect_magic` cleanly).
+pub const GRAPH_SNAP_MAGIC: [u8; 8] = *b"GGSVGR3\0";
 
 /// Service knobs.
 #[derive(Debug, Clone, Copy)]
@@ -202,8 +218,13 @@ impl TableMutation {
 #[derive(Debug)]
 struct GraphState {
     dsl: String,
-    /// The writer's view of the current version (same handle the published
-    /// snapshot holds; cloned-on-write when a batch arrives).
+    /// The writer's private working handle: owns the delta-maintenance
+    /// state, is patched **in place** per batch, and is the source of
+    /// every published [`GraphHandle::reader_clone`] and every on-disk
+    /// snapshot. Readers never touch it.
+    working: GraphHandle,
+    /// The currently published version (a structurally shared reader
+    /// clone of `working` as of its commit).
     current: Arc<GraphSnapshot>,
     wal: Option<Wal>,
     /// Highest database version the graph's *durable* state (the snapshot
@@ -434,10 +455,11 @@ impl GraphService {
             name: name.to_string(),
             version: 1,
             db_version: inner.db_version,
-            handle,
+            handle: handle.reader_clone(),
         });
         let mut state = GraphState {
             dsl: dsl.to_string(),
+            working: handle,
             current: Arc::clone(&snapshot),
             wal: None,
             durable_db_version: inner.db_version,
@@ -458,8 +480,10 @@ impl GraphService {
             }
             write_graph_snapshot(
                 &dir,
+                name,
                 &state.dsl,
-                &snapshot,
+                1,
+                &state.working,
                 inner.db_version,
                 inner.cfg.fsync,
             )?;
@@ -492,13 +516,16 @@ impl GraphService {
 
     /// The currently published version of `name`. This is the reader entry
     /// point: the returned snapshot is immutable and pinned — concurrent
-    /// writers publish *new* versions, they never touch this one.
+    /// writers publish *new* versions, they never touch this one. The call
+    /// does one map lookup and one `Arc` reference bump under the read
+    /// lock — no part of the snapshot itself is copied, so readers cost
+    /// the writer nothing and scale with contention.
     pub fn snapshot(&self, name: &str) -> ServeResult<Arc<GraphSnapshot>> {
         self.published
             .read()
             .unwrap()
             .get(name)
-            .cloned()
+            .map(Arc::clone)
             .ok_or_else(|| ServeError::UnknownGraph(name.to_string()))
     }
 
@@ -631,13 +658,16 @@ impl GraphService {
             }
         }
 
-        // 2. Patch a private clone of every affected graph, WAL, then
-        //    publish. A graph is affected iff the batch touches a table
-        //    its spec reads — such a batch must always be applied and
-        //    versioned (even when it changes no visible edge, it advances
-        //    the maintenance state the next delta builds on); a graph
-        //    whose tables are untouched is skipped wholesale and keeps its
-        //    version.
+        // 2. Patch every affected graph's working handle in place, WAL,
+        //    then publish a structurally shared reader clone (O(#chunks):
+        //    the delta-bound publish). A graph is affected iff the batch
+        //    touches a table its spec reads — such a batch must always be
+        //    applied and versioned (even when it changes no visible edge,
+        //    it advances the maintenance state the next delta builds on);
+        //    a graph whose tables are untouched is skipped wholesale and
+        //    keeps its version. Published snapshots are immune to the
+        //    in-place patching: a write copies the chunks it touches,
+        //    never the ones a pinned version points at.
         let mut names: Vec<String> = inner.graphs.keys().cloned().collect();
         names.sort();
         let mut newly_published: Vec<(String, Arc<GraphSnapshot>)> = Vec::new();
@@ -654,13 +684,15 @@ impl GraphService {
         let mut apply_err: Option<ServeError> = None;
         for name in names {
             let state = inner.graphs.get_mut(&name).expect("listed name");
-            let tables = state.current.handle().referenced_tables();
+            let tables = state.working.referenced_tables();
             if !batch_affects(&batch, &tables) {
                 continue;
             }
             let step = (|| -> ServeResult<()> {
-                let mut handle = state.current.handle().clone();
-                let patch = handle.apply_batch(&batch)?;
+                // In-place patch: a failure leaves the working handle
+                // untrustworthy, which is exactly the wedge contract — the
+                // published `current` is untouched and keeps serving.
+                let patch = state.working.apply_batch(&batch)?;
                 let version = state.current.version() + 1;
                 if let Some(wal) = state.wal.as_mut() {
                     wal.append(&encode_graph_wal_record(version, db_version, &batch), fsync)?;
@@ -670,7 +702,7 @@ impl GraphService {
                     name: name.clone(),
                     version,
                     db_version,
-                    handle,
+                    handle: state.working.reader_clone(),
                 });
                 state.current = Arc::clone(&snapshot);
                 outcome.graphs.push((name.clone(), version, patch));
@@ -878,22 +910,26 @@ fn write_db_snapshot(inner: &mut Inner) -> ServeResult<()> {
 /// `db_version` is passed explicitly (not read off the snapshot) because a
 /// compaction may stamp a graph as consistent with a database version
 /// *newer* than the one it was published at — every batch in between left
-/// its tables untouched.
+/// its tables untouched. `handle` must be the **working** handle: it owns
+/// the delta-maintenance state the recovered graph continues from
+/// (published reader clones deliberately carry none).
 fn write_graph_snapshot(
     dir: &Path,
+    name: &str,
     dsl: &str,
-    snapshot: &GraphSnapshot,
+    version: u64,
+    handle: &GraphHandle,
     db_version: u64,
     fsync: bool,
 ) -> ServeResult<()> {
     let mut bytes = Vec::new();
     bytes.extend_from_slice(&GRAPH_SNAP_MAGIC);
-    codec::put_u64(&mut bytes, snapshot.version());
+    codec::put_u64(&mut bytes, version);
     codec::put_u64(&mut bytes, db_version);
     codec::put_str(&mut bytes, dsl);
-    codec::put_bytes(&mut bytes, &snapshot.handle().to_snapshot_bytes());
+    codec::put_bytes(&mut bytes, &handle.to_snapshot_bytes());
     seal(&mut bytes);
-    write_file_atomic(&graph_snap_path(dir, snapshot.name()), &bytes, fsync)?;
+    write_file_atomic(&graph_snap_path(dir, name), &bytes, fsync)?;
     Ok(())
 }
 
@@ -903,7 +939,15 @@ fn compact_graph(
     db_version: u64,
     fsync: bool,
 ) -> ServeResult<()> {
-    write_graph_snapshot(dir, &state.dsl, &state.current, db_version, fsync)?;
+    write_graph_snapshot(
+        dir,
+        state.current.name(),
+        &state.dsl,
+        state.current.version(),
+        &state.working,
+        db_version,
+        fsync,
+    )?;
     if let Some(wal) = state.wal.as_mut() {
         wal.reset()?;
     }
@@ -1028,8 +1072,9 @@ fn recover_graph(
             name: name.to_string(),
             version,
             db_version,
-            handle,
+            handle: handle.reader_clone(),
         }),
+        working: handle,
         wal: Some(wal),
         durable_db_version,
     })

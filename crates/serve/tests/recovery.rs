@@ -549,3 +549,82 @@ fn recovered_service_continues_identically() {
         "recovered service diverged from the uninterrupted reference"
     );
 }
+
+/// Format-bump guard: a graph snapshot carrying the retired `GGSVGR2\0`
+/// magic (which framed flat-adjacency `GGSNAP1` handle bytes) must fail
+/// recovery with a clean `Corrupt` magic mismatch — never misparse into a
+/// half-decoded graph.
+#[test]
+fn old_format_graph_snapshot_is_rejected_by_magic() {
+    let dir = TempDir::new("rec-old-magic");
+    {
+        let service =
+            GraphService::create(dir.path(), seed_db(), ServiceConfig::default()).unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+    }
+    // Rewrite the (valid, sealed) snapshot with the previous format's
+    // magic, resealing so the integrity trailer still matches: the decoder
+    // must trip on the magic itself.
+    let snap_path = dir.path().join("coauthors.graph.snap");
+    let sealed = std::fs::read(&snap_path).unwrap();
+    let mut content = graphgen_serve::wal::unseal(&sealed).unwrap().to_vec();
+    assert_eq!(&content[..8], b"GGSVGR3\0");
+    content[..8].copy_from_slice(b"GGSVGR2\0");
+    graphgen_serve::wal::seal(&mut content);
+    std::fs::write(&snap_path, &content).unwrap();
+    let err = GraphService::open(dir.path()).unwrap_err();
+    match &err {
+        graphgen_serve::ServeError::Corrupt { what, .. } => {
+            assert!(what.contains("bad magic"), "unexpected reason: {what}");
+        }
+        other => panic!("expected Corrupt, got {other}"),
+    }
+}
+
+/// Restart onto the chunked snapshot format mid-WAL: the `.graph.snap`
+/// (GGSVGR3 framing a chunked GGSNAP2 handle, written from the *working*
+/// handle so it carries the full maintenance state) plus a WAL holding
+/// batches committed after it. Recovery must decode the chunked snapshot,
+/// replay the log, and keep both the reader side (canonical bytes, CoW
+/// isolation) and the writer side (identical continuation) intact.
+#[test]
+fn recover_chunked_snapshot_mid_wal() {
+    let dir = TempDir::new("rec-chunked-midwal");
+    let expected;
+    {
+        let service = GraphService::create(
+            dir.path(),
+            seed_db(),
+            ServiceConfig {
+                compact_threshold: u64::MAX, // keep every batch in the WAL
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        service.extract("coauthors", Q_COAUTHORS).unwrap();
+        churn(&service, 7, 6);
+        expected = fingerprint(&service);
+        // Abrupt drop: on disk sit the v1 chunked snapshot + 6 WAL records.
+    }
+    assert_recovered(&dir, &expected);
+    // The recovered writer continues exactly like an uninterrupted one,
+    // and a version pinned after recovery is immune to further publishes.
+    let recovered = GraphService::open(dir.path()).unwrap();
+    let reference = GraphService::in_memory(seed_db());
+    reference.extract("coauthors", Q_COAUTHORS).unwrap();
+    churn(&reference, 7, 6);
+    let pin = recovered.snapshot("coauthors").unwrap();
+    let pin_bytes = pin.canonical_bytes();
+    churn(&recovered, 8, 4);
+    churn(&reference, 8, 4);
+    assert_eq!(
+        recovered.snapshot("coauthors").unwrap().canonical_bytes(),
+        reference.snapshot("coauthors").unwrap().canonical_bytes(),
+        "post-recovery continuation diverged"
+    );
+    assert_eq!(
+        pin.canonical_bytes(),
+        pin_bytes,
+        "pin taken after recovery mutated by later publishes"
+    );
+}

@@ -163,6 +163,61 @@ fn soak_eight_readers() {
     assert!(reads > 0);
 }
 
+/// Reader-throughput guard for the `snapshot()` fast path: pinning a
+/// version is one map lookup plus an `Arc` bump under the read lock, so an
+/// active writer — who holds the *writer* mutex, never the published-map
+/// write lock except for the atomic swap — must not starve readers. The
+/// bound is deliberately generous (the writer legitimately competes for
+/// CPU, which on a single-core runner costs readers real throughput); what
+/// it catches is a regression to copying snapshots under the read lock or
+/// holding it across a patch, either of which collapses reader throughput
+/// by orders of magnitude.
+#[test]
+fn reader_throughput_survives_active_writer() {
+    use std::time::{Duration, Instant};
+    let window = Duration::from_millis(300);
+    let mut rng = SplitMix64::new(0x7407);
+    let measure = |with_writer: bool, rng: &mut SplitMix64| -> u64 {
+        let service = Arc::new(GraphService::in_memory(seed_db(rng)));
+        service.extract("g", Q).unwrap();
+        let done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let reader = {
+                let service = Arc::clone(&service);
+                let done = Arc::clone(&done);
+                s.spawn(move || {
+                    let mut reads = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        let snap = service.snapshot("g").unwrap();
+                        std::hint::black_box(snap.version());
+                        reads += 1;
+                    }
+                    reads
+                })
+            };
+            let start = Instant::now();
+            if with_writer {
+                let mut wrng = SplitMix64::new(0xBADCAFE);
+                while start.elapsed() < window {
+                    service.apply(&[random_mutation(&mut wrng)]).unwrap();
+                }
+            } else {
+                std::thread::sleep(window);
+            }
+            done.store(true, Ordering::Relaxed);
+            reader.join().unwrap()
+        })
+    };
+    let idle = measure(false, &mut rng);
+    let busy = measure(true, &mut rng);
+    assert!(idle > 0 && busy > 0, "reader made no progress");
+    assert!(
+        busy * 50 >= idle,
+        "reader throughput collapsed under an active writer: \
+         {busy} reads busy vs {idle} idle in {window:?}"
+    );
+}
+
 /// The writer's correctness backstop: after the soak stream, the served
 /// graph equals a from-scratch extraction on the mutated database.
 #[test]

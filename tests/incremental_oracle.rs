@@ -81,7 +81,28 @@ fn drive(
             );
         }
         for delta in &deltas {
-            for h in handles.iter_mut().chain(converted.iter_mut()) {
+            // Clone-vs-scratch (the copy-on-write contract): apply the
+            // delta to a *clone* first and assert the original handle is
+            // bit-for-bit unmodified — chunk CoW must copy what it
+            // touches, never write through a shared chunk — then apply to
+            // the original and assert both evolved identically.
+            for h in handles.iter_mut() {
+                let before = h.canonical_bytes();
+                let mut patched_clone = h.clone();
+                patched_clone.apply_delta(delta).expect("apply to clone");
+                assert_eq!(
+                    h.canonical_bytes(),
+                    before,
+                    "round {round}: patching a clone mutated the original"
+                );
+                h.apply_delta(delta).expect("apply_delta");
+                assert_eq!(
+                    patched_clone.canonical_bytes(),
+                    h.canonical_bytes(),
+                    "round {round}: clone-then-patch diverged from patch-in-place"
+                );
+            }
+            for h in converted.iter_mut() {
                 h.apply_delta(delta).expect("apply_delta");
             }
         }
@@ -247,5 +268,55 @@ fn default_planner_small_output_chain() {
             fresh.canonical_bytes(),
             "round {round}"
         );
+    }
+}
+
+/// Deeper clone-isolation property suite: arbitrary-seeded mutation
+/// streams with a growing chain of pinned clones, every pin checked for
+/// bit-stability after every batch. Requires the external `proptest` crate
+/// — enable the `proptest-tests` feature in an environment with a
+/// reachable registry (see Cargo.toml).
+#[cfg(feature = "proptest-tests")]
+mod deep {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn clone_chains_stay_isolated(seed in any::<u64>(), rounds in 1usize..5) {
+            let (mut db, query) = single_layer_database(SingleLayerConfig {
+                rows: 600,
+                selectivity: 0.2,
+                seed,
+            });
+            let mut handle = GraphGen::with_config(&db, cfg(2, true))
+                .extract(&query)
+                .unwrap();
+            // (pinned clone, bytes at pin time) — one pin per round, all
+            // re-checked after every later batch.
+            let mut pins: Vec<(GraphHandle, Vec<u8>)> = Vec::new();
+            for round in 0..rounds as u64 {
+                let bytes = handle.canonical_bytes();
+                pins.push((handle.clone(), bytes));
+                let deltas = random_mutation(
+                    &mut db,
+                    "A",
+                    MutationConfig { inserts: 20, deletes: 12, seed: seed ^ round },
+                )
+                .unwrap();
+                for d in &deltas {
+                    handle.apply_delta(d).unwrap();
+                }
+                for (pin, at_pin) in &pins {
+                    prop_assert_eq!(
+                        &pin.canonical_bytes(),
+                        at_pin,
+                        "pinned clone mutated by a later patch"
+                    );
+                }
+            }
+            prop_assert_eq!(handle.canonical_bytes(), reextract(&db, &query));
+        }
     }
 }
