@@ -1,0 +1,95 @@
+//! Static analysis against a live database (the `graphgen-check` engine
+//! bound to real catalog metadata).
+//!
+//! The DSL crate's checker ([`graphgen_dsl::check_program`]) validates a
+//! program against a [`CheckCatalog`] — an engine-neutral snapshot of
+//! relation schemas and statistics. This module derives that snapshot from
+//! a [`Database`], so the same diagnostics the `graphgen-check` CLI emits
+//! over a `.ggs` schema file are produced from the actual tables an
+//! extraction would run against: exact column types, row counts, and the
+//! maintained `n_distinct` statistics the §4.2 planner consults.
+
+use graphgen_dsl::{CheckCatalog, ColType, RelationInfo};
+use graphgen_reldb::{DataType, Database};
+
+/// Snapshot the database's schema and statistics as a checker catalog.
+///
+/// Every registered table becomes a relation with its column names/types,
+/// row count, and per-column distinct counts — the statistics are always
+/// present (the engine maintains them incrementally), so plan lints like
+/// W105 (`large-output-segment`) use the same numbers the planner's
+/// large-output test would.
+pub fn catalog_view(db: &Database) -> CheckCatalog {
+    let mut catalog = CheckCatalog::new();
+    for name in db.table_names() {
+        let table = db.table(name).expect("listed table exists");
+        let columns: Vec<(String, ColType)> = table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| {
+                let ty = match c.dtype {
+                    DataType::Int => ColType::Int,
+                    DataType::Str => ColType::Str,
+                };
+                (c.name.clone(), ty)
+            })
+            .collect();
+        let n_distinct: Vec<Option<u64>> = (0..columns.len())
+            .map(|i| db.column_stats(name, i).ok().map(|s| s.n_distinct as u64))
+            .collect();
+        let info = RelationInfo::new(columns).with_stats(table.num_rows() as u64, n_distinct);
+        catalog.add(name, info);
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen_reldb::{Column, Schema, Table, Value};
+
+    fn db() -> Database {
+        let mut t = Table::new(Schema::new(vec![Column::int("aid"), Column::str("tag")]));
+        for (a, s) in [(1, "x"), (2, "x"), (2, "y")] {
+            t.push_row(vec![Value::int(a), Value::str(s)]).unwrap();
+        }
+        let mut db = Database::new();
+        db.register("AuthorPub", t).unwrap();
+        db
+    }
+
+    #[test]
+    fn catalog_mirrors_schema_and_stats() {
+        let catalog = catalog_view(&db());
+        let info = catalog.relation("AuthorPub").expect("registered");
+        assert_eq!(
+            info.columns,
+            vec![
+                ("aid".to_string(), ColType::Int),
+                ("tag".to_string(), ColType::Str)
+            ]
+        );
+        assert_eq!(info.row_count, Some(3));
+        assert_eq!(info.n_distinct, vec![Some(2), Some(2)]);
+        assert!(catalog.relation("Missing").is_none());
+    }
+
+    #[test]
+    fn checker_sees_live_tables() {
+        use graphgen_dsl::{check_source, CheckOptions};
+        let catalog = catalog_view(&db());
+        let report = check_source(
+            "Nodes(ID) :- AuthorPub(ID, _).\nEdges(A, B) :- AuthorPub(A, T), AuthorPub(B, T).",
+            Some(&catalog),
+            &CheckOptions::default(),
+        );
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        let report = check_source(
+            "Nodes(ID) :- AuthorPubs(ID, _).",
+            Some(&catalog),
+            &CheckOptions::default(),
+        );
+        assert_eq!(report.diagnostics[0].code.code(), "E001");
+    }
+}

@@ -8,7 +8,7 @@
 
 use graphgen_common::CodecError;
 use graphgen_dedup::DedupError;
-use graphgen_dsl::ParseError;
+use graphgen_dsl::{Diagnostic, ParseError};
 use graphgen_graph::RepKind;
 use graphgen_reldb::DbError;
 use std::fmt;
@@ -106,6 +106,8 @@ impl std::error::Error for PatchError {}
 pub enum ErrorKind {
     /// DSL parse or semantic-validation failure.
     Dsl,
+    /// Static analysis rejected the program before extraction started.
+    Check,
     /// Relational engine failure (unknown table/column, arity mismatch, …).
     Db,
     /// Infeasible representation conversion.
@@ -121,6 +123,10 @@ pub enum ErrorKind {
 pub enum Error {
     /// DSL parse/validation failure.
     Dsl(ParseError),
+    /// Static analysis rejected the program before any extraction work:
+    /// every error-severity [`Diagnostic`] the checker found, in source
+    /// order (warnings are filtered out — they never block extraction).
+    Check(Vec<Diagnostic>),
     /// Relational engine failure.
     Db(DbError),
     /// Infeasible representation conversion.
@@ -137,6 +143,7 @@ impl Error {
     pub fn kind(&self) -> ErrorKind {
         match self {
             Error::Dsl(_) => ErrorKind::Dsl,
+            Error::Check(_) => ErrorKind::Check,
             Error::Db(_) => ErrorKind::Db,
             Error::Convert(_) => ErrorKind::Convert,
             Error::Patch(_) => ErrorKind::Patch,
@@ -159,12 +166,32 @@ impl Error {
             _ => None,
         }
     }
+
+    /// The checker diagnostics, if static analysis rejected the program.
+    pub fn as_check(&self) -> Option<&[Diagnostic]> {
+        match self {
+            Error::Check(diags) => Some(diags),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Dsl(e) => write!(f, "{e}"),
+            Error::Check(diags) => {
+                // One line per diagnostic, coded, suitable for protocol
+                // front ends and logs.
+                write!(f, "check failed: ")?;
+                for (i, d) in diags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{}", d.one_line())?;
+                }
+                Ok(())
+            }
             Error::Db(e) => write!(f, "{e}"),
             Error::Convert(e) => write!(f, "{e}"),
             Error::Patch(e) => write!(f, "{e}"),
@@ -177,6 +204,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Dsl(e) => Some(e),
+            Error::Check(_) => None,
             Error::Db(e) => Some(e),
             Error::Convert(e) => Some(e),
             Error::Patch(e) => Some(e),
@@ -233,6 +261,28 @@ mod tests {
         let e: Error = DbError::UnknownTable("x".into()).into();
         assert_eq!(e.kind(), ErrorKind::Db);
         assert_eq!(e.as_convert(), None);
+    }
+
+    #[test]
+    fn check_errors_render_one_line_per_diagnostic() {
+        use graphgen_dsl::{Code, Span};
+        let e = Error::Check(vec![
+            Diagnostic::new(
+                Code::UnknownRelation,
+                Span::new(19, 3, 2, 5),
+                "unknown relation `X`",
+            ),
+            Diagnostic::new(Code::ArityMismatch, Span::new(30, 3, 3, 1), "wrong arity"),
+        ]);
+        assert_eq!(e.kind(), ErrorKind::Check);
+        assert_eq!(e.as_check().map(<[_]>::len), Some(2));
+        let s = e.to_string();
+        assert!(
+            s.starts_with("check failed: E001 unknown-relation at 2:5:"),
+            "{s}"
+        );
+        assert!(s.contains("; E003 arity-mismatch at 3:1:"), "{s}");
+        assert!(!s.contains('\n'), "protocol front ends need one line: {s}");
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! The GraphGen facade and the condensed extraction algorithm (§4.2).
 
 use crate::anygraph::AnyGraph;
+use crate::check::catalog_view;
 use crate::error::Error;
 use crate::handle::GraphHandle;
 use crate::incremental::{self, IncrementalState};
 use crate::planner::{filters_to_predicate, full_query, plan_chain, ChainPlan};
 use graphgen_common::IdMap;
 use graphgen_dedup::preprocess::{expand_cheap_virtuals, should_expand, PreprocessStats};
-use graphgen_dsl::{compile, GraphSpec, NodesView};
+use graphgen_dsl::{
+    check_program, parse, CheckOptions, CheckReport, GraphSpec, NodesView, Severity,
+};
 use graphgen_graph::{CondensedBuilder, ExpandedGraph, PropValue, Properties, RealId, VirtId};
 use graphgen_reldb::{exec::scan_project, Database, Delta, DeltaOp, Value};
 use std::time::Instant;
@@ -188,9 +191,48 @@ impl<'a> GraphGen<'a> {
         self.db
     }
 
+    /// Statically check a DSL program against this database's schema and
+    /// statistics, without extracting anything. The report carries every
+    /// diagnostic (errors and warnings) plus the compiled spec when the
+    /// program is error-free. Parse failures surface as [`Error::Dsl`].
+    pub fn check(&self, dsl: &str) -> Result<CheckReport, Error> {
+        self.check_with(dsl, &CheckOptions::default())
+    }
+
+    /// [`GraphGen::check`] with explicit options (opt-in lint groups). The
+    /// plan lints always use this engine's configured large-output factor,
+    /// so W105 predicts exactly what the planner would postpone.
+    pub fn check_with(&self, dsl: &str, opts: &CheckOptions) -> Result<CheckReport, Error> {
+        let program = parse(dsl)?;
+        let mut opts = opts.clone();
+        opts.large_output_factor = self.cfg.large_output_factor;
+        Ok(check_program(&program, Some(&catalog_view(self.db)), &opts))
+    }
+
+    /// Run [`GraphGen::check`] and compile the spec, rejecting programs the
+    /// checker finds errors in before any extraction work happens.
+    fn checked_spec(&self, dsl: &str) -> Result<GraphSpec, Error> {
+        let report = self.check(dsl)?;
+        if report.has_errors() {
+            let errors: Vec<_> = report
+                .diagnostics
+                .into_iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect();
+            return Err(Error::Check(errors));
+        }
+        Ok(report
+            .spec
+            .expect("check_program returns a spec when there are no errors"))
+    }
+
     /// Parse a DSL program and extract the (condensed) graph.
+    ///
+    /// The program is statically validated first ([`GraphGen::check`]);
+    /// schema or semantic errors come back as [`Error::Check`] with coded,
+    /// span-carrying diagnostics, before any table is scanned.
     pub fn extract(&self, dsl: &str) -> Result<GraphHandle, Error> {
-        let spec = compile(dsl)?;
+        let spec = self.checked_spec(dsl)?;
         self.extract_spec(&spec)
     }
 
@@ -281,7 +323,7 @@ impl<'a> GraphGen<'a> {
     /// Extract the **fully expanded** graph by running each chain as one
     /// SQL query (Table 1's "Full Graph" baseline).
     pub fn extract_full(&self, dsl: &str) -> Result<GraphHandle, Error> {
-        let spec = compile(dsl)?;
+        let spec = self.checked_spec(dsl)?;
         let start = Instant::now();
         let mut report = ExtractionReport::default();
         let (ids, properties) = self.load_nodes(&spec.nodes)?;

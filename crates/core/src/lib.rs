@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod anygraph;
+pub mod check;
 pub mod error;
 pub mod extract;
 pub mod handle;
@@ -35,6 +36,7 @@ pub mod planner;
 pub mod serialize;
 
 pub use anygraph::AnyGraph;
+pub use check::catalog_view;
 pub use error::{ConvertError, Error, ErrorKind, PatchError};
 pub use extract::{ExtractionReport, GraphGen, GraphGenConfig, GraphGenConfigBuilder};
 pub use handle::{AdvisorPolicy, BitmapAlgorithm, ConvertOptions, GraphHandle};

@@ -1,0 +1,162 @@
+//! Negative tests: programs that previously failed at *runtime* (unknown
+//! table from the relational engine, arity mismatch mid-scan, asymmetric
+//! DEDUP-2 conversion) are now rejected — or predicted — by static
+//! analysis before any extraction work happens.
+
+use graphgen_core::{ConvertOptions, Error, ErrorKind, GraphGen, GraphGenConfig};
+use graphgen_dsl::CheckOptions;
+use graphgen_graph::RepKind;
+use graphgen_reldb::{Column, Database, Schema, Table, Value};
+
+fn fig1_db() -> Database {
+    let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+    for a in 1..=3 {
+        author
+            .push_row(vec![Value::int(a), Value::str(format!("a{a}"))])
+            .unwrap();
+    }
+    let mut ap = Table::new(Schema::new(vec![Column::int("aid"), Column::int("pid")]));
+    for (a, p) in [(1, 1), (2, 1), (2, 2), (3, 2)] {
+        ap.push_row(vec![Value::int(a), Value::int(p)]).unwrap();
+    }
+    let mut db = Database::new();
+    db.register("Author", author).unwrap();
+    db.register("AuthorPub", ap).unwrap();
+    db
+}
+
+fn codes(e: &Error) -> Vec<String> {
+    e.as_check()
+        .expect("check rejection")
+        .iter()
+        .map(|d| d.code.code().to_string())
+        .collect()
+}
+
+#[test]
+fn unknown_table_is_a_check_error_not_a_db_error() {
+    let db = fig1_db();
+    let gg = GraphGen::new(&db);
+    let err = gg
+        .extract("Nodes(ID, N) :- Writer(ID, N).\nEdges(A, B) :- AuthorPub(A, P), AuthorPub(B, P).")
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Check, "was: {err}");
+    assert_eq!(codes(&err), ["E001"]);
+    // The rejection carries the span and a suggestion, unlike the old
+    // DbError::UnknownTable it preempts.
+    let msg = err.to_string();
+    assert!(msg.contains("E001 unknown-relation at 1:17"), "{msg}");
+}
+
+#[test]
+fn arity_mismatch_is_a_check_error_not_a_db_error() {
+    let db = fig1_db();
+    let gg = GraphGen::new(&db);
+    let err = gg
+        .extract(
+            "Nodes(ID, N) :- Author(ID, N).\n\
+             Edges(A, B) :- AuthorPub(A, P, X), AuthorPub(B, P, X).",
+        )
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Check, "was: {err}");
+    assert_eq!(codes(&err), ["E003", "E003"]);
+}
+
+#[test]
+fn type_mismatched_constant_is_caught_statically() {
+    let db = fig1_db();
+    let gg = GraphGen::new(&db);
+    // `name` is a string column; an integer constant can never match.
+    let err = gg
+        .extract(
+            "Nodes(ID) :- Author(ID, 5).\n\
+             Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P).",
+        )
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Check);
+    assert_eq!(codes(&err), ["E002"]);
+}
+
+#[test]
+fn extract_full_pre_validates_too() {
+    let db = fig1_db();
+    let gg = GraphGen::new(&db);
+    let err = gg
+        .extract_full("Nodes(ID) :- Nope(ID).\nEdges(A, B) :- AuthorPub(A, P), AuthorPub(B, P).")
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Check);
+    assert_eq!(codes(&err), ["E001"]);
+}
+
+#[test]
+fn parse_errors_stay_dsl_errors() {
+    let db = fig1_db();
+    let gg = GraphGen::new(&db);
+    let err = gg.extract("Nodes(ID :- Author(ID, N).").unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Dsl);
+}
+
+#[test]
+fn check_reports_without_extracting() {
+    let db = fig1_db();
+    let gg = GraphGen::new(&db);
+    // Valid program: spec present, no diagnostics.
+    let report = gg
+        .check("Nodes(ID, N) :- Author(ID, N).\nEdges(A, B) :- AuthorPub(A, P), AuthorPub(B, P).")
+        .unwrap();
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert!(report.spec.is_some());
+    // Invalid: diagnostics, no spec — and no Error, because nothing ran.
+    let report = gg.check("Nodes(ID, N) :- Author(ID, N, X).").unwrap();
+    assert!(report.has_errors());
+    assert!(report.spec.is_none());
+}
+
+#[test]
+fn conversion_lint_predicts_the_asymmetric_runtime_failure() {
+    // A bipartite chain over two different relations: DEDUP-2 conversion
+    // fails at runtime with ConvertError::Asymmetric. The `conversion`
+    // lint group predicts it (W103) before extraction.
+    let mut taught = Table::new(Schema::new(vec![Column::int("iid"), Column::int("cid")]));
+    taught
+        .push_row(vec![Value::int(100), Value::int(7)])
+        .unwrap();
+    let mut took = Table::new(Schema::new(vec![Column::int("sid"), Column::int("cid")]));
+    for s in [1, 2] {
+        took.push_row(vec![Value::int(s), Value::int(7)]).unwrap();
+    }
+    let mut people = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+    for p in [1, 2, 100] {
+        people
+            .push_row(vec![Value::int(p), Value::str(format!("p{p}"))])
+            .unwrap();
+    }
+    let mut db = Database::new();
+    db.register("Person", people).unwrap();
+    db.register("TaughtCourse", taught).unwrap();
+    db.register("TookCourse", took).unwrap();
+
+    let q3 = "Nodes(ID, Name) :- Person(ID, Name).\n\
+              Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).";
+    let cfg = GraphGenConfig::builder()
+        .large_output_factor(0.0) // force the condensed path
+        .preprocess(false)
+        .auto_expand_threshold(None)
+        .build();
+    let gg = GraphGen::with_config(&db, cfg);
+
+    // The static prediction…
+    let mut opts = CheckOptions::default();
+    opts.enable_lint("conversion").unwrap();
+    let report = gg.check_with(q3, &opts).unwrap();
+    let warned: Vec<&str> = report.diagnostics.iter().map(|d| d.code.code()).collect();
+    assert!(warned.contains(&"W103"), "{warned:?}");
+    assert!(report.spec.is_some(), "lints never block extraction");
+
+    // …matches the runtime behaviour it predicts.
+    let handle = gg.extract(q3).unwrap();
+    let err = handle
+        .convert(RepKind::Dedup2, &ConvertOptions::default())
+        .unwrap_err();
+    assert_eq!(err, graphgen_core::ConvertError::Asymmetric);
+}

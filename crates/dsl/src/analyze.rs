@@ -10,7 +10,7 @@
 //! which materializes the expanded graph via one big SQL query and is out
 //! of scope for the condensed path.
 
-use crate::ast::{Atom, HeadKind, Program, Rule, Term};
+use crate::ast::{Atom, Program, Term};
 use graphgen_common::FxHashSet;
 
 /// A selection constant on one column of an atom.
@@ -134,7 +134,7 @@ pub fn is_acyclic(atoms: &[Atom]) -> bool {
     }
 }
 
-fn filters_of(atom: &Atom) -> Vec<ConstFilter> {
+pub(crate) fn filters_of(atom: &Atom) -> Vec<ConstFilter> {
     atom.args
         .iter()
         .enumerate()
@@ -146,7 +146,7 @@ fn filters_of(atom: &Atom) -> Vec<ConstFilter> {
         .collect()
 }
 
-fn var_col(atom: &Atom, var: &str) -> Option<usize> {
+pub(crate) fn var_col(atom: &Atom, var: &str) -> Option<usize> {
     atom.args.iter().position(|t| t.as_var() == Some(var))
 }
 
@@ -162,7 +162,7 @@ fn shared_vars(a: &Atom, b: &Atom) -> Vec<String> {
 
 /// Try to order the body atoms into a chain from `id1` to `id2`. Brute
 /// force over permutations — extraction bodies have a handful of atoms.
-fn find_chain(body: &[Atom], id1: &str, id2: &str) -> Option<Vec<ChainAtom>> {
+pub(crate) fn find_chain(body: &[Atom], id1: &str, id2: &str) -> Option<Vec<ChainAtom>> {
     let n = body.len();
     if n == 0 || n > 8 {
         return None;
@@ -228,86 +228,21 @@ fn chain_from_order(body: &[Atom], perm: &[usize], id1: &str, id2: &str) -> Opti
     Some(steps)
 }
 
-fn analyze_nodes(rule: &Rule) -> Result<NodesView, String> {
-    if rule.body.len() != 1 {
-        return Err(format!(
-            "Nodes rules must have a single body atom (found {})",
-            rule.body.len()
-        ));
-    }
-    let atom = &rule.body[0];
-    let id_var = rule
-        .head_args
-        .first()
-        .and_then(Term::as_var)
-        .ok_or("first Nodes attribute must be a variable (the node id)")?;
-    let id_col = var_col(atom, id_var)
-        .ok_or_else(|| format!("node id variable `{id_var}` not bound in the body"))?;
-    let mut prop_cols = Vec::new();
-    for t in &rule.head_args[1..] {
-        let v = t
-            .as_var()
-            .ok_or("Nodes property attributes must be variables")?;
-        let col = var_col(atom, v)
-            .ok_or_else(|| format!("property variable `{v}` not bound in the body"))?;
-        prop_cols.push((v.to_string(), col));
-    }
-    Ok(NodesView {
-        relation: atom.relation.clone(),
-        id_col,
-        prop_cols,
-        filters: filters_of(atom),
-    })
-}
-
-fn analyze_edges(rule: &Rule) -> Result<EdgeChain, String> {
-    if rule.head_args.len() < 2 {
-        return Err("Edges rules need at least two head attributes (ID1, ID2)".into());
-    }
-    let id1 = rule.head_args[0]
-        .as_var()
-        .ok_or("first Edges attribute must be a variable (ID1)")?;
-    let id2 = rule.head_args[1]
-        .as_var()
-        .ok_or("second Edges attribute must be a variable (ID2)")?;
-    if !is_acyclic(&rule.body) {
-        return Err(
-            "Edges body is cyclic; only acyclic conjunctive queries are supported (Case 1, §3.3)"
-                .into(),
-        );
-    }
-    find_chain(&rule.body, id1, id2)
-        .ok_or_else(|| {
-            "Edges body cannot be ordered into a join chain from ID1 to ID2; \
-         non-chain acyclic queries fall under Case 2 and are not supported"
-                .to_string()
-        })
-        .map(|steps| EdgeChain { steps })
-}
-
 /// Validate a parsed program and produce the extraction spec.
+///
+/// This is a thin compatibility wrapper over the full static analyzer
+/// ([`crate::check::check_program`]) — the checker *is* the semantic
+/// engine, so validation and extraction can never drift apart. On failure
+/// the first error's message is returned; callers who want all
+/// diagnostics (with codes and spans) should use the checker directly.
 pub fn analyze(program: &Program) -> Result<GraphSpec, String> {
-    let mut nodes = Vec::new();
-    let mut edges = Vec::new();
-    for rule in &program.rules {
-        // Non-recursion: body atoms may not reference the special heads.
-        for atom in &rule.body {
-            if atom.relation == "Nodes" || atom.relation == "Edges" {
-                return Err("recursive rules are not supported".into());
-            }
-        }
-        match rule.head {
-            HeadKind::Nodes => nodes.push(analyze_nodes(rule)?),
-            HeadKind::Edges => edges.push(analyze_edges(rule)?),
-        }
+    let report = crate::check::check_program(program, None, &crate::check::CheckOptions::default());
+    match report.first_error() {
+        Some(d) => Err(d.message.clone()),
+        None => Ok(report
+            .spec
+            .expect("check_program returns a spec when there are no errors")),
     }
-    if nodes.is_empty() {
-        return Err("a graph specification needs at least one Nodes statement".into());
-    }
-    if edges.is_empty() {
-        return Err("a graph specification needs at least one Edges statement".into());
-    }
-    Ok(GraphSpec { nodes, edges })
 }
 
 #[cfg(test)]

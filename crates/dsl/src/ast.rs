@@ -1,5 +1,12 @@
 //! Abstract syntax tree of the extraction DSL.
+//!
+//! Atoms and rules carry [`Span`]s pointing back into the source so the
+//! static analyzer can attach precise locations to its diagnostics.
+//! Spans are *metadata*: the manual `PartialEq` impls below ignore them,
+//! so two structurally identical rules compare equal regardless of where
+//! (or whether) they were parsed.
 
+use crate::span::Span;
 use std::fmt;
 
 /// A term in a head or body atom.
@@ -45,13 +52,53 @@ pub enum HeadKind {
     Edges,
 }
 
+impl HeadKind {
+    /// The surface keyword.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            HeadKind::Nodes => "Nodes",
+            HeadKind::Edges => "Edges",
+        }
+    }
+}
+
 /// A body atom: `Relation(t1, ..., tk)`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Atom {
     /// Relation (base table) name.
     pub relation: String,
     /// Argument terms, positional.
     pub args: Vec<Term>,
+    /// Span of the relation name (synthetic if built programmatically).
+    pub relation_span: Span,
+    /// Span of each argument, parallel to `args` (empty if synthetic).
+    pub arg_spans: Vec<Span>,
+}
+
+impl Atom {
+    /// An atom with synthetic spans, for programmatic construction.
+    pub fn new(relation: impl Into<String>, args: Vec<Term>) -> Self {
+        Self {
+            relation: relation.into(),
+            args,
+            relation_span: Span::default(),
+            arg_spans: Vec::new(),
+        }
+    }
+
+    /// The span of argument `i`, falling back to the relation span when
+    /// argument spans are unavailable (synthetic AST).
+    pub fn arg_span(&self, i: usize) -> Span {
+        self.arg_spans.get(i).copied().unwrap_or(self.relation_span)
+    }
+}
+
+// Spans are metadata, not structure: duplicate-rule detection and test
+// roundtrips compare atoms by content only.
+impl PartialEq for Atom {
+    fn eq(&self, other: &Self) -> bool {
+        self.relation == other.relation && self.args == other.args
+    }
 }
 
 impl fmt::Display for Atom {
@@ -68,7 +115,7 @@ impl fmt::Display for Atom {
 }
 
 /// One rule: `Head(args) :- body.`
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Rule {
     /// `Nodes` or `Edges`.
     pub head: HeadKind,
@@ -76,6 +123,50 @@ pub struct Rule {
     pub head_args: Vec<Term>,
     /// Conjunctive body.
     pub body: Vec<Atom>,
+    /// Span of the head keyword (synthetic if built programmatically).
+    pub head_span: Span,
+    /// Span of each head argument, parallel to `head_args`.
+    pub head_arg_spans: Vec<Span>,
+}
+
+impl Rule {
+    /// A rule with synthetic spans, for programmatic construction.
+    pub fn new(head: HeadKind, head_args: Vec<Term>, body: Vec<Atom>) -> Self {
+        Self {
+            head,
+            head_args,
+            body,
+            head_span: Span::default(),
+            head_arg_spans: Vec::new(),
+        }
+    }
+
+    /// The span of head argument `i`, falling back to the head keyword
+    /// span when argument spans are unavailable.
+    pub fn head_arg_span(&self, i: usize) -> Span {
+        self.head_arg_spans
+            .get(i)
+            .copied()
+            .unwrap_or(self.head_span)
+    }
+
+    /// The span of the whole rule, from the head keyword to the end of
+    /// the last body atom's last argument.
+    pub fn span(&self) -> Span {
+        let end = self
+            .body
+            .last()
+            .map(|a| a.arg_span(a.args.len().saturating_sub(1)))
+            .unwrap_or(self.head_span);
+        self.head_span.to(end)
+    }
+}
+
+// See the note on `Atom`'s PartialEq: spans are ignored.
+impl PartialEq for Rule {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.head_args == other.head_args && self.body == other.body
+    }
 }
 
 /// A whole extraction program.
@@ -91,10 +182,10 @@ mod tests {
 
     #[test]
     fn display_roundtrip_shape() {
-        let atom = Atom {
-            relation: "AuthorPub".into(),
-            args: vec![Term::Var("ID1".into()), Term::Int(3), Term::Wildcard],
-        };
+        let atom = Atom::new(
+            "AuthorPub",
+            vec![Term::Var("ID1".into()), Term::Int(3), Term::Wildcard],
+        );
         assert_eq!(atom.to_string(), "AuthorPub(ID1, 3, _)");
     }
 
@@ -103,5 +194,30 @@ mod tests {
         assert_eq!(Term::Var("X".into()).as_var(), Some("X"));
         assert_eq!(Term::Int(1).as_var(), None);
         assert_eq!(Term::Wildcard.as_var(), None);
+    }
+
+    #[test]
+    fn eq_ignores_spans() {
+        let mut a = Atom::new("R", vec![Term::Var("X".into())]);
+        let b = a.clone();
+        a.relation_span = Span::new(10, 1, 3, 4);
+        a.arg_spans = vec![Span::new(12, 1, 3, 6)];
+        assert_eq!(a, b);
+        let mut r = Rule::new(HeadKind::Nodes, vec![Term::Var("X".into())], vec![a]);
+        let r2 = Rule {
+            head_span: Span::new(0, 5, 1, 1),
+            ..r.clone()
+        };
+        r.head_arg_spans = vec![Span::new(6, 1, 1, 7)];
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn span_fallbacks() {
+        let a = Atom::new("R", vec![Term::Wildcard]);
+        assert!(a.arg_span(0).is_synthetic());
+        let r = Rule::new(HeadKind::Edges, vec![], vec![a]);
+        assert!(r.head_arg_span(0).is_synthetic());
+        assert!(r.span().is_synthetic());
     }
 }

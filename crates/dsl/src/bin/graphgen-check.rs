@@ -1,0 +1,138 @@
+//! `graphgen-check` — static analyzer for extraction DSL files.
+//!
+//! Validates `.ggd` query files against an optional `.ggs` schema
+//! description, printing rustc-style caret diagnostics with stable codes.
+//!
+//! ```text
+//! graphgen-check --schema dblp.ggs --deny-warnings queries/*.ggd
+//! ```
+//!
+//! Exit codes: `0` all files clean, `1` diagnostics reported (errors, or
+//! warnings under `--deny-warnings`), `2` usage or I/O failure.
+
+use graphgen_dsl::{check_source, render_all, CheckCatalog, CheckOptions};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: graphgen-check [options] <file.ggd>...
+
+options:
+  --schema <file.ggs>   check against a schema description (enables
+                        unknown-relation/arity/type/statistics checks)
+  --lint <groups>       enable opt-in lint groups, comma separated:
+                        conversion (W103), plan (W105), all
+  --factor <f>          large-output factor for plan lints (default 2.0)
+  --deny-warnings       exit 1 on warnings, not just errors
+  -q, --quiet           suppress per-file OK lines
+  -h, --help            show this help
+
+exit codes: 0 = clean, 1 = diagnostics reported, 2 = usage/io error";
+
+struct Args {
+    schema: Option<String>,
+    opts: CheckOptions,
+    deny_warnings: bool,
+    quiet: bool,
+    files: Vec<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        schema: None,
+        opts: CheckOptions::default(),
+        deny_warnings: false,
+        quiet: false,
+        files: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--schema" => {
+                args.schema = Some(
+                    it.next()
+                        .ok_or("--schema needs a file argument")?
+                        .to_string(),
+                );
+            }
+            "--lint" => {
+                let groups = it.next().ok_or("--lint needs a group list")?;
+                for g in groups.split(',') {
+                    args.opts.enable_lint(g.trim())?;
+                }
+            }
+            "--factor" => {
+                let f = it.next().ok_or("--factor needs a number")?;
+                args.opts.large_output_factor =
+                    f.parse().map_err(|e| format!("bad --factor `{f}`: {e}"))?;
+            }
+            "--deny-warnings" => args.deny_warnings = true,
+            "-q" | "--quiet" => args.quiet = true,
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            file => args.files.push(file.to_string()),
+        }
+    }
+    if args.files.is_empty() {
+        return Err("no input files".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let catalog = match &args.schema {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match CheckCatalog::parse(&text) {
+                Ok(cat) => Some(cat),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read schema `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let mut failed = false;
+    for path in &args.files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = check_source(&source, catalog.as_ref(), &args.opts);
+        match render_all(&report.diagnostics, &source, path) {
+            Some(rendered) => {
+                print!("{rendered}");
+                failed |= report.has_errors() || (args.deny_warnings && report.has_warnings());
+            }
+            None => {
+                if !args.quiet {
+                    println!("{path}: OK");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,351 @@
+//! Span-carrying, coded diagnostics: the output format of the static
+//! analyzer ([`crate::check`]), the parser, and the semantic validator.
+//!
+//! Every failure class has a **stable code** (`E001`, `W103`, …) that
+//! front ends key on — `graphgen-check` exit codes, the serving layer's
+//! per-code rejection counters, and the golden test suite all match on the
+//! code, never on message text. See `docs/DSL.md` ("Diagnostics
+//! reference") for the full table with examples and fixes.
+
+use crate::span::Span;
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The program may be suboptimal or suspicious but is executable.
+    Warning,
+    /// The program is rejected; extraction will not run.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The stable failure classes of the extraction DSL. The numeric code and
+/// kebab-case name of each variant are frozen: tools match on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// `E000`: lexical or grammatical failure.
+    Syntax,
+    /// `E001`: a body atom references a relation the catalog doesn't hold.
+    UnknownRelation,
+    /// `E002`: a constant's type differs from its column's declared type.
+    TypeMismatch,
+    /// `E003`: a body atom's argument count differs from the relation's
+    /// column count.
+    ArityMismatch,
+    /// `E004`: a head variable is not bound by any body atom (range
+    /// restriction).
+    UnboundHeadVariable,
+    /// `E005`: a malformed rule head (non-variable key attribute, too few
+    /// `Edges` attributes, multi-atom `Nodes` body, …).
+    InvalidHead,
+    /// `E006`: an `Edges` body that is not α-acyclic (GYO reduction).
+    CyclicBody,
+    /// `E007`: an acyclic `Edges` body that cannot be ordered into a join
+    /// chain from ID1 to ID2 (the paper's Case 2).
+    NonChainBody,
+    /// `E008`: a body atom references `Nodes`/`Edges` (recursion).
+    RecursiveRule,
+    /// `E009`: the program is missing a `Nodes` or an `Edges` statement.
+    IncompleteProgram,
+    /// `E010`: a `Nodes` head binds the same property name twice.
+    DuplicateProperty,
+    /// `E011`: a rule is a structural duplicate of an earlier rule.
+    DuplicateRule,
+    /// `W101`: a join or filter is statically unsatisfiable — the rule can
+    /// never produce rows (e.g. a variable relating an Int column to a Str
+    /// column, or identical endpoint head variables producing only
+    /// self-loops).
+    UnsatisfiableFilter,
+    /// `W102`: a body variable occurs exactly once — it constrains
+    /// nothing; `_` says so explicitly.
+    SingletonVariable,
+    /// `W103`: this edge view can never convert to DEDUP-2 — the chain
+    /// shape predicts `ConvertError::Asymmetric` or
+    /// `ConvertError::MultiLayer` at check time (conversion lint group).
+    Dedup2Infeasible,
+    /// `W105`: catalog statistics classify a join of this chain as
+    /// large-output (§4.2) — it will be postponed into a virtual-node
+    /// layer (plan lint group).
+    LargeOutputSegment,
+}
+
+impl Code {
+    /// The stable `ENNN`/`WNNN` code string.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Code::Syntax => "E000",
+            Code::UnknownRelation => "E001",
+            Code::TypeMismatch => "E002",
+            Code::ArityMismatch => "E003",
+            Code::UnboundHeadVariable => "E004",
+            Code::InvalidHead => "E005",
+            Code::CyclicBody => "E006",
+            Code::NonChainBody => "E007",
+            Code::RecursiveRule => "E008",
+            Code::IncompleteProgram => "E009",
+            Code::DuplicateProperty => "E010",
+            Code::DuplicateRule => "E011",
+            Code::UnsatisfiableFilter => "W101",
+            Code::SingletonVariable => "W102",
+            Code::Dedup2Infeasible => "W103",
+            Code::LargeOutputSegment => "W105",
+        }
+    }
+
+    /// The stable kebab-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Code::Syntax => "syntax",
+            Code::UnknownRelation => "unknown-relation",
+            Code::TypeMismatch => "type-mismatch",
+            Code::ArityMismatch => "arity-mismatch",
+            Code::UnboundHeadVariable => "unbound-head-variable",
+            Code::InvalidHead => "invalid-head",
+            Code::CyclicBody => "cyclic-body",
+            Code::NonChainBody => "non-chain-body",
+            Code::RecursiveRule => "recursive-rule",
+            Code::IncompleteProgram => "incomplete-program",
+            Code::DuplicateProperty => "duplicate-property",
+            Code::DuplicateRule => "duplicate-rule",
+            Code::UnsatisfiableFilter => "unsatisfiable-filter",
+            Code::SingletonVariable => "singleton-variable",
+            Code::Dedup2Infeasible => "dedup2-infeasible",
+            Code::LargeOutputSegment => "large-output-segment",
+        }
+    }
+
+    /// The severity this code carries (`E…` = error, `W…` = warning).
+    pub fn severity(&self) -> Severity {
+        if self.code().starts_with('E') {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+
+    /// All codes, for reference tables and exhaustiveness tests.
+    pub fn all() -> &'static [Code] {
+        &[
+            Code::Syntax,
+            Code::UnknownRelation,
+            Code::TypeMismatch,
+            Code::ArityMismatch,
+            Code::UnboundHeadVariable,
+            Code::InvalidHead,
+            Code::CyclicBody,
+            Code::NonChainBody,
+            Code::RecursiveRule,
+            Code::IncompleteProgram,
+            Code::DuplicateProperty,
+            Code::DuplicateRule,
+            Code::UnsatisfiableFilter,
+            Code::SingletonVariable,
+            Code::Dedup2Infeasible,
+            Code::LargeOutputSegment,
+        ]
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code(), self.name())
+    }
+}
+
+/// One coded, span-carrying finding about a DSL program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable failure class.
+    pub code: Code,
+    /// Error or warning (defaults to `code.severity()`).
+    pub severity: Severity,
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// How to fix it, when the analyzer knows.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at its code's default severity.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attach a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// The compact single-line rendering used by protocol front ends:
+    /// `E001 unknown-relation at 2:20: unknown relation \`AP\``.
+    pub fn one_line(&self) -> String {
+        if self.span.is_synthetic() {
+            format!("{}: {}", self.code, self.message)
+        } else {
+            format!("{} at {}: {}", self.code, self.span, self.message)
+        }
+    }
+
+    /// Render this diagnostic rustc-style against its source text:
+    ///
+    /// ```text
+    /// error[E001]: unknown relation `AuthorPubb`
+    ///   --> query.ggd:2:20
+    ///    |
+    ///  2 | Edges(ID1, ID2) :- AuthorPubb(ID1, P).
+    ///    |                    ^^^^^^^^^^
+    ///    = help: did you mean `AuthorPub`?
+    /// ```
+    ///
+    /// `origin` is the file name (or any label) shown in the `-->` line.
+    pub fn render(&self, source: &str, origin: &str) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n",
+            self.severity,
+            self.code.code(),
+            self.message
+        );
+        if !self.span.is_synthetic() {
+            let line_no = self.span.line as usize;
+            let gutter = line_no.to_string().len().max(2);
+            out.push_str(&format!(
+                "{:>gutter$}--> {}:{}\n",
+                "",
+                origin,
+                self.span,
+                gutter = gutter
+            ));
+            if let Some(text) = source.lines().nth(line_no - 1) {
+                let col = (self.span.col as usize).max(1);
+                // Clamp the caret run to the visible line remainder.
+                let width = self
+                    .span
+                    .len
+                    .clamp(1, text.len().saturating_sub(col - 1).max(1));
+                out.push_str(&format!("{:>gutter$} |\n", "", gutter = gutter));
+                out.push_str(&format!("{line_no:>gutter$} | {text}\n", gutter = gutter));
+                out.push_str(&format!(
+                    "{:>gutter$} | {:>col$}{}\n",
+                    "",
+                    "",
+                    "^".repeat(width),
+                    gutter = gutter,
+                    col = col - 1
+                ));
+            }
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("  = help: {help}\n"));
+        }
+        out
+    }
+}
+
+/// Render a batch of diagnostics (in order) followed by a summary line,
+/// the `graphgen-check` CLI output format. Returns `None` when there is
+/// nothing to report.
+pub fn render_all(diagnostics: &[Diagnostic], source: &str, origin: &str) -> Option<String> {
+    if diagnostics.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&d.render(source, origin));
+        out.push('\n');
+    }
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diagnostics.len() - errors;
+    out.push_str(&format!(
+        "{origin}: {errors} error(s), {warnings} warning(s)\n"
+    ));
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = Code::all();
+        for (i, a) in all.iter().enumerate() {
+            assert_eq!(a.severity() == Severity::Error, a.code().starts_with('E'));
+            for b in &all[i + 1..] {
+                assert_ne!(a.code(), b.code());
+                assert_ne!(a.name(), b.name());
+            }
+        }
+        assert_eq!(Code::UnknownRelation.code(), "E001");
+        assert_eq!(Code::ArityMismatch.code(), "E003");
+        assert_eq!(Code::NonChainBody.code(), "E007");
+        assert_eq!(Code::UnsatisfiableFilter.code(), "W101");
+        assert_eq!(Code::Dedup2Infeasible.code(), "W103");
+        assert_eq!(Code::LargeOutputSegment.code(), "W105");
+    }
+
+    #[test]
+    fn render_carets_under_the_span() {
+        let src = "Nodes(ID) :- Author(ID).\nEdges(A, B) :- Nope(A, B).";
+        let d = Diagnostic::new(
+            Code::UnknownRelation,
+            Span::new(40, 4, 2, 16),
+            "unknown relation `Nope`",
+        )
+        .with_help("available relations: Author");
+        let r = d.render(src, "q.ggd");
+        assert!(r.contains("error[E001]: unknown relation `Nope`"), "{r}");
+        assert!(r.contains("--> q.ggd:2:16"), "{r}");
+        assert!(r.contains(" 2 | Edges(A, B) :- Nope(A, B)."), "{r}");
+        assert!(r.contains("^^^^"), "{r}");
+        assert!(r.contains("= help: available relations: Author"), "{r}");
+        // The caret line aligns under the N of Nope.
+        let caret_line = r.lines().find(|l| l.contains('^')).unwrap();
+        let code_line = r.lines().find(|l| l.contains("Nope(A")).unwrap();
+        assert_eq!(
+            caret_line.find('^').unwrap(),
+            code_line.find("Nope").unwrap()
+        );
+    }
+
+    #[test]
+    fn synthetic_spans_render_without_excerpt() {
+        let d = Diagnostic::new(
+            Code::IncompleteProgram,
+            Span::default(),
+            "no Edges statement",
+        );
+        let r = d.render("whatever", "q");
+        assert!(!r.contains("-->"), "{r}");
+        assert_eq!(d.one_line(), "E009 incomplete-program: no Edges statement");
+    }
+
+    #[test]
+    fn one_line_and_summary() {
+        let d = Diagnostic::new(Code::ArityMismatch, Span::new(0, 2, 1, 1), "boom");
+        assert_eq!(d.one_line(), "E003 arity-mismatch at 1:1: boom");
+        let out = render_all(&[d], "src", "f.ggd").unwrap();
+        assert!(out.ends_with("f.ggd: 1 error(s), 0 warning(s)\n"), "{out}");
+        assert!(render_all(&[], "src", "f.ggd").is_none());
+    }
+}

@@ -1,5 +1,8 @@
-//! Tokenizer for the extraction DSL.
+//! Tokenizer for the extraction DSL. Every token carries a [`Span`] so
+//! downstream diagnostics can point at the offending source text.
 
+use crate::diag::{Code, Diagnostic};
+use crate::span::Span;
 use std::fmt;
 
 /// A lexical token.
@@ -41,15 +44,41 @@ impl fmt::Display for Token {
     }
 }
 
-/// Tokenize; returns `(token, byte_offset)` pairs or an error message.
-pub fn tokenize(text: &str) -> Result<Vec<(Token, usize)>, String> {
+/// Line/column bookkeeping while scanning left to right.
+struct Cursor {
+    line: u32,
+    line_start: usize,
+}
+
+impl Cursor {
+    fn span(&self, offset: usize, len: usize) -> Span {
+        Span::new(
+            offset,
+            len,
+            self.line,
+            (offset - self.line_start) as u32 + 1,
+        )
+    }
+}
+
+/// Tokenize; returns `(token, span)` pairs or an `E000` diagnostic.
+pub fn tokenize(text: &str) -> Result<Vec<(Token, Span)>, Diagnostic> {
     let bytes = text.as_bytes();
     let mut tokens = Vec::new();
+    let mut cur = Cursor {
+        line: 1,
+        line_start: 0,
+    };
     let mut i = 0;
     while i < bytes.len() {
         let c = bytes[i] as char;
         match c {
-            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '\n' => {
+                i += 1;
+                cur.line += 1;
+                cur.line_start = i;
+            }
+            ' ' | '\t' | '\r' => i += 1,
             '%' | '#' => {
                 // comment to end of line
                 while i < bytes.len() && bytes[i] != b'\n' {
@@ -57,47 +86,61 @@ pub fn tokenize(text: &str) -> Result<Vec<(Token, usize)>, String> {
                 }
             }
             '(' => {
-                tokens.push((Token::LParen, i));
+                tokens.push((Token::LParen, cur.span(i, 1)));
                 i += 1;
             }
             ')' => {
-                tokens.push((Token::RParen, i));
+                tokens.push((Token::RParen, cur.span(i, 1)));
                 i += 1;
             }
             ',' => {
-                tokens.push((Token::Comma, i));
+                tokens.push((Token::Comma, cur.span(i, 1)));
                 i += 1;
             }
             '.' => {
-                tokens.push((Token::Dot, i));
+                tokens.push((Token::Dot, cur.span(i, 1)));
                 i += 1;
             }
             ':' => {
                 if bytes.get(i + 1) == Some(&b'-') {
-                    tokens.push((Token::Turnstile, i));
+                    tokens.push((Token::Turnstile, cur.span(i, 2)));
                     i += 2;
                 } else {
-                    return Err(format!("expected `:-` at byte {i}"));
+                    return Err(
+                        Diagnostic::new(Code::Syntax, cur.span(i, 1), "expected `:-`")
+                            .with_help("rules are written `Head(...) :- Body(...), ... .`"),
+                    );
                 }
             }
             '\'' | '"' => {
                 let quote = bytes[i];
                 let start = i + 1;
                 let mut j = start;
-                while j < bytes.len() && bytes[j] != quote {
+                while j < bytes.len() && bytes[j] != quote && bytes[j] != b'\n' {
                     j += 1;
                 }
-                if j >= bytes.len() {
-                    return Err(format!("unterminated string at byte {i}"));
+                if j >= bytes.len() || bytes[j] != quote {
+                    return Err(Diagnostic::new(
+                        Code::Syntax,
+                        cur.span(i, j - i),
+                        "unterminated string literal",
+                    )
+                    .with_help(format!(
+                        "add a closing `{}` before the end of the line",
+                        quote as char
+                    )));
                 }
-                tokens.push((Token::Str(text[start..j].to_string()), i));
+                tokens.push((
+                    Token::Str(text[start..j].to_string()),
+                    cur.span(i, j + 1 - i),
+                ));
                 i = j + 1;
             }
             '_' if !bytes
                 .get(i + 1)
                 .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_') =>
             {
-                tokens.push((Token::Wildcard, i));
+                tokens.push((Token::Wildcard, cur.span(i, 1)));
                 i += 1;
             }
             c if c.is_ascii_digit() || c == '-' => {
@@ -107,19 +150,32 @@ pub fn tokenize(text: &str) -> Result<Vec<(Token, usize)>, String> {
                     i += 1;
                 }
                 let lit = &text[start..i];
-                let v: i64 = lit
-                    .parse()
-                    .map_err(|e| format!("bad integer `{lit}`: {e}"))?;
-                tokens.push((Token::Int(v), start));
+                let v: i64 = lit.parse().map_err(|e| {
+                    Diagnostic::new(
+                        Code::Syntax,
+                        cur.span(start, i - start),
+                        format!("bad integer `{lit}`: {e}"),
+                    )
+                })?;
+                tokens.push((Token::Int(v), cur.span(start, i - start)));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
-                tokens.push((Token::Ident(text[start..i].to_string()), start));
+                tokens.push((
+                    Token::Ident(text[start..i].to_string()),
+                    cur.span(start, i - start),
+                ));
             }
-            other => return Err(format!("unexpected character `{other}` at byte {i}")),
+            other => {
+                return Err(Diagnostic::new(
+                    Code::Syntax,
+                    cur.span(i, c.len_utf8()),
+                    format!("unexpected character `{other}`"),
+                ))
+            }
         }
     }
     Ok(tokens)
@@ -163,9 +219,42 @@ mod tests {
     }
 
     #[test]
-    fn errors() {
-        assert!(tokenize("R(x) : y").is_err());
-        assert!(tokenize("'unterminated").is_err());
-        assert!(tokenize("R(@)").is_err());
+    fn spans_track_lines_and_columns() {
+        let toks = tokenize("Nodes(ID)\n  :- Author(ID).").unwrap();
+        let (_, first) = &toks[0];
+        assert_eq!(
+            (first.line, first.col, first.offset, first.len),
+            (1, 1, 0, 5)
+        );
+        let turnstile = toks
+            .iter()
+            .find(|(t, _)| *t == Token::Turnstile)
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert_eq!((turnstile.line, turnstile.col, turnstile.len), (2, 3, 2));
+        let author = toks
+            .iter()
+            .find(|(t, _)| *t == Token::Ident("Author".into()))
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert_eq!((author.line, author.col, author.len), (2, 6, 6));
+    }
+
+    #[test]
+    fn string_span_includes_quotes() {
+        let toks = tokenize("R('ab')").unwrap();
+        let (_, s) = &toks[2];
+        assert_eq!((s.offset, s.len, s.col), (2, 4, 3));
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = tokenize("R(x) : y").unwrap_err();
+        assert_eq!(err.code.code(), "E000");
+        assert_eq!((err.span.line, err.span.col), (1, 6));
+        let err = tokenize("R(X).\n'unterminated").unwrap_err();
+        assert_eq!((err.span.line, err.span.col), (2, 1));
+        let err = tokenize("R(@)").unwrap_err();
+        assert_eq!((err.span.line, err.span.col), (1, 3));
     }
 }

@@ -18,17 +18,34 @@
 
 pub mod analyze;
 pub mod ast;
+pub mod check;
+pub mod diag;
 pub mod lexer;
 pub mod parser;
+pub mod span;
 
 pub use analyze::{analyze, ChainAtom, ConstFilter, EdgeChain, GraphSpec, NodesView};
 pub use ast::{Atom, HeadKind, Program, Rule, Term};
+pub use check::{
+    check_program, check_source, CheckCatalog, CheckOptions, CheckReport, ColType, RelationInfo,
+};
+pub use diag::{render_all, Code, Diagnostic, Severity};
 pub use parser::{parse, ParseError};
+pub use span::Span;
 
 /// Parse and analyze in one call: text in, validated extraction spec out.
+///
+/// Runs the full static analyzer ([`check_program`]) without a catalog;
+/// the first error (with its span) becomes a [`ParseError::Semantic`].
 pub fn compile(text: &str) -> Result<GraphSpec, ParseError> {
     let program = parse(text)?;
-    analyze(&program).map_err(ParseError::Semantic)
+    let report = check_program(&program, None, &CheckOptions::default());
+    if let Some(d) = report.first_error() {
+        return Err(ParseError::Semantic(d.clone()));
+    }
+    Ok(report
+        .spec
+        .expect("check_program returns a spec when there are no errors"))
 }
 
 #[cfg(test)]

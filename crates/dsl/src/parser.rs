@@ -1,35 +1,73 @@
 //! Recursive-descent parser for the extraction DSL.
+//!
+//! Every error carries a full [`Diagnostic`] — code, span, message, help —
+//! so front ends can render a caret pointing at the offending token
+//! instead of a bare message.
 
 use crate::ast::{Atom, HeadKind, Program, Rule, Term};
+use crate::diag::{Code, Diagnostic};
 use crate::lexer::{tokenize, Token};
+use crate::span::{eof_span, Span};
 use std::fmt;
 
-/// Parse or semantic-analysis errors.
+/// Parse or semantic-analysis errors. Each variant wraps the diagnostic
+/// that describes it; [`ParseError::diagnostic`] gives uniform access.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseError {
-    /// Tokenizer failure.
-    Lex(String),
-    /// Grammar failure.
-    Syntax(String),
-    /// Post-parse validation failure (from [`mod@crate::analyze`]).
-    Semantic(String),
+    /// Tokenizer failure (`E000`).
+    Lex(Diagnostic),
+    /// Grammar failure (`E000`).
+    Syntax(Diagnostic),
+    /// Post-parse validation failure (from [`mod@crate::check`]).
+    Semantic(Diagnostic),
+}
+
+impl ParseError {
+    /// The underlying diagnostic.
+    pub fn diagnostic(&self) -> &Diagnostic {
+        match self {
+            ParseError::Lex(d) | ParseError::Syntax(d) | ParseError::Semantic(d) => d,
+        }
+    }
+
+    /// Consume into the underlying diagnostic.
+    pub fn into_diagnostic(self) -> Diagnostic {
+        match self {
+            ParseError::Lex(d) | ParseError::Syntax(d) | ParseError::Semantic(d) => d,
+        }
+    }
+
+    /// The source span the error points at.
+    pub fn span(&self) -> Span {
+        self.diagnostic().span
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ParseError::Lex(msg) => write!(f, "lex error: {msg}"),
-            ParseError::Syntax(msg) => write!(f, "syntax error: {msg}"),
-            ParseError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+        let (kind, d) = match self {
+            ParseError::Lex(d) => ("lex error", d),
+            ParseError::Syntax(d) => ("syntax error", d),
+            ParseError::Semantic(d) => ("semantic error", d),
+        };
+        if d.span.is_synthetic() {
+            write!(f, "{kind}: {}", d.message)
+        } else {
+            write!(f, "{kind} at {}: {}", d.span, d.message)
         }
     }
 }
 
 impl std::error::Error for ParseError {}
 
+fn syntax(span: Span, message: impl Into<String>) -> ParseError {
+    ParseError::Syntax(Diagnostic::new(Code::Syntax, span, message))
+}
+
 struct Parser {
-    tokens: Vec<(Token, usize)>,
+    tokens: Vec<(Token, Span)>,
     pos: usize,
+    eof: Span,
 }
 
 impl Parser {
@@ -37,85 +75,103 @@ impl Parser {
         self.tokens.get(self.pos).map(|(t, _)| t)
     }
 
-    fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+    fn next(&mut self) -> Option<(Token, Span)> {
+        let t = self.tokens.get(self.pos).cloned();
         self.pos += 1;
         t
     }
 
-    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
-        match self.next() {
-            Some(t) if &t == want => Ok(()),
-            Some(t) => Err(ParseError::Syntax(format!(
-                "expected `{want}`, found `{t}`"
-            ))),
-            None => Err(ParseError::Syntax(format!(
-                "expected `{want}`, found end of input"
-            ))),
-        }
+    /// The span where the next token would be — end of input if none.
+    fn here(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|(_, s)| *s)
+            .unwrap_or(self.eof)
     }
 
-    fn term(&mut self) -> Result<Term, ParseError> {
+    fn expect(&mut self, want: &Token) -> Result<Span, ParseError> {
         match self.next() {
-            Some(Token::Ident(name)) => Ok(Term::Var(name)),
-            Some(Token::Int(v)) => Ok(Term::Int(v)),
-            Some(Token::Str(s)) => Ok(Term::Str(s)),
-            Some(Token::Wildcard) => Ok(Term::Wildcard),
-            Some(t) => Err(ParseError::Syntax(format!("expected term, found `{t}`"))),
-            None => Err(ParseError::Syntax(
-                "expected term, found end of input".into(),
+            Some((t, s)) if &t == want => Ok(s),
+            Some((t, s)) => Err(syntax(s, format!("expected `{want}`, found `{t}`"))),
+            None => Err(syntax(
+                self.eof,
+                format!("expected `{want}`, found end of input"),
             )),
         }
     }
 
-    fn term_list(&mut self) -> Result<Vec<Term>, ParseError> {
+    fn term(&mut self) -> Result<(Term, Span), ParseError> {
+        match self.next() {
+            Some((Token::Ident(name), s)) => Ok((Term::Var(name), s)),
+            Some((Token::Int(v), s)) => Ok((Term::Int(v), s)),
+            Some((Token::Str(str), s)) => Ok((Term::Str(str), s)),
+            Some((Token::Wildcard, s)) => Ok((Term::Wildcard, s)),
+            Some((t, s)) => Err(syntax(s, format!("expected term, found `{t}`"))),
+            None => Err(syntax(self.eof, "expected term, found end of input")),
+        }
+    }
+
+    fn term_list(&mut self) -> Result<(Vec<Term>, Vec<Span>), ParseError> {
         self.expect(&Token::LParen)?;
-        let mut terms = vec![self.term()?];
+        let mut terms = Vec::new();
+        let mut spans = Vec::new();
+        let (t, s) = self.term()?;
+        terms.push(t);
+        spans.push(s);
         loop {
             match self.peek() {
                 Some(Token::Comma) => {
                     self.next();
-                    terms.push(self.term()?);
+                    let (t, s) = self.term()?;
+                    terms.push(t);
+                    spans.push(s);
                 }
                 Some(Token::RParen) => {
                     self.next();
-                    return Ok(terms);
+                    return Ok((terms, spans));
                 }
-                other => {
-                    return Err(ParseError::Syntax(format!(
-                        "expected `,` or `)` in term list, found {:?}",
-                        other.map(|t| t.to_string())
-                    )))
+                Some(t) => {
+                    let msg = format!("expected `,` or `)` in term list, found `{t}`");
+                    return Err(syntax(self.here(), msg));
+                }
+                None => {
+                    return Err(syntax(
+                        self.eof,
+                        "expected `,` or `)` in term list, found end of input",
+                    ))
                 }
             }
         }
     }
 
     fn atom(&mut self) -> Result<Atom, ParseError> {
-        let relation = match self.next() {
-            Some(Token::Ident(name)) => name,
-            Some(t) => {
-                return Err(ParseError::Syntax(format!(
-                    "expected relation name, found `{t}`"
-                )))
-            }
+        let (relation, relation_span) = match self.next() {
+            Some((Token::Ident(name), s)) => (name, s),
+            Some((t, s)) => return Err(syntax(s, format!("expected relation name, found `{t}`"))),
             None => {
-                return Err(ParseError::Syntax(
-                    "expected relation name, found end of input".into(),
+                return Err(syntax(
+                    self.eof,
+                    "expected relation name, found end of input",
                 ))
             }
         };
-        let args = self.term_list()?;
-        Ok(Atom { relation, args })
+        let (args, arg_spans) = self.term_list()?;
+        Ok(Atom {
+            relation,
+            args,
+            relation_span,
+            arg_spans,
+        })
     }
 
     fn rule(&mut self) -> Result<Rule, ParseError> {
-        let head_name = match self.next() {
-            Some(Token::Ident(name)) => name,
-            Some(t) => {
-                return Err(ParseError::Syntax(format!(
-                    "expected `Nodes` or `Edges`, found `{t}`"
-                )))
+        let (head_name, head_span) = match self.next() {
+            Some((Token::Ident(name), s)) => (name, s),
+            Some((t, s)) => {
+                return Err(syntax(
+                    s,
+                    format!("expected `Nodes` or `Edges`, found `{t}`"),
+                ))
             }
             None => unreachable!("rule() called at end of input"),
         };
@@ -123,13 +179,17 @@ impl Parser {
             "Nodes" => HeadKind::Nodes,
             "Edges" => HeadKind::Edges,
             other => {
-                return Err(ParseError::Syntax(format!(
-                    "rule heads must be `Nodes` or `Edges` (found `{other}`); \
-                     recursion and auxiliary views are not supported"
-                )))
+                return Err(ParseError::Syntax(
+                    Diagnostic::new(
+                        Code::Syntax,
+                        head_span,
+                        format!("rule heads must be `Nodes` or `Edges` (found `{other}`)"),
+                    )
+                    .with_help("recursion and auxiliary views are not supported"),
+                ))
             }
         };
-        let head_args = self.term_list()?;
+        let (head_args, head_arg_spans) = self.term_list()?;
         self.expect(&Token::Turnstile)?;
         let mut body = vec![self.atom()?];
         loop {
@@ -142,11 +202,15 @@ impl Parser {
                     self.next();
                     break;
                 }
-                other => {
-                    return Err(ParseError::Syntax(format!(
-                        "expected `,` or `.` after atom, found {:?}",
-                        other.map(|t| t.to_string())
-                    )))
+                Some(t) => {
+                    let msg = format!("expected `,` or `.` after atom, found `{t}`");
+                    return Err(syntax(self.here(), msg));
+                }
+                None => {
+                    return Err(syntax(
+                        self.eof,
+                        "expected `,` or `.` after atom, found end of input",
+                    ))
                 }
             }
         }
@@ -154,6 +218,8 @@ impl Parser {
             head,
             head_args,
             body,
+            head_span,
+            head_arg_spans,
         })
     }
 }
@@ -161,13 +227,17 @@ impl Parser {
 /// Parse a whole program.
 pub fn parse(text: &str) -> Result<Program, ParseError> {
     let tokens = tokenize(text).map_err(ParseError::Lex)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        eof: eof_span(text),
+    };
     let mut rules = Vec::new();
     while parser.peek().is_some() {
         rules.push(parser.rule()?);
     }
     if rules.is_empty() {
-        return Err(ParseError::Syntax("empty program".into()));
+        return Err(syntax(parser.eof, "empty program"));
     }
     Ok(Program { rules })
 }
@@ -211,14 +281,36 @@ mod tests {
     }
 
     #[test]
-    fn rejects_unknown_head() {
-        let e = parse("Paths(X, Y) :- Edge(X, Y).").unwrap_err();
-        assert!(matches!(e, ParseError::Syntax(_)));
+    fn ast_spans_point_at_source() {
+        let src = "Nodes(ID, Name) :- Author(ID, Name).";
+        let p = parse(src).unwrap();
+        let r = &p.rules[0];
+        assert_eq!((r.head_span.offset, r.head_span.len), (0, 5));
+        assert_eq!(&src[r.head_arg_spans[1].offset..][..4], "Name");
+        let a = &r.body[0];
+        assert_eq!(&src[a.relation_span.offset..][..6], "Author");
+        assert_eq!((a.arg_spans[0].line, a.arg_spans[0].col), (1, 27));
     }
 
     #[test]
-    fn rejects_missing_dot() {
-        assert!(parse("Nodes(X) :- R(X)").is_err());
+    fn rejects_unknown_head() {
+        let e = parse("Paths(X, Y) :- Edge(X, Y).").unwrap_err();
+        assert!(matches!(e, ParseError::Syntax(_)));
+        assert_eq!((e.span().line, e.span().col, e.span().len), (1, 1, 5));
+    }
+
+    #[test]
+    fn rejects_missing_dot_with_eof_span() {
+        let e = parse("Nodes(X) :- R(X)").unwrap_err();
+        assert_eq!((e.span().line, e.span().col), (1, 17));
+        assert!(e.to_string().contains("1:17"), "{e}");
+    }
+
+    #[test]
+    fn error_points_at_offending_token() {
+        // The stray `)` on line 2.
+        let e = parse("Nodes(X) :- R(X).\nEdges(A, B) :- S(A, B)).").unwrap_err();
+        assert_eq!((e.span().line, e.span().col), (2, 23));
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Source spans: every token the lexer produces carries one, the parser
+//! threads them into the AST, and every [`crate::diag::Diagnostic`] points
+//! back at the offending source text through one.
+
+use std::fmt;
+
+/// A half-open byte range into the source text, with the 1-based line and
+/// column of its first byte precomputed by the lexer (columns count bytes,
+/// which is exact for the ASCII surface syntax of the DSL).
+///
+/// `Span::default()` is the *synthetic* span (all zeros): it marks AST
+/// nodes built programmatically rather than parsed, and renders without a
+/// source excerpt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub offset: usize,
+    /// Length in bytes (0 = a point, e.g. end of input).
+    pub len: usize,
+    /// 1-based line of the first byte (0 = synthetic).
+    pub line: u32,
+    /// 1-based byte column of the first byte (0 = synthetic).
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering `len` bytes at `offset`, located at `line:col`.
+    pub fn new(offset: usize, len: usize, line: u32, col: u32) -> Self {
+        Self {
+            offset,
+            len,
+            line,
+            col,
+        }
+    }
+
+    /// True for the all-zero synthetic span of programmatically built AST
+    /// nodes.
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+
+    /// The span from the start of `self` to the end of `other` (same line
+    /// metadata as `self`). Used to widen a token span over a whole
+    /// construct.
+    pub fn to(&self, other: Span) -> Span {
+        let end = (other.offset + other.len).max(self.offset + self.len);
+        Span {
+            offset: self.offset,
+            len: end - self.offset,
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<synthetic>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// Compute the span of the end of input (a zero-length point just past the
+/// last byte), for "unexpected end of input" diagnostics.
+pub fn eof_span(text: &str) -> Span {
+    let mut line = 1u32;
+    let mut line_start = 0usize;
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    Span::new(text.len(), 0, line, (text.len() - line_start) as u32 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_synthetic() {
+        assert_eq!(Span::new(4, 3, 2, 1).to_string(), "2:1");
+        assert_eq!(Span::default().to_string(), "<synthetic>");
+        assert!(Span::default().is_synthetic());
+        assert!(!Span::new(0, 1, 1, 1).is_synthetic());
+    }
+
+    #[test]
+    fn widening() {
+        let a = Span::new(2, 3, 1, 3);
+        let b = Span::new(8, 2, 1, 9);
+        let w = a.to(b);
+        assert_eq!((w.offset, w.len), (2, 8));
+        assert_eq!((w.line, w.col), (1, 3));
+    }
+
+    #[test]
+    fn eof() {
+        let s = eof_span("ab\ncd");
+        assert_eq!((s.offset, s.len, s.line, s.col), (5, 0, 2, 3));
+        let s = eof_span("");
+        assert_eq!((s.offset, s.line, s.col), (0, 1, 1));
+    }
+}

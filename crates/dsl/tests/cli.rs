@@ -1,0 +1,116 @@
+//! Integration tests for the `graphgen-check` binary: exit codes, caret
+//! rendering on stdout, `--deny-warnings`, lint groups, and usage errors.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_graphgen-check"))
+        .args(args)
+        .current_dir(fixtures())
+        .output()
+        .expect("spawn graphgen-check")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    let out = run(&[
+        "--schema",
+        "schema.ggs",
+        "--deny-warnings",
+        "w103_dedup2_infeasible.ggd",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("w103_dedup2_infeasible.ggd: OK"));
+}
+
+#[test]
+fn error_fixture_exits_one_with_caret_output() {
+    let out = run(&["--schema", "schema.ggs", "e001_unknown_relation.ggd"]);
+    assert_eq!(out.status.code(), Some(1));
+    let s = stdout(&out);
+    assert!(
+        s.contains("error[E001]: unknown relation `AuthorPubb`"),
+        "{s}"
+    );
+    assert!(s.contains("--> e001_unknown_relation.ggd:2:20"), "{s}");
+    assert!(s.contains("^^^^^^^^^^"), "{s}");
+    assert!(s.contains("did you mean `AuthorPub`?"), "{s}");
+    assert!(s.contains("1 error(s), 0 warning(s)"), "{s}");
+}
+
+#[test]
+fn schema_free_checks_still_run() {
+    let out = run(&["e006_cyclic_body.ggd"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("error[E006]"));
+}
+
+#[test]
+fn warnings_pass_unless_denied() {
+    let out = run(&["--schema", "schema.ggs", "w101_unsatisfiable_filter.ggd"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("warning[W101]"));
+    let out = run(&[
+        "--schema",
+        "schema.ggs",
+        "--deny-warnings",
+        "w101_unsatisfiable_filter.ggd",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn lint_groups_are_opt_in() {
+    let base = &["--schema", "schema.ggs", "w105_large_output_segment.ggd"];
+    let out = run(base);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("OK"));
+    let out = run(&[&["--lint", "plan"], &base[..]].concat());
+    assert_eq!(out.status.code(), Some(0), "lints warn, not error");
+    assert!(stdout(&out).contains("warning[W105]"));
+    let out = run(&[&["--lint", "plan", "--deny-warnings"], &base[..]].concat());
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn multiple_files_and_quiet() {
+    let out = run(&[
+        "-q",
+        "--schema",
+        "schema.ggs",
+        "w105_large_output_segment.ggd",
+        "e003_arity_mismatch.ggd",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let s = stdout(&out);
+    assert!(!s.contains("OK"), "quiet suppresses OK lines: {s}");
+    assert!(s.contains("error[E003]"));
+}
+
+#[test]
+fn usage_and_io_errors_exit_two() {
+    let out = run(&["--bogus-flag", "x.ggd"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["no_such_file.ggd"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&[
+        "--schema",
+        "no_such_schema.ggs",
+        "e001_unknown_relation.ggd",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--lint", "nonsense", "e001_unknown_relation.ggd"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("usage: graphgen-check"));
+}

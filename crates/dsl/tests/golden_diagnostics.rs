@@ -1,0 +1,230 @@
+//! Golden-file diagnostics suite: one fixture per stable error/warning
+//! code. Each fixture must produce *exactly* its code, with the expected
+//! span, and render byte-for-byte to the committed `.expected` file.
+//!
+//! To regenerate the `.expected` files after an intentional change to
+//! messages or rendering, run:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test -p graphgen-dsl --test golden_diagnostics
+//! ```
+
+use graphgen_dsl::{check_source, render_all, CheckCatalog, CheckOptions, Severity};
+use std::fs;
+use std::path::PathBuf;
+
+struct Case {
+    /// Fixture file name under `tests/fixtures/`.
+    file: &'static str,
+    /// The one code the fixture must produce.
+    code: &'static str,
+    /// Opt-in lint group to enable, if any.
+    lint: Option<&'static str>,
+    /// Expected `line:col` of the diagnostic (None = synthetic span).
+    at: Option<(u32, u32)>,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        file: "e000_syntax.ggd",
+        code: "E000",
+        lint: None,
+        at: Some((2, 32)),
+    },
+    Case {
+        file: "e001_unknown_relation.ggd",
+        code: "E001",
+        lint: None,
+        at: Some((2, 20)),
+    },
+    Case {
+        file: "e002_type_mismatch.ggd",
+        code: "E002",
+        lint: None,
+        at: Some((1, 25)),
+    },
+    Case {
+        file: "e003_arity_mismatch.ggd",
+        code: "E003",
+        lint: None,
+        at: Some((2, 16)),
+    },
+    Case {
+        file: "e004_unbound_head_variable.ggd",
+        code: "E004",
+        lint: None,
+        at: Some((1, 11)),
+    },
+    Case {
+        file: "e005_invalid_head.ggd",
+        code: "E005",
+        lint: None,
+        at: Some((2, 1)),
+    },
+    Case {
+        file: "e006_cyclic_body.ggd",
+        code: "E006",
+        lint: None,
+        at: Some((2, 1)),
+    },
+    Case {
+        file: "e007_non_chain_body.ggd",
+        code: "E007",
+        lint: None,
+        at: Some((2, 1)),
+    },
+    Case {
+        file: "e008_recursive_rule.ggd",
+        code: "E008",
+        lint: None,
+        at: Some((2, 16)),
+    },
+    Case {
+        file: "e009_incomplete_program.ggd",
+        code: "E009",
+        lint: None,
+        at: None,
+    },
+    Case {
+        file: "e010_duplicate_property.ggd",
+        code: "E010",
+        lint: None,
+        at: Some((1, 17)),
+    },
+    Case {
+        file: "e011_duplicate_rule.ggd",
+        code: "E011",
+        lint: None,
+        at: Some((3, 1)),
+    },
+    Case {
+        file: "w101_unsatisfiable_filter.ggd",
+        code: "W101",
+        lint: None,
+        at: Some((2, 43)),
+    },
+    Case {
+        file: "w102_singleton_variable.ggd",
+        code: "W102",
+        lint: None,
+        at: Some((1, 25)),
+    },
+    Case {
+        file: "w103_dedup2_infeasible.ggd",
+        code: "W103",
+        lint: Some("conversion"),
+        at: Some((2, 1)),
+    },
+    Case {
+        file: "w105_large_output_segment.ggd",
+        code: "W105",
+        lint: Some("plan"),
+        at: Some((2, 1)),
+    },
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn catalog() -> CheckCatalog {
+    let text = fs::read_to_string(fixture_dir().join("schema.ggs")).expect("schema fixture");
+    CheckCatalog::parse(&text).expect("schema fixture parses")
+}
+
+#[test]
+fn every_code_has_a_fixture_and_renders_exactly() {
+    let catalog = catalog();
+    let update = std::env::var("GOLDEN_UPDATE").is_ok();
+    let mut failures = Vec::new();
+    for case in CASES {
+        let path = fixture_dir().join(case.file);
+        let source = fs::read_to_string(&path).expect(case.file);
+        let mut opts = CheckOptions::default();
+        if let Some(group) = case.lint {
+            opts.enable_lint(group).expect("known lint group");
+        }
+        let report = check_source(&source, Some(&catalog), &opts);
+
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code.code()).collect();
+        assert_eq!(codes, vec![case.code], "{}: wrong code set", case.file);
+        let d = &report.diagnostics[0];
+        assert_eq!(
+            d.severity,
+            if case.code.starts_with('E') {
+                Severity::Error
+            } else {
+                Severity::Warning
+            },
+            "{}: severity drifted from code prefix",
+            case.file
+        );
+        match case.at {
+            Some((line, col)) => assert_eq!(
+                (d.span.line, d.span.col),
+                (line, col),
+                "{}: span moved",
+                case.file
+            ),
+            None => assert!(
+                d.span.is_synthetic(),
+                "{}: expected synthetic span",
+                case.file
+            ),
+        }
+        // Errors must block the spec; warnings must not.
+        assert_eq!(
+            report.spec.is_none(),
+            case.code.starts_with('E'),
+            "{}",
+            case.file
+        );
+
+        let rendered = render_all(&report.diagnostics, &source, case.file).expect("non-empty");
+        let expected_path = fixture_dir().join(format!("{}.expected", case.file));
+        if update {
+            fs::write(&expected_path, &rendered).expect("write golden");
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path).unwrap_or_default();
+        if rendered != expected {
+            failures.push(format!(
+                "{}: rendered output drifted from {}.expected \
+                 (GOLDEN_UPDATE=1 regenerates)\n--- rendered ---\n{rendered}",
+                case.file, case.file
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn fixture_set_covers_every_code() {
+    let mut covered: Vec<&str> = CASES.iter().map(|c| c.code).collect();
+    covered.sort_unstable();
+    covered.dedup();
+    let mut all: Vec<&str> = graphgen_dsl::Code::all().iter().map(|c| c.code()).collect();
+    all.sort_unstable();
+    assert_eq!(covered, all, "every stable code needs a golden fixture");
+}
+
+#[test]
+fn fixtures_check_clean_without_their_lint_group() {
+    // The W103/W105 fixtures are *valid* programs; their diagnostics are
+    // opt-in lints, so default options must accept them (this is what
+    // keeps `--deny-warnings` green over shipped examples).
+    let catalog = catalog();
+    for file in [
+        "w103_dedup2_infeasible.ggd",
+        "w105_large_output_segment.ggd",
+    ] {
+        let source = fs::read_to_string(fixture_dir().join(file)).unwrap();
+        let report = check_source(&source, Some(&catalog), &CheckOptions::default());
+        assert!(
+            report.diagnostics.is_empty(),
+            "{file}: {:?}",
+            report.diagnostics
+        );
+        assert!(report.spec.is_some());
+    }
+}

@@ -22,7 +22,7 @@ fn term() -> impl Strategy<Value = Term> {
 
 fn atom() -> impl Strategy<Value = Atom> {
     (ident(), proptest::collection::vec(term(), 1..5))
-        .prop_map(|(relation, args)| Atom { relation, args })
+        .prop_map(|(relation, args)| Atom::new(relation, args))
 }
 
 fn render(program: &Program) -> String {
@@ -72,7 +72,7 @@ proptest! {
         let program = Program {
             rules: heads
                 .into_iter()
-                .map(|(head, head_args, body)| Rule { head, head_args, body })
+                .map(|(head, head_args, body)| Rule::new(head, head_args, body))
                 .collect(),
         };
         // Reserved names in bodies make rendering unparseable in a benign

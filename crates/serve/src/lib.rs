@@ -21,8 +21,13 @@
 //!   from any abrupt-drop layout, including mid-compaction ones;
 //! * a **TCP front end** — the `graphgen-serve` binary: std
 //!   `TcpListener`, thread per connection, newline-delimited text protocol
-//!   (`EXTRACT` / `NEIGHBORS` / `DEGREE` / `APPLY` / `STATS` /
+//!   (`EXTRACT` / `CHECK` / `NEIGHBORS` / `DEGREE` / `APPLY` / `STATS` /
 //!   `COMPACT` / `PING` / `SHUTDOWN`, see [`protocol`]).
+//!
+//! `EXTRACT` requests are statically validated against the live schema and
+//! statistics before any extraction work ([`GraphService::check`] runs the
+//! same analysis on demand via the `CHECK` verb); rejections are coded,
+//! span-carrying one-liners, and `STATS` reports per-code rejection totals.
 //!
 //! No dependencies beyond the workspace and `std`.
 //!

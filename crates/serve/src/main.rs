@@ -13,9 +13,10 @@
 //!   AuthorPub) so `EXTRACT` works out of the box; implied when the
 //!   service is fresh and purely in-memory
 //! * `--smoke` — self-test: start an ephemeral server, drive one
-//!   EXTRACT/NEIGHBORS/APPLY/STATS round-trip through the real TCP
-//!   protocol, shut down cleanly, and exit non-zero on any mismatch (used
-//!   by CI)
+//!   CHECK/EXTRACT/NEIGHBORS/APPLY/STATS round-trip through the real TCP
+//!   protocol (including a statically rejected EXTRACT and its per-code
+//!   rejection counters), shut down cleanly, and exit non-zero on any
+//!   mismatch (used by CI)
 //!
 //! The protocol is newline-delimited text — see `graphgen_serve::protocol`
 //! — so `nc 127.0.0.1 7411` is a usable client.
@@ -182,6 +183,30 @@ fn smoke() -> Result<(), String> {
     };
 
     expect(send("PING")?, "OK pong")?;
+    // Pre-flight the extraction query through the static checker, then a
+    // deliberately broken variant: coded diagnostics, nothing registered.
+    expect(
+        send(
+            "CHECK coauthors Nodes(ID, Name) :- Author(ID, Name). \
+             Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).",
+        )?,
+        "OK clean",
+    )?;
+    expect(
+        send(
+            "CHECK coauthors Nodes(ID, Name) :- Writer(ID, Name). \
+             Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).",
+        )?,
+        "OK errors=1 warnings=0 | E001 unknown-relation",
+    )?;
+    // An EXTRACT the checker rejects: coded ERR line, counted in STATS.
+    expect(
+        send(
+            "EXTRACT badquery Nodes(ID, Name) :- Writer(ID, Name). \
+             Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).",
+        )?,
+        "ERR check failed: E001 unknown-relation",
+    )?;
     expect(
         send(
             "EXTRACT coauthors Nodes(ID, Name) :- Author(ID, Name). \
@@ -195,6 +220,14 @@ fn smoke() -> Result<(), String> {
     expect(send("NEIGHBORS coauthors 2")?, "OK version=2 n=4")?;
     expect(send("DEGREE coauthors 2")?, "OK version=2 degree=4")?;
     expect(send("STATS coauthors")?, "OK coauthors version=2")?;
+    // The bare STATS line carries the rejection counters: exactly the one
+    // statically rejected EXTRACT above (CHECKs never count).
+    let stats = send("STATS")?;
+    if !stats.contains("rejects=1 reject_codes=E001:1") {
+        return Err(format!(
+            "expected `rejects=1 reject_codes=E001:1` in `{stats}`"
+        ));
+    }
     expect(send("SHUTDOWN")?, "OK bye")?;
     handle.wait();
 

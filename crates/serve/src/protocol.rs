@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! EXTRACT <name> <dsl…>      extract + register a graph (DSL on the same line)
+//! CHECK <name> <dsl…>        statically check a program; registers nothing
 //! NEIGHBORS <name> <key>     out-neighbor keys of a vertex
 //! DEGREE <name> <key>        out-degree of a vertex
 //! APPLY <table> <±row …>     mutate a table: +1,2 inserts row (1,2); -1,2 deletes it
@@ -12,6 +13,13 @@
 //! PING                       liveness probe
 //! SHUTDOWN                   stop the server (responds, then closes)
 //! ```
+//!
+//! `CHECK` answers `OK clean` or `OK errors=<n> warnings=<n> | <diag>;
+//! <diag>…` with one coded, span-carrying diagnostic per `;`-separated
+//! entry (`E001 unknown-relation at 1:15: …`). An `EXTRACT` the checker
+//! rejects answers `ERR check failed: <diag>; …` with the same coded form,
+//! and the bare `STATS` line reports service-wide per-code rejection
+//! totals (`rejects=2 reject_codes=E001:1,E003:1`).
 //!
 //! Responses start with `OK` (payload follows on the same line) or `ERR
 //! <message>`. Row cells are comma-separated values: `NULL`, an integer,
@@ -32,6 +40,14 @@ pub enum Command {
     /// `EXTRACT <name> <dsl…>`
     Extract {
         /// Graph name to register.
+        name: String,
+        /// The DSL program (rest of the line).
+        dsl: String,
+    },
+    /// `CHECK <name> <dsl…>`
+    Check {
+        /// Graph name the program would be registered under (validated,
+        /// never registered).
         name: String,
         /// The DSL program (rest of the line).
         dsl: String,
@@ -204,6 +220,15 @@ pub fn parse_command(line: &str) -> ServeResult<Option<Command>> {
                 dsl: dsl.trim().to_string(),
             }))
         }
+        "CHECK" => {
+            let (name, dsl) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| protocol_err("CHECK <name> <dsl>"))?;
+            Ok(Some(Command::Check {
+                name: name.to_string(),
+                dsl: dsl.trim().to_string(),
+            }))
+        }
         "NEIGHBORS" => {
             let (name, key) = name_and_key()?;
             Ok(Some(Command::Neighbors { name, key }))
@@ -282,6 +307,27 @@ fn run(service: &GraphService, cmd: &Command) -> ServeResult<String> {
                 snap.handle().expanded_edge_count()
             ))
         }
+        Command::Check { name, dsl } => {
+            let report = service.check(name, dsl)?;
+            if report.diagnostics.is_empty() {
+                return Ok("clean".to_string());
+            }
+            let errors = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == graphgen_dsl::Severity::Error)
+                .count();
+            let rendered: Vec<String> = report
+                .diagnostics
+                .iter()
+                .map(graphgen_dsl::Diagnostic::one_line)
+                .collect();
+            Ok(sanitize_line(&format!(
+                "errors={errors} warnings={} | {}",
+                report.diagnostics.len() - errors,
+                rendered.join("; ")
+            )))
+        }
         Command::Neighbors { name, key } => {
             let snap = service.snapshot(name)?;
             let mut neighbors = snap
@@ -343,7 +389,18 @@ fn run(service: &GraphService, cmd: &Command) -> ServeResult<String> {
                     Ok(render(s))
                 }
                 None => {
-                    let mut parts = vec![format!("graphs={} db_rows={db_rows}", stats.len())];
+                    let rejects = service.check_reject_counts();
+                    let total: u64 = rejects.iter().map(|(_, n)| n).sum();
+                    let mut head =
+                        format!("graphs={} db_rows={db_rows} rejects={total}", stats.len());
+                    if total > 0 {
+                        let by_code: Vec<String> = rejects
+                            .iter()
+                            .map(|(code, n)| format!("{code}:{n}"))
+                            .collect();
+                        head.push_str(&format!(" reject_codes={}", by_code.join(",")));
+                    }
+                    let mut parts = vec![head];
                     parts.extend(stats.iter().map(|s| format!("| {}", render(s))));
                     Ok(parts.join(" "))
                 }
@@ -412,6 +469,16 @@ mod tests {
                 dsl: "Nodes(ID) :- T(ID).".into()
             }
         );
+        let cmd = parse_command("CHECK g Nodes(ID) :- T(ID).")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                name: "g".into(),
+                dsl: "Nodes(ID) :- T(ID).".into()
+            }
+        );
         // Rows are whitespace-separated, so string cells must not contain
         // spaces; commas inside quoted cells are content, not separators.
         let cmd = parse_command("APPLY T +1,2 -3,\"x,y\"").unwrap().unwrap();
@@ -452,6 +519,7 @@ mod tests {
         );
         for bad in [
             "EXTRACT g",
+            "CHECK g",
             "APPLY T",
             "APPLY T 1,2",
             "NOPE",
@@ -460,6 +528,43 @@ mod tests {
         ] {
             assert!(parse_command(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn check_verb_and_rejection_counters() {
+        use crate::service::tests::{fig1_db, Q1};
+        let service = GraphService::in_memory(fig1_db());
+        let run = |line: &str| execute(&service, &parse_command(line).unwrap().unwrap());
+        // A clean program: OK, nothing registered.
+        assert_eq!(run(&format!("CHECK pre {Q1}")), "OK clean");
+        assert!(run("STATS pre").starts_with("ERR unknown graph"));
+        // A broken program: coded one-line diagnostics, still an OK reply
+        // (the *check* succeeded), and no rejection counted.
+        let bad = "Nodes(ID, N) :- Writer(ID, N). \
+                   Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P).";
+        let resp = run(&format!("CHECK pre {bad}"));
+        assert!(
+            resp.starts_with("OK errors=1 warnings=0 | E001 unknown-relation at 1:17"),
+            "{resp}"
+        );
+        assert!(run("STATS").contains("rejects=0"), "{}", run("STATS"));
+        // Name validation mirrors EXTRACT.
+        assert!(run("CHECK bad..name PING").starts_with("ERR bad graph name"));
+        // A rejected EXTRACT is a coded ERR line and bumps the counters.
+        let resp = run(&format!("EXTRACT bad {bad}"));
+        assert!(
+            resp.starts_with("ERR check failed: E001 unknown-relation at 1:17"),
+            "{resp}"
+        );
+        let resp = run("STATS");
+        assert!(resp.contains("rejects=1 reject_codes=E001:1"), "{resp}");
+        // Parse failures count under E000.
+        assert!(run("EXTRACT bad Nodes(").starts_with("ERR"));
+        let resp = run("STATS");
+        assert!(
+            resp.contains("rejects=2 reject_codes=E000:1,E001:1"),
+            "{resp}"
+        );
     }
 
     #[test]

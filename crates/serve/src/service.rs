@@ -78,7 +78,8 @@ use crate::error::{ServeError, ServeResult};
 use crate::wal::{seal, unseal, write_file_atomic, Wal};
 use graphgen_common::codec::{self, Reader};
 use graphgen_common::FxHashMap;
-use graphgen_core::{GraphGen, GraphGenConfig, GraphHandle, GraphPatch};
+use graphgen_core::{catalog_view, Error, GraphGen, GraphGenConfig, GraphHandle, GraphPatch};
+use graphgen_dsl::{check_source, CheckOptions, CheckReport};
 use graphgen_reldb::{Database, DeltaBatch, Value};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
@@ -244,6 +245,11 @@ struct Inner {
     graphs: FxHashMap<String, GraphState>,
     dir: Option<PathBuf>,
     cfg: ServiceConfig,
+    /// Per-code counts of EXTRACT requests the static checker rejected
+    /// (`E001 -> 3`, …). Service-wide, not persisted: a rejected
+    /// extraction never registers anything, so there is no graph to
+    /// attribute it to and nothing for recovery to restore.
+    check_rejects: FxHashMap<String, u64>,
     /// Set when a write failed *after* the database was already mutated:
     /// the in-memory state may be ahead of the logs, so further writer
     /// operations would compound the divergence silently. Reads keep
@@ -419,6 +425,7 @@ impl GraphService {
                 graphs: FxHashMap::default(),
                 dir,
                 cfg,
+                check_rejects: FxHashMap::default(),
                 wedged: false,
             }),
             published: RwLock::new(FxHashMap::default()),
@@ -449,8 +456,34 @@ impl GraphService {
         if inner.graphs.contains_key(name) {
             return Err(ServeError::DuplicateGraph(name.to_string()));
         }
-        let handle =
-            GraphGen::with_config(&inner.db, Self::extraction_config(&inner.cfg)).extract(dsl)?;
+        let result =
+            GraphGen::with_config(&inner.db, Self::extraction_config(&inner.cfg)).extract(dsl);
+        let handle = match result {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Count what the static checker rejected, per code, so
+                // STATS can report how often (and why) extraction requests
+                // bounce. Parse failures count under their E000 code.
+                match &e {
+                    Error::Check(diags) => {
+                        for d in diags {
+                            *inner
+                                .check_rejects
+                                .entry(d.code.code().to_string())
+                                .or_insert(0) += 1;
+                        }
+                    }
+                    Error::Dsl(parse) => {
+                        *inner
+                            .check_rejects
+                            .entry(parse.diagnostic().code.code().to_string())
+                            .or_insert(0) += 1;
+                    }
+                    _ => {}
+                }
+                return Err(e.into());
+            }
+        };
         let snapshot = Arc::new(GraphSnapshot {
             name: name.to_string(),
             version: 1,
@@ -495,6 +528,40 @@ impl GraphService {
             .unwrap()
             .insert(name.to_string(), Arc::clone(&snapshot));
         Ok(snapshot)
+    }
+
+    /// Statically check a DSL program against the service's current
+    /// database schema and statistics without extracting or registering
+    /// anything. `name` is validated exactly like [`GraphService::extract`]
+    /// does (so a `CHECK` pre-flights the matching `EXTRACT` line), but a
+    /// registered graph under that name is *not* an error — re-checking a
+    /// live graph's query is legitimate. Never bumps the rejection
+    /// counters: only real extraction attempts do.
+    ///
+    /// Parse failures come back as a report whose single diagnostic is the
+    /// `E000` syntax error, not as an `Err` — a malformed program is a
+    /// checker *finding*, not a service failure.
+    pub fn check(&self, name: &str, dsl: &str) -> ServeResult<CheckReport> {
+        if !valid_name(name) {
+            return Err(ServeError::BadName(name.to_string()));
+        }
+        let inner = self.inner.lock().unwrap();
+        let catalog = catalog_view(&inner.db);
+        Ok(check_source(dsl, Some(&catalog), &CheckOptions::default()))
+    }
+
+    /// Per-code counts of EXTRACT requests the static checker rejected,
+    /// sorted by code (`[("E001", 3), …]`). Empty when nothing was
+    /// rejected since the service opened.
+    pub fn check_reject_counts(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock().unwrap();
+        let mut counts: Vec<(String, u64)> = inner
+            .check_rejects
+            .iter()
+            .map(|(code, n)| (code.clone(), *n))
+            .collect();
+        counts.sort_unstable();
+        counts
     }
 
     /// Unregister a graph and delete its persistence files. Readers holding

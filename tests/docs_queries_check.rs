@@ -1,0 +1,242 @@
+//! Documentation ↔ checker lockstep (readme_sync-style, for the DSL):
+//!
+//! * every ` ```ggd ` fenced block in `docs/DSL.md` and `README.md` must
+//!   check **clean** against the documentation schema;
+//! * every ` ```ggd-error CODE ` block must produce **exactly** that
+//!   diagnostic code;
+//! * every `examples/queries/*.ggd` file must check clean (warning-free)
+//!   against its sibling `.ggs` schema, and the query files must stay in
+//!   lockstep with the `graphgen_datagen` query constants and the inline
+//!   queries the examples run.
+
+use graphgen::dsl::{check_source, CheckCatalog, CheckOptions, Severity};
+use std::path::Path;
+
+fn repo_file(rel: &str) -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"))
+}
+
+/// The schema every documentation snippet is checked against: the union
+/// of all relations the docs mention.
+fn doc_catalog() -> CheckCatalog {
+    CheckCatalog::parse(
+        "table Author(id: int, name: str)\n\
+         table AuthorPub(aid: int, pid: int)\n\
+         table Customer(custkey: int, name: str)\n\
+         table Orders(orderkey: int, custkey: int)\n\
+         table LineItem(orderkey: int, partkey: int)\n\
+         table Instructor(id: int, name: str)\n\
+         table Student(id: int, name: str)\n\
+         table TaughtCourse(iid: int, cid: int)\n\
+         table TookCourse(sid: int, cid: int)\n\
+         table Person(id: int, name: str)\n\
+         table Cast(person: int, movie: int, role: str)\n",
+    )
+    .expect("doc catalog parses")
+}
+
+/// Every fenced block whose info string starts with `tag`, as
+/// `(info_rest, body)` — e.g. `fences(text, "ggd-error")` yields
+/// `("E001", "Nodes…")` for a ` ```ggd-error E001 ` block.
+fn fences(text: &str, tag: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut lines = text.lines();
+    while let Some(line) = lines.next() {
+        let trimmed = line.trim_start();
+        let Some(info) = trimmed.strip_prefix("```") else {
+            continue;
+        };
+        let info = info.trim();
+        let (fence_tag, rest) = match info.split_once(char::is_whitespace) {
+            Some((t, r)) => (t, r.trim()),
+            None => (info, ""),
+        };
+        let mut body = String::new();
+        for body_line in lines.by_ref() {
+            if body_line.trim_start().starts_with("```") {
+                break;
+            }
+            body.push_str(body_line);
+            body.push('\n');
+        }
+        if fence_tag == tag {
+            out.push((rest.to_string(), body));
+        }
+    }
+    out
+}
+
+#[test]
+fn doc_ggd_blocks_check_clean() {
+    let catalog = doc_catalog();
+    let mut opts = CheckOptions::default();
+    opts.enable_lint("all").unwrap();
+    let mut seen = 0;
+    for file in ["docs/DSL.md", "README.md"] {
+        for (_, body) in fences(&repo_file(file), "ggd") {
+            seen += 1;
+            let report = check_source(&body, Some(&catalog), &CheckOptions::default());
+            assert!(
+                report.diagnostics.is_empty(),
+                "{file}: ```ggd block must check clean, got {:?}\n{body}",
+                report.diagnostics
+            );
+            // Even with every lint group on, documented queries must only
+            // ever *warn* — the docs never show a broken program as valid.
+            let report = check_source(&body, Some(&catalog), &opts);
+            assert!(!report.has_errors(), "{file}: {:?}", report.diagnostics);
+        }
+    }
+    assert!(
+        seen >= 4,
+        "expected the documented Q1-Q3 (+README) ggd blocks"
+    );
+}
+
+#[test]
+fn doc_ggd_error_blocks_produce_exactly_their_code() {
+    let catalog = doc_catalog();
+    let mut seen = 0;
+    for file in ["docs/DSL.md", "README.md"] {
+        for (code, body) in fences(&repo_file(file), "ggd-error") {
+            seen += 1;
+            assert!(
+                !code.is_empty(),
+                "{file}: ```ggd-error fence needs its code in the info string"
+            );
+            let report = check_source(&body, Some(&catalog), &CheckOptions::default());
+            let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code.code()).collect();
+            assert_eq!(
+                codes,
+                vec![code.as_str()],
+                "{file}: ```ggd-error {code} block must produce exactly {code}\n{body}"
+            );
+        }
+    }
+    assert!(seen >= 4, "expected the documented ggd-error examples");
+}
+
+/// `examples/queries/<stem>.ggd` files and the schema each checks against.
+const EXAMPLE_QUERIES: &[(&str, &str)] = &[
+    ("dblp_coauthors", "dblp"),
+    ("dblp_temporal", "dblp_temporal"),
+    ("imdb_coactors", "imdb"),
+    ("tpch_copurchase", "tpch"),
+    ("univ_coenrollment", "univ"),
+    ("univ_bipartite", "univ"),
+];
+
+#[test]
+fn example_queries_check_warning_free() {
+    for (query, schema) in EXAMPLE_QUERIES {
+        let source = repo_file(&format!("examples/queries/{query}.ggd"));
+        let catalog = CheckCatalog::parse(&repo_file(&format!("examples/queries/{schema}.ggs")))
+            .unwrap_or_else(|e| panic!("{schema}.ggs: {e}"));
+        let report = check_source(&source, Some(&catalog), &CheckOptions::default());
+        assert!(
+            report.diagnostics.is_empty(),
+            "{query}.ggd must be clean under default options (the CI \
+             --deny-warnings gate), got {:?}",
+            report.diagnostics
+        );
+        assert!(report.spec.is_some());
+    }
+}
+
+#[test]
+fn no_stray_example_query_files() {
+    // Every .ggd under examples/queries/ must be in the checked table
+    // above (and therefore covered by CI), and every referenced schema
+    // must exist.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/queries");
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("examples/queries exists")
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            name.strip_suffix(".ggd").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXAMPLE_QUERIES.iter().map(|(q, _)| q.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        on_disk, listed,
+        "EXAMPLE_QUERIES and examples/queries/ diverged"
+    );
+}
+
+/// Whitespace-insensitive comparison: the `.ggd` files format queries for
+/// reading, the Rust constants for embedding.
+fn normalized(s: &str) -> String {
+    let no_comments: Vec<&str> = s
+        .lines()
+        .map(|l| {
+            let cut = l.find(['%', '#']).unwrap_or(l.len());
+            &l[..cut]
+        })
+        .collect();
+    no_comments
+        .join("\n")
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[test]
+fn example_queries_match_the_queries_the_examples_run() {
+    use graphgen::datagen::relational::{
+        DBLP_COAUTHORS, IMDB_COACTORS, TPCH_COPURCHASE, UNIV_BIPARTITE, UNIV_COENROLLMENT,
+    };
+    for (file, constant) in [
+        ("dblp_coauthors", DBLP_COAUTHORS),
+        ("imdb_coactors", IMDB_COACTORS),
+        ("tpch_copurchase", TPCH_COPURCHASE),
+        ("univ_coenrollment", UNIV_COENROLLMENT),
+        ("univ_bipartite", UNIV_BIPARTITE),
+    ] {
+        let on_disk = normalized(&repo_file(&format!("examples/queries/{file}.ggd")));
+        assert_eq!(
+            on_disk,
+            normalized(constant),
+            "examples/queries/{file}.ggd diverged from the datagen constant"
+        );
+    }
+    // The temporal query file is the first era examples/temporal_coauthors.rs
+    // generates (same rule template, years 2000..2005).
+    let mut expected = String::from("Nodes(ID, Name) :- Author(ID, Name).\n");
+    for year in 2000..2005 {
+        expected.push_str(&format!(
+            "Edges(A, B) :- AuthorPub(A, P, {year}), AuthorPub(B, P, {year}).\n"
+        ));
+    }
+    assert_eq!(
+        normalized(&repo_file("examples/queries/dblp_temporal.ggd")),
+        normalized(&expected),
+        "examples/queries/dblp_temporal.ggd diverged from the temporal example's template"
+    );
+}
+
+#[test]
+fn doc_diagnostics_table_lists_every_code() {
+    // The docs/DSL.md reference table must name every stable code.
+    let docs = repo_file("docs/DSL.md");
+    for code in graphgen::dsl::Code::all() {
+        assert!(
+            docs.contains(&format!("`{}`", code.code())),
+            "docs/DSL.md diagnostics reference is missing {} ({})",
+            code.code(),
+            code.name()
+        );
+        assert!(
+            docs.contains(code.name()),
+            "docs/DSL.md diagnostics reference is missing the name {}",
+            code.name()
+        );
+    }
+    // And the severity split documented matches the code prefixes.
+    assert!(matches!(
+        graphgen::dsl::Code::UnknownRelation.severity(),
+        Severity::Error
+    ));
+}

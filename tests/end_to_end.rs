@@ -232,19 +232,23 @@ fn error_paths_are_reported() {
         seed: 14,
     });
     let gg = GraphGen::new(&db);
-    // Unknown table -> Db error through the unified type.
+    // Unknown table -> caught by the pre-extraction check (E001), not a
+    // runtime Db error.
     let err = gg
         .extract("Nodes(X) :- Missing(X).\nEdges(A,B) :- AuthorPub(A,P), AuthorPub(B,P).")
         .unwrap_err();
-    assert_eq!(err.kind(), ErrorKind::Db);
-    // Cyclic edges body -> Dsl error.
+    assert_eq!(err.kind(), ErrorKind::Check);
+    let diags = err.as_check().expect("check error");
+    assert_eq!(diags[0].code.code(), "E001");
+    // Cyclic edges body -> check error too (E006).
     let err = gg
         .extract(
             "Nodes(ID, N) :- Author(ID, N).\n\
              Edges(A, B) :- AuthorPub(A, B), AuthorPub(B, C), AuthorPub(C, A).",
         )
         .unwrap_err();
-    assert_eq!(err.kind(), ErrorKind::Dsl);
+    assert_eq!(err.kind(), ErrorKind::Check);
+    assert_eq!(err.as_check().unwrap()[0].code.code(), "E006");
     // Parse error -> Dsl error.
     assert_eq!(gg.extract("Nodes(").unwrap_err().kind(), ErrorKind::Dsl);
     // Conversion errors convert into the unified type, too.

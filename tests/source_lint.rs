@@ -1,0 +1,123 @@
+//! Source lint for the serving layer: request-handling and WAL code must
+//! not contain `unwrap()` / `expect(...)` / `panic!` outside a small,
+//! explicit allowlist — a panic in a connection thread or the writer path
+//! kills the service, so fallible paths must report through `ServeError`.
+//!
+//! Std-only (string scanning, no syn): code up to the first
+//! `#[cfg(test)]` line of each file is checked; `main.rs` (process
+//! startup, where aborting is the right move) and `testutil.rs` are
+//! deliberately out of scope.
+
+use std::path::Path;
+
+/// The files whose non-test code is linted.
+const LINTED: &[&str] = &[
+    "crates/serve/src/service.rs",
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/wal.rs",
+];
+
+/// `.unwrap()` is allowed only directly on these: lock poisoning (the
+/// panic already happened elsewhere; propagating is correct) and
+/// fixed-size slice conversions whose length is proven on the line.
+const UNWRAP_ALLOWED_AFTER: &[&str] = &[".lock()", ".read()", ".write()", ".try_into()"];
+
+/// The only `.expect(...)` messages allowed: each marks an invariant that
+/// an enclosing check on the same path already established.
+const EXPECT_ALLOWED: &[&str] = &[
+    "\"listed name\"",
+    "\"wal implies dir\"",
+    "\"db wal implies dir\"",
+    "\"checked\"",
+    "\"8-byte trailer\"",
+];
+
+/// The file's non-test source with comments stripped and lines joined
+/// (so multi-line method chains like `.write()\n.unwrap()` scan as one
+/// token stream).
+fn compact_nontest_source(path: &Path) -> String {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    let nontest = match src.find("#[cfg(test)]") {
+        Some(cut) => &src[..cut],
+        None => &src[..],
+    };
+    nontest
+        .lines()
+        .map(|line| {
+            // Naive comment strip: fine for these files (no `//` inside
+            // string literals on linted constructs).
+            let cut = line.find("//").unwrap_or(line.len());
+            line[..cut].trim()
+        })
+        .collect::<Vec<_>>()
+        .join("")
+}
+
+fn context(text: &str, pos: usize) -> String {
+    let start = pos.saturating_sub(60);
+    let end = (pos + 40).min(text.len());
+    text[start..end].to_string()
+}
+
+#[test]
+fn serve_request_and_wal_paths_do_not_panic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    for rel in LINTED {
+        let text = compact_nontest_source(&root.join(rel));
+
+        for (pos, _) in text.match_indices(".unwrap()") {
+            let before = &text[..pos];
+            if !UNWRAP_ALLOWED_AFTER.iter().any(|ok| before.ends_with(ok)) {
+                violations.push(format!(
+                    "{rel}: `.unwrap()` outside the allowlist near `…{}…`",
+                    context(&text, pos)
+                ));
+            }
+        }
+
+        for (pos, _) in text.match_indices(".expect(") {
+            let after = &text[pos + ".expect(".len()..];
+            if !EXPECT_ALLOWED.iter().any(|msg| after.starts_with(msg)) {
+                violations.push(format!(
+                    "{rel}: `.expect(...)` with unlisted message near `…{}…`",
+                    context(&text, pos)
+                ));
+            }
+        }
+
+        for needle in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+            if let Some(pos) = text.find(needle) {
+                violations.push(format!(
+                    "{rel}: `{needle}` in non-test code near `…{}…`",
+                    context(&text, pos)
+                ));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "serving-layer panic lint failed (either return a ServeError or, \
+         for a genuinely proven invariant, extend the allowlist in \
+         tests/source_lint.rs with a justification):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn allowlist_entries_are_still_used() {
+    // An allowlist that outlives the code it excuses silently widens the
+    // lint; prune entries when their call sites go away.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let all: String = LINTED
+        .iter()
+        .map(|rel| compact_nontest_source(&root.join(rel)))
+        .collect();
+    for msg in EXPECT_ALLOWED {
+        assert!(
+            all.contains(&format!(".expect({msg})")),
+            "allowlisted expect message {msg} no longer appears; remove it"
+        );
+    }
+}
