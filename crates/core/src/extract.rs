@@ -226,6 +226,21 @@ impl<'a> GraphGen<'a> {
             .expect("check_program returns a spec when there are no errors"))
     }
 
+    /// Cost a DSL program against this database's live statistics without
+    /// extracting anything: the same checked-spec path as
+    /// [`GraphGen::extract`], but the result is the unified cost engine's
+    /// analysis — per-atom/per-join estimates, the chosen min-cost plan,
+    /// its fingerprint — rendered as a plan tree by `Display`. Pure
+    /// catalog arithmetic; no table is scanned.
+    pub fn explain(&self, dsl: &str) -> Result<crate::cost::Explanation, Error> {
+        let spec = self.checked_spec(dsl)?;
+        Ok(crate::cost::explain_spec(
+            self.db,
+            &spec,
+            self.cfg.large_output_factor,
+        )?)
+    }
+
     /// Parse a DSL program and extract the (condensed) graph.
     ///
     /// The program is statically validated first ([`GraphGen::check`]);

@@ -28,6 +28,7 @@
 
 pub mod anygraph;
 pub mod check;
+pub mod cost;
 pub mod error;
 pub mod extract;
 pub mod handle;
@@ -37,6 +38,7 @@ pub mod serialize;
 
 pub use anygraph::AnyGraph;
 pub use check::catalog_view;
+pub use cost::{explain_spec, ChainCost, Explanation, PlanFingerprint};
 pub use error::{ConvertError, Error, ErrorKind, PatchError};
 pub use extract::{ExtractionReport, GraphGen, GraphGenConfig, GraphGenConfigBuilder};
 pub use handle::{AdvisorPolicy, BitmapAlgorithm, ConvertOptions, GraphHandle};

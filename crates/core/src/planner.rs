@@ -1,18 +1,18 @@
 //! The extraction planner (§4.2 Steps 2–3).
 //!
-//! For each join `Ri ⋈_a R(i+1)` in an `Edges` chain, the planner fetches
-//! the number of distinct values `d` of the join attribute from the catalog
-//! and applies the paper's large-output test:
-//!
-//! ```text
-//! |Ri| * |R(i+1)| / d  >  2 * (|Ri| + |R(i+1)|)
-//! ```
-//!
-//! (assuming a uniformly distributed join attribute). Small-output runs of
-//! the chain become segment queries handed to the relational engine;
-//! large-output joins are postponed — each boundary attribute materializes
-//! as a layer of virtual nodes.
+//! All cardinality reasoning delegates to the unified cost engine
+//! ([`crate::cost`], one implementation shared with the `W103`/`W105`
+//! lints and the serve-layer drift detector): per-join estimates use the
+//! paper's uniform-assumption formula `|Ri| · |R(i+1)| / d`, and instead
+//! of the greedy left-to-right classification the planner enumerates
+//! every segmentation cut set and picks the min-cost plan. Small-output
+//! runs of the chain become segment queries handed to the relational
+//! engine; postponed (large-output) joins each materialize a layer of
+//! virtual nodes. For two-atom chains the min-cost plan coincides with
+//! the paper's test: cut iff `|L|·|R|/d > factor·(|L|+|R|)`.
 
+use crate::check::catalog_view;
+use graphgen_dsl::cost::{estimate_chain, ChainCost, PlanFingerprint};
 use graphgen_dsl::{ChainAtom, ConstFilter, EdgeChain};
 use graphgen_reldb::{query::ChainStep, Database, DbResult, Predicate, Query, Value};
 
@@ -25,15 +25,16 @@ pub struct JoinDecision {
     pub left_table: String,
     /// Right table name.
     pub right_table: String,
-    /// Row counts used in the test.
+    /// Estimated rows on each side after constant filters (rounded; equal
+    /// to the catalog row counts for filter-free atoms).
     pub left_rows: usize,
-    /// Right row count.
+    /// Right-side estimated rows.
     pub right_rows: usize,
     /// Distinct values of the join attribute.
     pub distinct: usize,
     /// Estimated join output size `|L|*|R|/d`.
     pub estimated_output: f64,
-    /// True if the join is classified large-output (postponed).
+    /// True if the chosen min-cost plan postpones this join.
     pub large_output: bool,
 }
 
@@ -55,6 +56,13 @@ pub struct ChainPlan {
     /// The segment queries, in chain order. One segment and no large joins
     /// means the edge list is computed entirely in the database.
     pub segments: Vec<SegmentPlan>,
+    /// Estimated total cost of this (min-cost) plan under the statistics
+    /// it was planned with.
+    pub estimated_cost: f64,
+    /// Stable identity of the plan's shape (segmentation + per-join
+    /// classifications); the serving layer compares it across statistics
+    /// snapshots to detect drift.
+    pub fingerprint: PlanFingerprint,
 }
 
 impl ChainPlan {
@@ -88,7 +96,25 @@ fn atom_to_step(atom: &ChainAtom) -> ChainStep {
     }
 }
 
-/// Classify every join of `chain` and build the segment queries.
+/// Estimate `chain` against the live catalog: delegate to the unified
+/// cost engine (every registered table carries full statistics, so the
+/// engine can always cost the chain). Unknown tables surface first as
+/// the engine's own error type.
+pub(crate) fn cost_chain(
+    db: &Database,
+    chain: &EdgeChain,
+    large_output_factor: f64,
+) -> DbResult<ChainCost> {
+    for atom in &chain.steps {
+        db.column_stats(&atom.relation, atom.in_col)?;
+    }
+    Ok(
+        estimate_chain(&catalog_view(db), &chain.steps, large_output_factor)
+            .expect("catalog_view supplies rows and n_distinct for every registered table"),
+    )
+}
+
+/// Choose the min-cost plan for `chain` and build its segment queries.
 /// `large_output_factor` is the paper's constant 2.0.
 pub fn plan_chain(
     db: &Database,
@@ -96,49 +122,42 @@ pub fn plan_chain(
     large_output_factor: f64,
 ) -> DbResult<ChainPlan> {
     let atoms = &chain.steps;
-    let mut joins = Vec::with_capacity(atoms.len().saturating_sub(1));
-    for i in 0..atoms.len().saturating_sub(1) {
-        let left = &atoms[i];
-        let right = &atoms[i + 1];
-        let ls = db.column_stats(&left.relation, left.out_col)?;
-        let rs = db.column_stats(&right.relation, right.in_col)?;
-        // d: distinct values of the join attribute; take the larger side's
-        // count as the domain estimate (both columns range over the same
-        // attribute domain).
-        let d = ls.n_distinct.max(rs.n_distinct).max(1);
-        let estimated_output = ls.row_count as f64 * rs.row_count as f64 / d as f64;
-        let large_output =
-            estimated_output > large_output_factor * (ls.row_count + rs.row_count) as f64;
-        joins.push(JoinDecision {
+    let cost = cost_chain(db, chain, large_output_factor)?;
+    let joins = cost
+        .joins
+        .iter()
+        .enumerate()
+        .map(|(i, j)| JoinDecision {
             left_atom: i,
-            left_table: left.relation.clone(),
-            right_table: right.relation.clone(),
-            left_rows: ls.row_count,
-            right_rows: rs.row_count,
-            distinct: d,
-            estimated_output,
-            large_output,
-        });
-    }
-    // Segments: split at large-output joins.
-    let mut segments = Vec::new();
-    let mut start = 0usize;
-    for i in 0..=joins.len() {
-        let boundary = i == joins.len() || joins[i].large_output;
-        if boundary {
-            let end = i;
+            left_table: j.left.clone(),
+            right_table: j.right.clone(),
+            left_rows: j.left_rows.round() as usize,
+            right_rows: j.right_rows.round() as usize,
+            distinct: j.distinct as usize,
+            estimated_output: j.estimated_output,
+            large_output: j.cut,
+        })
+        .collect();
+    let segments = cost
+        .segments()
+        .into_iter()
+        .map(|(start, end)| {
             let steps: Vec<ChainStep> = atoms[start..=end].iter().map(atom_to_step).collect();
-            segments.push(SegmentPlan {
+            SegmentPlan {
                 atoms: (start, end),
                 query: Query {
                     steps,
                     distinct: true,
                 },
-            });
-            start = i + 1;
-        }
-    }
-    Ok(ChainPlan { joins, segments })
+            }
+        })
+        .collect();
+    Ok(ChainPlan {
+        joins,
+        segments,
+        estimated_cost: cost.cost,
+        fingerprint: cost.fingerprint,
+    })
 }
 
 /// Build the single full-expansion query for the chain (the paper's

@@ -5,12 +5,16 @@
 //!
 //! ```text
 //! graphgen-check --schema dblp.ggs --deny-warnings queries/*.ggd
+//! graphgen-check --schema dblp.ggs --explain queries/*.ggd
+//! graphgen-check --schema dblp.ggs --format=json queries/*.ggd
 //! ```
 //!
 //! Exit codes: `0` all files clean, `1` diagnostics reported (errors, or
 //! warnings under `--deny-warnings`), `2` usage or I/O failure.
 
-use graphgen_dsl::{check_source, render_all, CheckCatalog, CheckOptions};
+use graphgen_dsl::{
+    check_source, cost, render_all, CheckCatalog, CheckOptions, Diagnostic, Severity,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: graphgen-check [options] <file.ggd>...
@@ -21,18 +25,39 @@ options:
   --lint <groups>       enable opt-in lint groups, comma separated:
                         conversion (W103), plan (W105), all
   --factor <f>          large-output factor for plan lints (default 2.0)
+  --explain             render each chain's cost-engine plan tree
+                        (estimated vs. catalog row counts; needs a
+                        --schema with rows=/distinct= statistics)
+  --format <text|json>  output format; json emits one machine-readable
+                        array of per-file diagnostic reports on stdout
   --deny-warnings       exit 1 on warnings, not just errors
   -q, --quiet           suppress per-file OK lines
   -h, --help            show this help
 
 exit codes: 0 = clean, 1 = diagnostics reported, 2 = usage/io error";
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
 struct Args {
     schema: Option<String>,
     opts: CheckOptions,
     deny_warnings: bool,
     quiet: bool,
+    explain: bool,
+    format: Format,
     files: Vec<String>,
+}
+
+fn parse_format(value: &str) -> Result<Format, String> {
+    match value {
+        "text" => Ok(Format::Text),
+        "json" => Ok(Format::Json),
+        other => Err(format!("unknown format `{other}` (expected text|json)")),
+    }
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -41,6 +66,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         opts: CheckOptions::default(),
         deny_warnings: false,
         quiet: false,
+        explain: false,
+        format: Format::Text,
         files: Vec::new(),
     };
     let mut it = argv.iter();
@@ -64,9 +91,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.opts.large_output_factor =
                     f.parse().map_err(|e| format!("bad --factor `{f}`: {e}"))?;
             }
+            "--explain" => args.explain = true,
+            "--format" => {
+                let v = it.next().ok_or("--format needs text|json")?;
+                args.format = parse_format(v)?;
+            }
             "--deny-warnings" => args.deny_warnings = true,
             "-q" | "--quiet" => args.quiet = true,
             "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with("--format=") => {
+                args.format = parse_format(&other["--format=".len()..])?;
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -76,7 +111,63 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.files.is_empty() {
         return Err("no input files".into());
     }
+    if args.explain && args.format == Format::Json {
+        return Err("--explain and --format=json cannot be combined".into());
+    }
     Ok(args)
+}
+
+/// Minimal JSON string escaping (std-only): quotes, backslashes, and
+/// control characters.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One diagnostic as a JSON object. The key set and order are a stable
+/// machine interface (locked by the CLI schema-stability test): code,
+/// name, severity, line, col, len, message, help, rendered.
+fn diagnostic_json(d: &Diagnostic, source: &str, origin: &str) -> String {
+    format!(
+        "{{\"code\":{},\"name\":{},\"severity\":{},\"line\":{},\"col\":{},\"len\":{},\
+         \"message\":{},\"help\":{},\"rendered\":{}}}",
+        json_str(d.code.code()),
+        json_str(d.code.name()),
+        json_str(&d.severity.to_string()),
+        d.span.line,
+        d.span.col,
+        d.span.len,
+        json_str(&d.message),
+        d.help.as_deref().map_or("null".to_string(), json_str),
+        json_str(&d.render(source, origin)),
+    )
+}
+
+/// Render the cost-engine plan trees for every `Edges` chain of a
+/// checked file (the spec is only present when the file has no errors).
+fn explain_file(report: &graphgen_dsl::CheckReport, catalog: Option<&CheckCatalog>, factor: f64) {
+    let Some(spec) = &report.spec else { return };
+    for (i, chain) in spec.edges.iter().enumerate() {
+        let label = format!("chain {}", i + 1);
+        let rendered = catalog
+            .and_then(|cat| cost::estimate_chain(cat, &chain.steps, factor))
+            .map(|cc| cost::render_explain(&label, &cc))
+            .unwrap_or_else(|| cost::render_unknown(&label, &chain.steps));
+        print!("{rendered}");
+    }
 }
 
 fn main() -> ExitCode {
@@ -109,6 +200,7 @@ fn main() -> ExitCode {
         None => None,
     };
     let mut failed = false;
+    let mut json_files = Vec::new();
     for path in &args.files {
         let source = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -118,17 +210,45 @@ fn main() -> ExitCode {
             }
         };
         let report = check_source(&source, catalog.as_ref(), &args.opts);
-        match render_all(&report.diagnostics, &source, path) {
-            Some(rendered) => {
-                print!("{rendered}");
-                failed |= report.has_errors() || (args.deny_warnings && report.has_warnings());
+        failed |= report.has_errors() || (args.deny_warnings && report.has_warnings());
+        match args.format {
+            Format::Json => {
+                let diags: Vec<String> = report
+                    .diagnostics
+                    .iter()
+                    .map(|d| diagnostic_json(d, &source, path))
+                    .collect();
+                let warnings = report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Warning)
+                    .count();
+                let errors = report.diagnostics.len() - warnings;
+                json_files.push(format!(
+                    "{{\"file\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":[{}]}}",
+                    json_str(path),
+                    errors,
+                    warnings,
+                    diags.join(",")
+                ));
             }
-            None => {
-                if !args.quiet {
-                    println!("{path}: OK");
+            Format::Text => {
+                match render_all(&report.diagnostics, &source, path) {
+                    Some(rendered) => print!("{rendered}"),
+                    None => {
+                        if !args.quiet {
+                            println!("{path}: OK");
+                        }
+                    }
+                }
+                if args.explain {
+                    explain_file(&report, catalog.as_ref(), args.opts.large_output_factor);
                 }
             }
         }
+    }
+    if args.format == Format::Json {
+        println!("[{}]", json_files.join(","));
     }
     if failed {
         ExitCode::from(1)

@@ -732,36 +732,38 @@ impl Checker<'_> {
                 ),
             );
         }
-        let (mut large, mut decided) = (Vec::new(), true);
-        for i in 0..chain.steps.len().saturating_sub(1) {
-            match self.join_estimate(&chain.steps[i], &chain.steps[i + 1]) {
-                Some(est) => {
-                    if est.large {
-                        large.push((i, est));
-                    }
-                }
-                None => decided = false,
-            }
-        }
+        // Plan-shape lints delegate to the single cost engine
+        // ([`crate::cost`]) — the same enumeration the extraction planner
+        // runs, so checker and extractor can never disagree about which
+        // joins are postponed. Without full statistics the engine returns
+        // `None` and both lints stay silent.
+        let cost = self.catalog.and_then(|cat| {
+            crate::cost::estimate_chain(cat, &chain.steps, self.opts.large_output_factor)
+        });
+        let Some(cost) = cost else { return };
         if self.opts.lint_plan {
-            for (_, est) in &large {
-                self.push(
-                    Diagnostic::new(
-                        Code::LargeOutputSegment,
-                        rule.head_span,
-                        format!(
-                            "join `{} ⋈ {}` is large-output: |L|·|R|/d = {:.0} > {:.0} = factor·(|L|+|R|)",
-                            est.left, est.right, est.estimated, est.threshold
-                        ),
+            for est in cost.joins.iter().filter(|j| j.cut) {
+                let message = if est.estimated_output > est.threshold {
+                    format!(
+                        "join `{} ⋈ {}` is large-output: |L|·|R|/d = {:.0} > {:.0} = factor·(|L|+|R|)",
+                        est.left, est.right, est.estimated_output, est.threshold
                     )
-                    .with_help(
+                } else {
+                    format!(
+                        "join `{} ⋈ {}` is postponed by the min-cost plan: |L|·|R|/d = {:.0} ≤ {:.0}, \
+                         but keeping it in a segment compounds downstream estimates",
+                        est.left, est.right, est.estimated_output, est.threshold
+                    )
+                };
+                self.push(
+                    Diagnostic::new(Code::LargeOutputSegment, rule.head_span, message).with_help(
                         "the planner will postpone this join into a virtual-node layer (§4.2); \
                          this is usually what you want, but it changes the output representation",
                     ),
                 );
             }
         }
-        if self.opts.lint_conversion && decided && large.len() >= 2 {
+        if self.opts.lint_conversion && cost.virtual_layers() >= 2 {
             self.push(
                 Diagnostic::new(
                     Code::Dedup2Infeasible,
@@ -769,44 +771,13 @@ impl Checker<'_> {
                     format!(
                         "catalog statistics predict {} virtual-node layers; DEDUP-1/DEDUP-2 \
                          conversion will fail with `MultiLayer`",
-                        large.len()
+                        cost.virtual_layers()
                     ),
                 )
                 .with_help("multi-layer condensed graphs only support C-DUP, EXP and BITMAP"),
             );
         }
     }
-
-    fn join_estimate(
-        &self,
-        left: &crate::analyze::ChainAtom,
-        right: &crate::analyze::ChainAtom,
-    ) -> Option<JoinEstimate> {
-        let cat = self.catalog?;
-        let li = cat.relation(&left.relation)?;
-        let ri = cat.relation(&right.relation)?;
-        let (l, r) = (li.row_count?, ri.row_count?);
-        let ld = li.n_distinct.get(left.out_col).copied().flatten()?;
-        let rd = ri.n_distinct.get(right.in_col).copied().flatten()?;
-        let d = ld.max(rd).max(1);
-        let estimated = l as f64 * r as f64 / d as f64;
-        let threshold = self.opts.large_output_factor * (l + r) as f64;
-        Some(JoinEstimate {
-            left: left.relation.clone(),
-            right: right.relation.clone(),
-            estimated,
-            threshold,
-            large: estimated > threshold,
-        })
-    }
-}
-
-struct JoinEstimate {
-    left: String,
-    right: String,
-    estimated: f64,
-    threshold: f64,
-    large: bool,
 }
 
 /// True when the chain reads the same forwards and backwards (with join

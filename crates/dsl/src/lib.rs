@@ -19,6 +19,7 @@
 pub mod analyze;
 pub mod ast;
 pub mod check;
+pub mod cost;
 pub mod diag;
 pub mod lexer;
 pub mod parser;
@@ -29,6 +30,7 @@ pub use ast::{Atom, HeadKind, Program, Rule, Term};
 pub use check::{
     check_program, check_source, CheckCatalog, CheckOptions, CheckReport, ColType, RelationInfo,
 };
+pub use cost::{estimate_chain, ChainCost, JoinEstimate, PlanFingerprint};
 pub use diag::{render_all, Code, Diagnostic, Severity};
 pub use parser::{parse, ParseError};
 pub use span::Span;

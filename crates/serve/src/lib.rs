@@ -21,13 +21,24 @@
 //!   from any abrupt-drop layout, including mid-compaction ones;
 //! * a **TCP front end** — the `graphgen-serve` binary: std
 //!   `TcpListener`, thread per connection, newline-delimited text protocol
-//!   (`EXTRACT` / `CHECK` / `NEIGHBORS` / `DEGREE` / `APPLY` / `STATS` /
-//!   `COMPACT` / `PING` / `SHUTDOWN`, see [`protocol`]).
+//!   (`EXTRACT` / `CHECK` / `EXPLAIN` / `NEIGHBORS` / `DEGREE` / `APPLY` /
+//!   `STATS` / `COMPACT` / `PING` / `SHUTDOWN`, see [`protocol`]).
 //!
 //! `EXTRACT` requests are statically validated against the live schema and
 //! statistics before any extraction work ([`GraphService::check`] runs the
 //! same analysis on demand via the `CHECK` verb); rejections are coded,
 //! span-carrying one-liners, and `STATS` reports per-code rejection totals.
+//!
+//! **Plan drift detection.** Every registered graph freezes the plan it
+//! was extracted with (the §4.2 cut set plus the estimates it was chosen
+//! on). After each publish the writer re-costs that frozen plan against
+//! the live catalog — pure arithmetic on the same unified cost engine the
+//! planner and the `W105` lint use, no table scans — and `STATS` reports
+//! `drift=<ratio>` (frozen cost over live min-cost) with a `stale_plan`
+//! flag once the ratio exceeds [`ServiceConfig::drift_threshold`] or the
+//! min-cost plan's shape changes outright. `EXPLAIN <name>` renders the
+//! frozen-vs-live comparison; `EXPLAIN <name> <dsl…>` costs a candidate
+//! program without extracting anything.
 //!
 //! No dependencies beyond the workspace and `std`.
 //!

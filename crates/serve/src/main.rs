@@ -13,10 +13,11 @@
 //!   AuthorPub) so `EXTRACT` works out of the box; implied when the
 //!   service is fresh and purely in-memory
 //! * `--smoke` — self-test: start an ephemeral server, drive one
-//!   CHECK/EXTRACT/NEIGHBORS/APPLY/STATS round-trip through the real TCP
-//!   protocol (including a statically rejected EXTRACT and its per-code
-//!   rejection counters), shut down cleanly, and exit non-zero on any
-//!   mismatch (used by CI)
+//!   CHECK/EXTRACT/EXPLAIN/NEIGHBORS/APPLY/STATS round-trip through the
+//!   real TCP protocol (including a statically rejected EXTRACT with its
+//!   per-code rejection counters, and a skewed-insert burst that flips a
+//!   frozen plan's `stale_plan` drift flag), shut down cleanly, and exit
+//!   non-zero on any mismatch (used by CI)
 //!
 //! The protocol is newline-delimited text — see `graphgen_serve::protocol`
 //! — so `nc 127.0.0.1 7411` is a usable client.
@@ -215,11 +216,51 @@ fn smoke() -> Result<(), String> {
         "OK version=1 vertices=5",
     )?;
     expect(send("NEIGHBORS coauthors 4")?, "OK version=1 n=4")?;
+    // EXPLAIN with a DSL costs a candidate program on live statistics
+    // (registering nothing); bare EXPLAIN re-costs the registered graph's
+    // frozen plan — fresh from extraction it is optimal by definition.
+    expect(
+        send(
+            "EXPLAIN candidate Nodes(ID, Name) :- Author(ID, Name). \
+             Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).",
+        )?,
+        "OK chain 1: AuthorPub ⋈ AuthorPub | plan: cost=",
+    )?;
+    expect(
+        send("EXPLAIN coauthors")?,
+        "OK graph coauthors: drift=1.00 stale_plan=false",
+    )?;
     expect(send("APPLY AuthorPub +2,3")?, "OK rows=1 coauthors@2")?;
     // The new co-authorship (a2 joined publication 3) is immediately served.
     expect(send("NEIGHBORS coauthors 2")?, "OK version=2 n=4")?;
     expect(send("DEGREE coauthors 2")?, "OK version=2 degree=4")?;
     expect(send("STATS coauthors")?, "OK coauthors version=2")?;
+    // Drift round-trip: pile 20 memberships onto publication 1. The
+    // frozen plan kept the self-join in one segment (8·8/3 ≈ 21 under
+    // threshold 32); at 29 rows the live min-cost plan cuts it
+    // (29·29/3 ≈ 280 over threshold 116), so the plan must read stale.
+    let burst: Vec<String> = (0..20).map(|i| format!("+{},1", 100 + i)).collect();
+    expect(
+        send(&format!("APPLY AuthorPub {}", burst.join(" ")))?,
+        "OK rows=20 coauthors@3",
+    )?;
+    let stats = send("STATS coauthors")?;
+    if !stats.contains("stale_plan=true") {
+        return Err(format!("expected `stale_plan=true` in `{stats}`"));
+    }
+    expect(send("EXPLAIN coauthors")?, "OK graph coauthors: drift=")?;
+    // Reverting the skew restores the statistics: the flag clears.
+    let revert: Vec<String> = (0..20).map(|i| format!("-{},1", 100 + i)).collect();
+    expect(
+        send(&format!("APPLY AuthorPub {}", revert.join(" ")))?,
+        "OK rows=20 coauthors@4",
+    )?;
+    let stats = send("STATS coauthors")?;
+    if !stats.contains("drift=1.00 stale_plan=false") {
+        return Err(format!(
+            "expected `drift=1.00 stale_plan=false` in `{stats}`"
+        ));
+    }
     // The bare STATS line carries the rejection counters: exactly the one
     // statically rejected EXTRACT above (CHECKs never count).
     let stats = send("STATS")?;
@@ -234,8 +275,8 @@ fn smoke() -> Result<(), String> {
     // The abrupt-drop recovery contract, through the same directory.
     let recovered = GraphService::open(tmp.path()).map_err(|e| e.to_string())?;
     let snap = recovered.snapshot("coauthors").map_err(|e| e.to_string())?;
-    if snap.version() != 2 {
-        return Err(format!("recovered version {} != 2", snap.version()));
+    if snap.version() != 4 {
+        return Err(format!("recovered version {} != 4", snap.version()));
     }
     println!("recovery: coauthors@{} served after reopen", snap.version());
     Ok(())

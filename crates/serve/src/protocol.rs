@@ -5,6 +5,8 @@
 //! ```text
 //! EXTRACT <name> <dsl…>      extract + register a graph (DSL on the same line)
 //! CHECK <name> <dsl…>        statically check a program; registers nothing
+//! EXPLAIN <name> <dsl…>      cost a program on live statistics; registers nothing
+//! EXPLAIN <name>             re-cost a registered graph's frozen plan (drift)
 //! NEIGHBORS <name> <key>     out-neighbor keys of a vertex
 //! DEGREE <name> <key>        out-degree of a vertex
 //! APPLY <table> <±row …>     mutate a table: +1,2 inserts row (1,2); -1,2 deletes it
@@ -13,6 +15,13 @@
 //! PING                       liveness probe
 //! SHUTDOWN                   stop the server (responds, then closes)
 //! ```
+//!
+//! `EXPLAIN` flattens the cost engine's multi-line plan tree onto one
+//! response line with ` | ` separators (the renderings themselves are
+//! golden-locked at the library layer). With a DSL it costs that program;
+//! without one it re-costs the named graph's frozen extraction-time plan
+//! against the live catalog and leads with `drift=<ratio>
+//! stale_plan=<bool>` — the same numbers `STATS` reports per graph.
 //!
 //! `CHECK` answers `OK clean` or `OK errors=<n> warnings=<n> | <diag>;
 //! <diag>…` with one coded, span-carrying diagnostic per `;`-separated
@@ -51,6 +60,15 @@ pub enum Command {
         name: String,
         /// The DSL program (rest of the line).
         dsl: String,
+    },
+    /// `EXPLAIN <name> [<dsl…>]`
+    Explain {
+        /// Graph name: the registration target when a DSL is given, the
+        /// registered graph to re-cost when not.
+        name: String,
+        /// The DSL program to cost (rest of the line); `None` re-costs
+        /// the registered graph's frozen plan.
+        dsl: Option<String>,
     },
     /// `NEIGHBORS <name> <key>`
     Neighbors {
@@ -229,6 +247,19 @@ pub fn parse_command(line: &str) -> ServeResult<Option<Command>> {
                 dsl: dsl.trim().to_string(),
             }))
         }
+        "EXPLAIN" => {
+            if rest.is_empty() {
+                return Err(protocol_err("EXPLAIN <name> [<dsl>]"));
+            }
+            let (name, dsl) = match rest.split_once(char::is_whitespace) {
+                Some((name, dsl)) => (name, Some(dsl.trim().to_string())),
+                None => (rest, None),
+            };
+            Ok(Some(Command::Explain {
+                name: name.to_string(),
+                dsl,
+            }))
+        }
         "NEIGHBORS" => {
             let (name, key) = name_and_key()?;
             Ok(Some(Command::Neighbors { name, key }))
@@ -328,6 +359,22 @@ fn run(service: &GraphService, cmd: &Command) -> ServeResult<String> {
                 rendered.join("; ")
             )))
         }
+        Command::Explain { name, dsl } => {
+            let rendered = match dsl {
+                Some(dsl) => service.explain_dsl(name, dsl)?,
+                None => service.explain_graph(name)?,
+            };
+            // The plan tree is multi-line; the protocol is one line per
+            // response. ` | ` separators keep it parseable.
+            Ok(sanitize_line(
+                &rendered
+                    .trim_end_matches('\n')
+                    .split('\n')
+                    .map(str::trim)
+                    .collect::<Vec<_>>()
+                    .join(" | "),
+            ))
+        }
         Command::Neighbors { name, key } => {
             let snap = service.snapshot(name)?;
             let mut neighbors = snap
@@ -376,8 +423,16 @@ fn run(service: &GraphService, cmd: &Command) -> ServeResult<String> {
             let (stats, db_rows) = service.stats();
             let render = |s: &crate::service::GraphStats| {
                 format!(
-                    "{} version={} vertices={} edges={} rep={} wal_bytes={}",
-                    s.name, s.version, s.vertices, s.edges, s.rep, s.wal_bytes
+                    "{} version={} vertices={} edges={} rep={} wal_bytes={} \
+                     drift={:.2} stale_plan={}",
+                    s.name,
+                    s.version,
+                    s.vertices,
+                    s.edges,
+                    s.rep,
+                    s.wal_bytes,
+                    s.drift,
+                    s.stale_plan
                 )
             };
             match name {
@@ -517,6 +572,22 @@ mod tests {
                 name: Some("g".into())
             }
         );
+        assert_eq!(
+            parse_command("EXPLAIN g").unwrap().unwrap(),
+            Command::Explain {
+                name: "g".into(),
+                dsl: None
+            }
+        );
+        assert_eq!(
+            parse_command("EXPLAIN g Nodes(ID) :- T(ID).")
+                .unwrap()
+                .unwrap(),
+            Command::Explain {
+                name: "g".into(),
+                dsl: Some("Nodes(ID) :- T(ID).".into())
+            }
+        );
         for bad in [
             "EXTRACT g",
             "CHECK g",
@@ -525,9 +596,40 @@ mod tests {
             "NOPE",
             "DEGREE g",
             "STATS a b",
+            "EXPLAIN",
         ] {
             assert!(parse_command(bad).is_err(), "{bad}");
         }
+    }
+
+    /// The EXPLAIN verb at both arities: costing a program on live
+    /// statistics, and re-costing a registered graph's frozen plan.
+    #[test]
+    fn explain_verb() {
+        use crate::service::tests::{fig1_db, Q1};
+        let service = GraphService::in_memory(fig1_db());
+        let run = |line: &str| execute(&service, &parse_command(line).unwrap().unwrap());
+        // Ad-hoc program: one line, plan tree flattened with ` | `.
+        let resp = run(&format!("EXPLAIN pre {Q1}"));
+        assert!(
+            resp.starts_with("OK chain 1: AuthorPub ⋈ AuthorPub | plan: cost="),
+            "{resp}"
+        );
+        assert!(resp.contains("fingerprint="), "{resp}");
+        assert!(!resp.contains('\n'), "{resp}");
+        // Nothing was registered by the cost-only verb.
+        assert!(run("EXPLAIN pre").starts_with("ERR unknown graph"));
+        // Registered graph: drift verdict plus frozen-vs-live plans.
+        run(&format!("EXTRACT g {Q1}"));
+        let resp = run("EXPLAIN g");
+        assert!(
+            resp.starts_with("OK graph g: drift=1.00 stale_plan=false"),
+            "{resp}"
+        );
+        assert!(resp.contains("frozen chain 1:"), "{resp}");
+        assert!(resp.contains("live chain 1:"), "{resp}");
+        // Bad names mirror EXTRACT validation.
+        assert!(run("EXPLAIN bad..name PING").starts_with("ERR bad graph name"));
     }
 
     #[test]

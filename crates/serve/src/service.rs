@@ -38,8 +38,10 @@
 //! dir/
 //!   db.snap            magic GGSVDB1\0 | u64 version | Database
 //!   db.wal             records: u64 version | DeltaBatch     (see wal.rs)
-//!   <name>.graph.snap  magic GGSVGR3\0 | u64 version | u64 db_version
-//!                      | dsl | GraphHandle snapshot (GGSNAP2, chunked)
+//!   <name>.graph.snap  magic GGSVGR4\0 | u64 version | u64 db_version
+//!                      | dsl | frozen plans (per chain: cuts, planned
+//!                      outputs, planned cost) | GraphHandle snapshot
+//!                      (GGSNAP2, chunked)
 //!   <name>.graph.wal   records: u64 version | u64 db_version | DeltaBatch
 //! ```
 //!
@@ -78,18 +80,23 @@ use crate::error::{ServeError, ServeResult};
 use crate::wal::{seal, unseal, write_file_atomic, Wal};
 use graphgen_common::codec::{self, Reader};
 use graphgen_common::FxHashMap;
+use graphgen_core::cost::{
+    cost_with_cuts, estimate_chain, plan_fingerprint, render_explain, render_unknown,
+};
 use graphgen_core::{catalog_view, Error, GraphGen, GraphGenConfig, GraphHandle, GraphPatch};
-use graphgen_dsl::{check_source, CheckOptions, CheckReport};
+use graphgen_dsl::{check_source, CheckCatalog, CheckOptions, CheckReport, EdgeChain};
 use graphgen_reldb::{Database, DeltaBatch, Value};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Magic prefix of `db.snap` (trailing digit = format version).
 pub const DB_SNAP_MAGIC: [u8; 8] = *b"GGSVDB1\0";
-/// Magic prefix of `<name>.graph.snap` (format 3 switched the embedded
-/// handle snapshot to the chunked `GGSNAP2` layout; format-1/2 files fail
-/// `expect_magic` cleanly).
-pub const GRAPH_SNAP_MAGIC: [u8; 8] = *b"GGSVGR3\0";
+/// Magic prefix of `<name>.graph.snap` (format 4 added the frozen plan —
+/// per-chain cuts and the estimates the plan was chosen with — for drift
+/// detection; format 3 switched the embedded handle snapshot to the
+/// chunked `GGSNAP2` layout. Older-format files fail `expect_magic`
+/// cleanly).
+pub const GRAPH_SNAP_MAGIC: [u8; 8] = *b"GGSVGR4\0";
 
 /// Service knobs.
 #[derive(Debug, Clone, Copy)]
@@ -103,6 +110,10 @@ pub struct ServiceConfig {
     /// `GraphGenConfig` default: `GRAPHGEN_THREADS` or the available
     /// parallelism).
     pub threads: usize,
+    /// A graph's plan is flagged stale when re-costing its frozen cuts
+    /// against the live catalog exceeds the live min-cost plan by this
+    /// ratio (or when the min-cost plan's shape changed outright).
+    pub drift_threshold: f64,
 }
 
 impl Default for ServiceConfig {
@@ -111,6 +122,7 @@ impl Default for ServiceConfig {
             compact_threshold: 1 << 20,
             fsync: true,
             threads: 0,
+            drift_threshold: 2.0,
         }
     }
 }
@@ -183,6 +195,13 @@ pub struct GraphStats {
     pub rep: String,
     /// Bytes in the graph's write-ahead log (0 when not persisted).
     pub wal_bytes: u64,
+    /// Cost of the frozen plan re-costed on live statistics, relative to
+    /// the live min-cost plan (1.0 = still optimal).
+    pub drift: f64,
+    /// True when the live min-cost plan's fingerprint differs from the
+    /// frozen plan's, or `drift` exceeds the configured threshold — the
+    /// trigger signal for re-planning.
+    pub stale_plan: bool,
 }
 
 /// One table's worth of mutations for [`GraphService::apply`].
@@ -215,10 +234,33 @@ impl TableMutation {
 // Internal state
 // ---------------------------------------------------------------------------
 
+/// The plan one chain of a graph was extracted with, frozen at
+/// extraction time: the cut set (which joins were postponed) plus the
+/// estimates the planner chose it on. Persisted in the graph snapshot so
+/// recovery restores drift detection without re-planning.
+#[derive(Debug, Clone)]
+struct FrozenChainPlan {
+    /// Per-join postpone flags (length = #atoms - 1).
+    cuts: Vec<bool>,
+    /// Per-join `|L|·|R|/d` estimates at plan time.
+    planned_outputs: Vec<f64>,
+    /// Total plan cost under the statistics it was planned with.
+    planned_cost: f64,
+}
+
 /// Writer-side state of one registered graph.
 #[derive(Debug)]
 struct GraphState {
     dsl: String,
+    /// The `Edges` chains compiled from `dsl` once, for drift re-costing
+    /// (pure catalog arithmetic on every publish).
+    chains: Vec<EdgeChain>,
+    /// Frozen extraction-time plan per chain, parallel to `chains`.
+    frozen: Vec<FrozenChainPlan>,
+    /// Latest frozen-vs-min-cost ratio (see [`GraphStats::drift`]).
+    drift: f64,
+    /// Latest staleness verdict (see [`GraphStats::stale_plan`]).
+    stale_plan: bool,
     /// The writer's private working handle: owns the delta-maintenance
     /// state, is patched **in place** per batch, and is the source of
     /// every published [`GraphHandle::reader_clone`] and every on-disk
@@ -408,6 +450,13 @@ impl GraphService {
                 )?;
                 inner.graphs.insert(name, state);
             }
+            // Re-cost every recovered graph's frozen plan against the
+            // recovered catalog: drift survives restarts without a scan.
+            let catalog = catalog_view(&inner.db);
+            let factor = Self::extraction_config(&cfg).large_output_factor();
+            for state in inner.graphs.values_mut() {
+                recompute_drift(&catalog, state, factor, cfg.drift_threshold);
+            }
             let mut published = service.published.write().unwrap();
             for (name, state) in &inner.graphs {
                 published.insert(name.clone(), Arc::clone(&state.current));
@@ -490,13 +539,27 @@ impl GraphService {
             db_version: inner.db_version,
             handle: handle.reader_clone(),
         });
+        // Freeze the plan the extraction ran with: the drift detector
+        // re-costs exactly these cuts against every future catalog state.
+        let chains = graphgen_dsl::compile(dsl).map_or_else(|_| Vec::new(), |spec| spec.edges);
+        let frozen = frozen_plans(handle.report());
         let mut state = GraphState {
             dsl: dsl.to_string(),
+            chains,
+            frozen,
+            drift: 1.0,
+            stale_plan: false,
             working: handle,
             current: Arc::clone(&snapshot),
             wal: None,
             durable_db_version: inner.db_version,
         };
+        recompute_drift(
+            &catalog_view(&inner.db),
+            &mut state,
+            Self::extraction_config(&inner.cfg).large_output_factor(),
+            inner.cfg.drift_threshold,
+        );
         if let Some(dir) = inner.dir.clone() {
             // A prior incarnation of this graph name may have left records
             // behind (e.g. a crash between drop_graph's two unlinks).
@@ -511,15 +574,7 @@ impl GraphService {
             if !stale.is_empty() {
                 wal.reset()?;
             }
-            write_graph_snapshot(
-                &dir,
-                name,
-                &state.dsl,
-                1,
-                &state.working,
-                inner.db_version,
-                inner.cfg.fsync,
-            )?;
+            write_graph_snapshot(&dir, &state, inner.db_version, inner.cfg.fsync)?;
             state.wal = Some(wal);
         }
         inner.graphs.insert(name.to_string(), state);
@@ -548,6 +603,62 @@ impl GraphService {
         let inner = self.inner.lock().unwrap();
         let catalog = catalog_view(&inner.db);
         Ok(check_source(dsl, Some(&catalog), &CheckOptions::default()))
+    }
+
+    /// Cost a DSL program against the service's current statistics and
+    /// render the chosen plan trees (the `EXPLAIN <name> <dsl>` verb) —
+    /// pure catalog arithmetic, nothing is extracted or registered.
+    /// `name` is validated like [`GraphService::extract`] so the line
+    /// pre-flights the matching `EXTRACT`.
+    pub fn explain_dsl(&self, name: &str, dsl: &str) -> ServeResult<String> {
+        if !valid_name(name) {
+            return Err(ServeError::BadName(name.to_string()));
+        }
+        let inner = self.inner.lock().unwrap();
+        let explanation =
+            GraphGen::with_config(&inner.db, Self::extraction_config(&inner.cfg)).explain(dsl)?;
+        Ok(explanation.to_string())
+    }
+
+    /// Re-cost a **registered** graph's frozen extraction-time plan
+    /// against the current statistics (the `EXPLAIN <name>` verb): the
+    /// drift verdict, the frozen plan's live cost, and the live min-cost
+    /// plan trees side by side.
+    pub fn explain_graph(&self, name: &str) -> ServeResult<String> {
+        let inner = self.inner.lock().unwrap();
+        let state = inner
+            .graphs
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownGraph(name.to_string()))?;
+        let catalog = catalog_view(&inner.db);
+        let factor = Self::extraction_config(&inner.cfg).large_output_factor();
+        let mut out = format!(
+            "graph {name}: drift={:.2} stale_plan={}\n",
+            state.drift, state.stale_plan
+        );
+        for (i, (chain, frozen)) in state.chains.iter().zip(&state.frozen).enumerate() {
+            let label = format!("chain {}", i + 1);
+            match estimate_chain(&catalog, &chain.steps, factor) {
+                Some(best) => {
+                    let frozen_live = cost_with_cuts(&catalog, &chain.steps, factor, &frozen.cuts)
+                        .unwrap_or(f64::NAN);
+                    out.push_str(&format!(
+                        "  frozen {label}: planned_cost={:.0} live_cost={:.0} cuts={}\n",
+                        frozen.planned_cost,
+                        frozen_live,
+                        frozen
+                            .cuts
+                            .iter()
+                            .map(|&c| if c { "cut" } else { "keep" })
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    ));
+                    out.push_str(&render_explain(&format!("live {label}"), &best));
+                }
+                None => out.push_str(&render_unknown(&format!("live {label}"), &chain.steps)),
+            }
+        }
+        Ok(out)
     }
 
     /// Per-code counts of EXTRACT requests the static checker rejected,
@@ -617,7 +728,7 @@ impl GraphService {
             let inner = self.inner.lock().unwrap();
             let mut names: Vec<&String> = inner.graphs.keys().collect();
             names.sort();
-            let entries: Vec<(String, Arc<GraphSnapshot>, u64)> = names
+            let entries: Vec<(String, Arc<GraphSnapshot>, u64, f64, bool)> = names
                 .into_iter()
                 .map(|name| {
                     let state = &inner.graphs[name.as_str()];
@@ -625,6 +736,8 @@ impl GraphService {
                         name.clone(),
                         Arc::clone(&state.current),
                         state.wal.as_ref().map_or(0, Wal::bytes),
+                        state.drift,
+                        state.stale_plan,
                     )
                 })
                 .collect();
@@ -632,7 +745,7 @@ impl GraphService {
         };
         let out = entries
             .into_iter()
-            .map(|(name, snapshot, wal_bytes)| {
+            .map(|(name, snapshot, wal_bytes, drift, stale_plan)| {
                 let h = snapshot.handle();
                 let rep = match h.graph() {
                     AnyGraph::CDup(_) => "C-DUP",
@@ -648,6 +761,8 @@ impl GraphService {
                     edges: h.expanded_edge_count(),
                     rep: rep.to_string(),
                     wal_bytes,
+                    drift,
+                    stale_plan,
                 }
             })
             .collect();
@@ -738,6 +853,13 @@ impl GraphService {
         let mut names: Vec<String> = inner.graphs.keys().cloned().collect();
         names.sort();
         let mut newly_published: Vec<(String, Arc<GraphSnapshot>)> = Vec::new();
+        // One catalog view of the post-batch statistics serves every
+        // affected graph's drift recompute below (pure arithmetic; a graph
+        // whose tables the batch left untouched keeps its verdict — its
+        // statistics did not move).
+        let catalog = catalog_view(&inner.db);
+        let factor = Self::extraction_config(&inner.cfg).large_output_factor();
+        let drift_threshold = inner.cfg.drift_threshold;
         // On a mid-loop failure (io error, inconsistent delta) the graphs
         // patched *before* the failure have committed — their WAL records
         // are durable and `state.current` advanced — so they must still be
@@ -772,6 +894,7 @@ impl GraphService {
                     handle: state.working.reader_clone(),
                 });
                 state.current = Arc::clone(&snapshot);
+                recompute_drift(&catalog, state, factor, drift_threshold);
                 outcome.graphs.push((name.clone(), version, patch));
                 newly_published.push((name.clone(), snapshot));
                 // 3. Compaction: fold an oversized WAL into a fresh
@@ -880,6 +1003,53 @@ fn batch_affects(batch: &DeltaBatch, tables: &[String]) -> bool {
         .any(|d| tables.iter().any(|t| t == d.table()))
 }
 
+/// Freeze the plans an extraction ran with, straight off its report:
+/// the cut set plus the estimates the planner chose it on.
+fn frozen_plans(report: &graphgen_core::ExtractionReport) -> Vec<FrozenChainPlan> {
+    report
+        .plans
+        .iter()
+        .map(|plan| FrozenChainPlan {
+            cuts: plan.joins.iter().map(|j| j.large_output).collect(),
+            planned_outputs: plan.joins.iter().map(|j| j.estimated_output).collect(),
+            planned_cost: plan.estimated_cost,
+        })
+        .collect()
+}
+
+/// Re-cost a graph's frozen plans against `catalog` and compare with the
+/// live min-cost plans — pure catalog arithmetic, no table is scanned.
+/// `drift` becomes Σ frozen-cost / Σ min-cost (1.0 = still optimal);
+/// `stale_plan` fires when the min-cost plan's fingerprint moved away
+/// from the frozen cuts or the ratio exceeds `threshold`. When the
+/// catalog lacks statistics the previous verdict is kept: no evidence is
+/// not evidence of drift.
+fn recompute_drift(catalog: &CheckCatalog, state: &mut GraphState, factor: f64, threshold: f64) {
+    if state.chains.is_empty() || state.chains.len() != state.frozen.len() {
+        return;
+    }
+    let mut frozen_live = 0.0f64;
+    let mut best_live = 0.0f64;
+    let mut shape_changed = false;
+    for (chain, frozen) in state.chains.iter().zip(&state.frozen) {
+        let Some(best) = estimate_chain(catalog, &chain.steps, factor) else {
+            return;
+        };
+        let Some(frozen_cost) = cost_with_cuts(catalog, &chain.steps, factor, &frozen.cuts) else {
+            return;
+        };
+        frozen_live += frozen_cost;
+        best_live += best.cost;
+        shape_changed |= best.fingerprint != plan_fingerprint(&chain.steps, &frozen.cuts);
+    }
+    state.drift = if best_live > 0.0 {
+        frozen_live / best_live
+    } else {
+        1.0
+    };
+    state.stale_plan = shape_changed || state.drift > threshold;
+}
+
 fn graph_snap_path(dir: &Path, name: &str) -> PathBuf {
     dir.join(format!("{name}.graph.snap"))
 }
@@ -977,26 +1147,34 @@ fn write_db_snapshot(inner: &mut Inner) -> ServeResult<()> {
 /// `db_version` is passed explicitly (not read off the snapshot) because a
 /// compaction may stamp a graph as consistent with a database version
 /// *newer* than the one it was published at — every batch in between left
-/// its tables untouched. `handle` must be the **working** handle: it owns
-/// the delta-maintenance state the recovered graph continues from
-/// (published reader clones deliberately carry none).
+/// its tables untouched. The snapshot is written from the **working**
+/// handle: it owns the delta-maintenance state the recovered graph
+/// continues from (published reader clones deliberately carry none).
 fn write_graph_snapshot(
     dir: &Path,
-    name: &str,
-    dsl: &str,
-    version: u64,
-    handle: &GraphHandle,
+    state: &GraphState,
     db_version: u64,
     fsync: bool,
 ) -> ServeResult<()> {
     let mut bytes = Vec::new();
     bytes.extend_from_slice(&GRAPH_SNAP_MAGIC);
-    codec::put_u64(&mut bytes, version);
+    codec::put_u64(&mut bytes, state.current.version());
     codec::put_u64(&mut bytes, db_version);
-    codec::put_str(&mut bytes, dsl);
-    codec::put_bytes(&mut bytes, &handle.to_snapshot_bytes());
+    codec::put_str(&mut bytes, &state.dsl);
+    codec::put_len(&mut bytes, state.frozen.len());
+    for plan in &state.frozen {
+        codec::put_len(&mut bytes, plan.cuts.len());
+        for &cut in &plan.cuts {
+            codec::put_u8(&mut bytes, u8::from(cut));
+        }
+        for &out in &plan.planned_outputs {
+            codec::put_f64(&mut bytes, out);
+        }
+        codec::put_f64(&mut bytes, plan.planned_cost);
+    }
+    codec::put_bytes(&mut bytes, &state.working.to_snapshot_bytes());
     seal(&mut bytes);
-    write_file_atomic(&graph_snap_path(dir, name), &bytes, fsync)?;
+    write_file_atomic(&graph_snap_path(dir, state.current.name()), &bytes, fsync)?;
     Ok(())
 }
 
@@ -1006,15 +1184,7 @@ fn compact_graph(
     db_version: u64,
     fsync: bool,
 ) -> ServeResult<()> {
-    write_graph_snapshot(
-        dir,
-        state.current.name(),
-        &state.dsl,
-        state.current.version(),
-        &state.working,
-        db_version,
-        fsync,
-    )?;
+    write_graph_snapshot(dir, state, db_version, fsync)?;
     if let Some(wal) = state.wal.as_mut() {
         wal.reset()?;
     }
@@ -1045,17 +1215,36 @@ fn recover_graph(
     let content =
         unseal(&bytes).ok_or_else(|| ServeError::corrupt(&file, "integrity checksum mismatch"))?;
     let mut r = Reader::new(content);
-    let parse =
-        |r: &mut Reader<'_>| -> Result<(u64, u64, String, Vec<u8>), graphgen_common::CodecError> {
-            r.expect_magic(&GRAPH_SNAP_MAGIC)?;
-            let version = r.u64()?;
-            let db_version = r.u64()?;
-            let dsl = r.str()?.to_string();
-            let handle_bytes = r.bytes()?.to_vec();
-            r.expect_end()?;
-            Ok((version, db_version, dsl, handle_bytes))
-        };
-    let (snap_version, snap_db_version, dsl, handle_bytes) =
+    type SnapParts = (u64, u64, String, Vec<FrozenChainPlan>, Vec<u8>);
+    let parse = |r: &mut Reader<'_>| -> Result<SnapParts, graphgen_common::CodecError> {
+        r.expect_magic(&GRAPH_SNAP_MAGIC)?;
+        let version = r.u64()?;
+        let db_version = r.u64()?;
+        let dsl = r.str()?.to_string();
+        let n_chains = r.len()?;
+        let mut frozen = Vec::with_capacity(n_chains);
+        for _ in 0..n_chains {
+            let n_joins = r.len()?;
+            let mut cuts = Vec::with_capacity(n_joins);
+            for _ in 0..n_joins {
+                cuts.push(r.u8()? != 0);
+            }
+            let mut planned_outputs = Vec::with_capacity(n_joins);
+            for _ in 0..n_joins {
+                planned_outputs.push(r.f64()?);
+            }
+            let planned_cost = r.f64()?;
+            frozen.push(FrozenChainPlan {
+                cuts,
+                planned_outputs,
+                planned_cost,
+            });
+        }
+        let handle_bytes = r.bytes()?.to_vec();
+        r.expect_end()?;
+        Ok((version, db_version, dsl, frozen, handle_bytes))
+    };
+    let (snap_version, snap_db_version, dsl, frozen, handle_bytes) =
         parse(&mut r).map_err(|e| ServeError::corrupt(&file, e))?;
     let mut handle = GraphHandle::from_snapshot_bytes(&handle_bytes)?;
     handle.set_threads(threads);
@@ -1133,8 +1322,16 @@ fn recover_graph(
         }
         db_version = *batch_db_version;
     }
+    // Drift state is recomputed by `open_with` once every graph is back
+    // (it needs the recovered database's catalog); the frozen plans
+    // themselves came off the snapshot above.
+    let chains = graphgen_dsl::compile(&dsl).map_or_else(|_| Vec::new(), |spec| spec.edges);
     Ok(GraphState {
         dsl,
+        chains,
+        frozen,
+        drift: 1.0,
+        stale_plan: false,
         current: Arc::new(GraphSnapshot {
             name: name.to_string(),
             version,

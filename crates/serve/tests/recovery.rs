@@ -550,9 +550,9 @@ fn recovered_service_continues_identically() {
     );
 }
 
-/// Format-bump guard: a graph snapshot carrying the retired `GGSVGR2\0`
-/// magic (which framed flat-adjacency `GGSNAP1` handle bytes) must fail
-/// recovery with a clean `Corrupt` magic mismatch — never misparse into a
+/// Format-bump guard: a graph snapshot carrying a retired magic (here
+/// `GGSVGR3\0`, which lacked the frozen-plan section) must fail recovery
+/// with a clean `Corrupt` magic mismatch — never misparse into a
 /// half-decoded graph.
 #[test]
 fn old_format_graph_snapshot_is_rejected_by_magic() {
@@ -568,8 +568,8 @@ fn old_format_graph_snapshot_is_rejected_by_magic() {
     let snap_path = dir.path().join("coauthors.graph.snap");
     let sealed = std::fs::read(&snap_path).unwrap();
     let mut content = graphgen_serve::wal::unseal(&sealed).unwrap().to_vec();
-    assert_eq!(&content[..8], b"GGSVGR3\0");
-    content[..8].copy_from_slice(b"GGSVGR2\0");
+    assert_eq!(&content[..8], b"GGSVGR4\0");
+    content[..8].copy_from_slice(b"GGSVGR3\0");
     graphgen_serve::wal::seal(&mut content);
     std::fs::write(&snap_path, &content).unwrap();
     let err = GraphService::open(dir.path()).unwrap_err();
@@ -582,7 +582,7 @@ fn old_format_graph_snapshot_is_rejected_by_magic() {
 }
 
 /// Restart onto the chunked snapshot format mid-WAL: the `.graph.snap`
-/// (GGSVGR3 framing a chunked GGSNAP2 handle, written from the *working*
+/// (GGSVGR4 framing a chunked GGSNAP2 handle, written from the *working*
 /// handle so it carries the full maintenance state) plus a WAL holding
 /// batches committed after it. Recovery must decode the chunked snapshot,
 /// replay the log, and keep both the reader side (canonical bytes, CoW

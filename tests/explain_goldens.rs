@@ -1,0 +1,77 @@
+//! Golden-locked EXPLAIN renderings for every shipped example query.
+//!
+//! Each `examples/queries/*.ggd` program is costed by `GraphGen::explain`
+//! against its seeded datagen database (see `plan_corpus`) and the
+//! rendered plan tree is compared byte-for-byte against
+//! `tests/goldens/<stem>.explain`. This is the CI plan-regression gate: a
+//! change to the cost model, the enumeration, or the renderer shows up as
+//! a golden diff, never as a silent plan change.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test explain_goldens
+//! ```
+
+mod plan_corpus;
+
+use graphgen::core::GraphGen;
+use std::path::Path;
+
+#[test]
+fn explain_matches_goldens_for_every_shipped_query() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let update = std::env::var_os("GOLDEN_UPDATE").is_some();
+    let mut diffs = Vec::new();
+    for (stem, db) in plan_corpus::corpus() {
+        let dsl = plan_corpus::query_source(stem);
+        let rendered = GraphGen::new(&db)
+            .explain(&dsl)
+            .unwrap_or_else(|e| panic!("{stem}: explain failed: {e}"))
+            .to_string();
+        let golden = root.join(format!("tests/goldens/{stem}.explain"));
+        if update {
+            std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+            std::fs::write(&golden, &rendered).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+            panic!(
+                "{stem}: missing golden {} ({e}); run with GOLDEN_UPDATE=1 to create it",
+                golden.display()
+            )
+        });
+        if rendered != expected {
+            diffs.push(format!(
+                "--- {stem} (golden)\n{expected}--- {stem} (got)\n{rendered}"
+            ));
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "EXPLAIN output drifted from the goldens; if the plan change is \
+         intentional, regenerate with GOLDEN_UPDATE=1:\n{}",
+        diffs.join("\n")
+    );
+}
+
+/// The goldens directory must stay in lockstep with the corpus: no
+/// orphaned `.explain` files for queries that no longer ship.
+#[test]
+fn no_stray_golden_files() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("tests/goldens exists (run with GOLDEN_UPDATE=1 once)")
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            name.strip_suffix(".explain").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = plan_corpus::corpus()
+        .iter()
+        .map(|(stem, _)| stem.to_string())
+        .collect();
+    expected.sort();
+    assert_eq!(on_disk, expected, "tests/goldens diverged from the corpus");
+}

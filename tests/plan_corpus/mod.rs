@@ -1,0 +1,110 @@
+//! Shared corpus for the plan-analysis tests: every shipped
+//! `examples/queries/*.ggd` program paired with a small, seeded
+//! `graphgen_datagen` database of the matching shape. Everything here is
+//! deterministic (SplitMix64 with fixed seeds), so tests — and the
+//! EXPLAIN goldens — see identical statistics on every run.
+
+use graphgen::common::SplitMix64;
+use graphgen::datagen::{
+    dblp_like, imdb_like, tpch_like, univ, DblpConfig, ImdbConfig, TpchConfig, UnivConfig,
+};
+use graphgen::reldb::{Column, Database, Schema, Table, Value};
+use std::path::Path;
+
+/// The source of `examples/queries/<stem>.ggd`.
+pub fn query_source(stem: &str) -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let rel = format!("examples/queries/{stem}.ggd");
+    std::fs::read_to_string(root.join(&rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"))
+}
+
+/// DBLP variant whose `AuthorPub` carries the publication year
+/// (`examples/queries/dblp_temporal.ggd`). No datagen generator ships
+/// this shape, so the corpus builds one: ~2 authors per publication,
+/// years uniform over 2000..2005 — enough spread that the year filters
+/// have real (0.2) selectivity.
+fn dblp_temporal_db(seed: u64) -> Database {
+    let mut rng = SplitMix64::new(seed);
+    let authors = 200i64;
+    let publications = 400i64;
+    let mut author = Table::new(Schema::new(vec![Column::int("id"), Column::str("name")]));
+    for a in 0..authors {
+        author
+            .push_row(vec![Value::int(a), Value::str(format!("author_{a}"))])
+            .expect("schema");
+    }
+    let mut ap = Table::new(Schema::new(vec![
+        Column::int("aid"),
+        Column::int("pid"),
+        Column::int("year"),
+    ]));
+    for p in 0..publications {
+        let year = 2000 + rng.next_below(5) as i64;
+        let k = 1 + rng.next_below(3); // 1..=3 authors, mean 2
+        for _ in 0..k {
+            let a = rng.next_below(authors as u64) as i64;
+            ap.push_row(vec![Value::int(a), Value::int(p), Value::int(year)])
+                .expect("schema");
+        }
+    }
+    let mut db = Database::new();
+    db.register("Author", author).expect("fresh db");
+    db.register("AuthorPub", ap).expect("fresh db");
+    db
+}
+
+/// One `(query stem, database)` pair per shipped `.ggd` file — the same
+/// list `tests/docs_queries_check.rs` locks against the on-disk corpus.
+pub fn corpus() -> Vec<(&'static str, Database)> {
+    vec![
+        (
+            "dblp_coauthors",
+            dblp_like(DblpConfig {
+                authors: 300,
+                publications: 500,
+                avg_authors_per_pub: 2.0,
+                seed: 42,
+            }),
+        ),
+        ("dblp_temporal", dblp_temporal_db(43)),
+        (
+            "imdb_coactors",
+            imdb_like(ImdbConfig {
+                actors: 200,
+                movies: 60,
+                avg_cast: 10.0,
+                seed: 44,
+            }),
+        ),
+        (
+            "tpch_copurchase",
+            tpch_like(TpchConfig {
+                customers: 150,
+                orders: 400,
+                parts: 80,
+                avg_lineitems: 4.0,
+                seed: 45,
+            }),
+        ),
+        (
+            "univ_coenrollment",
+            univ(UnivConfig {
+                students: 200,
+                instructors: 10,
+                courses: 20,
+                avg_courses_per_student: 4.0,
+                seed: 46,
+            }),
+        ),
+        (
+            "univ_bipartite",
+            univ(UnivConfig {
+                students: 200,
+                instructors: 10,
+                courses: 20,
+                avg_courses_per_student: 4.0,
+                seed: 46,
+            }),
+        ),
+    ]
+}

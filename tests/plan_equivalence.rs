@@ -1,0 +1,76 @@
+//! The W105 ≡ planner equivalence proof.
+//!
+//! Both the `W105` plan lint and the extraction planner delegate to the
+//! single cost engine in `graphgen_dsl::cost` — this test pins that down
+//! observationally: on every shipped example query over its seeded
+//! datagen database, the joins `W105` fires on must be **exactly** the
+//! joins the planner postpones (`JoinDecision::large_output`), same
+//! pairs, same order. A second copy of the §4.2 arithmetic growing back
+//! anywhere shows up here as a mismatch.
+
+mod plan_corpus;
+
+use graphgen::core::{catalog_view, GraphGen};
+use graphgen::dsl::{check_source, CheckOptions};
+
+/// The `L ⋈ R` pair a W105 message names (both message variants quote it
+/// between backticks: ``join `L ⋈ R` is …``).
+fn lint_pair(message: &str) -> (String, String) {
+    let quoted = message
+        .split('`')
+        .nth(1)
+        .unwrap_or_else(|| panic!("W105 message without backticks: {message}"));
+    let (l, r) = quoted
+        .split_once(" ⋈ ")
+        .unwrap_or_else(|| panic!("W105 message without a join pair: {message}"));
+    (l.to_string(), r.to_string())
+}
+
+#[test]
+fn w105_firings_equal_planner_large_output_decisions() {
+    let mut total_cut = 0usize;
+    let mut total_kept = 0usize;
+    for (stem, db) in plan_corpus::corpus() {
+        let dsl = plan_corpus::query_source(stem);
+
+        // Planner side: extract for real and read the recorded decisions.
+        let handle = GraphGen::new(&db)
+            .extract(&dsl)
+            .unwrap_or_else(|e| panic!("{stem}: extract failed: {e}"));
+        let mut planner_cuts = Vec::new();
+        for plan in &handle.report().plans {
+            for j in &plan.joins {
+                if j.large_output {
+                    planner_cuts.push((j.left_table.clone(), j.right_table.clone()));
+                    total_cut += 1;
+                } else {
+                    total_kept += 1;
+                }
+            }
+        }
+
+        // Lint side: the same program, the same live statistics
+        // (`catalog_view`), the plan lint group enabled.
+        let mut opts = CheckOptions::default();
+        opts.enable_lint("plan").expect("plan is a lint group");
+        let catalog = catalog_view(&db);
+        let report = check_source(&dsl, Some(&catalog), &opts);
+        assert!(!report.has_errors(), "{stem}: {:?}", report.diagnostics);
+        let lint_cuts: Vec<(String, String)> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.code() == "W105")
+            .map(|d| lint_pair(&d.message))
+            .collect();
+
+        assert_eq!(
+            lint_cuts, planner_cuts,
+            "{stem}: W105 firings diverged from the planner's large_output \
+             decisions — the two sides are no longer the same cost engine"
+        );
+    }
+    // The corpus must exercise both verdicts, or the equivalence above is
+    // vacuous (e.g. dblp keeps its join, imdb and univ_coenrollment cut).
+    assert!(total_cut > 0, "corpus produced no postponed joins");
+    assert!(total_kept > 0, "corpus produced no in-segment joins");
+}
