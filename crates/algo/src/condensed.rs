@@ -1,0 +1,603 @@
+//! Condensed-direct kernels: analytics *on the condensed structure itself*.
+//!
+//! The generic kernels in this crate go through `for_each_neighbor`, which
+//! on condensed representations runs a DFS with a dedup hashset per vertex
+//! — correct, but it pays the on-the-fly expansion cost every superstep.
+//! This module exploits the structure instead: on a **single-layer** graph a
+//! virtual node `V` stands for a clique (every real node pointing at `V`
+//! logically reaches every real target of `V`), so per-vertex aggregates can
+//! be computed by *weighting through the virtual node* — one precomputed
+//! per-virtual sum replaces `|V|` neighbor visits.
+//!
+//! Two strategies, chosen by whether the structure can store duplicate
+//! paths:
+//!
+//! * **aggregated** (DEDUP-1: at most one stored path per logical edge):
+//!   `deg(u) = |direct(u)| + Σ_{V ∈ virt(u)} (alive(V) − [u ∈ out(V)])`, and
+//!   the PageRank neighbor sum uses a per-iteration per-virtual sum `S(V)`
+//!   the same way. `O(stored edges)` per pass, no hashing at all.
+//! * **merged** (C-DUP / the BITMAP core, where two virtual nodes may share
+//!   a pair): per vertex, gather the real targets of the direct list and of
+//!   each virtual child into a reused scratch buffer, sort, dedup. Still no
+//!   DFS bookkeeping and no expanded adjacency is ever materialized.
+//!
+//! Both also come with **seeded** entry points (PageRank from a previous
+//! rank vector, components from previous labels) so a server can warm-start
+//! after a small delta; [`pagerank_seeded`] is the representation-generic
+//! fall-back that the multi-layer / EXP / DEDUP-2 paths share.
+
+use crate::degree::degrees;
+use crate::vertex_centric::{run_vertex_centric, VertexCentricConfig, VertexProgram};
+use graphgen_graph::{Adj, CondensedGraph, GraphRep, RealId, VirtId};
+
+/// Which condensed-direct strategy a dispatch picked (for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CondensedPath {
+    /// Virtual-node weighting on a duplicate-free single-layer structure.
+    Aggregated,
+    /// Sort-merge dedup over stored lists (duplicates possible).
+    Merged,
+    /// Generic traversal through `for_each_neighbor` (any representation).
+    Traversal,
+}
+
+impl CondensedPath {
+    /// Stable lower-case name (protocol rendering).
+    pub fn label(self) -> &'static str {
+        match self {
+            CondensedPath::Aggregated => "aggregated",
+            CondensedPath::Merged => "merged",
+            CondensedPath::Traversal => "traversal",
+        }
+    }
+}
+
+/// Per-virtual-node count of *alive* real targets (the clique size a
+/// virtual node currently stands for). Virtual→virtual targets are not
+/// counted — callers require a single-layer structure.
+pub fn virtual_alive_counts(g: &CondensedGraph) -> Vec<u32> {
+    (0..g.num_virtual())
+        .map(|v| {
+            g.virt_out(VirtId(v as u32))
+                .iter()
+                .filter_map(|a| a.as_real())
+                .filter(|r| g.is_alive(*r))
+                .count() as u32
+        })
+        .collect()
+}
+
+#[inline]
+fn member(g: &CondensedGraph, v: VirtId, u: RealId) -> bool {
+    // Sorted lists put real targets first, so the real prefix is
+    // binary-searchable with the packed representation.
+    g.virt_out(v).binary_search(&Adj::real(u)).is_ok()
+}
+
+/// Run `f(u)` for every slot chunk-parallel, writing into `out`.
+fn for_each_slot_into<T: Send, F: Fn(u32) -> T + Sync>(out: &mut [T], threads: usize, f: F) {
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let chunk = n.div_ceil(threads.max(1));
+    std::thread::scope(|scope| {
+        for (ci, slot) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = (ci * chunk) as u32;
+                for (j, s) in slot.iter_mut().enumerate() {
+                    *s = f(base + j as u32);
+                }
+            });
+        }
+    });
+}
+
+/// Degrees by virtual-node weighting. Exact when the structure is
+/// single-layer and stores at most one path per logical edge (DEDUP-1's
+/// invariant): `deg(u)` sums the clique sizes of `u`'s virtual children
+/// (minus `u` itself where it is a stored target) plus its live direct
+/// targets. `O(stored edges + deg·log)` total, no per-vertex hashing, no
+/// expansion. Dead vertices report 0.
+pub fn degrees_dedup_free(g: &CondensedGraph, threads: usize) -> Vec<u32> {
+    debug_assert!(g.is_single_layer(), "aggregated degrees need single layer");
+    let alive_counts = virtual_alive_counts(g);
+    let mut out = vec![0u32; g.num_real_slots()];
+    for_each_slot_into(&mut out, threads, |u| {
+        let u = RealId(u);
+        if !g.is_alive(u) {
+            return 0;
+        }
+        let mut deg = 0u32;
+        for a in g.real_out(u) {
+            if let Some(r) = a.as_real() {
+                if r != u && g.is_alive(r) {
+                    deg += 1;
+                }
+            } else if let Some(v) = a.as_virtual() {
+                deg += alive_counts[v.0 as usize] - u32::from(member(g, v, u));
+            }
+        }
+        deg
+    });
+    out
+}
+
+/// Gather the distinct live real targets of `u` (excluding `u`) into
+/// `scratch` by sort-merge over the stored lists. Single-layer only; exact
+/// even when duplicate paths exist (C-DUP).
+fn merged_targets(g: &CondensedGraph, u: RealId, scratch: &mut Vec<u32>) {
+    scratch.clear();
+    for a in g.real_out(u) {
+        if let Some(r) = a.as_real() {
+            scratch.push(r.0);
+        } else if let Some(v) = a.as_virtual() {
+            scratch.extend(
+                g.virt_out(v)
+                    .iter()
+                    .filter_map(|b| b.as_real())
+                    .map(|r| r.0),
+            );
+        }
+    }
+    scratch.sort_unstable();
+    scratch.dedup();
+    scratch.retain(|&r| r != u.0 && g.is_alive(RealId(r)));
+}
+
+/// Degrees by sort-merge dedup over the stored lists: exact on any
+/// single-layer condensed structure, duplicates included (C-DUP and the
+/// BITMAP core). Allocates only one scratch buffer per worker thread —
+/// the expanded adjacency never exists in memory. Dead vertices report 0.
+pub fn degrees_merged(g: &CondensedGraph, threads: usize) -> Vec<u32> {
+    debug_assert!(g.is_single_layer(), "merged degrees need single layer");
+    let n = g.num_real_slots();
+    let mut out = vec![0u32; n];
+    if n == 0 {
+        return out;
+    }
+    let chunk = n.div_ceil(threads.max(1));
+    std::thread::scope(|scope| {
+        for (ci, slot) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                let mut scratch: Vec<u32> = Vec::new();
+                let base = (ci * chunk) as u32;
+                for (j, s) in slot.iter_mut().enumerate() {
+                    let u = RealId(base + j as u32);
+                    if !g.is_alive(u) {
+                        continue;
+                    }
+                    merged_targets(g, u, &mut scratch);
+                    *s = scratch.len() as u32;
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Parameters for the convergence-based (seedable) PageRank family.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededPageRankConfig {
+    /// Damping factor.
+    pub damping: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Stop once the L∞ rank change of an iteration drops below this.
+    /// Warm and cold starts then land within `tol·d/(1−d)` of each other.
+    pub tol: f64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for SeededPageRankConfig {
+    fn default() -> Self {
+        Self {
+            damping: 0.85,
+            max_iterations: 200,
+            tol: 1e-12,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+/// A PageRank run: per-slot ranks (dead slots 0) and iterations executed.
+#[derive(Debug, Clone)]
+pub struct PageRankRun {
+    /// Rank per real slot; live ranks sum to 1, dead slots hold 0.
+    pub ranks: Vec<f64>,
+    /// Power iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+/// Initial rank vector: the seed where provided (resized, dead slots
+/// zeroed, renormalized to sum 1), uniform otherwise. The fixpoint is
+/// unique, so any normalized seed converges to the same answer — a good
+/// seed just gets there in fewer iterations.
+fn initial_ranks<G: GraphRep>(g: &G, seed: Option<&[f64]>) -> Vec<f64> {
+    let slots = g.num_real_slots();
+    let n_live = g.num_vertices();
+    let uniform = 1.0 / n_live as f64;
+    let mut ranks: Vec<f64> = (0..slots as u32)
+        .map(|u| {
+            if !g.is_alive(RealId(u)) {
+                return 0.0;
+            }
+            match seed.and_then(|s| s.get(u as usize)) {
+                Some(&r) if r > 0.0 => r,
+                _ => uniform,
+            }
+        })
+        .collect();
+    let sum: f64 = ranks.iter().sum();
+    if sum > 0.0 && (sum - 1.0).abs() > 1e-15 {
+        for r in &mut ranks {
+            *r /= sum;
+        }
+    }
+    ranks
+}
+
+/// A per-iteration neighbor-sum strategy for the shared power-iteration
+/// driver below.
+trait PrKernel: Sync {
+    /// Called once per iteration before the parallel sweep (e.g. to
+    /// refresh per-virtual aggregates from the new contributions).
+    fn begin_iteration(&mut self, contrib: &[f64]);
+    /// `Σ contrib[v]` over the distinct live logical neighbors of `u`.
+    /// `scratch` is a per-worker reusable buffer.
+    fn neighbor_sum(&self, u: RealId, contrib: &[f64], scratch: &mut Vec<u32>) -> f64;
+}
+
+fn power_iterate<G, K>(
+    g: &G,
+    degs: &[u32],
+    kernel: &mut K,
+    cfg: &SeededPageRankConfig,
+    seed: Option<&[f64]>,
+) -> PageRankRun
+where
+    G: GraphRep + Sync,
+    K: PrKernel,
+{
+    let slots = g.num_real_slots();
+    let n_live = g.num_vertices();
+    if n_live == 0 {
+        return PageRankRun {
+            ranks: vec![0.0; slots],
+            iterations: 0,
+        };
+    }
+    let n = n_live as f64;
+    let d = cfg.damping;
+    let mut rank = initial_ranks(g, seed);
+    let mut next = vec![0.0f64; slots];
+    let mut contrib = vec![0.0f64; slots];
+    let threads = cfg.threads.max(1);
+    let chunk = slots.div_ceil(threads);
+    let mut iterations = 0usize;
+    while iterations < cfg.max_iterations.max(1) {
+        let mut dangling = 0.0f64;
+        for u in 0..slots {
+            let deg = degs[u];
+            if deg > 0 {
+                contrib[u] = rank[u] / deg as f64;
+            } else {
+                contrib[u] = 0.0;
+                if g.is_alive(RealId(u as u32)) {
+                    dangling += rank[u];
+                }
+            }
+        }
+        kernel.begin_iteration(&contrib);
+        let k: &K = kernel;
+        let base_term = (1.0 - d) / n + d * dangling / n;
+        let mut deltas = vec![0.0f64; next.chunks(chunk).count()];
+        let (rank_ref, contrib_ref) = (&rank, &contrib);
+        std::thread::scope(|scope| {
+            for ((ci, slot), delta) in next.chunks_mut(chunk).enumerate().zip(&mut deltas) {
+                scope.spawn(move || {
+                    let mut scratch: Vec<u32> = Vec::new();
+                    let base = ci * chunk;
+                    let mut worst = 0.0f64;
+                    for (j, s) in slot.iter_mut().enumerate() {
+                        let u = RealId((base + j) as u32);
+                        if !g.is_alive(u) {
+                            *s = 0.0;
+                            continue;
+                        }
+                        let sum = k.neighbor_sum(u, contrib_ref, &mut scratch);
+                        let r = base_term + d * sum;
+                        worst = worst.max((r - rank_ref[base + j]).abs());
+                        *s = r;
+                    }
+                    *delta = worst;
+                });
+            }
+        });
+        std::mem::swap(&mut rank, &mut next);
+        iterations += 1;
+        if deltas.iter().fold(0.0f64, |a, &b| a.max(b)) < cfg.tol {
+            break;
+        }
+    }
+    PageRankRun {
+        ranks: rank,
+        iterations,
+    }
+}
+
+/// Generic traversal kernel: one `for_each_neighbor` pass per vertex.
+struct TraversalKernel<'a, G: GraphRep + Sync> {
+    g: &'a G,
+}
+
+impl<G: GraphRep + Sync> PrKernel for TraversalKernel<'_, G> {
+    fn begin_iteration(&mut self, _contrib: &[f64]) {}
+    fn neighbor_sum(&self, u: RealId, contrib: &[f64], _scratch: &mut Vec<u32>) -> f64 {
+        let mut sum = 0.0;
+        self.g
+            .for_each_neighbor(u, &mut |v| sum += contrib[v.0 as usize]);
+        sum
+    }
+}
+
+/// Aggregated kernel: per-virtual contribution sums refreshed once per
+/// iteration, then each vertex reads `S(V) − own share` per child.
+struct AggregatedKernel<'a> {
+    g: &'a CondensedGraph,
+    virt_sum: Vec<f64>,
+}
+
+impl PrKernel for AggregatedKernel<'_> {
+    fn begin_iteration(&mut self, contrib: &[f64]) {
+        let g = self.g;
+        for (v, s) in self.virt_sum.iter_mut().enumerate() {
+            *s = g
+                .virt_out(VirtId(v as u32))
+                .iter()
+                .filter_map(|a| a.as_real())
+                .filter(|r| g.is_alive(*r))
+                .map(|r| contrib[r.0 as usize])
+                .sum();
+        }
+    }
+
+    fn neighbor_sum(&self, u: RealId, contrib: &[f64], _scratch: &mut Vec<u32>) -> f64 {
+        let mut sum = 0.0;
+        for a in self.g.real_out(u) {
+            if let Some(r) = a.as_real() {
+                if r != u && self.g.is_alive(r) {
+                    sum += contrib[r.0 as usize];
+                }
+            } else if let Some(v) = a.as_virtual() {
+                sum += self.virt_sum[v.0 as usize];
+                if member(self.g, v, u) {
+                    sum -= contrib[u.0 as usize];
+                }
+            }
+        }
+        sum
+    }
+}
+
+/// Merged kernel: distinct targets gathered by sort-merge per vertex
+/// (duplicate-path safe), contributions summed over the deduped list.
+struct MergedKernel<'a> {
+    g: &'a CondensedGraph,
+}
+
+impl PrKernel for MergedKernel<'_> {
+    fn begin_iteration(&mut self, _contrib: &[f64]) {}
+    fn neighbor_sum(&self, u: RealId, contrib: &[f64], scratch: &mut Vec<u32>) -> f64 {
+        merged_targets(self.g, u, scratch);
+        scratch.iter().map(|&r| contrib[r as usize]).sum()
+    }
+}
+
+/// Representation-generic convergence PageRank, optionally warm-started
+/// from a previous rank vector. Symmetric-graph pull formulation with the
+/// dangling mass summed exactly every iteration (the fixed-iteration
+/// [`crate::pagerank()`] precomputes an aggregate dangling model that is only
+/// valid from a uniform start, so the seeded family recomputes it).
+pub fn pagerank_seeded<G: GraphRep + Sync>(
+    g: &G,
+    cfg: &SeededPageRankConfig,
+    seed: Option<&[f64]>,
+) -> PageRankRun {
+    let degs = degrees(g, cfg.threads);
+    let mut kernel = TraversalKernel { g };
+    power_iterate(g, &degs, &mut kernel, cfg, seed)
+}
+
+/// Aggregated condensed-direct PageRank (single-layer, duplicate-free
+/// structures — DEDUP-1). Never materializes expanded adjacency.
+pub fn pagerank_dedup_free(
+    g: &CondensedGraph,
+    cfg: &SeededPageRankConfig,
+    seed: Option<&[f64]>,
+) -> PageRankRun {
+    debug_assert!(
+        g.is_single_layer(),
+        "aggregated pagerank needs single layer"
+    );
+    let degs = degrees_dedup_free(g, cfg.threads);
+    let mut kernel = AggregatedKernel {
+        g,
+        virt_sum: vec![0.0; g.num_virtual()],
+    };
+    power_iterate(g, &degs, &mut kernel, cfg, seed)
+}
+
+/// Merged condensed-direct PageRank (single-layer structures with
+/// duplicate paths — C-DUP and the BITMAP core). Never materializes
+/// expanded adjacency.
+pub fn pagerank_merged(
+    g: &CondensedGraph,
+    cfg: &SeededPageRankConfig,
+    seed: Option<&[f64]>,
+) -> PageRankRun {
+    debug_assert!(g.is_single_layer(), "merged pagerank needs single layer");
+    let degs = degrees_merged(g, cfg.threads);
+    let mut kernel = MergedKernel { g };
+    power_iterate(g, &degs, &mut kernel, cfg, seed)
+}
+
+/// Min-label connected components, optionally warm-started from a previous
+/// label vector. Sound whenever no vertex or edge has been *removed* since
+/// the seed was computed: every seed label names a vertex still in the same
+/// component, so the propagated minimum is exactly the cold-start answer
+/// (min-label can never recover from a component split, so callers must
+/// fall back to a cold start after deletions). Returns the labels and the
+/// supersteps executed.
+pub fn components_seeded<G: GraphRep + Sync>(
+    g: &G,
+    threads: usize,
+    seed: Option<&[u32]>,
+) -> (Vec<u32>, usize) {
+    struct SeededMinLabel<'a> {
+        seed: Option<&'a [u32]>,
+    }
+    impl<G: GraphRep + Sync> VertexProgram<G> for SeededMinLabel<'_> {
+        type State = u32;
+        fn init(&self, g: &G, u: RealId) -> u32 {
+            if !g.is_alive(u) {
+                return u.0;
+            }
+            match self.seed.and_then(|s| s.get(u.0 as usize)) {
+                Some(&l) => l.min(u.0),
+                None => u.0,
+            }
+        }
+        fn compute(&self, g: &G, u: RealId, prev: &[u32], _step: usize) -> (u32, bool) {
+            let mut best = prev[u.0 as usize];
+            g.for_each_neighbor(u, &mut |v| best = best.min(prev[v.0 as usize]));
+            (best, best == prev[u.0 as usize])
+        }
+    }
+    run_vertex_centric(
+        g,
+        &SeededMinLabel { seed },
+        VertexCentricConfig {
+            threads,
+            max_supersteps: 100_000,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concomp::connected_components;
+    use graphgen_graph::{CondensedBuilder, ExpandedGraph};
+
+    /// Overlapping cliques with a dead vertex and a revived one.
+    fn dataset() -> CondensedGraph {
+        let mut b = CondensedBuilder::new(8);
+        b.clique(&[RealId(0), RealId(1), RealId(2), RealId(3)]);
+        b.clique(&[RealId(2), RealId(3), RealId(4)]);
+        b.clique(&[RealId(0), RealId(3), RealId(5)]);
+        b.clique(&[RealId(0), RealId(3)]); // duplicate pair
+        let mut g = b.build();
+        g.delete_vertex(RealId(4));
+        g.delete_vertex(RealId(6));
+        g.revive_vertex(RealId(6));
+        g
+    }
+
+    #[test]
+    fn merged_degrees_match_traversal() {
+        let g = dataset();
+        assert_eq!(degrees_merged(&g, 2), degrees(&g, 2));
+        assert_eq!(degrees_merged(&g, 1), degrees(&g, 1));
+    }
+
+    #[test]
+    fn aggregated_degrees_match_on_dedup_free_structure() {
+        // A builder graph with disjoint cliques stores one path per pair.
+        let mut b = CondensedBuilder::new(6);
+        b.clique(&[RealId(0), RealId(1), RealId(2)]);
+        b.clique(&[RealId(3), RealId(4)]);
+        let mut g = b.build();
+        g.delete_vertex(RealId(1));
+        assert_eq!(degrees_dedup_free(&g, 2), degrees(&g, 2));
+    }
+
+    #[test]
+    fn merged_pagerank_matches_expanded() {
+        let g = dataset();
+        let exp = ExpandedGraph::from_rep(&g);
+        let cfg = SeededPageRankConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let a = pagerank_merged(&g, &cfg, None);
+        let b = pagerank_seeded(&exp, &cfg, None);
+        for (x, y) in a.ranks.iter().zip(&b.ranks) {
+            assert!((x - y).abs() < 1e-11, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn aggregated_pagerank_matches_expanded() {
+        let mut b = CondensedBuilder::new(7);
+        b.clique(&[RealId(0), RealId(1), RealId(2)]);
+        b.clique(&[RealId(3), RealId(4), RealId(5)]);
+        let g = b.build();
+        let exp = ExpandedGraph::from_rep(&g);
+        let cfg = SeededPageRankConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let a = pagerank_dedup_free(&g, &cfg, None);
+        let b = pagerank_seeded(&exp, &cfg, None);
+        for (x, y) in a.ranks.iter().zip(&b.ranks) {
+            assert!((x - y).abs() < 1e-11, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_to_cold_fixpoint_faster() {
+        let g = dataset();
+        let cfg = SeededPageRankConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let cold = pagerank_merged(&g, &cfg, None);
+        let warm = pagerank_merged(&g, &cfg, Some(&cold.ranks));
+        assert!(warm.iterations < cold.iterations);
+        for (x, y) in warm.ranks.iter().zip(&cold.ranks) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seeded_components_match_cold_after_additions() {
+        let mut g = dataset();
+        let (cold_before, _) = components_seeded(&g, 2, None);
+        assert_eq!(cold_before, connected_components(&g, 2));
+        // Additions only: merge the two components with a bridge.
+        g.add_edge(RealId(5), RealId(6));
+        g.add_edge(RealId(6), RealId(5));
+        let (cold, _) = components_seeded(&g, 2, None);
+        let (warm, _) = components_seeded(&g, 2, Some(&cold_before));
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn dangling_mass_kept_exact_with_nonuniform_seed() {
+        // Vertex 2 is isolated (dangling). A skewed seed must still land on
+        // the same fixpoint as the uniform start.
+        let g = ExpandedGraph::from_edges(3, [(0, 1), (1, 0)]);
+        let cfg = SeededPageRankConfig::default();
+        let cold = pagerank_seeded(&g, &cfg, None);
+        let skew = [0.7, 0.1, 0.2];
+        let warm = pagerank_seeded(&g, &cfg, Some(&skew));
+        let sum: f64 = warm.ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for (x, y) in warm.ranks.iter().zip(&cold.ranks) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

@@ -16,6 +16,7 @@
 pub mod bfs;
 pub mod clustering;
 pub mod concomp;
+pub mod condensed;
 pub mod degree;
 pub mod pagerank;
 pub mod triangles;
@@ -24,6 +25,10 @@ pub mod vertex_centric;
 pub use bfs::bfs;
 pub use clustering::{average_clustering, clustering_coefficients};
 pub use concomp::connected_components;
+pub use condensed::{
+    components_seeded, degrees_dedup_free, degrees_merged, pagerank_dedup_free, pagerank_merged,
+    pagerank_seeded, CondensedPath, PageRankRun, SeededPageRankConfig,
+};
 pub use degree::degrees;
 pub use pagerank::{pagerank, PageRankConfig};
 pub use triangles::triangles;

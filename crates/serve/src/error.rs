@@ -28,6 +28,9 @@ pub enum ServeError {
     Graph(graphgen_core::Error),
     /// Malformed text-protocol input.
     Protocol(String),
+    /// An analysis failed (kernel error, worker panic, or a status query
+    /// for a result that was never computed).
+    Analyze(String),
     /// A previous write failed after the database was already mutated, so
     /// the in-memory state may be ahead of the write-ahead logs. The
     /// writer refuses further work; reads keep serving the last published
@@ -58,6 +61,7 @@ impl fmt::Display for ServeError {
             ServeError::Corrupt { file, what } => write!(f, "corrupt `{file}`: {what}"),
             ServeError::Graph(e) => write!(f, "{e}"),
             ServeError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ServeError::Analyze(msg) => write!(f, "analyze: {msg}"),
             ServeError::Wedged => write!(
                 f,
                 "service is wedged after a write failure (in-memory state may be \
@@ -123,6 +127,9 @@ mod tests {
         assert!(ServeError::Protocol("nope".into())
             .to_string()
             .contains("nope"));
+        assert!(ServeError::Analyze("boom".into())
+            .to_string()
+            .contains("analyze: boom"));
         assert!(ServeError::Wedged.to_string().contains("reopen"));
     }
 }

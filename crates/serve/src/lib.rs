@@ -21,8 +21,16 @@
 //!   from any abrupt-drop layout, including mid-compaction ones;
 //! * a **TCP front end** — the `graphgen-serve` binary: std
 //!   `TcpListener`, thread per connection, newline-delimited text protocol
-//!   (`EXTRACT` / `CHECK` / `EXPLAIN` / `NEIGHBORS` / `DEGREE` / `APPLY` /
-//!   `STATS` / `COMPACT` / `PING` / `SHUTDOWN`, see [`protocol`]).
+//!   (`EXTRACT` / `CHECK` / `EXPLAIN` / `NEIGHBORS` / `DEGREE` / `ANALYZE`
+//!   / `APPLY` / `STATS` / `COMPACT` / `PING` / `SHUTDOWN`, see
+//!   [`protocol`]);
+//! * **served analytics** — the `ANALYZE` verb runs the `graphgen_algo`
+//!   kernels on a pinned snapshot from a small background worker pool
+//!   (readers and the writer never block on an analysis), caches results
+//!   keyed `(graph, algo, params, version)` with single-flight
+//!   deduplication, computes **directly on the condensed representation**
+//!   where sound, and warm-starts PageRank/components from the previous
+//!   version's cached result after a publish (see [`analyze`]).
 //!
 //! `EXTRACT` requests are statically validated against the live schema and
 //! statistics before any extraction work ([`GraphService::check`] runs the
@@ -69,6 +77,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod error;
 pub mod protocol;
 pub mod server;
@@ -76,6 +85,9 @@ pub mod service;
 pub mod testutil;
 pub mod wal;
 
+pub use analyze::{
+    compute_on_handle, Algo, AnalysisEntry, AnalysisOutcome, AnalyzeCounters, AnalyzeParams,
+};
 pub use error::{ServeError, ServeResult};
 pub use server::{spawn, ServerHandle};
 pub use service::{

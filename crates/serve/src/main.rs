@@ -13,11 +13,12 @@
 //!   AuthorPub) so `EXTRACT` works out of the box; implied when the
 //!   service is fresh and purely in-memory
 //! * `--smoke` — self-test: start an ephemeral server, drive one
-//!   CHECK/EXTRACT/EXPLAIN/NEIGHBORS/APPLY/STATS round-trip through the
-//!   real TCP protocol (including a statically rejected EXTRACT with its
-//!   per-code rejection counters, and a skewed-insert burst that flips a
-//!   frozen plan's `stale_plan` drift flag), shut down cleanly, and exit
-//!   non-zero on any mismatch (used by CI)
+//!   CHECK/EXTRACT/EXPLAIN/NEIGHBORS/ANALYZE/APPLY/STATS round-trip
+//!   through the real TCP protocol (including a statically rejected
+//!   EXTRACT with its per-code rejection counters, a skewed-insert burst
+//!   that flips a frozen plan's `stale_plan` drift flag, and an
+//!   analyze → publish → re-analyze sequence that must warm-start), shut
+//!   down cleanly, and exit non-zero on any mismatch (used by CI)
 //!
 //! The protocol is newline-delimited text — see `graphgen_serve::protocol`
 //! — so `nc 127.0.0.1 7411` is a usable client.
@@ -235,6 +236,21 @@ fn smoke() -> Result<(), String> {
     expect(send("NEIGHBORS coauthors 2")?, "OK version=2 n=4")?;
     expect(send("DEGREE coauthors 2")?, "OK version=2 degree=4")?;
     expect(send("STATS coauthors")?, "OK coauthors version=2")?;
+    // Analytics on the live snapshot: a cold PageRank at version 2, served
+    // from the background pool and cached under (graph, algo, params, v).
+    let analyzed = send("ANALYZE coauthors pagerank")?;
+    expect(
+        analyzed.clone(),
+        "OK version=2 fresh=true algo=pagerank path=",
+    )?;
+    if !analyzed.contains("warm=false") {
+        return Err(format!("first analysis must be cold: `{analyzed}`"));
+    }
+    // The result is retrievable without recomputation.
+    expect(
+        send("ANALYZE STATUS coauthors pagerank")?,
+        "OK version=2 fresh=true algo=pagerank",
+    )?;
     // Drift round-trip: pile 20 memberships onto publication 1. The
     // frozen plan kept the self-join in one segment (8·8/3 ≈ 21 under
     // threshold 32); at 29 rows the live min-cost plan cuts it
@@ -247,6 +263,27 @@ fn smoke() -> Result<(), String> {
     let stats = send("STATS coauthors")?;
     if !stats.contains("stale_plan=true") {
         return Err(format!("expected `stale_plan=true` in `{stats}`"));
+    }
+    // The publish bumped the graph to version 3: the cached version-2
+    // entry is stale-tagged but readable, and a re-analysis warm-starts
+    // from its rank vector.
+    expect(
+        send("ANALYZE STATUS coauthors pagerank")?,
+        "OK version=2 fresh=false",
+    )?;
+    let reanalyzed = send("ANALYZE coauthors pagerank")?;
+    expect(
+        reanalyzed.clone(),
+        "OK version=3 fresh=true algo=pagerank path=",
+    )?;
+    if !reanalyzed.contains("warm=true") {
+        return Err(format!("re-analysis must warm-start: `{reanalyzed}`"));
+    }
+    let status = send("ANALYZE STATUS")?;
+    if !status.contains("analyzes=2 hits=0 warm_starts=1") {
+        return Err(format!(
+            "expected `analyzes=2 hits=0 warm_starts=1` in `{status}`"
+        ));
     }
     expect(send("EXPLAIN coauthors")?, "OK graph coauthors: drift=")?;
     // Reverting the skew restores the statistics: the flag clears.
@@ -267,6 +304,12 @@ fn smoke() -> Result<(), String> {
     if !stats.contains("rejects=1 reject_codes=E001:1") {
         return Err(format!(
             "expected `rejects=1 reject_codes=E001:1` in `{stats}`"
+        ));
+    }
+    // …and the analysis counters, warm-start savings included.
+    if !stats.contains("analyzes=2 analyze_hits=0 warm_starts=1") {
+        return Err(format!(
+            "expected `analyzes=2 analyze_hits=0 warm_starts=1` in `{stats}`"
         ));
     }
     expect(send("SHUTDOWN")?, "OK bye")?;

@@ -9,6 +9,9 @@
 //! EXPLAIN <name>             re-cost a registered graph's frozen plan (drift)
 //! NEIGHBORS <name> <key>     out-neighbor keys of a vertex
 //! DEGREE <name> <key>        out-degree of a vertex
+//! ANALYZE <name> <algo> [k=v …]   run an analysis on the published snapshot
+//! ANALYZE STATUS             engine counters (computes/hits/warm starts/cache size)
+//! ANALYZE STATUS <name> <algo> [k=v …]   newest cached result, never computes
 //! APPLY <table> <±row …>     mutate a table: +1,2 inserts row (1,2); -1,2 deletes it
 //! STATS [<name>]             per-graph version/vertices/edges (all graphs if no name)
 //! COMPACT <name>             fold the graph's WAL into a fresh snapshot
@@ -30,6 +33,16 @@
 //! and the bare `STATS` line reports service-wide per-code rejection
 //! totals (`rejects=2 reject_codes=E001:1,E003:1`).
 //!
+//! `ANALYZE` algorithms: `degree`, `pagerank` (params `damping=`, `tol=`,
+//! `iters=`), `components`, `triangles`, `clustering`. The response leads
+//! with `version=<v> fresh=<bool>`: the graph version the result was
+//! computed on and whether that is still the published version — a cached
+//! entry for a superseded version stays readable, tagged `fresh=false`.
+//! The computation runs on a background pool against a pinned snapshot;
+//! other connections (readers *and* the writer) proceed meanwhile. The
+//! leading `STATUS` keyword is reserved: a graph literally named `STATUS`
+//! cannot be addressed by `ANALYZE` (use the library API for that).
+//!
 //! Responses start with `OK` (payload follows on the same line) or `ERR
 //! <message>`. Row cells are comma-separated values: `NULL`, an integer,
 //! a double-quoted string (`"ann"`, `\"`/`\\`/`\n`/`\r` escapes; commas
@@ -39,6 +52,7 @@
 //! deliberate limitation of the line protocol (use the
 //! [`crate::GraphService`] API directly for arbitrary strings).
 
+use crate::analyze::{Algo, AnalyzeParams};
 use crate::error::{ServeError, ServeResult};
 use crate::service::{GraphService, TableMutation};
 use graphgen_reldb::Value;
@@ -83,6 +97,21 @@ pub enum Command {
         name: String,
         /// Vertex key.
         key: Value,
+    },
+    /// `ANALYZE <name> <algo> [k=v …]`
+    Analyze {
+        /// Graph name.
+        name: String,
+        /// Which analysis to run.
+        algo: Algo,
+        /// Algorithm parameters (defaults when omitted).
+        params: AnalyzeParams,
+    },
+    /// `ANALYZE STATUS [<name> <algo> [k=v …]]`
+    AnalyzeStatus {
+        /// `None`: engine-wide counters. `Some`: the newest cached result
+        /// for that key group (never computes).
+        target: Option<(String, Algo, AnalyzeParams)>,
     },
     /// `APPLY <table> <±row …>`
     Apply {
@@ -268,6 +297,41 @@ pub fn parse_command(line: &str) -> ServeResult<Option<Command>> {
             let (name, key) = name_and_key()?;
             Ok(Some(Command::Degree { name, key }))
         }
+        "ANALYZE" => {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            let parse_target = |toks: &[&str]| -> ServeResult<(String, Algo, AnalyzeParams)> {
+                let [name, algo_tok, param_toks @ ..] = toks else {
+                    return Err(protocol_err("ANALYZE <name> <algo> [k=v …]"));
+                };
+                let algo = Algo::parse(algo_tok).ok_or_else(|| {
+                    protocol_err(format!(
+                        "unknown algorithm `{algo_tok}` \
+                         (degree, pagerank, components, triangles, clustering)"
+                    ))
+                })?;
+                if algo != Algo::Pagerank && !param_toks.is_empty() {
+                    return Err(protocol_err(format!(
+                        "{} takes no parameters",
+                        algo.label()
+                    )));
+                }
+                Ok((name.to_string(), algo, AnalyzeParams::parse(param_toks)?))
+            };
+            match toks.split_first() {
+                Some((first, rest_toks)) if first.eq_ignore_ascii_case("STATUS") => {
+                    let target = if rest_toks.is_empty() {
+                        None
+                    } else {
+                        Some(parse_target(rest_toks)?)
+                    };
+                    Ok(Some(Command::AnalyzeStatus { target }))
+                }
+                _ => {
+                    let (name, algo, params) = parse_target(&toks)?;
+                    Ok(Some(Command::Analyze { name, algo, params }))
+                }
+            }
+        }
         "APPLY" => {
             let (table, ops) = rest
                 .split_once(char::is_whitespace)
@@ -400,6 +464,28 @@ fn run(service: &GraphService, cmd: &Command) -> ServeResult<String> {
                 .ok_or_else(|| protocol_err(format!("unknown key {}", format_value(key))))?;
             Ok(format!("version={} degree={degree}", snap.version()))
         }
+        Command::Analyze { name, algo, params } => {
+            let entry = service.analyze(name, *algo, params)?;
+            let current = service.snapshot(name)?.version();
+            Ok(sanitize_line(&entry.render(current)))
+        }
+        Command::AnalyzeStatus { target } => match target {
+            None => {
+                let c = service.analyze_counters();
+                Ok(format!(
+                    "analyzes={} hits={} warm_starts={} iterations_saved={} cached={}",
+                    c.computes, c.hits, c.warm_starts, c.iterations_saved, c.cached
+                ))
+            }
+            Some((name, algo, params)) => {
+                let entry = service.analyze_cached(name, *algo, params)?;
+                // The graph may have been dropped since: its cache is
+                // forgotten with it, so reaching here implies it exists —
+                // but stay defensive about the race.
+                let current = service.snapshot(name).map(|s| s.version()).unwrap_or(0);
+                Ok(sanitize_line(&entry.render(current)))
+            }
+        },
         Command::Apply {
             table,
             inserts,
@@ -455,6 +541,11 @@ fn run(service: &GraphService, cmd: &Command) -> ServeResult<String> {
                             .collect();
                         head.push_str(&format!(" reject_codes={}", by_code.join(",")));
                     }
+                    let c = service.analyze_counters();
+                    head.push_str(&format!(
+                        " analyzes={} analyze_hits={} warm_starts={} iterations_saved={}",
+                        c.computes, c.hits, c.warm_starts, c.iterations_saved
+                    ));
                     let mut parts = vec![head];
                     parts.extend(stats.iter().map(|s| format!("| {}", render(s))));
                     Ok(parts.join(" "))
@@ -600,6 +691,87 @@ mod tests {
         ] {
             assert!(parse_command(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn analyze_parsing() {
+        assert_eq!(
+            parse_command("ANALYZE g degree").unwrap().unwrap(),
+            Command::Analyze {
+                name: "g".into(),
+                algo: Algo::Degree,
+                params: AnalyzeParams::default(),
+            }
+        );
+        let cmd = parse_command("analyze g PageRank damping=0.9 iters=10")
+            .unwrap()
+            .unwrap();
+        match cmd {
+            Command::Analyze { name, algo, params } => {
+                assert_eq!(name, "g");
+                assert_eq!(algo, Algo::Pagerank);
+                assert_eq!(params.damping, 0.9);
+                assert_eq!(params.max_iterations, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_command("ANALYZE STATUS").unwrap().unwrap(),
+            Command::AnalyzeStatus { target: None }
+        );
+        assert_eq!(
+            parse_command("ANALYZE status g cc").unwrap().unwrap(),
+            Command::AnalyzeStatus {
+                target: Some(("g".into(), Algo::Components, AnalyzeParams::default()))
+            }
+        );
+        for bad in [
+            "ANALYZE",
+            "ANALYZE g",
+            "ANALYZE g nope",
+            "ANALYZE g degree damping=0.9", // params only for pagerank
+            "ANALYZE g pagerank damping=2",
+            "ANALYZE STATUS g",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn analyze_verb_end_to_end() {
+        use crate::service::tests::{fig1_db, Q1};
+        let service = GraphService::in_memory(fig1_db());
+        let run = |line: &str| execute(&service, &parse_command(line).unwrap().unwrap());
+        run(&format!("EXTRACT g {Q1}"));
+        let resp = run("ANALYZE g degree");
+        assert!(
+            resp.starts_with("OK version=1 fresh=true algo=degree path="),
+            "{resp}"
+        );
+        assert!(resp.contains("warm=false"), "{resp}");
+        assert!(resp.contains("n=5"), "{resp}");
+        // Cached: second request is a hit, STATUS reads without computing.
+        run("ANALYZE g degree");
+        let resp = run("ANALYZE STATUS g degree");
+        assert!(resp.starts_with("OK version=1 fresh=true"), "{resp}");
+        let resp = run("ANALYZE STATUS");
+        assert_eq!(
+            resp,
+            "OK analyzes=1 hits=1 warm_starts=0 iterations_saved=0 cached=1"
+        );
+        // A publish bumps the version; the old entry stays readable but
+        // stale-tagged until a fresh ANALYZE lands.
+        run("APPLY AuthorPub +2,3");
+        let resp = run("ANALYZE STATUS g degree");
+        assert!(resp.starts_with("OK version=1 fresh=false"), "{resp}");
+        let resp = run("ANALYZE g pagerank");
+        assert!(resp.contains("top="), "{resp}");
+        // Bare STATS carries the engine counters.
+        let resp = run("STATS");
+        assert!(resp.contains("analyzes=2 analyze_hits=1"), "{resp}");
+        // Errors are ERR lines.
+        assert!(run("ANALYZE nope degree").starts_with("ERR unknown graph"));
+        assert!(run("ANALYZE STATUS g triangles").starts_with("ERR analyze: no cached"));
     }
 
     /// The EXPLAIN verb at both arities: costing a program on live

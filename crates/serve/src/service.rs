@@ -307,6 +307,9 @@ pub struct GraphService {
     /// Reader-side map: name → currently published snapshot. Writers swap
     /// entries under a short write lock after committing.
     published: RwLock<FxHashMap<String, Arc<GraphSnapshot>>>,
+    /// The `ANALYZE` engine: worker pool + versioned result cache. Fresh
+    /// on every construction, so recovery starts with a cold cache.
+    analytics: crate::analyze::Analytics,
 }
 
 fn valid_name(name: &str) -> bool {
@@ -478,7 +481,20 @@ impl GraphService {
                 wedged: false,
             }),
             published: RwLock::new(FxHashMap::default()),
+            analytics: crate::analyze::Analytics::default(),
         }
+    }
+
+    /// The analysis engine (crate-internal: `analyze.rs` implements the
+    /// public `analyze*` methods against it).
+    pub(crate) fn analytics(&self) -> &crate::analyze::Analytics {
+        &self.analytics
+    }
+
+    /// Thread count analyses run with (the extraction thread setting).
+    pub(crate) fn analysis_threads(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        Self::extraction_config(&inner.cfg).threads()
     }
 
     fn extraction_config(cfg: &ServiceConfig) -> GraphGenConfig {
@@ -689,6 +705,7 @@ impl GraphService {
             let _ = std::fs::remove_file(graph_wal_path(dir, name));
         }
         self.published.write().unwrap().remove(name);
+        self.analytics.forget(name);
         Ok(())
     }
 
@@ -944,6 +961,12 @@ impl GraphService {
                     apply_err = Some(e);
                 }
             }
+        }
+
+        // Committed removals invalidate component warm-seeds from before
+        // them — record that before the new versions become visible.
+        for (name, version, patch) in &outcome.graphs {
+            self.analytics.note_publish(name, *version, patch);
         }
 
         // 5. Atomic publication: one short write lock swaps every changed

@@ -1,0 +1,249 @@
+//! Cache semantics of the `ANALYZE` engine: `(graph, algo, params,
+//! version)` hit/miss/invalidation across publishes, single-flight
+//! deduplication of concurrent identical requests, retention of
+//! superseded-version results, cold-cache recovery with identical
+//! answers, the no-blocking guarantee (reads stay version-fresh while a
+//! long analysis runs), and one-line framing of results built from
+//! newline-bearing keys.
+
+use graphgen_datagen::relational::DBLP_COAUTHORS;
+use graphgen_datagen::{dblp_like, DblpConfig};
+use graphgen_reldb::{Column, Database, Schema, Table, Value};
+use graphgen_serve::protocol::{execute, parse_command};
+use graphgen_serve::testutil::TempDir;
+use graphgen_serve::{Algo, AnalyzeParams, GraphService, ServiceConfig, TableMutation};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+fn small_service() -> GraphService {
+    let db = dblp_like(DblpConfig {
+        authors: 80,
+        publications: 140,
+        avg_authors_per_pub: 2.0,
+        seed: 5,
+    });
+    let service = GraphService::in_memory(db);
+    service.extract("co", DBLP_COAUTHORS).unwrap();
+    service
+}
+
+fn insert_batch(pid: i64) -> TableMutation {
+    TableMutation::new(
+        "AuthorPub",
+        vec![
+            vec![Value::int(1), Value::int(pid)],
+            vec![Value::int(2), Value::int(pid)],
+        ],
+        vec![],
+    )
+}
+
+#[test]
+fn hit_miss_and_invalidation_across_publishes() {
+    let service = small_service();
+    let params = AnalyzeParams::default();
+    // Miss → compute; repeat → hit, same Arc.
+    let a = service.analyze("co", Algo::Degree, &params).unwrap();
+    let b = service.analyze("co", Algo::Degree, &params).unwrap();
+    assert!(Arc::ptr_eq(&a, &b));
+    let c0 = service.analyze_counters();
+    assert_eq!((c0.computes, c0.hits, c0.cached), (1, 1, 1));
+    // Different params on pagerank are a different key.
+    service.analyze("co", Algo::Pagerank, &params).unwrap();
+    let other = AnalyzeParams {
+        damping: 0.5,
+        ..AnalyzeParams::default()
+    };
+    service.analyze("co", Algo::Pagerank, &other).unwrap();
+    assert_eq!(service.analyze_counters().computes, 3);
+    // A publish invalidates: the same request computes again on the new
+    // version, while the superseded entry stays readable, stale-tagged.
+    service.apply(&[insert_batch(500)]).unwrap();
+    let stale = service.analyze_cached("co", Algo::Degree, &params).unwrap();
+    assert_eq!(stale.version(), 1);
+    assert!(stale.render(2).contains("fresh=false"));
+    let fresh = service.analyze("co", Algo::Degree, &params).unwrap();
+    assert_eq!(fresh.version(), 2);
+    assert_ne!(stale.outcome().summary, String::new());
+    // Both versions of the degree group are retained (KEEP_VERSIONS = 2).
+    let counters = service.analyze_counters();
+    assert_eq!(counters.computes, 4);
+    assert_eq!(counters.cached, 4); // degree@1, degree@2, 2× pagerank@1
+}
+
+#[test]
+fn concurrent_same_key_requests_compute_once() {
+    let service = Arc::new(small_service());
+    let params = AnalyzeParams::default();
+    const REQUESTS: usize = 8;
+    let barrier = Arc::new(Barrier::new(REQUESTS));
+    let mut handles = Vec::new();
+    for _ in 0..REQUESTS {
+        let service = Arc::clone(&service);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            service
+                .analyze("co", Algo::Pagerank, &AnalyzeParams::default())
+                .unwrap()
+        }));
+    }
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Exactly one computation ran; every request got the same entry.
+    let counters = service.analyze_counters();
+    assert_eq!(counters.computes, 1, "{counters:?}");
+    assert_eq!(counters.hits as usize, REQUESTS - 1, "{counters:?}");
+    for r in &results[1..] {
+        assert!(Arc::ptr_eq(&results[0], r));
+    }
+    // And the cached entry answers follow-ups without recomputing.
+    service.analyze("co", Algo::Pagerank, &params).unwrap();
+    assert_eq!(service.analyze_counters().computes, 1);
+}
+
+#[test]
+fn recovery_starts_cold_with_identical_answers() {
+    let dir = TempDir::new("analyze-recovery");
+    let db = dblp_like(DblpConfig {
+        authors: 60,
+        publications: 100,
+        avg_authors_per_pub: 2.0,
+        seed: 9,
+    });
+    let params = AnalyzeParams::default();
+    let before = {
+        let service = GraphService::create(dir.path(), db, ServiceConfig::default()).unwrap();
+        service.extract("co", DBLP_COAUTHORS).unwrap();
+        service.apply(&[insert_batch(900)]).unwrap();
+        let entry = service.analyze("co", Algo::Components, &params).unwrap();
+        assert!(service.analyze_counters().computes > 0);
+        entry
+    };
+    // Reopen: the cache is cold by construction (never persisted)…
+    let service = GraphService::open(dir.path()).unwrap();
+    let counters = service.analyze_counters();
+    assert_eq!(
+        (counters.computes, counters.hits, counters.cached),
+        (0, 0, 0),
+        "recovered service must start with a cold cache"
+    );
+    // …and recomputation on the recovered state gives identical answers.
+    let after = service.analyze("co", Algo::Components, &params).unwrap();
+    assert_eq!(after.version(), before.version());
+    assert!(!after.warm());
+    assert_eq!(after.outcome().labels, before.outcome().labels);
+    assert_eq!(after.outcome().summary, before.outcome().summary);
+}
+
+/// The no-blocking guarantee: while a deliberately long analysis occupies
+/// the worker pool, the writer keeps publishing and readers keep seeing
+/// every new version immediately.
+#[test]
+fn long_analysis_never_blocks_readers_or_writer() {
+    let db = dblp_like(DblpConfig {
+        authors: 2_000,
+        publications: 3_600,
+        avg_authors_per_pub: 2.5,
+        seed: 7,
+    });
+    let service = Arc::new(GraphService::in_memory(db));
+    service.extract("co", DBLP_COAUTHORS).unwrap();
+    // tol far below reachable precision → the run takes all its iterations.
+    let long_params = AnalyzeParams {
+        damping: 0.85,
+        tol: 1e-300,
+        max_iterations: 2_000,
+    };
+    let done = Arc::new(AtomicBool::new(false));
+    let analysis = {
+        let service = Arc::clone(&service);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let entry = service.analyze("co", Algo::Pagerank, &long_params).unwrap();
+            done.store(true, Ordering::SeqCst);
+            entry
+        })
+    };
+    // Wait for the claim (synchronous in `analyze`, before any compute):
+    // once `in_flight` is visible the analysis has pinned version 1, so
+    // the churn below provably overlaps it.
+    let claim_deadline = Instant::now() + std::time::Duration::from_secs(30);
+    while service.analyze_counters().in_flight == 0 {
+        assert!(
+            Instant::now() < claim_deadline && !done.load(Ordering::SeqCst),
+            "analysis finished or never claimed before churn could start"
+        );
+        std::thread::yield_now();
+    }
+    // Writer + reader churn while the analysis runs: every publish must
+    // become visible to the very next snapshot, with no added latency
+    // class (the analysis holds no service lock).
+    let churn_started = Instant::now();
+    let mut reached_version = 1;
+    for round in 0..6 {
+        service.apply(&[insert_batch(10_000 + round)]).unwrap();
+        let snap = service.snapshot("co").unwrap();
+        assert_eq!(
+            snap.version(),
+            2 + round as u64,
+            "reads must serve the freshest version immediately"
+        );
+        reached_version = snap.version();
+    }
+    let churn_elapsed = churn_started.elapsed();
+    let analysis_was_still_running = !done.load(Ordering::SeqCst);
+    let entry = analysis.join().unwrap();
+    // The analysis ran on its pinned snapshot (version 1), untouched by
+    // the six publishes that landed meanwhile.
+    assert_eq!(entry.version(), 1);
+    assert_eq!(entry.outcome().iterations, 2_000);
+    assert_eq!(reached_version, 7);
+    assert!(
+        analysis_was_still_running,
+        "churn ({churn_elapsed:?}) must finish while the 2000-iteration \
+         analysis is still running — otherwise this test proved nothing"
+    );
+}
+
+/// Newline-bearing vertex keys surface in PageRank's `top=` summary; the
+/// rendered response must stay one line (the framing satellite).
+#[test]
+fn analyze_responses_never_tear_framing() {
+    let mut t = Table::new(Schema::new(vec![Column::str("name"), Column::int("grp")]));
+    for (name, grp) in [
+        ("alice\nbob", 1),
+        ("carol\rdave", 1),
+        ("plain", 1),
+        ("eve\n", 2),
+        ("frank", 2),
+    ] {
+        t.push_row(vec![Value::str(name), Value::int(grp)]).unwrap();
+    }
+    let mut db = Database::new();
+    db.register("T", t).unwrap();
+    let service = GraphService::in_memory(db);
+    service
+        .extract(
+            "g",
+            "Nodes(Name) :- T(Name, G). Edges(A, B) :- T(A, G), T(B, G).",
+        )
+        .unwrap();
+    let run = |line: &str| execute(&service, &parse_command(line).unwrap().unwrap());
+    for cmd in [
+        "ANALYZE g pagerank",
+        "ANALYZE g degree",
+        "ANALYZE STATUS g pagerank",
+    ] {
+        let resp = run(cmd);
+        assert!(resp.starts_with("OK "), "{cmd}: {resp}");
+        assert!(
+            !resp.contains('\n') && !resp.contains('\r'),
+            "{cmd} tore framing: {resp:?}"
+        );
+    }
+    // The escaped key is present in the summary, not a raw line break.
+    let resp = run("ANALYZE STATUS g pagerank");
+    assert!(resp.contains("top="), "{resp}");
+    assert!(resp.contains("\\n") || resp.contains("\\r"), "{resp}");
+}

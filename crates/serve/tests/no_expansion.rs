@@ -1,0 +1,90 @@
+//! The no-materialization guarantee, asserted through the counting
+//! allocator: the condensed-direct degree and PageRank kernels, dispatched
+//! by `compute_on_handle` on C-DUP and DEDUP-1 handles, must run without
+//! allocating anything in the expanded graph's size class. Linking
+//! `graphgen-bench` installs its `CountingAlloc` as this test binary's
+//! global allocator, so `alloc::measure` sees every byte.
+
+use graphgen_bench::alloc;
+use graphgen_core::ConvertOptions;
+use graphgen_datagen::{single_layer_database, SingleLayerConfig};
+use graphgen_graph::{GraphRep, RepKind};
+use graphgen_serve::{compute_on_handle, Algo, AnalyzeParams, GraphService};
+
+#[test]
+fn condensed_direct_kernels_never_materialize_the_expansion() {
+    // Dense co-occurrence groups: ~40 values shared by ~100 rows each, so
+    // the expanded clique edges dwarf the condensed adjacency.
+    let (db, query) = single_layer_database(SingleLayerConfig {
+        rows: 4_000,
+        selectivity: 0.01,
+        seed: 17,
+    });
+    let service = GraphService::in_memory(db);
+    let snap = service.extract("dense", &query).unwrap();
+    let params = AnalyzeParams::default();
+
+    let cdup = snap.handle().clone();
+    assert_eq!(cdup.kind(), RepKind::CDup);
+    let dedup1 = cdup
+        .convert(RepKind::Dedup1, &ConvertOptions::default())
+        .unwrap();
+
+    // The size class the kernels must stay out of: one u32 endpoint per
+    // expanded directed edge is the *floor* of any materialized expansion.
+    let expansion_floor = cdup.expanded_edge_count() as usize * std::mem::size_of::<u32>();
+    assert!(
+        expansion_floor > 1 << 20,
+        "workload too small to discriminate ({expansion_floor} bytes)"
+    );
+
+    for (label, handle) in [("C-DUP", &cdup), ("DEDUP-1", &dedup1)] {
+        for (algo, expect_path) in [
+            (
+                Algo::Degree,
+                if handle.kind() == RepKind::Dedup1 {
+                    "aggregated"
+                } else {
+                    "merged"
+                },
+            ),
+            (
+                Algo::Pagerank,
+                if handle.kind() == RepKind::Dedup1 {
+                    "aggregated"
+                } else {
+                    "merged"
+                },
+            ),
+        ] {
+            let (outcome, stats) =
+                alloc::measure(|| compute_on_handle(handle, algo, &params, None, 2).unwrap());
+            assert_eq!(
+                outcome.path.label(),
+                expect_path,
+                "{label} {}",
+                algo.label()
+            );
+            assert!(
+                stats.peak < expansion_floor / 8,
+                "{label} {}: peak {} bytes live is in the expansion's size \
+                 class (floor {expansion_floor}) — the kernel materialized \
+                 something expansion-shaped",
+                algo.label(),
+                stats.peak
+            );
+        }
+    }
+
+    // Control: actually expanding blows straight through the same budget,
+    // proving the threshold discriminates.
+    let (_exp, stats) = alloc::measure(|| {
+        cdup.convert(RepKind::Exp, &ConvertOptions::default())
+            .unwrap()
+    });
+    assert!(
+        stats.peak >= expansion_floor,
+        "control: expansion peak {} should exceed the floor {expansion_floor}",
+        stats.peak
+    );
+}

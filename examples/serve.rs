@@ -5,7 +5,7 @@
 
 use graphgen::graph::GraphRep;
 use graphgen::reldb::{Column, Database, Schema, Table, Value};
-use graphgen::serve::{GraphService, ServiceConfig, TableMutation};
+use graphgen::serve::{Algo, AnalyzeParams, GraphService, ServiceConfig, TableMutation};
 use std::sync::Arc;
 
 fn sample_db() -> Database {
@@ -95,6 +95,19 @@ fn main() {
         snap.version()
     );
 
+    // Analytics run *on* the service: ANALYZE pins the published snapshot
+    // and computes on a background pool — readers and the writer never
+    // wait — with results cached per (graph, algo, params, version). The
+    // recovered cache is cold by construction, so this first call computes.
+    let params = AnalyzeParams::default();
+    let cold = recovered
+        .analyze("coauthors", Algo::Pagerank, &params)
+        .expect("analyze");
+    println!(
+        "cold analysis: {}",
+        cold.render(recovered.snapshot("coauthors").unwrap().version())
+    );
+
     // The recovered service keeps serving reads and writes.
     recovered
         .apply(&[TableMutation::new(
@@ -106,6 +119,21 @@ fn main() {
     println!(
         "post-recovery apply published version {}",
         recovered.snapshot("coauthors").unwrap().version()
+    );
+
+    // The publish invalidated the cached result (new version = new key);
+    // re-analyzing warm-starts the fixpoint from the superseded vector.
+    let warm = recovered
+        .analyze("coauthors", Algo::Pagerank, &params)
+        .expect("re-analyze");
+    println!(
+        "after publish:  {}",
+        warm.render(recovered.snapshot("coauthors").unwrap().version())
+    );
+    let counters = recovered.analyze_counters();
+    println!(
+        "analytics: {} computed, {} cache hits, {} warm starts, {} iterations saved",
+        counters.computes, counters.hits, counters.warm_starts, counters.iterations_saved
     );
 
     let _ = std::fs::remove_dir_all(&dir);

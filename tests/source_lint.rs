@@ -17,6 +17,7 @@ use std::path::Path;
 
 /// The files whose non-test code is linted.
 const LINTED: &[&str] = &[
+    "crates/serve/src/analyze.rs",
     "crates/serve/src/service.rs",
     "crates/serve/src/protocol.rs",
     "crates/serve/src/server.rs",
