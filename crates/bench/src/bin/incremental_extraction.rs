@@ -17,7 +17,15 @@
 //! Usage: `incremental_extraction [--scale=F] [--quick]`
 //!   --scale=F   fraction of the paper's row counts (default 0.005)
 //!   --quick     scale 0.001 and skip the byte-identity verification
+//!
+//! Every run also writes `BENCH_incremental.json` to the working
+//! directory — one record per measured op (`op`, `threads`, `p50_ns`,
+//! `p99_ns`, `throughput`) — which CI uploads as an artifact; see
+//! [`graphgen_bench::report`]. Each sweep point is a single timed run, so
+//! `p50_ns == p99_ns` there; throughput is rows changed per second of
+//! patch (or re-extract) time.
 
+use graphgen_bench::report::BenchReport;
 use graphgen_bench::{has_flag, ms, row, speedup, time};
 use graphgen_core::{GraphGen, GraphGenConfig, GraphHandle};
 use graphgen_datagen::large::{single_layer_database, SingleLayerConfig};
@@ -104,6 +112,13 @@ fn main() {
         "Incremental extraction vs full re-extract (Single_1 at scale {scale}, {base_rows} rows)\n"
     );
 
+    let mut report = BenchReport::new("incremental");
+    let push = |report: &mut BenchReport, op: String, d: Duration, changed: usize| {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let throughput = changed as f64 / d.as_secs_f64().max(1e-9);
+        report.push(op, 1, ns, ns, throughput);
+    };
+
     println!("Delta sweep (fixed database, growing delta):");
     let widths = [12, 12, 14, 16, 10];
     row(
@@ -135,6 +150,18 @@ fn main() {
                 if verify { "identical" } else { "skipped" }.to_string(),
             ],
             &widths,
+        );
+        push(
+            &mut report,
+            format!("patch_delta_{delta_rows}"),
+            patch,
+            changed,
+        );
+        push(
+            &mut report,
+            format!("reextract_delta_{delta_rows}"),
+            extract,
+            changed,
         );
     }
 
@@ -168,7 +195,15 @@ fn main() {
             ],
             &widths,
         );
+        push(&mut report, format!("patch_scale_{rows}"), patch, changed);
+        push(
+            &mut report,
+            format!("reextract_scale_{rows}"),
+            extract,
+            changed,
+        );
     }
     println!("\npatch_speedup = re-extraction time over patch time; patch cost should track");
     println!("the delta column, not the db_rows column.");
+    report.write("BENCH_incremental.json");
 }

@@ -14,8 +14,15 @@
 //!
 //! Flags: `--quick` shrinks the dataset and measurement windows (CI smoke)
 //! and turns the scale sweep into a hard regression gate.
+//!
+//! Every run also writes `BENCH_serving.json` to the working directory —
+//! one record per measured op (`op`, `threads`, `p50_ns`, `p99_ns`,
+//! `throughput`) — which CI uploads as an artifact; see
+//! [`graphgen_bench::report`].
 
+use graphgen_bench::report::BenchReport;
 use graphgen_bench::{has_flag, row};
+use graphgen_common::metrics::Histogram;
 use graphgen_common::SplitMix64;
 use graphgen_reldb::{Column, Database, Schema, Table, Value};
 use graphgen_serve::{GraphService, TableMutation};
@@ -75,14 +82,20 @@ fn mutation(rng: &mut SplitMix64, w: &Workload, rows: usize) -> TableMutation {
 }
 
 /// Run `readers` reader threads (and optionally the writer) for `window`;
-/// returns (total reads, publishes, mean publish latency).
+/// returns (total reads, publishes, mean publish latency, and the
+/// publish-latency histogram for quantile reporting). Per-read
+/// latencies land in `read_hist` — a [`Histogram`] from the same metrics
+/// module the serving stack exposes over `METRICS` — via one chained
+/// `Instant::now()` per iteration, so the timing overhead in the read loop
+/// is a single clock read.
 fn run(
     service: &Arc<GraphService>,
     w: &Workload,
     readers: usize,
     writer_rows: Option<usize>,
     seed: u64,
-) -> (u64, u64, Duration) {
+    read_hist: &Histogram,
+) -> (u64, u64, Duration, Histogram) {
     let done = Arc::new(AtomicBool::new(false));
     std::thread::scope(|s| {
         let mut handles = Vec::new();
@@ -90,20 +103,26 @@ fn run(
             let service = Arc::clone(service);
             let done = Arc::clone(&done);
             let authors = w.authors;
+            let read_hist = read_hist.clone();
             handles.push(s.spawn(move || {
                 let mut rng = SplitMix64::new(seed ^ (t as u64 + 1));
                 let mut local = 0u64;
+                let mut last = Instant::now();
                 while !done.load(Ordering::Relaxed) {
                     let snap = service.snapshot("g").expect("snapshot");
                     let key = Value::int(rng.next_below(authors as u64) as i64 + 1);
                     std::hint::black_box(snap.handle().neighbors_by_key(&key));
                     local += 1;
+                    let now = Instant::now();
+                    read_hist.record(u64::try_from((now - last).as_nanos()).unwrap_or(u64::MAX));
+                    last = now;
                 }
                 local
             }));
         }
         let mut publishes = 0u64;
         let mut publish_time = Duration::ZERO;
+        let publish_hist = Histogram::new();
         let start = Instant::now();
         match writer_rows {
             Some(rows) => {
@@ -117,6 +136,7 @@ fn run(
                     // skew the mean).
                     if !outcome.graphs.is_empty() {
                         publish_time += t0.elapsed();
+                        publish_hist.record_since(t0);
                         publishes += 1;
                     }
                 }
@@ -130,21 +150,22 @@ fn run(
         } else {
             Duration::ZERO
         };
-        (reads, publishes, mean)
+        (reads, publishes, mean, publish_hist)
     })
 }
 
-/// Median latency of `publishes` publishing applies at a fixed delta size
+/// Latencies of `publishes` publishing applies at a fixed delta size
 /// (no-op batches — all-absent deletes — are retried, not counted; a few
-/// warmup publishes prime allocator and caches before measuring; the
-/// median shrugs off the scheduler hiccups a shared runner injects).
-fn publish_latency(
+/// warmup publishes prime allocator and caches before measuring). Callers
+/// summarize with the median — it shrugs off the scheduler hiccups a
+/// shared runner injects — and report p50/p99 via [`quantile_ns`].
+fn publish_samples(
     service: &GraphService,
     w: &Workload,
     rows: usize,
     publishes: usize,
     seed: u64,
-) -> Duration {
+) -> Vec<Duration> {
     let mut rng = SplitMix64::new(seed);
     let warmup = 3usize;
     let mut samples: Vec<Duration> = Vec::with_capacity(warmup + publishes);
@@ -156,9 +177,16 @@ fn publish_latency(
             samples.push(t0.elapsed());
         }
     }
-    let mut measured = samples.split_off(warmup);
-    measured.sort();
-    measured[measured.len() / 2]
+    samples.split_off(warmup)
+}
+
+/// Quantile over a slice of durations, in nanoseconds (nearest-rank).
+fn quantile_ns(sorted: &[Duration], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    u64::try_from(sorted[idx.min(sorted.len() - 1)].as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The delta-bound-publish sweep: fixed 64-row delta, graph size growing
@@ -166,7 +194,7 @@ fn publish_latency(
 /// medians — noise on a shared runner only ever inflates a trial, so the
 /// best-of-trials median is the most stable estimate of true publish
 /// cost. Returns the (smallest, largest) measured values.
-fn scale_sweep(quick: bool) -> (Duration, Duration) {
+fn scale_sweep(quick: bool, report: &mut BenchReport) -> (Duration, Duration) {
     const DELTA_ROWS: usize = 64;
     let sizes: &[usize] = &[10_000, 40_000, 160_000];
     let publishes = if quick { 15 } else { 31 };
@@ -201,18 +229,28 @@ fn scale_sweep(quick: bool) -> (Duration, Duration) {
         let t0 = Instant::now();
         let service = build_service(&w, 42);
         let extract = t0.elapsed();
-        let best_median = (0..3)
+        let best_trial: Vec<Duration> = (0..3)
             .map(|trial| {
-                publish_latency(
+                let mut samples = publish_samples(
                     &service,
                     &w,
                     DELTA_ROWS,
                     publishes,
                     0xF1A7 + memberships as u64 + trial,
-                )
+                );
+                samples.sort();
+                samples
             })
-            .min()
+            .min_by_key(|samples| samples[samples.len() / 2])
             .expect("three trials");
+        let best_median = best_trial[best_trial.len() / 2];
+        report.push(
+            format!("publish_scale_{memberships}"),
+            1,
+            quantile_ns(&best_trial, 0.5),
+            quantile_ns(&best_trial, 0.99),
+            1.0 / best_median.as_secs_f64().max(1e-9),
+        );
         let ratio = best_medians
             .first()
             .map_or(1.0, |first| best_median.as_secs_f64() / first.as_secs_f64());
@@ -269,15 +307,18 @@ fn main() {
         .map(String::from),
         &widths,
     );
+    let mut report = BenchReport::new("serving");
     for &readers in &[1usize, 2, 8] {
         for writer in [false, true] {
             let service = Arc::new(build_service(&w, 42));
-            let (reads, publishes, mean) = run(
+            let read_hist = Histogram::new();
+            let (reads, publishes, mean, _) = run(
                 &service,
                 &w,
                 readers,
                 writer.then_some(64),
                 0xBEEF + readers as u64,
+                &read_hist,
             );
             row(
                 &[
@@ -288,6 +329,14 @@ fn main() {
                     format!("{:.3}ms", mean.as_secs_f64() * 1e3),
                 ],
                 &widths,
+            );
+            let snap = read_hist.snapshot();
+            report.push(
+                if writer { "read_busy" } else { "read_idle" },
+                readers,
+                snap.quantile(0.5),
+                snap.quantile(0.99),
+                reads as f64 / w.window.as_secs_f64(),
             );
         }
     }
@@ -300,7 +349,14 @@ fn main() {
     );
     for &rows in &[1usize, 16, 64, 256] {
         let service = Arc::new(build_service(&w, 42));
-        let (_, publishes, mean) = run(&service, &w, 1, Some(rows), 0xD1CE + rows as u64);
+        let (_, publishes, mean, publish_hist) = run(
+            &service,
+            &w,
+            1,
+            Some(rows),
+            0xD1CE + rows as u64,
+            &Histogram::new(),
+        );
         let rows_per_sec = if mean.is_zero() {
             0.0
         } else {
@@ -315,13 +371,23 @@ fn main() {
             ],
             &lwidths,
         );
+        let snap = publish_hist.snapshot();
+        report.push(
+            format!("publish_rows_{rows}"),
+            1,
+            snap.quantile(0.5),
+            snap.quantile(0.99),
+            publishes as f64 / w.window.as_secs_f64(),
+        );
     }
-    let (smallest, largest) = scale_sweep(quick);
+    let (smallest, largest) = scale_sweep(quick, &mut report);
     let growth = largest.as_secs_f64() / smallest.as_secs_f64().max(1e-9);
     println!(
         "\npublish latency grew {growth:.2}x across a 16x graph-size growth \
          (delta-bound target: flat, within 2x)."
     );
+    // Written before the gate so CI uploads the artifact even on failure.
+    report.write("BENCH_serving.json");
     // CI gate: a return to clone-dominated publishing tracks graph size
     // (~16x here); the 4x bound leaves room for timer noise on shared
     // runners while still catching any O(graph) publish cost.

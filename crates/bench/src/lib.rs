@@ -7,6 +7,7 @@
 //! builders shared by all of them.
 
 pub mod alloc;
+pub mod report;
 
 /// Every binary linking this crate accounts allocations through
 /// [`alloc::CountingAlloc`] so benches can report bytes allocated and peak

@@ -1,0 +1,198 @@
+//! Machine-readable bench artifacts (`BENCH_*.json`).
+//!
+//! CI runs the quick bench bins and uploads the JSON files they emit, so
+//! regressions can be charted across commits without scraping stdout. The
+//! format is deliberately tiny — one object per measured operation, all
+//! latencies in nanoseconds — and hand-rolled so the bench crate stays
+//! std-only:
+//!
+//! ```json
+//! {
+//!   "bench": "serving",
+//!   "records": [
+//!     {"op": "read_idle", "threads": 1, "p50_ns": 1290,
+//!      "p99_ns": 3580, "throughput": 740807.0}
+//!   ]
+//! }
+//! ```
+//!
+//! Latency quantiles come from [`graphgen_common::metrics::Histogram`]
+//! (the same log-scale instrument the serving stack exposes over
+//! `METRICS`), so bench numbers and production numbers share bucket
+//! resolution.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One measured operation: an op label, the thread count it ran at, its
+/// latency quantiles in nanoseconds, and a throughput in ops/sec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// What was measured, e.g. `read_idle` or `publish_rows_64`.
+    pub op: String,
+    /// Worker threads driving the operation.
+    pub threads: usize,
+    /// Median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Operations per second over the measurement window.
+    pub throughput: f64,
+}
+
+/// A named collection of [`BenchRecord`]s that serializes to one JSON file.
+#[derive(Debug, Default)]
+pub struct BenchReport {
+    /// Bench family name (`serving`, `incremental`, ...).
+    pub bench: String,
+    /// The measurements, in emission order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Start an empty report for the named bench family.
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Append one measurement.
+    pub fn push(
+        &mut self,
+        op: impl Into<String>,
+        threads: usize,
+        p50_ns: u64,
+        p99_ns: u64,
+        throughput: f64,
+    ) {
+        self.records.push(BenchRecord {
+            op: op.into(),
+            threads,
+            p50_ns,
+            p99_ns,
+            throughput,
+        });
+    }
+
+    /// Render the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_string(&self.bench)));
+        out.push_str("  \"records\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"op\": {}, \"threads\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"throughput\": {}}}",
+                json_string(&r.op),
+                r.threads,
+                r.p50_ns,
+                r.p99_ns,
+                json_number(r.throughput),
+            ));
+        }
+        if !self.records.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Write the report to `path`, replacing any previous run's file.
+    /// Prints the destination so CI logs show where the artifact landed.
+    pub fn write(&self, path: impl AsRef<Path>) {
+        let path = path.as_ref();
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+        f.write_all(self.to_json().as_bytes())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!(
+            "\nwrote {} ({} records)",
+            path.display(),
+            self.records.len()
+        );
+    }
+}
+
+/// Escape a string for JSON (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an f64 as a JSON number (finite; NaN/inf degrade to 0).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.000".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_records_in_order() {
+        let mut r = BenchReport::new("serving");
+        r.push("read_idle", 1, 1290, 3580, 740807.0);
+        r.push("publish_rows_64", 1, 500_000, 2_000_000, 287.5);
+        let json = r.to_json();
+        assert!(json.starts_with("{\n  \"bench\": \"serving\""));
+        assert!(json.contains("\"op\": \"read_idle\", \"threads\": 1, \"p50_ns\": 1290, \"p99_ns\": 3580, \"throughput\": 740807.000"));
+        assert!(json.contains("\"op\": \"publish_rows_64\""));
+        let idle = json.find("read_idle").unwrap();
+        let publish = json.find("publish_rows_64").unwrap();
+        assert!(idle < publish, "records must keep emission order");
+        assert!(json.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let json = BenchReport::new("x").to_json();
+        assert!(json.contains("\"records\": []"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_throughput_degrades_to_zero() {
+        assert_eq!(json_number(f64::NAN), "0.000");
+        assert_eq!(json_number(f64::INFINITY), "0.000");
+        assert_eq!(json_number(1.5), "1.500");
+    }
+
+    #[test]
+    fn write_round_trips_through_the_filesystem() {
+        let dir = std::env::temp_dir().join(format!("gg-bench-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let mut r = BenchReport::new("test");
+        r.push("op", 2, 10, 20, 30.0);
+        r.write(&path);
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, r.to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

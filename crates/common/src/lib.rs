@@ -12,6 +12,7 @@ pub mod bytesize;
 pub mod codec;
 pub mod fxhash;
 pub mod idmap;
+pub mod metrics;
 pub mod ordering;
 pub mod parallel;
 pub mod region;

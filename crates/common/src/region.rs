@@ -28,11 +28,25 @@ pub enum Region {
     Probe = 3,
     /// Duplicate elimination (`distinct_rows`).
     Distinct = 4,
+    /// Representation construction + preprocessing (`build_rep`).
+    BuildRep = 5,
+    /// Writer pre-validation of a delta batch.
+    Validate = 6,
+    /// WAL record encode + append (+ optional fsync).
+    WalAppend = 7,
+    /// In-place graph patch from a delta.
+    Patch = 8,
+    /// Reader-visible snapshot construction + publication.
+    Publish = 9,
+    /// WAL replay / snapshot load on startup.
+    Recovery = 10,
+    /// Analytics computation (pagerank / components workers).
+    Analyze = 11,
 }
 
 /// Number of distinct [`Region`] values (array-sizing constant for
 /// per-region counters).
-pub const REGION_COUNT: usize = 5;
+pub const REGION_COUNT: usize = 12;
 
 /// All regions, in tag order.
 pub const ALL_REGIONS: [Region; REGION_COUNT] = [
@@ -41,6 +55,13 @@ pub const ALL_REGIONS: [Region; REGION_COUNT] = [
     Region::Build,
     Region::Probe,
     Region::Distinct,
+    Region::BuildRep,
+    Region::Validate,
+    Region::WalAppend,
+    Region::Patch,
+    Region::Publish,
+    Region::Recovery,
+    Region::Analyze,
 ];
 
 impl Region {
@@ -52,6 +73,13 @@ impl Region {
             Region::Build => "build",
             Region::Probe => "probe",
             Region::Distinct => "distinct",
+            Region::BuildRep => "build_rep",
+            Region::Validate => "validate",
+            Region::WalAppend => "wal_append",
+            Region::Patch => "patch",
+            Region::Publish => "publish",
+            Region::Recovery => "recovery",
+            Region::Analyze => "analyze",
         }
     }
 
@@ -61,6 +89,13 @@ impl Region {
             2 => Region::Build,
             3 => Region::Probe,
             4 => Region::Distinct,
+            5 => Region::BuildRep,
+            6 => Region::Validate,
+            7 => Region::WalAppend,
+            8 => Region::Patch,
+            9 => Region::Publish,
+            10 => Region::Recovery,
+            11 => Region::Analyze,
             _ => Region::General,
         }
     }
@@ -142,7 +177,20 @@ mod tests {
         let labels: Vec<&str> = ALL_REGIONS.iter().map(|r| r.label()).collect();
         assert_eq!(
             labels,
-            vec!["general", "scan", "build", "probe", "distinct"]
+            vec![
+                "general",
+                "scan",
+                "build",
+                "probe",
+                "distinct",
+                "build_rep",
+                "validate",
+                "wal_append",
+                "patch",
+                "publish",
+                "recovery",
+                "analyze"
+            ]
         );
     }
 }

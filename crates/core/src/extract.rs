@@ -273,6 +273,8 @@ impl<'a> GraphGen<'a> {
             self.extract_chain(&plan, &ids, &mut builder)?;
             report.plans.push(plan);
         }
+        let span =
+            graphgen_common::metrics::span("build_rep", graphgen_common::region::Region::BuildRep);
         let mut graph = builder.build();
 
         // Step 6: preprocessing.
@@ -288,6 +290,7 @@ impl<'a> GraphGen<'a> {
             }
             _ => AnyGraph::CDup(graph),
         };
+        drop(span);
         report.extraction_micros = start.elapsed().as_micros();
         Ok(GraphHandle::from_parts(graph, ids, properties, report))
     }

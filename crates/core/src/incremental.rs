@@ -915,6 +915,8 @@ fn materialize_segment(
     target: &mut Target<'_>,
     patch: &mut GraphPatch,
 ) -> Result<(), Error> {
+    let _span =
+        graphgen_common::metrics::span("build_rep", graphgen_common::region::Region::BuildRep);
     let k = chain.segments.len();
     let ChainState {
         boundaries,
@@ -1020,6 +1022,8 @@ fn materialize_node_edges(
     target: &mut Target<'_>,
     patch: &mut GraphPatch,
 ) {
+    let _span =
+        graphgen_common::metrics::span("build_rep", graphgen_common::region::Region::BuildRep);
     for chain in chains.iter_mut() {
         let k = chain.segments.len();
         if k == 1 {

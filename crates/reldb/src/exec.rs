@@ -34,16 +34,21 @@ use crate::expr::Predicate;
 use crate::rowset::{hash_row, hash_value, RowSet};
 use crate::table::Table;
 use crate::value::Value;
+use graphgen_common::metrics;
 use graphgen_common::parallel::{
     effective_threads, map_morsels, map_partitions, scatter_partitions,
 };
-use graphgen_common::region::{self, Region};
+use graphgen_common::region::Region;
 use graphgen_common::FxHashMap;
 
-// Every operator labels its work with an allocation region
-// (`graphgen_common::region`) so the counting allocator in
-// `graphgen-bench` can attribute bytes per operator. The parallel helpers
-// propagate the caller's label onto their worker threads, so one guard at
+// Every operator opens a metrics span at entry: it enters an allocation
+// region (`graphgen_common::region`) so the counting allocator in
+// `graphgen-bench` can attribute bytes per operator, and on drop it logs
+// the operator's wall time into the caller's phase log
+// (`graphgen_common::metrics::collect_phases`) so the serving layer can
+// report extraction phase breakdowns. The parallel helpers propagate the
+// caller's region label onto their worker threads, and the span guard
+// lives on the calling thread for the whole operator, so one guard at
 // operator entry covers the whole fan-out (scatter buckets included).
 
 /// Row indices are carried as `u32` inside the operators to halve the
@@ -65,7 +70,7 @@ fn merge(arity: usize, parts: Vec<RowSet>) -> RowSet {
 /// the table's columns directly; only the projected columns of passing rows
 /// are cloned. Morsel-parallel over `threads`, output in table row order.
 pub fn scan_project(table: &Table, pred: &Predicate, cols: &[usize], threads: usize) -> RowSet {
-    let _region = region::enter(Region::Scan);
+    let _span = metrics::span("scan", Region::Scan);
     let n = table.num_rows();
     let t = effective_threads(threads, n);
     let parts = map_morsels(n, t, |range| {
@@ -87,7 +92,7 @@ pub fn scan_project(table: &Table, pred: &Predicate, cols: &[usize], threads: us
 type JoinIndex<'a> = Vec<FxHashMap<&'a Value, Vec<u32>>>;
 
 fn build_index(build: &RowSet, key: usize, parts: usize) -> JoinIndex<'_> {
-    let _region = region::enter(Region::Build);
+    let _span = metrics::span("join", Region::Build);
     assert!(build.num_rows() <= MAX_ROWS, "row set too large");
     if parts <= 1 {
         let mut index: FxHashMap<&Value, Vec<u32>> = FxHashMap::default();
@@ -168,7 +173,7 @@ pub fn hash_join_project(
         // already yields left-outer order. The partition count is sized by
         // the *build* side so a tiny build stays serial under a big probe.
         let index = build_index(right, rkey, effective_threads(threads, right.num_rows()));
-        let _region = region::enter(Region::Probe);
+        let _span = metrics::span("join", Region::Probe);
         let parts = map_morsels(left.num_rows(), t, |range| {
             let mut out = RowSet::new(cols.len());
             for l in range {
@@ -191,7 +196,7 @@ pub fn hash_join_project(
         // reorder the matched index pairs into left-outer order.
         assert!(right.num_rows() <= MAX_ROWS, "row set too large");
         let index = build_index(left, lkey, effective_threads(threads, left.num_rows()));
-        let _region = region::enter(Region::Probe);
+        let _span = metrics::span("join", Region::Probe);
         let pairs: Vec<(u32, u32)> = map_morsels(right.num_rows(), t, |range| {
             let mut local = Vec::new();
             for r in range {
@@ -284,7 +289,7 @@ pub fn nested_loop_join(left: &RowSet, lkey: usize, right: &RowSet, rkey: usize)
 /// same partition, each partition keeps its first occurrences, and the kept
 /// row indices are merged back into input order.
 pub fn distinct_rows(rows: RowSet, threads: usize) -> RowSet {
-    let _region = region::enter(Region::Distinct);
+    let _span = metrics::span("distinct", Region::Distinct);
     let n = rows.num_rows();
     assert!(n <= MAX_ROWS, "row set too large");
     let t = effective_threads(threads, n);

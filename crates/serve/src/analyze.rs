@@ -48,11 +48,13 @@ use graphgen_algo::{
     pagerank_dedup_free, pagerank_merged, pagerank_seeded, triangles, CondensedPath, PageRankRun,
     SeededPageRankConfig,
 };
+use graphgen_common::metrics::{self, Counter, Histogram};
+use graphgen_common::region::Region;
 use graphgen_common::FxHashMap;
 use graphgen_core::{ConvertOptions, GraphHandle, GraphPatch};
 use graphgen_graph::{GraphRep, RealId, RepKind};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Background workers shared by every analysis of one service.
 const WORKERS: usize = 2;
@@ -609,13 +611,46 @@ pub(crate) struct Analytics {
 #[derive(Debug, Default)]
 struct Shared {
     state: Mutex<CacheState>,
-    computes: AtomicU64,
-    hits: AtomicU64,
-    warm_starts: AtomicU64,
-    iterations_saved: AtomicU64,
+    // Registry-backed instruments (see `obs::ServeMetrics`). The counter
+    // cells are shared atomics, but every *write* happens while holding
+    // `state` — so reading them under the same lock (as
+    // `analyze_counters` does) observes a coherent combination, never a
+    // torn one like `hits > computes + cache hits issued`. Lock-free
+    // readers (the METRICS exposition) still get monotone values, just
+    // without cross-counter atomicity.
+    computes: Counter,
+    hits: Counter,
+    warm_starts: Counter,
+    iterations_saved: Counter,
+    /// Wall time of each kernel run on the worker pool (ns).
+    compute_ns: Histogram,
 }
 
 impl Analytics {
+    /// Bind the engine's counters and timings to registry-owned
+    /// instruments. Called once at service assembly, before any analysis
+    /// can run; [`Analytics::default`] (standalone tests) keeps detached
+    /// cells with identical behaviour.
+    pub(crate) fn with_instruments(
+        computes: Counter,
+        hits: Counter,
+        warm_starts: Counter,
+        iterations_saved: Counter,
+        compute_ns: Histogram,
+    ) -> Self {
+        Analytics {
+            shared: Arc::new(Shared {
+                state: Mutex::default(),
+                computes,
+                hits,
+                warm_starts,
+                iterations_saved,
+                compute_ns,
+            }),
+            pool: WorkerPool::default(),
+        }
+    }
+
     /// Record a committed publish: component warm-starts become unsound
     /// past any version that removed something.
     pub(crate) fn note_publish(&self, name: &str, version: u64, patch: &GraphPatch) {
@@ -666,14 +701,16 @@ impl GraphService {
             match state.cache.get(&key) {
                 Some(Slot::Done(entry)) => {
                     let entry = Arc::clone(entry);
+                    // Bumped before the lock drops so counter combinations
+                    // stay coherent (see the `Shared` field docs).
+                    shared.hits.inc();
                     drop(state);
-                    shared.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(entry);
                 }
                 Some(Slot::Running(flight)) => {
                     let flight = Arc::clone(flight);
+                    shared.hits.inc();
                     drop(state);
-                    shared.hits.fetch_add(1, Ordering::Relaxed);
                     return flight.wait().map_err(ServeError::Analyze);
                 }
                 None => {}
@@ -737,23 +774,25 @@ impl GraphService {
             })
     }
 
-    /// Engine-wide analysis counters.
+    /// Engine-wide analysis counters, snapshotted coherently: every
+    /// counter write happens under the cache-state lock, and this read
+    /// holds the same lock — so the returned combination corresponds to an
+    /// actual point in the engine's history (no torn `hits`/`computes`
+    /// mixes mid-publish).
     pub fn analyze_counters(&self) -> AnalyzeCounters {
         let shared = &self.analytics().shared;
-        let (cached, in_flight) = {
-            let state = shared.state.lock().unwrap();
-            let cached = state
-                .cache
-                .values()
-                .filter(|slot| matches!(slot, Slot::Done(_)))
-                .count();
-            (cached, state.cache.len() - cached)
-        };
+        let state = shared.state.lock().unwrap();
+        let cached = state
+            .cache
+            .values()
+            .filter(|slot| matches!(slot, Slot::Done(_)))
+            .count();
+        let in_flight = state.cache.len() - cached;
         AnalyzeCounters {
-            computes: shared.computes.load(Ordering::Relaxed),
-            hits: shared.hits.load(Ordering::Relaxed),
-            warm_starts: shared.warm_starts.load(Ordering::Relaxed),
-            iterations_saved: shared.iterations_saved.load(Ordering::Relaxed),
+            computes: shared.computes.get(),
+            hits: shared.hits.get(),
+            warm_starts: shared.warm_starts.get(),
+            iterations_saved: shared.iterations_saved.get(),
             cached,
             in_flight,
         }
@@ -776,7 +815,9 @@ fn run_analysis(
 ) {
     let warm = seed.is_some();
     let seed_iterations = seed.as_ref().map(|e| e.outcome.iterations);
+    let t0 = Instant::now();
     let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _span = metrics::span("analyze_compute", Region::Analyze);
         compute_on_handle(
             snap.handle(),
             algo,
@@ -785,6 +826,7 @@ fn run_analysis(
             threads,
         )
     }));
+    shared.compute_ns.record_since(t0);
     let result: Result<Arc<AnalysisEntry>, String> = match computed {
         Ok(Ok(outcome)) => Ok(Arc::new(AnalysisEntry {
             version: key.version,
@@ -807,12 +849,12 @@ fn run_analysis(
                         .insert(key.clone(), Slot::Done(Arc::clone(entry)));
                     evict_group(&mut state, key);
                 }
-                shared.computes.fetch_add(1, Ordering::Relaxed);
+                shared.computes.inc();
                 if warm {
-                    shared.warm_starts.fetch_add(1, Ordering::Relaxed);
+                    shared.warm_starts.inc();
                     if let Some(prev) = seed_iterations {
                         let saved = prev.saturating_sub(entry.outcome.iterations) as u64;
-                        shared.iterations_saved.fetch_add(saved, Ordering::Relaxed);
+                        shared.iterations_saved.add(saved);
                     }
                 }
             }

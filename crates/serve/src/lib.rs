@@ -22,8 +22,14 @@
 //! * a **TCP front end** — the `graphgen-serve` binary: std
 //!   `TcpListener`, thread per connection, newline-delimited text protocol
 //!   (`EXTRACT` / `CHECK` / `EXPLAIN` / `NEIGHBORS` / `DEGREE` / `ANALYZE`
-//!   / `APPLY` / `STATS` / `COMPACT` / `PING` / `SHUTDOWN`, see
-//!   [`protocol`]);
+//!   / `APPLY` / `STATS` / `COMPACT` / `METRICS` / `TRACE` / `PING` /
+//!   `SHUTDOWN`, see [`protocol`]);
+//! * **observability** — every hot path records into a structured
+//!   instrument registry ([`obs`]): per-verb request latency histograms,
+//!   per-phase writer and extraction timings, WAL fsync/compaction/
+//!   recovery costs, and the analyze-cache counters. `METRICS` renders a
+//!   Prometheus-style exposition, `TRACE` drains a bounded ring of the
+//!   slowest (or failed) recent operations with phase breakdowns;
 //! * **served analytics** — the `ANALYZE` verb runs the `graphgen_algo`
 //!   kernels on a pinned snapshot from a small background worker pool
 //!   (readers and the writer never block on an analysis), caches results
@@ -79,6 +85,7 @@
 
 pub mod analyze;
 pub mod error;
+pub mod obs;
 pub mod protocol;
 pub mod server;
 pub mod service;
@@ -89,6 +96,7 @@ pub use analyze::{
     compute_on_handle, Algo, AnalysisEntry, AnalysisOutcome, AnalyzeCounters, AnalyzeParams,
 };
 pub use error::{ServeError, ServeResult};
+pub use obs::{Obs, ServeMetrics, TraceEvent, TraceRing};
 pub use server::{spawn, ServerHandle};
 pub use service::{
     ApplyOutcome, GraphService, GraphSnapshot, GraphStats, ServiceConfig, TableMutation,

@@ -1,7 +1,8 @@
 //! `graphgen-serve` — serve extracted graphs over TCP.
 //!
 //! ```text
-//! graphgen-serve [--port N] [--dir PATH] [--no-fsync] [--demo] [--smoke]
+//! graphgen-serve [--port N] [--dir PATH] [--no-fsync] [--demo]
+//!                [--metrics-dump] [--smoke]
 //! ```
 //!
 //! * `--port N` — listen on 127.0.0.1:N (default 7411; 0 = ephemeral)
@@ -12,13 +13,19 @@
 //! * `--demo` — seed the paper's Fig. 1 DBLP toy tables (Author,
 //!   AuthorPub) so `EXTRACT` works out of the box; implied when the
 //!   service is fresh and purely in-memory
+//! * `--metrics-dump` — build (or recover) the service, print the
+//!   canonical multi-line Prometheus-style metrics exposition to stdout,
+//!   and exit without serving (the `METRICS` verb carries the same text
+//!   in escaped one-line form)
 //! * `--smoke` — self-test: start an ephemeral server, drive one
 //!   CHECK/EXTRACT/EXPLAIN/NEIGHBORS/ANALYZE/APPLY/STATS round-trip
 //!   through the real TCP protocol (including a statically rejected
 //!   EXTRACT with its per-code rejection counters, a skewed-insert burst
-//!   that flips a frozen plan's `stale_plan` drift flag, and an
-//!   analyze → publish → re-analyze sequence that must warm-start), shut
-//!   down cleanly, and exit non-zero on any mismatch (used by CI)
+//!   that flips a frozen plan's `stale_plan` drift flag, an
+//!   analyze → publish → re-analyze sequence that must warm-start, and a
+//!   METRICS + TRACE pass that must find the deliberately slow ANALYZE in
+//!   the trace ring), shut down cleanly, and exit non-zero on any
+//!   mismatch (used by CI)
 //!
 //! The protocol is newline-delimited text — see `graphgen_serve::protocol`
 //! — so `nc 127.0.0.1 7411` is a usable client.
@@ -38,6 +45,7 @@ struct Args {
     dir: Option<String>,
     fsync: bool,
     demo: bool,
+    metrics_dump: bool,
     smoke: bool,
 }
 
@@ -47,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         dir: None,
         fsync: true,
         demo: false,
+        metrics_dump: false,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -59,10 +68,12 @@ fn parse_args() -> Result<Args, String> {
             "--dir" => args.dir = Some(it.next().ok_or("--dir needs a value")?),
             "--no-fsync" => args.fsync = false,
             "--demo" => args.demo = true,
+            "--metrics-dump" => args.metrics_dump = true,
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: graphgen-serve [--port N] [--dir PATH] [--no-fsync] [--demo] [--smoke]"
+                    "usage: graphgen-serve [--port N] [--dir PATH] [--no-fsync] \
+                     [--demo] [--metrics-dump] [--smoke]"
                         .into(),
                 )
             }
@@ -128,6 +139,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.metrics_dump {
+        // The canonical multi-line exposition, without the one-line wire
+        // framing the METRICS verb needs.
+        print!("{}", service.metrics_text());
+        return ExitCode::SUCCESS;
+    }
     let listener = match TcpListener::bind(("127.0.0.1", args.port)) {
         Ok(l) => l,
         Err(e) => {
@@ -158,7 +175,12 @@ fn smoke() -> Result<(), String> {
     use std::net::TcpStream;
 
     let tmp = graphgen_serve::testutil::TempDir::new("smoke");
-    let cfg = ServiceConfig::default();
+    let cfg = ServiceConfig {
+        // A 1µs slow-op threshold makes the ANALYZE computations below
+        // deliberately "slow": they must land in the TRACE ring.
+        slow_op_ns: 1_000,
+        ..ServiceConfig::default()
+    };
     let service =
         Arc::new(GraphService::create(tmp.path(), demo_db(), cfg).map_err(|e| e.to_string())?);
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
@@ -311,6 +333,62 @@ fn smoke() -> Result<(), String> {
         return Err(format!(
             "expected `analyzes=2 analyze_hits=0 warm_starts=1` in `{stats}`"
         ));
+    }
+    // The observability surface. METRICS carries the whole registry as an
+    // escaped one-liner; unescaping restores the canonical multi-line
+    // exposition --metrics-dump prints directly.
+    let metrics_line = send("METRICS")?;
+    let Some(escaped) = metrics_line.strip_prefix("OK ") else {
+        return Err(format!(
+            "METRICS: expected an OK line, got `{metrics_line}`"
+        ));
+    };
+    let exposition = graphgen_common::metrics::unescape_exposition(escaped);
+    if !exposition.contains('\n') {
+        return Err("unescaped METRICS exposition should be multi-line".into());
+    }
+    let families: std::collections::BTreeSet<&str> = exposition
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    if families.len() < 25 {
+        return Err(format!(
+            "METRICS enumerates only {} instrument families (expected >= 25)",
+            families.len()
+        ));
+    }
+    for needed in [
+        "graphgen_request_ns",
+        "graphgen_apply_phase_ns",
+        "graphgen_extract_phase_ns",
+        "graphgen_wal_fsync_ns",
+        "graphgen_analyze_compute_ns",
+        "graphgen_recovery_replay_ns",
+    ] {
+        if !families.contains(needed) {
+            return Err(format!("METRICS missing the `{needed}` family"));
+        }
+    }
+    if !exposition.contains("verb=\"apply\"") || !exposition.contains("phase=\"publish\"") {
+        return Err("METRICS missing per-verb/per-phase labelled series".into());
+    }
+    println!("metrics: {} instrument families exposed", families.len());
+    // Every command above outran the 1µs threshold, so the ring holds the
+    // whole session — the ANALYZE computations must be in there with
+    // their phase breakdowns.
+    let trace = send("TRACE")?;
+    if !trace.starts_with("OK n=") {
+        return Err(format!("TRACE: expected `OK n=…`, got `{trace}`"));
+    }
+    if !trace.contains("verb=analyze ") {
+        return Err(format!("TRACE should hold the slow ANALYZE: `{trace}`"));
+    }
+    // Drained: a second TRACE no longer holds the analyses (at most the
+    // first TRACE itself, which also outran the threshold).
+    let trace = send("TRACE")?;
+    if !trace.starts_with("OK n=") || trace.contains("verb=analyze ") {
+        return Err(format!("TRACE ring was not drained: `{trace}`"));
     }
     expect(send("SHUTDOWN")?, "OK bye")?;
     handle.wait();

@@ -15,6 +15,8 @@
 //! APPLY <table> <±row …>     mutate a table: +1,2 inserts row (1,2); -1,2 deletes it
 //! STATS [<name>]             per-graph version/vertices/edges (all graphs if no name)
 //! COMPACT <name>             fold the graph's WAL into a fresh snapshot
+//! METRICS                    full instrument registry, escaped exposition
+//! TRACE [<n>]                drain up to n slow/failed ops from the trace ring
 //! PING                       liveness probe
 //! SHUTDOWN                   stop the server (responds, then closes)
 //! ```
@@ -42,6 +44,18 @@
 //! other connections (readers *and* the writer) proceed meanwhile. The
 //! leading `STATUS` keyword is reserved: a graph literally named `STATUS`
 //! cannot be addressed by `ANALYZE` (use the library API for that).
+//!
+//! `METRICS` answers the whole instrument registry in Prometheus-style
+//! text exposition. The canonical form is multi-line, which the one-line
+//! protocol cannot carry verbatim, so the response is the **escaped
+//! one-line form** of [`graphgen_common::metrics::escape_exposition`]
+//! (`\` → `\\`, newline → `\n`, CR → `\r`); clients recover the canonical
+//! text with `unescape_exposition`, and `graphgen-serve --metrics-dump`
+//! prints it directly. `TRACE [<n>]` drains up to `n` events (all, when
+//! omitted) from the slow-op ring, oldest first: `n=<k> | seq=… verb=…
+//! detail=… ok=… total_ns=… phases=label:ns,…`. Every executed command is
+//! timed and counted ([`crate::obs`]); slow or failed ones land in the
+//! ring with their per-phase breakdown.
 //!
 //! Responses start with `OK` (payload follows on the same line) or `ERR
 //! <message>`. Row cells are comma-separated values: `NULL`, an integer,
@@ -132,10 +146,60 @@ pub enum Command {
         /// Graph name.
         name: String,
     },
+    /// `METRICS`
+    Metrics,
+    /// `TRACE [<n>]`
+    Trace {
+        /// Drain at most this many events (all buffered ones if `None`).
+        n: Option<usize>,
+    },
     /// `PING`
     Ping,
     /// `SHUTDOWN`
     Shutdown,
+}
+
+impl Command {
+    /// The command's instrument label — the `verb` label of the
+    /// `graphgen_request_ns` family (always one of [`crate::obs::VERBS`]).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Command::Extract { .. } => "extract",
+            Command::Check { .. } => "check",
+            Command::Explain { .. } => "explain",
+            Command::Neighbors { .. } => "neighbors",
+            Command::Degree { .. } => "degree",
+            Command::Analyze { .. } => "analyze",
+            Command::AnalyzeStatus { .. } => "analyze_status",
+            Command::Apply { .. } => "apply",
+            Command::Stats { .. } => "stats",
+            Command::Compact { .. } => "compact",
+            Command::Metrics => "metrics",
+            Command::Trace { .. } => "trace",
+            Command::Ping => "ping",
+            Command::Shutdown => "shutdown",
+        }
+    }
+
+    /// Short operation detail for the slow-op trace: the graph or table
+    /// the command addresses (empty for service-wide commands).
+    fn detail(&self) -> String {
+        match self {
+            Command::Extract { name, .. }
+            | Command::Check { name, .. }
+            | Command::Explain { name, .. }
+            | Command::Neighbors { name, .. }
+            | Command::Degree { name, .. }
+            | Command::Analyze { name, .. }
+            | Command::Compact { name } => name.clone(),
+            Command::AnalyzeStatus {
+                target: Some((name, _, _)),
+            } => name.clone(),
+            Command::Apply { table, .. } => table.clone(),
+            Command::Stats { name: Some(name) } => name.clone(),
+            _ => String::new(),
+        }
+    }
 }
 
 fn protocol_err(msg: impl Into<String>) -> ServeError {
@@ -366,6 +430,24 @@ pub fn parse_command(line: &str) -> ServeResult<Option<Command>> {
         "COMPACT" => Ok(Some(Command::Compact {
             name: one_arg("graph name")?.to_string(),
         })),
+        "METRICS" => {
+            if rest.is_empty() {
+                Ok(Some(Command::Metrics))
+            } else {
+                Err(protocol_err("METRICS takes no argument"))
+            }
+        }
+        "TRACE" => Ok(Some(Command::Trace {
+            n: if rest.is_empty() {
+                None
+            } else {
+                Some(
+                    one_arg("event count")?
+                        .parse()
+                        .map_err(|_| protocol_err(format!("bad event count `{rest}`")))?,
+                )
+            },
+        })),
         "PING" => Ok(Some(Command::Ping)),
         "SHUTDOWN" => Ok(Some(Command::Shutdown)),
         other => Err(protocol_err(format!("unknown command `{other}`"))),
@@ -375,12 +457,29 @@ pub fn parse_command(line: &str) -> ServeResult<Option<Command>> {
 /// Execute one command against a service and render the response line
 /// (without the trailing newline). `Shutdown` responds `OK bye`; the
 /// server loop is responsible for actually stopping.
+///
+/// Every execution is observed: the wall time lands in the per-verb
+/// request histogram, the phase spans recorded on this thread (validate /
+/// wal_append / patch / publish, scan / join / distinct / build_rep) are
+/// folded into their phase families, and a slow or failed command is
+/// captured in the trace ring with that breakdown.
 pub fn execute(service: &GraphService, cmd: &Command) -> String {
-    match run(service, cmd) {
+    let t0 = std::time::Instant::now();
+    let (result, phases) = graphgen_common::metrics::collect_phases(|| run(service, cmd));
+    let ok = result.is_ok();
+    let response = match result {
         Ok(payload) if payload.is_empty() => "OK".to_string(),
         Ok(payload) => format!("OK {payload}"),
         Err(e) => sanitize_line(&format!("ERR {e}")),
-    }
+    };
+    service.obs().record_op(
+        cmd.verb(),
+        cmd.detail(),
+        ok,
+        u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        phases,
+    );
+    response
 }
 
 /// Flatten any line break a raw client token may have smuggled into an
@@ -555,6 +654,23 @@ fn run(service: &GraphService, cmd: &Command) -> ServeResult<String> {
         Command::Compact { name } => {
             service.compact(name)?;
             Ok(String::new())
+        }
+        Command::Metrics => {
+            // The canonical exposition is multi-line; the wire carries the
+            // escaped one-line form (see the module docs). `--metrics-dump`
+            // prints the canonical text without the protocol in between.
+            Ok(graphgen_common::metrics::escape_exposition(
+                &service.metrics_text(),
+            ))
+        }
+        Command::Trace { n } => {
+            let events = service.obs().trace().drain(*n);
+            let mut out = format!("n={}", events.len());
+            for event in &events {
+                out.push_str(" | ");
+                out.push_str(&event.render());
+            }
+            Ok(sanitize_line(&out))
         }
         Command::Ping => Ok("pong".to_string()),
         Command::Shutdown => Ok("bye".to_string()),

@@ -95,12 +95,25 @@ pub fn spawn(service: Arc<GraphService>, listener: TcpListener) -> io::Result<Se
     })
 }
 
+/// Decrements the active-connections gauge on every exit path of
+/// [`handle_connection`] (early returns and panics included).
+struct ActiveConnGuard<'a>(&'a GraphService);
+
+impl Drop for ActiveConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.obs().m.connections_active.sub(1);
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
     service: &GraphService,
     stop: &AtomicBool,
     addr: SocketAddr,
 ) {
+    service.obs().m.connections_opened_total.inc();
+    service.obs().m.connections_active.add(1);
+    let _active = ActiveConnGuard(service);
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };

@@ -79,6 +79,8 @@
 use crate::error::{ServeError, ServeResult};
 use crate::wal::{seal, unseal, write_file_atomic, Wal};
 use graphgen_common::codec::{self, Reader};
+use graphgen_common::metrics;
+use graphgen_common::region::Region;
 use graphgen_common::FxHashMap;
 use graphgen_core::cost::{
     cost_with_cuts, estimate_chain, plan_fingerprint, render_explain, render_unknown,
@@ -88,6 +90,7 @@ use graphgen_dsl::{check_source, CheckCatalog, CheckOptions, CheckReport, EdgeCh
 use graphgen_reldb::{Database, DeltaBatch, Value};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Magic prefix of `db.snap` (trailing digit = format version).
 pub const DB_SNAP_MAGIC: [u8; 8] = *b"GGSVDB1\0";
@@ -114,6 +117,14 @@ pub struct ServiceConfig {
     /// against the live catalog exceeds the live min-cost plan by this
     /// ratio (or when the min-cost plan's shape changed outright).
     pub drift_threshold: f64,
+    /// An operation at or above this wall time (nanoseconds) counts as
+    /// slow: it bumps `graphgen_slow_ops_total` and lands in the `TRACE`
+    /// ring with its phase breakdown. Failed operations are traced
+    /// regardless of duration.
+    pub slow_op_ns: u64,
+    /// Capacity of the slow-op trace ring (oldest events are evicted, and
+    /// counted, once it is full).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -123,6 +134,8 @@ impl Default for ServiceConfig {
             fsync: true,
             threads: 0,
             drift_threshold: 2.0,
+            slow_op_ns: 100_000_000, // 100 ms
+            trace_capacity: 64,
         }
     }
 }
@@ -310,6 +323,12 @@ pub struct GraphService {
     /// The `ANALYZE` engine: worker pool + versioned result cache. Fresh
     /// on every construction, so recovery starts with a cold cache.
     analytics: crate::analyze::Analytics,
+    /// The observability hub (registry + slow-op trace). Lives outside
+    /// `inner` so the hot paths — readers pinning snapshots, the protocol
+    /// layer timing requests — record without touching the writer lock.
+    /// In-memory only: reopening a service starts every instrument at
+    /// zero while graph/database versions persist.
+    obs: crate::obs::Obs,
 }
 
 fn valid_name(name: &str) -> bool {
@@ -369,6 +388,7 @@ impl GraphService {
             if !stale.is_empty() {
                 wal.reset()?;
             }
+            wal.set_fsync_histogram(service.obs.m.wal_fsync_ns.clone());
             write_db_snapshot(&mut inner)?;
             inner.db_wal = Some(wal);
         }
@@ -404,12 +424,15 @@ impl GraphService {
         };
         let (snap_version, mut db) = parse(&mut r)
             .map_err(|e| ServeError::corrupt(db_snap_path.display().to_string(), e))?;
-        let (db_wal, db_records) = Wal::open(dir.join("db.wal"))?;
+        let replay_t0 = Instant::now();
+        let _replay_span = metrics::span("recovery", Region::Recovery);
+        let (mut db_wal, db_records) = Wal::open(dir.join("db.wal"))?;
         let mut db_version = snap_version;
         // The replayed tail is kept for the per-graph pass below: a graph
         // whose log is missing the final batch of a crashed `apply` (the
         // two logs are appended non-atomically) is caught up from it.
         let mut db_tail: Vec<(u64, DeltaBatch)> = Vec::new();
+        let mut db_replayed = 0u64;
         for record in db_records {
             let (version, batch) = decode_wal_record(&record)
                 .map_err(|e| ServeError::corrupt(db_wal.path().display().to_string(), e))?;
@@ -418,9 +441,16 @@ impl GraphService {
             }
             replay_batch_on_db(&mut db, &batch)?;
             db_version = version;
+            db_replayed += 1;
             db_tail.push((version, batch));
         }
         let service = Self::assemble(db, Some(dir.to_path_buf()), cfg);
+        // The registry is born with the service, so the db replay above is
+        // timed externally and recorded here (instruments are in-memory
+        // only: a reopened service starts them at zero).
+        service.obs.m.recovery_replay_ns.record_since(replay_t0);
+        service.obs.m.recovery_records_total.add(db_replayed);
+        db_wal.set_fsync_histogram(service.obs.m.wal_fsync_ns.clone());
         {
             let mut inner = service.inner.lock().unwrap();
             inner.db_version = db_version;
@@ -442,7 +472,8 @@ impl GraphService {
             // resolves it) wins for every recovered handle.
             let threads = Self::extraction_config(&cfg).threads();
             for (name, snap_path) in stems {
-                let state = recover_graph(
+                let graph_t0 = Instant::now();
+                let (mut state, replayed) = recover_graph(
                     &name,
                     &snap_path,
                     dir,
@@ -451,6 +482,11 @@ impl GraphService {
                     threads,
                     cfg.fsync,
                 )?;
+                service.obs.m.recovery_replay_ns.record_since(graph_t0);
+                service.obs.m.recovery_records_total.add(replayed);
+                if let Some(wal) = state.wal.as_mut() {
+                    wal.set_fsync_histogram(service.obs.m.wal_fsync_ns.clone());
+                }
                 inner.graphs.insert(name, state);
             }
             // Re-cost every recovered graph's frozen plan against the
@@ -469,6 +505,16 @@ impl GraphService {
     }
 
     fn assemble(db: Database, dir: Option<PathBuf>, cfg: ServiceConfig) -> Self {
+        let obs = crate::obs::Obs::new(cfg.slow_op_ns, cfg.trace_capacity);
+        // The analyze engine's counters are registry instruments, so the
+        // METRICS exposition and ANALYZE STATUS read the same state.
+        let analytics = crate::analyze::Analytics::with_instruments(
+            obs.m.analyze_computes_total.clone(),
+            obs.m.analyze_hits_total.clone(),
+            obs.m.analyze_warm_starts_total.clone(),
+            obs.m.analyze_iterations_saved_total.clone(),
+            obs.m.analyze_compute_ns.clone(),
+        );
         Self {
             inner: Mutex::new(Inner {
                 db,
@@ -481,8 +527,34 @@ impl GraphService {
                 wedged: false,
             }),
             published: RwLock::new(FxHashMap::default()),
-            analytics: crate::analyze::Analytics::default(),
+            analytics,
+            obs,
         }
+    }
+
+    /// The observability hub: the instrument registry, the per-verb and
+    /// per-phase histograms, and the slow-op trace ring.
+    pub fn obs(&self) -> &crate::obs::Obs {
+        &self.obs
+    }
+
+    /// Render the Prometheus-style text exposition of every instrument,
+    /// refreshing the point-in-time gauges (graph count, database
+    /// version/rows, wedge flag, analyze cache occupancy) from live state
+    /// first. One coherent registry snapshot per call: counters are read
+    /// monotonically, never torn against each other mid-line.
+    pub fn metrics_text(&self) -> String {
+        {
+            let inner = self.inner.lock().unwrap();
+            self.obs.m.graphs.set(inner.graphs.len() as u64);
+            self.obs.m.db_version.set(inner.db_version);
+            self.obs.m.db_rows.set(inner.db.total_rows() as u64);
+            self.obs.m.wedged.set(u64::from(inner.wedged));
+        }
+        let c = self.analyze_counters();
+        self.obs.m.analyze_cached_entries.set(c.cached as u64);
+        self.obs.m.analyze_inflight.set(c.in_flight as u64);
+        self.obs.render()
     }
 
     /// The analysis engine (crate-internal: `analyze.rs` implements the
@@ -521,6 +593,7 @@ impl GraphService {
         if inner.graphs.contains_key(name) {
             return Err(ServeError::DuplicateGraph(name.to_string()));
         }
+        let t0 = Instant::now();
         let result =
             GraphGen::with_config(&inner.db, Self::extraction_config(&inner.cfg)).extract(dsl);
         let handle = match result {
@@ -528,7 +601,8 @@ impl GraphService {
             Err(e) => {
                 // Count what the static checker rejected, per code, so
                 // STATS can report how often (and why) extraction requests
-                // bounce. Parse failures count under their E000 code.
+                // bounce. Parse failures count under their E000 code. The
+                // registry total mirrors the sum of the per-code map.
                 match &e {
                     Error::Check(diags) => {
                         for d in diags {
@@ -537,12 +611,14 @@ impl GraphService {
                                 .entry(d.code.code().to_string())
                                 .or_insert(0) += 1;
                         }
+                        self.obs.m.check_rejects_total.add(diags.len() as u64);
                     }
                     Error::Dsl(parse) => {
                         *inner
                             .check_rejects
                             .entry(parse.diagnostic().code.code().to_string())
                             .or_insert(0) += 1;
+                        self.obs.m.check_rejects_total.inc();
                     }
                     _ => {}
                 }
@@ -590,6 +666,7 @@ impl GraphService {
             if !stale.is_empty() {
                 wal.reset()?;
             }
+            wal.set_fsync_histogram(self.obs.m.wal_fsync_ns.clone());
             write_graph_snapshot(&dir, &state, inner.db_version, inner.cfg.fsync)?;
             state.wal = Some(wal);
         }
@@ -598,6 +675,8 @@ impl GraphService {
             .write()
             .unwrap()
             .insert(name.to_string(), Arc::clone(&snapshot));
+        self.obs.m.extracts_total.inc();
+        self.obs.m.extract_ns.record_since(t0);
         Ok(snapshot)
     }
 
@@ -722,6 +801,9 @@ impl GraphService {
             .get(name)
             .map(Arc::clone)
             .ok_or_else(|| ServeError::UnknownGraph(name.to_string()))
+            // One relaxed atomic increment: the reader hot path stays
+            // lock-free.
+            .inspect(|_| self.obs.m.snapshots_total.inc())
     }
 
     /// Registered graph names, sorted.
@@ -806,12 +888,16 @@ impl GraphService {
         if inner.wedged {
             return Err(ServeError::Wedged);
         }
+        let t0 = Instant::now();
         // 0. Pre-validate every mutation against the catalog so the whole
         //    call either passes validation or mutates nothing.
-        for m in mutations {
-            let table = inner.db.table(&m.table)?;
-            for row in m.inserts.iter().chain(m.deletes.iter()) {
-                table.schema().check_row(row)?;
+        {
+            let _span = metrics::span("validate", Region::Validate);
+            for m in mutations {
+                let table = inner.db.table(&m.table)?;
+                for row in m.inserts.iter().chain(m.deletes.iter()) {
+                    table.schema().check_row(row)?;
+                }
             }
         }
         let mut batch = DeltaBatch::new();
@@ -840,6 +926,8 @@ impl GraphService {
         if batch.is_empty() {
             return Ok(outcome);
         }
+        self.obs.m.applies_total.inc();
+        self.obs.m.apply_rows_total.add(batch.len() as u64);
         let fsync = inner.cfg.fsync;
         let threshold = inner.cfg.compact_threshold;
 
@@ -848,13 +936,17 @@ impl GraphService {
         inner.db_version += 1;
         let db_version = inner.db_version;
         if let Some(wal) = inner.db_wal.as_mut() {
-            if let Err(e) = wal.append(&encode_wal_record(db_version, &batch), fsync) {
+            let record = encode_wal_record(db_version, &batch);
+            let _span = metrics::span("wal_append", Region::WalAppend);
+            if let Err(e) = wal.append(&record, fsync) {
                 // The db is mutated but the log does not carry the batch:
                 // a restart would recover the pre-batch state while this
                 // process serves the post-batch one. Refuse further writes.
                 inner.wedged = true;
                 return Err(e.into());
             }
+            self.obs.m.wal_appends_total.inc();
+            self.obs.m.wal_append_bytes_total.add(record.len() as u64);
         }
 
         // 2. Patch every affected graph's working handle in place, WAL,
@@ -898,10 +990,19 @@ impl GraphService {
                 // In-place patch: a failure leaves the working handle
                 // untrustworthy, which is exactly the wedge contract — the
                 // published `current` is untouched and keeps serving.
-                let patch = state.working.apply_batch(&batch)?;
+                let patch = {
+                    let _span = metrics::span("patch", Region::Patch);
+                    state.working.apply_batch(&batch)?
+                };
                 let version = state.current.version() + 1;
                 if let Some(wal) = state.wal.as_mut() {
-                    wal.append(&encode_graph_wal_record(version, db_version, &batch), fsync)?;
+                    let record = encode_graph_wal_record(version, db_version, &batch);
+                    {
+                        let _span = metrics::span("wal_append", Region::WalAppend);
+                        wal.append(&record, fsync)?;
+                    }
+                    self.obs.m.wal_appends_total.inc();
+                    self.obs.m.wal_append_bytes_total.add(record.len() as u64);
                     state.durable_db_version = db_version;
                 }
                 let snapshot = Arc::new(GraphSnapshot {
@@ -919,7 +1020,10 @@ impl GraphService {
                 let oversized = state.wal.as_ref().is_some_and(|w| w.bytes() > threshold);
                 if oversized {
                     let dir = inner.dir.clone().expect("wal implies dir");
+                    let compact_t0 = Instant::now();
                     compact_graph(&dir, state, db_version, fsync)?;
+                    self.obs.m.compactions_total.inc();
+                    self.obs.m.compaction_ns.record_since(compact_t0);
                 }
                 Ok(())
             })();
@@ -944,16 +1048,23 @@ impl GraphService {
                     // database version, so recovery never meets a graph
                     // whose missing db batches were compacted away.
                     let dir = inner.dir.clone().expect("db wal implies dir");
+                    let compact_t0 = Instant::now();
                     let mut names: Vec<String> = inner.graphs.keys().cloned().collect();
                     names.sort();
                     for name in names {
                         let state = inner.graphs.get_mut(&name).expect("listed name");
                         if state.wal.is_some() && state.durable_db_version < db_version {
                             compact_graph(&dir, state, db_version, fsync)?;
+                            self.obs.m.compactions_total.inc();
                         }
                     }
                     write_db_snapshot(inner)?;
                     inner.db_wal.as_mut().expect("checked").reset()?;
+                    // One fold of the db log (the lagging-graph folds above
+                    // counted themselves); the duration covers the whole
+                    // cascade.
+                    self.obs.m.compactions_total.inc();
+                    self.obs.m.compaction_ns.record_since(compact_t0);
                     Ok(())
                 })();
                 if let Err(e) = step {
@@ -972,11 +1083,14 @@ impl GraphService {
         // 5. Atomic publication: one short write lock swaps every changed
         //    graph to its next version.
         if !newly_published.is_empty() {
+            let _span = metrics::span("publish", Region::Publish);
+            self.obs.m.publishes_total.add(newly_published.len() as u64);
             let mut published = self.published.write().unwrap();
             for (name, snapshot) in newly_published {
                 published.insert(name, snapshot);
             }
         }
+        self.obs.m.apply_ns.record_since(t0);
         match apply_err {
             Some(e) => Err(e),
             None => Ok(outcome),
@@ -1003,7 +1117,11 @@ impl GraphService {
             .graphs
             .get_mut(name)
             .ok_or_else(|| ServeError::UnknownGraph(name.to_string()))?;
-        compact_graph(&dir, state, db_version, fsync)
+        let t0 = Instant::now();
+        compact_graph(&dir, state, db_version, fsync)?;
+        self.obs.m.compactions_total.inc();
+        self.obs.m.compaction_ns.record_since(t0);
+        Ok(())
     }
 
     /// The persistence directory, if the service is persistent.
@@ -1224,6 +1342,9 @@ fn compact_graph(
 /// catch-up is itself durable), exactly as the live write path would have:
 /// batches touching none of the graph's tables advance the stamp without
 /// creating a version.
+///
+/// The second return is the number of WAL records replayed (own log plus
+/// db-tail catch-up) — the caller's `graphgen_recovery_records_total`.
 fn recover_graph(
     name: &str,
     snap_path: &Path,
@@ -1232,7 +1353,7 @@ fn recover_graph(
     db_tail: &[(u64, DeltaBatch)],
     threads: usize,
     fsync: bool,
-) -> ServeResult<GraphState> {
+) -> ServeResult<(GraphState, u64)> {
     let bytes = std::fs::read(snap_path)?;
     let file = snap_path.display().to_string();
     let content =
@@ -1275,6 +1396,7 @@ fn recover_graph(
     let wal_file = wal.path().display().to_string();
     let mut version = snap_version;
     let mut db_version = snap_db_version;
+    let mut replayed = 0u64;
     for record in records {
         let (record_version, record_db_version, batch) =
             decode_graph_wal_record(&record).map_err(|e| ServeError::corrupt(&wal_file, e))?;
@@ -1296,6 +1418,7 @@ fn recover_graph(
         handle.apply_batch(&batch)?;
         version = record_version;
         db_version = record_db_version;
+        replayed += 1;
     }
     let db_recovered = db_tail.last().map_or(db_snap_version, |(v, _)| *v);
     if db_version > db_recovered {
@@ -1342,6 +1465,7 @@ fn recover_graph(
                 fsync,
             )?;
             durable_db_version = *batch_db_version;
+            replayed += 1;
         }
         db_version = *batch_db_version;
     }
@@ -1349,22 +1473,25 @@ fn recover_graph(
     // (it needs the recovered database's catalog); the frozen plans
     // themselves came off the snapshot above.
     let chains = graphgen_dsl::compile(&dsl).map_or_else(|_| Vec::new(), |spec| spec.edges);
-    Ok(GraphState {
-        dsl,
-        chains,
-        frozen,
-        drift: 1.0,
-        stale_plan: false,
-        current: Arc::new(GraphSnapshot {
-            name: name.to_string(),
-            version,
-            db_version,
-            handle: handle.reader_clone(),
-        }),
-        working: handle,
-        wal: Some(wal),
-        durable_db_version,
-    })
+    Ok((
+        GraphState {
+            dsl,
+            chains,
+            frozen,
+            drift: 1.0,
+            stale_plan: false,
+            current: Arc::new(GraphSnapshot {
+                name: name.to_string(),
+                version,
+                db_version,
+                handle: handle.reader_clone(),
+            }),
+            working: handle,
+            wal: Some(wal),
+            durable_db_version,
+        },
+        replayed,
+    ))
 }
 
 #[cfg(test)]

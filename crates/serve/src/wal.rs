@@ -17,10 +17,12 @@
 //! observes a half-written snapshot and a crash mid-compaction leaves
 //! either the old or the new file, never a hybrid.
 
+use graphgen_common::metrics::Histogram;
 use std::fs::{File, OpenOptions};
 use std::hash::Hasher;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Frame overhead per record (length + checksum).
 const HEADER: usize = 4 + 8;
@@ -38,6 +40,10 @@ pub struct Wal {
     path: PathBuf,
     bytes: u64,
     records: u64,
+    /// When set, every synced append records its `sync_all` duration here
+    /// (nanoseconds) — the fsync cost is the durability tax the service
+    /// reports per WAL, distinct from the encode+write cost around it.
+    fsync_hist: Option<Histogram>,
 }
 
 impl Wal {
@@ -83,9 +89,16 @@ impl Wal {
                 path,
                 bytes: good as u64,
                 records: records.len() as u64,
+                fsync_hist: None,
             },
             records,
         ))
+    }
+
+    /// Attach a histogram that receives the duration (ns) of every fsync
+    /// performed by [`append`](Wal::append).
+    pub fn set_fsync_histogram(&mut self, hist: Histogram) {
+        self.fsync_hist = Some(hist);
     }
 
     /// Append one record. With `sync`, the write is fsynced before
@@ -110,7 +123,11 @@ impl Wal {
             self.file.write_all(&frame)?;
             self.file.flush()?;
             if sync {
+                let t0 = Instant::now();
                 self.file.sync_all()?;
+                if let Some(h) = &self.fsync_hist {
+                    h.record_since(t0);
+                }
             }
             Ok(())
         })();

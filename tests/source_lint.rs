@@ -12,6 +12,11 @@
 //! every `#[allow(...)]` in `crates/core` / `crates/dsl` must appear in
 //! `ALLOW_REGISTRY` with a written reason, and registry entries whose
 //! attribute has been deleted are flagged as stale.
+//!
+//! A third lint keeps serving-layer bookkeeping observable: raw atomic
+//! counters (`AtomicU64` and friends) in `crates/serve/src` must go
+//! through the metrics registry (`crate::obs`) so they show up in
+//! `METRICS`, with `RAW_COUNTER_ALLOWED` for the justified exceptions.
 
 use std::path::Path;
 
@@ -109,6 +114,69 @@ fn serve_request_and_wal_paths_do_not_panic() {
          tests/source_lint.rs with a justification):\n{}",
         violations.join("\n")
     );
+}
+
+// ---------------------------------------------------------------------------
+// Counter bookkeeping goes through the metrics registry
+// ---------------------------------------------------------------------------
+
+/// Files in `crates/serve/src` allowed to hold a raw atomic counter.
+/// Everything else must use `graphgen_common::metrics` instruments via
+/// `obs.rs` — a bare `AtomicU64` is invisible to `METRICS`, and the
+/// read-then-reset races the registry replaced all started as "just one
+/// little counter". (`AtomicBool` flags — shutdown, wedged — are fine;
+/// this lint is about *counters*.)
+const RAW_COUNTER_ALLOWED: &[&str] = &[
+    // Temp-dir name uniquifier in test support, not a metric.
+    "crates/serve/src/testutil.rs",
+];
+
+#[test]
+fn serve_counters_live_in_the_metrics_registry() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let dir = root.join("crates/serve/src");
+    let mut violations = Vec::new();
+    for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("{dir:?}: {e}")) {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|ext| ext != "rs") {
+            continue;
+        }
+        let rel = format!(
+            "crates/serve/src/{}",
+            path.file_name().expect("file name").to_string_lossy()
+        );
+        if RAW_COUNTER_ALLOWED.contains(&rel.as_str()) {
+            continue;
+        }
+        let text = compact_nontest_source(&path);
+        for needle in ["AtomicU64", "AtomicUsize", "AtomicI64"] {
+            if let Some(pos) = text.find(needle) {
+                violations.push(format!(
+                    "{rel}: raw `{needle}` counter near `…{}…` — register a \
+                     Counter/Gauge/Histogram through crate::obs instead (or, \
+                     for a genuine non-metric, extend RAW_COUNTER_ALLOWED \
+                     with a justification)",
+                    context(&text, pos)
+                ));
+            }
+        }
+    }
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
+}
+
+#[test]
+fn raw_counter_allowlist_entries_are_still_used() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for rel in RAW_COUNTER_ALLOWED {
+        let text = compact_nontest_source(&root.join(rel));
+        assert!(
+            ["AtomicU64", "AtomicUsize", "AtomicI64"]
+                .iter()
+                .any(|needle| text.contains(needle)),
+            "{rel} no longer holds a raw atomic counter; prune it from \
+             RAW_COUNTER_ALLOWED"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
