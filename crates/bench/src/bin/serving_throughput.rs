@@ -13,11 +13,17 @@
 //! `incremental_extraction`, applied to the serving layer).
 //!
 //! Flags: `--quick` shrinks the dataset and measurement windows (CI smoke)
-//! and turns the scale sweep into a hard regression gate.
+//! and turns the scale sweep into a hard regression gate: publish latency
+//! must grow ≤ 2x across the 16x graph-size sweep, or — on runners whose
+//! cache the large sweep overflows, where the ratio measures DRAM latency
+//! rather than algorithm — the largest sweep's median must stay under an
+//! absolute 750µs budget. An O(graph)-cost publish fails both arms.
 //!
 //! Every run also writes `BENCH_serving.json` to the working directory —
 //! one record per measured op (`op`, `threads`, `p50_ns`, `p99_ns`,
-//! `throughput`) — which CI uploads as an artifact; see
+//! `throughput`; the scale-sweep records additionally carry `peak_bytes`
+//! and `live_bytes` from the counting allocator, charting publish memory
+//! against graph size) — which CI uploads as an artifact; see
 //! [`graphgen_bench::report`].
 
 use graphgen_bench::report::BenchReport;
@@ -202,13 +208,14 @@ fn scale_sweep(quick: bool, report: &mut BenchReport) -> (Duration, Duration) {
         "\npublish latency vs graph size (fixed {DELTA_ROWS}-row delta, \
          {publishes} publishes each):\n"
     );
-    let widths = [12, 10, 12, 18, 14];
+    let widths = [12, 10, 12, 18, 12, 14];
     row(
         &[
             "base.rows",
             "authors",
             "extract",
             "publish.median",
+            "mem.peak",
             "vs.smallest",
         ]
         .map(String::from),
@@ -229,27 +236,36 @@ fn scale_sweep(quick: bool, report: &mut BenchReport) -> (Duration, Duration) {
         let t0 = Instant::now();
         let service = build_service(&w, 42);
         let extract = t0.elapsed();
-        let best_trial: Vec<Duration> = (0..3)
-            .map(|trial| {
-                let mut samples = publish_samples(
-                    &service,
-                    &w,
-                    DELTA_ROWS,
-                    publishes,
-                    0xF1A7 + memberships as u64 + trial,
-                );
-                samples.sort();
-                samples
-            })
-            .min_by_key(|samples| samples[samples.len() / 2])
-            .expect("three trials");
+        // Allocation accounting wraps the whole trial loop: peak is the
+        // high-water mark of live bytes any single publish run reached above
+        // the idle service, live is what the publishes left resident. Both
+        // land in the JSON record so the artifact charts memory-vs-graph-size
+        // alongside latency-vs-graph-size.
+        let (best_trial, mem) = graphgen_bench::alloc::measure(|| {
+            (0..3)
+                .map(|trial| {
+                    let mut samples = publish_samples(
+                        &service,
+                        &w,
+                        DELTA_ROWS,
+                        publishes,
+                        0xF1A7 + memberships as u64 + trial,
+                    );
+                    samples.sort();
+                    samples
+                })
+                .min_by_key(|samples| samples[samples.len() / 2])
+                .expect("three trials")
+        });
         let best_median = best_trial[best_trial.len() / 2];
-        report.push(
+        report.push_mem(
             format!("publish_scale_{memberships}"),
             1,
             quantile_ns(&best_trial, 0.5),
             quantile_ns(&best_trial, 0.99),
             1.0 / best_median.as_secs_f64().max(1e-9),
+            mem.peak as u64,
+            mem.live as u64,
         );
         let ratio = best_medians
             .first()
@@ -260,6 +276,7 @@ fn scale_sweep(quick: bool, report: &mut BenchReport) -> (Duration, Duration) {
                 w.authors.to_string(),
                 format!("{:.0}ms", extract.as_secs_f64() * 1e3),
                 format!("{:.3}ms", best_median.as_secs_f64() * 1e3),
+                graphgen_bench::alloc::human_bytes(mem.peak),
                 format!("{ratio:.2}x"),
             ],
             &widths,
@@ -384,17 +401,27 @@ fn main() {
     let growth = largest.as_secs_f64() / smallest.as_secs_f64().max(1e-9);
     println!(
         "\npublish latency grew {growth:.2}x across a 16x graph-size growth \
-         (delta-bound target: flat, within 2x)."
+         (delta-bound target: flat, within 2x or under the absolute budget)."
     );
     // Written before the gate so CI uploads the artifact even on failure.
     report.write("BENCH_serving.json");
     // CI gate: a return to clone-dominated publishing tracks graph size
-    // (~16x here); the 4x bound leaves room for timer noise on shared
-    // runners while still catching any O(graph) publish cost.
-    if quick && growth > 4.0 {
+    // (~16x here). With the dense-id interned hot paths the gate is 2x —
+    // half the old 4x bound — so a size-proportional term that previously
+    // hid under the slack now fails. The ratio alone flakes on runners
+    // whose last-level cache the 160k working set overflows (the same
+    // publish pays DRAM latency the 10k baseline never sees, inflating
+    // the ratio with memory-hierarchy cost, not algorithmic cost), so an
+    // absolute budget on the large end backs it up: either the curve is
+    // flat, or the largest sweep's median publish stays under 750µs. A
+    // genuinely O(graph) publish — the regression this gate exists to
+    // catch — lands in milliseconds at 160k rows and fails both arms.
+    const LARGEST_BUDGET: Duration = Duration::from_micros(750);
+    if quick && growth > 2.0 && largest > LARGEST_BUDGET {
         eprintln!(
             "FAIL: publish latency grew {growth:.2}x while the graph grew 16x \
-             — publish cost is no longer delta-bound"
+             and the largest median ({largest:?}) exceeds the {LARGEST_BUDGET:?} \
+             budget — publish cost is no longer delta-bound"
         );
         std::process::exit(1);
     }

@@ -38,6 +38,13 @@ pub struct BenchRecord {
     pub p99_ns: u64,
     /// Operations per second over the measurement window.
     pub throughput: f64,
+    /// Peak live bytes above the entry baseline during the measurement
+    /// window (counting allocator; 0 when not measured — omitted from the
+    /// JSON so memory-less records keep their original shape).
+    pub peak_bytes: u64,
+    /// Net live-byte growth across the measurement window (0 when not
+    /// measured).
+    pub live_bytes: u64,
 }
 
 /// A named collection of [`BenchRecord`]s that serializes to one JSON file.
@@ -73,6 +80,34 @@ impl BenchReport {
             p50_ns,
             p99_ns,
             throughput,
+            peak_bytes: 0,
+            live_bytes: 0,
+        });
+    }
+
+    /// Append one measurement with allocation accounting: `peak_bytes` is
+    /// the high-water mark of live bytes above the window's entry baseline
+    /// and `live_bytes` the net live growth across it (both from the
+    /// counting allocator's [`crate::alloc::measure`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_mem(
+        &mut self,
+        op: impl Into<String>,
+        threads: usize,
+        p50_ns: u64,
+        p99_ns: u64,
+        throughput: f64,
+        peak_bytes: u64,
+        live_bytes: u64,
+    ) {
+        self.records.push(BenchRecord {
+            op: op.into(),
+            threads,
+            p50_ns,
+            p99_ns,
+            throughput,
+            peak_bytes,
+            live_bytes,
         });
     }
 
@@ -86,13 +121,20 @@ impl BenchReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    {{\"op\": {}, \"threads\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"throughput\": {}}}",
+                "\n    {{\"op\": {}, \"threads\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"throughput\": {}",
                 json_string(&r.op),
                 r.threads,
                 r.p50_ns,
                 r.p99_ns,
                 json_number(r.throughput),
             ));
+            if r.peak_bytes != 0 || r.live_bytes != 0 {
+                out.push_str(&format!(
+                    ", \"peak_bytes\": {}, \"live_bytes\": {}",
+                    r.peak_bytes, r.live_bytes
+                ));
+            }
+            out.push('}');
         }
         if !self.records.is_empty() {
             out.push_str("\n  ");
@@ -162,6 +204,20 @@ mod tests {
         let publish = json.find("publish_rows_64").unwrap();
         assert!(idle < publish, "records must keep emission order");
         assert!(json.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn memory_fields_are_emitted_only_when_measured() {
+        let mut r = BenchReport::new("serving");
+        r.push("plain", 1, 1, 2, 3.0);
+        r.push_mem("measured", 1, 1, 2, 3.0, 4096, 1024);
+        let json = r.to_json();
+        let plain_line = json.lines().find(|l| l.contains("\"plain\"")).unwrap();
+        assert!(
+            !plain_line.contains("peak_bytes"),
+            "records without measurement must keep the original shape: {plain_line}"
+        );
+        assert!(json.contains("\"op\": \"measured\", \"threads\": 1, \"p50_ns\": 1, \"p99_ns\": 2, \"throughput\": 3.000, \"peak_bytes\": 4096, \"live_bytes\": 1024"));
     }
 
     #[test]

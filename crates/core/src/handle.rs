@@ -167,8 +167,14 @@ impl GraphHandle {
         graph: AnyGraph,
         ids: IdMap<Value>,
         properties: Properties,
-        state: Option<IncrementalState>,
+        mut state: Option<IncrementalState>,
     ) -> Self {
+        // The vid → real-id side-table is not part of the snapshot format;
+        // rebuild it against the decoded id map before the state serves
+        // deltas.
+        if let Some(s) = state.as_mut() {
+            s.rebuild_real_ids(&ids);
+        }
         Self {
             graph,
             ids: Arc::new(ids),
@@ -249,6 +255,15 @@ impl GraphHandle {
     }
 
     // ---- incremental maintenance ---------------------------------------
+
+    /// Live entries in the incremental engine's dense-id dictionary (0 for
+    /// a plain handle). Observability: the serving layer sums this across
+    /// graphs into the `graphgen_intern_entries` gauge.
+    pub fn intern_entries(&self) -> usize {
+        self.incremental
+            .as_deref()
+            .map_or(0, IncrementalState::intern_entries)
+    }
 
     /// True if this handle carries delta-maintenance state (extracted with
     /// `GraphGenConfig::incremental`), i.e. [`GraphHandle::apply_delta`]

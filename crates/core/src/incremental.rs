@@ -64,10 +64,26 @@ use graphgen_common::parallel::{effective_threads, map_morsels};
 use graphgen_common::{FxHashMap, FxHashSet, IdMap};
 use graphgen_dsl::GraphSpec;
 use graphgen_graph::{CondensedGraph, GraphRep, PropValue, Properties, RealId, VirtId};
-use graphgen_reldb::{Delta, DeltaOp, Predicate, Value};
+use graphgen_reldb::{Delta, DeltaOp, Interner, Predicate, Value, Vid, NULL_VID};
 
-/// A per-value multiplicity index: `key → (other column value → count)`.
-type Bag = FxHashMap<Value, FxHashMap<Value, i64>>;
+/// A per-value multiplicity index over interned ids: slot `v` holds the
+/// `(other column id → count)` bag of join value `v`. Flat `Vec` indexing
+/// replaces the former `HashMap<Value, …>` outer layer — a delta probe is
+/// an array load instead of a value hash + pointer chase, which is what
+/// made publish latency scale with database size.
+type VidBag = Vec<FxHashMap<Vid, i64>>;
+
+/// Pack an output pair of interned ids into one machine word (support-map
+/// key). Ordering of the packed form equals lexicographic `(l, r)` order.
+#[inline]
+fn pack(l: Vid, r: Vid) -> u64 {
+    (u64::from(l) << 32) | u64::from(r)
+}
+
+#[inline]
+fn unpack(key: u64) -> (Vid, Vid) {
+    ((key >> 32) as Vid, key as Vid)
+}
 
 /// What [`crate::GraphHandle::apply_delta`] did, for reporting and
 /// benchmarking. All counters are in units of applied operations.
@@ -145,31 +161,36 @@ struct AtomState {
     pred: Predicate,
     in_col: usize,
     out_col: usize,
-    /// `in value → (out value → multiplicity)`.
-    by_in: Bag,
-    /// `out value → (in value → multiplicity)`.
-    by_out: Bag,
+    /// `in id → (out id → multiplicity)`.
+    by_in: VidBag,
+    /// `out id → (in id → multiplicity)`.
+    by_out: VidBag,
 }
 
 /// The maintained output of one segment query.
 #[derive(Debug, Clone)]
 struct SegmentState {
     atoms: Vec<AtomState>,
-    /// Bag multiplicity of each output pair (the incremental `DISTINCT`).
-    support: FxHashMap<(Value, Value), i64>,
-    /// Distinct output indexed by left endpoint.
-    by_left: FxHashMap<Value, FxHashSet<Value>>,
-    /// Distinct output indexed by right endpoint.
-    by_right: FxHashMap<Value, FxHashSet<Value>>,
+    /// Bag multiplicity of each output pair (the incremental `DISTINCT`),
+    /// keyed by the [`pack`]ed interned endpoint ids.
+    support: FxHashMap<u64, i64>,
+    /// Distinct output indexed by left endpoint id (flat slot per id).
+    by_left: Vec<FxHashSet<Vid>>,
+    /// Distinct output indexed by right endpoint id (flat slot per id).
+    by_right: Vec<FxHashSet<Vid>>,
 }
 
 /// The maintained state of one `Edges` chain.
 #[derive(Debug, Clone)]
 struct ChainState {
     segments: Vec<SegmentState>,
-    /// Per boundary between segments: join-attribute value → dense index.
-    boundaries: Vec<IdMap<Value>>,
-    /// Per boundary: dense index → allocated virtual node.
+    /// Per boundary between segments: interned id → boundary-local dense
+    /// index (`u32::MAX` = not seen at this boundary), flat-indexed by id.
+    boundary_index: Vec<Vec<u32>>,
+    /// Per boundary: boundary-local index → the id it was allocated for
+    /// (the interning order, persisted so recovery continues identically).
+    boundary_keys: Vec<Vec<Vid>>,
+    /// Per boundary: boundary-local index → allocated virtual node.
     boundary_virts: Vec<Vec<VirtId>>,
 }
 
@@ -198,9 +219,25 @@ pub struct IncrementalState {
     threads: usize,
     views: Vec<ViewState>,
     chains: Vec<ChainState>,
-    node_entries: FxHashMap<Value, NodeEntry>,
-    /// Cross-chain reference counts of direct real→real pairs.
-    direct_support: FxHashMap<(Value, Value), i64>,
+    node_entries: FxHashMap<Vid, NodeEntry>,
+    /// Cross-chain reference counts of direct real→real pairs, keyed by
+    /// the [`pack`]ed interned endpoint ids.
+    direct_support: FxHashMap<u64, i64>,
+    /// The engine dictionary: every join value, boundary attribute, and
+    /// node key that ever entered a keyed structure, interned to a dense
+    /// [`Vid`]. Grow-only (interned via [`Interner::intern`], which pins
+    /// slots), so a `Vid` stored anywhere in this state stays resolvable
+    /// for the lifetime of the handle and across snapshot round-trips.
+    dict: Interner,
+    /// Flat `Vid` → real node id side-table (`u32::MAX` = the id is not a
+    /// node key). Pure cache over the handle's `IdMap` — the id map is
+    /// append-only, so entries never invalidate — letting the hot
+    /// materialize paths resolve an endpoint with one array load instead
+    /// of a value hash into the id map. Not persisted: rebuilt from the
+    /// dictionary + id map when a snapshot is decoded
+    /// ([`IncrementalState::rebuild_real_ids`]), and maintained by the
+    /// node-add path during live applies.
+    real_ids: Vec<u32>,
     shadow: Option<ShadowCore>,
 }
 
@@ -236,19 +273,20 @@ impl IncrementalState {
                                 pred: step.pred.clone(),
                                 in_col: step.in_col,
                                 out_col: step.out_col,
-                                by_in: Bag::default(),
-                                by_out: Bag::default(),
+                                by_in: VidBag::default(),
+                                by_out: VidBag::default(),
                             })
                             .collect(),
                         support: FxHashMap::default(),
-                        by_left: FxHashMap::default(),
-                        by_right: FxHashMap::default(),
+                        by_left: Vec::new(),
+                        by_right: Vec::new(),
                     })
                     .collect();
                 let boundaries = segments.len().saturating_sub(1);
                 ChainState {
                     segments,
-                    boundaries: (0..boundaries).map(|_| IdMap::new()).collect(),
+                    boundary_index: vec![Vec::new(); boundaries],
+                    boundary_keys: vec![Vec::new(); boundaries],
                     boundary_virts: vec![Vec::new(); boundaries],
                 }
             })
@@ -259,8 +297,31 @@ impl IncrementalState {
             chains,
             node_entries: FxHashMap::default(),
             direct_support: FxHashMap::default(),
+            dict: Interner::new(),
+            real_ids: Vec::new(),
             shadow: None,
         }
+    }
+
+    /// Rebuild the `Vid` → real-id side-table from scratch (snapshot
+    /// decode path: the cache is not persisted). Every dictionary slot is
+    /// probed once against the id map; ids interned after this call are
+    /// added by the live node-add path.
+    pub(crate) fn rebuild_real_ids(&mut self, ids: &IdMap<Value>) {
+        self.real_ids = (0..self.dict.capacity() as Vid)
+            .map(|vid| {
+                self.dict
+                    .resolve(vid)
+                    .and_then(|v| ids.get(v))
+                    .unwrap_or(u32::MAX)
+            })
+            .collect();
+    }
+
+    /// The engine dictionary's live entry count (observability: the
+    /// `graphgen_intern_entries` gauge).
+    pub fn intern_entries(&self) -> usize {
+        self.dict.live()
     }
 
     /// Every base table the spec reads, in deterministic first-reference
@@ -667,21 +728,21 @@ impl Target<'_> {
 // ---------------------------------------------------------------------------
 
 /// Walk left from atom `j`: the bag of segment-left endpoints `X` reachable
-/// from join value `v` through atoms `j-1 … 0` (each crossing probes one
-/// hash index — the "re-probe only the changed side" rule). NULL join
-/// values never cross a join, matching the hash-join operator.
-fn expand_left(atoms: &[AtomState], j: usize, v: &Value) -> FxHashMap<Value, i64> {
-    let mut frontier: FxHashMap<Value, i64> = FxHashMap::default();
-    frontier.insert(v.clone(), 1);
+/// from join id `v` through atoms `j-1 … 0` (each crossing is a flat slot
+/// load — the "re-probe only the changed side" rule). [`NULL_VID`] never
+/// crosses a join, matching the hash-join operator.
+fn expand_left(atoms: &[AtomState], j: usize, v: Vid) -> FxHashMap<Vid, i64> {
+    let mut frontier: FxHashMap<Vid, i64> = FxHashMap::default();
+    frontier.insert(v, 1);
     for i in (0..j).rev() {
-        let mut next: FxHashMap<Value, i64> = FxHashMap::default();
-        for (val, m) in &frontier {
-            if val.is_null() {
+        let mut next: FxHashMap<Vid, i64> = FxHashMap::default();
+        for (&val, m) in &frontier {
+            if val == NULL_VID {
                 continue;
             }
-            if let Some(ins) = atoms[i].by_out.get(val) {
-                for (in_v, mi) in ins {
-                    *next.entry(in_v.clone()).or_insert(0) += m * mi;
+            if let Some(ins) = atoms[i].by_out.get(val as usize) {
+                for (&in_v, mi) in ins {
+                    *next.entry(in_v).or_insert(0) += m * mi;
                 }
             }
         }
@@ -694,19 +755,19 @@ fn expand_left(atoms: &[AtomState], j: usize, v: &Value) -> FxHashMap<Value, i64
 }
 
 /// Walk right from atom `j`: the bag of segment-right endpoints `Y`
-/// reachable from join value `v` through atoms `j+1 … m-1`.
-fn expand_right(atoms: &[AtomState], j: usize, v: &Value) -> FxHashMap<Value, i64> {
-    let mut frontier: FxHashMap<Value, i64> = FxHashMap::default();
-    frontier.insert(v.clone(), 1);
+/// reachable from join id `v` through atoms `j+1 … m-1`.
+fn expand_right(atoms: &[AtomState], j: usize, v: Vid) -> FxHashMap<Vid, i64> {
+    let mut frontier: FxHashMap<Vid, i64> = FxHashMap::default();
+    frontier.insert(v, 1);
     for atom in atoms.iter().skip(j + 1) {
-        let mut next: FxHashMap<Value, i64> = FxHashMap::default();
-        for (val, m) in &frontier {
-            if val.is_null() {
+        let mut next: FxHashMap<Vid, i64> = FxHashMap::default();
+        for (&val, m) in &frontier {
+            if val == NULL_VID {
                 continue;
             }
-            if let Some(outs) = atom.by_in.get(val) {
-                for (out_v, mo) in outs {
-                    *next.entry(out_v.clone()).or_insert(0) += m * mo;
+            if let Some(outs) = atom.by_in.get(val as usize) {
+                for (&out_v, mo) in outs {
+                    *next.entry(out_v).or_insert(0) += m * mo;
                 }
             }
         }
@@ -719,24 +780,43 @@ fn expand_right(atoms: &[AtomState], j: usize, v: &Value) -> FxHashMap<Value, i6
 }
 
 /// Add `mult` to `bag[key][val]`, erroring if a multiplicity would go
-/// negative (a delta that deletes rows the table never held).
-fn bump(bag: &mut Bag, key: &Value, val: &Value, mult: i64) -> Result<(), Error> {
-    let inner = bag.entry(key.clone()).or_default();
-    let slot = inner.entry(val.clone()).or_insert(0);
+/// negative (a delta that deletes rows the table never held). Grows the
+/// flat outer `Vec` on demand; empty inner maps stay allocated (a handful
+/// of machine words per id ever seen — the price of O(1) slot loads).
+fn bump(bag: &mut VidBag, key: Vid, val: Vid, mult: i64, dict: &Interner) -> Result<(), Error> {
+    if bag.len() <= key as usize {
+        bag.resize_with(key as usize + 1, FxHashMap::default);
+    }
+    let inner = &mut bag[key as usize];
+    let slot = inner.entry(val).or_insert(0);
     *slot += mult;
     if *slot < 0 {
+        let k = dict.resolve(key).cloned().unwrap_or(Value::Null);
+        let v = dict.resolve(val).cloned().unwrap_or(Value::Null);
         return Err(PatchError::Inconsistent(format!(
-            "delta drives multiplicity of ({key}, {val}) negative"
+            "delta drives multiplicity of ({k}, {v}) negative"
         ))
         .into());
     }
     if *slot == 0 {
-        inner.remove(val);
-        if inner.is_empty() {
-            bag.remove(key);
-        }
+        inner.remove(&val);
     }
     Ok(())
+}
+
+/// Insert `r` into the flat set at slot `l`, growing on demand.
+fn flat_insert(index: &mut Vec<FxHashSet<Vid>>, l: Vid, r: Vid) {
+    if index.len() <= l as usize {
+        index.resize_with(l as usize + 1, FxHashSet::default);
+    }
+    index[l as usize].insert(r);
+}
+
+/// Remove `r` from the flat set at slot `l` (empty sets stay allocated).
+fn flat_remove(index: &mut [FxHashSet<Vid>], l: Vid, r: Vid) {
+    if let Some(set) = index.get_mut(l as usize) {
+        set.remove(&r);
+    }
 }
 
 impl SegmentState {
@@ -745,36 +825,40 @@ impl SegmentState {
     /// atoms at their old state), morsel-parallel over the delta rows, then
     /// support-count transitions for the incremental DISTINCT.
     ///
-    /// Returns the output pairs that (dis)appeared, each sorted for
-    /// deterministic downstream interning at every thread count.
+    /// Returns the output pairs that (dis)appeared as interned-id pairs,
+    /// each sorted for deterministic downstream interning at every thread
+    /// count. Interning of delta values happens in the sequential
+    /// projection loop, never inside the parallel expansion — so id
+    /// assignment (and with it every downstream order) is independent of
+    /// the thread count.
     #[allow(clippy::type_complexity)]
     fn transitions(
         &mut self,
         delta: &Delta,
         threads: usize,
-    ) -> Result<(Vec<(Value, Value)>, Vec<(Value, Value)>), Error> {
-        let mut sdelta: FxHashMap<(Value, Value), i64> = FxHashMap::default();
+        dict: &mut Interner,
+    ) -> Result<(Vec<(Vid, Vid)>, Vec<(Vid, Vid)>), Error> {
+        let mut sdelta: FxHashMap<u64, i64> = FxHashMap::default();
         for j in 0..self.atoms.len() {
             if self.atoms[j].table != delta.table() {
                 continue;
             }
-            // Project the delta rows through the atom's predicate.
-            let mut dj: FxHashMap<(Value, Value), i64> = FxHashMap::default();
+            // Project the delta rows through the atom's predicate,
+            // interning the join values (sequential: see above).
+            let mut dj: FxHashMap<u64, i64> = FxHashMap::default();
             for row in delta.rows() {
                 if !self.atoms[j].pred.eval(&row.values) {
                     continue;
                 }
-                let key = (
-                    row.values[self.atoms[j].in_col].clone(),
-                    row.values[self.atoms[j].out_col].clone(),
-                );
-                *dj.entry(key).or_insert(0) += row.op.sign();
+                let in_v = dict.intern(&row.values[self.atoms[j].in_col]);
+                let out_v = dict.intern(&row.values[self.atoms[j].out_col]);
+                *dj.entry(pack(in_v, out_v)).or_insert(0) += row.op.sign();
             }
             dj.retain(|_, m| *m != 0);
             if dj.is_empty() {
                 continue;
             }
-            let entries: Vec<((Value, Value), i64)> = dj.into_iter().collect();
+            let entries: Vec<(u64, i64)> = dj.into_iter().collect();
             // Delta join: expand every changed row against the unchanged
             // sides. Atoms before `j` were already advanced to their new
             // state by earlier loop iterations; atoms after `j` are still
@@ -782,16 +866,17 @@ impl SegmentState {
             let atoms = &self.atoms;
             let t = effective_threads(threads, entries.len());
             let parts = map_morsels(entries.len(), t, |range| {
-                let mut local: FxHashMap<(Value, Value), i64> = FxHashMap::default();
-                for ((in_v, out_v), mult) in &entries[range] {
+                let mut local: FxHashMap<u64, i64> = FxHashMap::default();
+                for (key, mult) in &entries[range] {
+                    let (in_v, out_v) = unpack(*key);
                     let lefts = expand_left(atoms, j, in_v);
                     if lefts.is_empty() {
                         continue;
                     }
                     let rights = expand_right(atoms, j, out_v);
-                    for (x, ml) in &lefts {
-                        for (y, mr) in &rights {
-                            *local.entry((x.clone(), y.clone())).or_insert(0) += mult * ml * mr;
+                    for (&x, ml) in &lefts {
+                        for (&y, mr) in &rights {
+                            *local.entry(pack(x, y)).or_insert(0) += mult * ml * mr;
                         }
                     }
                 }
@@ -811,24 +896,28 @@ impl SegmentState {
             // stay empty, on the initial replay and live path alike).
             if self.atoms.len() > 1 {
                 let atom = &mut self.atoms[j];
-                for ((in_v, out_v), mult) in &entries {
-                    bump(&mut atom.by_in, in_v, out_v, *mult)?;
-                    bump(&mut atom.by_out, out_v, in_v, *mult)?;
+                for (key, mult) in &entries {
+                    let (in_v, out_v) = unpack(*key);
+                    bump(&mut atom.by_in, in_v, out_v, *mult, dict)?;
+                    bump(&mut atom.by_out, out_v, in_v, *mult, dict)?;
                 }
             }
         }
         sdelta.retain(|_, d| *d != 0);
-        // Support transitions, in sorted pair order so virtual-node
-        // interning is identical for every thread count.
-        let mut changes: Vec<((Value, Value), i64)> = sdelta.into_iter().collect();
-        changes.sort_by(|a, b| a.0.cmp(&b.0));
+        // Support transitions, in sorted id-pair order so virtual-node
+        // interning is identical for every thread count (id assignment is
+        // sequential, so the order is as deterministic as the former
+        // value-pair sort — just an integer compare instead).
+        let mut changes: Vec<(u64, i64)> = sdelta.into_iter().collect();
+        changes.sort_unstable_by_key(|&(k, _)| k);
         let mut added = Vec::new();
         let mut removed = Vec::new();
-        for (pair, d) in changes {
+        for (key, d) in changes {
+            let (l, r) = unpack(key);
             // One entry-API probe of the (graph-sized, usually cold)
             // support map per changed pair: the common no-transition case
-            // (old > 0, new > 0) touches it exactly once and clones no key.
-            let (old, new) = match self.support.entry(pair.clone()) {
+            // (old > 0, new > 0) touches it exactly once.
+            let (old, new) = match self.support.entry(key) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     let old = *e.get();
                     let new = old + d;
@@ -847,36 +936,21 @@ impl SegmentState {
                 }
             };
             if new < 0 {
+                let lv = dict.resolve(l).cloned().unwrap_or(Value::Null);
+                let rv = dict.resolve(r).cloned().unwrap_or(Value::Null);
                 return Err(PatchError::Inconsistent(format!(
-                    "delta drives support of output pair ({}, {}) negative",
-                    pair.0, pair.1
+                    "delta drives support of output pair ({lv}, {rv}) negative"
                 ))
                 .into());
             }
             if old == 0 && new > 0 {
-                self.by_left
-                    .entry(pair.0.clone())
-                    .or_default()
-                    .insert(pair.1.clone());
-                self.by_right
-                    .entry(pair.1.clone())
-                    .or_default()
-                    .insert(pair.0.clone());
-                added.push(pair);
+                flat_insert(&mut self.by_left, l, r);
+                flat_insert(&mut self.by_right, r, l);
+                added.push((l, r));
             } else if old > 0 && new == 0 {
-                if let Some(set) = self.by_left.get_mut(&pair.0) {
-                    set.remove(&pair.1);
-                    if set.is_empty() {
-                        self.by_left.remove(&pair.0);
-                    }
-                }
-                if let Some(set) = self.by_right.get_mut(&pair.1) {
-                    set.remove(&pair.0);
-                    if set.is_empty() {
-                        self.by_right.remove(&pair.1);
-                    }
-                }
-                removed.push(pair);
+                flat_remove(&mut self.by_left, l, r);
+                flat_remove(&mut self.by_right, r, l);
+                removed.push((l, r));
             }
         }
         Ok((added, removed))
@@ -887,31 +961,52 @@ impl SegmentState {
 // Materialization: segment transitions -> graph operations
 // ---------------------------------------------------------------------------
 
-/// Intern a boundary value, allocating its virtual node on first sight.
+/// Intern a boundary id, allocating its virtual node on first sight. The
+/// flat `boundary_index` slot array makes the common repeat case a single
+/// array load.
 fn ensure_virt(
-    boundaries: &mut [IdMap<Value>],
+    boundary_index: &mut [Vec<u32>],
+    boundary_keys: &mut [Vec<Vid>],
     boundary_virts: &mut [Vec<VirtId>],
     b: usize,
-    value: &Value,
+    vid: Vid,
     target: &mut Target<'_>,
     patch: &mut GraphPatch,
 ) -> VirtId {
-    let idx = boundaries[b].intern(value.clone()) as usize;
-    if idx == boundary_virts[b].len() {
+    let index = &mut boundary_index[b];
+    if index.len() <= vid as usize {
+        index.resize(vid as usize + 1, u32::MAX);
+    }
+    if index[vid as usize] == u32::MAX {
+        index[vid as usize] = boundary_keys[b].len() as u32;
+        boundary_keys[b].push(vid);
         let v = target.add_virtual_node(patch);
         boundary_virts[b].push(v);
     }
-    boundary_virts[b][idx]
+    boundary_virts[b][index[vid as usize] as usize]
+}
+
+/// Resolve an interned id to its real node id via the flat side-table —
+/// one array load, no value hash. A `Vid` beyond the table (interned
+/// after the last rebuild/add) or mapped to the sentinel is not a node
+/// key, exactly as an id-map miss would report.
+#[inline]
+fn real_from(real_ids: &[u32], vid: Vid) -> Option<u32> {
+    real_ids
+        .get(vid as usize)
+        .copied()
+        .filter(|&id| id != u32::MAX)
 }
 
 #[allow(clippy::too_many_arguments)]
 fn materialize_segment(
     chain: &mut ChainState,
     j: usize,
-    added: &[(Value, Value)],
-    removed: &[(Value, Value)],
-    direct_support: &mut FxHashMap<(Value, Value), i64>,
-    ids: &IdMap<Value>,
+    added: &[(Vid, Vid)],
+    removed: &[(Vid, Vid)],
+    direct_support: &mut FxHashMap<u64, i64>,
+    real_ids: &[u32],
+    dict: &Interner,
     target: &mut Target<'_>,
     patch: &mut GraphPatch,
 ) -> Result<(), Error> {
@@ -919,7 +1014,8 @@ fn materialize_segment(
         graphgen_common::metrics::span("build_rep", graphgen_common::region::Region::BuildRep);
     let k = chain.segments.len();
     let ChainState {
-        boundaries,
+        boundary_index,
+        boundary_keys,
         boundary_virts,
         ..
     } = chain;
@@ -927,30 +1023,31 @@ fn materialize_segment(
         // Single-segment chain: the database-computed edge list. Direct
         // edges are reference-counted across chains, since several Edges
         // rules may yield the same pair.
-        for (x, y) in added {
-            let pair = (x.clone(), y.clone());
-            let s = direct_support.entry(pair).or_insert(0);
+        for &(x, y) in added {
+            let s = direct_support.entry(pack(x, y)).or_insert(0);
             *s += 1;
             if *s == 1 && x != y {
-                if let (Some(u), Some(v)) = (ids.get(x), ids.get(y)) {
+                if let (Some(u), Some(v)) = (real_from(real_ids, x), real_from(real_ids, y)) {
                     target.add_direct(RealId(u), RealId(v), patch);
                 }
             }
         }
-        for (x, y) in removed {
-            let pair = (x.clone(), y.clone());
-            let s = direct_support.entry(pair.clone()).or_insert(0);
+        for &(x, y) in removed {
+            let key = pack(x, y);
+            let s = direct_support.entry(key).or_insert(0);
             *s -= 1;
             if *s < 0 {
+                let xv = dict.resolve(x).cloned().unwrap_or(Value::Null);
+                let yv = dict.resolve(y).cloned().unwrap_or(Value::Null);
                 return Err(PatchError::Inconsistent(format!(
-                    "direct-edge support of ({x}, {y}) went negative"
+                    "direct-edge support of ({xv}, {yv}) went negative"
                 ))
                 .into());
             }
             if *s == 0 {
-                direct_support.remove(&pair);
+                direct_support.remove(&key);
                 if x != y {
-                    if let (Some(u), Some(v)) = (ids.get(x), ids.get(y)) {
+                    if let (Some(u), Some(v)) = (real_from(real_ids, x), real_from(real_ids, y)) {
                         target.remove_direct(RealId(u), RealId(v), patch);
                     }
                 }
@@ -963,45 +1060,109 @@ fn materialize_segment(
     // not, so a node whose key later reappears revives with its adjacency
     // intact; keys that never were nodes contribute no edges until a node
     // add materializes them from the segment indexes.
-    for (l, r) in added {
+    for &(l, r) in added {
         match (j == 0, j == k - 1) {
             (true, false) => {
-                let v = ensure_virt(boundaries, boundary_virts, 0, r, target, patch);
-                if let Some(u) = ids.get(l) {
+                let v = ensure_virt(
+                    boundary_index,
+                    boundary_keys,
+                    boundary_virts,
+                    0,
+                    r,
+                    target,
+                    patch,
+                );
+                if let Some(u) = real_from(real_ids, l) {
                     target.add_membership(RealId(u), v, patch);
                 }
             }
             (false, true) => {
-                let v = ensure_virt(boundaries, boundary_virts, k - 2, l, target, patch);
-                if let Some(t) = ids.get(r) {
+                let v = ensure_virt(
+                    boundary_index,
+                    boundary_keys,
+                    boundary_virts,
+                    k - 2,
+                    l,
+                    target,
+                    patch,
+                );
+                if let Some(t) = real_from(real_ids, r) {
                     target.add_virt_to_real(v, RealId(t), patch);
                 }
             }
             (false, false) => {
-                let vl = ensure_virt(boundaries, boundary_virts, j - 1, l, target, patch);
-                let vr = ensure_virt(boundaries, boundary_virts, j, r, target, patch);
+                let vl = ensure_virt(
+                    boundary_index,
+                    boundary_keys,
+                    boundary_virts,
+                    j - 1,
+                    l,
+                    target,
+                    patch,
+                );
+                let vr = ensure_virt(
+                    boundary_index,
+                    boundary_keys,
+                    boundary_virts,
+                    j,
+                    r,
+                    target,
+                    patch,
+                );
                 target.add_vv(vl, vr, patch);
             }
             (true, true) => unreachable!("k > 1"),
         }
     }
-    for (l, r) in removed {
+    for &(l, r) in removed {
         match (j == 0, j == k - 1) {
             (true, false) => {
-                let v = ensure_virt(boundaries, boundary_virts, 0, r, target, patch);
-                if let Some(u) = ids.get(l) {
+                let v = ensure_virt(
+                    boundary_index,
+                    boundary_keys,
+                    boundary_virts,
+                    0,
+                    r,
+                    target,
+                    patch,
+                );
+                if let Some(u) = real_from(real_ids, l) {
                     target.remove_membership(RealId(u), v, patch);
                 }
             }
             (false, true) => {
-                let v = ensure_virt(boundaries, boundary_virts, k - 2, l, target, patch);
-                if let Some(t) = ids.get(r) {
+                let v = ensure_virt(
+                    boundary_index,
+                    boundary_keys,
+                    boundary_virts,
+                    k - 2,
+                    l,
+                    target,
+                    patch,
+                );
+                if let Some(t) = real_from(real_ids, r) {
                     target.remove_virt_to_real(v, RealId(t), patch);
                 }
             }
             (false, false) => {
-                let vl = ensure_virt(boundaries, boundary_virts, j - 1, l, target, patch);
-                let vr = ensure_virt(boundaries, boundary_virts, j, r, target, patch);
+                let vl = ensure_virt(
+                    boundary_index,
+                    boundary_keys,
+                    boundary_virts,
+                    j - 1,
+                    l,
+                    target,
+                    patch,
+                );
+                let vr = ensure_virt(
+                    boundary_index,
+                    boundary_keys,
+                    boundary_virts,
+                    j,
+                    r,
+                    target,
+                    patch,
+                );
                 target.remove_vv(vl, vr, patch);
             }
             (true, true) => unreachable!("k > 1"),
@@ -1015,10 +1176,10 @@ fn materialize_segment(
 /// own memberships, not the graph).
 fn materialize_node_edges(
     chains: &mut [ChainState],
-    key: &Value,
+    key: Vid,
     id: RealId,
-    direct_support: &FxHashMap<(Value, Value), i64>,
-    ids: &IdMap<Value>,
+    direct_support: &FxHashMap<u64, i64>,
+    real_ids: &[u32],
     target: &mut Target<'_>,
     patch: &mut GraphPatch,
 ) {
@@ -1028,35 +1189,23 @@ fn materialize_node_edges(
         let k = chain.segments.len();
         if k == 1 {
             let seg = &chain.segments[0];
-            if let Some(ys) = seg.by_left.get(key) {
-                let mut ys: Vec<&Value> = ys.iter().collect();
-                ys.sort();
+            if let Some(ys) = seg.by_left.get(key as usize) {
+                let mut ys: Vec<Vid> = ys.iter().copied().collect();
+                ys.sort_unstable();
                 for y in ys {
-                    if y != key
-                        && direct_support
-                            .get(&(key.clone(), y.clone()))
-                            .copied()
-                            .unwrap_or(0)
-                            > 0
-                    {
-                        if let Some(v) = ids.get(y) {
+                    if y != key && direct_support.get(&pack(key, y)).copied().unwrap_or(0) > 0 {
+                        if let Some(v) = real_from(real_ids, y) {
                             target.add_direct(id, RealId(v), patch);
                         }
                     }
                 }
             }
-            if let Some(xs) = seg.by_right.get(key) {
-                let mut xs: Vec<&Value> = xs.iter().collect();
-                xs.sort();
+            if let Some(xs) = seg.by_right.get(key as usize) {
+                let mut xs: Vec<Vid> = xs.iter().copied().collect();
+                xs.sort_unstable();
                 for x in xs {
-                    if x != key
-                        && direct_support
-                            .get(&(x.clone(), key.clone()))
-                            .copied()
-                            .unwrap_or(0)
-                            > 0
-                    {
-                        if let Some(u) = ids.get(x) {
+                    if x != key && direct_support.get(&pack(x, key)).copied().unwrap_or(0) > 0 {
+                        if let Some(u) = real_from(real_ids, x) {
                             target.add_direct(RealId(u), id, patch);
                         }
                     }
@@ -1066,22 +1215,39 @@ fn materialize_node_edges(
         }
         let ChainState {
             segments,
-            boundaries,
+            boundary_index,
+            boundary_keys,
             boundary_virts,
         } = chain;
-        if let Some(avals) = segments[0].by_left.get(key) {
-            let mut avals: Vec<&Value> = avals.iter().collect();
-            avals.sort();
+        if let Some(avals) = segments[0].by_left.get(key as usize) {
+            let mut avals: Vec<Vid> = avals.iter().copied().collect();
+            avals.sort_unstable();
             for a in avals {
-                let v = ensure_virt(boundaries, boundary_virts, 0, a, target, patch);
+                let v = ensure_virt(
+                    boundary_index,
+                    boundary_keys,
+                    boundary_virts,
+                    0,
+                    a,
+                    target,
+                    patch,
+                );
                 target.add_membership(id, v, patch);
             }
         }
-        if let Some(avals) = segments[k - 1].by_right.get(key) {
-            let mut avals: Vec<&Value> = avals.iter().collect();
-            avals.sort();
+        if let Some(avals) = segments[k - 1].by_right.get(key as usize) {
+            let mut avals: Vec<Vid> = avals.iter().copied().collect();
+            avals.sort_unstable();
             for a in avals {
-                let v = ensure_virt(boundaries, boundary_virts, k - 2, a, target, patch);
+                let v = ensure_virt(
+                    boundary_index,
+                    boundary_keys,
+                    boundary_virts,
+                    k - 2,
+                    a,
+                    target,
+                    patch,
+                );
                 target.add_virt_to_real(v, id, patch);
             }
         }
@@ -1129,6 +1295,8 @@ pub(crate) fn apply_delta_state(
         chains,
         node_entries,
         direct_support,
+        dict,
+        real_ids,
         shadow,
     } = state;
     let threads = *threads;
@@ -1156,7 +1324,7 @@ pub(crate) fn apply_delta_state(
     for chain in chains.iter_mut() {
         let k = chain.segments.len();
         for j in 0..k {
-            let (added, removed) = chain.segments[j].transitions(delta, threads)?;
+            let (added, removed) = chain.segments[j].transitions(delta, threads, dict)?;
             if added.is_empty() && removed.is_empty() {
                 continue;
             }
@@ -1166,16 +1334,18 @@ pub(crate) fn apply_delta_state(
                 &added,
                 &removed,
                 direct_support,
-                ids,
+                real_ids,
+                dict,
                 &mut target,
                 &mut patch,
             )?;
         }
     }
 
-    // Phase 2: node views — update per-key support and property rows.
-    let mut touched: Vec<Value> = Vec::new();
-    let mut prior: FxHashMap<Value, i64> = FxHashMap::default();
+    // Phase 2: node views — update per-key support and property rows
+    // (sequential, so key interning is thread-count independent).
+    let mut touched: Vec<Vid> = Vec::new();
+    let mut prior: FxHashMap<Vid, i64> = FxHashMap::default();
     for (vi, view) in views.iter().enumerate() {
         if view.relation != delta.table() {
             continue;
@@ -1184,14 +1354,15 @@ pub(crate) fn apply_delta_state(
             if !view.pred.eval(&row.values) {
                 continue;
             }
-            let key = row.values[view.id_col].clone();
+            let key = &row.values[view.id_col];
             if key.is_null() {
                 continue;
             }
-            let entry = node_entries.entry(key.clone()).or_default();
-            if !prior.contains_key(&key) {
-                prior.insert(key.clone(), entry.support);
-                touched.push(key.clone());
+            let kvid = dict.intern(key);
+            let entry = node_entries.entry(kvid).or_default();
+            if let std::collections::hash_map::Entry::Vacant(v) = prior.entry(kvid) {
+                v.insert(entry.support);
+                touched.push(kvid);
             }
             let derived = derive_props(view, &row.values);
             match row.op {
@@ -1220,9 +1391,10 @@ pub(crate) fn apply_delta_state(
     // this phase writes the (possibly shared) id map and property store —
     // `Arc::make_mut` unshares each at most once per delta, and only when
     // a node view actually changed.
-    for key in touched {
-        let before = prior[&key];
-        let now = node_entries.get(&key).map_or(0, |e| e.support);
+    for kvid in touched {
+        let before = prior[&kvid];
+        let now = node_entries.get(&kvid).map_or(0, |e| e.support);
+        let key = dict.resolve(kvid).expect("node key is interned").clone();
         if before == 0 && now > 0 {
             if let Some(id) = ids.get(&key) {
                 target.revive(RealId(id), &mut patch);
@@ -1231,12 +1403,18 @@ pub(crate) fn apply_delta_state(
                 let slot = target.add_real_slot(&mut patch);
                 debug_assert_eq!(slot.0, id, "id map and graph slots diverged");
                 std::sync::Arc::make_mut(props).grow(ids.len());
+                // Keep the flat side-table in step with the id map — the
+                // only place a new real id is ever allocated.
+                if real_ids.len() <= kvid as usize {
+                    real_ids.resize(kvid as usize + 1, u32::MAX);
+                }
+                real_ids[kvid as usize] = id;
                 materialize_node_edges(
                     chains,
-                    &key,
+                    kvid,
                     RealId(id),
                     direct_support,
-                    ids,
+                    real_ids,
                     &mut target,
                     &mut patch,
                 );
@@ -1250,7 +1428,7 @@ pub(crate) fn apply_delta_state(
             let p = std::sync::Arc::make_mut(props);
             p.grow(ids.len());
             p.clear_vertex(RealId(id));
-            let entry = &node_entries[&key];
+            let entry = &node_entries[&kvid];
             let mut rows: Vec<&(usize, Vec<(String, PropValue)>)> =
                 entry.prop_rows.iter().collect();
             rows.sort_by_key(|(vi, _)| *vi);
@@ -1260,7 +1438,7 @@ pub(crate) fn apply_delta_state(
                 }
             }
         } else {
-            node_entries.remove(&key);
+            node_entries.remove(&kvid);
         }
     }
     Ok(patch)
@@ -1281,66 +1459,94 @@ pub(crate) fn apply_delta_state(
 use graphgen_common::codec::{self, CodecError, Reader};
 use graphgen_graph::snapshot as graph_snapshot;
 
-fn put_value_counts(out: &mut Vec<u8>, map: &FxHashMap<Value, i64>) {
-    let mut keys: Vec<&Value> = map.keys().collect();
-    keys.sort();
+/// Read one interned id and check it resolves against the decoded engine
+/// dictionary — every id stored in the state must name a live slot.
+fn read_vid(r: &mut Reader<'_>, dict: &Interner) -> Result<Vid, CodecError> {
+    let at = r.pos();
+    let v = r.u32()?;
+    if dict.resolve(v).is_none() {
+        return Err(CodecError::invalid(at, "id not in engine dictionary"));
+    }
+    Ok(v)
+}
+
+fn put_vid_counts(out: &mut Vec<u8>, map: &FxHashMap<Vid, i64>) {
+    let mut keys: Vec<Vid> = map.keys().copied().collect();
+    keys.sort_unstable();
     codec::put_len(out, keys.len());
     for k in keys {
-        k.encode_into(out);
-        codec::put_i64(out, map[k]);
+        codec::put_u32(out, k);
+        codec::put_i64(out, map[&k]);
     }
 }
 
-fn read_value_counts(r: &mut Reader<'_>) -> Result<FxHashMap<Value, i64>, CodecError> {
-    let n = r.len()?;
+fn read_vid_counts(r: &mut Reader<'_>, dict: &Interner) -> Result<FxHashMap<Vid, i64>, CodecError> {
+    let n = r.len_of(12)?;
     let mut map = FxHashMap::default();
     for _ in 0..n {
-        let k = Value::decode(r)?;
+        let k = read_vid(r, dict)?;
         let v = r.i64()?;
         map.insert(k, v);
     }
     Ok(map)
 }
 
-fn put_bag(out: &mut Vec<u8>, bag: &Bag) {
-    let mut keys: Vec<&Value> = bag.keys().collect();
-    keys.sort();
-    codec::put_len(out, keys.len());
-    for k in keys {
-        k.encode_into(out);
-        put_value_counts(out, &bag[k]);
+/// Encode a flat id-indexed bag: only the non-empty slots are written, in
+/// ascending id order (deterministic without sorting hash keys).
+fn put_vid_bag(out: &mut Vec<u8>, bag: &VidBag) {
+    let n = bag.iter().filter(|inner| !inner.is_empty()).count();
+    codec::put_len(out, n);
+    for (vid, inner) in bag.iter().enumerate() {
+        if inner.is_empty() {
+            continue;
+        }
+        codec::put_u32(out, vid as Vid);
+        put_vid_counts(out, inner);
     }
 }
 
-fn read_bag(r: &mut Reader<'_>) -> Result<Bag, CodecError> {
+fn read_vid_bag(r: &mut Reader<'_>, dict: &Interner) -> Result<VidBag, CodecError> {
     let n = r.len()?;
-    let mut bag = Bag::default();
+    let mut bag = VidBag::new();
     for _ in 0..n {
-        let k = Value::decode(r)?;
-        bag.insert(k, read_value_counts(r)?);
+        let k = read_vid(r, dict)?;
+        let counts = read_vid_counts(r, dict)?;
+        if bag.len() <= k as usize {
+            bag.resize_with(k as usize + 1, FxHashMap::default);
+        }
+        bag[k as usize] = counts;
     }
     Ok(bag)
 }
 
-fn put_pair_counts(out: &mut Vec<u8>, map: &FxHashMap<(Value, Value), i64>) {
-    let mut keys: Vec<&(Value, Value)> = map.keys().collect();
-    keys.sort();
+fn put_packed_counts(out: &mut Vec<u8>, map: &FxHashMap<u64, i64>) {
+    let mut keys: Vec<u64> = map.keys().copied().collect();
+    keys.sort_unstable();
     codec::put_len(out, keys.len());
     for k in keys {
-        k.0.encode_into(out);
-        k.1.encode_into(out);
-        codec::put_i64(out, map[k]);
+        codec::put_u64(out, k);
+        codec::put_i64(out, map[&k]);
     }
 }
 
-fn read_pair_counts(r: &mut Reader<'_>) -> Result<FxHashMap<(Value, Value), i64>, CodecError> {
-    let n = r.len()?;
+fn read_packed_counts(
+    r: &mut Reader<'_>,
+    dict: &Interner,
+) -> Result<FxHashMap<u64, i64>, CodecError> {
+    let n = r.len_of(16)?;
     let mut map = FxHashMap::default();
     for _ in 0..n {
-        let a = Value::decode(r)?;
-        let b = Value::decode(r)?;
+        let at = r.pos();
+        let k = r.u64()?;
+        let (l, rr) = unpack(k);
+        if dict.resolve(l).is_none() || dict.resolve(rr).is_none() {
+            return Err(CodecError::invalid(
+                at,
+                "packed id pair not in engine dictionary",
+            ));
+        }
         let v = r.i64()?;
-        map.insert((a, b), v);
+        map.insert(k, v);
     }
     Ok(map)
 }
@@ -1382,24 +1588,23 @@ impl AtomState {
         self.pred.encode_into(out);
         codec::put_len(out, self.in_col);
         codec::put_len(out, self.out_col);
-        put_bag(out, &self.by_in);
+        put_vid_bag(out, &self.by_in);
         // `by_out` is the transpose of `by_in`: rebuilt on decode.
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+    fn decode(r: &mut Reader<'_>, dict: &Interner) -> Result<Self, CodecError> {
         let table = r.str()?.to_string();
         let pred = Predicate::decode(r)?;
         let in_col = r.scalar()?;
         let out_col = r.scalar()?;
-        let by_in = read_bag(r)?;
-        let mut by_out = Bag::default();
-        for (in_v, outs) in &by_in {
-            for (out_v, m) in outs {
-                *by_out
-                    .entry(out_v.clone())
-                    .or_default()
-                    .entry(in_v.clone())
-                    .or_insert(0) += m;
+        let by_in = read_vid_bag(r, dict)?;
+        let mut by_out = VidBag::new();
+        for (in_v, outs) in by_in.iter().enumerate() {
+            for (&out_v, &m) in outs {
+                if by_out.len() <= out_v as usize {
+                    by_out.resize_with(out_v as usize + 1, FxHashMap::default);
+                }
+                *by_out[out_v as usize].entry(in_v as Vid).or_insert(0) += m;
             }
         }
         Ok(Self {
@@ -1419,22 +1624,23 @@ impl SegmentState {
         for atom in &self.atoms {
             atom.encode_into(out);
         }
-        put_pair_counts(out, &self.support);
+        put_packed_counts(out, &self.support);
         // `by_left` / `by_right` index the support keys: rebuilt on decode.
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+    fn decode(r: &mut Reader<'_>, dict: &Interner) -> Result<Self, CodecError> {
         let n = r.len()?;
         let mut atoms = Vec::with_capacity(n);
         for _ in 0..n {
-            atoms.push(AtomState::decode(r)?);
+            atoms.push(AtomState::decode(r, dict)?);
         }
-        let support = read_pair_counts(r)?;
-        let mut by_left: FxHashMap<Value, FxHashSet<Value>> = FxHashMap::default();
-        let mut by_right: FxHashMap<Value, FxHashSet<Value>> = FxHashMap::default();
-        for (x, y) in support.keys() {
-            by_left.entry(x.clone()).or_default().insert(y.clone());
-            by_right.entry(y.clone()).or_default().insert(x.clone());
+        let support = read_packed_counts(r, dict)?;
+        let mut by_left: Vec<FxHashSet<Vid>> = Vec::new();
+        let mut by_right: Vec<FxHashSet<Vid>> = Vec::new();
+        for key in support.keys() {
+            let (x, y) = unpack(*key);
+            flat_insert(&mut by_left, x, y);
+            flat_insert(&mut by_right, y, x);
         }
         Ok(Self {
             atoms,
@@ -1451,6 +1657,10 @@ impl IncrementalState {
     /// The shadow's adjacency chunks intern into `enc` — chunks shared
     /// with the handle's own graph are written once per snapshot.
     pub(crate) fn encode_into(&self, enc: &mut graph_snapshot::ChunkEncoder, out: &mut Vec<u8>) {
+        // The engine dictionary goes first: everything after it stores
+        // interned ids, and a recovered state must continue allocating
+        // ids exactly where the encoding process stopped.
+        self.dict.encode_into(out);
         codec::put_len(out, self.threads);
         codec::put_len(out, self.views.len());
         for view in &self.views {
@@ -1469,21 +1679,26 @@ impl IncrementalState {
             for seg in &chain.segments {
                 seg.encode_into(out);
             }
-            codec::put_len(out, chain.boundaries.len());
-            for (boundary, virts) in chain.boundaries.iter().zip(&chain.boundary_virts) {
-                put_idmap(out, boundary);
+            codec::put_len(out, chain.boundary_keys.len());
+            for (keys, virts) in chain.boundary_keys.iter().zip(&chain.boundary_virts) {
+                // Boundary interning order, persisted explicitly (the flat
+                // id → local-index table is rebuilt on decode).
+                codec::put_len(out, keys.len());
+                for k in keys {
+                    codec::put_u32(out, *k);
+                }
                 codec::put_len(out, virts.len());
                 for v in virts {
                     codec::put_u32(out, v.0);
                 }
             }
         }
-        let mut node_keys: Vec<&Value> = self.node_entries.keys().collect();
-        node_keys.sort();
+        let mut node_keys: Vec<Vid> = self.node_entries.keys().copied().collect();
+        node_keys.sort_unstable();
         codec::put_len(out, node_keys.len());
         for key in node_keys {
-            let entry = &self.node_entries[key];
-            key.encode_into(out);
+            let entry = &self.node_entries[&key];
+            codec::put_u32(out, key);
             codec::put_i64(out, entry.support);
             codec::put_len(out, entry.prop_rows.len());
             for (view_idx, props) in &entry.prop_rows {
@@ -1495,7 +1710,7 @@ impl IncrementalState {
                 }
             }
         }
-        put_pair_counts(out, &self.direct_support);
+        put_packed_counts(out, &self.direct_support);
         match &self.shadow {
             None => codec::put_u8(out, 0),
             Some(shadow) => {
@@ -1511,6 +1726,7 @@ impl IncrementalState {
         r: &mut Reader<'_>,
         dec: &graph_snapshot::ChunkDecoder,
     ) -> Result<Self, CodecError> {
+        let dict = Interner::decode(r)?;
         // `threads` is a plain scalar, not a length — `Reader::len`'s
         // fits-in-remaining-input plausibility check would spuriously
         // reject a small state encoded on a many-core machine.
@@ -1541,39 +1757,56 @@ impl IncrementalState {
             let n_segs = r.len()?;
             let mut segments = Vec::with_capacity(n_segs);
             for _ in 0..n_segs {
-                segments.push(SegmentState::decode(r)?);
+                segments.push(SegmentState::decode(r, &dict)?);
             }
             let n_bounds = r.len()?;
             let at = r.pos();
             if n_bounds != n_segs.saturating_sub(1) {
                 return Err(CodecError::invalid(at, "boundary count mismatch"));
             }
-            let mut boundaries = Vec::with_capacity(n_bounds);
+            let mut boundary_index = Vec::with_capacity(n_bounds);
+            let mut boundary_keys = Vec::with_capacity(n_bounds);
             let mut boundary_virts = Vec::with_capacity(n_bounds);
             for _ in 0..n_bounds {
-                let boundary = read_idmap(r)?;
+                let n_keys = r.len_of(4)?;
+                let mut keys = Vec::with_capacity(n_keys);
+                let mut index: Vec<u32> = Vec::new();
+                for i in 0..n_keys {
+                    let at = r.pos();
+                    let k = read_vid(r, &dict)?;
+                    if index.len() <= k as usize {
+                        index.resize(k as usize + 1, u32::MAX);
+                    }
+                    if index[k as usize] != u32::MAX {
+                        return Err(CodecError::invalid(at, "duplicate boundary key"));
+                    }
+                    index[k as usize] = i as u32;
+                    keys.push(k);
+                }
                 let n_virts = r.len_of(4)?;
                 let at = r.pos();
-                if n_virts != boundary.len() {
+                if n_virts != keys.len() {
                     return Err(CodecError::invalid(at, "boundary virtual count mismatch"));
                 }
                 let mut virts = Vec::with_capacity(n_virts);
                 for _ in 0..n_virts {
                     virts.push(VirtId(r.u32()?));
                 }
-                boundaries.push(boundary);
+                boundary_index.push(index);
+                boundary_keys.push(keys);
                 boundary_virts.push(virts);
             }
             chains.push(ChainState {
                 segments,
-                boundaries,
+                boundary_index,
+                boundary_keys,
                 boundary_virts,
             });
         }
         let n_nodes = r.len()?;
         let mut node_entries = FxHashMap::default();
         for _ in 0..n_nodes {
-            let key = Value::decode(r)?;
+            let key = read_vid(r, &dict)?;
             let support = r.i64()?;
             let n_rows = r.len()?;
             let mut prop_rows = Vec::with_capacity(n_rows);
@@ -1596,7 +1829,7 @@ impl IncrementalState {
             }
             node_entries.insert(key, NodeEntry { support, prop_rows });
         }
-        let direct_support = read_pair_counts(r)?;
+        let direct_support = read_packed_counts(r, &dict)?;
         let at = r.pos();
         let shadow = match r.u8()? {
             0 => None,
@@ -1611,6 +1844,10 @@ impl IncrementalState {
             chains,
             node_entries,
             direct_support,
+            dict,
+            // Not persisted: the handle assembly rebuilds this from the
+            // decoded id map (`rebuild_real_ids`).
+            real_ids: Vec::new(),
             shadow,
         })
     }

@@ -18,7 +18,7 @@
 //! `graphgen_common::codec`):
 //!
 //! ```text
-//! magic  8 bytes  b"GGSNAP2\0"   (embeds the format version)
+//! magic  8 bytes  b"GGSNAP3\0"   (embeds the format version)
 //! chunks …        adjacency chunk table (graphgen_graph::snapshot):
 //!                 chunk capacity, count, then each distinct chunk once —
 //!                 chunks shared between sections (or byte-identical) are
@@ -28,12 +28,17 @@
 //!                 chunk references into the table)
 //! ids    …        node keys in dense-id order
 //! props  …        property columns (sorted by name)
-//! incr   u8 + …   0 = plain handle; 1 = incremental maintenance state
-//!                 (the condensed shadow also references the chunk table)
+//! incr   u8 + …   0 = plain handle; 1 = incremental maintenance state:
+//!                 the engine dictionary (dense-id interner) first, then
+//!                 id-keyed atom bags / supports / boundary interning (the
+//!                 condensed shadow also references the chunk table)
 //! ```
 //!
-//! Format 1 (`GGSNAP1\0`, flat adjacency lists) is **not** readable; its
-//! files fail with a clean magic-mismatch error.
+//! Format 3 prepends the engine dictionary to the incremental section and
+//! stores all maintenance state keyed by dense interned ids instead of
+//! owned values. Format 2 (`GGSNAP2\0`, value-keyed maintenance state) and
+//! format 1 (`GGSNAP1\0`, flat adjacency lists) are **not** readable;
+//! their files fail with a clean magic-mismatch error.
 //!
 //! The extraction [`report`](crate::ExtractionReport) is diagnostics, not
 //! state, and is **not** persisted: a decoded handle carries a default
@@ -153,9 +158,10 @@ fn json_prop(p: &PropValue) -> String {
 }
 
 /// Magic prefix of the binary handle snapshot format; the trailing digit is
-/// the format version (2 = chunked, deduplicated adjacency — format-1
-/// files fail with a clean magic mismatch).
-pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GGSNAP2\0";
+/// the format version (3 = dense-id interned maintenance state; 2 =
+/// chunked, deduplicated adjacency — older-format files fail with a clean
+/// magic mismatch).
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GGSNAP3\0";
 
 /// Encode a whole [`GraphHandle`] as a self-contained binary snapshot (see
 /// the module docs for the layout). Deterministic: equal handles produce
@@ -452,6 +458,74 @@ mod tests {
         assert_eq!(restored.canonical_bytes(), original.canonical_bytes());
     }
 
+    /// Snapshot taken after dictionary churn — deletes that release value
+    /// references (freeing dense ids onto the free list) and a revive —
+    /// must decode into a handle whose dictionary *continues* identically:
+    /// further deltas that mint brand-new values (reusing freed slots) and
+    /// revive a deleted node key must keep the live and restored handles
+    /// byte-identical at every step. This is the recovery guarantee for the
+    /// interned hot paths: the persisted dictionary carries its free list,
+    /// so id assignment after decode matches the handle that never
+    /// restarted.
+    #[test]
+    fn snapshot_after_dictionary_churn_continues_identically() {
+        let mut db = tiny();
+        let gg = GraphGen::with_config(
+            &db,
+            GraphGenConfig::builder()
+                .auto_expand_threshold(None)
+                .incremental(true)
+                .threads(1)
+                .build(),
+        );
+        let mut original = gg
+            .extract(
+                "Nodes(ID, Name) :- Person(ID, Name).\n\
+                 Edges(A, B) :- Knows(A, B).",
+            )
+            .unwrap();
+        // Churn the dictionary before the snapshot: drop the only edge row
+        // (releasing pair references), re-add it reversed, then delete a
+        // node row so its name's slot is freed and node 1 goes away while
+        // an edge still names it.
+        for delta in [
+            db.delete_rows("Knows", &[vec![Value::int(1), Value::int(2)]])
+                .unwrap(),
+            db.insert_rows("Knows", vec![vec![Value::int(2), Value::int(1)]])
+                .unwrap(),
+            db.delete_rows("Person", &[vec![Value::int(1), Value::str("ann \"a\"")]])
+                .unwrap(),
+        ] {
+            original.apply_delta(&delta).unwrap();
+        }
+        let mut restored = decode_snapshot(&encode_snapshot(&original)).unwrap();
+        assert_eq!(restored.canonical_bytes(), original.canonical_bytes());
+        // Continue the stream on both sides: revive node 1 under a new
+        // name (its adjacency must come back), mint brand-new values that
+        // reuse freed dictionary slots, and retire an edge again.
+        for delta in [
+            db.insert_rows("Person", vec![vec![Value::int(1), Value::str("ann again")]])
+                .unwrap(),
+            db.insert_rows("Person", vec![vec![Value::int(9), Value::str("zoe")]])
+                .unwrap(),
+            db.insert_rows("Knows", vec![vec![Value::int(9), Value::int(2)]])
+                .unwrap(),
+            db.delete_rows("Knows", &[vec![Value::int(2), Value::int(1)]])
+                .unwrap(),
+        ] {
+            original.apply_delta(&delta).unwrap();
+            restored.apply_delta(&delta).unwrap();
+            assert_eq!(
+                restored.canonical_bytes(),
+                original.canonical_bytes(),
+                "restored handle diverged after a post-decode delta"
+            );
+        }
+        // The full encodings (dictionary and free list included) must
+        // agree too, not just the canonical graph bytes.
+        assert_eq!(encode_snapshot(&original), encode_snapshot(&restored));
+    }
+
     /// A snapshot records the thread count it was encoded with, which may
     /// not fit the machine decoding it; `set_threads` lets the recovering
     /// side impose its own configuration (and changes no bytes).
@@ -526,21 +600,27 @@ mod tests {
         assert_eq!(back.canonical_bytes(), restored.canonical_bytes());
     }
 
-    /// Format-1 snapshots (`GGSNAP1\0`, flat adjacency) must fail with a
-    /// clean magic mismatch, not a misparse.
+    /// Older-format snapshots (`GGSNAP2\0` value-keyed state, `GGSNAP1\0`
+    /// flat adjacency) must fail with a clean magic mismatch, not a
+    /// misparse.
     #[test]
     fn snapshot_rejects_old_magic() {
         use crate::error::ErrorKind;
         let g = extract();
         let mut bytes = encode_snapshot(&g);
-        assert_eq!(&bytes[..8], b"GGSNAP2\0");
-        bytes[..8].copy_from_slice(b"GGSNAP1\0");
-        let err = decode_snapshot(&bytes).unwrap_err();
-        assert_eq!(err.kind(), ErrorKind::Snapshot);
-        assert!(
-            err.to_string().contains("bad magic"),
-            "expected a magic mismatch, got: {err}"
-        );
+        assert_eq!(&bytes[..8], b"GGSNAP3\0");
+        for old in [*b"GGSNAP2\0", *b"GGSNAP1\0"] {
+            bytes[..8].copy_from_slice(&old);
+            let err = decode_snapshot(&bytes).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::Snapshot);
+            assert!(
+                err.to_string().contains("bad magic"),
+                "unexpected error: {err}"
+            );
+        }
+        // Restoring the current magic makes the same bytes decode again.
+        bytes[..8].copy_from_slice(&SNAPSHOT_MAGIC);
+        assert!(decode_snapshot(&bytes).is_ok());
     }
 
     /// Identical adjacency chunks inside one snapshot are written once and

@@ -35,21 +35,24 @@ pub fn random_mutation(
     // Sample rows to delete and observe per-column value ranges.
     let (del_rows, ranges, arity, sample) = {
         let t = db.table(table)?;
-        let n = t.num_rows();
+        // Deletes are tombstoned, so physical slots may be dead: sample
+        // uniformly over the live rows only.
+        let live: Vec<usize> = (0..t.physical_rows()).filter(|&r| t.is_live(r)).collect();
+        let n = live.len();
         let deletes = cfg.deletes.min(n);
         let mut del_rows = Vec::with_capacity(deletes);
         for _ in 0..deletes {
-            del_rows.push(t.row(rng.next_below(n.max(1) as u64) as usize));
+            del_rows.push(t.row(live[rng.next_below(n.max(1) as u64) as usize]));
         }
         let arity = t.schema().arity();
         let mut ranges = Vec::with_capacity(arity);
         for c in 0..arity {
-            let ints: Vec<i64> = t.column(c).iter().filter_map(Value::as_int).collect();
+            let ints: Vec<i64> = live.iter().filter_map(|&r| t.cell(r, c).as_int()).collect();
             let lo = ints.iter().copied().min().unwrap_or(0);
             let hi = ints.iter().copied().max().unwrap_or(0);
             ranges.push((lo, hi));
         }
-        let sample: Vec<Vec<Value>> = (0..n.min(64)).map(|r| t.row(r)).collect();
+        let sample: Vec<Vec<Value>> = live.iter().take(64).map(|&r| t.row(r)).collect();
         (del_rows, ranges, arity, sample)
     };
     let mut deltas = Vec::new();

@@ -15,11 +15,22 @@
 
 use crate::delta::{Delta, DeltaOp};
 use crate::error::{DbError, DbResult};
-use crate::rowset::hash_cells;
+use crate::intern::{Interner, Vid};
 use crate::table::Table;
 use crate::value::Value;
 use graphgen_common::codec::{self, CodecError, Reader};
-use graphgen_common::{ByteSize, FxHashMap};
+use graphgen_common::{ByteSize, FxHashMap, FxHasher};
+use std::hash::Hasher;
+
+/// Hash a row of interned ids (the whole-row index key). Hashing dense
+/// `u32`s instead of owned values keeps the delete path off the heap.
+fn hash_vids(vids: &[Vid]) -> u64 {
+    let mut h = FxHasher::default();
+    for &v in vids {
+        h.write_u32(v);
+    }
+    h.finish()
+}
 
 /// Statistics for one column, analogous to a `pg_stats` row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,50 +52,56 @@ impl ColumnStats {
     }
 }
 
-/// Maintained statistics state of one table: a value → occurrence-count
+/// Maintained statistics state of one table: a [`Vid`] → occurrence-count
 /// map per column (the exact-`n_distinct` index the planner reads through
 /// [`ColumnStats`]), plus a whole-row hash → occurrence-count map that
 /// lets [`Database::delete_rows`] reject absent rows without scanning
 /// (hash collisions only make the map over-report, so it is advisory —
 /// presence is always confirmed cell-wise by the scan).
+///
+/// Keying by interned id instead of owned [`Value`] means the statistics
+/// never clone a string: their footprint is a few machine words per
+/// distinct value, however large the payloads are (the payload lives once,
+/// in the database dictionary).
 #[derive(Debug, Clone, Default)]
 struct TableCounts {
-    columns: Vec<FxHashMap<Value, u64>>,
+    columns: Vec<FxHashMap<Vid, u64>>,
     row_hashes: FxHashMap<u64, u64>,
 }
 
 impl TableCounts {
-    /// Full scan of `table` (registration-time ANALYZE).
-    fn analyze(table: &Table) -> Self {
-        let mut columns = vec![FxHashMap::default(); table.schema().arity()];
-        for (idx, col) in columns.iter_mut().enumerate() {
-            for v in table.column(idx) {
-                *col.entry(v.clone()).or_insert(0) += 1;
-            }
-        }
+    /// Full scan of `table` (registration-time ANALYZE), acquiring one
+    /// dictionary reference per live cell occurrence.
+    fn analyze(table: &Table, dict: &mut Interner) -> Self {
         let arity = table.schema().arity();
-        let mut row_hashes = FxHashMap::default();
-        for r in 0..table.num_rows() {
-            let h = hash_cells((0..arity).map(|c| table.cell(r, c)));
-            *row_hashes.entry(h).or_insert(0) += 1;
+        let mut counts = Self {
+            columns: vec![FxHashMap::default(); arity],
+            row_hashes: FxHashMap::default(),
+        };
+        let mut vids = vec![0 as Vid; arity];
+        for r in 0..table.physical_rows() {
+            if !table.is_live(r) {
+                continue;
+            }
+            for (c, vid) in vids.iter_mut().enumerate() {
+                *vid = dict.acquire(table.cell(r, c));
+            }
+            counts.insert(&vids);
         }
-        Self {
-            columns,
-            row_hashes,
-        }
+        counts
     }
 
-    /// Bump counts for one inserted row.
-    fn insert(&mut self, row: &[Value]) {
-        for (col, v) in self.columns.iter_mut().zip(row) {
-            *col.entry(v.clone()).or_insert(0) += 1;
+    /// Bump counts for one inserted row (already interned).
+    fn insert(&mut self, vids: &[Vid]) {
+        for (col, &v) in self.columns.iter_mut().zip(vids) {
+            *col.entry(v).or_insert(0) += 1;
         }
-        *self.row_hashes.entry(hash_cells(row.iter())).or_insert(0) += 1;
+        *self.row_hashes.entry(hash_vids(vids)).or_insert(0) += 1;
     }
 
     /// Decrement counts for one deleted row, dropping exhausted values.
-    fn delete(&mut self, row: &[Value]) {
-        for (col, v) in self.columns.iter_mut().zip(row) {
+    fn delete(&mut self, vids: &[Vid]) {
+        for (col, v) in self.columns.iter_mut().zip(vids) {
             if let Some(n) = col.get_mut(v) {
                 *n -= 1;
                 if *n == 0 {
@@ -92,7 +109,7 @@ impl TableCounts {
                 }
             }
         }
-        let h = hash_cells(row.iter());
+        let h = hash_vids(vids);
         if let Some(n) = self.row_hashes.get_mut(&h) {
             *n -= 1;
             if *n == 0 {
@@ -111,17 +128,48 @@ impl TableCounts {
     }
 }
 
-/// A named collection of tables with statistics.
+/// A named collection of tables with statistics and a shared value
+/// dictionary.
 #[derive(Debug, Default)]
 pub struct Database {
     tables: FxHashMap<String, Table>,
     counts: FxHashMap<String, TableCounts>,
+    /// The database-wide value dictionary: every live cell occurrence holds
+    /// one reference, so the dictionary's live set is exactly the distinct
+    /// values currently stored in some table.
+    dict: Interner,
 }
 
 impl Database {
     /// New empty database.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            tables: FxHashMap::default(),
+            counts: FxHashMap::default(),
+            dict: Interner::new(),
+        }
+    }
+
+    /// The database's value dictionary (read-only).
+    pub fn dict(&self) -> &Interner {
+        &self.dict
+    }
+
+    /// Heap bytes held by the maintained statistics maps alone — excludes
+    /// table storage and the dictionary. These are `Vid`-keyed, so the
+    /// number must not scale with value payload size (asserted by the
+    /// `catalog_bytes` test against the counting allocator).
+    pub fn stats_heap_bytes(&self) -> usize {
+        self.counts
+            .values()
+            .map(|t| {
+                t.columns
+                    .iter()
+                    .map(|col| col.capacity() * std::mem::size_of::<(Vid, u64)>())
+                    .sum::<usize>()
+                    + t.row_hashes.capacity() * std::mem::size_of::<(u64, u64)>()
+            })
+            .sum()
     }
 
     /// Register `table` under `name`, computing statistics for every column
@@ -133,7 +181,7 @@ impl Database {
             return Err(DbError::DuplicateTable(name));
         }
         self.counts
-            .insert(name.clone(), TableCounts::analyze(&table));
+            .insert(name.clone(), TableCounts::analyze(&table, &mut self.dict));
         self.tables.insert(name, table);
         Ok(())
     }
@@ -156,8 +204,11 @@ impl Database {
             .expect("registered table has counts");
         let mut delta = Delta::new(name);
         table.reserve(rows.len());
+        let mut vids = Vec::new();
         for row in rows {
-            counts.insert(&row);
+            vids.clear();
+            vids.extend(row.iter().map(|v| self.dict.acquire(v)));
+            counts.insert(&vids);
             table.push_row(row.clone()).expect("row pre-validated");
             delta.push(row, DeltaOp::Insert);
         }
@@ -189,23 +240,29 @@ impl Database {
             table.schema().check_row(row)?;
         }
         let counts = self.counts.get(name).expect("registered table has counts");
-        // Group requested rows by hash, keeping a remaining count per
-        // distinct row (bag semantics). Hashes the table provably holds no
-        // row for are dropped up front; for the rest, the table can match
-        // at most `rows_with_hash` occurrences, whatever was requested.
-        let mut by_hash: FxHashMap<u64, Vec<(&[Value], u32)>> = FxHashMap::default();
+        // Resolve each requested row to interned ids and group by hash,
+        // keeping a remaining count per distinct row (bag semantics). A row
+        // with any cell absent from the dictionary is stored nowhere and is
+        // dropped with no scan; so are hashes the whole-row index provably
+        // holds no row for. For the rest, the table can match at most
+        // `rows_with_hash` occurrences, whatever was requested.
+        let mut by_hash: FxHashMap<u64, Vec<(Vec<Vid>, u32)>> = FxHashMap::default();
         for row in rows {
-            let h = hash_cells(row.iter());
+            let Some(vids) = row
+                .iter()
+                .map(|v| self.dict.lookup(v))
+                .collect::<Option<Vec<Vid>>>()
+            else {
+                continue;
+            };
+            let h = hash_vids(&vids);
             if counts.rows_with_hash(h) == 0 {
                 continue;
             }
             let candidates = by_hash.entry(h).or_default();
-            match candidates
-                .iter_mut()
-                .find(|(want, _)| *want == row.as_slice())
-            {
+            match candidates.iter_mut().find(|(want, _)| *want == vids) {
                 Some((_, count)) => *count += 1,
-                None => candidates.push((row.as_slice(), 1)),
+                None => candidates.push((vids, 1)),
             }
         }
         let mut remaining = 0u64;
@@ -217,34 +274,55 @@ impl Database {
         if remaining == 0 {
             return Ok(delta);
         }
-        let mut remove = vec![false; table.num_rows()];
         let arity = table.schema().arity();
-        for (r, slot) in remove.iter_mut().enumerate() {
+        let mut matched: Vec<u32> = Vec::new();
+        let mut row_vids = vec![0 as Vid; arity];
+        for r in 0..table.physical_rows() {
             if remaining == 0 {
                 break;
             }
-            let h = hash_cells((0..arity).map(|c| table.cell(r, c)));
+            if !table.is_live(r) {
+                continue;
+            }
+            for (c, vid) in row_vids.iter_mut().enumerate() {
+                *vid = self
+                    .dict
+                    .lookup(table.cell(r, c))
+                    .expect("live cell is interned");
+            }
+            let h = hash_vids(&row_vids);
             let Some(candidates) = by_hash.get_mut(&h) else {
                 continue;
             };
             for (want, count) in candidates.iter_mut() {
-                if *count > 0 && (0..arity).all(|c| table.cell(r, c) == &want[c]) {
+                if *count > 0 && *want == row_vids {
                     *count -= 1;
                     remaining -= 1;
-                    *slot = true;
+                    matched.push(r as u32);
                     delta.push(table.row(r), DeltaOp::Delete);
                     break;
                 }
             }
         }
         if !delta.is_empty() {
-            table.remove_marked(&remove);
+            // O(batch): tombstone the matched slots (compaction is
+            // amortized), then decrement statistics and drop dictionary
+            // references per removed occurrence.
+            table.delete_physical_rows(&matched);
             let counts = self
                 .counts
                 .get_mut(name)
                 .expect("registered table has counts");
             for row in delta.rows() {
-                counts.delete(&row.values);
+                let vids: Vec<Vid> = row
+                    .values
+                    .iter()
+                    .map(|v| self.dict.lookup(v).expect("deleted cell was interned"))
+                    .collect();
+                counts.delete(&vids);
+                for &vid in &vids {
+                    self.dict.release(vid);
+                }
             }
         }
         Ok(delta)
@@ -304,11 +382,16 @@ impl Database {
         self.tables.values().map(Table::num_rows).sum()
     }
 
-    /// Append the binary encoding of the whole database: table count, then
-    /// each table (sorted by name for deterministic bytes) as name +
+    /// Append the binary encoding of the whole database: the value
+    /// dictionary first (slots, refcounts, free list — so a decoded
+    /// database continues allocating identical `Vid`s), then table count,
+    /// then each table (sorted by name for deterministic bytes) as name +
     /// [`Table::encode_into`]. Statistics are **not** stored — they are
-    /// rebuilt by the registration-time ANALYZE on decode.
+    /// rebuilt on decode by resolving each cell against the decoded
+    /// dictionary (lookup-only, never re-acquiring: the persisted
+    /// refcounts already account for every live occurrence).
     pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.dict.encode_into(out);
         let mut names: Vec<&String> = self.tables.keys().collect();
         names.sort();
         codec::put_len(out, names.len());
@@ -319,16 +402,40 @@ impl Database {
     }
 
     /// Decode a database (inverse of [`Database::encode_into`]),
-    /// re-running ANALYZE per table.
+    /// rebuilding per-table statistics against the decoded dictionary. A
+    /// cell value missing from the dictionary is a hard codec error — it
+    /// means the snapshot's dictionary and tables disagree.
     pub fn decode(r: &mut Reader<'_>) -> Result<Database, CodecError> {
+        let dict = Interner::decode(r)?;
         let n = r.len()?;
-        let mut db = Database::new();
+        let mut db = Database {
+            tables: FxHashMap::default(),
+            counts: FxHashMap::default(),
+            dict,
+        };
         for _ in 0..n {
             let at = r.pos();
             let name = r.str()?.to_string();
+            if db.tables.contains_key(&name) {
+                return Err(CodecError::invalid(at, format!("duplicate table `{name}`")));
+            }
             let table = Table::decode(r)?;
-            db.register(&name, table)
-                .map_err(|e| CodecError::invalid(at, e.to_string()))?;
+            let arity = table.schema().arity();
+            let mut counts = TableCounts {
+                columns: vec![FxHashMap::default(); arity],
+                row_hashes: FxHashMap::default(),
+            };
+            let mut vids = vec![0 as Vid; arity];
+            for row in 0..table.num_rows() {
+                for (c, vid) in vids.iter_mut().enumerate() {
+                    *vid = db.dict.lookup(table.cell(row, c)).ok_or_else(|| {
+                        CodecError::invalid(at, "table cell missing from dictionary")
+                    })?;
+                }
+                counts.insert(&vids);
+            }
+            db.counts.insert(name.clone(), counts);
+            db.tables.insert(name, table);
         }
         Ok(db)
     }
@@ -340,12 +447,11 @@ impl ByteSize for Database {
             .counts
             .values()
             .flat_map(|t| t.columns.iter())
-            .map(|col| {
-                col.capacity() * std::mem::size_of::<(Value, u64)>()
-                    + col.keys().map(ByteSize::heap_bytes).sum::<usize>()
-            })
+            .map(|col| col.capacity() * std::mem::size_of::<(Vid, u64)>())
             .sum();
-        self.tables.values().map(Table::heap_bytes).sum::<usize>() + count_bytes
+        self.tables.values().map(Table::heap_bytes).sum::<usize>()
+            + count_bytes
+            + self.dict.heap_bytes()
     }
 }
 

@@ -31,6 +31,7 @@
 //! run serially regardless of `threads`.
 
 use crate::expr::Predicate;
+use crate::intern::{Interner, Vid, NULL_VID};
 use crate::rowset::{hash_row, hash_value, RowSet};
 use crate::table::Table;
 use crate::value::Value;
@@ -39,7 +40,8 @@ use graphgen_common::parallel::{
     effective_threads, map_morsels, map_partitions, scatter_partitions,
 };
 use graphgen_common::region::Region;
-use graphgen_common::FxHashMap;
+use graphgen_common::{FxHashMap, FxHasher};
+use std::hash::Hasher;
 
 // Every operator opens a metrics span at entry: it enters an allocation
 // region (`graphgen_common::region`) so the counting allocator in
@@ -71,12 +73,14 @@ fn merge(arity: usize, parts: Vec<RowSet>) -> RowSet {
 /// are cloned. Morsel-parallel over `threads`, output in table row order.
 pub fn scan_project(table: &Table, pred: &Predicate, cols: &[usize], threads: usize) -> RowSet {
     let _span = metrics::span("scan", Region::Scan);
-    let n = table.num_rows();
+    // Morsels split the physical row space; tombstoned rows are skipped so
+    // the output is the live rows in physical (= insertion) order.
+    let n = table.physical_rows();
     let t = effective_threads(threads, n);
     let parts = map_morsels(n, t, |range| {
         let mut out = RowSet::new(cols.len());
         for r in range {
-            if pred.eval_at(table, r) {
+            if table.is_live(r) && pred.eval_at(table, r) {
                 out.push_row(cols.iter().map(|&c| table.cell(r, c).clone()));
             }
         }
@@ -229,6 +233,251 @@ pub fn hash_join_project(
         );
         merge(cols.len(), parts)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Interned operators
+// ---------------------------------------------------------------------------
+//
+// When the caller owns the database dictionary (chain queries always do —
+// every row they touch is derived from base tables), the join/DISTINCT key
+// space can be resolved to dense `Vid`s once per row up front. After that
+// resolution, partitioning, probing, and equality are all `u32` operations:
+// no second value hash on the map lookup, no deep string comparison on
+// collision chains, and the index itself stores machine words instead of
+// `&Value` keys. If any key turns out not to be interned (a synthetic row
+// set built outside the database), the operators fall back to the
+// value-keyed path — semantics are identical either way.
+
+/// Hash a row of dictionary ids (DISTINCT bookkeeping key).
+fn hash_vid_row(vids: &[Vid]) -> u64 {
+    let mut h = FxHasher::default();
+    for &v in vids {
+        h.write_u32(v);
+    }
+    h.finish()
+}
+
+/// Resolve column `key` of every row to its dictionary id, morsel-parallel.
+/// Returns `None` if any key value is not interned.
+fn resolve_key_vids(
+    rows: &RowSet,
+    key: usize,
+    dict: &Interner,
+    threads: usize,
+) -> Option<Vec<Vid>> {
+    let n = rows.num_rows();
+    let t = effective_threads(threads, n);
+    let parts: Vec<Option<Vec<Vid>>> = map_morsels(n, t, |range| {
+        range.map(|r| dict.lookup(&rows.row(r)[key])).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part?);
+    }
+    Some(out)
+}
+
+/// Resolve every cell of every row, row-major (`arity * num_rows` ids).
+fn resolve_row_vids(rows: &RowSet, dict: &Interner, threads: usize) -> Option<Vec<Vid>> {
+    let n = rows.num_rows();
+    let arity = rows.arity();
+    let t = effective_threads(threads, n);
+    let parts: Vec<Option<Vec<Vid>>> = map_morsels(n, t, |range| {
+        let mut out = Vec::with_capacity(range.len() * arity);
+        for r in range {
+            for v in rows.row(r) {
+                out.push(dict.lookup(v)?);
+            }
+        }
+        Some(out)
+    });
+    let mut out = Vec::with_capacity(n * arity);
+    for part in parts {
+        out.extend(part?);
+    }
+    Some(out)
+}
+
+/// Hash-partitioned join index over dictionary ids: partition `p` owns the
+/// keys with `vid % parts == p`. Per-key row-index lists are ascending.
+type VidIndex = Vec<FxHashMap<Vid, Vec<u32>>>;
+
+fn build_vid_index(keys: &[Vid], parts: usize) -> VidIndex {
+    let _span = metrics::span("join", Region::Build);
+    assert!(keys.len() <= MAX_ROWS, "row set too large");
+    if parts <= 1 {
+        let mut index: FxHashMap<Vid, Vec<u32>> = FxHashMap::default();
+        for (i, &k) in keys.iter().enumerate() {
+            if k != NULL_VID {
+                index.entry(k).or_default().push(i as u32);
+            }
+        }
+        return vec![index];
+    }
+    let buckets = scatter_partitions(keys.len(), parts, |r| {
+        ((keys[r] as usize) % parts, r as u32)
+    });
+    map_partitions(parts, |p| {
+        let mut index: FxHashMap<Vid, Vec<u32>> = FxHashMap::default();
+        for morsel in &buckets {
+            for &i in &morsel[p] {
+                let k = keys[i as usize];
+                if k != NULL_VID {
+                    index.entry(k).or_default().push(i);
+                }
+            }
+        }
+        index
+    })
+}
+
+fn vid_index_lookup(index: &VidIndex, vid: Vid) -> Option<&[u32]> {
+    let part = if index.len() > 1 {
+        (vid as usize) % index.len()
+    } else {
+        0
+    };
+    index[part].get(&vid).map(Vec::as_slice)
+}
+
+/// [`hash_join_project`] probing dictionary ids instead of owned values.
+/// Output is byte-identical to the value-keyed operator; `dict` must be the
+/// dictionary of the database both row sets were derived from.
+pub fn hash_join_project_interned(
+    left: &RowSet,
+    lkey: usize,
+    right: &RowSet,
+    rkey: usize,
+    cols: &[usize],
+    threads: usize,
+    dict: &Interner,
+) -> RowSet {
+    let (Some(lk), Some(rk)) = (
+        resolve_key_vids(left, lkey, dict, threads),
+        resolve_key_vids(right, rkey, dict, threads),
+    ) else {
+        // Some key is not interned: this row set did not come from the
+        // database's tables. Fall back to the value-keyed operator.
+        return hash_join_project(left, lkey, right, rkey, cols, threads);
+    };
+    let t = effective_threads(threads, left.num_rows().max(right.num_rows()));
+    if right.num_rows() <= left.num_rows() {
+        let index = build_vid_index(&rk, effective_threads(threads, right.num_rows()));
+        let _span = metrics::span("join", Region::Probe);
+        let parts = map_morsels(left.num_rows(), t, |range| {
+            let mut out = RowSet::new(cols.len());
+            for l in range {
+                let k = lk[l];
+                if k == NULL_VID {
+                    continue;
+                }
+                if let Some(matches) = vid_index_lookup(&index, k) {
+                    let lrow = left.row(l);
+                    for &r in matches {
+                        push_joined(&mut out, lrow, right.row(r as usize), cols);
+                    }
+                }
+            }
+            out
+        });
+        merge(cols.len(), parts)
+    } else {
+        assert!(right.num_rows() <= MAX_ROWS, "row set too large");
+        let index = build_vid_index(&lk, effective_threads(threads, left.num_rows()));
+        let _span = metrics::span("join", Region::Probe);
+        let pairs: Vec<(u32, u32)> = map_morsels(right.num_rows(), t, |range| {
+            let mut local = Vec::new();
+            for r in range {
+                let k = rk[r];
+                if k == NULL_VID {
+                    continue;
+                }
+                if let Some(matches) = vid_index_lookup(&index, k) {
+                    local.extend(matches.iter().map(|&l| (l, r as u32)));
+                }
+            }
+            local
+        })
+        .concat();
+        let pairs = counting_sort_by_left(pairs, left.num_rows());
+        let parts = map_morsels(
+            pairs.len(),
+            effective_threads(threads, pairs.len()),
+            |range| {
+                let mut out = RowSet::with_row_capacity(cols.len(), range.len());
+                for &(l, r) in &pairs[range] {
+                    push_joined(&mut out, left.row(l as usize), right.row(r as usize), cols);
+                }
+                out
+            },
+        );
+        merge(cols.len(), parts)
+    }
+}
+
+/// [`distinct_rows`] deduplicating through dictionary-id tuples: one value
+/// lookup per cell up front, then all hashing and equality is on `u32`
+/// rows. Byte-identical output (first-occurrence order preserved).
+pub fn distinct_rows_interned(rows: RowSet, threads: usize, dict: &Interner) -> RowSet {
+    let _span = metrics::span("distinct", Region::Distinct);
+    let n = rows.num_rows();
+    assert!(n <= MAX_ROWS, "row set too large");
+    let arity = rows.arity();
+    let t = effective_threads(threads, n);
+    let Some(vids) = resolve_row_vids(&rows, dict, threads) else {
+        return distinct_rows(rows, threads);
+    };
+    let key = |r: usize| &vids[r * arity..(r + 1) * arity];
+    let kept: Vec<u32> = if t <= 1 {
+        let mut seen: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let mut kept = Vec::new();
+        for r in 0..n {
+            let candidates = seen.entry(hash_vid_row(key(r))).or_default();
+            if candidates.iter().all(|&c| key(c as usize) != key(r)) {
+                candidates.push(r as u32);
+                kept.push(r as u32);
+            }
+        }
+        kept
+    } else {
+        let buckets = scatter_partitions(n, t, |r| {
+            let h = hash_vid_row(key(r));
+            ((h as usize) % t, (r as u32, h))
+        });
+        let kept: Vec<Vec<u32>> = map_partitions(t, |p| {
+            let mut seen: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+            let mut kept = Vec::new();
+            for morsel in &buckets {
+                for &(r, h) in &morsel[p] {
+                    let candidates = seen.entry(h).or_default();
+                    if candidates
+                        .iter()
+                        .all(|&c| key(c as usize) != key(r as usize))
+                    {
+                        candidates.push(r);
+                        kept.push(r);
+                    }
+                }
+            }
+            kept
+        });
+        let mut kept = kept.concat();
+        kept.sort_unstable();
+        kept
+    };
+    let parts = map_morsels(
+        kept.len(),
+        effective_threads(threads, kept.len()),
+        |range| {
+            let mut out = RowSet::with_row_capacity(arity, range.len());
+            for &r in &kept[range] {
+                out.push_row_from(rows.row(r as usize));
+            }
+            out
+        },
+    );
+    merge(arity, parts)
 }
 
 /// Stable counting sort of match pairs by their left row index. Input pairs

@@ -36,6 +36,7 @@ pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod intern;
 pub mod query;
 pub mod rowset;
 pub mod schema;
@@ -46,6 +47,7 @@ pub use catalog::{ColumnStats, Database};
 pub use delta::{Delta, DeltaBatch, DeltaOp, DeltaRow};
 pub use error::{DbError, DbResult};
 pub use expr::Predicate;
+pub use intern::{Interner, Vid, NULL_VID};
 pub use query::Query;
 pub use rowset::RowSet;
 pub use schema::{Column, Schema};

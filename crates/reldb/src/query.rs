@@ -14,7 +14,7 @@
 
 use crate::catalog::Database;
 use crate::error::{DbError, DbResult};
-use crate::exec::{distinct_rows, hash_join_project, scan_project};
+use crate::exec::{distinct_rows_interned, hash_join_project_interned, scan_project};
 use crate::expr::Predicate;
 use crate::value::Value;
 
@@ -82,19 +82,21 @@ impl Query {
             let right = scan_project(t, &step.pred, &[step.in_col, step.out_col], threads);
             // Joined virtual row is [X, carry, in, out]; the fused
             // projection keeps (X, new-carry) without materializing the
-            // join columns at all.
-            rows = hash_join_project(&rows, 1, &right, 0, &[0, 3], threads);
+            // join columns at all. Every value here comes from a base
+            // table, so the join probes the database dictionary's dense
+            // ids instead of hashing owned values.
+            rows = hash_join_project_interned(&rows, 1, &right, 0, &[0, 3], threads, db.dict());
             // Intermediate DISTINCT keeps the frontier bounded by
             // |domain(X)| * |domain(carry)|; extraction only needs set
             // semantics so this is safe and usually a large win.
             if self.distinct {
-                rows = distinct_rows(rows, threads);
+                rows = distinct_rows_interned(rows, threads, db.dict());
             }
         }
         // Multi-step chains were already deduplicated by the loop's last
         // iteration; only single-table queries still need the final pass.
         if self.distinct && self.steps.len() == 1 {
-            rows = distinct_rows(rows, threads);
+            rows = distinct_rows_interned(rows, threads, db.dict());
         }
         Ok(rows.into_pairs())
     }

@@ -3,6 +3,13 @@
 //! A [`Table`] stores each column as a `Vec<Value>`. Appends validate arity
 //! and type. Row access materializes a `Vec<Value>` only when asked; the
 //! physical operators in [`crate::exec`] work column-wise where possible.
+//!
+//! Deletes are **tombstoned**: [`Table::delete_physical_rows`] flips a
+//! per-row dead bit in O(batch) instead of retaining every column in
+//! O(table). Physical row indices stay stable across deletes; a periodic
+//! compaction (triggered only when dead rows outnumber live ones) rewrites
+//! the columns, so the amortized cost per deleted row is O(1) and every
+//! mutation path is bounded by the delta, not the table.
 
 use crate::error::DbResult;
 use crate::schema::Schema;
@@ -10,12 +17,26 @@ use crate::value::Value;
 use graphgen_common::codec::{self, CodecError, Reader};
 use graphgen_common::ByteSize;
 
+/// Dead rows required before compaction is even considered: below this the
+/// bookkeeping vector is cheaper than any rewrite.
+const COMPACT_MIN_DEAD: usize = 64;
+
 /// An in-memory table: a schema plus one value vector per column.
+///
+/// `rows` counts **live** rows; the columns may be longer when tombstoned
+/// rows are awaiting compaction. All row indices taken and returned by this
+/// type are *physical* (stable across deletes, invalidated only by
+/// compaction).
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     columns: Vec<Vec<Value>>,
     rows: usize,
+    /// Tombstones, one per physical row. `true` = deleted, awaiting
+    /// compaction.
+    dead: Vec<bool>,
+    dead_count: usize,
+    compactions: u64,
 }
 
 impl Table {
@@ -26,6 +47,9 @@ impl Table {
             schema,
             columns,
             rows: 0,
+            dead: Vec::new(),
+            dead_count: 0,
+            compactions: 0,
         }
     }
 
@@ -34,9 +58,26 @@ impl Table {
         &self.schema
     }
 
-    /// Number of rows.
+    /// Number of **live** rows.
     pub fn num_rows(&self) -> usize {
         self.rows
+    }
+
+    /// Number of physical row slots (live + tombstoned). Every valid
+    /// physical row index is strictly below this.
+    pub fn physical_rows(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// True if physical row `row` has not been tombstoned.
+    pub fn is_live(&self, row: usize) -> bool {
+        !self.dead[row]
+    }
+
+    /// How many compaction rewrites this table has performed. Tests use
+    /// this to prove delete cost is amortized, not per-batch O(table).
+    pub fn compaction_count(&self) -> u64 {
+        self.compactions
     }
 
     /// True if the table holds no rows.
@@ -50,6 +91,7 @@ impl Table {
         for (col, v) in self.columns.iter_mut().zip(row) {
             col.push(v);
         }
+        self.dead.push(false);
         self.rows += 1;
         Ok(())
     }
@@ -89,36 +131,79 @@ impl Table {
         self.columns.iter().map(|c| c[row].clone()).collect()
     }
 
-    /// Iterate rows as freshly materialized `Vec<Value>`s.
+    /// Iterate **live** rows as freshly materialized `Vec<Value>`s, in
+    /// physical order.
     pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
-        (0..self.rows).map(|r| self.row(r))
+        (0..self.dead.len())
+            .filter(|&r| !self.dead[r])
+            .map(|r| self.row(r))
     }
 
-    /// Remove the rows whose indices are flagged in `remove` (length must
-    /// equal [`Table::num_rows`]), preserving the relative order of the
-    /// survivors. One `retain` pass per column.
+    /// Tombstone the physical rows in `rows` — O(batch), no column rewrite.
+    /// Already-dead entries are ignored. May trigger a compaction pass when
+    /// dead rows outnumber live ones (amortized O(1) per deleted row).
+    pub fn delete_physical_rows(&mut self, rows: &[u32]) {
+        for &r in rows {
+            let r = r as usize;
+            if !self.dead[r] {
+                self.dead[r] = true;
+                self.dead_count += 1;
+                self.rows -= 1;
+            }
+        }
+        self.maybe_compact();
+    }
+
+    /// Remove the physical rows whose indices are flagged in `remove`
+    /// (length must equal [`Table::physical_rows`]). Tombstones the flagged
+    /// rows; survivors keep their relative order.
     pub fn remove_marked(&mut self, remove: &[bool]) {
-        assert_eq!(remove.len(), self.rows, "mask length mismatch");
+        assert_eq!(remove.len(), self.dead.len(), "mask length mismatch");
+        for (r, &kill) in remove.iter().enumerate() {
+            if kill && !self.dead[r] {
+                self.dead[r] = true;
+                self.dead_count += 1;
+                self.rows -= 1;
+            }
+        }
+        self.maybe_compact();
+    }
+
+    /// Rewrite the columns dropping tombstoned rows iff the dead outnumber
+    /// the living (and there are enough of them to matter). One `retain`
+    /// pass per column — the cost is charged against the ≥ 50% of physical
+    /// rows that were deleted since the last rewrite, so deletes stay
+    /// amortized O(1) each.
+    fn maybe_compact(&mut self) {
+        if self.dead_count < COMPACT_MIN_DEAD || self.dead_count <= self.rows {
+            return;
+        }
         for col in &mut self.columns {
             let mut idx = 0;
             col.retain(|_| {
-                let keep = !remove[idx];
+                let keep = !self.dead[idx];
                 idx += 1;
                 keep
             });
         }
-        self.rows -= remove.iter().filter(|&&r| r).count();
+        self.dead.clear();
+        self.dead.resize(self.rows, false);
+        self.dead_count = 0;
+        self.compactions += 1;
     }
 
-    /// Append the binary encoding of this table: schema, row count, then
-    /// the columns in declaration order (column-major, each cell a tagged
-    /// [`Value`]). Part of the service database snapshot.
+    /// Append the binary encoding of this table: schema, live row count,
+    /// then the columns in declaration order (column-major, each cell a
+    /// tagged [`Value`]); tombstoned rows are not written, so a decoded
+    /// table is always compact. Part of the service database snapshot.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         self.schema.encode_into(out);
         codec::put_len(out, self.rows);
         for col in &self.columns {
-            for v in col {
-                v.encode_into(out);
+            for (r, v) in col.iter().enumerate() {
+                if !self.dead[r] {
+                    v.encode_into(out);
+                }
             }
         }
     }
@@ -154,16 +239,21 @@ impl Table {
             schema,
             columns,
             rows,
+            dead: vec![false; rows],
+            dead_count: 0,
+            compactions: 0,
         })
     }
 
-    /// Exact number of distinct values in column `idx` (NULLs count as one
-    /// value, matching our join semantics, not SQL's).
+    /// Exact number of distinct values in column `idx` among live rows
+    /// (NULLs count as one value, matching our join semantics, not SQL's).
     pub fn distinct_count(&self, idx: usize) -> usize {
         let mut seen: graphgen_common::FxHashSet<&Value> = Default::default();
         seen.reserve(self.rows.min(1 << 20));
-        for v in &self.columns[idx] {
-            seen.insert(v);
+        for (r, v) in self.columns[idx].iter().enumerate() {
+            if !self.dead[r] {
+                seen.insert(v);
+            }
         }
         seen.len()
     }
@@ -171,13 +261,15 @@ impl Table {
 
 impl ByteSize for Table {
     fn heap_bytes(&self) -> usize {
-        self.columns
-            .iter()
-            .map(|col| {
-                col.capacity() * std::mem::size_of::<Value>()
-                    + col.iter().map(ByteSize::heap_bytes).sum::<usize>()
-            })
-            .sum()
+        self.dead.capacity()
+            + self
+                .columns
+                .iter()
+                .map(|col| {
+                    col.capacity() * std::mem::size_of::<Value>()
+                        + col.iter().map(ByteSize::heap_bytes).sum::<usize>()
+                })
+                .sum::<usize>()
     }
 }
 
@@ -242,8 +334,60 @@ mod tests {
         let mut t = people();
         t.remove_marked(&[false, true, false]);
         assert_eq!(t.num_rows(), 2);
-        assert_eq!(t.row(0), vec![Value::int(1), Value::str("a")]);
-        assert_eq!(t.row(1), vec![Value::int(3), Value::str("a")]);
+        let rows: Vec<_> = t.iter_rows().collect();
+        assert_eq!(rows[0], vec![Value::int(1), Value::str("a")]);
+        assert_eq!(rows[1], vec![Value::int(3), Value::str("a")]);
+    }
+
+    #[test]
+    fn tombstones_keep_physical_indices_stable() {
+        let mut t = people();
+        t.delete_physical_rows(&[1]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.physical_rows(), 3);
+        assert!(t.is_live(0) && !t.is_live(1) && t.is_live(2));
+        // Physical addressing still reaches the survivor at slot 2.
+        assert_eq!(t.row(2), vec![Value::int(3), Value::str("a")]);
+        // Repeat deletes of the same slot are no-ops.
+        t.delete_physical_rows(&[1]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.distinct_count(0), 2);
+    }
+
+    #[test]
+    fn small_delete_batches_never_rewrite_columns() {
+        let mut t = Table::new(Schema::new(vec![Column::int("id")]));
+        for i in 0..200 {
+            t.push_row(vec![Value::int(i)]).unwrap();
+        }
+        // Delete under the dead-majority threshold: no compaction, the
+        // physical layout is untouched (that's the O(batch) guarantee).
+        t.delete_physical_rows(&(0..63).collect::<Vec<u32>>());
+        assert_eq!(t.compaction_count(), 0);
+        assert_eq!(t.physical_rows(), 200);
+        // Push the dead past the living: exactly one rewrite happens.
+        t.delete_physical_rows(&(63..150).collect::<Vec<u32>>());
+        assert_eq!(t.compaction_count(), 1);
+        assert_eq!(t.physical_rows(), 50);
+        assert_eq!(t.num_rows(), 50);
+        let rows: Vec<_> = t.iter_rows().collect();
+        assert_eq!(rows[0], vec![Value::int(150)]);
+        assert_eq!(rows[49], vec![Value::int(199)]);
+    }
+
+    #[test]
+    fn codec_drops_tombstones() {
+        let mut t = people();
+        t.delete_physical_rows(&[0]);
+        let mut bytes = Vec::new();
+        t.encode_into(&mut bytes);
+        let back = Table::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.num_rows(), 2);
+        assert_eq!(back.physical_rows(), 2);
+        assert_eq!(
+            back.iter_rows().collect::<Vec<_>>(),
+            t.iter_rows().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -120,6 +120,9 @@ instruments! {
             "current database version (monotone across restarts)",
         gauge db_rows: "graphgen_db_rows" =
             "total rows across base tables",
+        gauge intern_entries: "graphgen_intern_entries" =
+            "live entries in the database value dictionary plus every \
+             graph's engine dictionary (dense-id interners)",
         gauge wedged: "graphgen_wedged" =
             "1 when the writer is wedged after a divergence, else 0",
         counter slow_ops_total: "graphgen_slow_ops_total" =

@@ -36,19 +36,21 @@
 //!
 //! ```text
 //! dir/
-//!   db.snap            magic GGSVDB1\0 | u64 version | Database
+//!   db.snap            magic GGSVDB2\0 | u64 version | Database
+//!                      (value dictionary first, then the tables)
 //!   db.wal             records: u64 version | DeltaBatch     (see wal.rs)
-//!   <name>.graph.snap  magic GGSVGR4\0 | u64 version | u64 db_version
+//!   <name>.graph.snap  magic GGSVGR5\0 | u64 version | u64 db_version
 //!                      | dsl | frozen plans (per chain: cuts, planned
 //!                      outputs, planned cost) | GraphHandle snapshot
-//!                      (GGSNAP2, chunked)
+//!                      (GGSNAP3, chunked + dense-id interned)
 //!   <name>.graph.wal   records: u64 version | u64 db_version | DeltaBatch
 //! ```
 //!
 //! Graph snapshots are written from the **working** handle (it owns the
 //! delta-maintenance state recovery needs; published reader clones do
-//! not). Format 2 (`GGSVGR2\0`, which framed flat-adjacency `GGSNAP1`
-//! handle bytes) is rejected with a clean magic mismatch.
+//! not). Every older format — `GGSVGR4\0` (value-keyed maintenance state)
+//! back to `GGSVGR2\0` (flat-adjacency `GGSNAP1` handle bytes) — is
+//! rejected with a clean magic mismatch.
 //!
 //! Snapshot files carry a whole-file fxhash64 trailer ([`crate::wal::seal`])
 //! and WAL records carry per-record checksums, so recovery surfaces
@@ -92,14 +94,17 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-/// Magic prefix of `db.snap` (trailing digit = format version).
-pub const DB_SNAP_MAGIC: [u8; 8] = *b"GGSVDB1\0";
-/// Magic prefix of `<name>.graph.snap` (format 4 added the frozen plan —
+/// Magic prefix of `db.snap` (trailing digit = format version; format 2
+/// prepends the database's value dictionary — the dense-id interner the
+/// catalog and the interned join operators key by — to the table section).
+pub const DB_SNAP_MAGIC: [u8; 8] = *b"GGSVDB2\0";
+/// Magic prefix of `<name>.graph.snap` (format 5 embeds the dense-id
+/// interned `GGSNAP3` handle layout; format 4 added the frozen plan —
 /// per-chain cuts and the estimates the plan was chosen with — for drift
 /// detection; format 3 switched the embedded handle snapshot to the
 /// chunked `GGSNAP2` layout. Older-format files fail `expect_magic`
 /// cleanly).
-pub const GRAPH_SNAP_MAGIC: [u8; 8] = *b"GGSVGR4\0";
+pub const GRAPH_SNAP_MAGIC: [u8; 8] = *b"GGSVGR5\0";
 
 /// Service knobs.
 #[derive(Debug, Clone, Copy)]
@@ -549,6 +554,13 @@ impl GraphService {
             self.obs.m.graphs.set(inner.graphs.len() as u64);
             self.obs.m.db_version.set(inner.db_version);
             self.obs.m.db_rows.set(inner.db.total_rows() as u64);
+            let interned = inner.db.dict().live()
+                + inner
+                    .graphs
+                    .values()
+                    .map(|g| g.working.intern_entries())
+                    .sum::<usize>();
+            self.obs.m.intern_entries.set(interned as u64);
             self.obs.m.wedged.set(u64::from(inner.wedged));
         }
         let c = self.analyze_counters();

@@ -551,38 +551,41 @@ fn recovered_service_continues_identically() {
 }
 
 /// Format-bump guard: a graph snapshot carrying a retired magic (here
-/// `GGSVGR3\0`, which lacked the frozen-plan section) must fail recovery
-/// with a clean `Corrupt` magic mismatch — never misparse into a
+/// `GGSVGR4\0`, which framed the value-keyed maintenance state, and
+/// `GGSVGR3\0`, which also lacked the frozen-plan section) must fail
+/// recovery with a clean `Corrupt` magic mismatch — never misparse into a
 /// half-decoded graph.
 #[test]
 fn old_format_graph_snapshot_is_rejected_by_magic() {
-    let dir = TempDir::new("rec-old-magic");
-    {
-        let service =
-            GraphService::create(dir.path(), seed_db(), ServiceConfig::default()).unwrap();
-        service.extract("coauthors", Q_COAUTHORS).unwrap();
-    }
-    // Rewrite the (valid, sealed) snapshot with the previous format's
-    // magic, resealing so the integrity trailer still matches: the decoder
-    // must trip on the magic itself.
-    let snap_path = dir.path().join("coauthors.graph.snap");
-    let sealed = std::fs::read(&snap_path).unwrap();
-    let mut content = graphgen_serve::wal::unseal(&sealed).unwrap().to_vec();
-    assert_eq!(&content[..8], b"GGSVGR4\0");
-    content[..8].copy_from_slice(b"GGSVGR3\0");
-    graphgen_serve::wal::seal(&mut content);
-    std::fs::write(&snap_path, &content).unwrap();
-    let err = GraphService::open(dir.path()).unwrap_err();
-    match &err {
-        graphgen_serve::ServeError::Corrupt { what, .. } => {
-            assert!(what.contains("bad magic"), "unexpected reason: {what}");
+    for old in [*b"GGSVGR4\0", *b"GGSVGR3\0"] {
+        let dir = TempDir::new("rec-old-magic");
+        {
+            let service =
+                GraphService::create(dir.path(), seed_db(), ServiceConfig::default()).unwrap();
+            service.extract("coauthors", Q_COAUTHORS).unwrap();
         }
-        other => panic!("expected Corrupt, got {other}"),
+        // Rewrite the (valid, sealed) snapshot with the previous format's
+        // magic, resealing so the integrity trailer still matches: the
+        // decoder must trip on the magic itself.
+        let snap_path = dir.path().join("coauthors.graph.snap");
+        let sealed = std::fs::read(&snap_path).unwrap();
+        let mut content = graphgen_serve::wal::unseal(&sealed).unwrap().to_vec();
+        assert_eq!(&content[..8], b"GGSVGR5\0");
+        content[..8].copy_from_slice(&old);
+        graphgen_serve::wal::seal(&mut content);
+        std::fs::write(&snap_path, &content).unwrap();
+        let err = GraphService::open(dir.path()).unwrap_err();
+        match &err {
+            graphgen_serve::ServeError::Corrupt { what, .. } => {
+                assert!(what.contains("bad magic"), "unexpected reason: {what}");
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
     }
 }
 
 /// Restart onto the chunked snapshot format mid-WAL: the `.graph.snap`
-/// (GGSVGR4 framing a chunked GGSNAP2 handle, written from the *working*
+/// (GGSVGR5 framing a chunked GGSNAP3 handle, written from the *working*
 /// handle so it carries the full maintenance state) plus a WAL holding
 /// batches committed after it. Recovery must decode the chunked snapshot,
 /// replay the log, and keep both the reader side (canonical bytes, CoW
